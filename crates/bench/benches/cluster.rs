@@ -1,0 +1,64 @@
+//! Cluster-simulation benchmarks: per-phase node execution, collective
+//! cost evaluation, and a complete coupled run — establishing that the
+//! simulator itself is cheap enough for large sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::SimTime;
+use insitu::{run_job, JobConfig};
+use mdsim::workload::WorkloadSpec;
+use mdsim::AnalysisKind;
+use mpisim::{coll, Communicator, JobLayout, NetworkModel};
+use std::hint::black_box;
+use theta_sim::{CapMode, Cluster, MachineConfig, PhaseKind, Work};
+
+fn bench_node_phase(c: &mut Criterion) {
+    c.bench_function("node_run_phase", |b| {
+        let machine = MachineConfig::theta();
+        let mut cluster = Cluster::noiseless(machine.clone(), 1, CapMode::Long, 110.0);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t = cluster.node_mut(0).run_phase(
+                &machine,
+                t,
+                Work::new(PhaseKind::Force, 0.001),
+                1.0,
+            );
+            black_box(t)
+        });
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let net = NetworkModel::aries();
+    let mut group = c.benchmark_group("allreduce_cost_model");
+    for &nodes in &[128usize, 1024] {
+        let world = Communicator::world(JobLayout::new(nodes, 1));
+        let vals: Vec<f64> = (0..nodes).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(coll::allreduce_sum(&net, &world, &vals)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupled_run");
+    group.sample_size(10);
+    for &nodes in &[16usize, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("seesaw_30_syncs", nodes),
+            &nodes,
+            |b, &n| {
+                b.iter(|| {
+                    let mut spec = WorkloadSpec::paper(16, n, 1, &[AnalysisKind::MsdFull]);
+                    spec.total_steps = 30;
+                    black_box(run_job(JobConfig::new(spec, "seesaw")))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_phase, bench_collectives, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Controller-step micro-benchmarks (paper Fig. 9b analogue).
+//!
+//! The paper measures the stand-alone duration of a SeeSAw allocation step
+//! across power caps on Theta (their host slows down with the cap; ours
+//! does not, so the cap sweep is represented by the job-size sweep, which
+//! is what actually changes the computational cost of a decision).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seesaw::{
+    Controller, NodeSample, PowerAware, PowerAwareConfig, Role, SeeSaw, SeeSawConfig,
+    SyncObservation, TimeAware, TimeAwareConfig,
+};
+use std::hint::black_box;
+
+fn observation(nodes: usize, step: u64) -> SyncObservation {
+    let half = nodes / 2;
+    SyncObservation {
+        step,
+        nodes: (0..nodes)
+            .map(|n| NodeSample {
+                node: n,
+                role: if n < half { Role::Simulation } else { Role::Analysis },
+                time_s: 4.0 + (n % 7) as f64 * 0.01,
+                power_w: 105.0 + (n % 5) as f64,
+                cap_w: 110.0,
+            })
+            .collect(),
+    }
+}
+
+fn bench_controller_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_step");
+    for &nodes in &[2usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("seesaw", nodes), &nodes, |b, &n| {
+            let mut ctl = SeeSaw::new(SeeSawConfig::paper_default(n));
+            let mut step = 1u64;
+            b.iter(|| {
+                let obs = observation(n, step);
+                step += 1;
+                black_box(ctl.on_sync(&obs))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("time_aware", nodes), &nodes, |b, &n| {
+            let mut ctl = TimeAware::new(TimeAwareConfig::paper_default(n));
+            let mut step = 1u64;
+            b.iter(|| {
+                let obs = observation(n, step);
+                step += 1;
+                black_box(ctl.on_sync(&obs))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("power_aware", nodes), &nodes, |b, &n| {
+            let mut ctl = PowerAware::new(PowerAwareConfig::paper_default(n));
+            let mut step = 1u64;
+            b.iter(|| {
+                let obs = observation(n, step);
+                step += 1;
+                black_box(ctl.on_sync(&obs))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimal_split(c: &mut Criterion) {
+    use seesaw::model::{optimal_split, LinearTask};
+    c.bench_function("optimal_split_eq2", |b| {
+        let s = LinearTask::from_observation(4.1, 108.0);
+        let a = LinearTask::from_observation(3.9, 110.0);
+        b.iter(|| black_box(optimal_split(black_box(14080.0), s, a)));
+    });
+}
+
+criterion_group!(benches, bench_controller_step, bench_optimal_split);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Mini-LAMMPS kernel micro-benchmarks: force evaluation, neighbor-list
+//! construction, one full Verlet step, and each analysis kernel over the
+//! 1568-atom benchmark cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdsim::analysis::{Msd, MsdConfig, Rdf, RdfConfig, Snapshot, Vacf, VacfConfig};
+use mdsim::{
+    compute_forces, water_ion_box, Analysis, ForceParams, MdEngine, NeighborList, PairTable,
+};
+use std::hint::black_box;
+
+fn bench_force(c: &mut Criterion) {
+    let sys = water_ion_box(1, 1.0, 7);
+    let params = ForceParams::default();
+    let table = PairTable::new();
+    let nl = NeighborList::build(&sys.pos, sys.box_len, params.cutoff, 0.4);
+    c.bench_function("force_eval_1568_atoms", |b| {
+        let mut s = sys.clone();
+        b.iter(|| black_box(compute_forces(&mut s, &nl, params, &table)));
+    });
+}
+
+fn bench_neighbor(c: &mut Criterion) {
+    let sys = water_ion_box(1, 1.0, 8);
+    c.bench_function("neighbor_build_1568_atoms", |b| {
+        b.iter(|| black_box(NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.4)));
+    });
+}
+
+fn bench_verlet_step(c: &mut Criterion) {
+    c.bench_function("verlet_step_1568_atoms", |b| {
+        let mut engine = MdEngine::water_ion_benchmark(1, 9);
+        b.iter(|| black_box(engine.step()));
+    });
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let sys = water_ion_box(1, 1.0, 10);
+    let mut group = c.benchmark_group("analysis_observe");
+    group.bench_function("rdf", |b| {
+        let mut a = Rdf::new(RdfConfig::default());
+        let mut step = 0;
+        b.iter(|| {
+            step += 1;
+            black_box(a.observe(step, &Snapshot::of(&sys)))
+        });
+    });
+    group.bench_function("vacf", |b| {
+        let mut a = Vacf::new(VacfConfig::default());
+        let mut step = 0;
+        b.iter(|| {
+            step += 1;
+            black_box(a.observe(step, &Snapshot::of(&sys)))
+        });
+    });
+    group.bench_function("msd_full", |b| {
+        let mut a = Msd::new(MsdConfig::full());
+        let mut step = 0;
+        b.iter(|| {
+            step += 1;
+            black_box(a.observe(step, &Snapshot::of(&sys)))
+        });
+    });
+    group.bench_function("msd1d", |b| {
+        let mut a = Msd::new(MsdConfig::one_d());
+        let mut step = 0;
+        b.iter(|| {
+            step += 1;
+            black_box(a.observe(step, &Snapshot::of(&sys)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_force, bench_neighbor, bench_verlet_step, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 5: allocated vs measured power per node between synchronizations
+//! at 1024 nodes (all analyses, dim = 48), SeeSAw vs time-aware, with
+//! normalized slack — the paper's demonstration that low time difference
+//! at low power is not an energy-efficient state.
+
+use bench::{print_table, total_steps, write_json};
+use insitu::{run_job, JobConfig};
+use mdsim::workload::WorkloadSpec;
+use mdsim::AnalysisKind as K;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    controller: String,
+    sync: u64,
+    sim_cap_w: f64,
+    sim_measured_w: f64,
+    analysis_cap_w: f64,
+    analysis_measured_w: f64,
+    slack: f64,
+}
+
+fn main() {
+    let nodes = if bench::quick_mode() { 128 } else { 1024 };
+    let mut spec = WorkloadSpec::paper(48, nodes, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
+    spec.total_steps = total_steps();
+
+    let mut points = Vec::new();
+    let mut summary = Vec::new();
+    for ctl in ["seesaw", "time-aware"] {
+        let r = run_job(JobConfig::new(spec.clone(), ctl));
+        for s in &r.syncs {
+            points.push(Point {
+                controller: ctl.to_string(),
+                sync: s.index,
+                sim_cap_w: s.sim_cap_w,
+                sim_measured_w: s.sim_power_w,
+                analysis_cap_w: s.analysis_cap_w,
+                analysis_measured_w: s.analysis_power_w,
+                slack: s.slack,
+            });
+        }
+        let tail: Vec<&Point> = points
+            .iter()
+            .filter(|p| p.controller == ctl && p.sync >= 10)
+            .collect();
+        let mean = |f: fn(&Point) -> f64| tail.iter().map(|p| f(p)).sum::<f64>() / tail.len() as f64;
+        summary.push(vec![
+            ctl.to_string(),
+            format!("{:.1}", mean(|p| p.sim_cap_w)),
+            format!("{:.1}", mean(|p| p.sim_measured_w)),
+            format!("{:.1}", mean(|p| p.analysis_cap_w)),
+            format!("{:.1}", mean(|p| p.analysis_measured_w)),
+            format!("{:.1} %", mean(|p| p.slack) * 100.0),
+            format!("{:.0}", r.total_time_s),
+        ]);
+    }
+
+    println!("Fig. 5 — allocated vs measured power, {nodes} nodes, all analyses, dim 48\n");
+    print_table(
+        &[
+            "controller",
+            "S cap W",
+            "S measured W",
+            "A cap W",
+            "A measured W",
+            "slack",
+            "total s",
+        ],
+        &summary,
+    );
+    println!("\npaper reference: SeeSAw allocates more power to analysis; simulation");
+    println!("at scale has lower power utilization (measured < allocated). The");
+    println!("time-aware approach drives the gap to δ_min and degrades severely even");
+    println!("though its normalized slack looks near zero.");
+    write_json("fig5_scale", &points);
+}

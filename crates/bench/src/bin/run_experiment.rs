@@ -1,0 +1,128 @@
+//! General-purpose experiment CLI: explore any configuration without
+//! writing code.
+//!
+//! ```text
+//! cargo run --release -p bench --bin run_experiment -- \
+//!     --controller seesaw --nodes 128 --dim 16 --analyses msd \
+//!     --steps 400 --budget 110 --window 1 --sync-every 1 --seed 1
+//! ```
+//!
+//! Prints the run summary and the improvement over a paired static
+//! baseline; `--trace` additionally dumps the per-sync records as JSON.
+
+use insitu::{improvement_pct, run_job, run_paired, JobConfig};
+use mdsim::workload::WorkloadSpec;
+use mdsim::{AnalysisKind, AnalysisSchedule};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_experiment [--controller seesaw|time-aware|power-aware|static|hierarchical-seesaw|probing-seesaw]
+                      [--nodes N] [--dim D] [--steps S] [--sync-every J]
+                      [--analyses rdf,vacf,msd,msd1d,msd2d] [--budget W]
+                      [--window W] [--seed S] [--sim-cap W --analysis-cap W]
+                      [--no-baseline] [--trace]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_kind(name: &str) -> AnalysisKind {
+    match name {
+        "rdf" => AnalysisKind::Rdf,
+        "vacf" => AnalysisKind::Vacf,
+        "msd" => AnalysisKind::MsdFull,
+        "msd1d" => AnalysisKind::Msd1d,
+        "msd2d" => AnalysisKind::Msd2d,
+        other => {
+            eprintln!("unknown analysis {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut controller = "seesaw".to_string();
+    let mut nodes = 128usize;
+    let mut dim = 16u32;
+    let mut steps = 400u64;
+    let mut sync_every = 1u64;
+    let mut kinds = vec![AnalysisKind::MsdFull];
+    let mut budget = 110.0f64;
+    let mut window = 1usize;
+    let mut seed = 1u64;
+    let mut sim_cap = None;
+    let mut analysis_cap = None;
+    let mut baseline = true;
+    let mut trace = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--controller" => controller = val(),
+            "--nodes" => nodes = val().parse().unwrap_or_else(|_| usage()),
+            "--dim" => dim = val().parse().unwrap_or_else(|_| usage()),
+            "--steps" => steps = val().parse().unwrap_or_else(|_| usage()),
+            "--sync-every" => sync_every = val().parse().unwrap_or_else(|_| usage()),
+            "--budget" => budget = val().parse().unwrap_or_else(|_| usage()),
+            "--window" => window = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--sim-cap" => sim_cap = Some(val().parse::<f64>().unwrap_or_else(|_| usage())),
+            "--analysis-cap" => {
+                analysis_cap = Some(val().parse::<f64>().unwrap_or_else(|_| usage()))
+            }
+            "--analyses" => {
+                kinds = val().split(',').map(parse_kind).collect();
+            }
+            "--no-baseline" => baseline = false,
+            "--trace" => trace = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let mut spec = WorkloadSpec::paper(dim, nodes, sync_every, &[]);
+    spec.analyses = kinds.iter().map(|&k| AnalysisSchedule::every_sync(k)).collect();
+    spec.total_steps = steps;
+    let mut cfg = JobConfig::new(spec, &controller).with_budget(budget).with_window(window);
+    cfg.seed.job = seed;
+    if let (Some(s), Some(a)) = (sim_cap, analysis_cap) {
+        cfg = cfg.with_initial_caps(s, a);
+    }
+
+    if baseline && controller != "static" {
+        let (ctl, base) = run_paired(&cfg);
+        let imp = improvement_pct(base.total_time_s, ctl.total_time_s);
+        print_summary(&ctl);
+        println!(
+            "baseline (static): {:.1} s  →  improvement {:+.2} %",
+            base.total_time_s, imp
+        );
+        if trace {
+            println!("{}", serde_json::to_string_pretty(&ctl.syncs).unwrap());
+        }
+    } else {
+        let r = run_job(cfg);
+        print_summary(&r);
+        if trace {
+            println!("{}", serde_json::to_string_pretty(&r.syncs).unwrap());
+        }
+    }
+}
+
+fn print_summary(r: &insitu::RunResult) {
+    let last = r.syncs.last().expect("at least one sync");
+    println!(
+        "{}: total {:.1} s, energy {:.2} MJ, {} syncs, end caps S/A {:.1}/{:.1} W, late slack {:.1} %",
+        r.controller,
+        r.total_time_s,
+        r.total_energy_j / 1e6,
+        r.syncs.len(),
+        last.sim_cap_w,
+        last.analysis_cap_w,
+        r.mean_slack_from(10) * 100.0
+    );
+}

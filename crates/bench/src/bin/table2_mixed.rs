@@ -1,0 +1,64 @@
+//! Table II: SeeSAw improvement with mixed analysis intervals on 128 nodes
+//! (dim 16, w = 1). One sweep varies only full MSD's interval j ∈
+//! {4, 20, 100} with RDF + VACF at every step; the other varies only
+//! VACF's interval with RDF + full MSD at every step.
+
+use bench::{print_table, repetitions, total_steps, write_json};
+use insitu::{median_improvement, JobConfig};
+use mdsim::workload::WorkloadSpec;
+use mdsim::{AnalysisKind as K, AnalysisSchedule};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    varied: &'static str,
+    j: u64,
+    improvement_pct: f64,
+}
+
+fn run_case(varied: &'static str, j: u64) -> f64 {
+    let mut spec = WorkloadSpec::paper(16, 128, 1, &[]);
+    spec.total_steps = total_steps();
+    spec.analyses = match varied {
+        "msd" => vec![
+            AnalysisSchedule::every_sync(K::Rdf),
+            AnalysisSchedule::every_sync(K::Vacf),
+            AnalysisSchedule { kind: K::MsdFull, every: j },
+        ],
+        _ => vec![
+            AnalysisSchedule::every_sync(K::Rdf),
+            AnalysisSchedule::every_sync(K::MsdFull),
+            AnalysisSchedule { kind: K::Vacf, every: j },
+        ],
+    };
+    let cfg = JobConfig::new(spec, "seesaw");
+    median_improvement(&cfg, repetitions())
+}
+
+fn main() {
+    let js = [4u64, 20, 100];
+    let mut rows = Vec::new();
+    for varied in ["msd", "vacf"] {
+        for &j in &js {
+            rows.push(Row { varied, j, improvement_pct: run_case(varied, j) });
+        }
+    }
+
+    println!("Table II — SeeSAw improvement with mixed intervals, 128 nodes, w = 1, dim 16\n");
+    let table: Vec<Vec<String>> = ["msd", "vacf"]
+        .iter()
+        .map(|v| {
+            let mut cells = vec![format!("{v} % improvement over static")];
+            for &j in &js {
+                let r = rows.iter().find(|r| &r.varied == v && r.j == j).unwrap();
+                cells.push(format!("{:+.2}", r.improvement_pct));
+            }
+            cells
+        })
+        .collect();
+    print_table(&["varied analysis", "j = 4", "j = 20", "j = 100"], &table);
+    println!("\npaper reference: MSD-varied 5.03 / 0.94 / 0.90 %; VACF-varied");
+    println!("16.76 / 15.09 / 16.24 % — infrequent high-demand analyses make w = 1");
+    println!("over-reactive, while a low-demand analysis at any interval is benign.");
+    write_json("table2_mixed", &rows);
+}

@@ -1,0 +1,21 @@
+//! The controller interface shared by SeeSAw and the baselines.
+
+use crate::types::{Allocation, SyncObservation};
+
+/// A power-allocation policy invoked at each simulation↔analysis
+/// synchronization point (the paper's `poli_power_alloc()` hook).
+///
+/// Implementations receive the feedback gathered over the interval since
+/// the previous synchronization and may return a new allocation; `None`
+/// keeps the current caps (either because the policy is static or because
+/// its window `w` has not yet elapsed).
+pub trait Controller: Send {
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Observe one synchronization interval; optionally reallocate.
+    fn on_sync(&mut self, obs: &SyncObservation) -> Option<Allocation>;
+
+    /// Reset internal state (fresh run under the same configuration).
+    fn reset(&mut self);
+}

@@ -1,0 +1,216 @@
+//! Hierarchical SeeSAw (paper §VIII, future work).
+//!
+//! "To add support for heterogeneous hardware within the simulation
+//! (analysis) partition, power should be allocated through a hierarchical
+//! decision-making process that breaks down SeeSAw's power allocation to
+//! the individual compute units."
+//!
+//! Level 1 is exactly SeeSAw: the energy split between the two partitions.
+//! Level 2 redistributes each partition's total across its *own* nodes in
+//! proportion to their observed time (slower nodes — lower-binned silicon,
+//! noisier neighborhoods — receive more than the partition mean), clamped
+//! to the hardware limits and renormalized so the partition total is
+//! preserved.
+
+use crate::controller::Controller;
+use crate::seesaw::{SeeSaw, SeeSawConfig};
+use crate::types::{Allocation, Role, SyncObservation};
+use serde::{Deserialize, Serialize};
+
+/// Hierarchical configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalConfig {
+    /// The partition-level SeeSAw configuration.
+    pub seesaw: SeeSawConfig,
+    /// Intra-partition skew exponent: per-node weight is
+    /// `(t_node / t_mean)^gamma`. 0 disables level 2 (uniform split);
+    /// 1 is fully proportional.
+    pub gamma: f64,
+}
+
+impl HierarchicalConfig {
+    /// Paper-style defaults with a gentle intra-partition correction.
+    pub fn paper_default(n_nodes: usize) -> Self {
+        HierarchicalConfig { seesaw: SeeSawConfig::paper_default(n_nodes), gamma: 0.5 }
+    }
+}
+
+/// The two-level controller.
+#[derive(Debug, Clone)]
+pub struct HierarchicalSeeSaw {
+    cfg: HierarchicalConfig,
+    inner: SeeSaw,
+}
+
+impl HierarchicalSeeSaw {
+    /// Build the controller.
+    pub fn new(cfg: HierarchicalConfig) -> Self {
+        assert!(cfg.gamma >= 0.0, "gamma must be non-negative");
+        HierarchicalSeeSaw { cfg, inner: SeeSaw::new(cfg.seesaw) }
+    }
+
+    /// Distribute `total_w` over the partition's nodes by time-proportional
+    /// weights, clamped to limits and exactly renormalized.
+    fn level2(
+        &self,
+        obs: &SyncObservation,
+        role: Role,
+        per_node_mean_w: f64,
+    ) -> Vec<(usize, f64)> {
+        let limits = self.cfg.seesaw.limits;
+        let nodes: Vec<(usize, f64)> = obs
+            .nodes
+            .iter()
+            .filter(|n| n.role == role)
+            .map(|n| (n.node, n.time_s))
+            .collect();
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        let n = nodes.len() as f64;
+        let total_w = per_node_mean_w * n;
+        let t_mean = nodes.iter().map(|&(_, t)| t).sum::<f64>() / n;
+        if t_mean <= 0.0 || self.cfg.gamma == 0.0 {
+            return nodes.iter().map(|&(id, _)| (id, per_node_mean_w)).collect();
+        }
+        // Raw weights, clamp to hardware limits, then iteratively push the
+        // clamp residue back into the nodes that can still move, so the
+        // partition total is preserved exactly whenever it is feasible and
+        // never exceeded otherwise.
+        let mut caps: Vec<(usize, f64)> = nodes
+            .iter()
+            .map(|&(id, t)| {
+                let w = (t / t_mean).powf(self.cfg.gamma);
+                (id, limits.clamp(per_node_mean_w * w))
+            })
+            .collect();
+        for _ in 0..8 {
+            let assigned: f64 = caps.iter().map(|&(_, w)| w).sum();
+            let residue = total_w - assigned;
+            if residue.abs() < 1e-9 {
+                break;
+            }
+            let adjustable: Vec<usize> = caps
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, w))| {
+                    if residue > 0.0 { w < limits.max_w - 1e-12 } else { w > limits.min_w + 1e-12 }
+                })
+                .map(|(k, _)| k)
+                .collect();
+            if adjustable.is_empty() {
+                break;
+            }
+            let share = residue / adjustable.len() as f64;
+            for k in adjustable {
+                caps[k].1 = limits.clamp(caps[k].1 + share);
+            }
+        }
+        // Feasibility floor: if every node is pinned at δ_min the total may
+        // still exceed the level-1 share; that is a hardware constraint the
+        // level-1 clamp already accounts for.
+        caps
+    }
+}
+
+impl Controller for HierarchicalSeeSaw {
+    fn name(&self) -> &'static str {
+        "hierarchical-seesaw"
+    }
+
+    fn on_sync(&mut self, obs: &SyncObservation) -> Option<Allocation> {
+        let mut alloc = self.inner.on_sync(obs)?;
+        let mut per_node = self.level2(obs, Role::Simulation, alloc.sim_node_w);
+        per_node.extend(self.level2(obs, Role::Analysis, alloc.analysis_node_w));
+        alloc.per_node_w = per_node;
+        Some(alloc)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Limits, NodeSample};
+
+    fn obs_with_straggler() -> SyncObservation {
+        SyncObservation {
+            step: 1,
+            nodes: vec![
+                NodeSample { node: 0, role: Role::Simulation, time_s: 4.0, power_w: 108.0, cap_w: 110.0 },
+                NodeSample { node: 1, role: Role::Simulation, time_s: 5.0, power_w: 108.0, cap_w: 110.0 },
+                NodeSample { node: 2, role: Role::Analysis, time_s: 2.0, power_w: 100.0, cap_w: 110.0 },
+                NodeSample { node: 3, role: Role::Analysis, time_s: 2.0, power_w: 100.0, cap_w: 110.0 },
+            ],
+        }
+    }
+
+    fn cfg() -> HierarchicalConfig {
+        HierarchicalConfig {
+            seesaw: SeeSawConfig {
+                budget_w: 440.0,
+                window: 1,
+                limits: Limits::theta(),
+                ewma: crate::seesaw::EwmaMode::BlendPrevious,
+                skip_step_zero: false,
+            },
+            gamma: 1.0,
+        }
+    }
+
+    #[test]
+    fn slower_node_gets_more_power_within_partition() {
+        let mut c = HierarchicalSeeSaw::new(cfg());
+        let alloc = c.on_sync(&obs_with_straggler()).unwrap();
+        let cap0 = alloc.cap_for(0, Role::Simulation);
+        let cap1 = alloc.cap_for(1, Role::Simulation);
+        assert!(cap1 > cap0, "straggler node 1 should get more: {cap0} vs {cap1}");
+        // Equal-time analysis nodes stay equal.
+        let cap2 = alloc.cap_for(2, Role::Analysis);
+        let cap3 = alloc.cap_for(3, Role::Analysis);
+        assert!((cap2 - cap3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_total_is_preserved_by_level2() {
+        let mut c = HierarchicalSeeSaw::new(cfg());
+        let alloc = c.on_sync(&obs_with_straggler()).unwrap();
+        let sim_total: f64 =
+            [0, 1].iter().map(|&n| alloc.cap_for(n, Role::Simulation)).sum();
+        assert!(
+            (sim_total - 2.0 * alloc.sim_node_w).abs() < 0.5,
+            "level 2 must conserve the level-1 total: {sim_total} vs {}",
+            2.0 * alloc.sim_node_w
+        );
+    }
+
+    #[test]
+    fn gamma_zero_degenerates_to_plain_seesaw() {
+        let mut hier = HierarchicalSeeSaw::new(HierarchicalConfig { gamma: 0.0, ..cfg() });
+        let mut plain = SeeSaw::new(cfg().seesaw);
+        let o = obs_with_straggler();
+        let a = hier.on_sync(&o).unwrap();
+        let b = plain.on_sync(&o).unwrap();
+        assert_eq!(a.sim_node_w, b.sim_node_w);
+        for n in 0..2 {
+            assert!((a.cap_for(n, Role::Simulation) - b.sim_node_w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_caps_respect_limits() {
+        let mut c = HierarchicalSeeSaw::new(cfg());
+        // Extreme straggler.
+        let mut o = obs_with_straggler();
+        o.nodes[1].time_s = 100.0;
+        let alloc = c.on_sync(&o).unwrap();
+        for n in 0..4 {
+            let role = if n < 2 { Role::Simulation } else { Role::Analysis };
+            let w = alloc.cap_for(n, role);
+            assert!((98.0..=215.0).contains(&w), "node {n}: {w}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! # seesaw — power allocation for power-constrained in-situ analytics
+//!
+//! Reproduction of the controller family from *"SeeSAw: Optimizing
+//! Performance of In-Situ Analytics Applications under Power Constraints"*
+//! (Marincic, Vishwanath, Hoffmann — IPDPS 2020).
+//!
+//! A space-shared in-situ job couples a **simulation** partition and an
+//! **analysis** partition that synchronize periodically under a global
+//! power budget. Whichever partition reaches the synchronization first
+//! idles — burning power without progress. This crate provides:
+//!
+//! * [`SeeSaw`] — the paper's contribution: uses **energy** (`T × P`)
+//!   feedback to compute, in one step, the power split that makes both
+//!   partitions arrive together (Eqs. 1–4);
+//! * [`PowerAware`] — the SLURM-style baseline that shifts power from
+//!   below-cap nodes to at-cap nodes;
+//! * [`TimeAware`] — the GEOPM power-balancer-style baseline that shifts
+//!   power from fast nodes to slow nodes with a decaying step;
+//! * [`StaticAlloc`] — the equal, never-changing split;
+//! * [`model`] — the analytic two-task model behind the formulation.
+//!
+//! All controllers implement [`Controller`] and are driven by the runtime
+//! (crate `polimer`) at each simulation↔analysis synchronization.
+//!
+//! ```
+//! use seesaw::{Controller, SeeSaw, SeeSawConfig, NodeSample, Role, SyncObservation};
+//!
+//! let mut ctl = SeeSaw::new(SeeSawConfig::paper_default(2));
+//! let obs = SyncObservation {
+//!     step: 1,
+//!     nodes: vec![
+//!         NodeSample { node: 0, role: Role::Simulation, time_s: 4.0, power_w: 108.0, cap_w: 110.0 },
+//!         NodeSample { node: 1, role: Role::Analysis,  time_s: 2.0, power_w: 100.0, cap_w: 110.0 },
+//!     ],
+//! };
+//! let alloc = ctl.on_sync(&obs).expect("w = 1 allocates at every sync");
+//! // The higher-energy simulation partition receives more power.
+//! assert!(alloc.sim_node_w > alloc.analysis_node_w);
+//! ```
+
+#![warn(missing_docs)]
+
+mod controller;
+mod hierarchical;
+pub mod model;
+mod power_aware;
+mod probing;
+mod seesaw;
+mod static_alloc;
+mod time_aware;
+mod types;
+
+pub use controller::Controller;
+pub use hierarchical::{HierarchicalConfig, HierarchicalSeeSaw};
+pub use power_aware::{PowerAware, PowerAwareConfig};
+pub use probing::{ProbingConfig, ProbingSeeSaw};
+pub use seesaw::{EwmaMode, SeeSaw, SeeSawConfig};
+pub use static_alloc::StaticAlloc;
+pub use time_aware::{TimeAware, TimeAwareConfig};
+pub use types::{
+    split_with_limits, Allocation, Limits, NodeSample, PartitionView, Role, SyncObservation,
+};
+
+/// Construct a controller from a name, as used by the experiment binaries:
+/// the paper's four (`seesaw`, `power-aware`, `time-aware`, `static`) plus
+/// the §VIII future-work extensions (`hierarchical-seesaw`,
+/// `probing-seesaw`).
+pub fn controller_by_name(name: &str, n_nodes: usize) -> Option<Box<dyn Controller>> {
+    match name {
+        "seesaw" => Some(Box::new(SeeSaw::new(SeeSawConfig::paper_default(n_nodes)))),
+        "power-aware" => Some(Box::new(PowerAware::new(PowerAwareConfig::paper_default(n_nodes)))),
+        "time-aware" => Some(Box::new(TimeAware::new(TimeAwareConfig::paper_default(n_nodes)))),
+        "static" => Some(Box::new(StaticAlloc::new())),
+        "hierarchical-seesaw" => Some(Box::new(HierarchicalSeeSaw::new(
+            HierarchicalConfig::paper_default(n_nodes),
+        ))),
+        "probing-seesaw" => {
+            Some(Box::new(ProbingSeeSaw::new(ProbingConfig::paper_default(n_nodes))))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn obs(step: u64, t_s: f64, p_s: f64, cap_s: f64, t_a: f64, p_a: f64, cap_a: f64) -> SyncObservation {
+        SyncObservation {
+            step,
+            nodes: vec![
+                NodeSample { node: 0, role: Role::Simulation, time_s: t_s, power_w: p_s, cap_w: cap_s },
+                NodeSample { node: 1, role: Role::Analysis, time_s: t_a, power_w: p_a, cap_w: cap_a },
+            ],
+        }
+    }
+
+    proptest! {
+        /// SeeSAw never violates the budget or the per-node limits, for any
+        /// sequence of (bounded) observations.
+        #[test]
+        fn seesaw_always_within_budget_and_limits(
+            samples in prop::collection::vec(
+                (0.1f64..100.0, 90.0f64..220.0, 0.1f64..100.0, 90.0f64..220.0), 1..40),
+        ) {
+            let budget = 220.0;
+            let mut ctl = SeeSaw::new(SeeSawConfig::paper_default(2));
+            let (mut cap_s, mut cap_a) = (110.0, 110.0);
+            for (i, &(t_s, p_s, t_a, p_a)) in samples.iter().enumerate() {
+                if let Some(a) = ctl.on_sync(&obs(i as u64 + 1, t_s, p_s, cap_s, t_a, p_a, cap_a)) {
+                    cap_s = a.sim_node_w;
+                    cap_a = a.analysis_node_w;
+                }
+                prop_assert!(cap_s + cap_a <= budget + 1e-6, "budget violated");
+                prop_assert!((98.0..=215.0).contains(&cap_s));
+                prop_assert!((98.0..=215.0).contains(&cap_a));
+            }
+        }
+
+        /// Time-aware likewise stays within budget and limits.
+        #[test]
+        fn time_aware_always_within_budget_and_limits(
+            samples in prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..40),
+        ) {
+            let mut ctl = TimeAware::new(TimeAwareConfig::paper_default(2));
+            let (mut cap_s, mut cap_a) = (110.0, 110.0);
+            for (i, &(t_s, t_a)) in samples.iter().enumerate() {
+                if let Some(a) = ctl.on_sync(&obs(i as u64 + 1, t_s, cap_s - 1.0, cap_s, t_a, cap_a - 1.0, cap_a)) {
+                    cap_s = a.cap_for(0, Role::Simulation);
+                    cap_a = a.cap_for(1, Role::Analysis);
+                }
+                prop_assert!(cap_s + cap_a <= 220.0 + 1e-6);
+                prop_assert!((98.0..=215.0).contains(&cap_s));
+                prop_assert!((98.0..=215.0).contains(&cap_a));
+            }
+        }
+
+        /// Power-aware likewise stays within budget and limits.
+        #[test]
+        fn power_aware_always_within_budget_and_limits(
+            samples in prop::collection::vec((90.0f64..115.0, 90.0f64..115.0), 1..40),
+        ) {
+            let mut ctl = PowerAware::new(PowerAwareConfig::paper_default(2));
+            let (mut cap_s, mut cap_a) = (110.0, 110.0);
+            for (i, &(p_s, p_a)) in samples.iter().enumerate() {
+                let o = obs(i as u64 + 1, 1.0, p_s.min(cap_s), cap_s, 1.0, p_a.min(cap_a), cap_a);
+                if let Some(a) = ctl.on_sync(&o) {
+                    cap_s = a.cap_for(0, Role::Simulation);
+                    cap_a = a.cap_for(1, Role::Analysis);
+                }
+                prop_assert!(cap_s + cap_a <= 220.0 + 1e-6);
+                prop_assert!(cap_s >= 98.0 && cap_a >= 98.0);
+            }
+        }
+
+        /// For linear-plant feedback, SeeSAw's allocation converges: the
+        /// final cap adjustment is no larger than the first.
+        #[test]
+        fn seesaw_converges_on_linear_plant(e_s in 200.0f64..600.0, e_a in 200.0f64..600.0) {
+            let mut ctl = SeeSaw::new(SeeSawConfig::paper_default(2));
+            let (mut cap_s, mut cap_a) = (110.0, 110.0);
+            let mut deltas = Vec::new();
+            for step in 1..30u64 {
+                let t_s = e_s / cap_s;
+                let t_a = e_a / cap_a;
+                if let Some(a) = ctl.on_sync(&obs(step, t_s, cap_s, cap_s, t_a, cap_a, cap_a)) {
+                    deltas.push((a.sim_node_w - cap_s).abs());
+                    cap_s = a.sim_node_w;
+                    cap_a = a.analysis_node_w;
+                }
+            }
+            // Final step much smaller than the first.
+            let first = deltas.first().copied().unwrap_or(0.0);
+            let last = deltas.last().copied().unwrap_or(0.0);
+            prop_assert!(last <= first.max(0.5) + 1e-9, "first {} last {}", first, last);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The strictly power-aware baseline (SLURM-style, paper §II).
+//!
+//! SLURM's power management shifts excess power from nodes *below* their
+//! cap to nodes *at* their cap, dividing the excess evenly among the nodes
+//! that need more, at fixed intervals. It is application-oblivious: it only
+//! ever looks at measured power, so it "takes action only if nodes are at
+//! the power cap, otherwise it assumes the application has available
+//! power" (paper §VII-A) — and it has no notion of whether a recipient can
+//! convert the extra watts into speed.
+//!
+//! Per the paper's methodology (§VI-B), this implementation is invoked at
+//! each simulation↔analysis synchronization (not on a wall-clock timer,
+//! which would behave even worse with non-uniform workloads), and the
+//! window `w` applies.
+
+use crate::controller::Controller;
+use crate::types::{Allocation, Limits, Role, SyncObservation};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Power-aware configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerAwareConfig {
+    /// Global power budget, watts (only used to seed missing cap state).
+    pub budget_w: f64,
+    /// Reallocate every `window` synchronizations.
+    pub window: usize,
+    /// Hardware per-node cap limits.
+    pub limits: Limits,
+    /// A node counts as "at the cap" when its measured power is within this
+    /// margin of its cap, watts.
+    pub at_cap_margin_w: f64,
+    /// Headroom left above a donor's measured power when lowering its cap,
+    /// watts.
+    pub headroom_w: f64,
+}
+
+impl PowerAwareConfig {
+    /// Defaults mirroring the paper's setup.
+    pub fn paper_default(n_nodes: usize) -> Self {
+        PowerAwareConfig {
+            budget_w: 110.0 * n_nodes as f64,
+            window: 1,
+            limits: Limits::theta(),
+            at_cap_margin_w: 2.0,
+            headroom_w: 1.0,
+        }
+    }
+}
+
+/// The SLURM-style power-aware controller.
+#[derive(Debug, Clone)]
+pub struct PowerAware {
+    cfg: PowerAwareConfig,
+    /// Current per-node caps (node id → watts).
+    caps: BTreeMap<usize, f64>,
+    /// Measured power accumulated over the window (node id → sum).
+    window_power: BTreeMap<usize, f64>,
+    window_count: usize,
+    allocations: u64,
+}
+
+impl PowerAware {
+    /// Build a controller.
+    pub fn new(cfg: PowerAwareConfig) -> Self {
+        assert!(cfg.window >= 1);
+        PowerAware {
+            cfg,
+            caps: BTreeMap::new(),
+            window_power: BTreeMap::new(),
+            window_count: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Number of reallocations performed so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    fn build_allocation(&self, obs: &SyncObservation) -> Allocation {
+        let mean = |role: Role| {
+            let (sum, n) = obs
+                .nodes
+                .iter()
+                .filter(|s| s.role == role)
+                .fold((0.0, 0usize), |(sum, n), s| (sum + self.caps[&s.node], n + 1));
+            if n == 0 { 0.0 } else { sum / n as f64 }
+        };
+        Allocation {
+            sim_node_w: mean(Role::Simulation),
+            analysis_node_w: mean(Role::Analysis),
+            per_node_w: self.caps.iter().map(|(&n, &w)| (n, w)).collect(),
+        }
+    }
+}
+
+impl Controller for PowerAware {
+    fn name(&self) -> &'static str {
+        "power-aware"
+    }
+
+    fn on_sync(&mut self, obs: &SyncObservation) -> Option<Allocation> {
+        if obs.nodes.is_empty() {
+            return None;
+        }
+        // Seed cap state from the observation on first contact.
+        for s in &obs.nodes {
+            self.caps.entry(s.node).or_insert(s.cap_w);
+        }
+        for s in &obs.nodes {
+            *self.window_power.entry(s.node).or_insert(0.0) += s.power_w;
+        }
+        self.window_count += 1;
+        if self.window_count < self.cfg.window {
+            return None;
+        }
+        let denom = self.window_count as f64;
+        let mean_power: BTreeMap<usize, f64> =
+            self.window_power.iter().map(|(&n, &p)| (n, p / denom)).collect();
+        self.window_power.clear();
+        self.window_count = 0;
+
+        // Partition nodes into donors (below cap) and claimants (at cap).
+        let mut donors: Vec<usize> = Vec::new();
+        let mut claimants: Vec<usize> = Vec::new();
+        for s in &obs.nodes {
+            let cap = self.caps[&s.node];
+            let p = mean_power[&s.node];
+            if p >= cap - self.cfg.at_cap_margin_w {
+                claimants.push(s.node);
+            } else if cap - p > self.cfg.headroom_w {
+                donors.push(s.node);
+            }
+        }
+        // SLURM only acts when someone is pinned at the cap.
+        if claimants.is_empty() || donors.is_empty() {
+            return None;
+        }
+        // Harvest excess from donors.
+        let mut pool = 0.0;
+        for &n in &donors {
+            let cap = self.caps[&n];
+            let floor = (mean_power[&n] + self.cfg.headroom_w).max(self.cfg.limits.min_w);
+            let give = (cap - floor).max(0.0);
+            if give > 0.0 {
+                self.caps.insert(n, cap - give);
+                pool += give;
+            }
+        }
+        if pool <= 0.0 {
+            return None;
+        }
+        // Divide evenly among claimants, respecting δ_max; watts a claimant
+        // cannot absorb stay unallocated this round (SLURM re-harvests next
+        // interval).
+        let share = pool / claimants.len() as f64;
+        for &n in &claimants {
+            let cap = self.caps[&n];
+            self.caps.insert(n, self.cfg.limits.clamp(cap + share));
+        }
+        self.allocations += 1;
+        Some(self.build_allocation(obs))
+    }
+
+    fn reset(&mut self) {
+        self.caps.clear();
+        self.window_power.clear();
+        self.window_count = 0;
+        self.allocations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeSample;
+
+    fn sample(node: usize, role: Role, power_w: f64, cap_w: f64) -> NodeSample {
+        NodeSample { node, role, time_s: 1.0, power_w, cap_w }
+    }
+
+    fn cfg() -> PowerAwareConfig {
+        PowerAwareConfig::paper_default(2)
+    }
+
+    #[test]
+    fn shifts_from_idle_to_pinned() {
+        let mut c = PowerAware::new(cfg());
+        // Node 0 pinned at 110 W cap; node 1 drawing only 100 W.
+        let obs = SyncObservation {
+            step: 1,
+            nodes: vec![
+                sample(0, Role::Simulation, 109.5, 110.0),
+                sample(1, Role::Analysis, 100.0, 110.0),
+            ],
+        };
+        let alloc = c.on_sync(&obs).expect("should act");
+        let cap0 = alloc.cap_for(0, Role::Simulation);
+        let cap1 = alloc.cap_for(1, Role::Analysis);
+        assert!(cap0 > 110.0, "pinned node gains: {cap0}");
+        assert!(cap1 < 110.0, "idle node donates: {cap1}");
+        // Donor keeps measured + headroom.
+        assert!((cap1 - 101.0).abs() < 1e-9, "{cap1}");
+    }
+
+    #[test]
+    fn no_action_when_nobody_at_cap() {
+        let mut c = PowerAware::new(cfg());
+        let obs = SyncObservation {
+            step: 1,
+            nodes: vec![
+                sample(0, Role::Simulation, 100.0, 110.0),
+                sample(1, Role::Analysis, 99.0, 110.0),
+            ],
+        };
+        assert!(c.on_sync(&obs).is_none(), "SLURM assumes power is available");
+    }
+
+    #[test]
+    fn no_action_when_everyone_at_cap() {
+        let mut c = PowerAware::new(cfg());
+        let obs = SyncObservation {
+            step: 1,
+            nodes: vec![
+                sample(0, Role::Simulation, 109.9, 110.0),
+                sample(1, Role::Analysis, 109.5, 110.0),
+            ],
+        };
+        assert!(c.on_sync(&obs).is_none(), "no donors -> nothing to shift");
+    }
+
+    #[test]
+    fn caps_respect_limits() {
+        let mut c = PowerAware::new(PowerAwareConfig {
+            limits: Limits { min_w: 98.0, max_w: 120.0 },
+            ..cfg()
+        });
+        let obs = SyncObservation {
+            step: 1,
+            nodes: vec![
+                sample(0, Role::Simulation, 118.0, 118.0),
+                sample(1, Role::Analysis, 90.0, 118.0),
+            ],
+        };
+        let alloc = c.on_sync(&obs).unwrap();
+        assert!(alloc.cap_for(0, Role::Simulation) <= 120.0);
+        assert!(alloc.cap_for(1, Role::Analysis) >= 98.0);
+    }
+
+    #[test]
+    fn window_accumulates_before_acting() {
+        let mut c = PowerAware::new(PowerAwareConfig { window: 2, ..cfg() });
+        let obs = SyncObservation {
+            step: 1,
+            nodes: vec![
+                sample(0, Role::Simulation, 109.5, 110.0),
+                sample(1, Role::Analysis, 100.0, 110.0),
+            ],
+        };
+        assert!(c.on_sync(&obs).is_none());
+        assert!(c.on_sync(&obs).is_some());
+    }
+
+    #[test]
+    fn respects_noise_blindly() {
+        // The power-aware scheme has no efficiency metric: it will donate
+        // from a node that is merely in a low-power *phase*, which is
+        // exactly the pathology the paper demonstrates.
+        let mut c = PowerAware::new(cfg());
+        let obs = SyncObservation {
+            step: 1,
+            nodes: vec![
+                sample(0, Role::Simulation, 109.9, 110.0),
+                sample(1, Role::Analysis, 104.0, 110.0), // waiting at sync
+            ],
+        };
+        let alloc = c.on_sync(&obs).unwrap();
+        assert!(alloc.cap_for(1, Role::Analysis) < 110.0);
+    }
+
+    #[test]
+    fn total_power_never_grows() {
+        let mut c = PowerAware::new(cfg());
+        let mut caps = [110.0_f64, 110.0];
+        for step in 1..20 {
+            let obs = SyncObservation {
+                step,
+                nodes: vec![
+                    sample(0, Role::Simulation, caps[0] - 0.5, caps[0]),
+                    sample(1, Role::Analysis, 100.0_f64.min(caps[1]), caps[1]),
+                ],
+            };
+            if let Some(a) = c.on_sync(&obs) {
+                caps[0] = a.cap_for(0, Role::Simulation);
+                caps[1] = a.cap_for(1, Role::Analysis);
+            }
+            assert!(caps[0] + caps[1] <= 220.0 + 1e-9, "budget violated: {caps:?}");
+        }
+    }
+}

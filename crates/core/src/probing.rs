@@ -1,0 +1,266 @@
+//! Probing SeeSAw (paper §VIII, future work).
+//!
+//! "Methods to overcome local optima could be explored for more
+//! performance gains with low-demand analyses."
+//!
+//! SeeSAw's energy feedback can under-shift when a partition's *measured*
+//! power understates what it could usefully consume (the paper observes
+//! SeeSAw settling at ≤117 W per simulation node where the time-aware
+//! scheme reached 120–121 W). This variant adds ε-greedy exploration on
+//! top of SeeSAw: every `probe_every` allocations it trials a small bias
+//! of the split in one direction for one window, keeps the bias if the
+//! iteration time improved, and reverts it otherwise. Directions
+//! alternate, so a true optimum is left undisturbed (both probes revert).
+
+use crate::controller::Controller;
+use crate::seesaw::{SeeSaw, SeeSawConfig};
+use crate::types::{split_with_limits, Allocation, Role, SyncObservation};
+use serde::{Deserialize, Serialize};
+
+/// Probing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbingConfig {
+    /// The underlying SeeSAw configuration.
+    pub seesaw: SeeSawConfig,
+    /// Trial a probe every this many allocations.
+    pub probe_every: u64,
+    /// Per-node watts moved during a probe (and kept if it pays off).
+    pub probe_w: f64,
+    /// Relative improvement required to keep a probe.
+    pub keep_margin: f64,
+}
+
+impl ProbingConfig {
+    /// Paper-style defaults.
+    pub fn paper_default(n_nodes: usize) -> Self {
+        ProbingConfig {
+            seesaw: SeeSawConfig::paper_default(n_nodes),
+            probe_every: 5,
+            probe_w: 2.0,
+            keep_margin: 0.005,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ProbeState {
+    Idle,
+    /// A probe is in flight: `dir` is +1 (toward simulation) or −1,
+    /// `before_t` the pre-probe iteration time.
+    InFlight { dir: f64, before_t: f64 },
+}
+
+/// SeeSAw with ε-greedy local-optimum probing.
+#[derive(Debug, Clone)]
+pub struct ProbingSeeSaw {
+    cfg: ProbingConfig,
+    inner: SeeSaw,
+    /// Persistent learned bias: watts per node added to the simulation side
+    /// (negative = toward analysis).
+    bias_w: f64,
+    next_dir: f64,
+    state: ProbeState,
+    allocs_since_probe: u64,
+}
+
+impl ProbingSeeSaw {
+    /// Build the controller.
+    pub fn new(cfg: ProbingConfig) -> Self {
+        assert!(cfg.probe_every >= 2, "need at least one settle round between probes");
+        assert!(cfg.probe_w > 0.0);
+        ProbingSeeSaw {
+            cfg,
+            inner: SeeSaw::new(cfg.seesaw),
+            bias_w: 0.0,
+            next_dir: 1.0,
+            state: ProbeState::Idle,
+            allocs_since_probe: 0,
+        }
+    }
+
+    /// The learned persistent bias (per node, toward simulation).
+    pub fn bias_w(&self) -> f64 {
+        self.bias_w
+    }
+
+    fn apply_bias(&self, alloc: &Allocation, obs: &SyncObservation, bias: f64) -> Allocation {
+        let sim = obs.partition(Role::Simulation);
+        let ana = obs.partition(Role::Analysis);
+        let (Some(sim), Some(ana)) = (sim, ana) else { return alloc.clone() };
+        split_with_limits(
+            self.cfg.seesaw.limits,
+            self.cfg.seesaw.budget_w,
+            (alloc.sim_node_w + bias) * sim.nodes as f64,
+            sim.nodes,
+            (alloc.analysis_node_w - bias * sim.nodes as f64 / ana.nodes as f64)
+                * ana.nodes as f64,
+            ana.nodes,
+        )
+    }
+
+    fn iteration_time(obs: &SyncObservation) -> f64 {
+        obs.nodes.iter().map(|n| n.time_s).fold(0.0, f64::max)
+    }
+}
+
+impl Controller for ProbingSeeSaw {
+    fn name(&self) -> &'static str {
+        "probing-seesaw"
+    }
+
+    fn on_sync(&mut self, obs: &SyncObservation) -> Option<Allocation> {
+        let now_t = Self::iteration_time(obs);
+        // Resolve an in-flight probe using this interval's outcome.
+        if let ProbeState::InFlight { dir, before_t } = self.state {
+            if now_t < before_t * (1.0 - self.cfg.keep_margin) {
+                // Keep the bias; explore further in the same direction next.
+                self.bias_w += dir * self.cfg.probe_w;
+                self.next_dir = dir;
+            } else {
+                self.next_dir = -dir;
+            }
+            self.state = ProbeState::Idle;
+        }
+
+        let base = self.inner.on_sync(obs)?;
+        self.allocs_since_probe += 1;
+
+        let probing = self.allocs_since_probe >= self.cfg.probe_every && now_t > 0.0;
+        let bias = if probing {
+            self.state = ProbeState::InFlight { dir: self.next_dir, before_t: now_t };
+            self.allocs_since_probe = 0;
+            self.bias_w + self.next_dir * self.cfg.probe_w
+        } else {
+            self.bias_w
+        };
+        Some(self.apply_bias(&base, obs, bias))
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.bias_w = 0.0;
+        self.next_dir = 1.0;
+        self.state = ProbeState::Idle;
+        self.allocs_since_probe = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Limits, NodeSample};
+
+    fn cfg() -> ProbingConfig {
+        ProbingConfig {
+            seesaw: SeeSawConfig {
+                budget_w: 220.0,
+                window: 1,
+                limits: Limits::theta(),
+                ewma: crate::seesaw::EwmaMode::BlendPrevious,
+                skip_step_zero: false,
+            },
+            probe_every: 3,
+            probe_w: 2.0,
+            keep_margin: 0.005,
+        }
+    }
+
+    fn obs(step: u64, t_s: f64, p_s: f64, cap_s: f64, t_a: f64, p_a: f64, cap_a: f64) -> SyncObservation {
+        SyncObservation {
+            step,
+            nodes: vec![
+                NodeSample { node: 0, role: Role::Simulation, time_s: t_s, power_w: p_s, cap_w: cap_s },
+                NodeSample { node: 1, role: Role::Analysis, time_s: t_a, power_w: p_a, cap_w: cap_a },
+            ],
+        }
+    }
+
+    /// Plant with a *measured-power ceiling* on the simulation side: it
+    /// draws at most 106 W no matter the cap, but its speed keeps improving
+    /// up to 125 W. SeeSAw's energy equilibrium then sits near 114 W while
+    /// the true time-optimal split is ≈117 W — the local optimum the paper
+    /// observes with low-demand analyses (§VII-B2).
+    fn plant(cap_s: f64, cap_a: f64) -> (f64, f64, f64, f64) {
+        let t_s = 480.0 / cap_s.min(125.0);
+        let t_a = 420.0 / cap_a.min(112.0);
+        let p_s = cap_s.min(106.0); // draw ceiling hides the true benefit
+        let p_a = cap_a.min(112.0);
+        (t_s, p_s, t_a, p_a)
+    }
+
+    /// Drive `ctl` against the plant; returns the simulation cap averaged
+    /// over the final third of the run (probes oscillate round to round).
+    fn run<C: Controller>(ctl: &mut C, rounds: u64) -> (f64, f64) {
+        let (mut cap_s, mut cap_a) = (110.0, 110.0);
+        let tail_from = rounds * 2 / 3;
+        let (mut sum_s, mut sum_a, mut count) = (0.0, 0.0, 0u64);
+        for step in 0..rounds {
+            let (t_s, p_s, t_a, p_a) = plant(cap_s, cap_a);
+            if let Some(a) = ctl.on_sync(&obs(step, t_s, p_s, cap_s, t_a, p_a, cap_a)) {
+                cap_s = a.sim_node_w;
+                cap_a = a.analysis_node_w;
+            }
+            if step >= tail_from {
+                sum_s += cap_s;
+                sum_a += cap_a;
+                count += 1;
+            }
+        }
+        (sum_s / count as f64, sum_a / count as f64)
+    }
+
+    #[test]
+    fn probing_escapes_the_measured_power_ceiling() {
+        let mut plain = SeeSaw::new(cfg().seesaw);
+        let mut probing = ProbingSeeSaw::new(cfg());
+        let (plain_s, _) = run(&mut plain, 90);
+        let (probe_s, _) = run(&mut probing, 90);
+        assert!(
+            probe_s > plain_s + 1.0,
+            "probing should push past the ceiling: plain {plain_s:.1} W, probing {probe_s:.1} W"
+        );
+        assert!(probing.bias_w() > 0.0, "bias {}", probing.bias_w());
+    }
+
+    #[test]
+    fn probe_reverts_at_a_true_optimum() {
+        // Symmetric plant with no ceiling: SeeSAw's split is already
+        // optimal, so probes in both directions must revert.
+        let mut ctl = ProbingSeeSaw::new(cfg());
+        let (mut cap_s, mut cap_a) = (110.0, 110.0);
+        for step in 0..40u64 {
+            let t_s = 440.0 / cap_s;
+            let t_a = 440.0 / cap_a;
+            if let Some(a) = ctl.on_sync(&obs(step, t_s, cap_s, cap_s, t_a, cap_a, cap_a)) {
+                cap_s = a.sim_node_w;
+                cap_a = a.analysis_node_w;
+            }
+        }
+        assert!(ctl.bias_w().abs() <= 2.0, "bias should not accumulate: {}", ctl.bias_w());
+        assert!((cap_s - 110.0).abs() < 4.0, "{cap_s}");
+    }
+
+    #[test]
+    fn budget_always_respected() {
+        let mut ctl = ProbingSeeSaw::new(cfg());
+        let (mut cap_s, mut cap_a) = (110.0, 110.0);
+        for step in 0..50u64 {
+            let (t_s, p_s, t_a, p_a) = plant(cap_s, cap_a);
+            if let Some(a) = ctl.on_sync(&obs(step, t_s, p_s, cap_s, t_a, p_a, cap_a)) {
+                cap_s = a.sim_node_w;
+                cap_a = a.analysis_node_w;
+            }
+            assert!(cap_s + cap_a <= 220.0 + 1e-6, "budget violated at step {step}");
+            assert!((98.0..=215.0).contains(&cap_s));
+            assert!((98.0..=215.0).contains(&cap_a));
+        }
+    }
+
+    #[test]
+    fn reset_clears_learning() {
+        let mut ctl = ProbingSeeSaw::new(cfg());
+        run(&mut ctl, 30);
+        ctl.reset();
+        assert_eq!(ctl.bias_w(), 0.0);
+    }
+}

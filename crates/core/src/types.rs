@@ -1,0 +1,291 @@
+//! Shared vocabulary for power controllers.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a node (or rank) belongs to the simulation or analysis partition
+/// of a space-shared in-situ job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Simulation partition (the "S" task in the paper).
+    Simulation,
+    /// Analysis partition (the "A" task).
+    Analysis,
+}
+
+impl Role {
+    /// The opposite partition.
+    pub fn peer(self) -> Role {
+        match self {
+            Role::Simulation => Role::Analysis,
+            Role::Analysis => Role::Simulation,
+        }
+    }
+}
+
+/// Per-node feedback gathered over one synchronization interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSample {
+    /// Node index within the job.
+    pub node: usize,
+    /// Partition membership.
+    pub role: Role,
+    /// Time the node's slowest rank took to reach the synchronization,
+    /// seconds (includes the power-allocation call, per the paper §VI-B).
+    pub time_s: f64,
+    /// Measured mean node power over the interval, watts.
+    pub power_w: f64,
+    /// Per-node power cap allocated for the interval, watts.
+    pub cap_w: f64,
+}
+
+/// Everything a controller sees at one synchronization point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncObservation {
+    /// Synchronization index (0 = job start; the paper ignores step 0 as it
+    /// is outside the main loop).
+    pub step: u64,
+    /// One sample per node.
+    pub nodes: Vec<NodeSample>,
+}
+
+impl SyncObservation {
+    /// Aggregate a partition: `(slowest node time, summed power, node count,
+    /// current per-node cap)`. Returns `None` if the partition is empty.
+    pub fn partition(&self, role: Role) -> Option<PartitionView> {
+        let mut time_s: f64 = 0.0;
+        let mut power_w = 0.0;
+        let mut cap_sum = 0.0;
+        let mut count = 0usize;
+        for n in self.nodes.iter().filter(|n| n.role == role) {
+            time_s = time_s.max(n.time_s);
+            power_w += n.power_w;
+            cap_sum += n.cap_w;
+            count += 1;
+        }
+        (count > 0).then(|| PartitionView {
+            time_s,
+            power_w,
+            nodes: count,
+            cap_per_node_w: cap_sum / count as f64,
+        })
+    }
+
+    /// Number of nodes in the observation.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Aggregated view of one partition at a sync point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionView {
+    /// Slowest node's time to reach the sync, seconds.
+    pub time_s: f64,
+    /// Total measured power across the partition's nodes, watts.
+    pub power_w: f64,
+    /// Node count.
+    pub nodes: usize,
+    /// Mean allocated per-node cap, watts.
+    pub cap_per_node_w: f64,
+}
+
+impl PartitionView {
+    /// Energy consumed over the interval, joules (the paper's feedback
+    /// metric: `E = T × P`).
+    pub fn energy_j(&self) -> f64 {
+        self.time_s * self.power_w
+    }
+}
+
+/// Hardware power-cap limits per node (δ_min / δ_max in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Limits {
+    /// Lowest supported per-node cap, watts (98 W on Theta).
+    pub min_w: f64,
+    /// Highest supported per-node cap, watts (TDP, 215 W on Theta).
+    pub max_w: f64,
+}
+
+impl Limits {
+    /// Theta's RAPL range.
+    pub fn theta() -> Self {
+        Limits { min_w: 98.0, max_w: 215.0 }
+    }
+
+    /// Clamp one per-node cap.
+    pub fn clamp(&self, w: f64) -> f64 {
+        w.clamp(self.min_w, self.max_w)
+    }
+}
+
+/// A power allocation decision: uniform per-node caps for each partition
+/// (power is divided evenly within a partition — paper §IV-A), plus
+/// optional per-node overrides used by the node-granular power-aware
+/// scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Per-node cap for simulation nodes, watts.
+    pub sim_node_w: f64,
+    /// Per-node cap for analysis nodes, watts.
+    pub analysis_node_w: f64,
+    /// If non-empty, exact per-node caps `(node, cap_w)` that override the
+    /// uniform values (the SLURM-style scheme caps nodes individually).
+    pub per_node_w: Vec<(usize, f64)>,
+}
+
+impl Allocation {
+    /// A uniform allocation.
+    pub fn uniform(sim_node_w: f64, analysis_node_w: f64) -> Self {
+        Allocation { sim_node_w, analysis_node_w, per_node_w: Vec::new() }
+    }
+
+    /// Cap for a given node under this allocation.
+    pub fn cap_for(&self, node: usize, role: Role) -> f64 {
+        if let Some(&(_, w)) = self.per_node_w.iter().find(|&&(n, _)| n == node) {
+            return w;
+        }
+        match role {
+            Role::Simulation => self.sim_node_w,
+            Role::Analysis => self.analysis_node_w,
+        }
+    }
+}
+
+/// Split a two-partition budget into per-node caps honouring δ limits, with
+/// δ_max taking priority on a tie (paper §IV-A, last paragraph).
+///
+/// `sim_total_w`/`ana_total_w` are partition totals; the result is per-node.
+/// When one side clamps, the other side absorbs the remaining budget
+/// (clamped itself as a final step, which may leave budget unused when both
+/// sides clamp the same way).
+pub fn split_with_limits(
+    limits: Limits,
+    budget_w: f64,
+    sim_total_w: f64,
+    sim_nodes: usize,
+    ana_total_w: f64,
+    ana_nodes: usize,
+) -> Allocation {
+    assert!(sim_nodes > 0 && ana_nodes > 0, "both partitions must be non-empty");
+    let ns = sim_nodes as f64;
+    let na = ana_nodes as f64;
+    let mut sim = sim_total_w / ns;
+    let mut ana = ana_total_w / na;
+
+    let sim_hi = sim > limits.max_w;
+    let ana_hi = ana > limits.max_w;
+    let sim_lo = sim < limits.min_w;
+    let ana_lo = ana < limits.min_w;
+
+    // δ_max violations take priority over δ_min on a tie.
+    if sim_hi {
+        sim = limits.max_w;
+        ana = limits.clamp((budget_w - sim * ns) / na);
+    } else if ana_hi {
+        ana = limits.max_w;
+        sim = limits.clamp((budget_w - ana * na) / ns);
+    } else if sim_lo {
+        sim = limits.min_w;
+        ana = limits.clamp((budget_w - sim * ns) / na);
+    } else if ana_lo {
+        ana = limits.min_w;
+        sim = limits.clamp((budget_w - ana * na) / ns);
+    }
+    Allocation::uniform(sim, ana)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> SyncObservation {
+        SyncObservation {
+            step: 1,
+            nodes: vec![
+                NodeSample { node: 0, role: Role::Simulation, time_s: 4.0, power_w: 108.0, cap_w: 110.0 },
+                NodeSample { node: 1, role: Role::Simulation, time_s: 4.2, power_w: 109.0, cap_w: 110.0 },
+                NodeSample { node: 2, role: Role::Analysis, time_s: 2.0, power_w: 100.0, cap_w: 110.0 },
+                NodeSample { node: 3, role: Role::Analysis, time_s: 1.9, power_w: 99.0, cap_w: 110.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn partition_aggregates_slowest_and_sum() {
+        let o = obs();
+        let s = o.partition(Role::Simulation).unwrap();
+        assert_eq!(s.time_s, 4.2);
+        assert_eq!(s.power_w, 217.0);
+        assert_eq!(s.nodes, 2);
+        let a = o.partition(Role::Analysis).unwrap();
+        assert_eq!(a.time_s, 2.0);
+        assert_eq!(a.nodes, 2);
+    }
+
+    #[test]
+    fn empty_partition_is_none() {
+        let o = SyncObservation { step: 0, nodes: vec![] };
+        assert!(o.partition(Role::Simulation).is_none());
+    }
+
+    #[test]
+    fn energy_is_time_times_power() {
+        let o = obs();
+        let s = o.partition(Role::Simulation).unwrap();
+        assert!((s.energy_j() - 4.2 * 217.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn role_peer() {
+        assert_eq!(Role::Simulation.peer(), Role::Analysis);
+        assert_eq!(Role::Analysis.peer(), Role::Simulation);
+    }
+
+    #[test]
+    fn allocation_cap_for_respects_overrides() {
+        let mut a = Allocation::uniform(120.0, 100.0);
+        a.per_node_w.push((3, 98.0));
+        assert_eq!(a.cap_for(0, Role::Simulation), 120.0);
+        assert_eq!(a.cap_for(2, Role::Analysis), 100.0);
+        assert_eq!(a.cap_for(3, Role::Analysis), 98.0);
+    }
+
+    #[test]
+    fn split_no_clamp_needed() {
+        let l = Limits::theta();
+        let a = split_with_limits(l, 440.0, 240.0, 2, 200.0, 2);
+        assert_eq!(a.sim_node_w, 120.0);
+        assert_eq!(a.analysis_node_w, 100.0);
+    }
+
+    #[test]
+    fn split_clamps_low_side_and_gives_remainder() {
+        let l = Limits::theta();
+        // Analysis would get 90 W/node (< 98): floor it, sim gets remainder.
+        let a = split_with_limits(l, 440.0, 260.0, 2, 180.0, 2);
+        assert_eq!(a.analysis_node_w, 98.0);
+        assert!((a.sim_node_w - (440.0 - 196.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_max_priority_on_tie() {
+        let l = Limits { min_w: 98.0, max_w: 120.0 };
+        // Sim above max AND analysis below min: handle δ_max first.
+        let a = split_with_limits(l, 440.0, 300.0, 2, 140.0, 2);
+        assert_eq!(a.sim_node_w, 120.0);
+        // Analysis gets remainder (100 W/node), itself clamped.
+        assert_eq!(a.analysis_node_w, 100.0);
+    }
+
+    #[test]
+    fn split_never_violates_limits() {
+        let l = Limits::theta();
+        for budget in [200.0, 400.0, 800.0] {
+            for frac in [0.0, 0.2, 0.5, 0.9, 1.0] {
+                let a = split_with_limits(l, budget, budget * frac, 2, budget * (1.0 - frac), 2);
+                assert!(a.sim_node_w >= l.min_w && a.sim_node_w <= l.max_w);
+                assert!(a.analysis_node_w >= l.min_w && a.analysis_node_w <= l.max_w);
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic event queue.
+//!
+//! Events are ordered by `(time, priority, sequence)`: earlier times first,
+//! then lower priority values, then insertion order. The sequence number
+//! makes ordering total, so a run never depends on heap internals and is
+//! reproducible across platforms.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Scheduling priority for events that share a timestamp. Lower fires first.
+pub type Priority = u32;
+
+/// Default priority for ordinary events.
+pub const PRIORITY_NORMAL: Priority = 100;
+/// Priority for bookkeeping events (e.g. power sampling) that should observe
+/// the state *before* same-timestamp ordinary events mutate it.
+pub const PRIORITY_SAMPLE: Priority = 10;
+
+struct Entry<E> {
+    at: SimTime,
+    prio: Priority,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        (other.at, other.prio, other.seq).cmp(&(self.at, self.prio, self.seq))
+    }
+}
+
+/// A deterministic min-priority event queue keyed by simulated time.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation clock: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at` with normal priority.
+    ///
+    /// Scheduling in the past (before the current clock) is a logic error;
+    /// the event is clamped to `now` and fires immediately, and debug builds
+    /// panic.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        self.push_with_priority(at, PRIORITY_NORMAL, event);
+    }
+
+    /// Schedule `event` at `at` with an explicit same-timestamp priority.
+    pub fn push_with_priority(&mut self, at: SimTime, prio: Priority, event: E) {
+        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, prio, seq, event });
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drop all pending events, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), "c");
+        q.push(SimTime::from_nanos(10), "a");
+        q.push(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn priority_beats_fifo_at_same_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.push(t, "normal");
+        q.push_with_priority(t, PRIORITY_SAMPLE, "sample");
+        assert_eq!(q.pop().unwrap().1, "sample");
+        assert_eq!(q.pop().unwrap().1, "normal");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(7), ());
+        q.push(SimTime::from_nanos(3), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(42), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(42));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_scheduling_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1u32);
+        let (t, _) = q.pop().unwrap();
+        // schedule relative to the new clock
+        q.push(t + SimDuration::from_nanos(5), 2);
+        q.push(t + SimDuration::from_nanos(1), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), ());
+        q.push(SimTime::from_nanos(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Co-located in-situ execution with per-half-socket power domains — the
+//! paper's §III alternative: "if per-core power can be controlled,
+//! simulation and analysis can be co-located on the same CPU."
+//!
+//! Each physical node is modeled as two half-socket power domains (all
+//! wattages halved, timing constants unchanged). Simulation ranks occupy
+//! one half of every node, analysis ranks the other, so both partitions
+//! span all `n` physical nodes with `n` domains each. The same controllers
+//! run unchanged against the finer domains; the global budget is
+//! preserved. Work per half-socket doubles in reference-seconds (half the
+//! cores execute the same per-node share), which cancels against each
+//! partition now spanning twice as many domains.
+
+use crate::config::JobConfig;
+use crate::result::RunResult;
+use crate::runtime::Runtime;
+use mdsim::workload::{AnalyticWorkload, CostModel, WorkloadGen};
+
+/// Transform a space-shared job config into its co-located equivalent and
+/// run it. The returned result's "nodes" are half-socket domains: there
+/// are `nodes_total` simulation domains and `nodes_total` analysis domains
+/// on `nodes_total` physical nodes.
+pub fn run_colocated(cfg: JobConfig) -> RunResult {
+    let n_phys = cfg.workload.nodes_total();
+    let mut spec = cfg.workload.clone();
+    // Both partitions span every physical node (one half-socket each).
+    spec.sim_nodes = n_phys;
+    spec.analysis_nodes = n_phys;
+
+    // A half-socket executes reference work at half the rate: double every
+    // per-atom and base cost.
+    let base = CostModel::calibrated();
+    let cost = CostModel {
+        force_per_atom: base.force_per_atom * 2.0,
+        integrate_per_atom: base.integrate_per_atom * 2.0,
+        neighbor_per_atom: base.neighbor_per_atom * 2.0,
+        analysis_neighbor_per_atom: base.analysis_neighbor_per_atom * 2.0,
+        offsync_neighbor_per_atom: base.offsync_neighbor_per_atom * 2.0,
+        sync_per_atom: base.sync_per_atom * 2.0,
+        sync_base_s: base.sync_base_s,
+        thermo_per_atom: base.thermo_per_atom * 2.0,
+        thermo_base_s: base.thermo_base_s,
+        rdf_per_atom: base.rdf_per_atom * 2.0,
+        vacf_per_atom: base.vacf_per_atom * 2.0,
+        msd_full_per_atom: base.msd_full_per_atom * 2.0,
+        msd1d_per_atom: base.msd1d_per_atom * 2.0,
+        msd2d_per_atom: base.msd2d_per_atom * 2.0,
+        ..base
+    };
+    let workload: Box<dyn WorkloadGen> =
+        Box::new(AnalyticWorkload::with_cost(spec.clone(), cost));
+
+    let mut co_cfg = cfg;
+    co_cfg.workload = spec;
+    // Halve the per-domain budget and the machine's wattages; the global
+    // budget (per-domain budget × 2n domains) is unchanged.
+    co_cfg.budget_per_node_w /= 2.0;
+    co_cfg.machine = co_cfg.machine.scaled(0.5);
+    co_cfg.initial_sim_cap_w = co_cfg.initial_sim_cap_w.map(|w| w / 2.0);
+    co_cfg.initial_analysis_cap_w = co_cfg.initial_analysis_cap_w.map(|w| w / 2.0);
+
+    let mut result = Runtime::with_workload(co_cfg, workload).run();
+    result.controller = format!("{} (co-located)", result.controller);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_job;
+    use mdsim::workload::WorkloadSpec;
+    use mdsim::AnalysisKind as K;
+
+    fn spec(kinds: &[K]) -> WorkloadSpec {
+        let mut s = WorkloadSpec::paper(16, 8, 1, kinds);
+        s.total_steps = 20;
+        s
+    }
+
+    #[test]
+    fn colocated_preserves_the_global_budget() {
+        let cfg = JobConfig::new(spec(&[K::MsdFull]), "seesaw");
+        let budget = cfg.budget_w();
+        let r = run_colocated(cfg);
+        assert_eq!(r.syncs.len(), 20);
+        for s in &r.syncs {
+            // 8 sim + 8 analysis half-socket domains.
+            let total = 8.0 * (s.sim_cap_w + s.analysis_cap_w);
+            assert!(total <= budget + 1.0, "budget violated: {total} > {budget}");
+        }
+    }
+
+    #[test]
+    fn colocated_caps_respect_scaled_limits() {
+        let cfg = JobConfig::new(spec(&[K::Vacf]), "seesaw");
+        let r = run_colocated(cfg);
+        for s in &r.syncs {
+            assert!((49.0..=107.5).contains(&s.sim_cap_w), "{}", s.sim_cap_w);
+            assert!((49.0..=107.5).contains(&s.analysis_cap_w), "{}", s.analysis_cap_w);
+        }
+    }
+
+    #[test]
+    fn colocated_total_time_is_comparable_to_space_shared() {
+        // Same silicon, same budget, same work: total time should be within
+        // a modest factor of the space-shared run (the modes differ in
+        // balancing granularity, not throughput).
+        let co = run_colocated(JobConfig::new(spec(&[K::MsdFull]), "static"));
+        let ss = run_job(JobConfig::new(spec(&[K::MsdFull]), "static"));
+        let ratio = co.total_time_s / ss.total_time_s;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn controller_label_is_tagged() {
+        let r = run_colocated(JobConfig::new(spec(&[K::Vacf]), "seesaw"));
+        assert_eq!(r.controller, "seesaw (co-located)");
+    }
+}

@@ -1,0 +1,153 @@
+//! Built-in analyses (paper §VI-C): radial distribution functions for the
+//! hydronium and counter-ion, velocity auto-correlation, and mean-squared
+//! displacement in full, 1-D-binned and 2-D-binned variants.
+//!
+//! Each analysis consumes the particle snapshot the simulation partition
+//! ships at a synchronization (step 2 of the Verlet-Splitanalysis flow) and
+//! reports the work it performed, which the cluster model converts into
+//! simulated time under the analysis partition's power cap.
+
+mod msd;
+mod rdf;
+mod vacf;
+
+pub use msd::{Msd, MsdConfig, MsdVariant};
+pub use rdf::{Rdf, RdfConfig};
+pub use vacf::{Vacf, VacfConfig};
+
+use crate::species::Species;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A read-only particle snapshot delivered to the analysis partition.
+#[derive(Debug, Clone, Copy)]
+pub struct Snapshot<'a> {
+    /// Periodic box side.
+    pub box_len: f64,
+    /// Species per particle.
+    pub species: &'a [Species],
+    /// Wrapped positions.
+    pub pos: &'a [Vec3],
+    /// Unwrapped positions (for displacement analyses).
+    pub unwrapped: &'a [Vec3],
+    /// Velocities.
+    pub vel: &'a [Vec3],
+}
+
+impl<'a> Snapshot<'a> {
+    /// Snapshot of a full system.
+    pub fn of(sys: &'a crate::system::System) -> Self {
+        Snapshot {
+            box_len: sys.box_len,
+            species: &sys.species,
+            pos: &sys.pos,
+            unwrapped: &sys.unwrapped,
+            vel: &sys.vel,
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True if the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Bytes a simulation rank must ship for this snapshot: positions and
+    /// velocities (step 2 of the flow), 6 `f64` per particle.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.len() * 6 * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+/// Work performed by one analysis invocation (fed to the cluster model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AnalysisWork {
+    /// Arithmetic operations on particle data (distance evaluations, dot
+    /// products, …).
+    pub ops: u64,
+    /// Bytes of particle/histogram state touched (memory intensity).
+    pub bytes_touched: u64,
+}
+
+impl AnalysisWork {
+    /// Accumulate.
+    pub fn add(&mut self, other: AnalysisWork) {
+        self.ops += other.ops;
+        self.bytes_touched += other.bytes_touched;
+    }
+}
+
+/// The analysis kinds of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnalysisKind {
+    /// Hydronium + ion radial distribution functions.
+    Rdf,
+    /// Velocity auto-correlation function.
+    Vacf,
+    /// Full MSD (1-D + 2-D components + final all-particle averaging).
+    MsdFull,
+    /// 1-D spatially binned MSD.
+    Msd1d,
+    /// 2-D spatially binned MSD.
+    Msd2d,
+}
+
+impl AnalysisKind {
+    /// All kinds in the paper's Fig. 3 order.
+    pub const ALL: [AnalysisKind; 5] = [
+        AnalysisKind::Rdf,
+        AnalysisKind::Vacf,
+        AnalysisKind::Msd1d,
+        AnalysisKind::Msd2d,
+        AnalysisKind::MsdFull,
+    ];
+
+    /// The matching machine phase classification.
+    pub fn phase_kind(self) -> theta_sim::PhaseKind {
+        match self {
+            AnalysisKind::Rdf => theta_sim::PhaseKind::AnalysisRdf,
+            AnalysisKind::Vacf => theta_sim::PhaseKind::AnalysisVacf,
+            AnalysisKind::MsdFull => theta_sim::PhaseKind::AnalysisMsd,
+            AnalysisKind::Msd1d => theta_sim::PhaseKind::AnalysisMsd1d,
+            AnalysisKind::Msd2d => theta_sim::PhaseKind::AnalysisMsd2d,
+        }
+    }
+
+    /// Stable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisKind::Rdf => "rdf",
+            AnalysisKind::Vacf => "vacf",
+            AnalysisKind::MsdFull => "msd",
+            AnalysisKind::Msd1d => "msd1d",
+            AnalysisKind::Msd2d => "msd2d",
+        }
+    }
+}
+
+/// Common interface: observe a snapshot, report the work done.
+pub trait Analysis: Send {
+    /// Which analysis this is.
+    fn kind(&self) -> AnalysisKind;
+    /// Process one snapshot.
+    fn observe(&mut self, step: u64, snap: &Snapshot<'_>) -> AnalysisWork;
+    /// Reset accumulated state.
+    fn reset(&mut self);
+    /// Downcast support for extracting concrete results.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Build an analysis instance with benchmark-appropriate defaults.
+pub fn build(kind: AnalysisKind) -> Box<dyn Analysis> {
+    match kind {
+        AnalysisKind::Rdf => Box::new(Rdf::new(RdfConfig::default())),
+        AnalysisKind::Vacf => Box::new(Vacf::new(VacfConfig::default())),
+        AnalysisKind::MsdFull => Box::new(Msd::new(MsdConfig::full())),
+        AnalysisKind::Msd1d => Box::new(Msd::new(MsdConfig::one_d())),
+        AnalysisKind::Msd2d => Box::new(Msd::new(MsdConfig::two_d())),
+    }
+}

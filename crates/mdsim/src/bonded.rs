@@ -1,0 +1,336 @@
+//! Bonded interactions: harmonic bonds and angles, with the intramolecular
+//! exclusion set the pairwise kernel needs.
+//!
+//! The paper's benchmark simulates *molecular* water; the default
+//! coarse-grained single-site model (see [`crate::species`]) is sufficient
+//! for the power study, but the engine also supports a flexible 3-site
+//! water (SPC-like geometry, harmonic O–H bonds and H–O–H angle) for
+//! users who want atomistic trajectories. Bonded terms use standard
+//! harmonic forms:
+//!
+//! * bond:  `U = k (r − r₀)²`
+//! * angle: `U = k_θ (θ − θ₀)²`
+
+use crate::system::System;
+#[cfg(test)]
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A harmonic bond between particles `i` and `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bond {
+    /// First particle.
+    pub i: u32,
+    /// Second particle.
+    pub j: u32,
+    /// Force constant `k` in `U = k (r − r₀)²`.
+    pub k: f64,
+    /// Equilibrium length.
+    pub r0: f64,
+}
+
+/// A harmonic angle `i–j–k` with vertex `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Angle {
+    /// First end.
+    pub i: u32,
+    /// Vertex.
+    pub j: u32,
+    /// Second end.
+    pub k: u32,
+    /// Force constant `k_θ` in `U = k_θ (θ − θ₀)²`.
+    pub k_theta: f64,
+    /// Equilibrium angle, radians.
+    pub theta0: f64,
+}
+
+/// Molecular topology: bonds, angles and the derived pairwise exclusions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Harmonic bonds.
+    pub bonds: Vec<Bond>,
+    /// Harmonic angles.
+    pub angles: Vec<Angle>,
+}
+
+impl Topology {
+    /// Empty topology (the coarse-grained default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if there are no bonded terms.
+    pub fn is_empty(&self) -> bool {
+        self.bonds.is_empty() && self.angles.is_empty()
+    }
+
+    /// The 1-2 and 1-3 exclusion set: pairs connected by a bond or sharing
+    /// an angle must not also interact through the non-bonded kernel.
+    pub fn exclusions(&self) -> HashSet<(u32, u32)> {
+        let mut ex = HashSet::with_capacity(self.bonds.len() + self.angles.len());
+        let key = |a: u32, b: u32| (a.min(b), a.max(b));
+        for b in &self.bonds {
+            ex.insert(key(b.i, b.j));
+        }
+        for a in &self.angles {
+            ex.insert(key(a.i, a.j));
+            ex.insert(key(a.j, a.k));
+            ex.insert(key(a.i, a.k));
+        }
+        ex
+    }
+}
+
+/// Energy returned by one bonded-force evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BondedEval {
+    /// Bond-stretch energy.
+    pub bond_energy: f64,
+    /// Angle-bend energy.
+    pub angle_energy: f64,
+    /// Terms evaluated (work measure).
+    pub terms: u64,
+}
+
+impl BondedEval {
+    /// Total bonded energy.
+    pub fn total(&self) -> f64 {
+        self.bond_energy + self.angle_energy
+    }
+}
+
+/// Accumulate bonded forces into `sys.force` (call after the pairwise
+/// kernel, which overwrites the force array).
+pub fn compute_bonded(sys: &mut System, topo: &Topology) -> BondedEval {
+    let mut eval = BondedEval::default();
+    let box_len = sys.box_len;
+
+    for b in &topo.bonds {
+        let (i, j) = (b.i as usize, b.j as usize);
+        let d = (sys.pos[i] - sys.pos[j]).minimum_image(box_len);
+        let r = d.norm();
+        if r == 0.0 {
+            continue;
+        }
+        let dr = r - b.r0;
+        eval.bond_energy += b.k * dr * dr;
+        // F_i = −dU/dr_i = −2k(r−r₀) · d̂
+        let f = d * (-2.0 * b.k * dr / r);
+        sys.force[i] += f;
+        sys.force[j] -= f;
+        eval.terms += 1;
+    }
+
+    for a in &topo.angles {
+        let (i, j, k) = (a.i as usize, a.j as usize, a.k as usize);
+        let rij = (sys.pos[i] - sys.pos[j]).minimum_image(box_len);
+        let rkj = (sys.pos[k] - sys.pos[j]).minimum_image(box_len);
+        let (lij, lkj) = (rij.norm(), rkj.norm());
+        if lij == 0.0 || lkj == 0.0 {
+            continue;
+        }
+        let cos_t = (rij.dot(rkj) / (lij * lkj)).clamp(-1.0, 1.0);
+        let theta = cos_t.acos();
+        let dtheta = theta - a.theta0;
+        eval.angle_energy += a.k_theta * dtheta * dtheta;
+        // F_i = −dU/dθ · dθ/dr_i with dθ/dcosθ = −1/sinθ, so the
+        // prefactor on dcosθ/dr_i is +dU/dθ / sinθ.
+        let sin_t = (1.0 - cos_t * cos_t).sqrt().max(1e-8);
+        let coef = 2.0 * a.k_theta * dtheta / sin_t;
+        let fi = (rkj / (lij * lkj) - rij * (cos_t / (lij * lij))) * coef;
+        let fk = (rij / (lij * lkj) - rkj * (cos_t / (lkj * lkj))) * coef;
+        sys.force[i] += fi;
+        sys.force[k] += fk;
+        sys.force[j] -= fi + fk;
+        eval.terms += 1;
+    }
+    eval
+}
+
+/// Potential energy only (gradient tests).
+pub fn bonded_potential(sys: &System, topo: &Topology) -> f64 {
+    let box_len = sys.box_len;
+    let mut u = 0.0;
+    for b in &topo.bonds {
+        let d = (sys.pos[b.i as usize] - sys.pos[b.j as usize]).minimum_image(box_len);
+        let dr = d.norm() - b.r0;
+        u += b.k * dr * dr;
+    }
+    for a in &topo.angles {
+        let rij = (sys.pos[a.i as usize] - sys.pos[a.j as usize]).minimum_image(box_len);
+        let rkj = (sys.pos[a.k as usize] - sys.pos[a.j as usize]).minimum_image(box_len);
+        let cos_t = (rij.dot(rkj) / (rij.norm() * rkj.norm())).clamp(-1.0, 1.0);
+        let dtheta = cos_t.acos() - a.theta0;
+        u += a.k_theta * dtheta * dtheta;
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::Species;
+
+    fn two_particle_system(r: f64) -> System {
+        System {
+            box_len: 20.0,
+            species: vec![Species::Water; 2],
+            pos: vec![Vec3::new(5.0, 5.0, 5.0), Vec3::new(5.0 + r, 5.0, 5.0)],
+            vel: vec![Vec3::ZERO; 2],
+            force: vec![Vec3::ZERO; 2],
+            unwrapped: vec![Vec3::ZERO; 2],
+        }
+    }
+
+    fn water_like_triplet(theta: f64) -> (System, Topology) {
+        // O at origin-ish, two H at unit distance separated by `theta`.
+        let o = Vec3::new(10.0, 10.0, 10.0);
+        let h1 = o + Vec3::new(1.0, 0.0, 0.0);
+        let h2 = o + Vec3::new(theta.cos(), theta.sin(), 0.0);
+        let sys = System {
+            box_len: 20.0,
+            species: vec![Species::Water; 3],
+            pos: vec![h1, o, h2],
+            vel: vec![Vec3::ZERO; 3],
+            force: vec![Vec3::ZERO; 3],
+            unwrapped: vec![Vec3::ZERO; 3],
+        };
+        let topo = Topology {
+            bonds: vec![
+                Bond { i: 1, j: 0, k: 100.0, r0: 1.0 },
+                Bond { i: 1, j: 2, k: 100.0, r0: 1.0 },
+            ],
+            angles: vec![Angle { i: 0, j: 1, k: 2, k_theta: 50.0, theta0: 1.9106 }],
+        };
+        (sys, topo)
+    }
+
+    #[test]
+    fn bond_at_equilibrium_has_no_force() {
+        let mut sys = two_particle_system(1.2);
+        let topo =
+            Topology { bonds: vec![Bond { i: 0, j: 1, k: 50.0, r0: 1.2 }], angles: vec![] };
+        let e = compute_bonded(&mut sys, &topo);
+        assert!(e.bond_energy.abs() < 1e-12);
+        assert!(sys.force[0].norm() < 1e-9);
+    }
+
+    #[test]
+    fn stretched_bond_pulls_back() {
+        let mut sys = two_particle_system(1.5);
+        let topo =
+            Topology { bonds: vec![Bond { i: 0, j: 1, k: 50.0, r0: 1.2 }], angles: vec![] };
+        let e = compute_bonded(&mut sys, &topo);
+        assert!((e.bond_energy - 50.0 * 0.09).abs() < 1e-9);
+        // Particle 0 pulled toward +x (toward particle 1).
+        assert!(sys.force[0].x > 0.0);
+        assert!(sys.force[1].x < 0.0);
+        // Newton's third law.
+        assert!((sys.force[0] + sys.force[1]).norm() < 1e-12);
+    }
+
+    #[test]
+    fn angle_at_equilibrium_has_no_force() {
+        let (mut sys, topo) = water_like_triplet(1.9106);
+        let e = compute_bonded(&mut sys, &topo);
+        assert!(e.angle_energy < 1e-9, "{}", e.angle_energy);
+        for f in &sys.force {
+            assert!(f.norm() < 1e-6, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn bent_angle_restores() {
+        let (mut sys, topo) = water_like_triplet(1.2); // compressed angle
+        let e = compute_bonded(&mut sys, &topo);
+        assert!(e.angle_energy > 0.0);
+        // Total force and torque vanish (translation invariance).
+        let total = sys.force.iter().fold(Vec3::ZERO, |a, &f| a + f);
+        assert!(total.norm() < 1e-9, "{total:?}");
+    }
+
+    #[test]
+    fn forces_match_numerical_gradient() {
+        let (mut sys, topo) = water_like_triplet(1.4);
+        compute_bonded(&mut sys, &topo);
+        let h = 1e-6;
+        for idx in 0..3 {
+            for axis in 0..3 {
+                let mut plus = sys.clone();
+                let mut minus = sys.clone();
+                match axis {
+                    0 => {
+                        plus.pos[idx].x += h;
+                        minus.pos[idx].x -= h;
+                    }
+                    1 => {
+                        plus.pos[idx].y += h;
+                        minus.pos[idx].y -= h;
+                    }
+                    _ => {
+                        plus.pos[idx].z += h;
+                        minus.pos[idx].z -= h;
+                    }
+                }
+                let grad =
+                    (bonded_potential(&plus, &topo) - bonded_potential(&minus, &topo)) / (2.0 * h);
+                let f = match axis {
+                    0 => sys.force[idx].x,
+                    1 => sys.force[idx].y,
+                    _ => sys.force[idx].z,
+                };
+                assert!(
+                    (f + grad).abs() < 1e-4 * f.abs().max(1.0),
+                    "particle {idx} axis {axis}: f = {f}, −grad = {}",
+                    -grad
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exclusions_cover_12_and_13_pairs() {
+        let (_, topo) = water_like_triplet(1.9);
+        let ex = topo.exclusions();
+        assert!(ex.contains(&(0, 1)), "O–H1 bond");
+        assert!(ex.contains(&(1, 2)), "O–H2 bond");
+        assert!(ex.contains(&(0, 2)), "H1–H2 1-3 pair");
+        assert_eq!(ex.len(), 3);
+    }
+
+    #[test]
+    fn empty_topology_is_neutral() {
+        let mut sys = two_particle_system(1.0);
+        let e = compute_bonded(&mut sys, &Topology::none());
+        assert_eq!(e.total(), 0.0);
+        assert_eq!(e.terms, 0);
+        assert!(Topology::none().exclusions().is_empty());
+    }
+
+    #[test]
+    fn bonded_energy_conserves_under_verlet() {
+        // A single flexible "water" vibrating in vacuum: bonded forces only.
+        let (mut sys, topo) = water_like_triplet(1.7);
+        let dt = 0.001;
+        compute_bonded(&mut sys, &topo);
+        let e0 = bonded_potential(&sys, &topo) + sys.kinetic_energy();
+        for _ in 0..2000 {
+            // velocity-Verlet with bonded forces only
+            for i in 0..sys.len() {
+                let inv_m = 1.0 / sys.species[i].mass();
+                sys.vel[i] += sys.force[i] * (0.5 * dt * inv_m);
+                let dr = sys.vel[i] * dt;
+                sys.pos[i] = (sys.pos[i] + dr).wrap(sys.box_len);
+            }
+            sys.force.iter_mut().for_each(|f| *f = Vec3::ZERO);
+            compute_bonded(&mut sys, &topo);
+            for i in 0..sys.len() {
+                let inv_m = 1.0 / sys.species[i].mass();
+                sys.vel[i] += sys.force[i] * (0.5 * dt * inv_m);
+            }
+        }
+        let e1 = bonded_potential(&sys, &topo) + sys.kinetic_energy();
+        assert!((e1 - e0).abs() < 0.02 * e0.abs().max(1.0), "{e0} -> {e1}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Linked-cell spatial binning for O(N) neighbor construction.
+
+use crate::vec3::Vec3;
+
+/// A cubic cell grid over a periodic box. Cells are at least `min_cell`
+/// wide so that all pairs within `min_cell` are found in the 27-cell
+/// neighborhood.
+#[derive(Debug, Clone)]
+pub struct CellList {
+    /// Cells per box edge.
+    pub cells_per_side: usize,
+    /// Box side length.
+    pub box_len: f64,
+    /// Particle indices per cell, cell-major.
+    bins: Vec<Vec<u32>>,
+}
+
+impl CellList {
+    /// Build the grid and bin all positions. `min_cell` is typically the
+    /// cutoff plus skin.
+    pub fn build(positions: &[Vec3], box_len: f64, min_cell: f64) -> Self {
+        assert!(box_len > 0.0 && min_cell > 0.0);
+        let cells_per_side = ((box_len / min_cell).floor() as usize).max(1);
+        let mut bins = vec![Vec::new(); cells_per_side.pow(3)];
+        let inv = cells_per_side as f64 / box_len;
+        for (i, p) in positions.iter().enumerate() {
+            let idx = Self::cell_index_raw(*p, inv, cells_per_side);
+            bins[idx].push(i as u32);
+        }
+        CellList { cells_per_side, box_len, bins }
+    }
+
+    #[inline]
+    fn cell_index_raw(p: Vec3, inv: f64, n: usize) -> usize {
+        let clampi = |x: f64| -> usize {
+            let c = (x * inv) as isize;
+            c.clamp(0, n as isize - 1) as usize
+        };
+        let (cx, cy, cz) = (clampi(p.x), clampi(p.y), clampi(p.z));
+        (cx * n + cy) * n + cz
+    }
+
+    /// Cell index for a position (must be wrapped into the box).
+    pub fn cell_of(&self, p: Vec3) -> usize {
+        Self::cell_index_raw(p, self.cells_per_side as f64 / self.box_len, self.cells_per_side)
+    }
+
+    /// Particles in a cell.
+    pub fn cell(&self, idx: usize) -> &[u32] {
+        &self.bins[idx]
+    }
+
+    /// Number of cells.
+    pub fn ncells(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Iterate the 27-cell periodic neighborhood (including the cell
+    /// itself) of cell `idx`, yielding cell indices. With fewer than 3
+    /// cells per side the neighborhood is deduplicated.
+    pub fn neighborhood(&self, idx: usize) -> Vec<usize> {
+        let n = self.cells_per_side;
+        let cz = idx % n;
+        let cy = (idx / n) % n;
+        let cx = idx / (n * n);
+        let mut out = Vec::with_capacity(27);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let wrap = |c: usize, d: i64| -> usize {
+                        (((c as i64 + d).rem_euclid(n as i64)) as usize).min(n - 1)
+                    };
+                    let j = (wrap(cx, dx) * n + wrap(cy, dy)) * n + wrap(cz, dz);
+                    if !out.contains(&j) {
+                        out.push(j);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total binned particles (sanity checks).
+    pub fn total(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_positions(n_per_side: usize, box_len: f64) -> Vec<Vec3> {
+        let mut v = Vec::new();
+        let sp = box_len / n_per_side as f64;
+        for i in 0..n_per_side {
+            for j in 0..n_per_side {
+                for k in 0..n_per_side {
+                    v.push(Vec3::new(
+                        (i as f64 + 0.5) * sp,
+                        (j as f64 + 0.5) * sp,
+                        (k as f64 + 0.5) * sp,
+                    ));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn bins_every_particle_exactly_once() {
+        let pos = grid_positions(6, 12.0);
+        let cl = CellList::build(&pos, 12.0, 2.5);
+        assert_eq!(cl.total(), pos.len());
+    }
+
+    #[test]
+    fn cell_size_respects_minimum() {
+        let pos = grid_positions(4, 10.0);
+        let cl = CellList::build(&pos, 10.0, 3.0);
+        // 10/3 -> 3 cells per side, each 3.33 >= 3.0.
+        assert_eq!(cl.cells_per_side, 3);
+    }
+
+    #[test]
+    fn neighborhood_has_27_distinct_cells_when_large() {
+        let pos = grid_positions(8, 16.0);
+        let cl = CellList::build(&pos, 16.0, 2.0);
+        assert_eq!(cl.cells_per_side, 8);
+        let nb = cl.neighborhood(cl.cell_of(Vec3::new(8.0, 8.0, 8.0)));
+        assert_eq!(nb.len(), 27);
+    }
+
+    #[test]
+    fn neighborhood_deduplicates_small_grids() {
+        let pos = grid_positions(2, 4.0);
+        let cl = CellList::build(&pos, 4.0, 2.0);
+        assert_eq!(cl.cells_per_side, 2);
+        let nb = cl.neighborhood(0);
+        // All 8 cells, each exactly once.
+        assert_eq!(nb.len(), 8);
+    }
+
+    #[test]
+    fn single_cell_degenerate_box() {
+        let pos = grid_positions(2, 2.0);
+        let cl = CellList::build(&pos, 2.0, 5.0);
+        assert_eq!(cl.ncells(), 1);
+        assert_eq!(cl.neighborhood(0), vec![0]);
+        assert_eq!(cl.cell(0).len(), 8);
+    }
+
+    #[test]
+    fn nearby_particles_share_neighborhood() {
+        let box_len = 12.0;
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(1.5, 1.2, 0.8);
+        let cl = CellList::build(&[a, b], box_len, 2.0);
+        let nb = cl.neighborhood(cl.cell_of(a));
+        assert!(nb.contains(&cl.cell_of(b)));
+    }
+
+    #[test]
+    fn periodic_wraparound_neighbors() {
+        let box_len = 12.0;
+        // Particles on opposite faces are periodic neighbors.
+        let a = Vec3::new(0.1, 6.0, 6.0);
+        let b = Vec3::new(11.9, 6.0, 6.0);
+        let cl = CellList::build(&[a, b], box_len, 2.0);
+        let nb = cl.neighborhood(cl.cell_of(a));
+        assert!(nb.contains(&cl.cell_of(b)), "wraparound neighborhood missing");
+    }
+}

@@ -1,0 +1,95 @@
+//! Trajectory and thermo output writers (step 8 of the Verlet flow —
+//! "optional output of state of S").
+//!
+//! XYZ is the lingua franca of MD visualization tools (VMD, OVITO); thermo
+//! output mirrors LAMMPS's per-step `thermo_style` table.
+
+use crate::species::Species;
+use crate::system::System;
+use crate::thermo::ThermoRecord;
+use std::io::{self, Write};
+
+/// Element label used in XYZ output.
+fn symbol(s: Species) -> &'static str {
+    match s {
+        Species::Water | Species::WaterO => "O",
+        Species::Hydronium => "N", // distinct color in viewers
+        Species::Ion => "Cl",
+        Species::WaterH => "H",
+    }
+}
+
+/// Write one XYZ frame (extended-XYZ comment carries step + box length).
+pub fn write_xyz_frame<W: Write>(w: &mut W, sys: &System, step: u64) -> io::Result<()> {
+    writeln!(w, "{}", sys.len())?;
+    writeln!(w, "step={} box={:.6}", step, sys.box_len)?;
+    for (s, p) in sys.species.iter().zip(&sys.pos) {
+        writeln!(w, "{} {:.6} {:.6} {:.6}", symbol(*s), p.x, p.y, p.z)?;
+    }
+    Ok(())
+}
+
+/// Incremental thermo table writer (LAMMPS-style columns).
+pub struct ThermoWriter<W: Write> {
+    out: W,
+    wrote_header: bool,
+}
+
+impl<W: Write> ThermoWriter<W> {
+    /// Wrap a sink.
+    pub fn new(out: W) -> Self {
+        ThermoWriter { out, wrote_header: false }
+    }
+
+    /// Append one record.
+    pub fn write(&mut self, rec: &ThermoRecord) -> io::Result<()> {
+        if !self.wrote_header {
+            writeln!(self.out, "{:>8} {:>12} {:>14} {:>14} {:>14} {:>12}",
+                "Step", "Temp", "KinEng", "PotEng", "TotEng", "Press")?;
+            self.wrote_header = true;
+        }
+        writeln!(
+            self.out,
+            "{:>8} {:>12.5} {:>14.4} {:>14.4} {:>14.4} {:>12.5}",
+            rec.step, rec.temperature, rec.kinetic, rec.potential, rec.total, rec.pressure
+        )
+    }
+
+    /// Unwrap the sink.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MdEngine;
+    use crate::system::water_ion_box;
+
+    #[test]
+    fn xyz_frame_has_count_header_and_rows() {
+        let sys = water_ion_box(1, 1.0, 121);
+        let mut buf = Vec::new();
+        write_xyz_frame(&mut buf, &sys, 5).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "1568");
+        assert!(lines.next().unwrap().starts_with("step=5"));
+        assert_eq!(text.lines().count(), 2 + 1568);
+        // Species appear with their symbols.
+        assert!(text.contains("\nN ") || text.contains("\nCl "));
+    }
+
+    #[test]
+    fn thermo_writer_produces_table() {
+        let engine = MdEngine::water_ion_benchmark(1, 122);
+        let rec = engine.thermo();
+        let mut w = ThermoWriter::new(Vec::new());
+        w.write(&rec).unwrap();
+        w.write(&rec).unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 3, "header + 2 rows");
+        assert!(text.starts_with("    Step"));
+    }
+}

@@ -1,0 +1,240 @@
+//! A LAMMPS-flavoured input-script parser for the mini engine.
+//!
+//! The paper's benchmark is "a custom benchmark for LAMMPS" driven by an
+//! input script; this module accepts the subset of commands the mini
+//! engine understands, so example programs and tests can describe runs the
+//! way an MD user would:
+//!
+//! ```text
+//! # water + ions under SeeSAw
+//! units        lj
+//! dim          16
+//! seed         2026
+//! timestep     0.004
+//! sync_every   1
+//! analysis     rdf   every 1
+//! analysis     msd   every 4
+//! run          400
+//! ```
+
+use crate::analysis::AnalysisKind;
+use crate::splitanalysis::AnalysisSchedule;
+use serde::{Deserialize, Serialize};
+
+/// A parsed run description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputScript {
+    /// Problem size (`1568 × dim³` atoms).
+    pub dim: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Integrator timestep.
+    pub timestep: f64,
+    /// Synchronization interval `j`.
+    pub sync_every: u64,
+    /// Scheduled analyses.
+    pub analyses: Vec<AnalysisSchedule>,
+    /// Verlet steps to run.
+    pub run_steps: u64,
+}
+
+impl Default for InputScript {
+    fn default() -> Self {
+        InputScript {
+            dim: 1,
+            seed: 0,
+            timestep: 0.004,
+            sync_every: 1,
+            analyses: Vec::new(),
+            run_steps: 0,
+        }
+    }
+}
+
+/// Parse error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "input script line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn analysis_kind(name: &str) -> Option<AnalysisKind> {
+    match name {
+        "rdf" => Some(AnalysisKind::Rdf),
+        "vacf" => Some(AnalysisKind::Vacf),
+        "msd" => Some(AnalysisKind::MsdFull),
+        "msd1d" => Some(AnalysisKind::Msd1d),
+        "msd2d" => Some(AnalysisKind::Msd2d),
+        _ => None,
+    }
+}
+
+/// Parse a script. Unknown commands are errors; `#` starts a comment.
+pub fn parse(script: &str) -> Result<InputScript, ParseError> {
+    let mut out = InputScript::default();
+    for (idx, raw) in script.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let cmd = tok.next().unwrap();
+        let err = |message: String| ParseError { line: line_no, message };
+        let mut arg = |what: &str| -> Result<String, ParseError> {
+            tok.next()
+                .map(str::to_string)
+                .ok_or_else(|| err(format!("{cmd}: missing {what}")))
+        };
+        match cmd {
+            "units" => {
+                let u = arg("unit style")?;
+                if u != "lj" {
+                    return Err(err(format!("only `units lj` is supported, got {u:?}")));
+                }
+            }
+            "dim" => {
+                out.dim = arg("value")?
+                    .parse()
+                    .map_err(|e| err(format!("dim: {e}")))?;
+                if out.dim == 0 {
+                    return Err(err("dim must be positive".into()));
+                }
+            }
+            "seed" => {
+                out.seed = arg("value")?.parse().map_err(|e| err(format!("seed: {e}")))?;
+            }
+            "timestep" => {
+                out.timestep =
+                    arg("value")?.parse().map_err(|e| err(format!("timestep: {e}")))?;
+                if out.timestep <= 0.0 || out.timestep.is_nan() {
+                    return Err(err("timestep must be positive".into()));
+                }
+            }
+            "sync_every" => {
+                out.sync_every =
+                    arg("value")?.parse().map_err(|e| err(format!("sync_every: {e}")))?;
+                if out.sync_every == 0 {
+                    return Err(err("sync_every must be at least 1".into()));
+                }
+            }
+            "analysis" => {
+                let name = arg("analysis name")?;
+                let kind = analysis_kind(&name)
+                    .ok_or_else(|| err(format!("unknown analysis {name:?}")))?;
+                // Optional `every N` clause.
+                let every = match tok.next() {
+                    None => 1,
+                    Some("every") => tok
+                        .next()
+                        .ok_or_else(|| err("analysis: `every` needs a value".into()))?
+                        .parse()
+                        .map_err(|e| err(format!("analysis every: {e}")))?,
+                    Some(other) => {
+                        return Err(err(format!("analysis: unexpected token {other:?}")))
+                    }
+                };
+                out.analyses.push(AnalysisSchedule { kind, every });
+            }
+            "run" => {
+                out.run_steps =
+                    arg("step count")?.parse().map_err(|e| err(format!("run: {e}")))?;
+            }
+            other => return Err(err(format!("unknown command {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+impl InputScript {
+    /// Build the coupled driver this script describes.
+    pub fn build(&self) -> crate::splitanalysis::SplitAnalysis {
+        let engine = crate::engine::MdEngine::water_ion_benchmark(self.dim as usize, self.seed);
+        crate::splitanalysis::SplitAnalysis::new(engine, self.analyses.clone(), self.sync_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "\
+# benchmark
+units        lj
+dim          2
+seed         99
+timestep     0.002
+sync_every   4
+analysis     rdf
+analysis     msd   every 8
+run          16
+";
+
+    #[test]
+    fn parses_full_script() {
+        let s = parse(SCRIPT).unwrap();
+        assert_eq!(s.dim, 2);
+        assert_eq!(s.seed, 99);
+        assert_eq!(s.timestep, 0.002);
+        assert_eq!(s.sync_every, 4);
+        assert_eq!(s.run_steps, 16);
+        assert_eq!(s.analyses.len(), 2);
+        assert_eq!(s.analyses[0].kind, AnalysisKind::Rdf);
+        assert_eq!(s.analyses[0].every, 1);
+        assert_eq!(s.analyses[1].kind, AnalysisKind::MsdFull);
+        assert_eq!(s.analyses[1].every, 8);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = parse("# nothing\n\n   # more\nrun 3\n").unwrap();
+        assert_eq!(s.run_steps, 3);
+    }
+
+    #[test]
+    fn unknown_command_is_error_with_line() {
+        let e = parse("units lj\nfrobnicate 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_analysis_is_error() {
+        let e = parse("analysis quux\n").unwrap_err();
+        assert!(e.message.contains("quux"));
+    }
+
+    #[test]
+    fn non_lj_units_rejected() {
+        assert!(parse("units real\n").is_err());
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(parse("dim zero\n").is_err());
+        assert!(parse("dim 0\n").is_err());
+        assert!(parse("timestep -1\n").is_err());
+        assert!(parse("sync_every 0\n").is_err());
+        assert!(parse("analysis rdf every x\n").is_err());
+    }
+
+    #[test]
+    fn script_builds_a_runnable_driver() {
+        let s = parse("dim 1\nseed 5\nanalysis vacf\nrun 2\n").unwrap();
+        let mut driver = s.build();
+        for _ in 0..s.run_steps {
+            driver.advance();
+        }
+        assert_eq!(driver.step_count(), 2);
+    }
+}

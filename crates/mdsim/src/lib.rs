@@ -1,0 +1,67 @@
+//! # mdsim — mini-LAMMPS with the Verlet-Splitanalysis in-situ protocol
+//!
+//! A real molecular-dynamics engine standing in for LAMMPS in the SeeSAw
+//! reproduction: the paper's water + ions benchmark (1568 atoms replicated
+//! `dim³` times), linked-cell neighbor lists, Lennard-Jones + damped
+//! shifted-force Coulomb interactions, velocity-Verlet integration, and
+//! the five built-in analyses the paper evaluates (hydronium/ion RDF,
+//! VACF, and full/1-D/2-D MSD).
+//!
+//! Two layers matter to the power-management study:
+//!
+//! * [`SplitAnalysis`] runs the 8-step Verlet-Splitanalysis flow on real
+//!   particle data, recording per-phase work counts;
+//! * [`workload`] converts work into per-node [`theta_sim::Work`] quanta —
+//!   either analytically (scaled to paper-size jobs) or measured from a
+//!   real engine run — which the cluster model executes under power caps.
+//!
+//! ```
+//! use mdsim::{MdEngine, SplitAnalysis, AnalysisSchedule, AnalysisKind};
+//!
+//! let engine = MdEngine::water_ion_benchmark(1, 42);
+//! let mut insitu = SplitAnalysis::new(
+//!     engine,
+//!     vec![AnalysisSchedule::every_sync(AnalysisKind::Rdf)],
+//!     1,
+//! );
+//! let record = insitu.advance();
+//! assert!(record.synced && record.force_pairs > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod bonded;
+mod cell_list;
+mod domain;
+pub mod dump;
+mod engine;
+mod force;
+pub mod input;
+mod integrate;
+mod neighbor;
+mod species;
+mod splitanalysis;
+mod system;
+mod thermo;
+mod thermostat;
+pub mod validate;
+mod vec3;
+pub mod workload;
+
+pub use analysis::{Analysis, AnalysisKind, AnalysisWork, Snapshot};
+pub use bonded::{bonded_potential, compute_bonded, Angle, Bond, BondedEval, Topology};
+pub use cell_list::CellList;
+pub use domain::DomainDecomposition;
+pub use engine::{EngineStepCounts, MdEngine};
+pub use force::{
+    compute_forces, compute_forces_excluding, compute_potential, ForceEval, ForceParams,
+};
+pub use integrate::Integrator;
+pub use neighbor::{brute_force_pairs, NeighborList};
+pub use species::{PairTable, Species, NSPECIES};
+pub use splitanalysis::{AnalysisSchedule, SplitAnalysis, StepRecord};
+pub use system::{water3, water3_box, water_ion_box, System, DENSITY, UNIT_CELL_ATOMS};
+pub use thermo::{thermo, ThermoRecord};
+pub use thermostat::{equilibrate, Thermostat};
+pub use vec3::Vec3;

@@ -1,0 +1,166 @@
+//! Verlet neighbor lists built from the cell grid.
+//!
+//! A half list (each pair stored once, `i < j`) with a skin margin: the
+//! list remains valid until some particle has moved more than half the
+//! skin since the last build, at which point LAMMPS-style engines rebuild —
+//! this is the "update neighbor lists" step 5 of the Verlet-Splitanalysis
+//! flow and is communication/memory intensive on real machines.
+
+use crate::cell_list::CellList;
+use crate::vec3::Vec3;
+
+/// A half neighbor list.
+#[derive(Debug, Clone)]
+pub struct NeighborList {
+    /// Cutoff radius the list was built for.
+    pub cutoff: f64,
+    /// Extra margin beyond the cutoff.
+    pub skin: f64,
+    /// CSR layout: `pairs[offsets[i]..offsets[i+1]]` are the neighbors `j > i`…
+    /// stored as flat `(i, j)` pairs for simplicity and cache-friendly sweeps.
+    pairs: Vec<(u32, u32)>,
+    /// Positions at build time (displacement tracking).
+    ref_pos: Vec<Vec3>,
+    box_len: f64,
+}
+
+impl NeighborList {
+    /// Build from scratch. `positions` must be wrapped into the box.
+    pub fn build(positions: &[Vec3], box_len: f64, cutoff: f64, skin: f64) -> Self {
+        assert!(cutoff > 0.0 && skin >= 0.0);
+        let reach = cutoff + skin;
+        let cl = CellList::build(positions, box_len, reach);
+        let reach_sq = reach * reach;
+        let mut pairs = Vec::with_capacity(positions.len() * 32);
+        for cell in 0..cl.ncells() {
+            let members = cl.cell(cell);
+            let nbhd = cl.neighborhood(cell);
+            for (k, &i) in members.iter().enumerate() {
+                let pi = positions[i as usize];
+                // Pairs within the same cell.
+                for &j in &members[k + 1..] {
+                    let d = (positions[j as usize] - pi).minimum_image(box_len);
+                    if d.norm_sq() <= reach_sq {
+                        pairs.push((i.min(j), i.max(j)));
+                    }
+                }
+                // Pairs with higher-indexed cells (avoid double visits).
+                for &nc in &nbhd {
+                    if nc <= cell {
+                        continue;
+                    }
+                    for &j in cl.cell(nc) {
+                        let d = (positions[j as usize] - pi).minimum_image(box_len);
+                        if d.norm_sq() <= reach_sq {
+                            pairs.push((i.min(j), i.max(j)));
+                        }
+                    }
+                }
+            }
+        }
+        NeighborList { cutoff, skin, pairs, ref_pos: positions.to_vec(), box_len }
+    }
+
+    /// The half pair list.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of stored pairs (the force kernel's work measure).
+    pub fn npairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if any particle has moved more than half the skin since the
+    /// list was built (the standard rebuild criterion).
+    pub fn needs_rebuild(&self, positions: &[Vec3]) -> bool {
+        let limit_sq = (0.5 * self.skin) * (0.5 * self.skin);
+        positions
+            .iter()
+            .zip(&self.ref_pos)
+            .any(|(p, r)| (*p - *r).minimum_image(self.box_len).norm_sq() > limit_sq)
+    }
+}
+
+/// Reference O(N²) pair enumeration for correctness tests.
+pub fn brute_force_pairs(positions: &[Vec3], box_len: f64, reach: f64) -> Vec<(u32, u32)> {
+    let reach_sq = reach * reach;
+    let mut out = Vec::new();
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            let d = (positions[j] - positions[i]).minimum_image(box_len);
+            if d.norm_sq() <= reach_sq {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::water_ion_box;
+
+    fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_on_real_system() {
+        let sys = water_ion_box(1, 1.0, 5);
+        // Take a subset for O(N²) tractability.
+        let pos = &sys.pos[..400];
+        let nl = NeighborList::build(pos, sys.box_len, 2.5, 0.3);
+        let brute = sorted(brute_force_pairs(pos, sys.box_len, 2.8));
+        let fast = sorted(nl.pairs().to_vec());
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn no_rebuild_needed_immediately() {
+        let sys = water_ion_box(1, 1.0, 6);
+        let nl = NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.3);
+        assert!(!nl.needs_rebuild(&sys.pos));
+    }
+
+    #[test]
+    fn rebuild_triggers_after_large_move() {
+        let sys = water_ion_box(1, 1.0, 6);
+        let nl = NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.3);
+        let mut moved = sys.pos.clone();
+        moved[10].x = (moved[10].x + 0.2) % sys.box_len; // > skin/2 = 0.15
+        assert!(nl.needs_rebuild(&moved));
+    }
+
+    #[test]
+    fn small_move_within_skin_is_fine() {
+        let sys = water_ion_box(1, 1.0, 6);
+        let nl = NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.4);
+        let mut moved = sys.pos.clone();
+        moved[10].x = (moved[10].x + 0.1) % sys.box_len; // < skin/2
+        assert!(!nl.needs_rebuild(&moved));
+    }
+
+    #[test]
+    fn pair_count_scales_with_density_neighborhood() {
+        let sys = water_ion_box(1, 1.0, 7);
+        let nl = NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.3);
+        // At ρ = 0.85, reach 2.8: expect ~ ρ·(4/3)π·reach³/2 ≈ 39 pairs/atom.
+        let per_atom = nl.npairs() as f64 / sys.len() as f64;
+        assert!((30.0..50.0).contains(&per_atom), "{per_atom}");
+    }
+
+    #[test]
+    fn pairs_are_half_list() {
+        let sys = water_ion_box(1, 1.0, 8);
+        let nl = NeighborList::build(&sys.pos[..200], sys.box_len, 2.5, 0.3);
+        for &(i, j) in nl.pairs() {
+            assert!(i < j, "({i},{j}) not ordered");
+        }
+        let s = sorted(nl.pairs().to_vec());
+        assert_eq!(s.len(), nl.npairs(), "duplicate pairs found");
+    }
+}

@@ -1,0 +1,209 @@
+//! Particle species of the water + ions benchmark.
+//!
+//! The paper's custom LAMMPS benchmark simulates "a box of water molecules
+//! solvating two types of ions" (§VI-C) — hydronium (H₃O⁺) and a halide
+//! counter-ion. Full atomistic water (rigid SPC/E + Ewald electrostatics)
+//! is out of scope for a controller study; we use a single-site
+//! coarse-grained water (mW-style) with Lennard-Jones interactions and
+//! Wolf-damped Coulomb for the ions. This preserves what the analyses
+//! consume: per-molecule positions and velocities of three species.
+//! Reduced Lennard-Jones units throughout (σ = ε = m_water = 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Particle species.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Species {
+    /// Coarse-grained water molecule (neutral, single site).
+    Water,
+    /// Hydronium ion, charge +1.
+    Hydronium,
+    /// Halide counter-ion, charge −1.
+    Ion,
+    /// Atomistic water oxygen (3-site flexible water, SPC-like charges).
+    WaterO,
+    /// Atomistic water hydrogen.
+    WaterH,
+}
+
+/// Number of species (parameter-table dimension).
+pub const NSPECIES: usize = 5;
+
+impl Species {
+    /// All species, in storage order.
+    pub const ALL: [Species; NSPECIES] = [
+        Species::Water,
+        Species::Hydronium,
+        Species::Ion,
+        Species::WaterO,
+        Species::WaterH,
+    ];
+
+    /// Particle mass (reduced units; one water molecule = 1).
+    pub fn mass(self) -> f64 {
+        match self {
+            Species::Water => 1.0,
+            Species::Hydronium => 1.056, // 19 amu / 18 amu
+            Species::Ion => 1.97,        // ~Cl, 35.5/18
+            Species::WaterO => 16.0 / 18.0,
+            Species::WaterH => 1.0 / 18.0,
+        }
+    }
+
+    /// Charge in reduced units.
+    pub fn charge(self) -> f64 {
+        match self {
+            Species::Water => 0.0,
+            Species::Hydronium => 1.0,
+            Species::Ion => -1.0,
+            Species::WaterO => -0.8476, // SPC/E
+            Species::WaterH => 0.4238,
+        }
+    }
+
+    /// Lennard-Jones σ (reduced).
+    pub fn sigma(self) -> f64 {
+        match self {
+            Species::Water => 1.0,
+            Species::Hydronium => 0.98,
+            Species::Ion => 1.18,
+            Species::WaterO => 1.0,
+            Species::WaterH => 0.35,
+        }
+    }
+
+    /// Lennard-Jones ε (reduced).
+    pub fn epsilon(self) -> f64 {
+        match self {
+            Species::Water => 1.0,
+            Species::Hydronium => 1.1,
+            Species::Ion => 0.8,
+            Species::WaterO => 1.0,
+            Species::WaterH => 0.02,
+        }
+    }
+
+    /// Dense index for parameter tables.
+    pub fn index(self) -> usize {
+        match self {
+            Species::Water => 0,
+            Species::Hydronium => 1,
+            Species::Ion => 2,
+            Species::WaterO => 3,
+            Species::WaterH => 4,
+        }
+    }
+
+    /// True for species that act as the "water" site in analyses (RDF
+    /// targets distances to water; for atomistic water the oxygen is the
+    /// molecular site).
+    pub fn is_water_site(self) -> bool {
+        matches!(self, Species::Water | Species::WaterO)
+    }
+}
+
+/// Pairwise Lennard-Jones parameters by Lorentz–Berthelot mixing, cached in
+/// a dense 3×3 table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairTable {
+    sigma: [[f64; NSPECIES]; NSPECIES],
+    epsilon: [[f64; NSPECIES]; NSPECIES],
+    charge_product: [[f64; NSPECIES]; NSPECIES],
+}
+
+impl PairTable {
+    /// Build the mixed-parameter table.
+    pub fn new() -> Self {
+        let mut t = PairTable {
+            sigma: [[0.0; NSPECIES]; NSPECIES],
+            epsilon: [[0.0; NSPECIES]; NSPECIES],
+            charge_product: [[0.0; NSPECIES]; NSPECIES],
+        };
+        for a in Species::ALL {
+            for b in Species::ALL {
+                let (i, j) = (a.index(), b.index());
+                t.sigma[i][j] = 0.5 * (a.sigma() + b.sigma());
+                t.epsilon[i][j] = (a.epsilon() * b.epsilon()).sqrt();
+                t.charge_product[i][j] = a.charge() * b.charge();
+            }
+        }
+        t
+    }
+
+    /// Mixed σ for a species pair.
+    #[inline]
+    pub fn sigma(&self, a: Species, b: Species) -> f64 {
+        self.sigma[a.index()][b.index()]
+    }
+
+    /// Mixed ε for a species pair.
+    #[inline]
+    pub fn epsilon(&self, a: Species, b: Species) -> f64 {
+        self.epsilon[a.index()][b.index()]
+    }
+
+    /// Product of charges for a species pair.
+    #[inline]
+    pub fn charge_product(&self, a: Species, b: Species) -> f64 {
+        self.charge_product[a.index()][b.index()]
+    }
+}
+
+impl Default for PairTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_are_neutral_for_matched_ions() {
+        assert_eq!(Species::Hydronium.charge() + Species::Ion.charge(), 0.0);
+        assert_eq!(Species::Water.charge(), 0.0);
+    }
+
+    #[test]
+    fn mixing_is_symmetric() {
+        let t = PairTable::new();
+        for a in Species::ALL {
+            for b in Species::ALL {
+                assert_eq!(t.sigma(a, b), t.sigma(b, a));
+                assert_eq!(t.epsilon(a, b), t.epsilon(b, a));
+                assert_eq!(t.charge_product(a, b), t.charge_product(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn lorentz_berthelot_identities() {
+        let t = PairTable::new();
+        // Self-pairs return the species' own parameters.
+        for s in Species::ALL {
+            assert!((t.sigma(s, s) - s.sigma()).abs() < 1e-12);
+            assert!((t.epsilon(s, s) - s.epsilon()).abs() < 1e-12);
+        }
+        // Cross-pair: arithmetic / geometric means.
+        let sig = t.sigma(Species::Water, Species::Ion);
+        assert!((sig - 0.5 * (1.0 + 1.18)).abs() < 1e-12);
+        let eps = t.epsilon(Species::Water, Species::Hydronium);
+        assert!((eps - (1.0f64 * 1.1).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_products() {
+        let t = PairTable::new();
+        assert_eq!(t.charge_product(Species::Hydronium, Species::Ion), -1.0);
+        assert_eq!(t.charge_product(Species::Hydronium, Species::Hydronium), 1.0);
+        assert_eq!(t.charge_product(Species::Water, Species::Ion), 0.0);
+    }
+
+    #[test]
+    fn masses_positive() {
+        for s in Species::ALL {
+            assert!(s.mass() > 0.0);
+        }
+    }
+}

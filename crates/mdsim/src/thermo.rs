@@ -1,0 +1,73 @@
+//! Thermodynamic output (the optional step 8 of the Verlet flow).
+//!
+//! The paper's runs request thermodynamic output at the end of every time
+//! step, making it a recurring communication- and I/O-intensive phase.
+
+use crate::force::ForceEval;
+use crate::system::System;
+use serde::{Deserialize, Serialize};
+
+/// One thermo record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermoRecord {
+    /// Timestep index.
+    pub step: u64,
+    /// Instantaneous temperature.
+    pub temperature: f64,
+    /// Kinetic energy.
+    pub kinetic: f64,
+    /// Potential energy.
+    pub potential: f64,
+    /// Total energy.
+    pub total: f64,
+    /// Virial pressure `(N·T + W/3) / V`.
+    pub pressure: f64,
+}
+
+/// Compute the thermo record for the current state.
+pub fn thermo(step: u64, sys: &System, eval: &ForceEval) -> ThermoRecord {
+    let ke = sys.kinetic_energy();
+    let t = sys.temperature();
+    let v = sys.box_len.powi(3);
+    let pressure = (sys.len() as f64 * t + eval.virial / 3.0) / v;
+    ThermoRecord {
+        step,
+        temperature: t,
+        kinetic: ke,
+        potential: eval.potential,
+        total: ke + eval.potential,
+        pressure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::{compute_forces, ForceParams};
+    use crate::neighbor::NeighborList;
+    use crate::species::PairTable;
+    use crate::system::water_ion_box;
+
+    #[test]
+    fn thermo_fields_consistent() {
+        let mut sys = water_ion_box(1, 1.2, 31);
+        let params = ForceParams::default();
+        let nl = NeighborList::build(&sys.pos, sys.box_len, params.cutoff, 0.3);
+        let ev = compute_forces(&mut sys, &nl, params, &PairTable::new());
+        let rec = thermo(7, &sys, &ev);
+        assert_eq!(rec.step, 7);
+        assert!((rec.total - (rec.kinetic + rec.potential)).abs() < 1e-9);
+        assert!((rec.temperature - 1.2).abs() < 1e-9);
+        assert!(rec.pressure.is_finite());
+    }
+
+    #[test]
+    fn pressure_positive_for_dense_liquid_at_high_t() {
+        let mut sys = water_ion_box(1, 3.0, 32);
+        let params = ForceParams::default();
+        let nl = NeighborList::build(&sys.pos, sys.box_len, params.cutoff, 0.3);
+        let ev = compute_forces(&mut sys, &nl, params, &PairTable::new());
+        let rec = thermo(0, &sys, &ev);
+        assert!(rec.pressure > 0.0, "{}", rec.pressure);
+    }
+}

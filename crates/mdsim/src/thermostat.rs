@@ -1,0 +1,111 @@
+//! Thermostats for equilibration runs.
+//!
+//! The production Verlet-Splitanalysis runs are NVE, but preparing the
+//! water + ions benchmark requires equilibrating the lattice start to a
+//! liquid at the target temperature. Two standard weak-coupling schemes
+//! are provided.
+
+use crate::system::System;
+use serde::{Deserialize, Serialize};
+
+/// Thermostat algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Thermostat {
+    /// Berendsen weak coupling: velocities scaled by
+    /// `sqrt(1 + dt/τ·(T₀/T − 1))` each step.
+    Berendsen {
+        /// Target temperature.
+        target: f64,
+        /// Coupling time constant (same units as `dt`).
+        tau: f64,
+    },
+    /// Hard velocity rescale to the target every `every` steps.
+    Rescale {
+        /// Target temperature.
+        target: f64,
+        /// Apply every this many steps.
+        every: u64,
+    },
+}
+
+impl Thermostat {
+    /// Apply the thermostat after an integration step.
+    pub fn apply(&self, sys: &mut System, dt: f64, step: u64) {
+        match *self {
+            Thermostat::Berendsen { target, tau } => {
+                let t = sys.temperature();
+                if t <= 0.0 {
+                    return;
+                }
+                let lambda = (1.0 + dt / tau * (target / t - 1.0)).max(0.0).sqrt();
+                for v in &mut sys.vel {
+                    *v = *v * lambda;
+                }
+            }
+            Thermostat::Rescale { target, every } => {
+                if every > 0 && step.is_multiple_of(every) {
+                    sys.rescale_to_temperature(target);
+                }
+            }
+        }
+    }
+}
+
+/// Equilibrate a system for `steps` with the given thermostat; returns the
+/// final temperature.
+pub fn equilibrate(engine: &mut crate::engine::MdEngine, thermostat: Thermostat, steps: u64) -> f64 {
+    let dt = crate::integrate::Integrator::default().dt;
+    for s in 0..steps {
+        engine.step();
+        thermostat.apply(&mut engine.system, dt, s + 1);
+    }
+    engine.system.temperature()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MdEngine;
+    use crate::system::water_ion_box;
+
+    #[test]
+    fn berendsen_pulls_toward_target() {
+        let mut sys = water_ion_box(1, 2.0, 111);
+        let thermo = Thermostat::Berendsen { target: 1.0, tau: 0.02 };
+        // No dynamics needed: the scaling alone converges the KE.
+        for step in 0..200 {
+            thermo.apply(&mut sys, 0.004, step);
+        }
+        assert!((sys.temperature() - 1.0).abs() < 0.05, "{}", sys.temperature());
+    }
+
+    #[test]
+    fn rescale_is_exact_on_schedule() {
+        let mut sys = water_ion_box(1, 2.0, 112);
+        let thermo = Thermostat::Rescale { target: 0.8, every: 5 };
+        thermo.apply(&mut sys, 0.004, 4);
+        assert!((sys.temperature() - 2.0).abs() < 1e-9, "not yet due");
+        thermo.apply(&mut sys, 0.004, 5);
+        assert!((sys.temperature() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equilibration_reaches_target_under_dynamics() {
+        let mut engine = MdEngine::water_ion_benchmark(1, 113);
+        let t = equilibrate(&mut engine, Thermostat::Berendsen { target: 1.0, tau: 0.05 }, 40);
+        // The lattice melts and potential energy converts to heat; the
+        // thermostat must keep T within a reasonable band.
+        assert!((0.7..1.4).contains(&t), "T = {t}");
+    }
+
+    #[test]
+    fn berendsen_handles_zero_temperature() {
+        let mut sys = water_ion_box(1, 1.0, 114);
+        for v in &mut sys.vel {
+            *v = crate::Vec3::ZERO;
+        }
+        let thermo = Thermostat::Berendsen { target: 1.0, tau: 0.1 };
+        thermo.apply(&mut sys, 0.004, 1); // must not panic / NaN
+        assert_eq!(sys.temperature(), 0.0);
+    }
+}

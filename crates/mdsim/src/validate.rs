@@ -1,0 +1,163 @@
+//! Physics validation utilities.
+//!
+//! The analyses are not mock kernels — they compute real observables, and
+//! real observables obey cross-checks. This module provides the standard
+//! ones: the Maxwell–Boltzmann speed distribution of an equilibrated
+//! system, the diffusion coefficient from the MSD slope (Einstein
+//! relation), and the same coefficient from the VACF integral
+//! (Green–Kubo). Tests assert the two routes agree — a strong end-to-end
+//! check on the integrator, the unwrapped coordinates and both analysis
+//! kernels at once.
+
+use crate::system::System;
+
+/// Mean squared speed error of the system's velocity distribution against
+/// Maxwell–Boltzmann at temperature `t` (reduced units): compares the
+/// empirical second and fourth moments of a velocity *component* with the
+/// Gaussian prediction. Returns `(m2_ratio, m4_ratio)` — both ≈ 1 for a
+/// thermal system.
+pub fn maxwell_boltzmann_moments(sys: &System, t: f64) -> (f64, f64) {
+    let n = sys.len() as f64;
+    // Mass-weighted so all species share the same component variance T/m·m = T.
+    let mut m2 = 0.0;
+    let mut m4 = 0.0;
+    for (s, v) in sys.species.iter().zip(&sys.vel) {
+        let m = s.mass();
+        for c in [v.x, v.y, v.z] {
+            let x = c * m.sqrt(); // variance of x is T for MB
+            m2 += x * x;
+            m4 += x * x * x * x;
+        }
+    }
+    m2 /= 3.0 * n;
+    m4 /= 3.0 * n;
+    // Gaussian: ⟨x²⟩ = T, ⟨x⁴⟩ = 3T².
+    (m2 / t, m4 / (3.0 * t * t))
+}
+
+/// Diffusion coefficient from an MSD series via the Einstein relation:
+/// `D = slope(MSD(t)) / 6`, least-squares fit over the series tail
+/// (`skip` leading points dropped — ballistic regime).
+pub fn diffusion_from_msd(times: &[f64], msd: &[f64], skip: usize) -> f64 {
+    assert_eq!(times.len(), msd.len());
+    let xs = &times[skip.min(times.len())..];
+    let ys = &msd[skip.min(msd.len())..];
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    if den == 0.0 {
+        return 0.0;
+    }
+    (num / den) / 6.0
+}
+
+/// Diffusion coefficient from a VACF series via Green–Kubo:
+/// `D = (1/3) ∫ ⟨v(0)·v(t)⟩ dt` (trapezoidal rule). `c` is *normalized*
+/// VACF and `v2` the mean squared speed ⟨v(0)²⟩ used to normalize it.
+pub fn diffusion_from_vacf(times: &[f64], c: &[f64], v2: f64) -> f64 {
+    assert_eq!(times.len(), c.len());
+    if times.len() < 2 {
+        return 0.0;
+    }
+    let mut integral = 0.0;
+    for i in 1..times.len() {
+        let dt = times[i] - times[i - 1];
+        integral += 0.5 * (c[i] + c[i - 1]) * dt;
+    }
+    integral * v2 / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Analysis, Msd, MsdConfig, Snapshot, Vacf, VacfConfig};
+    use crate::engine::MdEngine;
+    use crate::system::water_ion_box;
+    use crate::thermostat::{equilibrate, Thermostat};
+
+    #[test]
+    fn freshly_sampled_velocities_are_maxwellian() {
+        let sys = water_ion_box(2, 1.0, 201); // 12 544 particles for statistics
+        let (m2, m4) = maxwell_boltzmann_moments(&sys, 1.0);
+        assert!((m2 - 1.0).abs() < 0.05, "second moment ratio {m2}");
+        assert!((m4 - 1.0).abs() < 0.10, "fourth moment ratio {m4}");
+    }
+
+    #[test]
+    fn equilibrated_liquid_stays_maxwellian() {
+        let mut engine = MdEngine::water_ion_benchmark(1, 202);
+        let t = equilibrate(&mut engine, Thermostat::Berendsen { target: 1.0, tau: 0.05 }, 60);
+        let (m2, m4) = maxwell_boltzmann_moments(&engine.system, t);
+        assert!((m2 - 1.0).abs() < 0.08, "second moment ratio {m2}");
+        assert!((m4 - 1.0).abs() < 0.25, "fourth moment ratio {m4}");
+    }
+
+    #[test]
+    fn msd_slope_fit_recovers_synthetic_diffusion() {
+        // MSD(t) = 6 D t with D = 0.05.
+        let times: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let msd: Vec<f64> = times.iter().map(|t| 6.0 * 0.05 * t).collect();
+        let d = diffusion_from_msd(&times, &msd, 5);
+        assert!((d - 0.05).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn green_kubo_recovers_synthetic_exponential() {
+        // C(t) = exp(−t/τ): D = v²·τ/3 analytically.
+        let tau = 0.25;
+        let v2 = 3.0; // T = 1, m = 1
+        let times: Vec<f64> = (0..4000).map(|i| i as f64 * 0.001).collect();
+        let c: Vec<f64> = times.iter().map(|t| (-t / tau).exp()).collect();
+        let d = diffusion_from_vacf(&times, &c, v2);
+        let expect = v2 * tau * (1.0 - (-4.0f64 / tau * 1.0).exp()) / 3.0;
+        assert!((d - expect).abs() < 0.01 * expect, "{d} vs {expect}");
+    }
+
+    /// The flagship cross-check: Einstein (MSD) and Green–Kubo (VACF)
+    /// diffusion coefficients from the *same real trajectory* agree.
+    #[test]
+    fn einstein_and_green_kubo_agree_on_real_trajectory() {
+        let mut engine = MdEngine::water_ion_benchmark(1, 203);
+        // Equilibrate to a liquid, then sample NVE.
+        equilibrate(&mut engine, Thermostat::Berendsen { target: 1.0, tau: 0.05 }, 80);
+        let dt_step = 0.004;
+        let sample_every = 2u64;
+        let mut msd = Msd::new(MsdConfig::one_d());
+        let mut vacf = Vacf::new(VacfConfig::default());
+        let mut times = Vec::new();
+        let mut msd_series = Vec::new();
+        let mut vacf_series = Vec::new();
+        let v2 = engine.system.vel.iter().map(|v| v.norm_sq()).sum::<f64>()
+            / engine.system.len() as f64;
+        for k in 0..300u64 {
+            if k % sample_every == 0 {
+                let snap = Snapshot::of(&engine.system);
+                msd.observe(k, &snap);
+                let c = vacf.observe(k, &snap);
+                let _ = c;
+                times.push(k as f64 * dt_step);
+                msd_series.push(msd.overall());
+                vacf_series.push(vacf.series().last().unwrap().1);
+            }
+            engine.step();
+        }
+        let d_msd = diffusion_from_msd(&times, &msd_series, times.len() / 3);
+        let d_gk = diffusion_from_vacf(&times, &vacf_series, v2);
+        assert!(d_msd > 0.0, "liquid must diffuse, D_msd = {d_msd}");
+        assert!(d_gk > 0.0, "D_gk = {d_gk}");
+        let ratio = d_msd / d_gk;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "Einstein vs Green–Kubo disagree: D_msd = {d_msd}, D_gk = {d_gk}"
+        );
+    }
+}

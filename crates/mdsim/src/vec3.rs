@@ -1,0 +1,173 @@
+//! Minimal 3-vector math for the MD engine.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-component vector of `f64` (positions, velocities, forces).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Component-wise minimum image under a cubic box of side `l`:
+    /// wraps each component into `(-l/2, l/2]`.
+    #[inline]
+    pub fn minimum_image(self, l: f64) -> Vec3 {
+        Vec3 {
+            x: self.x - l * (self.x / l).round(),
+            y: self.y - l * (self.y / l).round(),
+            z: self.z - l * (self.z / l).round(),
+        }
+    }
+
+    /// Wrap a position into `[0, l)` per component (periodic boundary).
+    #[inline]
+    pub fn wrap(self, l: f64) -> Vec3 {
+        Vec3 { x: wrap1(self.x, l), y: wrap1(self.y, l), z: wrap1(self.z, l) }
+    }
+}
+
+#[inline]
+fn wrap1(x: f64, l: f64) -> f64 {
+    let w = x - l * (x / l).floor();
+    // Guard the x == l edge caused by rounding.
+    if w >= l { w - l } else { w }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(b), 32.0);
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+    }
+
+    #[test]
+    fn minimum_image_wraps_to_half_box() {
+        let l = 10.0;
+        let d = Vec3::new(9.0, -9.0, 4.0).minimum_image(l);
+        assert!((d.x - -1.0).abs() < 1e-12);
+        assert!((d.y - 1.0).abs() < 1e-12);
+        assert!((d.z - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_into_box() {
+        let l = 10.0;
+        let p = Vec3::new(12.0, -0.5, 10.0).wrap(l);
+        assert!((p.x - 2.0).abs() < 1e-12);
+        assert!((p.y - 9.5).abs() < 1e-12);
+        assert!(p.z >= 0.0 && p.z < l);
+    }
+
+    #[test]
+    fn minimum_image_never_exceeds_half_box() {
+        let l = 7.3;
+        for i in -20..20 {
+            let d = Vec3::new(i as f64 * 0.9, 0.0, 0.0).minimum_image(l);
+            assert!(d.x.abs() <= l / 2.0 + 1e-12, "{d:?}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Data-bearing collectives.
+//!
+//! The simulation is orchestrated centrally, so a collective both computes
+//! its result (over the per-rank contributions) and reports the simulated
+//! wall-clock cost it would have taken on the modeled interconnect. Costs
+//! are driven by the number of *nodes* a communicator spans (intra-node
+//! exchange is shared-memory and treated as free at this fidelity).
+
+use crate::comm::Communicator;
+use crate::net::NetworkModel;
+use des::SimDuration;
+
+/// Result of a collective: the value plus its simulated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome<T> {
+    /// The collective's result as visible to every member rank.
+    pub value: T,
+    /// Simulated wall-clock duration of the call.
+    pub cost: SimDuration,
+}
+
+fn check_len<T>(comm: &Communicator, vals: &[T]) {
+    assert_eq!(
+        vals.len(),
+        comm.size(),
+        "one contribution per member rank required"
+    );
+}
+
+/// `MPI_Allreduce(SUM)` over one `f64` per rank.
+pub fn allreduce_sum(net: &NetworkModel, comm: &Communicator, vals: &[f64]) -> Outcome<f64> {
+    check_len(comm, vals);
+    Outcome { value: vals.iter().sum(), cost: net.allreduce(comm.nnodes(), 8) }
+}
+
+/// `MPI_Allreduce(MAX)` over one `f64` per rank.
+pub fn allreduce_max(net: &NetworkModel, comm: &Communicator, vals: &[f64]) -> Outcome<f64> {
+    check_len(comm, vals);
+    let value = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Outcome { value, cost: net.allreduce(comm.nnodes(), 8) }
+}
+
+/// `MPI_Allreduce(MIN)` over one `f64` per rank.
+pub fn allreduce_min(net: &NetworkModel, comm: &Communicator, vals: &[f64]) -> Outcome<f64> {
+    check_len(comm, vals);
+    let value = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    Outcome { value, cost: net.allreduce(comm.nnodes(), 8) }
+}
+
+/// `MPI_Allgather`: every rank contributes one item of `bytes_per_item`.
+pub fn allgather<T: Clone>(
+    net: &NetworkModel,
+    comm: &Communicator,
+    vals: &[T],
+    bytes_per_item: u64,
+) -> Outcome<Vec<T>> {
+    check_len(comm, vals);
+    Outcome {
+        value: vals.to_vec(),
+        cost: net.allgather(comm.nnodes(), bytes_per_item),
+    }
+}
+
+/// `MPI_Bcast` of a value of `bytes` from the communicator's rank 0.
+pub fn bcast<T: Clone>(net: &NetworkModel, comm: &Communicator, val: &T, bytes: u64) -> Outcome<T> {
+    Outcome { value: val.clone(), cost: net.bcast(comm.nnodes(), bytes) }
+}
+
+/// `MPI_Barrier`.
+pub fn barrier(net: &NetworkModel, comm: &Communicator) -> Outcome<()> {
+    Outcome { value: (), cost: net.barrier(comm.nnodes()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::JobLayout;
+
+    fn world(nodes: usize) -> Communicator {
+        Communicator::world(JobLayout::new(nodes * 2, 2))
+    }
+
+    #[test]
+    fn allreduce_sum_is_sum() {
+        let net = NetworkModel::aries();
+        let c = world(2);
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let out = allreduce_sum(&net, &c, &vals);
+        assert_eq!(out.value, 10.0);
+        assert!(out.cost > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn allreduce_equals_reduce_plus_bcast_semantics() {
+        // Semantic identity: allreduce(max) == bcast(reduce(max)).
+        let net = NetworkModel::aries();
+        let c = world(4);
+        let vals = [5.0, 1.0, 9.0, 2.0, 8.0, 3.0, 7.0, 4.0];
+        let red = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let all = allreduce_max(&net, &c, &vals);
+        let b = bcast(&net, &c, &red, 8);
+        assert_eq!(all.value, b.value);
+    }
+
+    #[test]
+    fn allgather_returns_everyones_data_in_rank_order() {
+        let net = NetworkModel::aries();
+        let c = world(2);
+        let vals = ["a", "b", "c", "d"];
+        let out = allgather(&net, &c, &vals, 8);
+        assert_eq!(out.value, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn cost_grows_with_scale() {
+        let net = NetworkModel::aries();
+        let small = world(16);
+        let big = world(1024);
+        let vs: Vec<f64> = vec![1.0; small.size()];
+        let vb: Vec<f64> = vec![1.0; big.size()];
+        assert!(allreduce_sum(&net, &big, &vb).cost > allreduce_sum(&net, &small, &vs).cost);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_contribution_count_panics() {
+        let net = NetworkModel::aries();
+        let c = world(2);
+        let _ = allreduce_sum(&net, &c, &[1.0]);
+    }
+
+    #[test]
+    fn min_and_max() {
+        let net = NetworkModel::aries();
+        let c = world(2);
+        let vals = [4.0, -1.0, 2.5, 9.0];
+        assert_eq!(allreduce_min(&net, &c, &vals).value, -1.0);
+        assert_eq!(allreduce_max(&net, &c, &vals).value, 9.0);
+    }
+}

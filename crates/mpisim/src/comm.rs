@@ -1,0 +1,229 @@
+//! Communicators and sub-communicators.
+//!
+//! In-situ frameworks organize MPI processes with intra- and
+//! inter-dependent sub-communicators (paper §I); the Verlet-*Splitanalysis*
+//! extension pairs analysis ranks with simulation ranks inside
+//! sub-communicators (§V). PoLiMER only needs process *membership*, so the
+//! model here is structural: a communicator is an ordered set of global
+//! ranks plus the global rank→node map.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Immutable description of the job's process layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobLayout {
+    /// Total ranks in the job.
+    pub nranks: usize,
+    /// Ranks per node (64 on Theta when fully packed; experiments often use
+    /// fewer).
+    pub ranks_per_node: usize,
+}
+
+impl JobLayout {
+    /// Build a layout; `nranks` must divide evenly onto nodes.
+    pub fn new(nranks: usize, ranks_per_node: usize) -> Self {
+        assert!(nranks > 0 && ranks_per_node > 0);
+        assert!(
+            nranks.is_multiple_of(ranks_per_node),
+            "nranks {nranks} not a multiple of ranks_per_node {ranks_per_node}"
+        );
+        JobLayout { nranks, ranks_per_node }
+    }
+
+    /// Node hosting a global rank (block placement, like `aprun -d`).
+    pub fn node_of(&self, rank: usize) -> usize {
+        assert!(rank < self.nranks);
+        rank / self.ranks_per_node
+    }
+
+    /// Number of nodes in the job.
+    pub fn nnodes(&self) -> usize {
+        self.nranks / self.ranks_per_node
+    }
+}
+
+/// A communicator: an ordered set of global ranks sharing a context.
+#[derive(Debug, Clone)]
+pub struct Communicator {
+    layout: Arc<JobLayout>,
+    /// Global ranks in this communicator, ascending.
+    ranks: Vec<usize>,
+}
+
+impl Communicator {
+    /// `MPI_COMM_WORLD` for the given layout.
+    pub fn world(layout: JobLayout) -> Self {
+        let ranks = (0..layout.nranks).collect();
+        Communicator { layout: Arc::new(layout), ranks }
+    }
+
+    /// Job layout shared by all communicators of this job.
+    pub fn layout(&self) -> &JobLayout {
+        &self.layout
+    }
+
+    /// Communicator size (number of member ranks).
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Member global ranks, ascending.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Local rank (position) of a global rank, if a member.
+    pub fn local_rank(&self, global: usize) -> Option<usize> {
+        self.ranks.binary_search(&global).ok()
+    }
+
+    /// True if the global rank belongs to this communicator.
+    pub fn contains(&self, global: usize) -> bool {
+        self.local_rank(global).is_some()
+    }
+
+    /// Distinct nodes hosting this communicator's ranks, ascending.
+    pub fn nodes(&self) -> Vec<usize> {
+        let set: BTreeSet<usize> =
+            self.ranks.iter().map(|&r| self.layout.node_of(r)).collect();
+        set.into_iter().collect()
+    }
+
+    /// Number of distinct nodes.
+    pub fn nnodes(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// `MPI_Comm_split`: partition members by color. Returns the
+    /// sub-communicators keyed by color, ascending. Key order within each
+    /// color follows global rank (key = global rank, as in the common
+    /// `split(color, rank)` idiom).
+    pub fn split<F: Fn(usize) -> u32>(&self, color_of: F) -> Vec<(u32, Communicator)> {
+        let mut colors: Vec<u32> = self.ranks.iter().map(|&r| color_of(r)).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        colors
+            .into_iter()
+            .map(|c| {
+                let ranks: Vec<usize> =
+                    self.ranks.iter().copied().filter(|&r| color_of(r) == c).collect();
+                (c, Communicator { layout: Arc::clone(&self.layout), ranks })
+            })
+            .collect()
+    }
+
+    /// `MPI_Comm_dup`.
+    pub fn dup(&self) -> Communicator {
+        self.clone()
+    }
+
+    /// The lowest global rank on each node of this communicator — PoLiMER
+    /// designates one monitor rank per node (paper §VI-B).
+    pub fn node_leaders(&self) -> Vec<usize> {
+        let mut leaders = Vec::new();
+        let mut seen = BTreeSet::new();
+        for &r in &self.ranks {
+            let node = self.layout.node_of(r);
+            if seen.insert(node) {
+                leaders.push(r);
+            }
+        }
+        leaders
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_contains_all_ranks() {
+        let w = Communicator::world(JobLayout::new(8, 2));
+        assert_eq!(w.size(), 8);
+        assert_eq!(w.nnodes(), 4);
+        assert!(w.contains(7));
+        assert_eq!(w.local_rank(3), Some(3));
+    }
+
+    #[test]
+    fn node_mapping_is_block() {
+        let l = JobLayout::new(8, 2);
+        assert_eq!(l.node_of(0), 0);
+        assert_eq!(l.node_of(1), 0);
+        assert_eq!(l.node_of(2), 1);
+        assert_eq!(l.node_of(7), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uneven_layout_rejected() {
+        let _ = JobLayout::new(7, 2);
+    }
+
+    #[test]
+    fn split_partitions_by_color() {
+        let w = Communicator::world(JobLayout::new(8, 2));
+        // Even ranks = color 0 (simulation), odd = color 1 (analysis).
+        let subs = w.split(|r| (r % 2) as u32);
+        assert_eq!(subs.len(), 2);
+        let (c0, sim) = &subs[0];
+        let (c1, ana) = &subs[1];
+        assert_eq!((*c0, *c1), (0, 1));
+        assert_eq!(sim.ranks(), &[0, 2, 4, 6]);
+        assert_eq!(ana.ranks(), &[1, 3, 5, 7]);
+        // Local ranks renumber from 0.
+        assert_eq!(ana.local_rank(5), Some(2));
+        assert!(!sim.contains(1));
+    }
+
+    #[test]
+    fn split_preserves_layout() {
+        let w = Communicator::world(JobLayout::new(16, 4));
+        let subs = w.split(|r| if r < 8 { 0 } else { 1 });
+        let (_, front) = &subs[0];
+        assert_eq!(front.nnodes(), 2);
+        assert_eq!(front.nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn node_leaders_one_per_node() {
+        let w = Communicator::world(JobLayout::new(12, 4));
+        assert_eq!(w.node_leaders(), vec![0, 4, 8]);
+        // A sub-communicator's leaders come from its own members.
+        let subs = w.split(|r| if r % 4 < 2 { 0 } else { 1 });
+        let (_, half) = &subs[1];
+        assert_eq!(half.node_leaders(), vec![2, 6, 10]);
+    }
+
+    #[test]
+    fn splitanalysis_style_partition() {
+        // Paper §V: one analysis rank paired with simulation ranks; here 3:1
+        // within each 4-rank node.
+        let w = Communicator::world(JobLayout::new(256, 4));
+        let subs = w.split(|r| if r % 4 == 3 { 1 } else { 0 });
+        let (_, sim) = &subs[0];
+        let (_, ana) = &subs[1];
+        assert_eq!(sim.size(), 192);
+        assert_eq!(ana.size(), 64);
+        // Both span all nodes (co-located mode).
+        assert_eq!(sim.nnodes(), 64);
+        assert_eq!(ana.nnodes(), 64);
+    }
+
+    #[test]
+    fn node_disjoint_partition() {
+        // The paper's evaluation mode: simulation and analysis on separate
+        // nodes (power is controlled per node).
+        let w = Communicator::world(JobLayout::new(256, 2));
+        let half = 128;
+        let subs = w.split(|r| if r < half { 0 } else { 1 });
+        let (_, sim) = &subs[0];
+        let (_, ana) = &subs[1];
+        let sim_nodes: BTreeSet<_> = sim.nodes().into_iter().collect();
+        let ana_nodes: BTreeSet<_> = ana.nodes().into_iter().collect();
+        assert!(sim_nodes.is_disjoint(&ana_nodes));
+        assert_eq!(sim_nodes.len() + ana_nodes.len(), 128);
+    }
+}

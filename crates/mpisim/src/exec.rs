@@ -1,0 +1,413 @@
+//! Event-driven execution of per-rank programs.
+//!
+//! The cost-model collectives in [`crate::coll`] answer "how long would
+//! this call take"; this module answers the harder question for irregular
+//! communication: given each rank's *program* (compute spans, sends,
+//! receives, barriers), when does every rank finish? Semantics follow MPI:
+//! sends are buffered/eager (the sender pays the injection cost and moves
+//! on), receives block until a matching message (by source and tag, FIFO
+//! per pair) has arrived, and barriers release everyone when the last rank
+//! enters. Execution is driven by the deterministic event queue in `des`.
+//!
+//! The executor also detects deadlock (every unfinished rank blocked with
+//! no in-flight messages) instead of spinning.
+
+use crate::net::NetworkModel;
+use des::{EventQueue, SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One operation in a rank's program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Busy compute for the given span.
+    Compute(SimDuration),
+    /// Eager send to `to` (global rank) with a match `tag`.
+    Send {
+        /// Destination global rank.
+        to: usize,
+        /// Payload size.
+        bytes: u64,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Blocking receive from `from` with matching `tag`.
+    Recv {
+        /// Source global rank.
+        from: usize,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Global barrier over all ranks in the executor.
+    Barrier,
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// All ranks ran to completion; per-rank finish times.
+    Finished(Vec<SimTime>),
+    /// No rank can make progress; the blocked ranks and their op indices.
+    Deadlock(Vec<(usize, usize)>),
+}
+
+#[derive(Debug)]
+struct RankState {
+    ops: Vec<Op>,
+    /// Next op index to execute.
+    pc: usize,
+    /// Time up to which this rank has executed.
+    clock: SimTime,
+    /// Blocked on a recv/barrier?
+    blocked: bool,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A message's payload has fully arrived at `dst`.
+    Arrival { dst: usize, src: usize, tag: u32 },
+}
+
+/// Deterministic program executor.
+pub struct Executor {
+    net: NetworkModel,
+    ranks: Vec<RankState>,
+    queue: EventQueue<Ev>,
+    /// Arrived-but-unreceived messages: (dst, src, tag) → arrival times.
+    mailbox: BTreeMap<(usize, usize, u32), VecDeque<SimTime>>,
+    /// Barrier bookkeeping: ranks currently waiting.
+    barrier_waiting: Vec<usize>,
+    in_flight: usize,
+}
+
+impl Executor {
+    /// Build an executor for one program per rank.
+    pub fn new(net: NetworkModel, programs: Vec<Vec<Op>>) -> Self {
+        assert!(!programs.is_empty());
+        let ranks = programs
+            .into_iter()
+            .map(|ops| RankState { ops, pc: 0, clock: SimTime::ZERO, blocked: false })
+            .collect();
+        Executor {
+            net,
+            ranks,
+            queue: EventQueue::new(),
+            mailbox: BTreeMap::new(),
+            barrier_waiting: Vec::new(),
+            in_flight: 0,
+        }
+    }
+
+    fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Advance rank `r` as far as possible from time `now`.
+    fn progress(&mut self, r: usize) {
+        loop {
+            let state = &self.ranks[r];
+            if state.pc >= state.ops.len() {
+                return;
+            }
+            match state.ops[state.pc].clone() {
+                Op::Compute(d) => {
+                    let s = &mut self.ranks[r];
+                    s.clock += d;
+                    s.pc += 1;
+                }
+                Op::Send { to, bytes, tag } => {
+                    assert!(to < self.nranks(), "send to unknown rank {to}");
+                    let cost = self.net.p2p(bytes);
+                    let s = &mut self.ranks[r];
+                    // Sender pays the injection overhead; payload lands at
+                    // the destination after the full transfer.
+                    let depart = s.clock + SimDuration::from_secs_f64(self.net.sw_overhead_s);
+                    let arrive = s.clock + cost;
+                    s.clock = depart;
+                    s.pc += 1;
+                    self.queue.push(arrive, Ev::Arrival { dst: to, src: r, tag });
+                    self.in_flight += 1;
+                }
+                Op::Recv { from, tag } => {
+                    let key = (r, from, tag);
+                    if let Some(times) = self.mailbox.get_mut(&key) {
+                        if let Some(arrived) = times.pop_front() {
+                            if times.is_empty() {
+                                self.mailbox.remove(&key);
+                            }
+                            let s = &mut self.ranks[r];
+                            s.clock = s.clock.max(arrived)
+                                + SimDuration::from_secs_f64(self.net.sw_overhead_s);
+                            s.pc += 1;
+                            s.blocked = false;
+                            continue;
+                        }
+                    }
+                    self.ranks[r].blocked = true;
+                    return;
+                }
+                Op::Barrier => {
+                    if !self.barrier_waiting.contains(&r) {
+                        self.barrier_waiting.push(r);
+                    }
+                    if self.barrier_waiting.len() == self.nranks() {
+                        // Release: everyone leaves at the latest entry time
+                        // plus the dissemination cost.
+                        let release = self
+                            .barrier_waiting
+                            .iter()
+                            .map(|&w| self.ranks[w].clock)
+                            .max()
+                            .unwrap()
+                            + self.net.barrier(self.nranks());
+                        for &w in &self.barrier_waiting.clone() {
+                            let s = &mut self.ranks[w];
+                            s.clock = release;
+                            s.pc += 1;
+                            s.blocked = false;
+                        }
+                        let waiters = std::mem::take(&mut self.barrier_waiting);
+                        for w in waiters {
+                            if w != r {
+                                self.progress(w);
+                            }
+                        }
+                        continue;
+                    }
+                    self.ranks[r].blocked = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Run to completion or deadlock.
+    pub fn run(mut self) -> Outcome {
+        // Initial sweep.
+        for r in 0..self.nranks() {
+            self.progress(r);
+        }
+        // Event loop: deliver arrivals, wake matching receivers.
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Ev::Arrival { dst, src, tag } => {
+                    self.in_flight -= 1;
+                    self.mailbox.entry((dst, src, tag)).or_default().push_back(t);
+                    if self.ranks[dst].blocked {
+                        self.ranks[dst].blocked = false;
+                        self.progress(dst);
+                    }
+                }
+            }
+        }
+        let unfinished: Vec<(usize, usize)> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.pc < s.ops.len())
+            .map(|(r, s)| (r, s.pc))
+            .collect();
+        if unfinished.is_empty() {
+            Outcome::Finished(self.ranks.iter().map(|s| s.clock).collect())
+        } else {
+            debug_assert_eq!(self.in_flight, 0);
+            Outcome::Deadlock(unfinished)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel::aries()
+    }
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn compute_only_programs_finish_at_their_sums() {
+        let out = Executor::new(
+            net(),
+            vec![vec![Op::Compute(secs(1.0)), Op::Compute(secs(0.5))], vec![Op::Compute(secs(2.0))]],
+        )
+        .run();
+        let Outcome::Finished(t) = out else { panic!("{out:?}") };
+        assert!((t[0].as_secs_f64() - 1.5).abs() < 1e-9);
+        assert!((t[1].as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ping_pong_orders_correctly() {
+        // Rank 0 sends, rank 1 receives then replies, rank 0 receives.
+        let out = Executor::new(
+            net(),
+            vec![
+                vec![
+                    Op::Send { to: 1, bytes: 1024, tag: 7 },
+                    Op::Recv { from: 1, tag: 8 },
+                ],
+                vec![
+                    Op::Recv { from: 0, tag: 7 },
+                    Op::Send { to: 0, bytes: 1024, tag: 8 },
+                ],
+            ],
+        )
+        .run();
+        let Outcome::Finished(t) = out else { panic!("{out:?}") };
+        // Two transfers plus software overheads: strictly positive, and the
+        // requester finishes last.
+        assert!(t[0] > t[1], "{t:?}");
+        assert!(t[0].as_secs_f64() > 2.0 * 1024.0 / 8.0e9);
+    }
+
+    #[test]
+    fn recv_blocks_until_sender_computes() {
+        let out = Executor::new(
+            net(),
+            vec![
+                vec![Op::Compute(secs(3.0)), Op::Send { to: 1, bytes: 8, tag: 0 }],
+                vec![Op::Recv { from: 0, tag: 0 }],
+            ],
+        )
+        .run();
+        let Outcome::Finished(t) = out else { panic!("{out:?}") };
+        assert!(t[1].as_secs_f64() >= 3.0, "receiver must wait: {t:?}");
+    }
+
+    #[test]
+    fn messages_match_fifo_per_source_and_tag() {
+        // Two sends with the same tag arrive in order; receiver consumes both.
+        let out = Executor::new(
+            net(),
+            vec![
+                vec![
+                    Op::Send { to: 1, bytes: 64, tag: 1 },
+                    Op::Compute(secs(1.0)),
+                    Op::Send { to: 1, bytes: 64, tag: 1 },
+                ],
+                vec![
+                    Op::Recv { from: 0, tag: 1 },
+                    Op::Recv { from: 0, tag: 1 },
+                ],
+            ],
+        )
+        .run();
+        let Outcome::Finished(t) = out else { panic!("{out:?}") };
+        assert!(t[1].as_secs_f64() >= 1.0, "second message sent after compute");
+    }
+
+    #[test]
+    fn tags_do_not_cross_match() {
+        // Receiver wants tag 2; only tag 1 ever arrives → deadlock.
+        let out = Executor::new(
+            net(),
+            vec![
+                vec![Op::Send { to: 1, bytes: 8, tag: 1 }],
+                vec![Op::Recv { from: 0, tag: 2 }],
+            ],
+        )
+        .run();
+        let Outcome::Deadlock(blocked) = out else { panic!("{out:?}") };
+        assert_eq!(blocked, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_everyone() {
+        let out = Executor::new(
+            net(),
+            vec![
+                vec![Op::Compute(secs(0.1)), Op::Barrier, Op::Compute(secs(0.1))],
+                vec![Op::Compute(secs(2.0)), Op::Barrier, Op::Compute(secs(0.1))],
+                vec![Op::Barrier, Op::Compute(secs(0.1))],
+            ],
+        )
+        .run();
+        let Outcome::Finished(t) = out else { panic!("{out:?}") };
+        // All leave the barrier at ≥ 2 s, so all finish ≥ 2.1 s, within a
+        // hair of each other.
+        for &ti in &t {
+            assert!(ti.as_secs_f64() >= 2.1, "{t:?}");
+        }
+        let spread = t.iter().map(|x| x.as_secs_f64()).fold(f64::MIN, f64::max)
+            - t.iter().map(|x| x.as_secs_f64()).fold(f64::MAX, f64::min);
+        assert!(spread < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn head_to_head_recv_deadlock_detected() {
+        let out = Executor::new(
+            net(),
+            vec![
+                vec![Op::Recv { from: 1, tag: 0 }, Op::Send { to: 1, bytes: 8, tag: 0 }],
+                vec![Op::Recv { from: 0, tag: 0 }, Op::Send { to: 0, bytes: 8, tag: 0 }],
+            ],
+        )
+        .run();
+        assert!(matches!(out, Outcome::Deadlock(ref b) if b.len() == 2), "{out:?}");
+    }
+
+    #[test]
+    fn eager_sends_do_not_deadlock_head_to_head() {
+        // Send-then-recv on both sides works with eager semantics.
+        let out = Executor::new(
+            net(),
+            vec![
+                vec![Op::Send { to: 1, bytes: 8, tag: 0 }, Op::Recv { from: 1, tag: 0 }],
+                vec![Op::Send { to: 0, bytes: 8, tag: 0 }, Op::Recv { from: 0, tag: 0 }],
+            ],
+        )
+        .run();
+        assert!(matches!(out, Outcome::Finished(_)), "{out:?}");
+    }
+
+    #[test]
+    fn ring_allreduce_program_matches_cost_model_shape() {
+        // A recursive-doubling allreduce written as explicit programs: the
+        // executor's finish time should be within a small factor of the
+        // closed-form cost model's estimate.
+        let n = 8usize;
+        let bytes = 64u64;
+        let rounds = (n as f64).log2() as u32;
+        let programs: Vec<Vec<Op>> = (0..n)
+            .map(|r| {
+                let mut ops = Vec::new();
+                for k in 0..rounds {
+                    let peer = r ^ (1 << k);
+                    ops.push(Op::Send { to: peer, bytes, tag: k });
+                    ops.push(Op::Recv { from: peer, tag: k });
+                }
+                ops
+            })
+            .collect();
+        let out = Executor::new(net(), programs).run();
+        let Outcome::Finished(t) = out else { panic!("{out:?}") };
+        let measured = t.iter().map(|x| x.as_secs_f64()).fold(f64::MIN, f64::max);
+        let modeled = net().allreduce(n, bytes).as_secs_f64();
+        let ratio = measured / modeled;
+        assert!((0.3..4.0).contains(&ratio), "measured {measured} vs modeled {modeled}");
+    }
+
+    #[test]
+    fn halo_exchange_pattern_completes() {
+        // 1-D ring halo: everyone sends to both neighbors, receives from both.
+        let n = 6usize;
+        let programs: Vec<Vec<Op>> = (0..n)
+            .map(|r| {
+                let left = (r + n - 1) % n;
+                let right = (r + 1) % n;
+                vec![
+                    Op::Send { to: left, bytes: 4096, tag: 10 },
+                    Op::Send { to: right, bytes: 4096, tag: 11 },
+                    Op::Recv { from: right, tag: 10 },
+                    Op::Recv { from: left, tag: 11 },
+                    Op::Compute(secs(0.001)),
+                ]
+            })
+            .collect();
+        let out = Executor::new(net(), programs).run();
+        assert!(matches!(out, Outcome::Finished(_)), "{out:?}");
+    }
+}

@@ -1,0 +1,89 @@
+//! # mpisim — simulated MPI over a cost-modeled interconnect
+//!
+//! The SeeSAw reproduction needs two things from MPI: the *structure* of
+//! in-situ process organization (communicators and sub-communicators that
+//! identify simulation vs. analysis membership — paper §IV-B) and the
+//! *cost* of the collective exchanges PoLiMER performs at every
+//! synchronization (the overhead the paper measures in Fig. 9). This crate
+//! provides both without real message passing: communicators are
+//! structural, and collectives compute their result centrally while
+//! charging a dragonfly-like latency/bandwidth cost.
+//!
+//! ```
+//! use mpisim::{Communicator, JobLayout, NetworkModel, coll};
+//!
+//! // 128 ranks, 2 per node; odd ranks are analysis (Splitanalysis-style).
+//! let world = Communicator::world(JobLayout::new(128, 2));
+//! let subs = world.split(|r| (r % 2) as u32);
+//! let (_, analysis) = &subs[1];
+//! assert_eq!(analysis.size(), 64);
+//!
+//! // PoLiMER's measurement exchange: one sample per member rank.
+//! let net = NetworkModel::aries();
+//! let samples: Vec<f64> = vec![1.0; analysis.size()];
+//! let total = coll::allreduce_sum(&net, analysis, &samples);
+//! assert_eq!(total.value, 64.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coll;
+mod comm;
+pub mod exec;
+mod net;
+
+pub use comm::{Communicator, JobLayout};
+pub use exec::{Executor, Op, Outcome};
+pub use net::NetworkModel;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Splitting by any coloring partitions the communicator exactly:
+        /// every rank lands in exactly one sub-communicator.
+        #[test]
+        fn split_is_a_partition(nodes in 1usize..64, rpn in 1usize..8, ncolors in 1u32..5) {
+            let world = Communicator::world(JobLayout::new(nodes * rpn, rpn));
+            let subs = world.split(|r| (r as u32) % ncolors);
+            let total: usize = subs.iter().map(|(_, c)| c.size()).sum();
+            prop_assert_eq!(total, world.size());
+            for (color, c) in &subs {
+                for &r in c.ranks() {
+                    prop_assert_eq!(r as u32 % ncolors, *color);
+                }
+            }
+        }
+
+        /// node_leaders yields exactly one rank per spanned node.
+        #[test]
+        fn leaders_cover_nodes(nodes in 1usize..64, rpn in 1usize..8) {
+            let world = Communicator::world(JobLayout::new(nodes * rpn, rpn));
+            let leaders = world.node_leaders();
+            prop_assert_eq!(leaders.len(), world.nnodes());
+        }
+
+        /// Collective costs are monotone in node count.
+        #[test]
+        fn costs_monotone_in_nodes(a in 1usize..512, b in 1usize..512, bytes in 0u64..1_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let net = NetworkModel::aries();
+            prop_assert!(net.allreduce(hi, bytes) >= net.allreduce(lo, bytes));
+            prop_assert!(net.allgather(hi, bytes) >= net.allgather(lo, bytes));
+            prop_assert!(net.barrier(hi) >= net.barrier(lo));
+        }
+
+        /// allreduce_sum matches a plain sum for arbitrary contributions.
+        #[test]
+        fn allreduce_sum_correct(vals in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+            let n = vals.len();
+            let world = Communicator::world(JobLayout::new(n, 1));
+            let net = NetworkModel::aries();
+            let out = coll::allreduce_sum(&net, &world, &vals);
+            let expect: f64 = vals.iter().sum();
+            prop_assert!((out.value - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+        }
+    }
+}

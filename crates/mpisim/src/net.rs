@@ -1,0 +1,150 @@
+//! Interconnect cost model.
+//!
+//! Theta's Aries dragonfly network is abstracted as a latency/bandwidth
+//! model with logarithmic collectives (the hardware has optimized
+//! collective support — paper §VII-E notes the interconnect "is optimized
+//! for collective MPI communication routines"). Constants are
+//! order-of-magnitude Aries values; experiments depend on *scaling shape*
+//! (costs grow with node count and message size), not absolutes.
+
+use des::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth network model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way small-message latency between two nodes, seconds.
+    pub latency_s: f64,
+    /// Per-node injection bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+    /// Fixed software overhead per collective call, seconds (MPI stack).
+    pub sw_overhead_s: f64,
+}
+
+impl NetworkModel {
+    /// Aries-like defaults: 1.3 µs latency, 8 GB/s effective injection
+    /// bandwidth, 2 µs software overhead.
+    pub fn aries() -> Self {
+        NetworkModel { latency_s: 1.3e-6, bandwidth_bps: 8.0e9, sw_overhead_s: 2.0e-6 }
+    }
+
+    fn transfer(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    fn rounds(nodes: usize) -> u32 {
+        if nodes <= 1 { 0 } else { (nodes as f64).log2().ceil() as u32 }
+    }
+
+    /// Point-to-point message cost between two nodes.
+    pub fn p2p(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.sw_overhead_s + self.transfer(bytes))
+    }
+
+    /// Barrier across `nodes` nodes (dissemination: ⌈log₂ n⌉ rounds).
+    pub fn barrier(&self, nodes: usize) -> SimDuration {
+        let t = self.sw_overhead_s + Self::rounds(nodes) as f64 * self.transfer(0);
+        SimDuration::from_secs_f64(t)
+    }
+
+    /// Broadcast of `bytes` from one node to `nodes` nodes (binomial tree).
+    pub fn bcast(&self, nodes: usize, bytes: u64) -> SimDuration {
+        let t = self.sw_overhead_s + Self::rounds(nodes) as f64 * self.transfer(bytes);
+        SimDuration::from_secs_f64(t)
+    }
+
+    /// Allreduce of `bytes` across `nodes` nodes (recursive doubling).
+    pub fn allreduce(&self, nodes: usize, bytes: u64) -> SimDuration {
+        let t = self.sw_overhead_s + Self::rounds(nodes) as f64 * self.transfer(bytes);
+        SimDuration::from_secs_f64(t)
+    }
+
+    /// Reduce to a root (same shape as allreduce for a tree reduction).
+    pub fn reduce(&self, nodes: usize, bytes: u64) -> SimDuration {
+        self.allreduce(nodes, bytes)
+    }
+
+    /// Allgather where each node contributes `bytes_per_node`
+    /// (recursive-doubling: log rounds, data doubles each round — total
+    /// traffic ≈ (n−1)·b, latency term log n).
+    pub fn allgather(&self, nodes: usize, bytes_per_node: u64) -> SimDuration {
+        if nodes <= 1 {
+            return SimDuration::from_secs_f64(self.sw_overhead_s);
+        }
+        let lat = Self::rounds(nodes) as f64 * self.latency_s;
+        let data = (nodes as u64 - 1) * bytes_per_node;
+        SimDuration::from_secs_f64(self.sw_overhead_s + lat + data as f64 / self.bandwidth_bps)
+    }
+
+    /// Gather to a root (root receives (n−1)·b serialized through its NIC).
+    pub fn gather(&self, nodes: usize, bytes_per_node: u64) -> SimDuration {
+        self.allgather(nodes, bytes_per_node)
+    }
+
+    /// Halo/neighbor exchange: each node exchanges `bytes` with `neighbors`
+    /// peers concurrently (limited by injection bandwidth).
+    pub fn halo_exchange(&self, neighbors: usize, bytes: u64) -> SimDuration {
+        let t = self.sw_overhead_s
+            + self.latency_s
+            + (neighbors as u64 * bytes) as f64 / self.bandwidth_bps;
+        SimDuration::from_secs_f64(t)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::aries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel::aries()
+    }
+
+    #[test]
+    fn p2p_scales_with_bytes() {
+        let n = net();
+        assert!(n.p2p(1 << 20) > n.p2p(1 << 10));
+    }
+
+    #[test]
+    fn collectives_scale_logarithmically_with_nodes() {
+        let n = net();
+        let t128 = n.allreduce(128, 64).as_secs_f64();
+        let t1024 = n.allreduce(1024, 64).as_secs_f64();
+        assert!(t1024 > t128);
+        // 1024 nodes = 10 rounds vs 7 rounds at 128: ratio well under 2.
+        assert!(t1024 / t128 < 2.0, "{}", t1024 / t128);
+    }
+
+    #[test]
+    fn allgather_scales_linearly_in_total_data() {
+        let n = net();
+        let t128 = n.allgather(128, 1024).as_secs_f64();
+        let t1024 = n.allgather(1024, 1024).as_secs_f64();
+        assert!(t1024 > 4.0 * t128, "allgather data term must dominate at scale");
+    }
+
+    #[test]
+    fn single_node_collectives_are_cheap() {
+        let n = net();
+        assert!((n.barrier(1).as_secs_f64() - n.sw_overhead_s).abs() < 1e-12);
+        assert!((n.allgather(1, 4096).as_secs_f64() - n.sw_overhead_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_cheaper_than_payload_allreduce() {
+        let n = net();
+        assert!(n.barrier(256) < n.allreduce(256, 1 << 16));
+    }
+
+    #[test]
+    fn halo_scales_with_neighbors() {
+        let n = net();
+        assert!(n.halo_exchange(6, 1 << 20) > n.halo_exchange(2, 1 << 20));
+    }
+}

@@ -1,0 +1,149 @@
+//! The PoLiMER-style flat API.
+//!
+//! The real PoLiMER exposes a small C interface the paper instruments
+//! LAMMPS with (§VI-C):
+//!
+//! ```c
+//! poli_init_power_manager(universe->uworld, universe->me, master, power_cap);
+//! ...
+//! poli_power_alloc();
+//! // synchronization
+//! ```
+//!
+//! [`PoliSession`] mirrors that surface for Rust applications: construct
+//! once per job with the world communicator and a role classifier, then
+//! call [`PoliSession::power_alloc`] immediately before each
+//! simulation↔analysis synchronization. Energy-counter calls mirror
+//! `poli_start/end_energy_counter`.
+
+use crate::energy::{EnergyLedger, RegionReport};
+use crate::manager::{AllocOutcome, PowerManager, PowerManagerConfig};
+use crate::measurement::NodeInterval;
+use mpisim::Communicator;
+use seesaw::Role;
+
+/// A whole-job PoLiMER session: power manager + energy ledger.
+pub struct PoliSession {
+    manager: PowerManager,
+    ledger: EnergyLedger,
+    initial_cap_w: f64,
+}
+
+impl PoliSession {
+    /// `poli_init_power_manager(comm, me, master, power_cap)`.
+    ///
+    /// `role_of` plays the role of the `master` flag: it classifies each
+    /// global rank as simulation or analysis. `power_cap` is the initial
+    /// per-node cap the job was launched with.
+    pub fn init_power_manager<F: Fn(usize) -> Role>(
+        world: &Communicator,
+        role_of: F,
+        power_cap_w: f64,
+        cfg: PowerManagerConfig,
+    ) -> Self {
+        PoliSession {
+            manager: PowerManager::init(world, role_of, cfg),
+            ledger: EnergyLedger::new(),
+            initial_cap_w: power_cap_w,
+        }
+    }
+
+    /// The initial per-node cap supplied at init.
+    pub fn initial_cap_w(&self) -> f64 {
+        self.initial_cap_w
+    }
+
+    /// Record one node's feedback for the closing interval (called by the
+    /// runtime for each monitor rank before `power_alloc`).
+    pub fn record(&mut self, interval: NodeInterval) {
+        self.manager.record(interval);
+    }
+
+    /// Feed the interval's energy/duration totals to the ledger.
+    pub fn record_energy(&mut self, sim_energy_j: f64, ana_energy_j: f64, dt_s: f64) {
+        self.ledger.record_interval(sim_energy_j, ana_energy_j, dt_s);
+    }
+
+    /// `poli_power_alloc()`.
+    pub fn power_alloc(&mut self) -> AllocOutcome {
+        self.manager.power_alloc()
+    }
+
+    /// `poli_start_energy_counter(tag)`.
+    pub fn start_energy_counter(&mut self, tag: &str) {
+        self.ledger.start_region(tag);
+    }
+
+    /// `poli_end_energy_counter(tag)`.
+    pub fn end_energy_counter(&mut self, tag: &str) -> Option<RegionReport> {
+        self.ledger.end_region(tag)
+    }
+
+    /// `poli_print_energy_counters()` — rendered table.
+    pub fn print_energy_counters(&self) -> String {
+        self.ledger.render()
+    }
+
+    /// Underlying manager (overhead log, roles, sync index).
+    pub fn manager(&self) -> &PowerManager {
+        &self.manager
+    }
+
+    /// Underlying ledger.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::JobLayout;
+
+    fn session() -> PoliSession {
+        let world = Communicator::world(JobLayout::new(8, 2));
+        PoliSession::init_power_manager(
+            &world,
+            |rank| if rank < 4 { Role::Simulation } else { Role::Analysis },
+            110.0,
+            PowerManagerConfig::with_controller("seesaw"),
+        )
+    }
+
+    fn feed(s: &mut PoliSession) {
+        for node in 0..4usize {
+            s.record(NodeInterval {
+                node,
+                role: if node < 2 { Role::Simulation } else { Role::Analysis },
+                time_s: if node < 2 { 4.0 } else { 2.0 },
+                power_w: 108.0,
+                cap_w: 110.0,
+            });
+        }
+        s.record_energy(4.0 * 216.0, 2.0 * 216.0, 4.0);
+    }
+
+    #[test]
+    fn two_call_instrumentation_flow() {
+        let mut s = session();
+        assert_eq!(s.initial_cap_w(), 110.0);
+        s.start_energy_counter("run");
+        feed(&mut s);
+        let first = s.power_alloc();
+        assert!(first.allocation.is_none(), "sync 0 skipped");
+        feed(&mut s);
+        let second = s.power_alloc();
+        assert!(second.allocation.is_some());
+        let report = s.end_energy_counter("run").unwrap();
+        assert!(report.energy_j > 0.0);
+        assert!(s.print_energy_counters().contains("run"));
+    }
+
+    #[test]
+    fn ledger_partition_totals_track_feeds() {
+        let mut s = session();
+        feed(&mut s);
+        assert_eq!(s.ledger().partition_energy_j(Role::Simulation), 864.0);
+        assert_eq!(s.ledger().partition_energy_j(Role::Analysis), 432.0);
+    }
+}

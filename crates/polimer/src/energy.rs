@@ -1,0 +1,192 @@
+//! Energy monitoring and reporting.
+//!
+//! PoLiMER is an "energy monitoring and power limiting interface"
+//! (Marincic et al., E2SC 2017): besides driving power caps, it reports
+//! per-tag energy consumption back to the application. This module keeps
+//! per-node, per-tag energy ledgers — the runtime feeds it interval
+//! energies and the application reads back summaries, mirroring
+//! `poli_start_energy_counter` / `poli_end_energy_counter` /
+//! `poli_print_energy_counters`.
+
+use seesaw::Role;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One named measurement region ("counter" in PoLiMER's terms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionReport {
+    /// Region tag supplied by the application.
+    pub tag: String,
+    /// Total energy across nodes, joules.
+    pub energy_j: f64,
+    /// Accumulated wall time, seconds.
+    pub time_s: f64,
+    /// Number of intervals folded in.
+    pub intervals: u64,
+}
+
+impl RegionReport {
+    /// Mean power over the region, watts.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.time_s
+        }
+    }
+}
+
+/// Per-tag energy ledger.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyLedger {
+    regions: BTreeMap<String, RegionReport>,
+    /// Currently open regions: tag → start bookkeeping (time so far).
+    open: BTreeMap<String, (f64, f64)>,
+    /// Whole-job accumulation per partition.
+    partition_energy_j: BTreeMap<&'static str, f64>,
+}
+
+fn role_key(role: Role) -> &'static str {
+    match role {
+        Role::Simulation => "simulation",
+        Role::Analysis => "analysis",
+    }
+}
+
+impl EnergyLedger {
+    /// Fresh ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `poli_start_energy_counter(tag)`: open a named region. Re-opening an
+    /// already-open region is a no-op (as in PoLiMER).
+    pub fn start_region(&mut self, tag: &str) {
+        self.open.entry(tag.to_string()).or_insert((0.0, 0.0));
+    }
+
+    /// Record one interval's totals: the runtime calls this at each
+    /// synchronization with the interval's job-wide energy and duration.
+    /// Energy accrues to every open region and to the per-partition totals.
+    pub fn record_interval(&mut self, sim_energy_j: f64, ana_energy_j: f64, dt_s: f64) {
+        *self.partition_energy_j.entry(role_key(Role::Simulation)).or_insert(0.0) +=
+            sim_energy_j;
+        *self.partition_energy_j.entry(role_key(Role::Analysis)).or_insert(0.0) +=
+            ana_energy_j;
+        for (e, t) in self.open.values_mut() {
+            *e += sim_energy_j + ana_energy_j;
+            *t += dt_s;
+        }
+    }
+
+    /// `poli_end_energy_counter(tag)`: close a region and fold it into the
+    /// report. Returns the region's totals, or `None` if it was not open.
+    pub fn end_region(&mut self, tag: &str) -> Option<RegionReport> {
+        let (energy_j, time_s) = self.open.remove(tag)?;
+        let entry = self.regions.entry(tag.to_string()).or_insert(RegionReport {
+            tag: tag.to_string(),
+            energy_j: 0.0,
+            time_s: 0.0,
+            intervals: 0,
+        });
+        entry.energy_j += energy_j;
+        entry.time_s += time_s;
+        entry.intervals += 1;
+        Some(entry.clone())
+    }
+
+    /// Total energy attributed to a partition so far, joules.
+    pub fn partition_energy_j(&self, role: Role) -> f64 {
+        self.partition_energy_j.get(role_key(role)).copied().unwrap_or(0.0)
+    }
+
+    /// All closed regions (`poli_print_energy_counters`' data).
+    pub fn reports(&self) -> impl Iterator<Item = &RegionReport> {
+        self.regions.values()
+    }
+
+    /// Render the report table as text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("region            energy (J)      time (s)   mean power (W)\n");
+        for r in self.reports() {
+            out.push_str(&format!(
+                "{:<16} {:>12.1} {:>12.2} {:>14.1}\n",
+                r.tag,
+                r.energy_j,
+                r.time_s,
+                r.mean_power_w()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_lifecycle() {
+        let mut l = EnergyLedger::new();
+        l.start_region("main-loop");
+        l.record_interval(400.0, 300.0, 2.0);
+        l.record_interval(400.0, 300.0, 2.0);
+        let r = l.end_region("main-loop").unwrap();
+        assert_eq!(r.energy_j, 1400.0);
+        assert_eq!(r.time_s, 4.0);
+        assert_eq!(r.mean_power_w(), 350.0);
+    }
+
+    #[test]
+    fn regions_only_accrue_while_open() {
+        let mut l = EnergyLedger::new();
+        l.record_interval(100.0, 100.0, 1.0); // before open: not counted
+        l.start_region("tail");
+        l.record_interval(50.0, 25.0, 1.0);
+        let r = l.end_region("tail").unwrap();
+        assert_eq!(r.energy_j, 75.0);
+        // Partition totals count everything regardless.
+        assert_eq!(l.partition_energy_j(Role::Simulation), 150.0);
+        assert_eq!(l.partition_energy_j(Role::Analysis), 125.0);
+    }
+
+    #[test]
+    fn end_without_start_is_none() {
+        let mut l = EnergyLedger::new();
+        assert!(l.end_region("ghost").is_none());
+    }
+
+    #[test]
+    fn reopening_a_region_accumulates_across_episodes() {
+        let mut l = EnergyLedger::new();
+        l.start_region("phase");
+        l.record_interval(10.0, 0.0, 1.0);
+        l.end_region("phase");
+        l.start_region("phase");
+        l.record_interval(20.0, 0.0, 1.0);
+        let r = l.end_region("phase").unwrap();
+        assert_eq!(r.energy_j, 30.0);
+        assert_eq!(r.intervals, 2);
+    }
+
+    #[test]
+    fn double_start_is_noop() {
+        let mut l = EnergyLedger::new();
+        l.start_region("x");
+        l.record_interval(5.0, 0.0, 1.0);
+        l.start_region("x"); // must not reset
+        l.record_interval(5.0, 0.0, 1.0);
+        assert_eq!(l.end_region("x").unwrap().energy_j, 10.0);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let mut l = EnergyLedger::new();
+        l.start_region("a");
+        l.record_interval(100.0, 0.0, 1.0);
+        l.end_region("a");
+        let text = l.render();
+        assert!(text.contains("a"), "{text}");
+        assert!(text.contains("100.0"), "{text}");
+    }
+}

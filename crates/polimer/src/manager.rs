@@ -1,0 +1,309 @@
+//! The power manager: PoLiMER's core object.
+
+use crate::measurement::{IntervalAccumulator, NodeInterval};
+use des::SimDuration;
+use mpisim::{coll, Communicator, NetworkModel};
+use seesaw::{Allocation, Controller, Role};
+
+/// Manager configuration.
+#[derive(Debug, Clone)]
+pub struct PowerManagerConfig {
+    /// Controller name (resolved via [`seesaw::controller_by_name`]):
+    /// `seesaw`, `power-aware`, `time-aware` or `static`.
+    pub controller: String,
+    /// Interconnect model used to charge measurement-exchange overhead.
+    pub net: NetworkModel,
+    /// Estimated local compute time of one allocation decision, seconds
+    /// (the arithmetic is trivial; the paper's Fig. 9b measures ~µs–ms
+    /// dominated by RAPL interaction, which the runtime models separately).
+    pub compute_s: f64,
+}
+
+impl PowerManagerConfig {
+    /// Paper defaults with the SeeSAw controller for an `n`-node job.
+    pub fn paper_default(_n_nodes: usize) -> Self {
+        PowerManagerConfig {
+            controller: "seesaw".to_string(),
+            net: NetworkModel::aries(),
+            compute_s: 5.0e-6,
+        }
+    }
+
+    /// Same, choosing a controller by name.
+    pub fn with_controller(name: &str) -> Self {
+        PowerManagerConfig { controller: name.to_string(), ..Self::paper_default(0) }
+    }
+}
+
+/// Result of one `power_alloc()` call.
+#[derive(Debug, Clone)]
+pub struct AllocOutcome {
+    /// New allocation to apply, if the controller decided to act.
+    pub allocation: Option<Allocation>,
+    /// Time spent exchanging measurements and deciding (charged into the
+    /// next interval's feedback and reported in Fig. 9).
+    pub overhead: SimDuration,
+}
+
+/// The PoLiMER power manager for one job.
+pub struct PowerManager {
+    roles: Vec<Role>,
+    monitor_ranks: Vec<usize>,
+    world_nodes: usize,
+    controller: Box<dyn Controller>,
+    net: NetworkModel,
+    compute_s: f64,
+    acc: IntervalAccumulator,
+    overhead_log: Vec<(u64, SimDuration)>,
+}
+
+impl PowerManager {
+    /// Initialize: mirrors `poli_init_power_manager(comm, rank, master,
+    /// cap)`. `role_of` classifies each global rank (the `master` flag in
+    /// the paper's instrumentation); one monitor rank per node is
+    /// designated automatically.
+    pub fn init<F: Fn(usize) -> Role>(
+        world: &Communicator,
+        role_of: F,
+        cfg: PowerManagerConfig,
+    ) -> Self {
+        let controller = seesaw::controller_by_name(&cfg.controller, world.nnodes())
+            .unwrap_or_else(|| panic!("unknown controller {:?}", cfg.controller));
+        Self::init_with_controller(world, role_of, controller, cfg.net, cfg.compute_s)
+    }
+
+    /// Initialize with an explicitly constructed controller (custom budget,
+    /// window, limits — the experiment runtime uses this).
+    pub fn init_with_controller<F: Fn(usize) -> Role>(
+        world: &Communicator,
+        role_of: F,
+        controller: Box<dyn Controller>,
+        net: NetworkModel,
+        compute_s: f64,
+    ) -> Self {
+        let monitor_ranks = world.node_leaders();
+        let nnodes = world.nnodes();
+        let roles = monitor_ranks.iter().map(|&r| role_of(r)).collect();
+        PowerManager {
+            roles,
+            monitor_ranks,
+            world_nodes: nnodes,
+            controller,
+            net,
+            compute_s,
+            acc: IntervalAccumulator::new(),
+            overhead_log: Vec::new(),
+        }
+    }
+
+    /// The designated monitor ranks, one per node.
+    pub fn monitor_ranks(&self) -> &[usize] {
+        &self.monitor_ranks
+    }
+
+    /// Per-node partition roles.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// Controller name.
+    pub fn controller_name(&self) -> &'static str {
+        self.controller.name()
+    }
+
+    /// Completed synchronization count.
+    pub fn sync_index(&self) -> u64 {
+        self.acc.sync_index()
+    }
+
+    /// Per-sync overhead log `(sync index, duration)` (Fig. 9a data).
+    pub fn overhead_log(&self) -> &[(u64, SimDuration)] {
+        &self.overhead_log
+    }
+
+    /// Record one node's feedback for the interval that is about to close.
+    /// The runtime calls this for every node before `power_alloc`.
+    pub fn record(&mut self, interval: NodeInterval) {
+        debug_assert!(interval.node < self.world_nodes);
+        self.acc.push(interval);
+    }
+
+    /// `poli_power_alloc()`: exchange measurements, consult the controller,
+    /// return the decision and its overhead. Called immediately before each
+    /// simulation↔analysis synchronization (paper §VI-C).
+    pub fn power_alloc(&mut self) -> AllocOutcome {
+        let Some(obs) = self.acc.close_interval() else {
+            return AllocOutcome { allocation: None, overhead: SimDuration::ZERO };
+        };
+        // Overhead: every monitor rank contributes (time, power, cap) — an
+        // allgather over the job's nodes — plus the decision broadcast.
+        let layout = mpisim::JobLayout::new(self.world_nodes, 1);
+        let monitors = Communicator::world(layout);
+        let contributions: Vec<u64> = vec![0; self.world_nodes];
+        let gather = coll::allgather(&self.net, &monitors, &contributions, 24);
+        let decide = SimDuration::from_secs_f64(self.compute_s);
+        let apply = coll::bcast(&self.net, &monitors, &0u64, 16);
+        let overhead = gather.cost + decide + apply.cost;
+
+        let allocation = self.controller.on_sync(&obs);
+        let sync = obs.step;
+        self.overhead_log.push((sync, overhead));
+        // The allocation call's cost lands in the next interval's measured
+        // times (paper §VI-B).
+        self.acc.charge_overhead(overhead.as_secs_f64());
+        AllocOutcome { allocation, overhead }
+    }
+
+    /// Reset for a fresh run with the same configuration.
+    pub fn reset(&mut self) {
+        self.controller.reset();
+        self.acc.reset();
+        self.overhead_log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::JobLayout;
+
+    fn manager(controller: &str) -> PowerManager {
+        // 8 ranks, 2 per node -> 4 nodes; nodes 0-1 sim, 2-3 analysis.
+        let world = Communicator::world(JobLayout::new(8, 2));
+        PowerManager::init(
+            &world,
+            |rank| if rank < 4 { Role::Simulation } else { Role::Analysis },
+            PowerManagerConfig::with_controller(controller),
+        )
+    }
+
+    fn feed(mgr: &mut PowerManager, t_sim: f64, t_ana: f64) {
+        for node in 0..4usize {
+            let role = if node < 2 { Role::Simulation } else { Role::Analysis };
+            let t = if node < 2 { t_sim } else { t_ana };
+            mgr.record(NodeInterval { node, role, time_s: t, power_w: 108.0, cap_w: 110.0 });
+        }
+    }
+
+    #[test]
+    fn init_designates_monitor_ranks_and_roles() {
+        let mgr = manager("seesaw");
+        assert_eq!(mgr.monitor_ranks(), &[0, 2, 4, 6]);
+        assert_eq!(
+            mgr.roles(),
+            &[Role::Simulation, Role::Simulation, Role::Analysis, Role::Analysis]
+        );
+        assert_eq!(mgr.controller_name(), "seesaw");
+    }
+
+    #[test]
+    fn power_alloc_without_feedback_is_noop() {
+        let mut mgr = manager("seesaw");
+        let out = mgr.power_alloc();
+        assert!(out.allocation.is_none());
+        assert!(out.overhead.is_zero());
+        assert_eq!(mgr.sync_index(), 0);
+    }
+
+    #[test]
+    fn seesaw_skips_step_zero_then_allocates() {
+        let mut mgr = manager("seesaw");
+        feed(&mut mgr, 4.0, 2.0);
+        let first = mgr.power_alloc();
+        assert!(first.allocation.is_none(), "sync 0 is outside the main loop");
+        feed(&mut mgr, 4.0, 2.0);
+        let second = mgr.power_alloc();
+        let alloc = second.allocation.expect("w = 1 allocates every sync");
+        assert!(alloc.sim_node_w > alloc.analysis_node_w);
+        assert_eq!(mgr.sync_index(), 2);
+    }
+
+    #[test]
+    fn overhead_is_positive_and_logged() {
+        let mut mgr = manager("static");
+        feed(&mut mgr, 1.0, 1.0);
+        let out = mgr.power_alloc();
+        assert!(out.overhead > SimDuration::ZERO);
+        assert_eq!(mgr.overhead_log().len(), 1);
+    }
+
+    #[test]
+    fn overhead_charged_into_next_interval() {
+        let mut mgr = manager("time-aware");
+        feed(&mut mgr, 4.0, 2.0);
+        let o1 = mgr.power_alloc();
+        // Feed equal raw times; the observation the controller sees should
+        // include the previous call's overhead. We can't peek inside, but
+        // overhead accumulation is covered by IntervalAccumulator tests;
+        // here we just confirm repeated calls work.
+        feed(&mut mgr, 4.0, 2.0);
+        let o2 = mgr.power_alloc();
+        assert!(o1.overhead > SimDuration::ZERO && o2.overhead > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn static_controller_never_allocates() {
+        let mut mgr = manager("static");
+        for _ in 0..5 {
+            feed(&mut mgr, 3.0, 1.0);
+            assert!(mgr.power_alloc().allocation.is_none());
+        }
+    }
+
+    #[test]
+    fn reset_restarts_sync_numbering() {
+        let mut mgr = manager("seesaw");
+        feed(&mut mgr, 4.0, 2.0);
+        mgr.power_alloc();
+        mgr.reset();
+        assert_eq!(mgr.sync_index(), 0);
+        assert!(mgr.overhead_log().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_controller_panics() {
+        let _ = manager("nonsense");
+    }
+
+    #[test]
+    fn overhead_grows_with_job_size() {
+        let small = {
+            let world = Communicator::world(JobLayout::new(8, 2));
+            let mut m = PowerManager::init(
+                &world,
+                |r| if r < 4 { Role::Simulation } else { Role::Analysis },
+                PowerManagerConfig::with_controller("static"),
+            );
+            for node in 0..4 {
+                m.record(NodeInterval {
+                    node,
+                    role: if node < 2 { Role::Simulation } else { Role::Analysis },
+                    time_s: 1.0,
+                    power_w: 100.0,
+                    cap_w: 110.0,
+                });
+            }
+            m.power_alloc().overhead
+        };
+        let big = {
+            let world = Communicator::world(JobLayout::new(2048, 2));
+            let mut m = PowerManager::init(
+                &world,
+                |r| if r < 1024 { Role::Simulation } else { Role::Analysis },
+                PowerManagerConfig::with_controller("static"),
+            );
+            for node in 0..1024 {
+                m.record(NodeInterval {
+                    node,
+                    role: if node < 512 { Role::Simulation } else { Role::Analysis },
+                    time_s: 1.0,
+                    power_w: 100.0,
+                    cap_w: 110.0,
+                });
+            }
+            m.power_alloc().overhead
+        };
+        assert!(big > small, "1024-node exchange must cost more: {big} vs {small}");
+    }
+}

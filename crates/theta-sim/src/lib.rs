@@ -1,0 +1,109 @@
+//! # theta-sim — simulated Theta (Cray XC40 / KNL) cluster power model
+//!
+//! The SeeSAw paper evaluates on the Theta supercomputer: Intel Xeon Phi
+//! 7230 nodes with per-node RAPL power capping. This crate substitutes that
+//! hardware with a calibrated model exposing exactly the behaviours the
+//! paper's evaluation depends on:
+//!
+//! * a **power→rate** model that is linear above a floor and saturates at a
+//!   per-phase demand (LAMMPS gains nothing beyond ≈140 W — paper Fig. 8);
+//! * **RAPL semantics**: caps clamped to `[98 W, 215 W]`, ~10 ms actuation
+//!   latency, long-term (1 s) vs. long+short-term enforcement, the latter
+//!   limiting slightly below the request (paper §VII-A);
+//! * **variability**: job-to-job placement effects, run-to-run bias,
+//!   per-phase jitter and measurement noise, with magnitudes per cap mode
+//!   calibrated against the paper's Table I;
+//! * **power traces** sampled every 200 ms like the paper's Fig. 1.
+//!
+//! Nodes execute [`Work`] quanta tagged with a [`PhaseKind`]; the in-situ
+//! runtime (crate `insitu`) feeds them the per-phase work profiles produced
+//! by the real mini-MD engine (crate `mdsim`).
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod config;
+mod noise;
+mod node;
+mod phase;
+pub mod power;
+mod rapl;
+
+pub use cluster::Cluster;
+pub use config::{CapMode, MachineConfig};
+pub use noise::{NoiseModel, NoiseSeed, NoiseSigmas};
+pub use node::Node;
+pub use phase::{PhaseKind, Work};
+pub use power::{cliff_factor, duration_secs, operating_point, rate, OperatingPoint, CLIFF_FLOOR_FACTOR, CLIFF_START_W, MIN_RATE};
+pub use rapl::RaplDomain;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use des::SimTime;
+    use proptest::prelude::*;
+
+    fn arb_kind() -> impl Strategy<Value = PhaseKind> {
+        prop::sample::select(PhaseKind::all_productive().to_vec())
+    }
+
+    proptest! {
+        /// Progress rate is monotone non-decreasing in the cap for every
+        /// productive phase kind.
+        #[test]
+        fn rate_monotone(kind in arb_kind(), lo in 98.0f64..214.0, delta in 0.0f64..100.0) {
+            let m = MachineConfig::theta();
+            let hi = (lo + delta).min(215.0);
+            prop_assert!(rate(&m, Work::new(kind, 1.0), hi) >= rate(&m, Work::new(kind, 1.0), lo));
+        }
+
+        /// A node's draw never exceeds the enforced cap (long-term mode).
+        #[test]
+        fn draw_respects_cap(kind in arb_kind(), cap in 98.0f64..215.0, work in 0.01f64..5.0) {
+            let m = MachineConfig::theta();
+            let mut c = Cluster::noiseless(m, 1, CapMode::Long, cap);
+            let cfg = c.config().clone();
+            let end = c.node_mut(0).run_phase(&cfg, SimTime::ZERO, Work::new(kind, work), 1.0);
+            let mean = c.node(0).mean_power(SimTime::ZERO, end);
+            prop_assert!(mean <= cap + 1e-9, "mean {} cap {}", mean, cap);
+        }
+
+        /// Energy accounting is consistent: E = mean power × duration.
+        #[test]
+        fn energy_consistent(kind in arb_kind(), cap in 98.0f64..215.0, work in 0.01f64..5.0) {
+            let m = MachineConfig::theta();
+            let mut c = Cluster::noiseless(m, 1, CapMode::Long, cap);
+            let cfg = c.config().clone();
+            let end = c.node_mut(0).run_phase(&cfg, SimTime::ZERO, Work::new(kind, work), 1.0);
+            let dt = end.as_secs_f64();
+            let e = c.node(0).energy(SimTime::ZERO, end);
+            let p = c.node(0).mean_power(SimTime::ZERO, end);
+            prop_assert!((e - p * dt).abs() < 1e-6 * e.max(1.0));
+        }
+
+        /// Duration strictly decreases when the cap rises, as long as the
+        /// phase is not yet saturated.
+        #[test]
+        fn more_power_not_slower(kind in arb_kind(), cap in 98.0f64..200.0, work in 0.1f64..3.0) {
+            let m = MachineConfig::theta();
+            let t_lo = duration_secs(&m, Work::new(kind, work), cap, 1.0);
+            let t_hi = duration_secs(&m, Work::new(kind, work), cap + 15.0, 1.0);
+            prop_assert!(t_hi <= t_lo + 1e-12);
+        }
+
+        /// Splitting work across a cap change conserves total work: running
+        /// at a fixed cap equals the piecewise execution when the "change"
+        /// sets the same cap.
+        #[test]
+        fn noop_cap_change_preserves_duration(kind in arb_kind(), cap in 98.0f64..215.0, work in 0.1f64..3.0) {
+            let m = MachineConfig::theta();
+            let mut plain = Cluster::noiseless(m.clone(), 1, CapMode::Long, cap);
+            let mut poked = Cluster::noiseless(m, 1, CapMode::Long, cap);
+            let cfg = plain.config().clone();
+            poked.node_mut(0).rapl_mut().request_cap(&cfg, SimTime::ZERO, cap);
+            let e1 = plain.node_mut(0).run_phase(&cfg, SimTime::ZERO, Work::new(kind, work), 1.0);
+            let e2 = poked.node_mut(0).run_phase(&cfg, SimTime::ZERO, Work::new(kind, work), 1.0);
+            prop_assert_eq!(e1, e2);
+        }
+    }
+}

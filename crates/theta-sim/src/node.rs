@@ -1,0 +1,279 @@
+//! A simulated compute node: executes phases under its RAPL cap, tracks its
+//! power draw as a step function over time, and accounts energy.
+
+use crate::config::MachineConfig;
+use crate::phase::{PhaseKind, Work};
+use crate::power::operating_point;
+use crate::rapl::RaplDomain;
+use des::{SimTime, TimeSeries};
+
+/// One compute node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: usize,
+    /// Static efficiency multiplier (silicon/placement lottery), 1.0 nominal.
+    efficiency: f64,
+    rapl: RaplDomain,
+    /// Piecewise-constant power draw: change points only.
+    draw: TimeSeries,
+    /// Time up to which this node's activity has been simulated.
+    busy_until: SimTime,
+    last_draw_w: f64,
+}
+
+impl Node {
+    /// Create a node with the given RAPL domain and efficiency.
+    pub fn new(id: usize, efficiency: f64, rapl: RaplDomain) -> Self {
+        assert!(efficiency > 0.0, "efficiency must be positive");
+        let mut draw = TimeSeries::new();
+        draw.push(SimTime::ZERO, 0.0);
+        Node { id, efficiency, rapl, draw, busy_until: SimTime::ZERO, last_draw_w: 0.0 }
+    }
+
+    /// Node identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Static efficiency multiplier.
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Mutable access to the RAPL domain (capping interface).
+    pub fn rapl_mut(&mut self) -> &mut RaplDomain {
+        &mut self.rapl
+    }
+
+    /// Shared access to the RAPL domain.
+    pub fn rapl(&self) -> &RaplDomain {
+        &self.rapl
+    }
+
+    /// Time up to which this node has been scheduled.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    fn record_draw(&mut self, t: SimTime, watts: f64) {
+        if (watts - self.last_draw_w).abs() > 1e-9 {
+            self.draw.push(t, watts);
+            self.last_draw_w = watts;
+        }
+    }
+
+    /// Execute `work` starting at `start`, honouring any cap change that
+    /// lands mid-phase. `jitter` is a per-phase duration multiplier from the
+    /// noise model. Returns the completion time.
+    ///
+    /// Panics in debug builds if `start` precedes previously simulated
+    /// activity on this node.
+    pub fn run_phase(&mut self, m: &MachineConfig, start: SimTime, work: Work, jitter: f64) -> SimTime {
+        debug_assert!(start >= self.busy_until, "node {} scheduled into its past", self.id);
+        debug_assert!(jitter > 0.0);
+        self.rapl.advance(start);
+        // Remaining work measured in reference-seconds, inflated by jitter
+        // and this node's (in)efficiency.
+        let mut remaining = work.ref_secs * jitter / self.efficiency;
+        let mut t = start;
+        if remaining <= 0.0 {
+            self.busy_until = t;
+            return t;
+        }
+        loop {
+            let cap = self.rapl.enforced_at(t);
+            let op = operating_point(m, work, cap);
+            self.record_draw(t, op.draw_w);
+            debug_assert!(op.rate > 0.0, "productive phase stalled");
+            let need = remaining / op.rate;
+            let end = t + des::SimDuration::from_secs_f64(need);
+            match self.rapl.next_change_after(t) {
+                Some(change) if change < end => {
+                    let seg_secs = change.saturating_since(t).as_secs_f64();
+                    remaining -= seg_secs * op.rate;
+                    t = change;
+                    self.rapl.advance(t);
+                }
+                _ => {
+                    t = end;
+                    break;
+                }
+            }
+        }
+        self.busy_until = t;
+        t
+    }
+
+    /// Block at a synchronization point from `from` until `until`, drawing
+    /// the machine's wait power (subject to the cap).
+    pub fn wait_until(&mut self, m: &MachineConfig, from: SimTime, until: SimTime) {
+        debug_assert!(from >= self.busy_until);
+        if until <= from {
+            self.busy_until = self.busy_until.max(from);
+            return;
+        }
+        self.rapl.advance(from);
+        let mut t = from;
+        while t < until {
+            let cap = self.rapl.enforced_at(t);
+            let op = operating_point(m, Work::none(PhaseKind::Wait), cap);
+            self.record_draw(t, op.draw_w);
+            match self.rapl.next_change_after(t) {
+                Some(change) if change < until => {
+                    t = change;
+                    self.rapl.advance(t);
+                }
+                _ => t = until,
+            }
+        }
+        self.busy_until = until;
+    }
+
+    /// True (noise-free) mean power over `[from, to)`, watts.
+    pub fn mean_power(&self, from: SimTime, to: SimTime) -> f64 {
+        let dt = to.saturating_since(from).as_secs_f64();
+        if dt <= 0.0 {
+            return self.last_draw_w;
+        }
+        self.draw.integrate(from, to) / dt
+    }
+
+    /// True energy consumed over `[from, to)`, joules.
+    pub fn energy(&self, from: SimTime, to: SimTime) -> f64 {
+        self.draw.integrate(from, to)
+    }
+
+    /// Instantaneous true draw at time `t`, watts (piecewise-constant,
+    /// left-continuous view of the recorded series).
+    pub fn draw_at(&self, t: SimTime) -> f64 {
+        let times = self.draw.times();
+        let idx = times.partition_point(|&x| x <= t);
+        if idx == 0 {
+            0.0
+        } else {
+            self.draw.values()[idx - 1]
+        }
+    }
+
+    /// The full draw series (for tracing).
+    pub fn draw_series(&self) -> &TimeSeries {
+        &self.draw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CapMode;
+    use des::SimDuration;
+
+    fn m() -> MachineConfig {
+        MachineConfig::theta()
+    }
+
+    fn capped_node(watts: f64) -> Node {
+        let m = m();
+        Node::new(0, 1.0, RaplDomain::capped(&m, CapMode::Long, watts))
+    }
+
+    #[test]
+    fn phase_at_reference_power_takes_ref_secs() {
+        let m = m();
+        let mut n = capped_node(m.ref_power_w);
+        let end = n.run_phase(&m, SimTime::ZERO, Work::new(PhaseKind::Force, 2.0), 1.0);
+        assert!((end.as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(n.busy_until(), end);
+    }
+
+    #[test]
+    fn higher_cap_is_faster() {
+        let m = m();
+        let mut a = capped_node(110.0);
+        let mut b = capped_node(130.0);
+        let w = Work::new(PhaseKind::Force, 4.0);
+        let ta = a.run_phase(&m, SimTime::ZERO, w, 1.0);
+        let tb = b.run_phase(&m, SimTime::ZERO, w, 1.0);
+        assert!(tb < ta);
+    }
+
+    #[test]
+    fn cap_change_mid_phase_splits_execution() {
+        let m = m();
+        let mut n = capped_node(110.0);
+        // Raise the cap 10 ms into a 2 s phase: the tail runs faster.
+        n.rapl_mut().request_cap(&m, SimTime::ZERO, 135.0);
+        let end = n.run_phase(&m, SimTime::ZERO, Work::new(PhaseKind::Force, 2.0), 1.0);
+        let t_uniform_110 = 2.0;
+        let t_uniform_135 = 2.0 * (110.0 - m.floor_w) / (135.0 - m.floor_w);
+        let got = end.as_secs_f64();
+        assert!(got < t_uniform_110 && got > t_uniform_135, "{got}");
+        // Draw series shows both levels.
+        let draws: Vec<f64> = n.draw_series().values().to_vec();
+        assert!(draws.contains(&110.0) && draws.contains(&135.0), "{draws:?}");
+    }
+
+    #[test]
+    fn energy_equals_power_times_time_for_constant_phase() {
+        let m = m();
+        let mut n = capped_node(110.0);
+        let end = n.run_phase(&m, SimTime::ZERO, Work::new(PhaseKind::Force, 3.0), 1.0);
+        let e = n.energy(SimTime::ZERO, end);
+        assert!((e - 110.0 * 3.0).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn waiting_draws_wait_power() {
+        let m = m();
+        let mut n = capped_node(110.0);
+        n.wait_until(&m, SimTime::ZERO, SimTime::from_secs_f64(2.0));
+        let mean = n.mean_power(SimTime::ZERO, SimTime::from_secs_f64(2.0));
+        assert!((mean - m.wait_power_w).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn wait_power_is_capped() {
+        let m = m();
+        let mut n = capped_node(98.0);
+        n.wait_until(&m, SimTime::ZERO, SimTime::from_secs_f64(1.0));
+        let mean = n.mean_power(SimTime::ZERO, SimTime::from_secs_f64(1.0));
+        assert!((mean - 98.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn inefficient_node_is_slower() {
+        let m = m();
+        let mut nominal = capped_node(110.0);
+        let mut slow = Node::new(1, 0.9, RaplDomain::capped(&m, CapMode::Long, 110.0));
+        let w = Work::new(PhaseKind::Force, 1.0);
+        assert!(slow.run_phase(&m, SimTime::ZERO, w, 1.0) > nominal.run_phase(&m, SimTime::ZERO, w, 1.0));
+    }
+
+    #[test]
+    fn draw_at_reflects_current_phase() {
+        let m = m();
+        let mut n = capped_node(110.0);
+        let end = n.run_phase(&m, SimTime::ZERO, Work::new(PhaseKind::SyncExchange, 1.0), 1.0);
+        // SyncExchange demand is 108 < 110 cap.
+        assert!((n.draw_at(SimTime::from_secs_f64(0.1)) - 108.0).abs() < 1e-9);
+        n.wait_until(&m, end, end + SimDuration::from_secs(1));
+        assert!((n.draw_at(end + SimDuration::from_millis(500)) - m.wait_power_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_completes_instantly() {
+        let m = m();
+        let mut n = capped_node(110.0);
+        let end = n.run_phase(&m, SimTime::from_secs_f64(5.0), Work::none(PhaseKind::Force), 1.0);
+        assert_eq!(end, SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn mean_power_mixes_phases() {
+        let m = m();
+        let mut n = capped_node(110.0);
+        let mid = n.run_phase(&m, SimTime::ZERO, Work::new(PhaseKind::Force, 1.0), 1.0);
+        n.wait_until(&m, mid, mid + SimDuration::from_secs_f64(1.0));
+        let mean = n.mean_power(SimTime::ZERO, mid + SimDuration::from_secs_f64(1.0));
+        assert!((mean - (110.0 + 105.0) / 2.0).abs() < 1e-6, "{mean}");
+    }
+}

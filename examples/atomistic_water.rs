@@ -1,0 +1,62 @@
+//! Flexible 3-site water: the atomistic option behind the benchmark's
+//! coarse-grained default. Equilibrates a box of SPC-like molecules
+//! (harmonic O–H bonds, H–O–H angle, intramolecular exclusions), verifies
+//! energy conservation, and prints the O–O radial structure.
+//!
+//! ```text
+//! cargo run --release -p insitu --example atomistic_water
+//! ```
+
+use mdsim::analysis::{Analysis, Rdf, RdfConfig, Snapshot};
+use mdsim::{equilibrate, MdEngine, Species, Thermostat};
+
+fn main() {
+    println!("flexible 3-site water (SPC-like), 216 molecules / 648 atoms\n");
+    let mut engine = MdEngine::flexible_water_benchmark(6, 2026);
+    println!(
+        "box {:.2} σ, {} bonds, {} angles, dt = 0.0008",
+        engine.system.box_len,
+        engine.topology().bonds.len(),
+        engine.topology().angles.len()
+    );
+
+    // Equilibrate to T = 1 with weak coupling, then sample NVE.
+    let t = equilibrate(&mut engine, Thermostat::Berendsen { target: 1.0, tau: 0.05 }, 300);
+    println!("equilibrated: T = {t:.3}");
+
+    let e0 = engine.thermo().total;
+    // Use one hydronium-tagged oxygen as the RDF probe so the hydronium–
+    // water g(r) doubles as an O–O g(r).
+    engine.system.species[0] = Species::Hydronium;
+    let mut rdf = Rdf::new(RdfConfig { bins: 60, r_max: 3.0 });
+    for step in 0..400u64 {
+        engine.step();
+        if step % 10 == 0 {
+            rdf.observe(step, &Snapshot::of(&engine.system));
+        }
+    }
+    let e1 = engine.thermo().total;
+    println!(
+        "NVE drift over 400 steps: {:+.3} % (E {e0:.1} → {e1:.1})",
+        (e1 - e0) / e0.abs() * 100.0
+    );
+
+    println!("\nO–O radial distribution (probe vs water oxygens):");
+    let g = rdf.g_hydronium();
+    let r = rdf.r_centers();
+    for (ri, gi) in r.iter().zip(&g) {
+        if *ri < 0.5 || *ri > 2.4 {
+            continue;
+        }
+        let bar = "#".repeat((gi * 12.0).min(60.0) as usize);
+        println!("  r = {ri:4.2} σ  g = {gi:5.2}  |{bar}");
+    }
+    let (peak_r, peak_g) = r
+        .iter()
+        .zip(&g)
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(r, g)| (*r, *g))
+        .unwrap();
+    println!("\nfirst shell peak: g({peak_r:.2} σ) = {peak_g:.2}");
+    println!("done.");
+}

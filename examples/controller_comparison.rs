@@ -1,0 +1,45 @@
+//! Compare all four power-management strategies on one workload: LAMMPS
+//! with the full-MSD analysis on 128 nodes under a 110 W/node budget — the
+//! scenario where the paper shows energy feedback is decisive.
+//!
+//! ```text
+//! cargo run --release -p insitu --example controller_comparison
+//! ```
+
+use insitu::{improvement_pct, run_job, JobConfig};
+use mdsim::workload::WorkloadSpec;
+use mdsim::AnalysisKind;
+
+fn main() {
+    println!("controller comparison — LAMMPS + full MSD, 128 nodes, dim 16, 110 W/node\n");
+    let mut spec = WorkloadSpec::paper(16, 128, 1, &[AnalysisKind::MsdFull]);
+    spec.total_steps = 120;
+
+    let baseline = run_job(JobConfig::new(spec.clone(), "static").with_seed(7, 0));
+    println!(
+        "{:12} total {:8.1} s   energy {:7.2} MJ   (baseline)",
+        "static",
+        baseline.total_time_s,
+        baseline.total_energy_j / 1e6
+    );
+
+    for ctl in ["seesaw", "time-aware", "power-aware"] {
+        let r = run_job(JobConfig::new(spec.clone(), ctl).with_seed(7, 1));
+        let imp = improvement_pct(baseline.total_time_s, r.total_time_s);
+        let last = r.syncs.last().unwrap();
+        println!(
+            "{:12} total {:8.1} s   energy {:7.2} MJ   improvement {:+6.2} %   end caps S/A {:.0}/{:.0} W",
+            ctl,
+            r.total_time_s,
+            r.total_energy_j / 1e6,
+            imp,
+            last.sim_cap_w,
+            last.analysis_cap_w,
+        );
+    }
+
+    println!("\nExpected shape (paper §VII-B): SeeSAw settles quickly and wins by");
+    println!("re-routing the simulation's unusable headroom to the analysis;");
+    println!("time-aware reads the setup transient, moves power the wrong way and");
+    println!("cannot recover; power-aware chases noisy draw differences.");
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration: the real MD engine driving the coupled
+//! runtime, PoLiMER + controllers against the simulated cluster, and the
+//! RAPL sysfs backend exercised through its mock filesystem in a
+//! controller loop.
+
+use insitu::{JobConfig, Runtime};
+use mdsim::workload::{AnalyticWorkload, MeasuredWorkload, WorkloadGen, WorkloadSpec};
+use mdsim::AnalysisKind as K;
+use rapl::{MockFs, RaplReader, Window};
+use seesaw::{Controller, NodeSample, Role, SeeSaw, SeeSawConfig, SyncObservation};
+
+fn small_spec(kinds: &[K], steps: u64) -> WorkloadSpec {
+    let mut s = WorkloadSpec::paper(16, 8, 1, kinds);
+    s.total_steps = steps;
+    s
+}
+
+/// The measured (real-engine) workload drives the full runtime and produces
+/// an outcome in the same ballpark as the analytic workload.
+#[test]
+fn measured_workload_through_runtime_matches_analytic_shape() {
+    let spec = small_spec(&[K::Vacf, K::Rdf], 12);
+    let measured = MeasuredWorkload::new(spec.clone(), 1, 77);
+    let rm = Runtime::with_workload(JobConfig::new(spec.clone(), "seesaw"), Box::new(measured))
+        .run();
+    let ra = Runtime::new(JobConfig::new(spec, "seesaw")).run();
+    assert_eq!(rm.syncs.len(), ra.syncs.len());
+    let ratio = rm.total_time_s / ra.total_time_s;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "measured vs analytic total time ratio {ratio}"
+    );
+    // Both discover the same direction: VACF+RDF is a low-demand analysis
+    // mix, the simulation ends with at least as much power.
+    let (ma, aa) = (rm.syncs.last().unwrap(), ra.syncs.last().unwrap());
+    assert!(ma.sim_cap_w >= ma.analysis_cap_w - 1.0, "{ma:?}");
+    assert!(aa.sim_cap_w >= aa.analysis_cap_w - 1.0, "{aa:?}");
+}
+
+/// Analytic workload generators are deterministic and in step with the
+/// spec's synchronization schedule.
+#[test]
+fn workload_generator_contract() {
+    let spec = small_spec(&[K::MsdFull], 10);
+    let mut gen_a = AnalyticWorkload::new(spec.clone());
+    let mut gen_b = AnalyticWorkload::new(spec.clone());
+    for step in 1..=spec.total_steps {
+        let a = gen_a.step_work(step);
+        let b = gen_b.step_work(step);
+        assert_eq!(a, b, "generator must be deterministic");
+        assert_eq!(a.is_sync, step % spec.sync_every == 0);
+    }
+}
+
+/// A controller loop running against the mock RAPL filesystem: read power,
+/// decide, write the new limits — the real-hardware code path end to end.
+#[test]
+fn seesaw_drives_mock_rapl_host() {
+    // Two "nodes" = two RAPL packages.
+    let mut fs = MockFs::new();
+    fs.add_package(0, u64::MAX / 2, 0);
+    fs.add_package(1, u64::MAX / 2, 0);
+    let mut reader = RaplReader::discover(fs).unwrap();
+    assert_eq!(reader.domains().len(), 2);
+
+    let mut ctl = SeeSaw::new(SeeSawConfig {
+        budget_w: 220.0,
+        window: 1,
+        limits: seesaw::Limits::theta(),
+        ewma: seesaw::EwmaMode::BlendPrevious,
+        skip_step_zero: false,
+    });
+
+    // Prime the energy-delta anchors.
+    let _ = reader.energy_delta_j(0).unwrap();
+    let _ = reader.energy_delta_j(1).unwrap();
+
+    let mut caps = [110.0_f64, 110.0];
+    for step in 0..5u64 {
+        // Fake hardware: package 0 (simulation) burns energy twice as fast.
+        let interval_s = 2.0;
+        let e0 = (caps[0] * interval_s * 1e6) as u64;
+        let e1 = (caps[1] * 0.5 * interval_s * 1e6) as u64;
+        reader_bump(&mut reader, 0, e0);
+        reader_bump(&mut reader, 1, e1);
+        let p0 = reader.power_w(0, interval_s).unwrap();
+        let p1 = reader.power_w(1, interval_s).unwrap();
+        let obs = SyncObservation {
+            step,
+            nodes: vec![
+                NodeSample { node: 0, role: Role::Simulation, time_s: 4.0, power_w: p0, cap_w: caps[0] },
+                NodeSample { node: 1, role: Role::Analysis, time_s: 2.0, power_w: p1, cap_w: caps[1] },
+            ],
+        };
+        if let Some(alloc) = ctl.on_sync(&obs) {
+            caps = [alloc.sim_node_w, alloc.analysis_node_w];
+            reader.set_power_limit_w(0, Window::Long, caps[0]).unwrap();
+            reader.set_power_limit_w(1, Window::Long, caps[1]).unwrap();
+        }
+    }
+    // The hungrier simulation package ends with the higher written limit.
+    let lim0 = reader.power_limit_w(0, Window::Long).unwrap();
+    let lim1 = reader.power_limit_w(1, Window::Long).unwrap();
+    assert!(lim0 > lim1, "sim limit {lim0} should exceed analysis limit {lim1}");
+    assert!((lim0 + lim1) <= 220.0 + 1e-9, "budget respected on hardware");
+}
+
+/// Helper: advance a mock package's energy counter by `delta_uj`.
+fn reader_bump(reader: &mut RaplReader<MockFs>, dom: usize, delta_uj: u64) {
+    let current = reader.energy_uj(dom).unwrap();
+    // MockFs is inside the reader; reach it through the public trait by
+    // rebuilding the path. (MockFs::set_energy_uj is only on the concrete
+    // type, so tests keep a tiny shim here.)
+    reader.fs_mut().set_energy_uj(dom, current + delta_uj);
+}
+
+/// Controllers accept observations produced by polimer's aggregation path.
+#[test]
+fn polimer_to_controller_roundtrip() {
+    use mpisim::{Communicator, JobLayout};
+    use polimer::{NodeInterval, PowerManager, PowerManagerConfig};
+
+    let world = Communicator::world(JobLayout::new(16, 2));
+    let mut mgr = PowerManager::init(
+        &world,
+        |rank| if rank < 8 { Role::Simulation } else { Role::Analysis },
+        PowerManagerConfig::with_controller("seesaw"),
+    );
+    // Two syncs: the first is skipped (step 0 outside the main loop).
+    for _ in 0..2 {
+        for node in 0..8 {
+            mgr.record(NodeInterval {
+                node,
+                role: if node < 4 { Role::Simulation } else { Role::Analysis },
+                time_s: if node < 4 { 4.0 } else { 2.0 },
+                power_w: 108.0,
+                cap_w: 110.0,
+            });
+        }
+        let _ = mgr.power_alloc();
+    }
+    assert_eq!(mgr.sync_index(), 2);
+    assert_eq!(mgr.overhead_log().len(), 2);
+}

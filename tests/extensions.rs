@@ -1,0 +1,128 @@
+//! Integration tests for the §VIII future-work extensions and the §III
+//! alternative execution modes, run through the full coupled stack.
+
+use insitu::{improvement_pct, paired_improvement, run_colocated, run_job, run_time_shared, JobConfig};
+use mdsim::workload::WorkloadSpec;
+use mdsim::AnalysisKind as K;
+
+fn spec(dim: u32, nodes: usize, steps: u64, kinds: &[K]) -> WorkloadSpec {
+    let mut s = WorkloadSpec::paper(dim, nodes, 1, kinds);
+    s.total_steps = steps;
+    s
+}
+
+/// The hierarchical controller must match plain SeeSAw within noise on a
+/// homogeneous-ish cluster and never violate per-node limits.
+#[test]
+fn hierarchical_matches_or_beats_plain_seesaw() {
+    let s = spec(36, 32, 80, &[K::Vacf]);
+    let plain = paired_improvement(&JobConfig::new(s.clone(), "seesaw"));
+    let hier = paired_improvement(&JobConfig::new(s, "hierarchical-seesaw"));
+    assert!(
+        hier > plain - 2.0,
+        "hierarchical should not regress: plain {plain:.2} %, hierarchical {hier:.2} %"
+    );
+}
+
+/// Probing SeeSAw tracks plain SeeSAw on well-behaved workloads (its
+/// probes must not cost more than they learn).
+#[test]
+fn probing_does_not_regress() {
+    let s = spec(16, 32, 80, &[K::MsdFull]);
+    let plain = paired_improvement(&JobConfig::new(s.clone(), "seesaw"));
+    let probing = paired_improvement(&JobConfig::new(s, "probing-seesaw"));
+    assert!(
+        probing > plain - 2.5,
+        "probing overhead too high: plain {plain:.2} %, probing {probing:.2} %"
+    );
+}
+
+/// Time-shared execution eliminates synchronization slack entirely, so for
+/// a slack-dominated workload it beats even controlled space-sharing.
+#[test]
+fn time_shared_wins_on_slack_dominated_workloads() {
+    let s = spec(36, 16, 60, &[K::Vacf]);
+    let base = run_job(JobConfig::new(s.clone(), "static"));
+    let see = run_job(JobConfig::new(s.clone(), "seesaw").with_seed(1, 1));
+    let ts = run_time_shared(JobConfig::new(s, "static").with_seed(1, 2));
+    let imp_see = improvement_pct(base.total_time_s, see.total_time_s);
+    let imp_ts = improvement_pct(base.total_time_s, ts.total_time_s);
+    assert!(imp_ts > imp_see, "time-shared {imp_ts:.2} % !> seesaw {imp_see:.2} %");
+}
+
+/// Co-located execution keeps the global budget and its per-domain caps
+/// within the scaled hardware range, end to end.
+#[test]
+fn colocated_budget_and_limits_hold_end_to_end() {
+    for ctl in ["seesaw", "time-aware", "static"] {
+        let cfg = JobConfig::new(spec(16, 16, 40, &[K::MsdFull]), ctl);
+        let budget = cfg.budget_w();
+        let r = run_colocated(cfg);
+        for s in &r.syncs {
+            let total = 16.0 * (s.sim_cap_w + s.analysis_cap_w);
+            assert!(total <= budget + 1.0, "{ctl}: {total} > {budget}");
+            assert!((49.0..=107.5).contains(&s.sim_cap_w), "{ctl}: {}", s.sim_cap_w);
+        }
+    }
+}
+
+/// All six controllers complete a mixed-interval workload (Table II's
+/// hardest configuration) without panicking or violating the budget.
+#[test]
+fn all_controllers_survive_mixed_intervals() {
+    use mdsim::AnalysisSchedule;
+    for ctl in
+        ["seesaw", "time-aware", "power-aware", "static", "hierarchical-seesaw", "probing-seesaw"]
+    {
+        let mut s = spec(16, 16, 48, &[]);
+        s.analyses = vec![
+            AnalysisSchedule::every_sync(K::Rdf),
+            AnalysisSchedule { kind: K::MsdFull, every: 4 },
+            AnalysisSchedule { kind: K::Vacf, every: 3 },
+        ];
+        let cfg = JobConfig::new(s, ctl);
+        let budget = cfg.budget_w();
+        let r = run_job(cfg);
+        assert_eq!(r.syncs.len(), 48, "{ctl}");
+        for rec in &r.syncs {
+            let total = 8.0 * (rec.sim_cap_w + rec.analysis_cap_w);
+            assert!(total <= budget + 1.0, "{ctl}: budget violated");
+        }
+    }
+}
+
+/// The PoLiMER session API drives a full run's worth of feedback without
+/// leaking region state.
+#[test]
+fn poli_session_energy_accounting_over_a_run() {
+    use mpisim::{Communicator, JobLayout};
+    use polimer::{NodeInterval, PoliSession, PowerManagerConfig};
+    use seesaw::Role;
+
+    let world = Communicator::world(JobLayout::new(16, 2));
+    let mut session = PoliSession::init_power_manager(
+        &world,
+        |r| if r < 8 { Role::Simulation } else { Role::Analysis },
+        110.0,
+        PowerManagerConfig::with_controller("seesaw"),
+    );
+    session.start_energy_counter("main-loop");
+    for sync in 0..20u64 {
+        for node in 0..8usize {
+            session.record(NodeInterval {
+                node,
+                role: if node < 4 { Role::Simulation } else { Role::Analysis },
+                time_s: if node < 4 { 4.0 } else { 2.0 + (sync % 3) as f64 * 0.1 },
+                power_w: 107.0,
+                cap_w: 110.0,
+            });
+        }
+        session.record_energy(4.0 * 4.0 * 107.0, 4.0 * 2.0 * 107.0, 4.0);
+        let _ = session.power_alloc();
+    }
+    let report = session.end_energy_counter("main-loop").expect("region open");
+    assert!(report.energy_j > 0.0);
+    assert_eq!(report.time_s, 80.0);
+    assert_eq!(session.manager().sync_index(), 20);
+    assert!(session.print_energy_counters().contains("main-loop"));
+}

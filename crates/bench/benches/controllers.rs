@@ -4,13 +4,16 @@
 //! across power caps on Theta (their host slows down with the cap; ours
 //! does not, so the cap sweep is represented by the job-size sweep, which
 //! is what actually changes the computational cost of a decision).
+//!
+//! Plain timing harness (`harness = false`): the offline build carries no
+//! criterion, so each case reports median-of-runs wall time directly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seesaw::{
     Controller, NodeSample, PowerAware, PowerAwareConfig, Role, SeeSaw, SeeSawConfig,
     SyncObservation, TimeAware, TimeAwareConfig,
 };
 use std::hint::black_box;
+use std::time::Instant;
 
 fn observation(nodes: usize, step: u64) -> SyncObservation {
     let half = nodes / 2;
@@ -28,48 +31,53 @@ fn observation(nodes: usize, step: u64) -> SyncObservation {
     }
 }
 
-fn bench_controller_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("controller_step");
-    for &nodes in &[2usize, 128, 1024] {
-        group.bench_with_input(BenchmarkId::new("seesaw", nodes), &nodes, |b, &n| {
-            let mut ctl = SeeSaw::new(SeeSawConfig::paper_default(n));
-            let mut step = 1u64;
-            b.iter(|| {
-                let obs = observation(n, step);
-                step += 1;
-                black_box(ctl.on_sync(&obs))
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("time_aware", nodes), &nodes, |b, &n| {
-            let mut ctl = TimeAware::new(TimeAwareConfig::paper_default(n));
-            let mut step = 1u64;
-            b.iter(|| {
-                let obs = observation(n, step);
-                step += 1;
-                black_box(ctl.on_sync(&obs))
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("power_aware", nodes), &nodes, |b, &n| {
-            let mut ctl = PowerAware::new(PowerAwareConfig::paper_default(n));
-            let mut step = 1u64;
-            b.iter(|| {
-                let obs = observation(n, step);
-                step += 1;
-                black_box(ctl.on_sync(&obs))
-            });
-        });
+fn report(name: &str, iters: u64, mut f: impl FnMut(u64)) {
+    // Warm-up pass, then three timed passes; print the median.
+    let mut runs = Vec::new();
+    for pass in 0..4 {
+        let start = Instant::now();
+        for i in 0..iters {
+            f(i);
+        }
+        if pass > 0 {
+            runs.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
     }
-    group.finish();
+    runs.sort_by(f64::total_cmp);
+    println!("{name:40} {:>12.1} ns/iter", runs[runs.len() / 2] * 1e9);
 }
 
-fn bench_optimal_split(c: &mut Criterion) {
-    use seesaw::model::{optimal_split, LinearTask};
-    c.bench_function("optimal_split_eq2", |b| {
-        let s = LinearTask::from_observation(4.1, 108.0);
-        let a = LinearTask::from_observation(3.9, 110.0);
-        b.iter(|| black_box(optimal_split(black_box(14080.0), s, a)));
+fn bench_controller_step(nodes: usize) {
+    let iters = if nodes >= 1024 { 2_000 } else { 20_000 };
+
+    let mut ctl = SeeSaw::new(SeeSawConfig::paper_default(nodes));
+    report(&format!("controller_step/seesaw/{nodes}"), iters, |i| {
+        black_box(ctl.on_sync(&observation(nodes, i + 1)));
+    });
+
+    let mut ctl = TimeAware::new(TimeAwareConfig::paper_default(nodes));
+    report(&format!("controller_step/time_aware/{nodes}"), iters, |i| {
+        black_box(ctl.on_sync(&observation(nodes, i + 1)));
+    });
+
+    let mut ctl = PowerAware::new(PowerAwareConfig::paper_default(nodes));
+    report(&format!("controller_step/power_aware/{nodes}"), iters, |i| {
+        black_box(ctl.on_sync(&observation(nodes, i + 1)));
     });
 }
 
-criterion_group!(benches, bench_controller_step, bench_optimal_split);
-criterion_main!(benches);
+fn bench_optimal_split() {
+    use seesaw::model::{optimal_split, LinearTask};
+    let s = LinearTask::from_observation(4.1, 108.0);
+    let a = LinearTask::from_observation(3.9, 110.0);
+    report("optimal_split_eq2", 1_000_000, |_| {
+        black_box(optimal_split(black_box(14080.0), s, a));
+    });
+}
+
+fn main() {
+    for nodes in [2usize, 128, 1024] {
+        bench_controller_step(nodes);
+    }
+    bench_optimal_split();
+}

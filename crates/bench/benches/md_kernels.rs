@@ -1,76 +1,84 @@
 //! Mini-LAMMPS kernel micro-benchmarks: force evaluation, neighbor-list
 //! construction, one full Verlet step, and each analysis kernel over the
 //! 1568-atom benchmark cell.
+//!
+//! Plain timing harness (`harness = false`): the offline build carries no
+//! criterion, so each case reports median-of-runs wall time directly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mdsim::analysis::{Msd, MsdConfig, Rdf, RdfConfig, Snapshot, Vacf, VacfConfig};
 use mdsim::{
     compute_forces, water_ion_box, Analysis, ForceParams, MdEngine, NeighborList, PairTable,
 };
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_force(c: &mut Criterion) {
+fn report(name: &str, iters: u64, mut f: impl FnMut(u64)) {
+    let mut runs = Vec::new();
+    for pass in 0..4 {
+        let start = Instant::now();
+        for i in 0..iters {
+            f(i);
+        }
+        if pass > 0 {
+            runs.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+    runs.sort_by(f64::total_cmp);
+    println!("{name:40} {:>12.2} µs/iter", runs[runs.len() / 2] * 1e6);
+}
+
+fn bench_force() {
     let sys = water_ion_box(1, 1.0, 7);
     let params = ForceParams::default();
     let table = PairTable::new();
     let nl = NeighborList::build(&sys.pos, sys.box_len, params.cutoff, 0.4);
-    c.bench_function("force_eval_1568_atoms", |b| {
-        let mut s = sys.clone();
-        b.iter(|| black_box(compute_forces(&mut s, &nl, params, &table)));
+    let mut s = sys.clone();
+    report("force_eval_1568_atoms", 200, |_| {
+        black_box(compute_forces(&mut s, &nl, params, &table));
     });
 }
 
-fn bench_neighbor(c: &mut Criterion) {
+fn bench_neighbor() {
     let sys = water_ion_box(1, 1.0, 8);
-    c.bench_function("neighbor_build_1568_atoms", |b| {
-        b.iter(|| black_box(NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.4)));
+    report("neighbor_build_1568_atoms", 200, |_| {
+        black_box(NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.4));
     });
 }
 
-fn bench_verlet_step(c: &mut Criterion) {
-    c.bench_function("verlet_step_1568_atoms", |b| {
-        let mut engine = MdEngine::water_ion_benchmark(1, 9);
-        b.iter(|| black_box(engine.step()));
+fn bench_verlet_step() {
+    let mut engine = MdEngine::water_ion_benchmark(1, 9);
+    report("verlet_step_1568_atoms", 200, |_| {
+        black_box(engine.step());
     });
 }
 
-fn bench_analyses(c: &mut Criterion) {
+fn bench_analyses() {
     let sys = water_ion_box(1, 1.0, 10);
-    let mut group = c.benchmark_group("analysis_observe");
-    group.bench_function("rdf", |b| {
-        let mut a = Rdf::new(RdfConfig::default());
-        let mut step = 0;
-        b.iter(|| {
-            step += 1;
-            black_box(a.observe(step, &Snapshot::of(&sys)))
-        });
+
+    let mut a = Rdf::new(RdfConfig::default());
+    report("analysis_observe/rdf", 100, |i| {
+        black_box(a.observe(i + 1, &Snapshot::of(&sys)));
     });
-    group.bench_function("vacf", |b| {
-        let mut a = Vacf::new(VacfConfig::default());
-        let mut step = 0;
-        b.iter(|| {
-            step += 1;
-            black_box(a.observe(step, &Snapshot::of(&sys)))
-        });
+
+    let mut a = Vacf::new(VacfConfig::default());
+    report("analysis_observe/vacf", 100, |i| {
+        black_box(a.observe(i + 1, &Snapshot::of(&sys)));
     });
-    group.bench_function("msd_full", |b| {
-        let mut a = Msd::new(MsdConfig::full());
-        let mut step = 0;
-        b.iter(|| {
-            step += 1;
-            black_box(a.observe(step, &Snapshot::of(&sys)))
-        });
+
+    let mut a = Msd::new(MsdConfig::full());
+    report("analysis_observe/msd_full", 100, |i| {
+        black_box(a.observe(i + 1, &Snapshot::of(&sys)));
     });
-    group.bench_function("msd1d", |b| {
-        let mut a = Msd::new(MsdConfig::one_d());
-        let mut step = 0;
-        b.iter(|| {
-            step += 1;
-            black_box(a.observe(step, &Snapshot::of(&sys)))
-        });
+
+    let mut a = Msd::new(MsdConfig::one_d());
+    report("analysis_observe/msd1d", 100, |i| {
+        black_box(a.observe(i + 1, &Snapshot::of(&sys)));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_force, bench_neighbor, bench_verlet_step, bench_analyses);
-criterion_main!(benches);
+fn main() {
+    bench_force();
+    bench_neighbor();
+    bench_verlet_step();
+    bench_analyses();
+}

@@ -17,14 +17,13 @@ use insitu::{
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
 use seesaw::EwmaMode;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     study: &'static str,
     variant: String,
     improvement_pct: f64,
 }
+bench::json_struct!(Row { study, variant, improvement_pct });
 
 fn spec(dim: u32, nodes: usize, kinds: &[K]) -> WorkloadSpec {
     let mut s = WorkloadSpec::paper(dim, nodes, 1, kinds);
@@ -54,7 +53,7 @@ fn main() {
         let r = runtime.run();
         let mut base_cfg = cfg.clone();
         base_cfg.controller = "static".to_string();
-        let base = run_job(base_cfg);
+        let base = run_job(base_cfg).expect("known controller");
         rows.push(Row {
             study: "eq4-ewma",
             variant: label.to_string(),
@@ -68,7 +67,7 @@ fn main() {
         rows.push(Row {
             study: "controller-family",
             variant: ctl.to_string(),
-            improvement_pct: paired_improvement(&cfg),
+            improvement_pct: paired_improvement(&cfg).expect("known controller"),
         });
     }
 
@@ -76,8 +75,8 @@ fn main() {
     for kinds in [vec![K::Vacf], vec![K::MsdFull]] {
         let label = kinds[0];
         let dim = if label == K::MsdFull { 16 } else { 36 };
-        let base = run_job(JobConfig::new(spec(dim, nodes, &kinds), "static"));
-        let see = run_job(JobConfig::new(spec(dim, nodes, &kinds), "seesaw").with_seed(1, 1));
+        let base = run_job(JobConfig::new(spec(dim, nodes, &kinds), "static")).expect("known controller");
+        let see = run_job(JobConfig::new(spec(dim, nodes, &kinds), "seesaw").with_seed(1, 1)).expect("known controller");
         let ts = run_time_shared(JobConfig::new(spec(dim, nodes, &kinds), "static").with_seed(1, 2));
         rows.push(Row {
             study: "sharing-mode",
@@ -90,7 +89,7 @@ fn main() {
             improvement_pct: improvement_pct(base.total_time_s, ts.total_time_s),
         });
         let co =
-            run_colocated(JobConfig::new(spec(dim, nodes, &kinds), "seesaw").with_seed(1, 3));
+            run_colocated(JobConfig::new(spec(dim, nodes, &kinds), "seesaw").with_seed(1, 3)).expect("known controller");
         rows.push(Row {
             study: "sharing-mode",
             variant: format!("{}: co-located seesaw", label.name()),

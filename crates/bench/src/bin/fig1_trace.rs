@@ -9,14 +9,13 @@ use bench::{print_table, write_json};
 use insitu::{JobConfig, Runtime};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Sample {
     t_s: f64,
     sim_w_per_node: f64,
     analysis_w_per_node: f64,
 }
+bench::json_struct!(Sample { t_s, sim_w_per_node, analysis_w_per_node });
 
 fn main() {
     // A VACF-style low-demand analysis exposes the idle clearly: it
@@ -24,7 +23,7 @@ fn main() {
     let mut spec = WorkloadSpec::paper(16, 128, 1, &[AnalysisKind::Vacf]);
     spec.total_steps = if bench::quick_mode() { 8 } else { 12 };
     let cfg = JobConfig::new(spec.clone(), "static").with_traces();
-    let result = Runtime::new(cfg).run();
+    let result = Runtime::new(cfg).expect("known controller").run();
 
     let sim_nodes = spec.sim_nodes as f64;
     let ana_nodes = spec.analysis_nodes as f64;

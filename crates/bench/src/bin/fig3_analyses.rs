@@ -9,9 +9,7 @@ use bench::{print_table, repetitions, total_steps, write_json};
 use insitu::{median_improvement, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     panel: &'static str,
     workload: &'static str,
@@ -20,6 +18,7 @@ struct Row {
     controller: &'static str,
     improvement_pct: f64,
 }
+bench::json_struct!(Row { panel, workload, nodes, dim, controller, improvement_pct });
 
 const CONTROLLERS: [&str; 3] = ["seesaw", "time-aware", "power-aware"];
 
@@ -54,7 +53,7 @@ fn measure(
         let mut spec = WorkloadSpec::paper(dim, nodes, 1, kinds);
         spec.total_steps = total_steps();
         let cfg = JobConfig::new(spec, ctl);
-        let imp = median_improvement(&cfg, repetitions());
+        let imp = median_improvement(&cfg, repetitions()).expect("known controller");
         rows.push(Row { panel, workload, nodes, dim, controller: ctl, improvement_pct: imp });
     }
 }

@@ -7,9 +7,7 @@ use bench::{print_table, total_steps, write_json};
 use insitu::{run_job, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct AllocPoint {
     controller: String,
     sync: u64,
@@ -19,8 +17,8 @@ struct AllocPoint {
     analysis_power_w: f64,
     slack: f64,
 }
+bench::json_struct!(AllocPoint { controller, sync, sim_cap_w, analysis_cap_w, sim_power_w, analysis_power_w, slack });
 
-#[derive(Serialize)]
 struct BaselinePoint {
     sync: u64,
     sim_time_s: f64,
@@ -28,6 +26,7 @@ struct BaselinePoint {
     sim_power_w: f64,
     analysis_power_w: f64,
 }
+bench::json_struct!(BaselinePoint { sync, sim_time_s, analysis_time_s, sim_power_w, analysis_power_w });
 
 fn spec() -> WorkloadSpec {
     let mut s = WorkloadSpec::paper(16, 128, 1, &[AnalysisKind::MsdFull]);
@@ -39,7 +38,7 @@ fn main() {
     let mut alloc_points = Vec::new();
     let mut summary = Vec::new();
     for ctl in ["seesaw", "time-aware", "power-aware"] {
-        let r = run_job(JobConfig::new(spec(), ctl));
+        let r = run_job(JobConfig::new(spec(), ctl)).expect("known controller");
         for s in &r.syncs {
             alloc_points.push(AllocPoint {
                 controller: ctl.to_string(),
@@ -81,7 +80,7 @@ fn main() {
     );
 
     // Panels (d)/(e): static baseline time & power over the first 10 syncs.
-    let base = run_job(JobConfig::new(spec(), "static"));
+    let base = run_job(JobConfig::new(spec(), "static")).expect("known controller");
     let baseline: Vec<BaselinePoint> = base
         .syncs
         .iter()

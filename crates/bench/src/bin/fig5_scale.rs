@@ -7,9 +7,7 @@ use bench::{print_table, total_steps, write_json};
 use insitu::{run_job, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     controller: String,
     sync: u64,
@@ -19,6 +17,7 @@ struct Point {
     analysis_measured_w: f64,
     slack: f64,
 }
+bench::json_struct!(Point { controller, sync, sim_cap_w, sim_measured_w, analysis_cap_w, analysis_measured_w, slack });
 
 fn main() {
     let nodes = if bench::quick_mode() { 128 } else { 1024 };
@@ -28,7 +27,7 @@ fn main() {
     let mut points = Vec::new();
     let mut summary = Vec::new();
     for ctl in ["seesaw", "time-aware"] {
-        let r = run_job(JobConfig::new(spec.clone(), ctl));
+        let r = run_job(JobConfig::new(spec.clone(), ctl)).expect("known controller");
         for s in &r.syncs {
             points.push(Point {
                 controller: ctl.to_string(),

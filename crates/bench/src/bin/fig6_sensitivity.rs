@@ -9,14 +9,13 @@ use bench::{print_table, total_steps, write_json};
 use insitu::{paired_improvement, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     j: u64,
     w: usize,
     improvement_pct: f64,
 }
+bench::json_struct!(Row { j, w, improvement_pct });
 
 fn main() {
     let nodes = if bench::quick_mode() { 64 } else { 1024 };
@@ -30,7 +29,7 @@ fn main() {
                 WorkloadSpec::paper(48, nodes, j, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
             spec.total_steps = total_steps();
             let cfg = JobConfig::new(spec, "seesaw").with_window(w);
-            let imp = paired_improvement(&cfg);
+            let imp = paired_improvement(&cfg).expect("known controller");
             rows.push(Row { j, w, improvement_pct: imp });
         }
     }

@@ -7,15 +7,14 @@ use bench::{print_table, repetitions, total_steps, write_json};
 use insitu::{improvement_pct, median, run_job, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     case: &'static str,
     sim0_w: f64,
     analysis0_w: f64,
     improvement_pct: f64,
 }
+bench::json_struct!(Row { case, sim0_w, analysis0_w, improvement_pct });
 
 fn main() {
     let cases: [(&str, f64, f64); 3] = [
@@ -37,8 +36,8 @@ fn main() {
                 let mut ctl_cfg = base_cfg.clone();
                 ctl_cfg.controller = "seesaw".to_string();
                 ctl_cfg.seed.run = 1;
-                let base = run_job(base_cfg);
-                let ctl = run_job(ctl_cfg);
+                let base = run_job(base_cfg).expect("known controller");
+                let ctl = run_job(ctl_cfg).expect("known controller");
                 improvement_pct(base.total_time_s, ctl.total_time_s)
             })
             .collect();

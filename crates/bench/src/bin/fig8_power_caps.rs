@@ -6,13 +6,12 @@ use bench::{print_table, repetitions, total_steps, write_json};
 use insitu::{median_improvement, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     budget_per_node_w: f64,
     improvement_pct: f64,
 }
+bench::json_struct!(Row { budget_per_node_w, improvement_pct });
 
 fn main() {
     let caps: &[f64] = if bench::quick_mode() {
@@ -30,7 +29,7 @@ fn main() {
         );
         spec.total_steps = total_steps();
         let cfg = JobConfig::new(spec, "seesaw").with_budget(cap);
-        let imp = median_improvement(&cfg, repetitions());
+        let imp = median_improvement(&cfg, repetitions()).expect("known controller");
         rows.push(Row { budget_per_node_w: cap, improvement_pct: imp });
     }
 

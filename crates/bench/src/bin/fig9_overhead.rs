@@ -11,15 +11,14 @@ use bench::{print_table, total_steps, write_json};
 use insitu::{run_job, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct OverheadRow {
     nodes: usize,
     mean_overhead_ms: f64,
     mean_interval_s: f64,
     overhead_pct: f64,
 }
+bench::json_struct!(OverheadRow { nodes, mean_overhead_ms, mean_interval_s, overhead_pct });
 
 fn main() {
     let scales: &[usize] = if bench::quick_mode() { &[128] } else { &[128, 1024] };
@@ -27,7 +26,7 @@ fn main() {
     for &nodes in scales {
         let mut spec = WorkloadSpec::paper(48, nodes, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
         spec.total_steps = total_steps();
-        let r = run_job(JobConfig::new(spec, "seesaw"));
+        let r = run_job(JobConfig::new(spec, "seesaw")).expect("known controller");
         let mean_overhead =
             r.syncs.iter().map(|s| s.overhead_s).sum::<f64>() / r.syncs.len() as f64;
         let mean_interval =

@@ -94,7 +94,13 @@ fn main() {
     }
 
     if baseline && controller != "static" {
-        let (ctl, base) = run_paired(&cfg);
+        let (ctl, base) = match run_paired(&cfg) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
         let imp = improvement_pct(base.total_time_s, ctl.total_time_s);
         print_summary(&ctl);
         println!(
@@ -102,13 +108,19 @@ fn main() {
             base.total_time_s, imp
         );
         if trace {
-            println!("{}", serde_json::to_string_pretty(&ctl.syncs).unwrap());
+            println!("{}", bench::json::ToJson::to_json(&ctl.syncs).pretty());
         }
     } else {
-        let r = run_job(cfg);
+        let r = match run_job(cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
         print_summary(&r);
         if trace {
-            println!("{}", serde_json::to_string_pretty(&r.syncs).unwrap());
+            println!("{}", bench::json::ToJson::to_json(&r.syncs).pretty());
         }
     }
 }

@@ -8,16 +8,15 @@ use bench::{print_table, write_json};
 use insitu::{run_job, variability_pct, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind;
-use serde::Serialize;
 use theta_sim::CapMode;
 
-#[derive(Serialize)]
 struct Row {
     cap: &'static str,
     dim: u32,
     variability_type: &'static str,
     variability_pct: f64,
 }
+bench::json_struct!(Row { cap, dim, variability_type, variability_pct });
 
 fn runtime(dim: u32, cap_mode: CapMode, job: u64, run: u64, steps: u64) -> f64 {
     let mut spec = WorkloadSpec::paper(dim, 128, 1, &[AnalysisKind::Rdf, AnalysisKind::Vacf]);
@@ -28,7 +27,7 @@ fn runtime(dim: u32, cap_mode: CapMode, job: u64, run: u64, steps: u64) -> f64 {
         // Uncapped: nodes run at demand; budget bookkeeping is irrelevant.
         cfg.budget_per_node_w = 215.0;
     }
-    run_job(cfg).total_time_s
+    run_job(cfg).expect("known controller").total_time_s
 }
 
 fn main() {

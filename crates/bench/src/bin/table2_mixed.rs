@@ -7,14 +7,13 @@ use bench::{print_table, repetitions, total_steps, write_json};
 use insitu::{median_improvement, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::{AnalysisKind as K, AnalysisSchedule};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     varied: &'static str,
     j: u64,
     improvement_pct: f64,
 }
+bench::json_struct!(Row { varied, j, improvement_pct });
 
 fn run_case(varied: &'static str, j: u64) -> f64 {
     let mut spec = WorkloadSpec::paper(16, 128, 1, &[]);
@@ -32,7 +31,7 @@ fn run_case(varied: &'static str, j: u64) -> f64 {
         ],
     };
     let cfg = JobConfig::new(spec, "seesaw");
-    median_improvement(&cfg, repetitions())
+    median_improvement(&cfg, repetitions()).expect("known controller")
 }
 
 fn main() {

@@ -17,9 +17,10 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod svg;
 
-use serde::Serialize;
+use json::ToJson;
 use std::path::{Path, PathBuf};
 
 /// Where experiment output lands (`results/` at the workspace root, or
@@ -41,24 +42,36 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serialize `rows` as pretty JSON into `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, rows: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, rows: &T) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {dir:?}: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(rows) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: cannot write {path:?}: {e}");
-            } else {
-                eprintln!("wrote {}", display_rel(&path));
-            }
-        }
-        Err(e) => eprintln!("warning: serialization failed: {e}"),
+    let s = rows.to_json().pretty();
+    if let Err(e) = std::fs::write(&path, s) {
+        eprintln!("warning: cannot write {path:?}: {e}");
+    } else {
+        eprintln!("wrote {}", display_rel(&path));
     }
 }
+
+// Shared JSON shape for per-sync rows (`run_experiment --trace`,
+// `fault_sweep`, and any bin dumping raw sync traces).
+json_struct!(insitu::SyncRecord {
+    index,
+    start_s,
+    end_s,
+    sim_time_s,
+    analysis_time_s,
+    sim_cap_w,
+    analysis_cap_w,
+    sim_power_w,
+    analysis_power_w,
+    slack,
+    overhead_s,
+});
 
 fn display_rel(path: &Path) -> String {
     std::env::current_dir()

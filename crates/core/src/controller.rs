@@ -18,4 +18,16 @@ pub trait Controller: Send {
 
     /// Reset internal state (fresh run under the same configuration).
     fn reset(&mut self);
+
+    /// Global budget `C` in force, if the policy tracks one. Budget-free
+    /// policies (e.g. the static split) return `None`.
+    fn budget_w(&self) -> Option<f64> {
+        None
+    }
+
+    /// Shrink (or restore) the global budget `C` — the graceful-degradation
+    /// hook used when nodes drop out of the job and the per-node budget
+    /// share they carried must be released. Policies without a budget
+    /// ignore the call.
+    fn set_budget_w(&mut self, _budget_w: f64) {}
 }

@@ -15,10 +15,9 @@
 use crate::controller::Controller;
 use crate::seesaw::{SeeSaw, SeeSawConfig};
 use crate::types::{Allocation, Role, SyncObservation};
-use serde::{Deserialize, Serialize};
 
 /// Hierarchical configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HierarchicalConfig {
     /// The partition-level SeeSAw configuration.
     pub seesaw: SeeSawConfig,
@@ -128,6 +127,17 @@ impl Controller for HierarchicalSeeSaw {
 
     fn reset(&mut self) {
         self.inner.reset();
+    }
+
+    fn budget_w(&self) -> Option<f64> {
+        self.inner.budget_w()
+    }
+
+    fn set_budget_w(&mut self, budget_w: f64) {
+        if budget_w.is_finite() && budget_w > 0.0 {
+            self.cfg.seesaw.budget_w = budget_w;
+        }
+        self.inner.set_budget_w(budget_w);
     }
 }
 

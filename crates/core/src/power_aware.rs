@@ -15,11 +15,10 @@
 
 use crate::controller::Controller;
 use crate::types::{Allocation, Limits, Role, SyncObservation};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Power-aware configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerAwareConfig {
     /// Global power budget, watts (only used to seed missing cap state).
     pub budget_w: f64,
@@ -78,6 +77,32 @@ impl PowerAware {
         self.allocations
     }
 
+    /// Pull assigned caps back under the (possibly shrunk) budget by taking
+    /// an equal share from every node that still has room above δ_min.
+    fn shrink_caps_to_budget(&mut self) {
+        for _ in 0..8 {
+            let assigned: f64 = self.caps.values().sum();
+            let excess = assigned - self.cfg.budget_w;
+            if excess <= 1e-9 {
+                break;
+            }
+            let adjustable: Vec<usize> = self
+                .caps
+                .iter()
+                .filter(|&(_, &w)| w > self.cfg.limits.min_w + 1e-12)
+                .map(|(&n, _)| n)
+                .collect();
+            if adjustable.is_empty() {
+                break;
+            }
+            let share = excess / adjustable.len() as f64;
+            for n in adjustable {
+                let w = self.caps[&n];
+                self.caps.insert(n, (w - share).max(self.cfg.limits.min_w));
+            }
+        }
+    }
+
     fn build_allocation(&self, obs: &SyncObservation) -> Allocation {
         let mean = |role: Role| {
             let (sum, n) = obs
@@ -104,7 +129,9 @@ impl Controller for PowerAware {
         if obs.nodes.is_empty() {
             return None;
         }
-        // Seed cap state from the observation on first contact.
+        // Forget dropped nodes, then seed cap state from the observation on
+        // first contact.
+        self.caps.retain(|n, _| obs.nodes.iter().any(|s| s.node == *n));
         for s in &obs.nodes {
             self.caps.entry(s.node).or_insert(s.cap_w);
         }
@@ -168,6 +195,17 @@ impl Controller for PowerAware {
         self.window_power.clear();
         self.window_count = 0;
         self.allocations = 0;
+    }
+
+    fn budget_w(&self) -> Option<f64> {
+        Some(self.cfg.budget_w)
+    }
+
+    fn set_budget_w(&mut self, budget_w: f64) {
+        if budget_w.is_finite() && budget_w > 0.0 {
+            self.cfg.budget_w = budget_w;
+            self.shrink_caps_to_budget();
+        }
     }
 }
 

@@ -15,10 +15,9 @@
 use crate::controller::Controller;
 use crate::seesaw::{SeeSaw, SeeSawConfig};
 use crate::types::{split_with_limits, Allocation, Role, SyncObservation};
-use serde::{Deserialize, Serialize};
 
 /// Probing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbingConfig {
     /// The underlying SeeSAw configuration.
     pub seesaw: SeeSawConfig,
@@ -142,6 +141,17 @@ impl Controller for ProbingSeeSaw {
         self.next_dir = 1.0;
         self.state = ProbeState::Idle;
         self.allocs_since_probe = 0;
+    }
+
+    fn budget_w(&self) -> Option<f64> {
+        self.inner.budget_w()
+    }
+
+    fn set_budget_w(&mut self, budget_w: f64) {
+        if budget_w.is_finite() && budget_w > 0.0 {
+            self.cfg.seesaw.budget_w = budget_w;
+        }
+        self.inner.set_budget_w(budget_w);
     }
 }
 

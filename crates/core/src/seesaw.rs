@@ -23,10 +23,9 @@
 use crate::controller::Controller;
 use crate::model::{optimal_split, LinearTask};
 use crate::types::{split_with_limits, Allocation, Limits, Role, SyncObservation};
-use serde::{Deserialize, Serialize};
 
 /// How Eq. 4's moving average is interpreted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EwmaMode {
     /// `P_new = P_OPT` — the equation exactly as printed.
     PaperLiteral,
@@ -36,7 +35,7 @@ pub enum EwmaMode {
 }
 
 /// SeeSAw configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeeSawConfig {
     /// Global power budget `C`, watts (e.g. `110 × n` in the paper).
     pub budget_w: f64,
@@ -77,6 +76,7 @@ pub struct SeeSaw {
     /// Previous partition power totals, watts (EWMA memory).
     prev: Option<(f64, f64)>,
     allocations: u64,
+    rejected: u64,
 }
 
 impl SeeSaw {
@@ -84,7 +84,14 @@ impl SeeSaw {
     pub fn new(cfg: SeeSawConfig) -> Self {
         assert!(cfg.window >= 1, "window must be at least 1");
         assert!(cfg.budget_w > 0.0, "budget must be positive");
-        SeeSaw { cfg, buf_sim: Vec::new(), buf_ana: Vec::new(), prev: None, allocations: 0 }
+        SeeSaw {
+            cfg,
+            buf_sim: Vec::new(),
+            buf_ana: Vec::new(),
+            prev: None,
+            allocations: 0,
+            rejected: 0,
+        }
     }
 
     /// Configuration in force.
@@ -95,6 +102,20 @@ impl SeeSaw {
     /// Number of reallocations performed so far.
     pub fn allocations(&self) -> u64 {
         self.allocations
+    }
+
+    /// Number of synchronization observations rejected as corrupt (NaN,
+    /// infinite, or non-positive time/power — recovery-state counter).
+    pub fn rejected_samples(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Eq. 1 linearizes through `α = 1/(T·P)`: the feedback is usable only
+    /// when both factors are finite and strictly positive. Anything else
+    /// (a crashed monitor reporting NaN, a dropout reporting 0, a counter
+    /// wrap reporting ∞) must never reach the averaging window.
+    fn usable(time_s: f64, power_w: f64) -> bool {
+        time_s.is_finite() && time_s > 0.0 && power_w.is_finite() && power_w > 0.0
     }
 
     fn mean(buf: &[(f64, f64)]) -> (f64, f64) {
@@ -117,6 +138,16 @@ impl Controller for SeeSaw {
         }
         let sim = obs.partition(Role::Simulation)?;
         let ana = obs.partition(Role::Analysis)?;
+        // Validate BEFORE buffering: a corrupt sample held in `buf_*` would
+        // poison the whole window mean. Hold the current allocation instead.
+        if !Self::usable(sim.time_s, sim.power_w)
+            || !Self::usable(ana.time_s, ana.power_w)
+            || !sim.cap_per_node_w.is_finite()
+            || !ana.cap_per_node_w.is_finite()
+        {
+            self.rejected += 1;
+            return None;
+        }
         // Seed the EWMA memory from the caps in force at first observation.
         if self.prev.is_none() {
             self.prev = Some((
@@ -171,6 +202,17 @@ impl Controller for SeeSaw {
         self.buf_ana.clear();
         self.prev = None;
         self.allocations = 0;
+        self.rejected = 0;
+    }
+
+    fn budget_w(&self) -> Option<f64> {
+        Some(self.cfg.budget_w)
+    }
+
+    fn set_budget_w(&mut self, budget_w: f64) {
+        if budget_w.is_finite() && budget_w > 0.0 {
+            self.cfg.budget_w = budget_w;
+        }
     }
 }
 
@@ -311,6 +353,59 @@ mod tests {
         let mut c = SeeSaw::new(cfg());
         assert!(c.on_sync(&obs(1, 0.0, 110.0, 110.0, 2.0, 100.0, 110.0)).is_none());
         assert!(c.on_sync(&obs(2, 4.0, 0.0, 110.0, 2.0, 100.0, 110.0)).is_none());
+    }
+
+    #[test]
+    fn corrupt_samples_never_enter_the_window() {
+        // window = 2: a NaN sample between two good ones must not count
+        // toward the window (and must not poison the mean).
+        let mut c = SeeSaw::new(SeeSawConfig { window: 2, ..cfg() });
+        assert!(c.on_sync(&obs(1, 4.0, 110.0, 110.0, 2.0, 100.0, 110.0)).is_none());
+        assert!(c.on_sync(&obs(2, f64::NAN, 110.0, 110.0, 2.0, 100.0, 110.0)).is_none());
+        assert_eq!(c.rejected_samples(), 1);
+        let alloc = c
+            .on_sync(&obs(3, 4.0, 110.0, 110.0, 2.0, 100.0, 110.0))
+            .expect("two valid samples complete the window");
+        assert!(alloc.sim_node_w.is_finite() && alloc.analysis_node_w.is_finite(), "{alloc:?}");
+        assert!(alloc.sim_node_w > alloc.analysis_node_w, "{alloc:?}");
+    }
+
+    #[test]
+    fn nan_zero_and_infinite_feedback_hold_the_allocation() {
+        let mut c = SeeSaw::new(cfg());
+        let mut expected_rejects = 0;
+        for bad in [f64::NAN, 0.0, f64::INFINITY, -3.0] {
+            for corrupted in [
+                obs(1, bad, 110.0, 110.0, 2.0, 100.0, 110.0), // sim time
+                obs(1, 4.0, bad, 110.0, 2.0, 100.0, 110.0),   // sim power
+                obs(1, 4.0, 110.0, 110.0, bad, 100.0, 110.0), // analysis time
+                obs(1, 4.0, 110.0, 110.0, 2.0, bad, 110.0),   // analysis power
+            ] {
+                assert!(c.on_sync(&corrupted).is_none(), "bad = {bad}");
+                expected_rejects += 1;
+                assert_eq!(c.rejected_samples(), expected_rejects);
+            }
+        }
+        // The controller still works once clean feedback returns.
+        let alloc = c.on_sync(&obs(2, 4.0, 110.0, 110.0, 2.0, 100.0, 110.0)).unwrap();
+        assert!(alloc.sim_node_w.is_finite(), "{alloc:?}");
+        assert_eq!(c.allocations(), 1);
+    }
+
+    #[test]
+    fn budget_renormalization_rescales_the_split() {
+        let mut c = SeeSaw::new(cfg());
+        assert_eq!(c.budget_w(), Some(220.0));
+        // Node dropouts elsewhere in the job release budget: shrink C and
+        // the very next allocation honours the smaller envelope.
+        c.set_budget_w(200.0);
+        assert_eq!(c.budget_w(), Some(200.0));
+        let alloc = c.on_sync(&obs(1, 4.0, 110.0, 110.0, 2.0, 100.0, 110.0)).unwrap();
+        assert!(alloc.sim_node_w + alloc.analysis_node_w <= 200.0 + 1e-9, "{alloc:?}");
+        // Nonsense budgets are ignored rather than adopted.
+        c.set_budget_w(f64::NAN);
+        c.set_budget_w(-10.0);
+        assert_eq!(c.budget_w(), Some(200.0));
     }
 
     #[test]

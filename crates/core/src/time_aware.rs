@@ -18,11 +18,10 @@
 
 use crate::controller::Controller;
 use crate::types::{Allocation, Limits, Role, SyncObservation};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Time-aware configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeAwareConfig {
     /// Global power budget, watts.
     pub budget_w: f64,
@@ -83,6 +82,32 @@ impl TimeAware {
         self.allocations
     }
 
+    /// Pull assigned caps back under the (possibly shrunk) budget by taking
+    /// an equal share from every node that still has room above δ_min.
+    fn shrink_caps_to_budget(&mut self) {
+        for _ in 0..8 {
+            let assigned: f64 = self.caps.values().sum();
+            let excess = assigned - self.cfg.budget_w;
+            if excess <= 1e-9 {
+                break;
+            }
+            let adjustable: Vec<usize> = self
+                .caps
+                .iter()
+                .filter(|&(_, &w)| w > self.cfg.limits.min_w + 1e-12)
+                .map(|(&n, _)| n)
+                .collect();
+            if adjustable.is_empty() {
+                break;
+            }
+            let share = excess / adjustable.len() as f64;
+            for n in adjustable {
+                let w = self.caps[&n];
+                self.caps.insert(n, (w - share).max(self.cfg.limits.min_w));
+            }
+        }
+    }
+
     fn build_allocation(&self, obs: &SyncObservation) -> Allocation {
         let mean = |role: Role| {
             let (sum, n) = obs
@@ -109,6 +134,9 @@ impl Controller for TimeAware {
         if obs.nodes.len() < 2 {
             return None;
         }
+        // Forget nodes that have left the observation (dropouts): their
+        // assigned watts must return to the slack pool, not stay reserved.
+        self.caps.retain(|n, _| obs.nodes.iter().any(|s| s.node == *n));
         for s in &obs.nodes {
             self.caps.entry(s.node).or_insert(s.cap_w);
         }
@@ -179,6 +207,17 @@ impl Controller for TimeAware {
         self.caps.clear();
         self.step_w = self.cfg.initial_step_w;
         self.allocations = 0;
+    }
+
+    fn budget_w(&self) -> Option<f64> {
+        Some(self.cfg.budget_w)
+    }
+
+    fn set_budget_w(&mut self, budget_w: f64) {
+        if budget_w.is_finite() && budget_w > 0.0 {
+            self.cfg.budget_w = budget_w;
+            self.shrink_caps_to_budget();
+        }
     }
 }
 

@@ -1,10 +1,9 @@
 //! Shared vocabulary for power controllers.
 
-use serde::{Deserialize, Serialize};
 
 /// Whether a node (or rank) belongs to the simulation or analysis partition
 /// of a space-shared in-situ job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Role {
     /// Simulation partition (the "S" task in the paper).
     Simulation,
@@ -23,7 +22,7 @@ impl Role {
 }
 
 /// Per-node feedback gathered over one synchronization interval.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSample {
     /// Node index within the job.
     pub node: usize,
@@ -39,7 +38,7 @@ pub struct NodeSample {
 }
 
 /// Everything a controller sees at one synchronization point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyncObservation {
     /// Synchronization index (0 = job start; the paper ignores step 0 as it
     /// is outside the main loop).
@@ -77,7 +76,7 @@ impl SyncObservation {
 }
 
 /// Aggregated view of one partition at a sync point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartitionView {
     /// Slowest node's time to reach the sync, seconds.
     pub time_s: f64,
@@ -98,7 +97,7 @@ impl PartitionView {
 }
 
 /// Hardware power-cap limits per node (δ_min / δ_max in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Limits {
     /// Lowest supported per-node cap, watts (98 W on Theta).
     pub min_w: f64,
@@ -122,7 +121,7 @@ impl Limits {
 /// (power is divided evenly within a partition — paper §IV-A), plus
 /// optional per-node overrides used by the node-granular power-aware
 /// scheme.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Allocation {
     /// Per-node cap for simulation nodes, watts.
     pub sim_node_w: f64,

@@ -36,49 +36,57 @@ pub use series::{PeriodicSampler, TimeSeries};
 pub use time::{SimDuration, SimTime};
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Events always come out in non-decreasing time order regardless of
-        /// insertion order.
-        #[test]
-        fn queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 0..200)) {
+    /// Events always come out in non-decreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn queue_pops_sorted() {
+        let mut rng = Rng::seed_from_u64(0x000D_E501);
+        for _case in 0..64 {
+            let len = rng.next_below(200) as usize;
             let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime::from_nanos(t), i);
+            for i in 0..len {
+                q.push(SimTime::from_nanos(rng.next_below(1_000_000)), i);
             }
             let mut last = SimTime::ZERO;
             while let Some((t, _)) = q.pop() {
-                prop_assert!(t >= last);
+                assert!(t >= last);
                 last = t;
             }
         }
+    }
 
-        /// Same-timestamp events preserve insertion order (stable/FIFO).
-        #[test]
-        fn queue_is_fifo_per_timestamp(n in 1usize..100) {
+    /// Same-timestamp events preserve insertion order (stable/FIFO).
+    #[test]
+    fn queue_is_fifo_per_timestamp() {
+        let mut rng = Rng::seed_from_u64(0x000D_E502);
+        for _case in 0..32 {
+            let n = 1 + rng.next_below(99) as usize;
             let mut q = EventQueue::new();
             let t = SimTime::from_nanos(7);
             for i in 0..n {
                 q.push(t, i);
             }
             let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-            prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+            assert_eq!(popped, (0..n).collect::<Vec<_>>());
         }
+    }
 
-        /// Integration over adjacent windows adds up to integration over the
-        /// union (additivity of the energy integral).
-        #[test]
-        fn series_integral_is_additive(
-            samples in prop::collection::vec((0u64..1000, 0.0f64..500.0), 1..50),
-            split in 0u64..2000,
-        ) {
-            let mut sorted = samples;
-            sorted.sort_by_key(|&(t, _)| t);
+    /// Integration over adjacent windows adds up to integration over the
+    /// union (additivity of the energy integral).
+    #[test]
+    fn series_integral_is_additive() {
+        let mut rng = Rng::seed_from_u64(0x000D_E503);
+        for _case in 0..64 {
+            let len = 1 + rng.next_below(49) as usize;
+            let mut samples: Vec<(u64, f64)> =
+                (0..len).map(|_| (rng.next_below(1000), rng.uniform(0.0, 500.0))).collect();
+            samples.sort_by_key(|&(t, _)| t);
+            let split = rng.next_below(2000);
             let mut s = TimeSeries::new();
-            for (t, v) in sorted {
+            for (t, v) in samples {
                 s.push(SimTime::from_nanos(t), v);
             }
             let a = SimTime::ZERO;
@@ -87,15 +95,19 @@ mod proptests {
             let (lo, hi) = if m <= b { (m, b) } else { (b, m) };
             let whole = s.integrate(a, hi);
             let parts = s.integrate(a, lo) + s.integrate(lo, hi);
-            prop_assert!((whole - parts).abs() < 1e-6);
+            assert!((whole - parts).abs() < 1e-6);
         }
+    }
 
-        /// SimTime/SimDuration arithmetic round-trips through f64 seconds
-        /// with sub-microsecond error for values under ~1000 s.
-        #[test]
-        fn time_f64_roundtrip(s in 0.0f64..1000.0) {
+    /// SimTime/SimDuration arithmetic round-trips through f64 seconds
+    /// with sub-microsecond error for values under ~1000 s.
+    #[test]
+    fn time_f64_roundtrip() {
+        let mut rng = Rng::seed_from_u64(0x000D_E504);
+        for _case in 0..256 {
+            let s = rng.uniform(0.0, 1000.0);
             let t = SimTime::from_secs_f64(s);
-            prop_assert!((t.as_secs_f64() - s).abs() < 1e-6);
+            assert!((t.as_secs_f64() - s).abs() < 1e-6);
         }
     }
 }

@@ -1,10 +1,9 @@
 //! Time-series recording for simulated quantities (power traces, slack, …).
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// An append-only series of `(time, value)` samples with non-decreasing time.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     times: Vec<SimTime>,
     values: Vec<f64>,

@@ -1,0 +1,428 @@
+//! # faults — deterministic fault injection for the PoLiMER stack
+//!
+//! The SeeSAw paper's headline claim is robustness: the controller stays
+//! within ~1 % of the static baseline's slack *despite* noisy feedback,
+//! stragglers, and RAPL actuation quirks (§VII-D). This crate supplies the
+//! fault model that lets the reproduction test that claim: a
+//! [`FaultPlan`] is generated once from a seed (via `des::rng`, the same
+//! xoshiro256++ generator the rest of the stack uses), and every layer
+//! consults it at well-defined seams:
+//!
+//! | layer       | seam                                   | fault kinds |
+//! |-------------|----------------------------------------|-------------|
+//! | `theta-sim` | phase execution, RAPL actuation        | [`FaultKind::NodeCrash`], [`FaultKind::Straggler`], [`FaultKind::RaplStuck`], [`FaultKind::RaplDelayed`] |
+//! | `mpisim`    | collectives in the measurement exchange | [`FaultKind::MessageLoss`], [`FaultKind::CollectiveTimeout`] |
+//! | `polimer`   | sample aggregation, monitor rank       | [`FaultKind::SampleNan`], [`FaultKind::SampleSpike`], [`FaultKind::SampleDropout`], [`FaultKind::MonitorDeath`] |
+//! | `rapl`      | sysfs writes (mock FS)                 | [`FaultKind::RaplWriteError`] |
+//!
+//! Two invariants the rest of the workspace relies on:
+//!
+//! 1. **Determinism** — the same `(seed, intensity, nodes, syncs)` tuple
+//!    always yields the same plan, so a faulty run is exactly replayable
+//!    (`scripts/verify.sh` diffs two `fault_sweep` runs byte-for-byte).
+//! 2. **Happy-path transparency** — an empty plan ([`FaultPlan::none`])
+//!    injects nothing and perturbs no RNG stream, so runs with faults
+//!    disabled are byte-identical to a build without this crate.
+//!
+//! Consumers record what they did about each fault as a
+//! [`RecoveryEvent`]; `insitu::RunResult` carries both logs so
+//! experiments can assert that every injected fault was matched by a
+//! recovery action.
+
+#![warn(missing_docs)]
+
+use des::Rng;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node dies at the start of the sync interval and never returns.
+    NodeCrash,
+    /// The node's phase time is stretched by `factor` (> 1) this interval.
+    Straggler {
+        /// Multiplier on the node's phase duration (e.g. 3.0 = 3× slower).
+        factor: f64,
+    },
+    /// The RAPL domain ignores cap requests this interval (actuator wedged).
+    RaplStuck,
+    /// Cap actuation is delayed by `extra_s` beyond the normal ~10 ms.
+    RaplDelayed {
+        /// Additional actuation latency in seconds.
+        extra_s: f64,
+    },
+    /// The mock powercap FS returns a transient `EIO` on the next write(s).
+    RaplWriteError,
+    /// The node's power/time sample arrives as NaN.
+    SampleNan,
+    /// The node's power sample is multiplied by `factor` (sensor glitch).
+    SampleSpike {
+        /// Multiplier on the reported power (e.g. 50.0 = absurd spike).
+        factor: f64,
+    },
+    /// The node's sample is silently dropped (monitor missed the window).
+    SampleDropout,
+    /// The node's monitor rank dies; a peer rank must be re-elected.
+    MonitorDeath,
+    /// The node's contribution to the measurement allgather is lost.
+    MessageLoss,
+    /// The measurement collective times out `failures` times before
+    /// succeeding (deterministic retry-failure count; u32::MAX = never).
+    CollectiveTimeout {
+        /// How many consecutive attempts fail before one succeeds.
+        failures: u32,
+    },
+}
+
+impl FaultKind {
+    /// Stable lowercase tag for logs and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash => "node_crash",
+            FaultKind::Straggler { .. } => "straggler",
+            FaultKind::RaplStuck => "rapl_stuck",
+            FaultKind::RaplDelayed { .. } => "rapl_delayed",
+            FaultKind::RaplWriteError => "rapl_write_error",
+            FaultKind::SampleNan => "sample_nan",
+            FaultKind::SampleSpike { .. } => "sample_spike",
+            FaultKind::SampleDropout => "sample_dropout",
+            FaultKind::MonitorDeath => "monitor_death",
+            FaultKind::MessageLoss => "message_loss",
+            FaultKind::CollectiveTimeout { .. } => "collective_timeout",
+        }
+    }
+}
+
+/// A fault scheduled against one node at one synchronization interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Synchronization index (0-based interval ordinal) at which it fires.
+    pub sync: u64,
+    /// Target node (cluster-wide index).
+    pub node: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// What a layer did about a fault (recorded by the consumer, not the plan).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryKind {
+    /// A dead monitor rank was replaced by a surviving rank on the node.
+    MonitorReelected,
+    /// A crashed node was excluded from scheduling and aggregation.
+    NodeExcluded,
+    /// The budget was renormalized over the surviving nodes.
+    BudgetRenormalized,
+    /// A corrupt (non-finite / non-positive / spiking) sample was rejected.
+    SampleRejected,
+    /// The previous allocation was held because feedback was unusable.
+    AllocationHeld,
+    /// A failed cap write was retried and eventually succeeded.
+    CapWriteRetried,
+    /// A timed-out collective was retried with bounded backoff.
+    CollectiveRetried,
+}
+
+impl RecoveryKind {
+    /// Stable lowercase tag for logs and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecoveryKind::MonitorReelected => "monitor_reelected",
+            RecoveryKind::NodeExcluded => "node_excluded",
+            RecoveryKind::BudgetRenormalized => "budget_renormalized",
+            RecoveryKind::SampleRejected => "sample_rejected",
+            RecoveryKind::AllocationHeld => "allocation_held",
+            RecoveryKind::CapWriteRetried => "cap_write_retried",
+            RecoveryKind::CollectiveRetried => "collective_retried",
+        }
+    }
+}
+
+/// A recovery action taken in response to injected faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Synchronization interval during which the action was taken.
+    pub sync: u64,
+    /// Node the action concerned (aggregation-wide actions use the
+    /// monitor's node).
+    pub node: usize,
+    /// What was done.
+    pub kind: RecoveryKind,
+}
+
+/// Per-kind injection probabilities (per node, per sync interval).
+///
+/// All fields are probabilities in `[0, 1]`. The default is all-zero
+/// (no faults). [`FaultIntensity::scaled`] gives the single-knob profile
+/// the `fault_sweep` experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultIntensity {
+    /// Probability a node crashes (at most one crash fires per node).
+    pub node_crash: f64,
+    /// Probability a node straggles this interval.
+    pub straggler: f64,
+    /// Probability the node's RAPL actuator wedges this interval.
+    pub rapl_stuck: f64,
+    /// Probability cap actuation is late this interval.
+    pub rapl_delayed: f64,
+    /// Probability the next sysfs cap write returns `EIO`.
+    pub rapl_write_error: f64,
+    /// Probability the node's sample is NaN.
+    pub sample_nan: f64,
+    /// Probability the node's power sample spikes.
+    pub sample_spike: f64,
+    /// Probability the node's sample is dropped.
+    pub sample_dropout: f64,
+    /// Probability the node's monitor rank dies (fires at most once/node).
+    pub monitor_death: f64,
+    /// Probability the node's allgather contribution is lost.
+    pub message_loss: f64,
+    /// Probability the whole measurement collective times out (evaluated
+    /// once per interval, on node 0).
+    pub collective_timeout: f64,
+}
+
+impl Default for FaultIntensity {
+    fn default() -> Self {
+        FaultIntensity {
+            node_crash: 0.0,
+            straggler: 0.0,
+            rapl_stuck: 0.0,
+            rapl_delayed: 0.0,
+            rapl_write_error: 0.0,
+            sample_nan: 0.0,
+            sample_spike: 0.0,
+            sample_dropout: 0.0,
+            monitor_death: 0.0,
+            message_loss: 0.0,
+            collective_timeout: 0.0,
+        }
+    }
+}
+
+impl FaultIntensity {
+    /// No faults at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The `fault_sweep` profile: one knob `x ∈ [0, 1]` scaling a mixed
+    /// workload of the paper-relevant fault kinds. At `x = 1` roughly
+    /// every tenth node-interval sees a corrupted sample, actuation
+    /// faults are common, and a few percent of node-intervals straggle;
+    /// crashes and monitor deaths stay rare so runs finish.
+    pub fn scaled(x: f64) -> Self {
+        let x = x.clamp(0.0, 1.0);
+        FaultIntensity {
+            node_crash: 0.002 * x,
+            straggler: 0.03 * x,
+            rapl_stuck: 0.04 * x,
+            rapl_delayed: 0.05 * x,
+            rapl_write_error: 0.04 * x,
+            sample_nan: 0.05 * x,
+            sample_spike: 0.04 * x,
+            sample_dropout: 0.05 * x,
+            monitor_death: 0.002 * x,
+            message_loss: 0.03 * x,
+            collective_timeout: 0.02 * x,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.node_crash == 0.0
+            && self.straggler == 0.0
+            && self.rapl_stuck == 0.0
+            && self.rapl_delayed == 0.0
+            && self.rapl_write_error == 0.0
+            && self.sample_nan == 0.0
+            && self.sample_spike == 0.0
+            && self.sample_dropout == 0.0
+            && self.monitor_death == 0.0
+            && self.message_loss == 0.0
+            && self.collective_timeout == 0.0
+    }
+}
+
+/// A fully materialized, replayable fault schedule.
+///
+/// Generated up front so injection never draws from the simulation's RNG
+/// streams — the happy path's random sequence is untouched whether or not
+/// a plan exists.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, costs nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from an explicit event list (tests, bespoke scenarios).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.sync, e.node));
+        FaultPlan { events }
+    }
+
+    /// Generate a plan for a `nodes`-node job over `syncs` intervals.
+    ///
+    /// Deterministic in all arguments. Node crashes and monitor deaths
+    /// fire at most once per node (a dead node stays dead; a re-elected
+    /// monitor does not die again in this model).
+    pub fn generate(seed: u64, intensity: &FaultIntensity, nodes: usize, syncs: u64) -> Self {
+        if intensity.is_zero() || nodes == 0 || syncs == 0 {
+            return FaultPlan::none();
+        }
+        // Domain-separated from every simulation stream: the plan has its
+        // own root, so identical seeds elsewhere cannot correlate with it.
+        let mut rng = Rng::seed_from_u64(seed ^ 0xFA17_7157_D00D_F00D);
+        let mut events = Vec::new();
+        let mut crashed = vec![false; nodes];
+        let mut monitor_dead = vec![false; nodes];
+        for sync in 0..syncs {
+            if rng.next_f64() < intensity.collective_timeout {
+                let failures = 1 + rng.next_below(3) as u32;
+                events.push(FaultEvent {
+                    sync,
+                    node: 0,
+                    kind: FaultKind::CollectiveTimeout { failures },
+                });
+            }
+            for node in 0..nodes {
+                if crashed[node] {
+                    continue;
+                }
+                if rng.next_f64() < intensity.node_crash {
+                    crashed[node] = true;
+                    events.push(FaultEvent { sync, node, kind: FaultKind::NodeCrash });
+                    continue;
+                }
+                if rng.next_f64() < intensity.straggler {
+                    let factor = 1.5 + 3.0 * rng.next_f64();
+                    events.push(FaultEvent { sync, node, kind: FaultKind::Straggler { factor } });
+                }
+                if rng.next_f64() < intensity.rapl_stuck {
+                    events.push(FaultEvent { sync, node, kind: FaultKind::RaplStuck });
+                }
+                if rng.next_f64() < intensity.rapl_delayed {
+                    let extra_s = 0.05 + 0.45 * rng.next_f64();
+                    events.push(FaultEvent { sync, node, kind: FaultKind::RaplDelayed { extra_s } });
+                }
+                if rng.next_f64() < intensity.rapl_write_error {
+                    events.push(FaultEvent { sync, node, kind: FaultKind::RaplWriteError });
+                }
+                if rng.next_f64() < intensity.sample_nan {
+                    events.push(FaultEvent { sync, node, kind: FaultKind::SampleNan });
+                }
+                if rng.next_f64() < intensity.sample_spike {
+                    let factor = 10.0 + 90.0 * rng.next_f64();
+                    events.push(FaultEvent { sync, node, kind: FaultKind::SampleSpike { factor } });
+                }
+                if rng.next_f64() < intensity.sample_dropout {
+                    events.push(FaultEvent { sync, node, kind: FaultKind::SampleDropout });
+                }
+                if !monitor_dead[node] && rng.next_f64() < intensity.monitor_death {
+                    monitor_dead[node] = true;
+                    events.push(FaultEvent { sync, node, kind: FaultKind::MonitorDeath });
+                }
+                if rng.next_f64() < intensity.message_loss {
+                    events.push(FaultEvent { sync, node, kind: FaultKind::MessageLoss });
+                }
+            }
+        }
+        FaultPlan { events }
+    }
+
+    /// True if the plan injects nothing (the happy path).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All scheduled events, ordered by `(sync, node)`.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events firing at synchronization interval `sync`.
+    pub fn events_at(&self, sync: u64) -> impl Iterator<Item = &FaultEvent> {
+        // The plan is generated sync-major, so a partition point would be
+        // faster; plans are short (≤ a few hundred events), linear is fine.
+        self.events.iter().filter(move |e| e.sync == sync)
+    }
+
+    /// Events firing at `sync` against `node`.
+    pub fn events_for(&self, sync: u64, node: usize) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.sync == sync && e.node == node)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_free() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.events_at(0).count(), 0);
+        assert_eq!(FaultPlan::generate(1, &FaultIntensity::none(), 8, 100), p);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let i = FaultIntensity::scaled(0.7);
+        let a = FaultPlan::generate(42, &i, 16, 50);
+        let b = FaultPlan::generate(42, &i, 16, 50);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, &i, 16, 50);
+        assert_ne!(a, c, "different seed should change the plan");
+    }
+
+    #[test]
+    fn full_intensity_covers_many_kinds() {
+        let plan = FaultPlan::generate(7, &FaultIntensity::scaled(1.0), 16, 200);
+        let mut tags: Vec<&str> = plan.events().iter().map(|e| e.kind.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert!(tags.len() >= 5, "expected a mixed workload, got {tags:?}");
+    }
+
+    #[test]
+    fn at_most_one_crash_per_node() {
+        let mut i = FaultIntensity::none();
+        i.node_crash = 0.5;
+        let plan = FaultPlan::generate(3, &i, 4, 100);
+        for node in 0..4 {
+            let crashes = plan
+                .events()
+                .iter()
+                .filter(|e| e.node == node && e.kind == FaultKind::NodeCrash)
+                .count();
+            assert!(crashes <= 1, "node {node} crashed {crashes} times");
+        }
+    }
+
+    #[test]
+    fn events_at_filters_by_sync() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { sync: 2, node: 1, kind: FaultKind::RaplStuck },
+            FaultEvent { sync: 0, node: 0, kind: FaultKind::SampleNan },
+        ]);
+        assert_eq!(plan.events_at(0).count(), 1);
+        assert_eq!(plan.events_at(1).count(), 0);
+        assert_eq!(plan.events_at(2).count(), 1);
+        assert_eq!(plan.events()[0].sync, 0, "from_events sorts");
+    }
+
+    #[test]
+    fn intensity_scaling_monotone() {
+        let lo = FaultPlan::generate(9, &FaultIntensity::scaled(0.1), 16, 100).len();
+        let hi = FaultPlan::generate(9, &FaultIntensity::scaled(1.0), 16, 100).len();
+        assert!(hi > lo, "more intensity should mean more events ({lo} vs {hi})");
+    }
+}

@@ -15,12 +15,14 @@ use crate::config::JobConfig;
 use crate::result::RunResult;
 use crate::runtime::Runtime;
 use mdsim::workload::{AnalyticWorkload, CostModel, WorkloadGen};
+use seesaw::UnknownController;
 
 /// Transform a space-shared job config into its co-located equivalent and
 /// run it. The returned result's "nodes" are half-socket domains: there
 /// are `nodes_total` simulation domains and `nodes_total` analysis domains
-/// on `nodes_total` physical nodes.
-pub fn run_colocated(cfg: JobConfig) -> RunResult {
+/// on `nodes_total` physical nodes. Fails with [`UnknownController`] if
+/// the configured controller name is not valid.
+pub fn run_colocated(cfg: JobConfig) -> Result<RunResult, UnknownController> {
     let n_phys = cfg.workload.nodes_total();
     let mut spec = cfg.workload.clone();
     // Both partitions span every physical node (one half-socket each).
@@ -59,9 +61,9 @@ pub fn run_colocated(cfg: JobConfig) -> RunResult {
     co_cfg.initial_sim_cap_w = co_cfg.initial_sim_cap_w.map(|w| w / 2.0);
     co_cfg.initial_analysis_cap_w = co_cfg.initial_analysis_cap_w.map(|w| w / 2.0);
 
-    let mut result = Runtime::with_workload(co_cfg, workload).run();
+    let mut result = Runtime::with_workload(co_cfg, workload)?.run();
     result.controller = format!("{} (co-located)", result.controller);
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -81,7 +83,7 @@ mod tests {
     fn colocated_preserves_the_global_budget() {
         let cfg = JobConfig::new(spec(&[K::MsdFull]), "seesaw");
         let budget = cfg.budget_w();
-        let r = run_colocated(cfg);
+        let r = run_colocated(cfg).expect("known controller");
         assert_eq!(r.syncs.len(), 20);
         for s in &r.syncs {
             // 8 sim + 8 analysis half-socket domains.
@@ -93,7 +95,7 @@ mod tests {
     #[test]
     fn colocated_caps_respect_scaled_limits() {
         let cfg = JobConfig::new(spec(&[K::Vacf]), "seesaw");
-        let r = run_colocated(cfg);
+        let r = run_colocated(cfg).expect("known controller");
         for s in &r.syncs {
             assert!((49.0..=107.5).contains(&s.sim_cap_w), "{}", s.sim_cap_w);
             assert!((49.0..=107.5).contains(&s.analysis_cap_w), "{}", s.analysis_cap_w);
@@ -105,15 +107,15 @@ mod tests {
         // Same silicon, same budget, same work: total time should be within
         // a modest factor of the space-shared run (the modes differ in
         // balancing granularity, not throughput).
-        let co = run_colocated(JobConfig::new(spec(&[K::MsdFull]), "static"));
-        let ss = run_job(JobConfig::new(spec(&[K::MsdFull]), "static"));
+        let co = run_colocated(JobConfig::new(spec(&[K::MsdFull]), "static")).expect("known controller");
+        let ss = run_job(JobConfig::new(spec(&[K::MsdFull]), "static")).expect("known controller");
         let ratio = co.total_time_s / ss.total_time_s;
         assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]
     fn controller_label_is_tagged() {
-        let r = run_colocated(JobConfig::new(spec(&[K::Vacf]), "seesaw"));
+        let r = run_colocated(JobConfig::new(spec(&[K::Vacf]), "seesaw")).expect("known controller");
         assert_eq!(r.controller, "seesaw (co-located)");
     }
 }

@@ -1,11 +1,11 @@
 //! Job configuration for one in-situ run.
 
+use faults::FaultPlan;
 use mdsim::workload::WorkloadSpec;
-use serde::{Deserialize, Serialize};
 use theta_sim::{CapMode, MachineConfig, NoiseSeed};
 
 /// Everything needed to execute one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobConfig {
     /// The workload (problem size, partitions, analyses, j).
     pub workload: WorkloadSpec,
@@ -29,6 +29,10 @@ pub struct JobConfig {
     /// The machine model (a Theta node by default; a scaled config models
     /// finer power domains, e.g. per-half-socket co-location — §III).
     pub machine: MachineConfig,
+    /// Deterministic fault schedule. [`FaultPlan::none`] (the default)
+    /// injects nothing and leaves the run byte-identical to a fault-free
+    /// build.
+    pub faults: FaultPlan,
 }
 
 impl JobConfig {
@@ -45,6 +49,7 @@ impl JobConfig {
             seed: NoiseSeed::new(1, 0),
             record_traces: false,
             machine: MachineConfig::theta(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -91,6 +96,12 @@ impl JobConfig {
     /// Builder: enable trace recording.
     pub fn with_traces(mut self) -> Self {
         self.record_traces = true;
+        self
+    }
+
+    /// Builder: attach a deterministic fault schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 }

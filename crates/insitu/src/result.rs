@@ -1,10 +1,10 @@
 //! Run results: per-synchronization records and whole-run summaries.
 
 use des::TimeSeries;
-use serde::{Deserialize, Serialize};
+use faults::{FaultEvent, RecoveryEvent, RecoveryKind};
 
 /// One synchronization interval's outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyncRecord {
     /// Synchronization index (1-based; the first closed interval is 1).
     pub index: u64,
@@ -32,7 +32,7 @@ pub struct SyncRecord {
 }
 
 /// Result of one complete run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Controller that governed the run.
     pub controller: String,
@@ -46,6 +46,10 @@ pub struct RunResult {
     pub sim_trace: Option<TimeSeries>,
     /// 200 ms-sampled total power of the analysis partition, if recorded.
     pub analysis_trace: Option<TimeSeries>,
+    /// Faults that actually fired during the run (empty on the happy path).
+    pub fault_events: Vec<FaultEvent>,
+    /// Graceful-degradation actions taken in response to injected faults.
+    pub recovery_events: Vec<RecoveryEvent>,
 }
 
 impl RunResult {
@@ -63,6 +67,20 @@ impl RunResult {
     /// Total allocation overhead across the run, seconds.
     pub fn total_overhead_s(&self) -> f64 {
         self.syncs.iter().map(|s| s.overhead_s).sum()
+    }
+
+    /// How many recovery actions of one kind the run logged.
+    pub fn recovery_count(&self, kind: RecoveryKind) -> usize {
+        self.recovery_events.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Distinct fault tags that fired (e.g. `["node_crash", "sample_nan"]`).
+    pub fn fault_tags(&self) -> Vec<&'static str> {
+        let mut tags: Vec<&'static str> =
+            self.fault_events.iter().map(|e| e.kind.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags
     }
 }
 
@@ -143,6 +161,8 @@ mod tests {
             syncs: vec![mk(1, 0.9), mk(10, 0.1), mk(11, 0.3)],
             sim_trace: None,
             analysis_trace: None,
+            fault_events: Vec::new(),
+            recovery_events: Vec::new(),
         };
         assert!((r.mean_slack_from(10) - 0.2).abs() < 1e-12);
     }

@@ -16,12 +16,13 @@
 use crate::config::JobConfig;
 use crate::result::{RunResult, SyncRecord};
 use des::{SimDuration, SimTime};
+use faults::{FaultEvent, FaultKind, RecoveryEvent, RecoveryKind};
 use mdsim::workload::{AnalyticWorkload, StepWork, WorkloadGen};
 use mpisim::{Communicator, JobLayout, NetworkModel};
-use polimer::{NodeInterval, PowerManager};
+use polimer::{ExchangeFaults, NodeInterval, PowerManager};
 use seesaw::{
     Controller, Limits, PowerAware, PowerAwareConfig, Role, SeeSaw, SeeSawConfig, StaticAlloc,
-    TimeAware, TimeAwareConfig,
+    TimeAware, TimeAwareConfig, UnknownController,
 };
 use theta_sim::{Cluster, PhaseKind, Work};
 
@@ -29,12 +30,13 @@ use theta_sim::{Cluster, PhaseKind, Work};
 /// configurations).
 const MIN_INTERVAL_S: f64 = 1e-9;
 
-/// Build the controller described by a job config.
-pub fn build_controller(cfg: &JobConfig) -> Box<dyn Controller> {
+/// Build the controller described by a job config. Unrecognized names
+/// yield a typed [`UnknownController`] error instead of a panic.
+pub fn build_controller(cfg: &JobConfig) -> Result<Box<dyn Controller>, UnknownController> {
     let n = cfg.workload.nodes_total();
     let budget = cfg.budget_w();
     let limits = Limits { min_w: cfg.machine.min_cap_w, max_w: cfg.machine.max_cap_w() };
-    match cfg.controller.as_str() {
+    Ok(match cfg.controller.as_str() {
         "seesaw" => Box::new(SeeSaw::new(SeeSawConfig {
             budget_w: budget,
             window: cfg.window,
@@ -79,8 +81,8 @@ pub fn build_controller(cfg: &JobConfig) -> Box<dyn Controller> {
             },
             ..seesaw::ProbingConfig::paper_default(n)
         })),
-        other => panic!("unknown controller {other:?}"),
-    }
+        other => return Err(UnknownController { name: other.to_string() }),
+    })
 }
 
 /// The runtime for one job.
@@ -94,17 +96,21 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Construct with the default (analytic) workload generator.
-    pub fn new(cfg: JobConfig) -> Self {
+    /// Construct with the default (analytic) workload generator. Fails
+    /// with [`UnknownController`] if the configured name is not valid.
+    pub fn new(cfg: JobConfig) -> Result<Self, UnknownController> {
         let workload = Box::new(AnalyticWorkload::new(cfg.workload.clone()));
         Self::with_workload(cfg, workload)
     }
 
     /// Construct with an explicit workload generator (e.g.
     /// [`mdsim::workload::MeasuredWorkload`]).
-    pub fn with_workload(cfg: JobConfig, workload: Box<dyn WorkloadGen>) -> Self {
-        let controller = build_controller(&cfg);
-        Self::assemble(cfg, workload, controller)
+    pub fn with_workload(
+        cfg: JobConfig,
+        workload: Box<dyn WorkloadGen>,
+    ) -> Result<Self, UnknownController> {
+        let controller = build_controller(&cfg)?;
+        Ok(Self::assemble(cfg, workload, controller))
     }
 
     /// Construct with an explicitly built controller (ablations that need
@@ -131,13 +137,15 @@ impl Runtime {
             .collect();
         let cluster = Cluster::with_caps(cfg.machine.clone(), &caps, cfg.cap_mode, cfg.seed);
 
-        // One rank per node is enough structure for PoLiMER's bookkeeping
-        // (per-node times are already slowest-rank aggregates).
-        let world = Communicator::world(JobLayout::new(n, 1));
+        // Two ranks per node: the monitor plus a peer, so monitor death
+        // has a surviving rank to promote. Per-node times are already
+        // slowest-rank aggregates, so the extra rank adds no bookkeeping
+        // and the measurement exchange still runs over one rank per node.
+        let world = Communicator::world(JobLayout::new(2 * n, 2));
         let sim_count = spec.sim_nodes;
         let manager = PowerManager::init_with_controller(
             &world,
-            move |rank| if rank < sim_count { Role::Simulation } else { Role::Analysis },
+            move |rank| if rank / 2 < sim_count { Role::Simulation } else { Role::Analysis },
             controller,
             NetworkModel::aries(),
             5.0e-6,
@@ -166,14 +174,39 @@ impl Runtime {
     /// Execute the run to completion.
     pub fn run(mut self) -> RunResult {
         let spec = self.cfg.workload.clone();
+        let plan = self.cfg.faults.clone();
         let machine = self.cluster.config().clone();
         let j = spec.sync_every;
         let sync_count = spec.sync_count();
         let mut t = SimTime::ZERO;
         let mut syncs = Vec::with_capacity(sync_count as usize);
+        let mut fault_log: Vec<FaultEvent> = Vec::new();
+        let mut recovery_log: Vec<RecoveryEvent> = Vec::new();
 
         for sync_k in 1..=sync_count {
             let t0 = t;
+            // Fault plans index intervals 0-based; sync_k is 1-based.
+            let sync0 = sync_k - 1;
+            let sf = self.inject_faults(&plan, sync0, &mut fault_log, &mut recovery_log);
+
+            // --- Watchdog: a partition with no survivors ends the coupled
+            // job gracefully (nothing left to synchronize against).
+            let sim_alive: Vec<usize> = self
+                .sim_nodes
+                .iter()
+                .copied()
+                .filter(|&n| self.manager.is_alive(n))
+                .collect();
+            let ana_alive: Vec<usize> = self
+                .ana_nodes
+                .iter()
+                .copied()
+                .filter(|&n| self.manager.is_alive(n))
+                .collect();
+            if sim_alive.is_empty() || ana_alive.is_empty() {
+                break;
+            }
+
             // Gather this interval's per-step work (simulation runs all j
             // steps; analysis phases appear on the sync step).
             let steps: Vec<StepWork> = ((sync_k - 1) * j + 1..=sync_k * j)
@@ -181,12 +214,14 @@ impl Runtime {
                 .collect();
 
             // --- Simulation partition executes its phases.
-            let mut sim_arrivals = Vec::with_capacity(self.sim_nodes.len());
-            for &node in &self.sim_nodes.clone() {
+            let mut sim_arrivals = Vec::with_capacity(sim_alive.len());
+            for &node in &sim_alive {
                 let mut cursor = t0;
                 let sigma_scale = self.low_cap_jitter_scale(node);
+                let stretch = sf.straggle_factor(node);
                 for sw in &steps {
                     for &w in &sw.sim_phases {
+                        let w = stretch_work(w, stretch);
                         let jitter = self.cluster.noise_mut().phase_jitter_scaled(sigma_scale);
                         cursor = self.cluster.node_mut(node).run_phase(&machine, cursor, w, jitter);
                     }
@@ -197,11 +232,13 @@ impl Runtime {
             // --- Analysis partition executes the sync step's phases.
             let ana_phases: Vec<Work> =
                 steps.last().map(|s| s.analysis_phases.clone()).unwrap_or_default();
-            let mut ana_arrivals = Vec::with_capacity(self.ana_nodes.len());
-            for &node in &self.ana_nodes.clone() {
+            let mut ana_arrivals = Vec::with_capacity(ana_alive.len());
+            for &node in &ana_alive {
                 let mut cursor = t0;
                 let sigma_scale = self.low_cap_jitter_scale(node);
+                let stretch = sf.straggle_factor(node);
                 for &w in &ana_phases {
+                    let w = stretch_work(w, stretch);
                     let jitter = self.cluster.noise_mut().phase_jitter_scaled(sigma_scale);
                     cursor = self.cluster.node_mut(node).run_phase(&machine, cursor, w, jitter);
                 }
@@ -219,7 +256,9 @@ impl Runtime {
             }
 
             // --- Feedback: time to arrival, measured power over the active
-            // window, current requested cap.
+            // window, current requested cap. Monitor-side corruption
+            // (injected NaN/spike/dropout) happens here, before PoLiMER's
+            // plausibility gate — rejected samples never reach Eq. 1.
             let mut caps_now = Vec::with_capacity(sim_arrivals.len() + ana_arrivals.len());
             for (&(node, arrival), role) in sim_arrivals
                 .iter()
@@ -228,19 +267,51 @@ impl Runtime {
             {
                 let time_s =
                     arrival.saturating_since(t0).as_secs_f64().max(MIN_INTERVAL_S);
-                let power_w = self.cluster.measured_total_power(&[node], t0, arrival.max(
+                let mut power_w = self.cluster.measured_total_power(&[node], t0, arrival.max(
                     t0 + SimDuration::from_nanos(1),
                 ));
                 let cap_w = self.cluster.node(node).rapl().requested_cap();
                 caps_now.push((node, role, cap_w));
-                self.manager.record(NodeInterval { node, role, time_s, power_w, cap_w });
+                if sf.dropout.contains(&node) {
+                    // The monitor missed the window: nothing to record.
+                    recovery_log.push(RecoveryEvent {
+                        sync: sync0,
+                        node,
+                        kind: RecoveryKind::SampleRejected,
+                    });
+                    continue;
+                }
+                if sf.nan.contains(&node) {
+                    power_w = f64::NAN;
+                }
+                if let Some(factor) = sf.spike_factor(node) {
+                    power_w *= factor;
+                }
+                if !self.manager.record(NodeInterval { node, role, time_s, power_w, cap_w }) {
+                    recovery_log.push(RecoveryEvent {
+                        sync: sync0,
+                        node,
+                        kind: RecoveryKind::SampleRejected,
+                    });
+                }
             }
 
             // --- poli_power_alloc(): exchange, decide, apply.
-            let outcome = self.manager.power_alloc();
+            let outcome = self.manager.power_alloc_with(&sf.exchange);
+            recovery_log.extend(outcome.recoveries.iter().copied());
             if let Some(alloc) = &outcome.allocation {
                 for &(node, role, _) in &caps_now {
                     let target = alloc.cap_for(node, role);
+                    if sf.write_error.contains(&node) {
+                        // Transient EIO on the powercap write; the retried
+                        // write lands ~1 ms late but the cap does apply.
+                        self.cluster.node_mut(node).rapl_mut().inject_extra_latency(1.0e-3);
+                        recovery_log.push(RecoveryEvent {
+                            sync: sync0,
+                            node,
+                            kind: RecoveryKind::CapWriteRetried,
+                        });
+                    }
                     let cfg = machine.clone();
                     self.cluster.node_mut(node).rapl_mut().request_cap(&cfg, rendezvous, target);
                 }
@@ -305,46 +376,159 @@ impl Runtime {
             syncs,
             sim_trace,
             analysis_trace,
+            fault_events: fault_log,
+            recovery_events: recovery_log,
         }
+    }
+
+    /// Consult the fault plan for interval `sync0` and arm every seam:
+    /// crashes and monitor deaths go straight to the manager, RAPL faults
+    /// to the target node's actuator, and the rest into the [`SyncFaults`]
+    /// the interval's feedback/exchange paths consume. Only faults that
+    /// actually applied (live target) are logged.
+    fn inject_faults(
+        &mut self,
+        plan: &faults::FaultPlan,
+        sync0: u64,
+        fault_log: &mut Vec<FaultEvent>,
+        recovery_log: &mut Vec<RecoveryEvent>,
+    ) -> SyncFaults {
+        let mut sf = SyncFaults::default();
+        let events: Vec<FaultEvent> = plan.events_at(sync0).copied().collect();
+        for ev in events {
+            let alive = self.manager.is_alive(ev.node);
+            match ev.kind {
+                FaultKind::NodeCrash => {
+                    let recs = self.manager.mark_node_dead(ev.node);
+                    if !recs.is_empty() {
+                        fault_log.push(ev);
+                        recovery_log.extend(recs);
+                    }
+                }
+                // The exchange is collective: it degrades regardless of
+                // which node the plan pinned the timeout on.
+                FaultKind::CollectiveTimeout { failures } => {
+                    sf.exchange.failed_attempts = sf.exchange.failed_attempts.max(failures);
+                    fault_log.push(ev);
+                }
+                _ if !alive => {}
+                FaultKind::Straggler { factor } => {
+                    sf.straggle.push((ev.node, factor));
+                    fault_log.push(ev);
+                }
+                FaultKind::RaplStuck => {
+                    self.cluster.node_mut(ev.node).rapl_mut().inject_ignore_requests(1);
+                    fault_log.push(ev);
+                }
+                FaultKind::RaplDelayed { extra_s } => {
+                    self.cluster.node_mut(ev.node).rapl_mut().inject_extra_latency(extra_s);
+                    fault_log.push(ev);
+                }
+                FaultKind::RaplWriteError => {
+                    sf.write_error.push(ev.node);
+                    fault_log.push(ev);
+                }
+                FaultKind::SampleNan => {
+                    sf.nan.push(ev.node);
+                    fault_log.push(ev);
+                }
+                FaultKind::SampleSpike { factor } => {
+                    sf.spike.push((ev.node, factor));
+                    fault_log.push(ev);
+                }
+                FaultKind::SampleDropout => {
+                    sf.dropout.push(ev.node);
+                    fault_log.push(ev);
+                }
+                FaultKind::MonitorDeath => {
+                    if let Some((_rank, rec)) = self.manager.mark_monitor_dead(ev.node) {
+                        fault_log.push(ev);
+                        recovery_log.push(rec);
+                    }
+                }
+                FaultKind::MessageLoss => {
+                    sf.exchange.lost_nodes.push(ev.node);
+                    fault_log.push(ev);
+                }
+            }
+        }
+        sf
     }
 }
 
-/// Run a job to completion (analytic workload).
-pub fn run_job(cfg: JobConfig) -> RunResult {
-    Runtime::new(cfg).run()
+/// The faults armed for one synchronization interval (everything the
+/// interval's own code paths need to consult; crashes and RAPL injection
+/// act on longer-lived state instead).
+#[derive(Default)]
+struct SyncFaults {
+    straggle: Vec<(usize, f64)>,
+    write_error: Vec<usize>,
+    nan: Vec<usize>,
+    spike: Vec<(usize, f64)>,
+    dropout: Vec<usize>,
+    exchange: ExchangeFaults,
+}
+
+impl SyncFaults {
+    fn straggle_factor(&self, node: usize) -> f64 {
+        self.straggle
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map_or(1.0, |&(_, f)| f)
+    }
+
+    fn spike_factor(&self, node: usize) -> Option<f64> {
+        self.spike.iter().find(|&&(n, _)| n == node).map(|&(_, f)| f)
+    }
+}
+
+/// Stretch a phase's reference time by a straggler factor. `factor == 1`
+/// returns the work untouched (bit-for-bit), keeping the happy path and
+/// the RNG draw sequence identical.
+fn stretch_work(w: Work, factor: f64) -> Work {
+    if factor == 1.0 {
+        w
+    } else {
+        Work::scaled(w.kind, w.ref_secs * factor, w.demand_scale)
+    }
+}
+
+/// Run a job to completion (analytic workload). Fails with
+/// [`UnknownController`] if the configured controller name is not valid.
+pub fn run_job(cfg: JobConfig) -> Result<RunResult, UnknownController> {
+    Ok(Runtime::new(cfg)?.run())
 }
 
 /// Run `controller` and the static baseline in the same "job" (identical
 /// placement — same job seed, consecutive run seeds, as the paper does to
 /// sidestep job-to-job variability, §VII-A). Returns
 /// `(controller result, baseline result)`.
-pub fn run_paired(cfg: &JobConfig) -> (RunResult, RunResult) {
-    let ctl = run_job(cfg.clone());
+pub fn run_paired(cfg: &JobConfig) -> Result<(RunResult, RunResult), UnknownController> {
+    let ctl = run_job(cfg.clone())?;
     let mut base_cfg = cfg.clone();
     base_cfg.controller = "static".to_string();
     base_cfg.seed.run = cfg.seed.run + 1;
-    let base = run_job(base_cfg);
-    (ctl, base)
+    let base = run_job(base_cfg)?;
+    Ok((ctl, base))
 }
 
 /// Percentage improvement of `controller` over the paired static baseline
 /// for one job seed (positive = faster than static).
-pub fn paired_improvement(cfg: &JobConfig) -> f64 {
-    let (ctl, base) = run_paired(cfg);
-    crate::result::improvement_pct(base.total_time_s, ctl.total_time_s)
+pub fn paired_improvement(cfg: &JobConfig) -> Result<f64, UnknownController> {
+    let (ctl, base) = run_paired(cfg)?;
+    Ok(crate::result::improvement_pct(base.total_time_s, ctl.total_time_s))
 }
 
 /// Median paired improvement over `runs` different jobs (the paper reports
 /// the median of 3).
-pub fn median_improvement(cfg: &JobConfig, runs: u64) -> f64 {
-    let vals: Vec<f64> = (0..runs)
-        .map(|r| {
-            let mut c = cfg.clone();
-            c.seed.job = cfg.seed.job + 1000 * r;
-            paired_improvement(&c)
-        })
-        .collect();
-    crate::result::median(&vals)
+pub fn median_improvement(cfg: &JobConfig, runs: u64) -> Result<f64, UnknownController> {
+    let mut vals = Vec::with_capacity(runs as usize);
+    for r in 0..runs {
+        let mut c = cfg.clone();
+        c.seed.job = cfg.seed.job + 1000 * r;
+        vals.push(paired_improvement(&c)?);
+    }
+    Ok(crate::result::median(&vals))
 }
 
 /// Per-phase helper used by tests: does a phase list contain a kind?

@@ -110,6 +110,9 @@ pub fn run_time_shared(cfg: JobConfig) -> RunResult {
         syncs,
         sim_trace: None,
         analysis_trace: None,
+        // Time-shared mode does not run the fault-injection seams.
+        fault_events: Vec::new(),
+        recovery_events: Vec::new(),
     }
 }
 
@@ -140,7 +143,7 @@ mod tests {
         // space-shared per-node simulation work; the sim epoch is roughly
         // half as long as the space-shared simulation interval.
         let ts = run_time_shared(JobConfig::new(spec(&[K::Vacf]), "static"));
-        let ss = run_job(JobConfig::new(spec(&[K::Vacf]), "static"));
+        let ss = run_job(JobConfig::new(spec(&[K::Vacf]), "static")).expect("known controller");
         let ts_sim = ts.syncs[10].sim_time_s;
         let ss_sim = ss.syncs[10].sim_time_s;
         let ratio = ts_sim / ss_sim;
@@ -152,7 +155,7 @@ mod tests {
         // With VACF (huge slack in space-shared static mode), time-sharing
         // is competitive or better despite serializing the phases.
         let ts = run_time_shared(JobConfig::new(spec(&[K::Vacf]), "static"));
-        let ss = run_job(JobConfig::new(spec(&[K::Vacf]), "static"));
+        let ss = run_job(JobConfig::new(spec(&[K::Vacf]), "static")).expect("known controller");
         assert!(
             ts.total_time_s < ss.total_time_s * 1.1,
             "time-shared {:.1}s vs space-shared static {:.1}s",

@@ -17,7 +17,6 @@ pub use vacf::{Vacf, VacfConfig};
 
 use crate::species::Species;
 use crate::vec3::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A read-only particle snapshot delivered to the analysis partition.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +63,7 @@ impl<'a> Snapshot<'a> {
 }
 
 /// Work performed by one analysis invocation (fed to the cluster model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AnalysisWork {
     /// Arithmetic operations on particle data (distance evaluations, dot
     /// products, …).
@@ -82,7 +81,7 @@ impl AnalysisWork {
 }
 
 /// The analysis kinds of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AnalysisKind {
     /// Hydronium + ion radial distribution functions.
     Rdf,

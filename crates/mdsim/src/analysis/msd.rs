@@ -11,10 +11,9 @@
 
 use super::{Analysis, AnalysisKind, AnalysisWork, Snapshot};
 use crate::vec3::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// Which MSD variant to compute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsdVariant {
     /// Full MSD: 1-D + 2-D components + all-particle average over multiple
     /// time origins.
@@ -26,7 +25,7 @@ pub enum MsdVariant {
 }
 
 /// MSD configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsdConfig {
     /// Variant.
     pub variant: MsdVariant,

@@ -10,10 +10,9 @@
 
 use super::{Analysis, AnalysisKind, AnalysisWork, Snapshot};
 use crate::species::Species;
-use serde::{Deserialize, Serialize};
 
 /// RDF configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RdfConfig {
     /// Number of radial bins.
     pub bins: usize,

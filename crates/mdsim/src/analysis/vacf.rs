@@ -6,10 +6,9 @@
 
 use super::{Analysis, AnalysisKind, AnalysisWork, Snapshot};
 use crate::vec3::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// VACF configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[derive(Default)]
 pub struct VacfConfig {
     /// Re-anchor the time origin every this many observed frames (0 =

@@ -14,11 +14,10 @@
 use crate::system::System;
 #[cfg(test)]
 use crate::vec3::Vec3;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// A harmonic bond between particles `i` and `j`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bond {
     /// First particle.
     pub i: u32,
@@ -31,7 +30,7 @@ pub struct Bond {
 }
 
 /// A harmonic angle `i–j–k` with vertex `j`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Angle {
     /// First end.
     pub i: u32,
@@ -46,7 +45,7 @@ pub struct Angle {
 }
 
 /// Molecular topology: bonds, angles and the derived pairwise exclusions.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Topology {
     /// Harmonic bonds.
     pub bonds: Vec<Bond>,

@@ -10,10 +10,9 @@
 //! workload model.
 
 use crate::vec3::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A 3-D block decomposition of a cubic periodic box.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DomainDecomposition {
     /// Ranks along x, y, z (product = total ranks).
     pub grid: [usize; 3],

@@ -6,15 +6,14 @@
 //! coarse-grained work. The LJ potential is cut and shifted so energy is
 //! continuous at the cutoff.
 //!
-//! The kernel is data-parallel over the half pair list (rayon), with
-//! per-thread force accumulators reduced at the end — the dominant
-//! computational phase of every timestep, exactly as in LAMMPS.
+//! The kernel folds over the half pair list in fixed-size chunks with an
+//! in-order reduction, so results are bit-identical across runs — the
+//! dominant computational phase of every timestep, exactly as in LAMMPS.
 
 use crate::neighbor::NeighborList;
 use crate::species::PairTable;
 use crate::system::System;
 use crate::vec3::Vec3;
-use rayon::prelude::*;
 use std::collections::HashSet;
 
 /// Coulomb prefactor in reduced units. Scaled to a Bjerrum length of a few
@@ -99,43 +98,34 @@ pub fn compute_forces_excluding(
     let species = &sys.species;
     let pairs = nl.pairs();
 
-    // Parallel fold: each worker owns a private force buffer.
-    let (forces, potential, virial, evaluated) = pairs
-        .par_chunks(16_384)
-        .map(|chunk| {
-            let mut f = vec![Vec3::ZERO; n];
-            let mut u_acc = 0.0;
-            let mut w_acc = 0.0;
-            let mut count = 0u64;
-            for &(i, j) in chunk {
-                if exclusions.is_some_and(|ex| ex.contains(&(i, j))) {
-                    continue;
-                }
-                let (i, j) = (i as usize, j as usize);
-                let d = (pos[i] - pos[j]).minimum_image(box_len);
-                let r_sq = d.norm_sq();
-                if r_sq > cutoff_sq || r_sq == 0.0 {
-                    continue;
-                }
-                let (u, f_over_r) = pair_terms(table, species[i], species[j], r_sq, params.cutoff);
-                let fij = d * f_over_r;
-                f[i] += fij;
-                f[j] -= fij;
-                u_acc += u;
-                w_acc += f_over_r * r_sq;
-                count += 1;
+    // Chunked fold over the half pair list. Chunks are summed in order,
+    // which keeps floating-point results bit-identical run to run (the
+    // offline build has no rayon; a future `parallel` feature must keep
+    // this in-order reduction to preserve determinism).
+    let mut forces = vec![Vec3::ZERO; n];
+    let mut potential = 0.0;
+    let mut virial = 0.0;
+    let mut evaluated = 0u64;
+    for chunk in pairs.chunks(16_384) {
+        for &(i, j) in chunk {
+            if exclusions.is_some_and(|ex| ex.contains(&(i, j))) {
+                continue;
             }
-            (f, u_acc, w_acc, count)
-        })
-        .reduce(
-            || (vec![Vec3::ZERO; n], 0.0, 0.0, 0u64),
-            |(mut fa, ua, wa, ca), (fb, ub, wb, cb)| {
-                for (a, b) in fa.iter_mut().zip(&fb) {
-                    *a += *b;
-                }
-                (fa, ua + ub, wa + wb, ca + cb)
-            },
-        );
+            let (i, j) = (i as usize, j as usize);
+            let d = (pos[i] - pos[j]).minimum_image(box_len);
+            let r_sq = d.norm_sq();
+            if r_sq > cutoff_sq || r_sq == 0.0 {
+                continue;
+            }
+            let (u, f_over_r) = pair_terms(table, species[i], species[j], r_sq, params.cutoff);
+            let fij = d * f_over_r;
+            forces[i] += fij;
+            forces[j] -= fij;
+            potential += u;
+            virial += f_over_r * r_sq;
+            evaluated += 1;
+        }
+    }
 
     sys.force = forces;
     ForceEval { potential, virial, pairs_evaluated: evaluated }

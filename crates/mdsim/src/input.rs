@@ -19,10 +19,9 @@
 
 use crate::analysis::AnalysisKind;
 use crate::splitanalysis::AnalysisSchedule;
-use serde::{Deserialize, Serialize};
 
 /// A parsed run description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InputScript {
     /// Problem size (`1568 × dim³` atoms).
     pub dim: u32,

@@ -9,10 +9,9 @@
 //! consume: per-molecule positions and velocities of three species.
 //! Reduced Lennard-Jones units throughout (σ = ε = m_water = 1).
 
-use serde::{Deserialize, Serialize};
 
 /// Particle species.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Species {
     /// Coarse-grained water molecule (neutral, single site).
     Water,
@@ -104,7 +103,7 @@ impl Species {
 
 /// Pairwise Lennard-Jones parameters by Lorentz–Berthelot mixing, cached in
 /// a dense 3×3 table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PairTable {
     sigma: [[f64; NSPECIES]; NSPECIES],
     epsilon: [[f64; NSPECIES]; NSPECIES],

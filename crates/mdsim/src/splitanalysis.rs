@@ -23,11 +23,10 @@
 use crate::analysis::{Analysis, AnalysisKind, AnalysisWork, Snapshot};
 use crate::engine::MdEngine;
 use crate::thermo::ThermoRecord;
-use serde::{Deserialize, Serialize};
 
 /// When an analysis runs, in Verlet steps (Table II varies these per
 /// analysis while the rest stay at every step).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalysisSchedule {
     /// Which analysis.
     pub kind: AnalysisKind,
@@ -50,7 +49,7 @@ impl AnalysisSchedule {
 
 /// Per-step record of what the protocol did and how much work each side
 /// performed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepRecord {
     /// Verlet step index (1-based after the first advance).
     pub step: u64,

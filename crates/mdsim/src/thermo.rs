@@ -5,10 +5,9 @@
 
 use crate::force::ForceEval;
 use crate::system::System;
-use serde::{Deserialize, Serialize};
 
 /// One thermo record.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermoRecord {
     /// Timestep index.
     pub step: u64,

@@ -6,10 +6,9 @@
 //! are provided.
 
 use crate::system::System;
-use serde::{Deserialize, Serialize};
 
 /// Thermostat algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Thermostat {
     /// Berendsen weak coupling: velocities scaled by
     /// `sqrt(1 + dt/τ·(T₀/T − 1))` each step.

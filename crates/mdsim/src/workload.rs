@@ -19,11 +19,10 @@
 
 use crate::analysis::AnalysisKind;
 use crate::splitanalysis::{AnalysisSchedule, SplitAnalysis};
-use serde::{Deserialize, Serialize};
 use theta_sim::{PhaseKind, Work};
 
 /// Description of one in-situ job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Problem size: total atoms = `1568 × dim³`.
     pub dim: u32,
@@ -91,7 +90,7 @@ impl WorkloadSpec {
 }
 
 /// Per-node work for one Verlet step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepWork {
     /// Step index (1-based).
     pub step: u64,
@@ -131,7 +130,7 @@ pub trait WorkloadGen: Send {
 ///   ≈4 s between synchronizations;
 /// * VACF/RDF/MSD1D/MSD2D 2–4× faster than simulation at that size;
 /// * communication terms grow with log₂(nodes) (collectives on Aries).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Force kernel, s/atom.
     pub force_per_atom: f64,
@@ -479,60 +478,73 @@ impl WorkloadGen for MeasuredWorkload {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use des::Rng;
 
-    fn arb_kinds() -> impl Strategy<Value = Vec<AnalysisKind>> {
-        prop::sample::subsequence(AnalysisKind::ALL.to_vec(), 1..=5)
+    fn pick_kinds(rng: &mut Rng) -> Vec<AnalysisKind> {
+        let all = AnalysisKind::ALL;
+        let n = 1 + rng.next_below(all.len() as u64) as usize;
+        let start = rng.next_below(all.len() as u64) as usize;
+        (0..n).map(|i| all[(start + i) % all.len()]).collect()
     }
 
-    proptest! {
-        /// Every generated phase is finite, non-negative, with a sane
-        /// demand scale, for arbitrary job shapes.
-        #[test]
-        fn phases_are_well_formed(
-            dim in 1u32..64,
-            nodes_half in 1usize..512,
-            j in 1u64..8,
-            kinds in arb_kinds(),
-        ) {
+    /// Every generated phase is finite, non-negative, with a sane
+    /// demand scale, for arbitrary job shapes.
+    #[test]
+    fn phases_are_well_formed() {
+        let mut rng = Rng::seed_from_u64(0x3D_01);
+        for _case in 0..48 {
+            let dim = 1 + rng.next_below(63) as u32;
+            let nodes_half = 1 + rng.next_below(511) as usize;
+            let j = 1 + rng.next_below(7);
+            let kinds = pick_kinds(&mut rng);
             let mut spec = WorkloadSpec::paper(dim, nodes_half * 2, j, &kinds);
             spec.total_steps = 3 * j;
             let mut w = AnalyticWorkload::new(spec.clone());
             for step in 1..=spec.total_steps {
                 let sw = w.step_work(step);
-                prop_assert_eq!(sw.is_sync, step % j == 0);
+                assert_eq!(sw.is_sync, step % j == 0);
                 for phase in sw.sim_phases.iter().chain(&sw.analysis_phases) {
-                    prop_assert!(phase.ref_secs.is_finite() && phase.ref_secs >= 0.0);
-                    prop_assert!(phase.demand_scale > 0.0 && phase.demand_scale <= 1.0);
+                    assert!(phase.ref_secs.is_finite() && phase.ref_secs >= 0.0);
+                    assert!(phase.demand_scale > 0.0 && phase.demand_scale <= 1.0);
                 }
                 if !sw.is_sync {
-                    prop_assert!(sw.analysis_phases.is_empty());
+                    assert!(sw.analysis_phases.is_empty());
                 }
             }
         }
+    }
 
-        /// Work scales monotonically with problem size: a bigger dim never
-        /// produces less per-node work at the same node count.
-        #[test]
-        fn work_monotone_in_dim(dim in 1u32..32, nodes_half in 1usize..64) {
+    /// Work scales monotonically with problem size: a bigger dim never
+    /// produces less per-node work at the same node count.
+    #[test]
+    fn work_monotone_in_dim() {
+        let mut rng = Rng::seed_from_u64(0x3D_02);
+        for _case in 0..48 {
+            let dim = 1 + rng.next_below(31) as u32;
+            let nodes_half = 1 + rng.next_below(63) as usize;
             let mk = |d: u32| {
                 let mut spec = WorkloadSpec::paper(d, nodes_half * 2, 1, &[AnalysisKind::Rdf]);
                 spec.total_steps = 5;
                 let mut w = AnalyticWorkload::new(spec);
                 (1..=5).map(|s| w.step_work(s).sim_ref_secs()).sum::<f64>()
             };
-            prop_assert!(mk(dim + 1) >= mk(dim));
+            assert!(mk(dim + 1) >= mk(dim));
         }
+    }
 
-        /// Utilization curves stay in (0, 1] and are monotone in atom count.
-        #[test]
-        fn utilization_bounded_and_monotone(a in 1.0f64..1e8, b in 1.0f64..1e8) {
+    /// Utilization curves stay in (0, 1] and are monotone in atom count.
+    #[test]
+    fn utilization_bounded_and_monotone() {
+        let mut rng = Rng::seed_from_u64(0x3D_03);
+        for _case in 0..128 {
+            let a = rng.uniform(1.0, 1e8);
+            let b = rng.uniform(1.0, 1e8);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             for f in [sim_utilization, analysis_utilization] {
-                prop_assert!(f(lo) > 0.0 && f(lo) <= 1.0);
-                prop_assert!(f(hi) >= f(lo));
+                assert!(f(lo) > 0.0 && f(lo) <= 1.0);
+                assert!(f(hi) >= f(lo));
             }
         }
     }

@@ -61,6 +61,50 @@ pub fn allgather<T: Clone>(
     }
 }
 
+/// `MPI_Allgather` with message loss: ranks listed in `lost` contribute
+/// nothing — the receivers see `None` in their slot. The exchange still
+/// pays the full collective cost (the fabric timeout for the missing
+/// contributions dominates, so this is a lower bound). This is the
+/// fault-injection seam the PoLiMER measurement exchange degrades through:
+/// aggregation proceeds over the contributions that did arrive.
+pub fn allgather_lossy<T: Clone>(
+    net: &NetworkModel,
+    comm: &Communicator,
+    vals: &[T],
+    lost: &[usize],
+    bytes_per_item: u64,
+) -> Outcome<Vec<Option<T>>> {
+    check_len(comm, vals);
+    let value = vals
+        .iter()
+        .enumerate()
+        .map(|(rank, v)| (!lost.contains(&rank)).then(|| v.clone()))
+        .collect();
+    Outcome { value, cost: net.allgather(comm.nnodes(), bytes_per_item) }
+}
+
+/// Simulated cost of a collective that times out and is retried: each
+/// failed attempt burns a full timeout interval (a multiple of the
+/// healthy collective's cost) before the final, successful attempt pays
+/// the normal price. `failed_attempts = 0` degenerates to the healthy
+/// cost.
+pub fn retried_collective_cost(
+    net: &NetworkModel,
+    comm: &Communicator,
+    failed_attempts: u32,
+    bytes_per_item: u64,
+) -> SimDuration {
+    let healthy = net.allgather(comm.nnodes(), bytes_per_item);
+    // A timeout is detected only after waiting well past the expected
+    // completion; model it as 10× the healthy latency per failed attempt.
+    let timeout = SimDuration::from_secs_f64(healthy.as_secs_f64() * 10.0);
+    let mut total = healthy;
+    for _ in 0..failed_attempts {
+        total += timeout;
+    }
+    total
+}
+
 /// `MPI_Bcast` of a value of `bytes` from the communicator's rank 0.
 pub fn bcast<T: Clone>(net: &NetworkModel, comm: &Communicator, val: &T, bytes: u64) -> Outcome<T> {
     Outcome { value: val.clone(), cost: net.bcast(comm.nnodes(), bytes) }
@@ -127,6 +171,41 @@ mod tests {
         let net = NetworkModel::aries();
         let c = world(2);
         let _ = allreduce_sum(&net, &c, &[1.0]);
+    }
+
+    #[test]
+    fn lossy_allgather_marks_missing_contributions() {
+        let net = NetworkModel::aries();
+        let c = world(2);
+        let vals = [10.0, 20.0, 30.0, 40.0];
+        let out = allgather_lossy(&net, &c, &vals, &[1, 3], 8);
+        assert_eq!(out.value, vec![Some(10.0), None, Some(30.0), None]);
+        // Cost matches the healthy collective (lower bound).
+        assert_eq!(out.cost, allgather(&net, &c, &vals, 8).cost);
+    }
+
+    #[test]
+    fn lossy_allgather_with_no_losses_is_complete() {
+        let net = NetworkModel::aries();
+        let c = world(2);
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let out = allgather_lossy(&net, &c, &vals, &[], 8);
+        assert!(out.value.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn retried_collective_cost_grows_with_failures() {
+        let net = NetworkModel::aries();
+        let c = world(8);
+        let healthy = retried_collective_cost(&net, &c, 0, 24);
+        assert_eq!(healthy, allgather(&net, &c, &vec![0u8; c.size()], 24).cost);
+        let one = retried_collective_cost(&net, &c, 1, 24);
+        let three = retried_collective_cost(&net, &c, 3, 24);
+        assert!(one > healthy);
+        assert!(three > one);
+        // Each failure costs 10× the healthy latency.
+        let per_failure = (three - one).as_secs_f64() / 2.0;
+        assert!((per_failure - healthy.as_secs_f64() * 10.0).abs() < 1e-12);
     }
 
     #[test]

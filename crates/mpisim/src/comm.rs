@@ -7,12 +7,11 @@
 //! model here is structural: a communicator is an ordered set of global
 //! ranks plus the global rank→node map.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Immutable description of the job's process layout.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobLayout {
     /// Total ranks in the job.
     pub nranks: usize,

@@ -37,53 +37,72 @@ pub use exec::{Executor, Op, Outcome};
 pub use net::NetworkModel;
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use des::Rng;
 
-    proptest! {
-        /// Splitting by any coloring partitions the communicator exactly:
-        /// every rank lands in exactly one sub-communicator.
-        #[test]
-        fn split_is_a_partition(nodes in 1usize..64, rpn in 1usize..8, ncolors in 1u32..5) {
+    /// Splitting by any coloring partitions the communicator exactly:
+    /// every rank lands in exactly one sub-communicator.
+    #[test]
+    fn split_is_a_partition() {
+        let mut rng = Rng::seed_from_u64(0x0003_B101);
+        for _case in 0..48 {
+            let nodes = 1 + rng.next_below(63) as usize;
+            let rpn = 1 + rng.next_below(7) as usize;
+            let ncolors = 1 + rng.next_below(4) as u32;
             let world = Communicator::world(JobLayout::new(nodes * rpn, rpn));
             let subs = world.split(|r| (r as u32) % ncolors);
             let total: usize = subs.iter().map(|(_, c)| c.size()).sum();
-            prop_assert_eq!(total, world.size());
+            assert_eq!(total, world.size());
             for (color, c) in &subs {
                 for &r in c.ranks() {
-                    prop_assert_eq!(r as u32 % ncolors, *color);
+                    assert_eq!(r as u32 % ncolors, *color);
                 }
             }
         }
+    }
 
-        /// node_leaders yields exactly one rank per spanned node.
-        #[test]
-        fn leaders_cover_nodes(nodes in 1usize..64, rpn in 1usize..8) {
+    /// node_leaders yields exactly one rank per spanned node.
+    #[test]
+    fn leaders_cover_nodes() {
+        let mut rng = Rng::seed_from_u64(0x0003_B102);
+        for _case in 0..48 {
+            let nodes = 1 + rng.next_below(63) as usize;
+            let rpn = 1 + rng.next_below(7) as usize;
             let world = Communicator::world(JobLayout::new(nodes * rpn, rpn));
             let leaders = world.node_leaders();
-            prop_assert_eq!(leaders.len(), world.nnodes());
+            assert_eq!(leaders.len(), world.nnodes());
         }
+    }
 
-        /// Collective costs are monotone in node count.
-        #[test]
-        fn costs_monotone_in_nodes(a in 1usize..512, b in 1usize..512, bytes in 0u64..1_000_000) {
+    /// Collective costs are monotone in node count.
+    #[test]
+    fn costs_monotone_in_nodes() {
+        let mut rng = Rng::seed_from_u64(0x0003_B103);
+        for _case in 0..64 {
+            let a = 1 + rng.next_below(511) as usize;
+            let b = 1 + rng.next_below(511) as usize;
+            let bytes = rng.next_below(1_000_000);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             let net = NetworkModel::aries();
-            prop_assert!(net.allreduce(hi, bytes) >= net.allreduce(lo, bytes));
-            prop_assert!(net.allgather(hi, bytes) >= net.allgather(lo, bytes));
-            prop_assert!(net.barrier(hi) >= net.barrier(lo));
+            assert!(net.allreduce(hi, bytes) >= net.allreduce(lo, bytes));
+            assert!(net.allgather(hi, bytes) >= net.allgather(lo, bytes));
+            assert!(net.barrier(hi) >= net.barrier(lo));
         }
+    }
 
-        /// allreduce_sum matches a plain sum for arbitrary contributions.
-        #[test]
-        fn allreduce_sum_correct(vals in prop::collection::vec(-1e6f64..1e6, 1..64)) {
-            let n = vals.len();
+    /// allreduce_sum matches a plain sum for arbitrary contributions.
+    #[test]
+    fn allreduce_sum_correct() {
+        let mut rng = Rng::seed_from_u64(0x0003_B104);
+        for _case in 0..48 {
+            let n = 1 + rng.next_below(63) as usize;
+            let vals: Vec<f64> = (0..n).map(|_| rng.uniform(-1e6, 1e6)).collect();
             let world = Communicator::world(JobLayout::new(n, 1));
             let net = NetworkModel::aries();
             let out = coll::allreduce_sum(&net, &world, &vals);
             let expect: f64 = vals.iter().sum();
-            prop_assert!((out.value - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+            assert!((out.value - expect).abs() <= 1e-9 * expect.abs().max(1.0));
         }
     }
 }

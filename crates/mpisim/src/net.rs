@@ -8,10 +8,9 @@
 //! (costs grow with node count and message size), not absolutes.
 
 use des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Latency/bandwidth network model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkModel {
     /// One-way small-message latency between two nodes, seconds.
     pub latency_s: f64,

@@ -20,7 +20,7 @@ use crate::energy::{EnergyLedger, RegionReport};
 use crate::manager::{AllocOutcome, PowerManager, PowerManagerConfig};
 use crate::measurement::NodeInterval;
 use mpisim::Communicator;
-use seesaw::Role;
+use seesaw::{Role, UnknownController};
 
 /// A whole-job PoLiMER session: power manager + energy ledger.
 pub struct PoliSession {
@@ -34,18 +34,19 @@ impl PoliSession {
     ///
     /// `role_of` plays the role of the `master` flag: it classifies each
     /// global rank as simulation or analysis. `power_cap` is the initial
-    /// per-node cap the job was launched with.
+    /// per-node cap the job was launched with. An unrecognized controller
+    /// name in `cfg` is reported as [`UnknownController`].
     pub fn init_power_manager<F: Fn(usize) -> Role>(
         world: &Communicator,
         role_of: F,
         power_cap_w: f64,
         cfg: PowerManagerConfig,
-    ) -> Self {
-        PoliSession {
-            manager: PowerManager::init(world, role_of, cfg),
+    ) -> Result<Self, UnknownController> {
+        Ok(PoliSession {
+            manager: PowerManager::init(world, role_of, cfg)?,
             ledger: EnergyLedger::new(),
             initial_cap_w: power_cap_w,
-        }
+        })
     }
 
     /// The initial per-node cap supplied at init.
@@ -108,6 +109,7 @@ mod tests {
             110.0,
             PowerManagerConfig::with_controller("seesaw"),
         )
+        .expect("known controller")
     }
 
     fn feed(s: &mut PoliSession) {

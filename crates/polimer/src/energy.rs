@@ -9,11 +9,10 @@
 //! `poli_print_energy_counters`.
 
 use seesaw::Role;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One named measurement region ("counter" in PoLiMER's terms).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionReport {
     /// Region tag supplied by the application.
     pub tag: String,

@@ -21,7 +21,8 @@
 //!     &world,
 //!     |rank| if rank < 4 { Role::Simulation } else { Role::Analysis },
 //!     PowerManagerConfig::paper_default(4),
-//! );
+//! )
+//! .expect("known controller");
 //! assert_eq!(mgr.monitor_ranks().len(), 4); // one per node
 //! ```
 //!
@@ -38,5 +39,8 @@ mod measurement;
 
 pub use api::PoliSession;
 pub use energy::{EnergyLedger, RegionReport};
-pub use manager::{AllocOutcome, PowerManager, PowerManagerConfig};
+pub use manager::{
+    AllocOutcome, ExchangeFaults, PowerManager, PowerManagerConfig, MAX_COLLECTIVE_RETRIES,
+    MAX_PLAUSIBLE_POWER_W,
+};
 pub use measurement::{IntervalAccumulator, NodeInterval};

@@ -2,8 +2,38 @@
 
 use crate::measurement::{IntervalAccumulator, NodeInterval};
 use des::SimDuration;
+use faults::{RecoveryEvent, RecoveryKind};
 use mpisim::{coll, Communicator, NetworkModel};
-use seesaw::{Allocation, Controller, Role};
+use seesaw::{Allocation, Controller, Role, UnknownController};
+
+/// Bounded retries for a timed-out measurement collective before the
+/// manager gives up for the interval and holds the last allocation.
+pub const MAX_COLLECTIVE_RETRIES: u32 = 3;
+
+/// Per-node power readings above this are treated as sensor corruption
+/// and rejected (Theta nodes top out at a 215 W TDP; nothing plausible
+/// approaches a kilowatt).
+pub const MAX_PLAUSIBLE_POWER_W: f64 = 1000.0;
+
+/// Faults affecting one measurement-exchange round, as decided by the
+/// fault plan the runtime carries. The default (no losses, no timeouts)
+/// leaves `power_alloc` byte-identical to the fault-free path.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeFaults {
+    /// Nodes whose monitor contribution is lost in the allgather.
+    pub lost_nodes: Vec<usize>,
+    /// Collective attempts that time out before one succeeds. Beyond
+    /// [`MAX_COLLECTIVE_RETRIES`] the whole exchange is abandoned for the
+    /// interval.
+    pub failed_attempts: u32,
+}
+
+impl ExchangeFaults {
+    /// The fault-free exchange.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
 
 /// Manager configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +73,8 @@ pub struct AllocOutcome {
     /// Time spent exchanging measurements and deciding (charged into the
     /// next interval's feedback and reported in Fig. 9).
     pub overhead: SimDuration,
+    /// Graceful-degradation actions taken during this exchange.
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 /// The PoLiMER power manager for one job.
@@ -50,26 +82,35 @@ pub struct PowerManager {
     roles: Vec<Role>,
     monitor_ranks: Vec<usize>,
     world_nodes: usize,
+    ranks_per_node: usize,
+    /// Participation mask: nodes marked dead are excluded from aggregation
+    /// and their budget share is released to the survivors.
+    alive: Vec<bool>,
     controller: Box<dyn Controller>,
+    /// The controller's budget at init, for survivor renormalization and
+    /// restoration on `reset`.
+    initial_budget_w: Option<f64>,
     net: NetworkModel,
     compute_s: f64,
     acc: IntervalAccumulator,
     overhead_log: Vec<(u64, SimDuration)>,
+    last_allocation: Option<Allocation>,
+    rejected_samples: u64,
 }
 
 impl PowerManager {
     /// Initialize: mirrors `poli_init_power_manager(comm, rank, master,
     /// cap)`. `role_of` classifies each global rank (the `master` flag in
     /// the paper's instrumentation); one monitor rank per node is
-    /// designated automatically.
+    /// designated automatically. An unrecognized controller name is a
+    /// recoverable [`UnknownController`] error, not a panic.
     pub fn init<F: Fn(usize) -> Role>(
         world: &Communicator,
         role_of: F,
         cfg: PowerManagerConfig,
-    ) -> Self {
-        let controller = seesaw::controller_by_name(&cfg.controller, world.nnodes())
-            .unwrap_or_else(|| panic!("unknown controller {:?}", cfg.controller));
-        Self::init_with_controller(world, role_of, controller, cfg.net, cfg.compute_s)
+    ) -> Result<Self, UnknownController> {
+        let controller = seesaw::controller_by_name(&cfg.controller, world.nnodes())?;
+        Ok(Self::init_with_controller(world, role_of, controller, cfg.net, cfg.compute_s))
     }
 
     /// Initialize with an explicitly constructed controller (custom budget,
@@ -84,15 +125,21 @@ impl PowerManager {
         let monitor_ranks = world.node_leaders();
         let nnodes = world.nnodes();
         let roles = monitor_ranks.iter().map(|&r| role_of(r)).collect();
+        let initial_budget_w = controller.budget_w();
         PowerManager {
             roles,
             monitor_ranks,
             world_nodes: nnodes,
+            ranks_per_node: world.size() / nnodes,
+            alive: vec![true; nnodes],
             controller,
+            initial_budget_w,
             net,
             compute_s,
             acc: IntervalAccumulator::new(),
             overhead_log: Vec::new(),
+            last_allocation: None,
+            rejected_samples: 0,
         }
     }
 
@@ -121,44 +168,189 @@ impl PowerManager {
         &self.overhead_log
     }
 
+    /// Nodes still participating in aggregation.
+    pub fn alive_nodes(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether a node is still participating.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive.get(node).copied().unwrap_or(false)
+    }
+
+    /// Samples rejected as corrupt or stale (recovery-state counter).
+    pub fn rejected_samples(&self) -> u64 {
+        self.rejected_samples
+    }
+
+    /// The most recent allocation the controller produced (held as the
+    /// fallback when an exchange is abandoned).
+    pub fn last_allocation(&self) -> Option<&Allocation> {
+        self.last_allocation.as_ref()
+    }
+
+    /// Exclude a crashed node from aggregation and release its budget
+    /// share to the survivors. Returns the recovery actions taken (empty
+    /// if the node was already dead or out of range).
+    pub fn mark_node_dead(&mut self, node: usize) -> Vec<RecoveryEvent> {
+        if node >= self.world_nodes || !self.alive[node] {
+            return Vec::new();
+        }
+        self.alive[node] = false;
+        let sync = self.acc.sync_index();
+        let mut events =
+            vec![RecoveryEvent { sync, node, kind: RecoveryKind::NodeExcluded }];
+        if let Some(b0) = self.initial_budget_w {
+            let share = b0 / self.world_nodes as f64;
+            self.controller.set_budget_w(share * self.alive_nodes() as f64);
+            events.push(RecoveryEvent { sync, node, kind: RecoveryKind::BudgetRenormalized });
+        }
+        events
+    }
+
+    /// The monitor rank on `node` died: promote the node's next rank to
+    /// monitor. Returns the new monitor rank and the recovery event, or
+    /// `None` when the node has no spare rank to promote (single-rank
+    /// nodes lose monitoring entirely — callers should treat that as a
+    /// node failure).
+    pub fn mark_monitor_dead(&mut self, node: usize) -> Option<(usize, RecoveryEvent)> {
+        if node >= self.world_nodes || !self.alive[node] || self.ranks_per_node <= 1 {
+            return None;
+        }
+        let base = node * self.ranks_per_node;
+        let old = self.monitor_ranks[node];
+        let new = base + (old - base + 1) % self.ranks_per_node;
+        self.monitor_ranks[node] = new;
+        let sync = self.acc.sync_index();
+        Some((new, RecoveryEvent { sync, node, kind: RecoveryKind::MonitorReelected }))
+    }
+
     /// Record one node's feedback for the interval that is about to close.
-    /// The runtime calls this for every node before `power_alloc`.
-    pub fn record(&mut self, interval: NodeInterval) {
+    /// The runtime calls this for every node before `power_alloc`. Returns
+    /// `false` when the sample is rejected: the node is dead, or the
+    /// reading is implausible (non-finite or non-positive time/power, or
+    /// power beyond [`MAX_PLAUSIBLE_POWER_W`]). Rejected samples never
+    /// reach the controller — α = 1/(T·P) in Eq. 1 must only ever see
+    /// finite, positive energy.
+    pub fn record(&mut self, interval: NodeInterval) -> bool {
         debug_assert!(interval.node < self.world_nodes);
+        let plausible = interval.time_s.is_finite()
+            && interval.time_s > 0.0
+            && interval.power_w.is_finite()
+            && interval.power_w > 0.0
+            && interval.power_w <= MAX_PLAUSIBLE_POWER_W
+            && interval.cap_w.is_finite();
+        if !self.is_alive(interval.node) || !plausible {
+            self.rejected_samples += 1;
+            return false;
+        }
         self.acc.push(interval);
+        true
     }
 
     /// `poli_power_alloc()`: exchange measurements, consult the controller,
     /// return the decision and its overhead. Called immediately before each
     /// simulation↔analysis synchronization (paper §VI-C).
     pub fn power_alloc(&mut self) -> AllocOutcome {
-        let Some(obs) = self.acc.close_interval() else {
-            return AllocOutcome { allocation: None, overhead: SimDuration::ZERO };
+        self.power_alloc_with(&ExchangeFaults::none())
+    }
+
+    /// `power_alloc` under injected exchange faults. Message loss drops
+    /// the affected contributions (aggregation proceeds over the rest);
+    /// collective timeouts are retried up to [`MAX_COLLECTIVE_RETRIES`]
+    /// times, after which the exchange is abandoned for this interval and
+    /// the last allocation is held.
+    pub fn power_alloc_with(&mut self, faults: &ExchangeFaults) -> AllocOutcome {
+        let Some(mut obs) = self.acc.close_interval() else {
+            return AllocOutcome {
+                allocation: None,
+                overhead: SimDuration::ZERO,
+                recoveries: Vec::new(),
+            };
         };
+        let sync = obs.step;
+        let mut recoveries = Vec::new();
         // Overhead: every monitor rank contributes (time, power, cap) — an
         // allgather over the job's nodes — plus the decision broadcast.
         let layout = mpisim::JobLayout::new(self.world_nodes, 1);
         let monitors = Communicator::world(layout);
-        let contributions: Vec<u64> = vec![0; self.world_nodes];
-        let gather = coll::allgather(&self.net, &monitors, &contributions, 24);
         let decide = SimDuration::from_secs_f64(self.compute_s);
+
+        // Collective timeout beyond the retry budget: abandon the exchange,
+        // hold the current caps, and charge the wasted retries' time.
+        if faults.failed_attempts > MAX_COLLECTIVE_RETRIES {
+            let overhead =
+                coll::retried_collective_cost(&self.net, &monitors, MAX_COLLECTIVE_RETRIES, 24);
+            recoveries.push(RecoveryEvent {
+                sync,
+                node: 0,
+                kind: RecoveryKind::AllocationHeld,
+            });
+            self.overhead_log.push((sync, overhead));
+            self.acc.charge_overhead(overhead.as_secs_f64());
+            return AllocOutcome { allocation: None, overhead, recoveries };
+        }
+
+        // The measurement gather: lossy and/or retried when faulted, the
+        // plain collective otherwise (byte-identical happy path).
+        let contributions: Vec<u64> = vec![0; self.world_nodes];
+        let gather_cost = if faults.lost_nodes.is_empty() && faults.failed_attempts == 0 {
+            coll::allgather(&self.net, &monitors, &contributions, 24).cost
+        } else {
+            // In the monitor communicator one rank == one node.
+            let gathered = coll::allgather_lossy(
+                &self.net,
+                &monitors,
+                &contributions,
+                &faults.lost_nodes,
+                24,
+            );
+            let before = obs.nodes.len();
+            obs.nodes.retain(|s| gathered.value.get(s.node).is_some_and(Option::is_some));
+            for &node in &faults.lost_nodes {
+                recoveries.push(RecoveryEvent {
+                    sync,
+                    node,
+                    kind: RecoveryKind::SampleRejected,
+                });
+            }
+            self.rejected_samples += (before - obs.nodes.len()) as u64;
+            if faults.failed_attempts > 0 {
+                recoveries.push(RecoveryEvent {
+                    sync,
+                    node: 0,
+                    kind: RecoveryKind::CollectiveRetried,
+                });
+                coll::retried_collective_cost(&self.net, &monitors, faults.failed_attempts, 24)
+            } else {
+                gathered.cost
+            }
+        };
         let apply = coll::bcast(&self.net, &monitors, &0u64, 16);
-        let overhead = gather.cost + decide + apply.cost;
+        let overhead = gather_cost + decide + apply.cost;
 
         let allocation = self.controller.on_sync(&obs);
-        let sync = obs.step;
+        if let Some(a) = &allocation {
+            self.last_allocation = Some(a.clone());
+        }
         self.overhead_log.push((sync, overhead));
         // The allocation call's cost lands in the next interval's measured
         // times (paper §VI-B).
         self.acc.charge_overhead(overhead.as_secs_f64());
-        AllocOutcome { allocation, overhead }
+        AllocOutcome { allocation, overhead, recoveries }
     }
 
     /// Reset for a fresh run with the same configuration.
     pub fn reset(&mut self) {
         self.controller.reset();
+        if let Some(b0) = self.initial_budget_w {
+            self.controller.set_budget_w(b0);
+        }
         self.acc.reset();
         self.overhead_log.clear();
+        self.alive = vec![true; self.world_nodes];
+        self.last_allocation = None;
+        self.rejected_samples = 0;
     }
 }
 
@@ -175,6 +367,7 @@ mod tests {
             |rank| if rank < 4 { Role::Simulation } else { Role::Analysis },
             PowerManagerConfig::with_controller(controller),
         )
+        .expect("known controller")
     }
 
     fn feed(mgr: &mut PowerManager, t_sim: f64, t_ana: f64) {
@@ -261,9 +454,179 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn unknown_controller_panics() {
-        let _ = manager("nonsense");
+    fn unknown_controller_is_a_typed_error() {
+        let world = Communicator::world(JobLayout::new(8, 2));
+        let Err(err) = PowerManager::init(
+            &world,
+            |_| Role::Simulation,
+            PowerManagerConfig::with_controller("nonsense"),
+        ) else {
+            panic!("bogus name must be rejected");
+        };
+        assert_eq!(err.name, "nonsense");
+        assert!(err.to_string().contains("seesaw"), "error lists valid names: {err}");
+    }
+
+    #[test]
+    fn corrupt_samples_are_rejected_at_the_aggregation_boundary() {
+        let mut mgr = manager("seesaw");
+        let good = NodeInterval {
+            node: 0,
+            role: Role::Simulation,
+            time_s: 4.0,
+            power_w: 108.0,
+            cap_w: 110.0,
+        };
+        assert!(mgr.record(good));
+        assert!(!mgr.record(NodeInterval { time_s: f64::NAN, ..good }));
+        assert!(!mgr.record(NodeInterval { power_w: 0.0, ..good }));
+        assert!(!mgr.record(NodeInterval { power_w: f64::INFINITY, ..good }));
+        assert!(!mgr.record(NodeInterval { power_w: 5_000.0, ..good }), "spike beyond TDP");
+        assert_eq!(mgr.rejected_samples(), 4);
+    }
+
+    #[test]
+    fn dead_node_is_excluded_and_budget_renormalized() {
+        let mut mgr = manager("seesaw");
+        assert_eq!(mgr.alive_nodes(), 4);
+        let events = mgr.mark_node_dead(1);
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(events[0].kind, faults::RecoveryKind::NodeExcluded);
+        assert_eq!(events[1].kind, faults::RecoveryKind::BudgetRenormalized);
+        assert_eq!(mgr.alive_nodes(), 3);
+        assert!(!mgr.is_alive(1));
+        // A record from the dead node is dropped.
+        assert!(!mgr.record(NodeInterval {
+            node: 1,
+            role: Role::Simulation,
+            time_s: 4.0,
+            power_w: 108.0,
+            cap_w: 110.0,
+        }));
+        // Killing it again is a no-op.
+        assert!(mgr.mark_node_dead(1).is_empty());
+        // Surviving nodes still drive allocations under the shrunk budget.
+        for node in [0usize, 2, 3] {
+            let role = if node < 2 { Role::Simulation } else { Role::Analysis };
+            let t = if node < 2 { 4.0 } else { 2.0 };
+            mgr.record(NodeInterval { node, role, time_s: t, power_w: 108.0, cap_w: 110.0 });
+        }
+        let _skip = mgr.power_alloc(); // sync 0 skipped by seesaw
+        for node in [0usize, 2, 3] {
+            let role = if node < 2 { Role::Simulation } else { Role::Analysis };
+            let t = if node < 2 { 4.0 } else { 2.0 };
+            mgr.record(NodeInterval { node, role, time_s: t, power_w: 108.0, cap_w: 110.0 });
+        }
+        let out = mgr.power_alloc();
+        let alloc = out.allocation.expect("survivors still allocate");
+        // 1 sim + 2 analysis survivors, budget 330 W.
+        let total = alloc.sim_node_w + 2.0 * alloc.analysis_node_w;
+        assert!(total <= 330.0 + 1e-6, "renormalized budget respected: {total}");
+    }
+
+    #[test]
+    fn monitor_death_promotes_the_next_rank_on_the_node() {
+        let mut mgr = manager("seesaw"); // 8 ranks, 2 per node
+        assert_eq!(mgr.monitor_ranks(), &[0, 2, 4, 6]);
+        let (new, ev) = mgr.mark_monitor_dead(2).expect("spare rank exists");
+        assert_eq!(new, 5, "node 2's ranks are {{4, 5}}; 5 takes over");
+        assert_eq!(ev.kind, faults::RecoveryKind::MonitorReelected);
+        assert_eq!(mgr.monitor_ranks(), &[0, 2, 5, 6]);
+        // With one rank per node there is nobody to promote.
+        let world = Communicator::world(JobLayout::new(4, 1));
+        let mut single = PowerManager::init(
+            &world,
+            |_| Role::Simulation,
+            PowerManagerConfig::with_controller("static"),
+        )
+        .expect("known controller");
+        assert!(single.mark_monitor_dead(0).is_none());
+    }
+
+    #[test]
+    fn message_loss_degrades_to_partial_aggregation() {
+        let mut mgr = manager("seesaw");
+        feed(&mut mgr, 4.0, 2.0);
+        let _skip = mgr.power_alloc();
+        feed(&mut mgr, 4.0, 2.0);
+        let faults = ExchangeFaults { lost_nodes: vec![3], failed_attempts: 0 };
+        let out = mgr.power_alloc_with(&faults);
+        assert!(out.allocation.is_some(), "3 of 4 samples still aggregate");
+        assert!(out
+            .recoveries
+            .iter()
+            .any(|r| r.kind == faults::RecoveryKind::SampleRejected && r.node == 3));
+        assert_eq!(mgr.rejected_samples(), 1);
+    }
+
+    #[test]
+    fn losing_a_whole_partition_holds_the_allocation() {
+        let mut mgr = manager("seesaw");
+        feed(&mut mgr, 4.0, 2.0);
+        let _skip = mgr.power_alloc();
+        feed(&mut mgr, 4.0, 2.0);
+        // Both analysis monitors lost: no analysis partition this round.
+        let faults = ExchangeFaults { lost_nodes: vec![2, 3], failed_attempts: 0 };
+        let out = mgr.power_alloc_with(&faults);
+        assert!(out.allocation.is_none(), "partial partition cannot allocate");
+    }
+
+    #[test]
+    fn collective_timeout_within_budget_is_retried() {
+        let mut mgr = manager("seesaw");
+        feed(&mut mgr, 4.0, 2.0);
+        let healthy = mgr.power_alloc().overhead;
+        feed(&mut mgr, 4.0, 2.0);
+        let faults = ExchangeFaults { lost_nodes: Vec::new(), failed_attempts: 2 };
+        let out = mgr.power_alloc_with(&faults);
+        assert!(out.allocation.is_some(), "retry succeeded, decision made");
+        assert!(out.overhead > healthy, "retries cost time: {:?}", out.overhead);
+        assert!(out
+            .recoveries
+            .iter()
+            .any(|r| r.kind == faults::RecoveryKind::CollectiveRetried));
+    }
+
+    #[test]
+    fn collective_timeout_beyond_retries_holds_last_allocation() {
+        let mut mgr = manager("seesaw");
+        feed(&mut mgr, 4.0, 2.0);
+        let _skip = mgr.power_alloc();
+        feed(&mut mgr, 4.0, 2.0);
+        let good = mgr.power_alloc();
+        let held = good.allocation.expect("healthy round allocates");
+        feed(&mut mgr, 4.0, 2.0);
+        let faults = ExchangeFaults {
+            lost_nodes: Vec::new(),
+            failed_attempts: MAX_COLLECTIVE_RETRIES + 1,
+        };
+        let out = mgr.power_alloc_with(&faults);
+        assert!(out.allocation.is_none(), "exchange abandoned");
+        assert!(out
+            .recoveries
+            .iter()
+            .any(|r| r.kind == faults::RecoveryKind::AllocationHeld));
+        assert_eq!(mgr.last_allocation(), Some(&held), "fallback is the held allocation");
+        assert!(out.overhead > good.overhead, "wasted retries are charged");
+    }
+
+    #[test]
+    fn reset_revives_nodes_and_restores_budget() {
+        let mut mgr = manager("seesaw");
+        mgr.mark_node_dead(0);
+        mgr.mark_node_dead(3);
+        assert_eq!(mgr.alive_nodes(), 2);
+        mgr.reset();
+        assert_eq!(mgr.alive_nodes(), 4);
+        assert_eq!(mgr.rejected_samples(), 0);
+        assert!(mgr.last_allocation().is_none());
+        // Full-budget allocations resume.
+        feed(&mut mgr, 4.0, 2.0);
+        let _skip = mgr.power_alloc();
+        feed(&mut mgr, 4.0, 2.0);
+        let alloc = mgr.power_alloc().allocation.expect("post-reset allocation");
+        let total = 2.0 * alloc.sim_node_w + 2.0 * alloc.analysis_node_w;
+        assert!(total <= 440.0 + 1e-6 && total > 330.0, "restored budget in play: {total}");
     }
 
     #[test]
@@ -274,7 +637,8 @@ mod tests {
                 &world,
                 |r| if r < 4 { Role::Simulation } else { Role::Analysis },
                 PowerManagerConfig::with_controller("static"),
-            );
+            )
+            .expect("known controller");
             for node in 0..4 {
                 m.record(NodeInterval {
                     node,
@@ -292,7 +656,8 @@ mod tests {
                 &world,
                 |r| if r < 1024 { Role::Simulation } else { Role::Analysis },
                 PowerManagerConfig::with_controller("static"),
-            );
+            )
+            .expect("known controller");
             for node in 0..1024 {
                 m.record(NodeInterval {
                     node,

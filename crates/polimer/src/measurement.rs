@@ -7,10 +7,9 @@
 //! normalizes them into [`seesaw::NodeSample`]s.
 
 use seesaw::{NodeSample, Role, SyncObservation};
-use serde::{Deserialize, Serialize};
 
 /// Raw feedback for one node over one synchronization interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeInterval {
     /// Node index.
     pub node: usize,

@@ -7,10 +7,9 @@
 //! (all constants from the SeeSAw paper, §VI-A, §VII-A, §VII-D/E).
 
 use des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Which RAPL windows a job caps (paper Table I distinguishes these).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CapMode {
     /// No power cap: nodes run at their phase power demand.
     None,
@@ -23,7 +22,7 @@ pub enum CapMode {
 }
 
 /// Static description of the simulated machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Thermal design power per node, watts. RAPL cannot cap above this.
     pub tdp_w: f64,

@@ -38,39 +38,54 @@ pub use power::{cliff_factor, duration_secs, operating_point, rate, OperatingPoi
 pub use rapl::RaplDomain;
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use des::SimTime;
-    use proptest::prelude::*;
+    use des::{Rng, SimTime};
 
-    fn arb_kind() -> impl Strategy<Value = PhaseKind> {
-        prop::sample::select(PhaseKind::all_productive().to_vec())
+    fn pick_kind(rng: &mut Rng) -> PhaseKind {
+        let all = PhaseKind::all_productive();
+        all[rng.next_below(all.len() as u64) as usize]
     }
 
-    proptest! {
-        /// Progress rate is monotone non-decreasing in the cap for every
-        /// productive phase kind.
-        #[test]
-        fn rate_monotone(kind in arb_kind(), lo in 98.0f64..214.0, delta in 0.0f64..100.0) {
+    /// Progress rate is monotone non-decreasing in the cap for every
+    /// productive phase kind.
+    #[test]
+    fn rate_monotone() {
+        let mut rng = Rng::seed_from_u64(0x007E_7A01);
+        for _case in 0..128 {
+            let kind = pick_kind(&mut rng);
+            let lo = rng.uniform(98.0, 214.0);
+            let hi = (lo + rng.uniform(0.0, 100.0)).min(215.0);
             let m = MachineConfig::theta();
-            let hi = (lo + delta).min(215.0);
-            prop_assert!(rate(&m, Work::new(kind, 1.0), hi) >= rate(&m, Work::new(kind, 1.0), lo));
+            assert!(rate(&m, Work::new(kind, 1.0), hi) >= rate(&m, Work::new(kind, 1.0), lo));
         }
+    }
 
-        /// A node's draw never exceeds the enforced cap (long-term mode).
-        #[test]
-        fn draw_respects_cap(kind in arb_kind(), cap in 98.0f64..215.0, work in 0.01f64..5.0) {
+    /// A node's draw never exceeds the enforced cap (long-term mode).
+    #[test]
+    fn draw_respects_cap() {
+        let mut rng = Rng::seed_from_u64(0x007E_7A02);
+        for _case in 0..48 {
+            let kind = pick_kind(&mut rng);
+            let cap = rng.uniform(98.0, 215.0);
+            let work = rng.uniform(0.01, 5.0);
             let m = MachineConfig::theta();
             let mut c = Cluster::noiseless(m, 1, CapMode::Long, cap);
             let cfg = c.config().clone();
             let end = c.node_mut(0).run_phase(&cfg, SimTime::ZERO, Work::new(kind, work), 1.0);
             let mean = c.node(0).mean_power(SimTime::ZERO, end);
-            prop_assert!(mean <= cap + 1e-9, "mean {} cap {}", mean, cap);
+            assert!(mean <= cap + 1e-9, "mean {mean} cap {cap}");
         }
+    }
 
-        /// Energy accounting is consistent: E = mean power × duration.
-        #[test]
-        fn energy_consistent(kind in arb_kind(), cap in 98.0f64..215.0, work in 0.01f64..5.0) {
+    /// Energy accounting is consistent: E = mean power × duration.
+    #[test]
+    fn energy_consistent() {
+        let mut rng = Rng::seed_from_u64(0x007E_7A03);
+        for _case in 0..48 {
+            let kind = pick_kind(&mut rng);
+            let cap = rng.uniform(98.0, 215.0);
+            let work = rng.uniform(0.01, 5.0);
             let m = MachineConfig::theta();
             let mut c = Cluster::noiseless(m, 1, CapMode::Long, cap);
             let cfg = c.config().clone();
@@ -78,24 +93,36 @@ mod proptests {
             let dt = end.as_secs_f64();
             let e = c.node(0).energy(SimTime::ZERO, end);
             let p = c.node(0).mean_power(SimTime::ZERO, end);
-            prop_assert!((e - p * dt).abs() < 1e-6 * e.max(1.0));
+            assert!((e - p * dt).abs() < 1e-6 * e.max(1.0));
         }
+    }
 
-        /// Duration strictly decreases when the cap rises, as long as the
-        /// phase is not yet saturated.
-        #[test]
-        fn more_power_not_slower(kind in arb_kind(), cap in 98.0f64..200.0, work in 0.1f64..3.0) {
+    /// Duration never increases when the cap rises, as long as the
+    /// phase is not yet saturated.
+    #[test]
+    fn more_power_not_slower() {
+        let mut rng = Rng::seed_from_u64(0x007E_7A04);
+        for _case in 0..128 {
+            let kind = pick_kind(&mut rng);
+            let cap = rng.uniform(98.0, 200.0);
+            let work = rng.uniform(0.1, 3.0);
             let m = MachineConfig::theta();
             let t_lo = duration_secs(&m, Work::new(kind, work), cap, 1.0);
             let t_hi = duration_secs(&m, Work::new(kind, work), cap + 15.0, 1.0);
-            prop_assert!(t_hi <= t_lo + 1e-12);
+            assert!(t_hi <= t_lo + 1e-12);
         }
+    }
 
-        /// Splitting work across a cap change conserves total work: running
-        /// at a fixed cap equals the piecewise execution when the "change"
-        /// sets the same cap.
-        #[test]
-        fn noop_cap_change_preserves_duration(kind in arb_kind(), cap in 98.0f64..215.0, work in 0.1f64..3.0) {
+    /// Splitting work across a cap change conserves total work: running
+    /// at a fixed cap equals the piecewise execution when the "change"
+    /// sets the same cap.
+    #[test]
+    fn noop_cap_change_preserves_duration() {
+        let mut rng = Rng::seed_from_u64(0x007E_7A05);
+        for _case in 0..48 {
+            let kind = pick_kind(&mut rng);
+            let cap = rng.uniform(98.0, 215.0);
+            let work = rng.uniform(0.1, 3.0);
             let m = MachineConfig::theta();
             let mut plain = Cluster::noiseless(m.clone(), 1, CapMode::Long, cap);
             let mut poked = Cluster::noiseless(m, 1, CapMode::Long, cap);
@@ -103,7 +130,7 @@ mod proptests {
             poked.node_mut(0).rapl_mut().request_cap(&cfg, SimTime::ZERO, cap);
             let e1 = plain.node_mut(0).run_phase(&cfg, SimTime::ZERO, Work::new(kind, work), 1.0);
             let e2 = poked.node_mut(0).run_phase(&cfg, SimTime::ZERO, Work::new(kind, work), 1.0);
-            prop_assert_eq!(e1, e2);
+            assert_eq!(e1, e2);
         }
     }
 }

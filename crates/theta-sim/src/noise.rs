@@ -15,10 +15,9 @@
 
 use crate::config::CapMode;
 use des::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Noise magnitudes for one cap mode.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NoiseSigmas {
     /// Per-job per-node efficiency spread.
     pub job: f64,
@@ -50,7 +49,7 @@ impl NoiseSigmas {
 }
 
 /// Seeds identifying the stochastic layers of one run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NoiseSeed {
     /// Job identity — determines node placement effects.
     pub job: u64,

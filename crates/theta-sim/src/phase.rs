@@ -8,7 +8,6 @@
 //! phase vocabulary the MD proxy emits and the cluster model consumes.
 
 use crate::config::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Classification of a span of work on a node.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// memory utilization, MSD2D is memory-intensive (less than MSD), RDF is
 /// compute-bound with higher memory needs than VACF and MSD1D, which have
 /// low memory and CPU utilization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PhaseKind {
     /// Velocity-Verlet initial/final integration (compute-bound).
     Integrate,
@@ -120,7 +119,7 @@ impl PhaseKind {
 /// effective power ([`MachineConfig::ref_power_w`]) on a nominal node;
 /// the actual duration scales with the power cap through the linear
 /// power→rate model in [`crate::power`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Work {
     /// Phase classification (fixes demand ceiling and power sensitivity).
     pub kind: PhaseKind,

@@ -12,10 +12,9 @@
 
 use crate::config::{CapMode, MachineConfig};
 use des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One node's RAPL control state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RaplDomain {
     mode: CapMode,
     /// Cap currently enforced by the PCU, watts.
@@ -24,6 +23,12 @@ pub struct RaplDomain {
     requested: f64,
     /// A cap change waiting out the actuation latency: `(effective_at, cap)`.
     pending: Option<(SimTime, f64)>,
+    /// Fault injection: number of upcoming requests the PCU will silently
+    /// ignore (a stuck MSR write — the firmware acks but nothing changes).
+    ignore_requests: u32,
+    /// Fault injection: extra actuation latency applied to the next request
+    /// only, seconds.
+    extra_latency_s: f64,
 }
 
 impl RaplDomain {
@@ -34,6 +39,8 @@ impl RaplDomain {
             active_cap: m.tdp_w,
             requested: m.tdp_w,
             pending: None,
+            ignore_requests: 0,
+            extra_latency_s: 0.0,
         }
     }
 
@@ -41,7 +48,14 @@ impl RaplDomain {
     /// initial job-launch cap, which is set before the application starts).
     pub fn capped(m: &MachineConfig, mode: CapMode, initial_w: f64) -> Self {
         let cap = Self::enforceable(m, mode, initial_w);
-        RaplDomain { mode, active_cap: cap, requested: m.clamp_cap(initial_w), pending: None }
+        RaplDomain {
+            mode,
+            active_cap: cap,
+            requested: m.clamp_cap(initial_w),
+            pending: None,
+            ignore_requests: 0,
+            extra_latency_s: 0.0,
+        }
     }
 
     fn enforceable(m: &MachineConfig, mode: CapMode, watts: f64) -> f64 {
@@ -64,6 +78,26 @@ impl RaplDomain {
         self.requested
     }
 
+    /// Fault injection: the PCU silently drops the next `n` cap requests
+    /// (the write appears to succeed but the enforced cap never changes —
+    /// the "stuck RAPL" failure observed on production nodes).
+    pub fn inject_ignore_requests(&mut self, n: u32) {
+        self.ignore_requests = self.ignore_requests.saturating_add(n);
+    }
+
+    /// Fault injection: the next cap request takes `extra_s` additional
+    /// seconds beyond the normal actuation latency to land.
+    pub fn inject_extra_latency(&mut self, extra_s: f64) {
+        if extra_s.is_finite() && extra_s > 0.0 {
+            self.extra_latency_s += extra_s;
+        }
+    }
+
+    /// Whether an injected fault is still pending on this domain.
+    pub fn has_injected_fault(&self) -> bool {
+        self.ignore_requests > 0 || self.extra_latency_s > 0.0
+    }
+
     /// Request a new cap at time `now`; it takes effect after the machine's
     /// actuation latency. A newer request replaces any pending one.
     /// Returns the clamped value that was accepted.
@@ -72,13 +106,25 @@ impl RaplDomain {
             return m.tdp_w;
         }
         let clamped = m.clamp_cap(watts);
+        if self.ignore_requests > 0 {
+            // Stuck PCU: the caller sees a normal ack, the hardware holds
+            // the old cap. `requested` keeps the *previous* accepted value
+            // so the controller's read-back matches what is enforced.
+            self.ignore_requests -= 1;
+            return clamped;
+        }
         self.requested = clamped;
         let enforce = Self::enforceable(m, self.mode, watts);
         if (enforce - self.active_cap).abs() < f64::EPSILON {
             self.pending = None;
             return clamped;
         }
-        self.pending = Some((now + m.cap_actuation, enforce));
+        let mut latency = m.cap_actuation;
+        if self.extra_latency_s > 0.0 {
+            latency += des::SimDuration::from_secs_f64(self.extra_latency_s);
+            self.extra_latency_s = 0.0;
+        }
+        self.pending = Some((now + latency, enforce));
         clamped
     }
 
@@ -112,45 +158,49 @@ impl RaplDomain {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use des::SimDuration;
-    use proptest::prelude::*;
+    use des::{Rng, SimDuration};
 
-    proptest! {
-        /// The enforced cap is always within the RAPL range after any
-        /// request sequence, in every cap mode that caps.
-        #[test]
-        fn enforcement_always_in_range(
-            requests in prop::collection::vec((0.0f64..400.0, 1u64..1000), 1..30),
-            long_short in proptest::bool::ANY,
-        ) {
+    /// The enforced cap is always within the RAPL range after any
+    /// request sequence, in every cap mode that caps.
+    #[test]
+    fn enforcement_always_in_range() {
+        let mut rng = Rng::seed_from_u64(0x004A_9101);
+        for case in 0..64 {
             let m = MachineConfig::theta();
-            let mode = if long_short { CapMode::LongShort } else { CapMode::Long };
+            let mode = if case % 2 == 0 { CapMode::LongShort } else { CapMode::Long };
             let mut d = RaplDomain::capped(&m, mode, 110.0);
             let mut now = SimTime::ZERO;
-            for (w, dt_ms) in requests {
+            let len = 1 + rng.next_below(29) as usize;
+            for _ in 0..len {
+                let w = rng.uniform(0.0, 400.0);
+                let dt_ms = 1 + rng.next_below(999);
                 d.request_cap(&m, now, w);
                 now += SimDuration::from_millis(dt_ms);
                 d.advance(now);
                 let e = d.enforced_at(now);
-                prop_assert!(e >= m.min_cap_w * (1.0 - m.short_cap_bias) - 1e-9, "{e}");
-                prop_assert!(e <= m.tdp_w + 1e-9, "{e}");
-                prop_assert!((m.min_cap_w..=m.tdp_w).contains(&d.requested_cap()));
+                assert!(e >= m.min_cap_w * (1.0 - m.short_cap_bias) - 1e-9, "{e}");
+                assert!(e <= m.tdp_w + 1e-9, "{e}");
+                assert!((m.min_cap_w..=m.tdp_w).contains(&d.requested_cap()));
             }
         }
+    }
 
-        /// A request always takes exactly the actuation latency to land
-        /// (unless replaced first).
-        #[test]
-        fn actuation_latency_is_exact(w in 99.0f64..214.0) {
+    /// A request always takes exactly the actuation latency to land
+    /// (unless replaced first).
+    #[test]
+    fn actuation_latency_is_exact() {
+        let mut rng = Rng::seed_from_u64(0x004A_9102);
+        for _case in 0..128 {
+            let w = rng.uniform(99.0, 214.0);
             let m = MachineConfig::theta();
             let mut d = RaplDomain::capped(&m, CapMode::Long, 110.0);
             d.request_cap(&m, SimTime::ZERO, w);
             let just_before = SimTime::ZERO + (m.cap_actuation - SimDuration::from_nanos(1));
-            prop_assert_eq!(d.enforced_at(just_before), 110.0);
+            assert_eq!(d.enforced_at(just_before), 110.0);
             let at = SimTime::ZERO + m.cap_actuation;
-            prop_assert!((d.enforced_at(at) - m.clamp_cap(w)).abs() < 1e-12);
+            assert!((d.enforced_at(at) - m.clamp_cap(w)).abs() < 1e-12);
         }
     }
 }
@@ -231,6 +281,40 @@ mod tests {
         assert_eq!(d.next_change_after(t(1)), None);
         d.advance(t(50));
         assert_eq!(d.enforced_at(t(50)), 110.0);
+    }
+
+    #[test]
+    fn stuck_injection_drops_exactly_n_requests() {
+        let m = m();
+        let mut d = RaplDomain::capped(&m, CapMode::Long, 110.0);
+        d.inject_ignore_requests(2);
+        assert!(d.has_injected_fault());
+        d.request_cap(&m, t(0), 130.0); // dropped
+        d.advance(t(50));
+        assert_eq!(d.enforced_at(t(50)), 110.0, "stuck PCU holds the old cap");
+        assert_eq!(d.requested_cap(), 110.0, "read-back matches enforcement");
+        d.request_cap(&m, t(60), 140.0); // dropped
+        d.advance(t(120));
+        assert_eq!(d.enforced_at(t(120)), 110.0);
+        assert!(!d.has_injected_fault());
+        d.request_cap(&m, t(130), 125.0); // lands normally
+        d.advance(t(140));
+        assert_eq!(d.enforced_at(t(140)), 125.0);
+    }
+
+    #[test]
+    fn delay_injection_stretches_one_actuation() {
+        let m = m();
+        let mut d = RaplDomain::capped(&m, CapMode::Long, 110.0);
+        d.inject_extra_latency(0.1); // +100 ms on top of the normal 10 ms
+        d.request_cap(&m, t(0), 120.0);
+        assert_eq!(d.enforced_at(t(50)), 110.0, "still in flight at 50 ms");
+        d.advance(t(110));
+        assert_eq!(d.enforced_at(t(110)), 120.0, "lands at 110 ms");
+        // The delay applies once: the next request uses normal latency.
+        d.request_cap(&m, t(200), 130.0);
+        d.advance(t(210));
+        assert_eq!(d.enforced_at(t(210)), 130.0);
     }
 
     #[test]

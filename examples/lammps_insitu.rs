@@ -27,7 +27,7 @@ fn main() {
     spec.total_steps = 60;
     let workload = MeasuredWorkload::new(spec.clone(), 1, 2026);
     let cfg = JobConfig::new(spec, "seesaw");
-    let result = Runtime::with_workload(cfg, Box::new(workload)).run();
+    let result = Runtime::with_workload(cfg, Box::new(workload)).expect("known controller").run();
 
     println!("simulated {} synchronizations, total {:.1} s, {:.2} MJ",
         result.syncs.len(),

@@ -28,7 +28,7 @@ fn main() {
 
     for ctl in ["static", "seesaw"] {
         let cfg = JobConfig::new(spec.clone(), ctl).with_traces();
-        let r = Runtime::new(cfg).run();
+        let r = Runtime::new(cfg).expect("known controller").run();
         let sim = r.sim_trace.unwrap();
         let ana = r.analysis_trace.unwrap();
         let n = (spec.sim_nodes as f64, spec.analysis_nodes as f64);

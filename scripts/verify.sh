@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline build + tests, lint wall, and the
+# fault-injection determinism gate (same seed -> byte-identical JSON).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release (offline)"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q (offline)"
+cargo test -q --offline
+
+echo "==> lint: cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> determinism: fault_sweep twice, byte-identical JSON"
+a="$(mktemp -d)"
+b="$(mktemp -d)"
+trap 'rm -rf "$a" "$b"' EXIT
+SEESAW_RESULTS_DIR="$a" ./target/release/fault_sweep --quick >/dev/null
+SEESAW_RESULTS_DIR="$b" ./target/release/fault_sweep --quick >/dev/null
+diff "$a/fault_sweep.json" "$b/fault_sweep.json"
+
+echo "OK: build + tests green, clippy clean, fault_sweep deterministic"

@@ -21,9 +21,9 @@ fn small_spec(kinds: &[K], steps: u64) -> WorkloadSpec {
 fn measured_workload_through_runtime_matches_analytic_shape() {
     let spec = small_spec(&[K::Vacf, K::Rdf], 12);
     let measured = MeasuredWorkload::new(spec.clone(), 1, 77);
-    let rm = Runtime::with_workload(JobConfig::new(spec.clone(), "seesaw"), Box::new(measured))
+    let rm = Runtime::with_workload(JobConfig::new(spec.clone(), "seesaw"), Box::new(measured)).expect("known controller")
         .run();
-    let ra = Runtime::new(JobConfig::new(spec, "seesaw")).run();
+    let ra = Runtime::new(JobConfig::new(spec, "seesaw")).expect("known controller").run();
     assert_eq!(rm.syncs.len(), ra.syncs.len());
     let ratio = rm.total_time_s / ra.total_time_s;
     assert!(
@@ -125,7 +125,8 @@ fn polimer_to_controller_roundtrip() {
         &world,
         |rank| if rank < 8 { Role::Simulation } else { Role::Analysis },
         PowerManagerConfig::with_controller("seesaw"),
-    );
+    )
+    .expect("known controller");
     // Two syncs: the first is skipped (step 0 outside the main loop).
     for _ in 0..2 {
         for node in 0..8 {

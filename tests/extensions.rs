@@ -16,8 +16,8 @@ fn spec(dim: u32, nodes: usize, steps: u64, kinds: &[K]) -> WorkloadSpec {
 #[test]
 fn hierarchical_matches_or_beats_plain_seesaw() {
     let s = spec(36, 32, 80, &[K::Vacf]);
-    let plain = paired_improvement(&JobConfig::new(s.clone(), "seesaw"));
-    let hier = paired_improvement(&JobConfig::new(s, "hierarchical-seesaw"));
+    let plain = paired_improvement(&JobConfig::new(s.clone(), "seesaw")).expect("known controller");
+    let hier = paired_improvement(&JobConfig::new(s, "hierarchical-seesaw")).expect("known controller");
     assert!(
         hier > plain - 2.0,
         "hierarchical should not regress: plain {plain:.2} %, hierarchical {hier:.2} %"
@@ -29,8 +29,8 @@ fn hierarchical_matches_or_beats_plain_seesaw() {
 #[test]
 fn probing_does_not_regress() {
     let s = spec(16, 32, 80, &[K::MsdFull]);
-    let plain = paired_improvement(&JobConfig::new(s.clone(), "seesaw"));
-    let probing = paired_improvement(&JobConfig::new(s, "probing-seesaw"));
+    let plain = paired_improvement(&JobConfig::new(s.clone(), "seesaw")).expect("known controller");
+    let probing = paired_improvement(&JobConfig::new(s, "probing-seesaw")).expect("known controller");
     assert!(
         probing > plain - 2.5,
         "probing overhead too high: plain {plain:.2} %, probing {probing:.2} %"
@@ -42,8 +42,8 @@ fn probing_does_not_regress() {
 #[test]
 fn time_shared_wins_on_slack_dominated_workloads() {
     let s = spec(36, 16, 60, &[K::Vacf]);
-    let base = run_job(JobConfig::new(s.clone(), "static"));
-    let see = run_job(JobConfig::new(s.clone(), "seesaw").with_seed(1, 1));
+    let base = run_job(JobConfig::new(s.clone(), "static")).expect("known controller");
+    let see = run_job(JobConfig::new(s.clone(), "seesaw").with_seed(1, 1)).expect("known controller");
     let ts = run_time_shared(JobConfig::new(s, "static").with_seed(1, 2));
     let imp_see = improvement_pct(base.total_time_s, see.total_time_s);
     let imp_ts = improvement_pct(base.total_time_s, ts.total_time_s);
@@ -57,7 +57,7 @@ fn colocated_budget_and_limits_hold_end_to_end() {
     for ctl in ["seesaw", "time-aware", "static"] {
         let cfg = JobConfig::new(spec(16, 16, 40, &[K::MsdFull]), ctl);
         let budget = cfg.budget_w();
-        let r = run_colocated(cfg);
+        let r = run_colocated(cfg).expect("known controller");
         for s in &r.syncs {
             let total = 16.0 * (s.sim_cap_w + s.analysis_cap_w);
             assert!(total <= budget + 1.0, "{ctl}: {total} > {budget}");
@@ -82,7 +82,7 @@ fn all_controllers_survive_mixed_intervals() {
         ];
         let cfg = JobConfig::new(s, ctl);
         let budget = cfg.budget_w();
-        let r = run_job(cfg);
+        let r = run_job(cfg).expect("known controller");
         assert_eq!(r.syncs.len(), 48, "{ctl}");
         for rec in &r.syncs {
             let total = 8.0 * (rec.sim_cap_w + rec.analysis_cap_w);
@@ -105,7 +105,8 @@ fn poli_session_energy_accounting_over_a_run() {
         |r| if r < 8 { Role::Simulation } else { Role::Analysis },
         110.0,
         PowerManagerConfig::with_controller("seesaw"),
-    );
+    )
+    .expect("known controller");
     session.start_energy_counter("main-loop");
     for sync in 0..20u64 {
         for node in 0..8usize {

@@ -24,7 +24,7 @@ fn seesaw_always_improves() {
         (36, vec![K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]),
     ] {
         let cfg = JobConfig::new(spec(dim, 32, 80, &kinds), "seesaw");
-        let imp = paired_improvement(&cfg);
+        let imp = paired_improvement(&cfg).expect("known controller");
         assert!(imp > 0.0, "{kinds:?}: SeeSAw regressed ({imp:.2} %)");
     }
 }
@@ -35,7 +35,7 @@ fn seesaw_always_improves() {
 fn power_aware_never_wins() {
     for (dim, kinds) in [(36, vec![K::Vacf]), (16, vec![K::MsdFull])] {
         let cfg = JobConfig::new(spec(dim, 32, 80, &kinds), "power-aware");
-        let imp = paired_improvement(&cfg);
+        let imp = paired_improvement(&cfg).expect("known controller");
         assert!(imp < 3.0, "{kinds:?}: power-aware won ({imp:.2} %)?");
     }
 }
@@ -45,8 +45,8 @@ fn power_aware_never_wins() {
 #[test]
 fn seesaw_beats_time_aware_on_full_msd() {
     let s = spec(16, 64, 100, &[K::MsdFull]);
-    let see = paired_improvement(&JobConfig::new(s.clone(), "seesaw"));
-    let ta = paired_improvement(&JobConfig::new(s, "time-aware"));
+    let see = paired_improvement(&JobConfig::new(s.clone(), "seesaw")).expect("known controller");
+    let ta = paired_improvement(&JobConfig::new(s, "time-aware")).expect("known controller");
     assert!(see > ta, "seesaw {see:.2} % must beat time-aware {ta:.2} %");
     assert!(ta < 1.0, "time-aware should not profit from MSD, got {ta:.2} %");
 }
@@ -56,7 +56,7 @@ fn seesaw_beats_time_aware_on_full_msd() {
 /// power even though the baseline times look nearly identical.
 #[test]
 fn seesaw_settles_and_gives_msd_analysis_more_power() {
-    let r = run_job(JobConfig::new(spec(16, 64, 60, &[K::MsdFull]), "seesaw"));
+    let r = run_job(JobConfig::new(spec(16, 64, 60, &[K::MsdFull]), "seesaw")).expect("known controller");
     assert!(r.mean_slack_from(20) < 0.1, "late slack {:.3}", r.mean_slack_from(20));
     let last = r.syncs.last().unwrap();
     assert!(
@@ -73,7 +73,7 @@ fn seesaw_settles_and_gives_msd_analysis_more_power() {
 fn simulation_cannot_use_extra_power_at_small_scale() {
     let cfg = JobConfig::new(spec(16, 32, 40, &[K::MsdFull]), "static")
         .with_initial_caps(130.0, 90.0);
-    let r = run_job(cfg);
+    let r = run_job(cfg).expect("known controller");
     let s = &r.syncs[10];
     assert!(
         s.sim_power_w < 112.0,
@@ -93,13 +93,13 @@ fn unbalanced_starts_are_recovered() {
                 .with_window(2)
                 .with_initial_caps(s0, a0)
                 .with_seed(9, 0),
-        );
+        ).expect("known controller");
         let ctl = run_job(
             JobConfig::new(spec(36, 32, 80, &kinds), "seesaw")
                 .with_window(2)
                 .with_initial_caps(s0, a0)
                 .with_seed(9, 1),
-        );
+        ).expect("known controller");
         improvement_pct(base.total_time_s, ctl.total_time_s)
     };
     let sim_more = run_case(120.0, 100.0);
@@ -116,7 +116,7 @@ fn unbalanced_starts_are_recovered() {
 fn improvement_peaks_at_tight_but_feasible_budgets() {
     let kinds = [K::MsdFull, K::Rdf, K::Msd1d, K::Msd2d, K::Vacf];
     let imp_at = |cap: f64| {
-        paired_improvement(&JobConfig::new(spec(16, 32, 60, &kinds), "seesaw").with_budget(cap))
+        paired_improvement(&JobConfig::new(spec(16, 32, 60, &kinds), "seesaw").with_budget(cap)).expect("known controller")
     };
     let at_min = imp_at(98.0);
     let at_sweet = imp_at(112.0);
@@ -130,8 +130,8 @@ fn improvement_peaks_at_tight_but_feasible_budgets() {
 /// interval and grows (absolutely) with node count.
 #[test]
 fn overhead_small_and_scaling() {
-    let small = run_job(JobConfig::new(spec(48, 32, 30, &[K::Vacf]), "seesaw"));
-    let big = run_job(JobConfig::new(spec(48, 256, 30, &[K::Vacf]), "seesaw"));
+    let small = run_job(JobConfig::new(spec(48, 32, 30, &[K::Vacf]), "seesaw")).expect("known controller");
+    let big = run_job(JobConfig::new(spec(48, 256, 30, &[K::Vacf]), "seesaw")).expect("known controller");
     let mean = |r: &insitu::RunResult| {
         r.syncs.iter().map(|s| s.overhead_s).sum::<f64>() / r.syncs.len() as f64
     };
@@ -151,7 +151,7 @@ fn infrequent_syncs_cap_the_benefit() {
     let imp_j = |j: u64| {
         let mut s = WorkloadSpec::paper(36, 32, j, &kinds);
         s.total_steps = 120;
-        paired_improvement(&JobConfig::new(s, "seesaw"))
+        paired_improvement(&JobConfig::new(s, "seesaw")).expect("known controller")
     };
     let frequent = imp_j(1);
     let rare = imp_j(40);
@@ -166,8 +166,8 @@ fn infrequent_syncs_cap_the_benefit() {
 #[test]
 fn full_stack_determinism() {
     let cfg = JobConfig::new(spec(16, 16, 30, &[K::MsdFull]), "seesaw").with_seed(3, 4);
-    let a = run_job(cfg.clone());
-    let b = run_job(cfg);
+    let a = run_job(cfg.clone()).expect("known controller");
+    let b = run_job(cfg).expect("known controller");
     assert_eq!(a.total_time_s, b.total_time_s);
     assert_eq!(a.total_energy_j, b.total_energy_j);
     for (x, y) in a.syncs.iter().zip(&b.syncs) {

@@ -1,6 +1,8 @@
 //! Mini-LAMMPS kernel micro-benchmarks: force evaluation, neighbor-list
 //! construction, one full Verlet step, and each analysis kernel over the
-//! 1568-atom benchmark cell.
+//! 1568-atom benchmark cell — plus a serial-vs-parallel comparison of the
+//! two hot kernels at a fixed thread count, recorded to
+//! `results/BENCH_kernels.json`.
 //!
 //! Plain timing harness (`harness = false`): the offline build carries no
 //! criterion, so each case reports median-of-runs wall time directly.
@@ -12,7 +14,7 @@ use mdsim::{
 use std::hint::black_box;
 use std::time::Instant;
 
-fn report(name: &str, iters: u64, mut f: impl FnMut(u64)) {
+fn median_us(iters: u64, mut f: impl FnMut(u64)) -> f64 {
     let mut runs = Vec::new();
     for pass in 0..4 {
         let start = Instant::now();
@@ -24,7 +26,11 @@ fn report(name: &str, iters: u64, mut f: impl FnMut(u64)) {
         }
     }
     runs.sort_by(f64::total_cmp);
-    println!("{name:40} {:>12.2} µs/iter", runs[runs.len() / 2] * 1e6);
+    runs[runs.len() / 2] * 1e6
+}
+
+fn report(name: &str, iters: u64, f: impl FnMut(u64)) {
+    println!("{name:40} {:>12.2} µs/iter", median_us(iters, f));
 }
 
 fn bench_force() {
@@ -76,9 +82,83 @@ fn bench_analyses() {
     });
 }
 
+/// One serial-vs-parallel measurement of a hot kernel.
+struct KernelRow {
+    kernel: String,
+    atoms: u64,
+    threads: u64,
+    serial_us: f64,
+    parallel_us: f64,
+    speedup: f64,
+}
+bench::json_struct!(KernelRow { kernel, atoms, threads, serial_us, parallel_us, speedup });
+
+/// Time the force and neighbor-build kernels serially
+/// (`par::with_threads(1, ..)` — the exact serial code path) and at
+/// `threads` workers, on the 1568-atom (dim 1) and 12 544-atom (dim 2)
+/// benchmark cells. Speedups land in `results/BENCH_kernels.json`; note
+/// that on a single-core host the parallel path can only break even.
+fn bench_parallel_speedup() -> Vec<KernelRow> {
+    let threads = 4usize;
+    let quick = bench::quick_mode();
+    let mut rows = Vec::new();
+    for dim in [1usize, 2] {
+        let sys = water_ion_box(dim, 1.0, 11);
+        let atoms = sys.len() as u64;
+        let params = ForceParams::default();
+        let table = PairTable::new();
+        let nl = NeighborList::build(&sys.pos, sys.box_len, params.cutoff, 0.4);
+        let iters = if quick {
+            2
+        } else if dim == 1 {
+            50
+        } else {
+            10
+        };
+
+        let mut s = sys.clone();
+        let force = |s: &mut mdsim::System| {
+            black_box(compute_forces(s, &nl, params, &table));
+        };
+        let serial_us = par::with_threads(1, || median_us(iters, |_| force(&mut s)));
+        let parallel_us = par::with_threads(threads, || median_us(iters, |_| force(&mut s)));
+        rows.push(KernelRow {
+            kernel: "force_eval".to_string(),
+            atoms,
+            threads: threads as u64,
+            serial_us,
+            parallel_us,
+            speedup: serial_us / parallel_us,
+        });
+
+        let build = || {
+            black_box(NeighborList::build(&sys.pos, sys.box_len, params.cutoff, 0.4));
+        };
+        let serial_us = par::with_threads(1, || median_us(iters, |_| build()));
+        let parallel_us = par::with_threads(threads, || median_us(iters, |_| build()));
+        rows.push(KernelRow {
+            kernel: "neighbor_build".to_string(),
+            atoms,
+            threads: threads as u64,
+            serial_us,
+            parallel_us,
+            speedup: serial_us / parallel_us,
+        });
+    }
+    for r in &rows {
+        println!(
+            "{:14} {:>6} atoms  T1 {:>10.2} µs  T{} {:>10.2} µs  speedup {:.2}x",
+            r.kernel, r.atoms, r.serial_us, r.threads, r.parallel_us, r.speedup
+        );
+    }
+    bench::write_json("BENCH_kernels", &rows);
+    rows
+}
+
 fn main() {
     bench_force();
     bench_neighbor();
     bench_verlet_step();
     bench_analyses();
+    bench_parallel_speedup();
 }

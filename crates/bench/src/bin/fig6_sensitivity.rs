@@ -22,17 +22,19 @@ fn main() {
     let js: &[u64] = if bench::quick_mode() { &[1, 5] } else { &[1, 5, 10, 20] };
     let ws: &[usize] = if bench::quick_mode() { &[1, 2] } else { &[1, 2, 5, 10] };
 
-    let mut rows = Vec::new();
-    for &j in js {
-        for &w in ws {
-            let mut spec =
-                WorkloadSpec::paper(48, nodes, j, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
-            spec.total_steps = total_steps();
-            let cfg = JobConfig::new(spec, "seesaw").with_window(w);
-            let imp = paired_improvement(&cfg).expect("known controller");
-            rows.push(Row { j, w, improvement_pct: imp });
-        }
-    }
+    // Flatten the j × w grid into one task list and dispatch it across
+    // the worker pool; par_map_indexed slots each Row by its grid index,
+    // so the row order (and the JSON) matches the serial nested loop.
+    let cases: Vec<(u64, usize)> =
+        js.iter().flat_map(|&j| ws.iter().map(move |&w| (j, w))).collect();
+    let rows: Vec<Row> = par::global().par_map_indexed(cases.len(), |k| {
+        let (j, w) = cases[k];
+        let mut spec = WorkloadSpec::paper(48, nodes, j, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
+        spec.total_steps = total_steps();
+        let cfg = JobConfig::new(spec, "seesaw").with_window(w);
+        let imp = paired_improvement(&cfg).expect("known controller");
+        Row { j, w, improvement_pct: imp }
+    });
 
     println!("Fig. 6 — SeeSAw w × j sensitivity, {nodes} nodes, all analyses, dim 48\n");
     let mut table = Vec::new();

@@ -19,8 +19,13 @@ fn main() {
     } else {
         &[98.0, 105.0, 110.0, 115.0, 120.0, 130.0, 140.0, 150.0]
     };
-    let mut rows = Vec::new();
-    for &cap in caps {
+    // Each budget point is an independent seeded experiment: dispatch the
+    // sweep across the worker pool (median_improvement's own dispatch then
+    // falls back to serial — the pool rejects nested use). Rows come back
+    // slotted by cap index, so the JSON matches the serial sweep.
+    let reps = repetitions();
+    let rows: Vec<Row> = par::global().par_map_indexed(caps.len(), |k| {
+        let cap = caps[k];
         let mut spec = WorkloadSpec::paper(
             16,
             128,
@@ -29,9 +34,9 @@ fn main() {
         );
         spec.total_steps = total_steps();
         let cfg = JobConfig::new(spec, "seesaw").with_budget(cap);
-        let imp = median_improvement(&cfg, repetitions()).expect("known controller");
-        rows.push(Row { budget_per_node_w: cap, improvement_pct: imp });
-    }
+        let imp = median_improvement(&cfg, reps).expect("known controller");
+        Row { budget_per_node_w: cap, improvement_pct: imp }
+    });
 
     println!("Fig. 8 — SeeSAw improvement vs per-node power budget, 128 nodes, dim 16\n");
     print_table(

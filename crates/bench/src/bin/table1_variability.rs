@@ -38,27 +38,47 @@ fn main() {
         ("Long (110 W)", CapMode::Long),
         ("Long and Short (110 W each)", CapMode::LongShort),
     ];
-    let mut rows = Vec::new();
-    for (label, mode) in cases {
+    // Flatten every (cap mode, dim, seed) runtime into one task list —
+    // 3 × 2 × 2·n_runs independent jobs — and dispatch it across the
+    // worker pool. Each task's seeds depend only on its grid position, so
+    // the slotted runtimes (and the variability rows computed from them
+    // below, in case order) are identical to the serial nested loops.
+    let mut tasks: Vec<(CapMode, u32, u64, u64)> = Vec::new();
+    for (_, mode) in cases {
         for dim in [36u32, 48] {
-            // Run-to-run: same job (placement), different runs.
             let base = 42 + dim as u64 * 7919;
-            let within: Vec<f64> =
-                (0..n_runs).map(|r| runtime(dim, mode, base, r, steps)).collect();
+            // Run-to-run: same job (placement), different runs.
+            for r in 0..n_runs {
+                tasks.push((mode, dim, base, r));
+            }
             // Job-to-job: different jobs, first run of each.
-            let across: Vec<f64> =
-                (0..n_runs).map(|j| runtime(dim, mode, base + 100 + j, 0, steps)).collect();
+            for j in 0..n_runs {
+                tasks.push((mode, dim, base + 100 + j, 0));
+            }
+        }
+    }
+    let times = par::global().par_map_indexed(tasks.len(), |t| {
+        let (mode, dim, job, run) = tasks[t];
+        runtime(dim, mode, job, run, steps)
+    });
+
+    let mut rows = Vec::new();
+    let mut cursor = times.chunks_exact(n_runs as usize);
+    for (label, _) in cases {
+        for dim in [36u32, 48] {
+            let within = cursor.next().expect("run-to-run chunk");
+            let across = cursor.next().expect("job-to-job chunk");
             rows.push(Row {
                 cap: label,
                 dim,
                 variability_type: "run-to-run",
-                variability_pct: variability_pct(&within),
+                variability_pct: variability_pct(within),
             });
             rows.push(Row {
                 cap: label,
                 dim,
                 variability_type: "job-to-job",
-                variability_pct: variability_pct(&across),
+                variability_pct: variability_pct(across),
             });
         }
     }

@@ -503,12 +503,20 @@ pub fn run_job(cfg: JobConfig) -> Result<RunResult, UnknownController> {
 /// placement — same job seed, consecutive run seeds, as the paper does to
 /// sidestep job-to-job variability, §VII-A). Returns
 /// `(controller result, baseline result)`.
+///
+/// The two runs are independent discrete-event simulations with disjoint
+/// RNG streams, so they execute on the shared worker pool; results come
+/// back slotted by index and errors are surfaced in controller-first
+/// order, matching the former serial code exactly.
 pub fn run_paired(cfg: &JobConfig) -> Result<(RunResult, RunResult), UnknownController> {
-    let ctl = run_job(cfg.clone())?;
     let mut base_cfg = cfg.clone();
     base_cfg.controller = "static".to_string();
     base_cfg.seed.run = cfg.seed.run + 1;
-    let base = run_job(base_cfg)?;
+    let cfgs = [cfg.clone(), base_cfg];
+    let mut results =
+        par::global().par_map_indexed(cfgs.len(), |i| run_job(cfgs[i].clone())).into_iter();
+    let ctl = results.next().expect("two results")?;
+    let base = results.next().expect("two results")?;
     Ok((ctl, base))
 }
 
@@ -520,15 +528,20 @@ pub fn paired_improvement(cfg: &JobConfig) -> Result<f64, UnknownController> {
 }
 
 /// Median paired improvement over `runs` different jobs (the paper reports
-/// the median of 3).
+/// the median of 3). Jobs are dispatched across the worker pool (each
+/// paired run inside then falls back to serial — the pool rejects nested
+/// use); the error short-circuit walks results in ascending run order, so
+/// the returned error matches the serial loop's.
 pub fn median_improvement(cfg: &JobConfig, runs: u64) -> Result<f64, UnknownController> {
-    let mut vals = Vec::with_capacity(runs as usize);
-    for r in 0..runs {
-        let mut c = cfg.clone();
-        c.seed.job = cfg.seed.job + 1000 * r;
-        vals.push(paired_improvement(&c)?);
-    }
-    Ok(crate::result::median(&vals))
+    let vals: Result<Vec<f64>, UnknownController> = par::global()
+        .par_map_indexed(runs as usize, |r| {
+            let mut c = cfg.clone();
+            c.seed.job = cfg.seed.job + 1000 * r as u64;
+            paired_improvement(&c)
+        })
+        .into_iter()
+        .collect();
+    Ok(crate::result::median(&vals?))
 }
 
 /// Per-phase helper used by tests: does a phase list contain a kind?

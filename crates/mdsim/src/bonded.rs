@@ -14,7 +14,6 @@
 use crate::system::System;
 #[cfg(test)]
 use crate::vec3::Vec3;
-use std::collections::HashSet;
 
 /// A harmonic bond between particles `i` and `j`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,19 +63,24 @@ impl Topology {
         self.bonds.is_empty() && self.angles.is_empty()
     }
 
-    /// The 1-2 and 1-3 exclusion set: pairs connected by a bond or sharing
-    /// an angle must not also interact through the non-bonded kernel.
-    pub fn exclusions(&self) -> HashSet<(u32, u32)> {
-        let mut ex = HashSet::with_capacity(self.bonds.len() + self.angles.len());
+    /// The 1-2 and 1-3 exclusion list: pairs connected by a bond or
+    /// sharing an angle must not also interact through the non-bonded
+    /// kernel. Returned sorted and deduplicated as `(min, max)` pairs so
+    /// the force kernel can use a binary search per pair instead of
+    /// hashing in its innermost loop.
+    pub fn exclusions(&self) -> Vec<(u32, u32)> {
+        let mut ex = Vec::with_capacity(self.bonds.len() + 3 * self.angles.len());
         let key = |a: u32, b: u32| (a.min(b), a.max(b));
         for b in &self.bonds {
-            ex.insert(key(b.i, b.j));
+            ex.push(key(b.i, b.j));
         }
         for a in &self.angles {
-            ex.insert(key(a.i, a.j));
-            ex.insert(key(a.j, a.k));
-            ex.insert(key(a.i, a.k));
+            ex.push(key(a.i, a.j));
+            ex.push(key(a.j, a.k));
+            ex.push(key(a.i, a.k));
         }
+        ex.sort_unstable();
+        ex.dedup();
         ex
     }
 }

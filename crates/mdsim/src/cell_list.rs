@@ -16,16 +16,30 @@ pub struct CellList {
 }
 
 impl CellList {
+    /// Atoms per parallel binning chunk.
+    const BIN_CHUNK: usize = 8_192;
+
     /// Build the grid and bin all positions. `min_cell` is typically the
     /// cutoff plus skin.
+    ///
+    /// Cell indices are computed in parallel (slotted by atom); the bin
+    /// scatter itself is a serial pass in atom order, so every bin lists
+    /// its members in ascending atom index regardless of thread count —
+    /// the property the neighbor list's pair ordering (and therefore the
+    /// force kernel's reduction order) relies on.
     pub fn build(positions: &[Vec3], box_len: f64, min_cell: f64) -> Self {
         assert!(box_len > 0.0 && min_cell > 0.0);
         let cells_per_side = ((box_len / min_cell).floor() as usize).max(1);
         let mut bins = vec![Vec::new(); cells_per_side.pow(3)];
         let inv = cells_per_side as f64 / box_len;
-        for (i, p) in positions.iter().enumerate() {
-            let idx = Self::cell_index_raw(*p, inv, cells_per_side);
-            bins[idx].push(i as u32);
+        let mut cell_of_atom = vec![0u32; positions.len()];
+        par::global().par_fill(&mut cell_of_atom, Self::BIN_CHUNK, |start, out| {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = Self::cell_index_raw(positions[start + k], inv, cells_per_side) as u32;
+            }
+        });
+        for (i, &idx) in cell_of_atom.iter().enumerate() {
+            bins[idx as usize].push(i as u32);
         }
         CellList { cells_per_side, box_len, bins }
     }
@@ -55,15 +69,17 @@ impl CellList {
         self.bins.len()
     }
 
-    /// Iterate the 27-cell periodic neighborhood (including the cell
-    /// itself) of cell `idx`, yielding cell indices. With fewer than 3
-    /// cells per side the neighborhood is deduplicated.
-    pub fn neighborhood(&self, idx: usize) -> Vec<usize> {
+    /// Fill `scratch` with the periodic neighborhood (including the cell
+    /// itself) of cell `idx` and return how many distinct cells were
+    /// written. With fewer than 3 cells per side the neighborhood is
+    /// deduplicated, hence the count can be below 27. Allocation-free:
+    /// the neighbor-list builder calls this once per cell per rebuild.
+    pub fn neighborhood_into(&self, idx: usize, scratch: &mut [usize; 27]) -> usize {
         let n = self.cells_per_side;
         let cz = idx % n;
         let cy = (idx / n) % n;
         let cx = idx / (n * n);
-        let mut out = Vec::with_capacity(27);
+        let mut len = 0;
         for dx in -1i64..=1 {
             for dy in -1i64..=1 {
                 for dz in -1i64..=1 {
@@ -71,13 +87,23 @@ impl CellList {
                         (((c as i64 + d).rem_euclid(n as i64)) as usize).min(n - 1)
                     };
                     let j = (wrap(cx, dx) * n + wrap(cy, dy)) * n + wrap(cz, dz);
-                    if !out.contains(&j) {
-                        out.push(j);
+                    if !scratch[..len].contains(&j) {
+                        scratch[len] = j;
+                        len += 1;
                     }
                 }
             }
         }
-        out
+        len
+    }
+
+    /// The periodic neighborhood of cell `idx` as a fresh `Vec` —
+    /// convenience for tests and one-off inspection; hot paths use
+    /// [`CellList::neighborhood_into`].
+    pub fn neighborhood(&self, idx: usize) -> Vec<usize> {
+        let mut scratch = [0usize; 27];
+        let len = self.neighborhood_into(idx, &mut scratch);
+        scratch[..len].to_vec()
     }
 
     /// Total binned particles (sanity checks).

@@ -8,7 +8,6 @@ use crate::neighbor::NeighborList;
 use crate::species::PairTable;
 use crate::system::{water3_box, water_ion_box, System};
 use crate::thermo::{thermo, ThermoRecord};
-use std::collections::HashSet;
 
 /// Work counters for one engine step.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,7 +35,8 @@ pub struct MdEngine {
     last_eval: ForceEval,
     step: u64,
     topology: Topology,
-    exclusions: Option<HashSet<(u32, u32)>>,
+    /// Sorted 1-2/1-3 pair list (binary-searched by the force kernel).
+    exclusions: Option<Vec<(u32, u32)>>,
 }
 
 impl MdEngine {
@@ -71,7 +71,7 @@ impl MdEngine {
             if topology.is_empty() { None } else { Some(topology.exclusions()) };
         let nl = NeighborList::build(&system.pos, system.box_len, params.cutoff, neighbor_skin);
         let mut last_eval =
-            compute_forces_excluding(&mut system, &nl, params, &table, exclusions.as_ref());
+            compute_forces_excluding(&mut system, &nl, params, &table, exclusions.as_deref());
         let bonded = compute_bonded(&mut system, &topology);
         last_eval.potential += bonded.total();
         MdEngine {
@@ -154,7 +154,7 @@ impl MdEngine {
             &self.nl,
             self.params,
             &self.table,
-            self.exclusions.as_ref(),
+            self.exclusions.as_deref(),
         );
         if !self.topology.is_empty() {
             let bonded = compute_bonded(&mut self.system, &self.topology);

@@ -6,15 +6,19 @@
 //! coarse-grained work. The LJ potential is cut and shifted so energy is
 //! continuous at the cutoff.
 //!
-//! The kernel folds over the half pair list in fixed-size chunks with an
-//! in-order reduction, so results are bit-identical across runs — the
-//! dominant computational phase of every timestep, exactly as in LAMMPS.
+//! The kernel is the dominant computational phase of every timestep,
+//! exactly as in LAMMPS, and it parallelizes without giving up bitwise
+//! determinism: per-pair terms (the expensive square roots and divisions)
+//! are computed in parallel into slots indexed by pair, then accumulated
+//! serially in pair order — the exact floating-point operation sequence
+//! of the serial kernel. `POLIMER_THREADS=1` (or a small pair list) takes
+//! the one-pass serial loop directly; any other thread count reproduces
+//! it bit for bit.
 
 use crate::neighbor::NeighborList;
 use crate::species::PairTable;
 use crate::system::System;
 use crate::vec3::Vec3;
-use std::collections::HashSet;
 
 /// Coulomb prefactor in reduced units. Scaled to a Bjerrum length of a few
 /// σ (as in water at room temperature, l_B ≈ 7 Å ≈ 2.3 σ) so that ionic
@@ -76,20 +80,117 @@ fn pair_terms(
     (u, f_over_r)
 }
 
+/// Pairs per parallel work unit. Also the chunk size of the historical
+/// serial fold, kept so profiles stay comparable across versions.
+const PAIR_CHUNK: usize = 16_384;
+
+/// Below this many pairs the slot buffer + spawn overhead cannot pay for
+/// itself; the kernel stays on the one-pass serial loop.
+const PAR_MIN_PAIRS: usize = 8_192;
+
+/// Per-pair result slot for the parallel kernel's compute phase. Pure
+/// function of the pair — where it was computed cannot affect its bits.
+#[derive(Clone, Copy)]
+struct PairTerm {
+    /// Force on `i` (negated for `j`).
+    fij: Vec3,
+    /// Pair potential contribution.
+    u: f64,
+    /// Pair virial contribution (`f_over_r * r_sq`).
+    vir: f64,
+    /// False for excluded / out-of-range pairs, which must be *skipped*
+    /// (not accumulated as zero) to replicate the serial op sequence.
+    active: bool,
+}
+
+impl Default for PairTerm {
+    fn default() -> Self {
+        PairTerm { fij: Vec3::ZERO, u: 0.0, vir: 0.0, active: false }
+    }
+}
+
 /// Evaluate forces into `sys.force`, returning energy/virial/work counts.
 pub fn compute_forces(sys: &mut System, nl: &NeighborList, params: ForceParams, table: &PairTable) -> ForceEval {
     compute_forces_excluding(sys, nl, params, table, None)
 }
 
 /// Like [`compute_forces`], skipping the given intramolecular exclusions
-/// (1-2/1-3 pairs of a [`crate::bonded::Topology`]), stored as
-/// `(min, max)` index pairs.
+/// (1-2/1-3 pairs of a [`crate::bonded::Topology`]), stored as a sorted
+/// slice of `(min, max)` index pairs (see [`crate::bonded::Topology::exclusions`]).
 pub fn compute_forces_excluding(
     sys: &mut System,
     nl: &NeighborList,
     params: ForceParams,
     table: &PairTable,
-    exclusions: Option<&HashSet<(u32, u32)>>,
+    exclusions: Option<&[(u32, u32)]>,
+) -> ForceEval {
+    debug_assert!(
+        exclusions.is_none_or(|ex| ex.windows(2).all(|w| w[0] < w[1])),
+        "exclusions must be sorted for binary search"
+    );
+    let pool = par::global();
+    if pool.effective_threads() <= 1 || nl.npairs() < PAR_MIN_PAIRS {
+        return compute_forces_serial(sys, nl, params, table, exclusions);
+    }
+
+    let n = sys.len();
+    let cutoff_sq = params.cutoff * params.cutoff;
+    let box_len = sys.box_len;
+    let pos = &sys.pos;
+    let species = &sys.species;
+    let pairs = nl.pairs();
+
+    // Phase 1 (parallel): per-pair terms into slots indexed by pair. The
+    // slot content is a pure function of the pair, so the buffer is
+    // identical however chunks land on workers.
+    let mut terms = vec![PairTerm::default(); pairs.len()];
+    pool.par_fill(&mut terms, PAIR_CHUNK, |start, out| {
+        for (k, term) in out.iter_mut().enumerate() {
+            let (i, j) = pairs[start + k];
+            if exclusions.is_some_and(|ex| ex.binary_search(&(i, j)).is_ok()) {
+                continue;
+            }
+            let (i, j) = (i as usize, j as usize);
+            let d = (pos[i] - pos[j]).minimum_image(box_len);
+            let r_sq = d.norm_sq();
+            if r_sq > cutoff_sq || r_sq == 0.0 {
+                continue;
+            }
+            let (u, f_over_r) = pair_terms(table, species[i], species[j], r_sq, params.cutoff);
+            *term = PairTerm { fij: d * f_over_r, u, vir: f_over_r * r_sq, active: true };
+        }
+    });
+
+    // Phase 2 (serial): accumulate in pair order — the exact operation
+    // sequence of the serial kernel, so the result is bit-identical to
+    // `POLIMER_THREADS=1` and independent of the thread count.
+    let mut forces = vec![Vec3::ZERO; n];
+    let mut potential = 0.0;
+    let mut virial = 0.0;
+    let mut evaluated = 0u64;
+    for (term, &(i, j)) in terms.iter().zip(pairs) {
+        if !term.active {
+            continue;
+        }
+        forces[i as usize] += term.fij;
+        forces[j as usize] -= term.fij;
+        potential += term.u;
+        virial += term.vir;
+        evaluated += 1;
+    }
+
+    sys.force = forces;
+    ForceEval { potential, virial, pairs_evaluated: evaluated }
+}
+
+/// The one-pass serial kernel: the canonical operation order every other
+/// execution strategy must reproduce bit for bit.
+fn compute_forces_serial(
+    sys: &mut System,
+    nl: &NeighborList,
+    params: ForceParams,
+    table: &PairTable,
+    exclusions: Option<&[(u32, u32)]>,
 ) -> ForceEval {
     let n = sys.len();
     let cutoff_sq = params.cutoff * params.cutoff;
@@ -98,17 +199,13 @@ pub fn compute_forces_excluding(
     let species = &sys.species;
     let pairs = nl.pairs();
 
-    // Chunked fold over the half pair list. Chunks are summed in order,
-    // which keeps floating-point results bit-identical run to run (the
-    // offline build has no rayon; a future `parallel` feature must keep
-    // this in-order reduction to preserve determinism).
     let mut forces = vec![Vec3::ZERO; n];
     let mut potential = 0.0;
     let mut virial = 0.0;
     let mut evaluated = 0u64;
-    for chunk in pairs.chunks(16_384) {
+    for chunk in pairs.chunks(PAIR_CHUNK) {
         for &(i, j) in chunk {
-            if exclusions.is_some_and(|ex| ex.contains(&(i, j))) {
+            if exclusions.is_some_and(|ex| ex.binary_search(&(i, j)).is_ok()) {
                 continue;
             }
             let (i, j) = (i as usize, j as usize);
@@ -132,20 +229,31 @@ pub fn compute_forces_excluding(
 }
 
 /// Potential energy only (no force mutation) — for gradient tests.
+///
+/// Reduced as fixed-size chunk partials merged in chunk order
+/// ([`par::Pool::par_chunks_fold`]), so the value is bit-identical at any
+/// thread count (though it deliberately differs in rounding from the
+/// running sum inside [`compute_forces`] — tests compare gradients, not
+/// bits).
 pub fn compute_potential(sys: &System, nl: &NeighborList, params: ForceParams, table: &PairTable) -> f64 {
     let cutoff_sq = params.cutoff * params.cutoff;
-    nl.pairs()
-        .iter()
-        .map(|&(i, j)| {
-            let (i, j) = (i as usize, j as usize);
-            let d = (sys.pos[i] - sys.pos[j]).minimum_image(sys.box_len);
-            let r_sq = d.norm_sq();
-            if r_sq > cutoff_sq || r_sq == 0.0 {
-                return 0.0;
-            }
-            pair_terms(table, sys.species[i], sys.species[j], r_sq, params.cutoff).0
-        })
-        .sum()
+    let pair_u = |&(i, j): &(u32, u32)| -> f64 {
+        let (i, j) = (i as usize, j as usize);
+        let d = (sys.pos[i] - sys.pos[j]).minimum_image(sys.box_len);
+        let r_sq = d.norm_sq();
+        if r_sq > cutoff_sq || r_sq == 0.0 {
+            return 0.0;
+        }
+        pair_terms(table, sys.species[i], sys.species[j], r_sq, params.cutoff).0
+    };
+    par::global()
+        .par_chunks_fold(
+            nl.pairs(),
+            PAIR_CHUNK,
+            |_, chunk| chunk.iter().map(pair_u).sum::<f64>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
 }
 
 #[cfg(test)]

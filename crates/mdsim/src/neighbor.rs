@@ -26,37 +26,49 @@ pub struct NeighborList {
 
 impl NeighborList {
     /// Build from scratch. `positions` must be wrapped into the box.
+    ///
+    /// Cells are scanned in parallel, each producing its own pair list;
+    /// the per-cell lists are concatenated in ascending cell order, which
+    /// reproduces the serial cell sweep's pair ordering exactly — and the
+    /// pair ordering fixes the force kernel's floating-point reduction
+    /// order, so neighbor builds are bit-stable at any thread count.
     pub fn build(positions: &[Vec3], box_len: f64, cutoff: f64, skin: f64) -> Self {
         assert!(cutoff > 0.0 && skin >= 0.0);
         let reach = cutoff + skin;
         let cl = CellList::build(positions, box_len, reach);
         let reach_sq = reach * reach;
-        let mut pairs = Vec::with_capacity(positions.len() * 32);
-        for cell in 0..cl.ncells() {
+        let cell_pairs = par::global().par_map_indexed(cl.ncells(), |cell| {
             let members = cl.cell(cell);
-            let nbhd = cl.neighborhood(cell);
+            let mut out = Vec::with_capacity(members.len() * 20);
+            let mut scratch = [0usize; 27];
+            let nbhd_len = cl.neighborhood_into(cell, &mut scratch);
             for (k, &i) in members.iter().enumerate() {
                 let pi = positions[i as usize];
                 // Pairs within the same cell.
                 for &j in &members[k + 1..] {
                     let d = (positions[j as usize] - pi).minimum_image(box_len);
                     if d.norm_sq() <= reach_sq {
-                        pairs.push((i.min(j), i.max(j)));
+                        out.push((i.min(j), i.max(j)));
                     }
                 }
                 // Pairs with higher-indexed cells (avoid double visits).
-                for &nc in &nbhd {
+                for &nc in &scratch[..nbhd_len] {
                     if nc <= cell {
                         continue;
                     }
                     for &j in cl.cell(nc) {
                         let d = (positions[j as usize] - pi).minimum_image(box_len);
                         if d.norm_sq() <= reach_sq {
-                            pairs.push((i.min(j), i.max(j)));
+                            out.push((i.min(j), i.max(j)));
                         }
                     }
                 }
             }
+            out
+        });
+        let mut pairs = Vec::with_capacity(cell_pairs.iter().map(Vec::len).sum());
+        for cp in &cell_pairs {
+            pairs.extend_from_slice(cp);
         }
         NeighborList { cutoff, skin, pairs, ref_pos: positions.to_vec(), box_len }
     }

@@ -1,0 +1,416 @@
+//! # par — deterministic zero-dependency parallelism
+//!
+//! The offline build bans registry crates (no rayon), yet the MD force
+//! kernel and the experiment sweeps are embarrassingly parallel. This
+//! crate provides the one thing rayon cannot promise anyway: parallel
+//! primitives whose results are **bit-identical at any thread count**,
+//! including 1 — so the committed `results/*.json` stay byte-for-byte
+//! stable whether a figure is regenerated on a laptop core or a 64-way
+//! node.
+//!
+//! Determinism comes from two rules:
+//!
+//! * **Fixed decomposition** — work is split into chunks whose boundaries
+//!   depend only on the input length and chunk size, never on the thread
+//!   count or timing.
+//! * **Fixed merge order** — per-chunk partial results are identified by
+//!   chunk index and merged in ascending index order on the calling
+//!   thread. Floating-point reduction order is therefore a pure function
+//!   of the input.
+//!
+//! The pool is sized by `POLIMER_THREADS` (defaulting to
+//! [`std::thread::available_parallelism`]); `POLIMER_THREADS=1` makes
+//! every primitive take its serial path. Threads are spawned with
+//! [`std::thread::scope`], so closures may borrow from the caller's stack
+//! and worker panics propagate to the caller.
+//!
+//! Nested use is *rejected*: a `par_*` call made while the same pool is
+//! already executing one (from a worker closure, or from a second thread)
+//! runs serially instead of spawning. Results are unaffected — that is
+//! the whole point of the determinism rules — and the alternative
+//! (recursive thread explosion or a deadlock-prone queue) buys nothing
+//! for the flat fan-outs this workspace needs.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bound on pool width; guards absurd `POLIMER_THREADS` values.
+pub const MAX_THREADS: usize = 256;
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Resolve a thread count from the contents of `POLIMER_THREADS`.
+///
+/// Unset, empty, unparsable or zero values fall back to
+/// [`std::thread::available_parallelism`] (or 1 if even that is unknown).
+pub fn threads_from_env(value: Option<&str>) -> usize {
+    match value.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(MAX_THREADS),
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()).min(MAX_THREADS),
+    }
+}
+
+/// The process-wide pool, sized once from `POLIMER_THREADS`.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        Pool::new(threads_from_env(std::env::var("POLIMER_THREADS").ok().as_deref()))
+    })
+}
+
+/// Run `f` with every [`global`] pool operation *on this thread* forced to
+/// `threads` workers. Used by determinism tests (`1` vs `8` must agree
+/// bit-for-bit) and by drivers that want a serial inner loop under a
+/// parallel outer sweep. Nestable; the previous override is restored even
+/// if `f` panics.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads >= 1, "thread override must be >= 1");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(threads.min(MAX_THREADS)))));
+    f()
+}
+
+/// A reusable worker-pool policy: how wide to fan out, plus the busy flag
+/// that rejects nested use. Workers themselves are scoped threads spawned
+/// per parallel region — there is no persistent thread to leak or to keep
+/// non-`'static` borrows alive across calls.
+#[derive(Debug)]
+pub struct Pool {
+    threads: usize,
+    active: AtomicBool,
+}
+
+/// Clears the busy flag even when a worker panic unwinds through the pool.
+struct ActiveGuard<'p>(&'p Pool);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.store(false, Ordering::Release);
+    }
+}
+
+impl Pool {
+    /// A pool that fans out to `threads` workers (must be >= 1).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one thread");
+        Pool { threads: threads.min(MAX_THREADS), active: AtomicBool::new(false) }
+    }
+
+    /// Configured width (ignores any [`with_threads`] override).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Width in effect for calls from this thread: the [`with_threads`]
+    /// override if one is installed, the configured width otherwise.
+    pub fn effective_threads(&self) -> usize {
+        THREAD_OVERRIDE.with(|c| c.get()).unwrap_or(self.threads)
+    }
+
+    /// True while a parallel region is executing on this pool. A `par_*`
+    /// call finding the pool busy runs serially (nested-use rejection).
+    pub fn is_busy(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Try to claim the pool for one parallel region.
+    fn try_begin(&self) -> bool {
+        !self.active.swap(true, Ordering::Acquire)
+    }
+
+    /// Deterministic chunked fold: split `items` into `chunk_size`-sized
+    /// chunks, compute `map(chunk_index, chunk)` for each (in parallel),
+    /// and combine the partials with `fold` in ascending chunk order.
+    ///
+    /// Chunk boundaries depend only on `items.len()` and `chunk_size`, and
+    /// the merge order is fixed, so the result is bit-identical at any
+    /// thread count. Returns `None` for empty input.
+    pub fn par_chunks_fold<T, A>(
+        &self,
+        items: &[T],
+        chunk_size: usize,
+        map: impl Fn(usize, &[T]) -> A + Sync,
+        mut fold: impl FnMut(A, A) -> A,
+    ) -> Option<A>
+    where
+        T: Sync,
+        A: Send,
+    {
+        assert!(chunk_size >= 1, "chunk_size must be >= 1");
+        let n_chunks = items.len().div_ceil(chunk_size);
+        let threads = self.effective_threads().min(n_chunks);
+        if threads <= 1 || !self.try_begin() {
+            return items.chunks(chunk_size).enumerate().map(|(ci, c)| map(ci, c)).reduce(fold);
+        }
+        let _guard = ActiveGuard(self);
+
+        let next = AtomicUsize::new(0);
+        let mut parts: Vec<(usize, A)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let ci = next.fetch_add(1, Ordering::Relaxed);
+                            if ci >= n_chunks {
+                                break;
+                            }
+                            let lo = ci * chunk_size;
+                            let hi = (lo + chunk_size).min(items.len());
+                            local.push((ci, map(ci, &items[lo..hi])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut parts = Vec::with_capacity(n_chunks);
+            for h in handles {
+                match h.join() {
+                    Ok(local) => parts.extend(local),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            parts
+        });
+        parts.sort_unstable_by_key(|&(ci, _)| ci);
+        parts.into_iter().map(|(_, a)| a).reduce(&mut fold)
+    }
+
+    /// Fill `out` in place: `fill(start_index, chunk)` is invoked for each
+    /// `chunk_size`-sized chunk of `out` (in parallel), where
+    /// `start_index` is the chunk's offset into `out`. Chunks are disjoint
+    /// `&mut` slices, so every element is written by exactly one worker
+    /// and the result is independent of scheduling.
+    pub fn par_fill<R: Send>(
+        &self,
+        out: &mut [R],
+        chunk_size: usize,
+        fill: impl Fn(usize, &mut [R]) + Sync,
+    ) {
+        assert!(chunk_size >= 1, "chunk_size must be >= 1");
+        if out.is_empty() {
+            return;
+        }
+        let n_chunks = out.len().div_ceil(chunk_size);
+        let threads = self.effective_threads().min(n_chunks);
+        if threads <= 1 || !self.try_begin() {
+            for (ci, chunk) in out.chunks_mut(chunk_size).enumerate() {
+                fill(ci * chunk_size, chunk);
+            }
+            return;
+        }
+        let _guard = ActiveGuard(self);
+
+        // Work queue of disjoint output chunks; popped LIFO, which is fine
+        // because each item carries its own start index.
+        let queue: Mutex<Vec<(usize, &mut [R])>> = Mutex::new(
+            out.chunks_mut(chunk_size).enumerate().map(|(ci, c)| (ci * chunk_size, c)).collect(),
+        );
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        loop {
+                            // Lock only to pop; `fill` runs outside it.
+                            let item = queue.lock().unwrap().pop();
+                            match item {
+                                Some((start, chunk)) => fill(start, chunk),
+                                None => break,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+
+    /// Compute `f(0..len)` in parallel, returning results slotted by
+    /// index: `out[i] == f(i)` regardless of which worker ran `i`. The
+    /// per-item closure should be coarse (a whole trial, a whole cell);
+    /// items are batched internally to keep queue traffic low.
+    pub fn par_map_indexed<R: Send>(
+        &self,
+        len: usize,
+        f: impl Fn(usize) -> R + Sync,
+    ) -> Vec<R> {
+        let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+        let threads = self.effective_threads().max(1);
+        let chunk = len.div_ceil(threads * 4).max(1);
+        self.par_fill(&mut slots, chunk, |start, out| {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = Some(f(start + k));
+            }
+        });
+        slots.into_iter().map(|s| s.expect("par_fill visits every slot")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_fold_matches_serial_reference() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let pool = Pool::new(7);
+        let total = pool
+            .par_chunks_fold(&items, 64, |_, c| c.iter().sum::<u64>(), |a, b| a + b)
+            .unwrap();
+        assert_eq!(total, items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn chunks_fold_f64_bit_identical_across_thread_counts() {
+        // Values chosen so the reduction order matters: naive left-to-right
+        // over items differs from chunked partials, and different chunk
+        // *groupings* differ from each other. Fixed-size chunks merged in
+        // index order must erase the thread count entirely.
+        let items: Vec<f64> =
+            (0..50_000).map(|i| ((i * 2654435761_u64) as f64).sqrt() * 1e-3 + 1e9).collect();
+        let sum_with = |threads: usize| {
+            Pool::new(threads)
+                .par_chunks_fold(&items, 512, |_, c| c.iter().sum::<f64>(), |a, b| a + b)
+                .unwrap()
+        };
+        let serial = sum_with(1);
+        for threads in [2, 3, 8, 61] {
+            assert_eq!(serial.to_bits(), sum_with(threads).to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_fold_empty_and_single_chunk() {
+        let pool = Pool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_chunks_fold(&empty, 8, |_, c| c.len(), |a, b| a + b).is_none());
+        let one = [1u32, 2, 3];
+        assert_eq!(pool.par_chunks_fold(&one, 8, |_, c| c.len(), |a, b| a + b), Some(3));
+    }
+
+    #[test]
+    fn map_indexed_slots_by_index() {
+        let pool = Pool::new(5);
+        let out = pool.par_map_indexed(1000, |i| i * i);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn fill_writes_every_slot_once() {
+        let pool = Pool::new(4);
+        let mut out = vec![0u32; 999];
+        pool.par_fill(&mut out, 10, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (start + k) as u32 + 1;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..1000).collect();
+        let result = std::panic::catch_unwind(|| {
+            pool.par_chunks_fold(
+                &items,
+                16,
+                |ci, _| {
+                    assert!(ci != 31, "injected failure");
+                    0u32
+                },
+                |a, b| a + b,
+            )
+        });
+        assert!(result.is_err(), "worker panic must unwind into the caller");
+        assert!(!pool.is_busy(), "busy flag must clear after a panicking region");
+    }
+
+    #[test]
+    fn fill_panic_propagates_and_clears_busy() {
+        let pool = Pool::new(3);
+        let mut out = vec![0u8; 256];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.par_fill(&mut out, 8, |start, _| assert!(start != 64, "injected failure"));
+        }));
+        assert!(result.is_err());
+        assert!(!pool.is_busy());
+    }
+
+    #[test]
+    fn nested_use_is_rejected_not_deadlocked() {
+        let pool = Pool::new(4);
+        // From inside a parallel region, further pool calls must complete
+        // serially (no new spawn wave) and still produce correct results.
+        let inner: Vec<u64> = (0..256).collect();
+        let out = pool.par_map_indexed(8, |i| {
+            assert!(pool.is_busy(), "outer region should hold the pool");
+            let s = pool
+                .par_chunks_fold(&inner, 16, |_, c| c.iter().sum::<u64>(), |a, b| a + b)
+                .unwrap();
+            s + i as u64
+        });
+        let base: u64 = inner.iter().sum();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, base + i as u64);
+        }
+        assert!(!pool.is_busy());
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let pool = Pool::new(6);
+        assert_eq!(pool.effective_threads(), 6);
+        with_threads(2, || {
+            assert_eq!(pool.effective_threads(), 2);
+            with_threads(1, || assert_eq!(pool.effective_threads(), 1));
+            assert_eq!(pool.effective_threads(), 2);
+        });
+        assert_eq!(pool.effective_threads(), 6);
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        let pool = Pool::new(6);
+        let _ = std::panic::catch_unwind(|| with_threads(3, || panic!("boom")));
+        assert_eq!(pool.effective_threads(), 6);
+    }
+
+    #[test]
+    fn env_parsing_rules() {
+        assert_eq!(threads_from_env(Some("4")), 4);
+        assert_eq!(threads_from_env(Some(" 12 ")), 12);
+        assert_eq!(threads_from_env(Some("100000")), MAX_THREADS);
+        let default = threads_from_env(None);
+        assert!(default >= 1);
+        assert_eq!(threads_from_env(Some("0")), default);
+        assert_eq!(threads_from_env(Some("nope")), default);
+        assert_eq!(threads_from_env(Some("")), default);
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let out = global().par_map_indexed(32, |i| i + 1);
+        assert_eq!(out[31], 32);
+    }
+}

@@ -16,9 +16,18 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> determinism: fault_sweep twice, byte-identical JSON"
 a="$(mktemp -d)"
 b="$(mktemp -d)"
-trap 'rm -rf "$a" "$b"' EXIT
+c="$(mktemp -d)"
+trap 'rm -rf "$a" "$b" "$c"' EXIT
 SEESAW_RESULTS_DIR="$a" ./target/release/fault_sweep --quick >/dev/null
 SEESAW_RESULTS_DIR="$b" ./target/release/fault_sweep --quick >/dev/null
 diff "$a/fault_sweep.json" "$b/fault_sweep.json"
 
-echo "OK: build + tests green, clippy clean, fault_sweep deterministic"
+echo "==> parallel determinism: fault_sweep at POLIMER_THREADS=4 vs committed JSON"
+SEESAW_RESULTS_DIR="$c" POLIMER_THREADS=4 ./target/release/fault_sweep >/dev/null
+diff "$c/fault_sweep.json" results/fault_sweep.json
+
+echo "==> kernel speedup record: md_kernels serial-vs-parallel bench"
+SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench md_kernels -- --quick
+test -s "$c/BENCH_kernels.json"
+
+echo "OK: build + tests green, clippy clean, sweeps thread-count invariant"

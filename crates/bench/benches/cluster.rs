@@ -34,9 +34,7 @@ fn bench_node_phase() {
     let mut cluster = Cluster::noiseless(machine.clone(), 1, CapMode::Long, 110.0);
     let mut t = SimTime::ZERO;
     report("node_run_phase", 50_000, |_| {
-        t = cluster
-            .node_mut(0)
-            .run_phase(&machine, t, Work::new(PhaseKind::Force, 0.001), 1.0);
+        t = cluster.node_mut(0).run_phase(&machine, t, Work::new(PhaseKind::Force, 0.001), 1.0);
         black_box(t);
     });
 }

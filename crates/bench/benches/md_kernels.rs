@@ -151,7 +151,7 @@ fn bench_parallel_speedup() -> Vec<KernelRow> {
             r.kernel, r.atoms, r.serial_us, r.threads, r.parallel_us, r.speedup
         );
     }
-    bench::write_json("BENCH_kernels", &rows);
+    bench::write_json(&obs::Reporter::default(), "BENCH_kernels", &rows);
     rows
 }
 

@@ -1,0 +1,106 @@
+//! Tracing-overhead micro-benchmark (Fig. 9-style, for the `obs` layer).
+//!
+//! Runs the same fixed-seed job with tracing off, tracing on, and tracing
+//! on plus both serializations (JSONL + Chrome trace), and reports the
+//! median wall time of each. The untraced path branches on `None` at every
+//! seam, so "off" is production cost; the off→on gap is the price of
+//! *enabled* tracing (divide by the event count for ns/event — the number
+//! DESIGN.md quotes), and "on+export" adds both serializations. Results
+//! land in `results/BENCH_trace.json`.
+//!
+//! Plain timing harness (`harness = false`): the offline build carries no
+//! criterion.
+
+use insitu::{run_job, run_job_traced, JobConfig};
+use mdsim::workload::WorkloadSpec;
+use mdsim::AnalysisKind as K;
+use obs::Tracer;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Row {
+    mode: String,
+    nodes: u64,
+    steps: u64,
+    events: u64,
+    median_ms: f64,
+    overhead_pct: f64,
+}
+bench::json_struct!(Row { mode, nodes, steps, events, median_ms, overhead_pct });
+
+fn cfg(nodes: usize, steps: u64) -> JobConfig {
+    let mut spec = WorkloadSpec::paper(16, nodes, 1, &[K::Rdf, K::Vacf]);
+    spec.total_steps = steps;
+    JobConfig::new(spec, "seesaw")
+}
+
+/// Median wall time of `passes` runs of `f`, in milliseconds.
+fn median_ms(passes: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..passes)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let rep = obs::Reporter::default();
+    let quick = bench::quick_mode();
+    let (nodes, steps, passes) = if quick { (8, 40, 3) } else { (32, 120, 5) };
+
+    let off_ms = median_ms(passes, || {
+        black_box(run_job(cfg(nodes, steps)).expect("known controller"));
+    });
+    let on_ms = median_ms(passes, || {
+        let tracer = Tracer::enabled();
+        black_box(run_job_traced(cfg(nodes, steps), &tracer).expect("known controller"));
+    });
+    let mut events = 0u64;
+    let export_ms = median_ms(passes, || {
+        let tracer = Tracer::enabled();
+        black_box(run_job_traced(cfg(nodes, steps), &tracer).expect("known controller"));
+        black_box(tracer.to_jsonl());
+        black_box(obs::chrome_trace(&tracer.events()));
+        events = tracer.len() as u64;
+    });
+
+    let pct = |ms: f64| (ms / off_ms - 1.0) * 100.0;
+    let rows = vec![
+        Row {
+            mode: "off".to_string(),
+            nodes: nodes as u64,
+            steps,
+            events: 0,
+            median_ms: off_ms,
+            overhead_pct: 0.0,
+        },
+        Row {
+            mode: "on".to_string(),
+            nodes: nodes as u64,
+            steps,
+            events,
+            median_ms: on_ms,
+            overhead_pct: pct(on_ms),
+        },
+        Row {
+            mode: "on+export".to_string(),
+            nodes: nodes as u64,
+            steps,
+            events,
+            median_ms: export_ms,
+            overhead_pct: pct(export_ms),
+        },
+    ];
+    for r in &rows {
+        println!(
+            "trace_overhead/{:10} {:>4} nodes {:>4} steps  {:>9.2} ms  ({:+6.2} %, {} events)",
+            r.mode, r.nodes, r.steps, r.median_ms, r.overhead_pct, r.events
+        );
+    }
+    bench::write_json(&rep, "BENCH_trace", &rows);
+}

@@ -9,7 +9,7 @@
 //! * **sharing mode** — space-shared (the paper's setting) vs time-shared
 //!   vs per-half-socket co-located execution of the same workload (§III).
 
-use bench::{print_table, total_steps, write_json};
+use bench::{cli, print_table, total_steps, write_json};
 use insitu::{
     improvement_pct, paired_improvement, run_colocated, run_job, run_time_shared, JobConfig,
     Runtime,
@@ -32,11 +32,15 @@ fn spec(dim: u32, nodes: usize, kinds: &[K]) -> WorkloadSpec {
 }
 
 fn main() {
+    let args = cli::CommonArgs::parse("ablation");
+    let rep = args.reporter();
     let mut rows = Vec::new();
-    let nodes = if bench::quick_mode() { 32 } else { 128 };
+    let nodes = if args.quick { 32 } else { 128 };
 
     // --- Eq. 4: literal vs blended EWMA, noisy MSD workload.
-    for (label, mode) in [("paper-literal", EwmaMode::PaperLiteral), ("blend-previous", EwmaMode::BlendPrevious)] {
+    for (label, mode) in
+        [("paper-literal", EwmaMode::PaperLiteral), ("blend-previous", EwmaMode::BlendPrevious)]
+    {
         let s = spec(16, nodes, &[K::MsdFull]);
         let cfg = JobConfig::new(s, "seesaw");
         // Run with the requested EWMA by building the runtime manually.
@@ -75,9 +79,12 @@ fn main() {
     for kinds in [vec![K::Vacf], vec![K::MsdFull]] {
         let label = kinds[0];
         let dim = if label == K::MsdFull { 16 } else { 36 };
-        let base = run_job(JobConfig::new(spec(dim, nodes, &kinds), "static")).expect("known controller");
-        let see = run_job(JobConfig::new(spec(dim, nodes, &kinds), "seesaw").with_seed(1, 1)).expect("known controller");
-        let ts = run_time_shared(JobConfig::new(spec(dim, nodes, &kinds), "static").with_seed(1, 2));
+        let base =
+            run_job(JobConfig::new(spec(dim, nodes, &kinds), "static")).expect("known controller");
+        let see = run_job(JobConfig::new(spec(dim, nodes, &kinds), "seesaw").with_seed(1, 1))
+            .expect("known controller");
+        let ts =
+            run_time_shared(JobConfig::new(spec(dim, nodes, &kinds), "static").with_seed(1, 2));
         rows.push(Row {
             study: "sharing-mode",
             variant: format!("{}: space-shared seesaw", label.name()),
@@ -88,8 +95,8 @@ fn main() {
             variant: format!("{}: time-shared", label.name()),
             improvement_pct: improvement_pct(base.total_time_s, ts.total_time_s),
         });
-        let co =
-            run_colocated(JobConfig::new(spec(dim, nodes, &kinds), "seesaw").with_seed(1, 3)).expect("known controller");
+        let co = run_colocated(JobConfig::new(spec(dim, nodes, &kinds), "seesaw").with_seed(1, 3))
+            .expect("known controller");
         rows.push(Row {
             study: "sharing-mode",
             variant: format!("{}: co-located seesaw", label.name()),
@@ -97,8 +104,10 @@ fn main() {
         });
     }
 
-    println!("Ablations ({} nodes, improvement vs space-shared static)\n", nodes);
+    rep.say(format!("Ablations ({} nodes, improvement vs space-shared static)", nodes));
+    rep.blank();
     print_table(
+        &rep,
         &["study", "variant", "improvement %"],
         &rows
             .iter()
@@ -107,5 +116,6 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    write_json("ablation", &rows);
+    write_json(&rep, "ablation", &rows);
+    cli::export_trace(&args, &rep, &JobConfig::new(spec(16, nodes, &[K::MsdFull]), "seesaw"));
 }

@@ -9,10 +9,8 @@
 //! controller's resilience, not its luck. Output is deterministic:
 //! `scripts/verify.sh` runs this binary twice and diffs the JSON.
 
-use bench::{print_table, total_steps, write_json};
-use insitu::{
-    improvement_pct, run_job, FaultIntensity, FaultPlan, JobConfig, RunResult,
-};
+use bench::{cli, print_table, total_steps, write_json};
+use insitu::{improvement_pct, run_job, FaultIntensity, FaultPlan, JobConfig, RunResult};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
 
@@ -46,11 +44,10 @@ fn run_with_plan(cfg: &JobConfig, controller: &str, run_seed_bump: u64) -> RunRe
 }
 
 fn main() {
-    let intensities: &[f64] = if bench::quick_mode() {
-        &[0.0, 0.5, 1.0]
-    } else {
-        &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0]
-    };
+    let args = cli::CommonArgs::parse("fault_sweep");
+    let rep = args.reporter();
+    let intensities: &[f64] =
+        if args.quick { &[0.0, 0.5, 1.0] } else { &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0] };
     let mut spec = WorkloadSpec::paper(16, 8, 1, &[K::Vacf]);
     spec.total_steps = total_steps();
     let nodes = spec.nodes_total();
@@ -62,10 +59,8 @@ fn main() {
     // PLAN_SEED and its own intensity, so results depend only on the task
     // index — the rows assembled below (in intensity order) are
     // byte-identical to the serial sweep at any thread count.
-    let tasks: Vec<(f64, &str, u64)> = intensities
-        .iter()
-        .flat_map(|&x| [(x, "seesaw", 0u64), (x, "static", 1u64)])
-        .collect();
+    let tasks: Vec<(f64, &str, u64)> =
+        intensities.iter().flat_map(|&x| [(x, "seesaw", 0u64), (x, "static", 1u64)]).collect();
     let results = par::global().par_map_indexed(tasks.len(), |t| {
         let (x, controller, bump) = tasks[t];
         let plan = FaultPlan::generate(PLAN_SEED, &FaultIntensity::scaled(x), nodes, syncs);
@@ -90,8 +85,10 @@ fn main() {
         });
     }
 
-    println!("Fault sweep — SeeSAw vs static under injected faults, 8 nodes, dim 16\n");
+    rep.say("Fault sweep — SeeSAw vs static under injected faults, 8 nodes, dim 16");
+    rep.blank();
     print_table(
+        &rep,
         &["intensity", "faults", "recoveries", "kinds", "seesaw s", "static s", "improvement %"],
         &rows
             .iter()
@@ -108,15 +105,17 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    println!("\nAt intensity 0 the run is byte-identical to the fault-free path; as");
-    println!("intensity rises both runs degrade under the same plan and the retained");
-    println!("improvement shows how gracefully the controller's feedback loop fails.");
+    rep.blank();
+    rep.say("At intensity 0 the run is byte-identical to the fault-free path; as");
+    rep.say("intensity rises both runs degrade under the same plan and the retained");
+    rep.say("improvement shows how gracefully the controller's feedback loop fails.");
     let series = bench::svg::Series::new(
         "improvement retained",
         "#d62728",
         rows.iter().map(|r| (r.intensity, r.improvement_pct)).collect(),
     );
     bench::svg::write_svg(
+        &rep,
         "fault_sweep",
         &bench::svg::line_chart(
             "Fault sweep — SeeSAw improvement vs fault intensity",
@@ -125,5 +124,11 @@ fn main() {
             &[series],
         ),
     );
-    write_json("fault_sweep", &rows);
+    write_json(&rep, "fault_sweep", &rows);
+
+    // Representative traced run (max intensity), after the sweep so the
+    // sweep's JSON stays byte-identical whether or not tracing is on.
+    let x = *intensities.last().expect("non-empty sweep");
+    let plan = FaultPlan::generate(PLAN_SEED, &FaultIntensity::scaled(x), nodes, syncs);
+    cli::export_trace(&args, &rep, &base_cfg.clone().with_faults(plan));
 }

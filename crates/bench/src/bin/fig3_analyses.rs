@@ -5,7 +5,7 @@
 //! * (b) scale study at 256/512/1024 nodes for full MSD, all analyses,
 //!   and VACF.
 
-use bench::{print_table, repetitions, total_steps, write_json};
+use bench::{cli, print_table, repetitions, total_steps, write_json};
 use insitu::{median_improvement, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
@@ -59,19 +59,25 @@ fn measure(
 }
 
 fn main() {
+    let args = cli::CommonArgs::parse("fig3_analyses");
+    let rep = args.reporter();
     let mut rows = Vec::new();
 
     for (name, dim, kinds) in workloads_a() {
         measure("a", name, dim, &kinds, 128, &mut rows);
     }
-    let scales: &[usize] = if bench::quick_mode() { &[256] } else { &[256, 512, 1024] };
+    let scales: &[usize] = if args.quick { &[256] } else { &[256, 512, 1024] };
     for &nodes in scales {
         for (name, dim, kinds) in workloads_b() {
             measure("b", name, dim, &kinds, nodes, &mut rows);
         }
     }
 
-    println!("Fig. 3a — % improvement over static, 128 nodes (median of {})\n", repetitions());
+    rep.say(format!(
+        "Fig. 3a — % improvement over static, 128 nodes (median of {})",
+        repetitions()
+    ));
+    rep.blank();
     let tab = |panel: &str| {
         rows.iter()
             .filter(|r| r.panel == panel)
@@ -86,11 +92,14 @@ fn main() {
             })
             .collect::<Vec<_>>()
     };
-    print_table(&["workload", "nodes", "dim", "controller", "improvement %"], &tab("a"));
-    println!("\nFig. 3b — scale study\n");
-    print_table(&["workload", "nodes", "dim", "controller", "improvement %"], &tab("b"));
-    println!("\npaper reference: power-aware slows LAMMPS in all cases (up to ~25%);");
-    println!("time-aware −60…+13%; SeeSAw +4…30%, ahead of time-aware on full MSD.");
+    print_table(&rep, &["workload", "nodes", "dim", "controller", "improvement %"], &tab("a"));
+    rep.blank();
+    rep.say("Fig. 3b — scale study");
+    rep.blank();
+    print_table(&rep, &["workload", "nodes", "dim", "controller", "improvement %"], &tab("b"));
+    rep.blank();
+    rep.say("paper reference: power-aware slows LAMMPS in all cases (up to ~25%);");
+    rep.say("time-aware −60…+13%; SeeSAw +4…30%, ahead of time-aware on full MSD.");
     let color = |c: &str| match c {
         "seesaw" => "#1f77b4",
         "time-aware" => "#d62728",
@@ -108,6 +117,7 @@ fn main() {
         })
         .collect();
     bench::svg::write_svg(
+        &rep,
         "fig3_analyses",
         &bench::svg::bar_chart(
             "Fig. 3a — improvement over static, 128 nodes (blue seesaw, red time-aware, green power-aware)",
@@ -115,5 +125,8 @@ fn main() {
             &bars,
         ),
     );
-    write_json("fig3_analyses", &rows);
+    write_json(&rep, "fig3_analyses", &rows);
+    let mut spec = WorkloadSpec::paper(16, 128, 1, &[K::MsdFull]);
+    spec.total_steps = total_steps();
+    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw"));
 }

@@ -3,7 +3,7 @@
 //! under SeeSAw (a), time-aware (b) and power-aware (c); plus the static
 //! baseline's per-interval time and power for the first 10 syncs (d, e).
 
-use bench::{print_table, total_steps, write_json};
+use bench::{cli, print_table, total_steps, write_json};
 use insitu::{run_job, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind;
@@ -17,7 +17,15 @@ struct AllocPoint {
     analysis_power_w: f64,
     slack: f64,
 }
-bench::json_struct!(AllocPoint { controller, sync, sim_cap_w, analysis_cap_w, sim_power_w, analysis_power_w, slack });
+bench::json_struct!(AllocPoint {
+    controller,
+    sync,
+    sim_cap_w,
+    analysis_cap_w,
+    sim_power_w,
+    analysis_power_w,
+    slack
+});
 
 struct BaselinePoint {
     sync: u64,
@@ -26,7 +34,13 @@ struct BaselinePoint {
     sim_power_w: f64,
     analysis_power_w: f64,
 }
-bench::json_struct!(BaselinePoint { sync, sim_time_s, analysis_time_s, sim_power_w, analysis_power_w });
+bench::json_struct!(BaselinePoint {
+    sync,
+    sim_time_s,
+    analysis_time_s,
+    sim_power_w,
+    analysis_power_w
+});
 
 fn spec() -> WorkloadSpec {
     let mut s = WorkloadSpec::paper(16, 128, 1, &[AnalysisKind::MsdFull]);
@@ -35,6 +49,8 @@ fn spec() -> WorkloadSpec {
 }
 
 fn main() {
+    let args = cli::CommonArgs::parse("fig4_power_alloc");
+    let rep = args.reporter();
     let mut alloc_points = Vec::new();
     let mut summary = Vec::new();
     for ctl in ["seesaw", "time-aware", "power-aware"] {
@@ -61,20 +77,29 @@ fn main() {
         ]);
     }
 
-    println!("Fig. 4 — LAMMPS + full MSD, 128 nodes, dim 16, j = 1, w = 1\n");
-    println!("Per-sync power allocation (every 10th sync shown):\n");
+    rep.say("Fig. 4 — LAMMPS + full MSD, 128 nodes, dim 16, j = 1, w = 1");
+    rep.blank();
+    rep.say("Per-sync power allocation (every 10th sync shown):");
+    rep.blank();
     for ctl in ["seesaw", "time-aware", "power-aware"] {
-        println!("  {ctl}:");
-        for p in alloc_points.iter().filter(|p| p.controller == ctl && (p.sync <= 5 || p.sync % 10 == 0)).take(20) {
-            println!(
+        rep.say(format!("  {ctl}:"));
+        for p in alloc_points
+            .iter()
+            .filter(|p| p.controller == ctl && (p.sync <= 5 || p.sync % 10 == 0))
+            .take(20)
+        {
+            rep.say(format!(
                 "    sync {:3}: caps S {:5.1} / A {:5.1} W   measured S {:5.1} / A {:5.1} W   slack {:4.1} %",
                 p.sync, p.sim_cap_w, p.analysis_cap_w, p.sim_power_w, p.analysis_power_w, p.slack * 100.0
-            );
+            ));
         }
     }
 
-    println!("\nEnd-state summary:\n");
+    rep.blank();
+    rep.say("End-state summary:");
+    rep.blank();
     print_table(
+        &rep,
         &["controller", "sim cap W", "analysis cap W", "slack (sync ≥ 10)", "total s"],
         &summary,
     );
@@ -93,8 +118,11 @@ fn main() {
             analysis_power_w: s.analysis_power_w,
         })
         .collect();
-    println!("\nBaseline (static 110 W) first 10 syncs — paper panels (d)/(e):\n");
+    rep.blank();
+    rep.say("Baseline (static 110 W) first 10 syncs — paper panels (d)/(e):");
+    rep.blank();
     print_table(
+        &rep,
         &["sync", "sim t (s)", "analysis t (s)", "sim W/node", "analysis W/node"],
         &baseline
             .iter()
@@ -109,11 +137,16 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    println!("\npaper reference: SeeSAw settles within ~20 syncs giving analysis more");
-    println!("power, slack ≈ 0.8%; time-aware moves the wrong way early and cannot");
-    println!("return; power-aware slack fluctuates 0.2–40%.");
+    rep.blank();
+    rep.say("paper reference: SeeSAw settles within ~20 syncs giving analysis more");
+    rep.say("power, slack ≈ 0.8%; time-aware moves the wrong way early and cannot");
+    rep.say("return; power-aware slack fluctuates 0.2–40%.");
 
-    let colors = [("seesaw", "#1f77b4", "#9ecae1"), ("time-aware", "#d62728", "#ff9896"), ("power-aware", "#2ca02c", "#98df8a")];
+    let colors = [
+        ("seesaw", "#1f77b4", "#9ecae1"),
+        ("time-aware", "#d62728", "#ff9896"),
+        ("power-aware", "#2ca02c", "#98df8a"),
+    ];
     let mut series = Vec::new();
     for (ctl, sim_color, ana_color) in colors {
         let pick = |f: fn(&AllocPoint) -> f64| -> Vec<(f64, f64)> {
@@ -124,9 +157,14 @@ fn main() {
                 .collect()
         };
         series.push(bench::svg::Series::new(&format!("{ctl} S"), sim_color, pick(|p| p.sim_cap_w)));
-        series.push(bench::svg::Series::new(&format!("{ctl} A"), ana_color, pick(|p| p.analysis_cap_w)));
+        series.push(bench::svg::Series::new(
+            &format!("{ctl} A"),
+            ana_color,
+            pick(|p| p.analysis_cap_w),
+        ));
     }
     bench::svg::write_svg(
+        &rep,
         "fig4_power_alloc",
         &bench::svg::line_chart(
             "Fig. 4 — per-node power allocation, full MSD, 128 nodes",
@@ -135,6 +173,9 @@ fn main() {
             &series,
         ),
     );
-    write_json("fig4_power_alloc", &alloc_points);
-    write_json("fig4_baseline", &baseline);
+    write_json(&rep, "fig4_power_alloc", &alloc_points);
+    write_json(&rep, "fig4_baseline", &baseline);
+    // Representative traced run: the SeeSAw configuration of panel (a) —
+    // its Perfetto export shows the per-node cap and phase lanes.
+    cli::export_trace(&args, &rep, &JobConfig::new(spec(), "seesaw"));
 }

@@ -3,7 +3,7 @@
 //! normalized slack — the paper's demonstration that low time difference
 //! at low power is not an energy-efficient state.
 
-use bench::{print_table, total_steps, write_json};
+use bench::{cli, print_table, total_steps, write_json};
 use insitu::{run_job, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
@@ -17,10 +17,20 @@ struct Point {
     analysis_measured_w: f64,
     slack: f64,
 }
-bench::json_struct!(Point { controller, sync, sim_cap_w, sim_measured_w, analysis_cap_w, analysis_measured_w, slack });
+bench::json_struct!(Point {
+    controller,
+    sync,
+    sim_cap_w,
+    sim_measured_w,
+    analysis_cap_w,
+    analysis_measured_w,
+    slack
+});
 
 fn main() {
-    let nodes = if bench::quick_mode() { 128 } else { 1024 };
+    let args = cli::CommonArgs::parse("fig5_scale");
+    let rep = args.reporter();
+    let nodes = if args.quick { 128 } else { 1024 };
     let mut spec = WorkloadSpec::paper(48, nodes, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
     spec.total_steps = total_steps();
 
@@ -46,11 +56,10 @@ fn main() {
                 slack: s.slack,
             });
         }
-        let tail: Vec<&Point> = points
-            .iter()
-            .filter(|p| p.controller == ctl && p.sync >= 10)
-            .collect();
-        let mean = |f: fn(&Point) -> f64| tail.iter().map(|p| f(p)).sum::<f64>() / tail.len() as f64;
+        let tail: Vec<&Point> =
+            points.iter().filter(|p| p.controller == ctl && p.sync >= 10).collect();
+        let mean =
+            |f: fn(&Point) -> f64| tail.iter().map(|p| f(p)).sum::<f64>() / tail.len() as f64;
         summary.push(vec![
             ctl.to_string(),
             format!("{:.1}", mean(|p| p.sim_cap_w)),
@@ -62,22 +71,18 @@ fn main() {
         ]);
     }
 
-    println!("Fig. 5 — allocated vs measured power, {nodes} nodes, all analyses, dim 48\n");
+    rep.say(format!("Fig. 5 — allocated vs measured power, {nodes} nodes, all analyses, dim 48"));
+    rep.blank();
     print_table(
-        &[
-            "controller",
-            "S cap W",
-            "S measured W",
-            "A cap W",
-            "A measured W",
-            "slack",
-            "total s",
-        ],
+        &rep,
+        &["controller", "S cap W", "S measured W", "A cap W", "A measured W", "slack", "total s"],
         &summary,
     );
-    println!("\npaper reference: SeeSAw allocates more power to analysis; simulation");
-    println!("at scale has lower power utilization (measured < allocated). The");
-    println!("time-aware approach drives the gap to δ_min and degrades severely even");
-    println!("though its normalized slack looks near zero.");
-    write_json("fig5_scale", &points);
+    rep.blank();
+    rep.say("paper reference: SeeSAw allocates more power to analysis; simulation");
+    rep.say("at scale has lower power utilization (measured < allocated). The");
+    rep.say("time-aware approach drives the gap to δ_min and degrades severely even");
+    rep.say("though its normalized slack looks near zero.");
+    write_json(&rep, "fig5_scale", &points);
+    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw"));
 }

@@ -5,7 +5,7 @@
 //! reallocation; `1 < w < 10` damps over-reaction when syncs are frequent;
 //! with infrequent syncs (large `j`), allocate as often as possible.
 
-use bench::{print_table, total_steps, write_json};
+use bench::{cli, print_table, total_steps, write_json};
 use insitu::{paired_improvement, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
@@ -18,9 +18,11 @@ struct Row {
 bench::json_struct!(Row { j, w, improvement_pct });
 
 fn main() {
-    let nodes = if bench::quick_mode() { 64 } else { 1024 };
-    let js: &[u64] = if bench::quick_mode() { &[1, 5] } else { &[1, 5, 10, 20] };
-    let ws: &[usize] = if bench::quick_mode() { &[1, 2] } else { &[1, 2, 5, 10] };
+    let args = cli::CommonArgs::parse("fig6_sensitivity");
+    let rep = args.reporter();
+    let nodes = if args.quick { 64 } else { 1024 };
+    let js: &[u64] = if args.quick { &[1, 5] } else { &[1, 5, 10, 20] };
+    let ws: &[usize] = if args.quick { &[1, 2] } else { &[1, 2, 5, 10] };
 
     // Flatten the j × w grid into one task list and dispatch it across
     // the worker pool; par_map_indexed slots each Row by its grid index,
@@ -36,7 +38,8 @@ fn main() {
         Row { j, w, improvement_pct: imp }
     });
 
-    println!("Fig. 6 — SeeSAw w × j sensitivity, {nodes} nodes, all analyses, dim 48\n");
+    rep.say(format!("Fig. 6 — SeeSAw w × j sensitivity, {nodes} nodes, all analyses, dim 48"));
+    rep.blank();
     let mut table = Vec::new();
     for &j in js {
         let mut cells = vec![format!("j = {j}")];
@@ -49,9 +52,10 @@ fn main() {
     let mut headers: Vec<String> = vec!["".to_string()];
     headers.extend(ws.iter().map(|w| format!("w = {w}")));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table(&headers_ref, &table);
-    println!("\npaper reference: frequent allocation wins; moderate w damps noise at");
-    println!("j = 1; at large j there are few chances to correct, so improvements fall.");
+    print_table(&rep, &headers_ref, &table);
+    rep.blank();
+    rep.say("paper reference: frequent allocation wins; moderate w damps noise at");
+    rep.say("j = 1; at large j there are few chances to correct, so improvements fall.");
     let palette = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
     let series: Vec<bench::svg::Series> = js
         .iter()
@@ -60,14 +64,12 @@ fn main() {
             bench::svg::Series::new(
                 &format!("j = {j}"),
                 palette[i % palette.len()],
-                rows.iter()
-                    .filter(|r| r.j == j)
-                    .map(|r| (r.w as f64, r.improvement_pct))
-                    .collect(),
+                rows.iter().filter(|r| r.j == j).map(|r| (r.w as f64, r.improvement_pct)).collect(),
             )
         })
         .collect();
     bench::svg::write_svg(
+        &rep,
         "fig6_sensitivity",
         &bench::svg::line_chart(
             "Fig. 6 — SeeSAw w × j sensitivity (all analyses, dim 48)",
@@ -76,5 +78,8 @@ fn main() {
             &series,
         ),
     );
-    write_json("fig6_sensitivity", &rows);
+    write_json(&rep, "fig6_sensitivity", &rows);
+    let mut spec = WorkloadSpec::paper(48, nodes, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
+    spec.total_steps = total_steps();
+    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw").with_window(ws[0]));
 }

@@ -3,7 +3,7 @@
 //! S = 100 / A = 120, and the equal split — SeeSAw vs keeping the initial
 //! distribution static.
 
-use bench::{print_table, repetitions, total_steps, write_json};
+use bench::{cli, print_table, repetitions, total_steps, write_json};
 use insitu::{improvement_pct, median, run_job, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
@@ -17,6 +17,8 @@ struct Row {
 bench::json_struct!(Row { case, sim0_w, analysis0_w, improvement_pct });
 
 fn main() {
+    let args = cli::CommonArgs::parse("fig7_initial_power");
+    let rep = args.reporter();
     let cases: [(&str, f64, f64); 3] = [
         ("simulation starts with more", 120.0, 100.0),
         ("analysis starts with more", 100.0, 120.0),
@@ -44,8 +46,10 @@ fn main() {
         rows.push(Row { case, sim0_w: s0, analysis0_w: a0, improvement_pct: median(&vals) });
     }
 
-    println!("Fig. 7 — unbalanced initial power, 128 nodes, all analyses, dim 36, w = 2\n");
+    rep.say("Fig. 7 — unbalanced initial power, 128 nodes, all analyses, dim 36, w = 2");
+    rep.blank();
     print_table(
+        &rep,
         &["initial distribution", "S₀ W", "A₀ W", "SeeSAw improvement %"],
         &rows
             .iter()
@@ -59,8 +63,9 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    println!("\npaper reference: 28.26 % (S more), 19.21 % (A more), 8.94 % (equal) —");
-    println!("the worse the starting distribution, the more SeeSAw recovers.");
+    rep.blank();
+    rep.say("paper reference: 28.26 % (S more), 19.21 % (A more), 8.94 % (equal) —");
+    rep.say("the worse the starting distribution, the more SeeSAw recovers.");
     let bars: Vec<(String, f64, String)> = rows
         .iter()
         .map(|r| {
@@ -72,6 +77,7 @@ fn main() {
         })
         .collect();
     bench::svg::write_svg(
+        &rep,
         "fig7_initial_power",
         &bench::svg::bar_chart(
             "Fig. 7 — SeeSAw improvement from unbalanced initial power",
@@ -79,5 +85,9 @@ fn main() {
             &bars,
         ),
     );
-    write_json("fig7_initial_power", &rows);
+    write_json(&rep, "fig7_initial_power", &rows);
+    let mut spec = WorkloadSpec::paper(36, 128, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
+    spec.total_steps = total_steps();
+    let cfg = JobConfig::new(spec, "seesaw").with_window(2).with_initial_caps(120.0, 100.0);
+    cli::export_trace(&args, &rep, &cfg);
 }

@@ -2,7 +2,7 @@
 //! power budgets (LAMMPS + full MSD + all analyses, 128 nodes, dim 16,
 //! w = 1, j = 1) — diminishing returns with more power headroom.
 
-use bench::{print_table, repetitions, total_steps, write_json};
+use bench::{cli, print_table, repetitions, total_steps, write_json};
 use insitu::{median_improvement, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
@@ -14,7 +14,9 @@ struct Row {
 bench::json_struct!(Row { budget_per_node_w, improvement_pct });
 
 fn main() {
-    let caps: &[f64] = if bench::quick_mode() {
+    let args = cli::CommonArgs::parse("fig8_power_caps");
+    let rep = args.reporter();
+    let caps: &[f64] = if args.quick {
         &[100.0, 110.0, 140.0]
     } else {
         &[98.0, 105.0, 110.0, 115.0, 120.0, 130.0, 140.0, 150.0]
@@ -26,20 +28,18 @@ fn main() {
     let reps = repetitions();
     let rows: Vec<Row> = par::global().par_map_indexed(caps.len(), |k| {
         let cap = caps[k];
-        let mut spec = WorkloadSpec::paper(
-            16,
-            128,
-            1,
-            &[K::MsdFull, K::Rdf, K::Msd1d, K::Msd2d, K::Vacf],
-        );
+        let mut spec =
+            WorkloadSpec::paper(16, 128, 1, &[K::MsdFull, K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
         spec.total_steps = total_steps();
         let cfg = JobConfig::new(spec, "seesaw").with_budget(cap);
         let imp = median_improvement(&cfg, reps).expect("known controller");
         Row { budget_per_node_w: cap, improvement_pct: imp }
     });
 
-    println!("Fig. 8 — SeeSAw improvement vs per-node power budget, 128 nodes, dim 16\n");
+    rep.say("Fig. 8 — SeeSAw improvement vs per-node power budget, 128 nodes, dim 16");
+    rep.blank();
     print_table(
+        &rep,
         &["budget W/node", "improvement %", ""],
         &rows
             .iter()
@@ -53,15 +53,17 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    println!("\npaper reference: highest improvements in the 110–120 W range; little");
-    println!("to gain beyond 140 W (LAMMPS cannot use the extra power) and none at");
-    println!("98 W (δ_min — no headroom to shift).");
+    rep.blank();
+    rep.say("paper reference: highest improvements in the 110–120 W range; little");
+    rep.say("to gain beyond 140 W (LAMMPS cannot use the extra power) and none at");
+    rep.say("98 W (δ_min — no headroom to shift).");
     let series = bench::svg::Series::new(
         "SeeSAw vs static",
         "#1f77b4",
         rows.iter().map(|r| (r.budget_per_node_w, r.improvement_pct)).collect(),
     );
     bench::svg::write_svg(
+        &rep,
         "fig8_power_caps",
         &bench::svg::line_chart(
             "Fig. 8 — SeeSAw improvement vs per-node power budget",
@@ -70,5 +72,9 @@ fn main() {
             &[series],
         ),
     );
-    write_json("fig8_power_caps", &rows);
+    write_json(&rep, "fig8_power_caps", &rows);
+    let mut spec =
+        WorkloadSpec::paper(16, 128, 1, &[K::MsdFull, K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
+    spec.total_steps = total_steps();
+    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw").with_budget(110.0));
 }

@@ -7,7 +7,7 @@
 //!   compute cost on the host; here we report the simulated cost including
 //!   the measurement exchange).
 
-use bench::{print_table, total_steps, write_json};
+use bench::{cli, print_table, total_steps, write_json};
 use insitu::{run_job, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
@@ -21,7 +21,9 @@ struct OverheadRow {
 bench::json_struct!(OverheadRow { nodes, mean_overhead_ms, mean_interval_s, overhead_pct });
 
 fn main() {
-    let scales: &[usize] = if bench::quick_mode() { &[128] } else { &[128, 1024] };
+    let args = cli::CommonArgs::parse("fig9_overhead");
+    let rep = args.reporter();
+    let scales: &[usize] = if args.quick { &[128] } else { &[128, 1024] };
     let mut rows = Vec::new();
     for &nodes in scales {
         let mut spec = WorkloadSpec::paper(48, nodes, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
@@ -39,8 +41,10 @@ fn main() {
         });
     }
 
-    println!("Fig. 9a — SeeSAw allocation overhead per synchronization\n");
+    rep.say("Fig. 9a — SeeSAw allocation overhead per synchronization");
+    rep.blank();
     print_table(
+        &rep,
         &["nodes", "overhead ms", "interval s", "overhead %"],
         &rows
             .iter()
@@ -54,9 +58,15 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    println!("\npaper reference: communication dominates at 1024 nodes — higher");
-    println!("absolute overhead, smaller relative overhead; negligible either way.");
-    println!("\nFig. 9b (host-measured controller step cost across caps) is produced");
-    println!("by `cargo bench -p bench --bench controllers`.");
-    write_json("fig9_overhead", &rows);
+    rep.blank();
+    rep.say("paper reference: communication dominates at 1024 nodes — higher");
+    rep.say("absolute overhead, smaller relative overhead; negligible either way.");
+    rep.blank();
+    rep.say("Fig. 9b (host-measured controller step cost across caps) is produced");
+    rep.say("by `cargo bench -p bench --bench controllers`; the tracing on/off");
+    rep.say("overhead comparison by `cargo bench -p bench --bench trace_overhead`.");
+    write_json(&rep, "fig9_overhead", &rows);
+    let mut spec = WorkloadSpec::paper(48, scales[0], 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
+    spec.total_steps = total_steps();
+    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw"));
 }

@@ -8,11 +8,18 @@
 //! ```
 //!
 //! Prints the run summary and the improvement over a paired static
-//! baseline; `--trace` additionally dumps the per-sync records as JSON.
+//! baseline. `--trace FILE` writes the JSONL event trace of the controller
+//! run, `--trace-perfetto FILE` a Chrome-trace export of the same run
+//! (`chrome://tracing` / <https://ui.perfetto.dev>), and `--dump-syncs`
+//! prints the per-sync records as JSON. Unknown flags are a usage error.
 
-use insitu::{improvement_pct, run_job, run_paired, JobConfig};
+use bench::cli;
+use insitu::{improvement_pct, run_job_traced, run_paired_traced, JobConfig, RunResult};
 use mdsim::workload::WorkloadSpec;
 use mdsim::{AnalysisKind, AnalysisSchedule};
+use obs::Reporter;
+
+const BIN: &str = "run_experiment";
 
 fn usage() -> ! {
     eprintln!(
@@ -20,7 +27,10 @@ fn usage() -> ! {
                       [--nodes N] [--dim D] [--steps S] [--sync-every J]
                       [--analyses rdf,vacf,msd,msd1d,msd2d] [--budget W]
                       [--window W] [--seed S] [--sim-cap W --analysis-cap W]
-                      [--no-baseline] [--trace]"
+                      [--no-baseline] [--dump-syncs] [--quiet]
+                      [--trace FILE] [--trace-perfetto FILE]
+
+env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply trace paths when the flags are absent"
     );
     std::process::exit(2);
 }
@@ -33,7 +43,7 @@ fn parse_kind(name: &str) -> AnalysisKind {
         "msd1d" => AnalysisKind::Msd1d,
         "msd2d" => AnalysisKind::Msd2d,
         other => {
-            eprintln!("unknown analysis {other:?}");
+            eprintln!("{BIN}: unknown analysis {other:?}");
             usage()
         }
     }
@@ -53,7 +63,8 @@ fn main() {
     let mut sim_cap = None;
     let mut analysis_cap = None;
     let mut baseline = true;
-    let mut trace = false;
+    let mut dump_syncs = false;
+    let mut common = cli::CommonArgs::default();
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -75,14 +86,19 @@ fn main() {
                 kinds = val().split(',').map(parse_kind).collect();
             }
             "--no-baseline" => baseline = false,
-            "--trace" => trace = true,
+            "--dump-syncs" => dump_syncs = true,
+            "--quiet" => common.quiet = true,
+            "--trace" => common.trace = Some(val().into()),
+            "--trace-perfetto" => common.perfetto = Some(val().into()),
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown flag {other:?}");
+                eprintln!("{BIN}: unknown flag {other:?}");
                 usage()
             }
         }
     }
+    common.env_fallback();
+    let rep = common.reporter();
 
     let mut spec = WorkloadSpec::paper(dim, nodes, sync_every, &[]);
     spec.analyses = kinds.iter().map(|&k| AnalysisSchedule::every_sync(k)).collect();
@@ -93,41 +109,46 @@ fn main() {
         cfg = cfg.with_initial_caps(s, a);
     }
 
+    // The controller run itself carries the tracer: `--trace` captures the
+    // exact run being summarized, not a separate representative run.
+    let tracer = if common.wants_trace() { obs::Tracer::enabled() } else { obs::Tracer::off() };
+
     if baseline && controller != "static" {
-        let (ctl, base) = match run_paired(&cfg) {
+        let (ctl, base) = match run_paired_traced(&cfg, &tracer) {
             Ok(pair) => pair,
             Err(e) => {
-                eprintln!("error: {e}");
+                eprintln!("{BIN}: error: {e}");
                 std::process::exit(2);
             }
         };
         let imp = improvement_pct(base.total_time_s, ctl.total_time_s);
-        print_summary(&ctl);
-        println!(
+        print_summary(&rep, &ctl);
+        rep.say(format!(
             "baseline (static): {:.1} s  →  improvement {:+.2} %",
             base.total_time_s, imp
-        );
-        if trace {
+        ));
+        if dump_syncs {
             println!("{}", bench::json::ToJson::to_json(&ctl.syncs).pretty());
         }
     } else {
-        let r = match run_job(cfg) {
+        let r = match run_job_traced(cfg, &tracer) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("error: {e}");
+                eprintln!("{BIN}: error: {e}");
                 std::process::exit(2);
             }
         };
-        print_summary(&r);
-        if trace {
+        print_summary(&rep, &r);
+        if dump_syncs {
             println!("{}", bench::json::ToJson::to_json(&r.syncs).pretty());
         }
     }
+    cli::write_trace_files(&common, &rep, &tracer);
 }
 
-fn print_summary(r: &insitu::RunResult) {
+fn print_summary(rep: &Reporter, r: &RunResult) {
     let last = r.syncs.last().expect("at least one sync");
-    println!(
+    rep.say(format!(
         "{}: total {:.1} s, energy {:.2} MJ, {} syncs, end caps S/A {:.1}/{:.1} W, late slack {:.1} %",
         r.controller,
         r.total_time_s,
@@ -136,5 +157,14 @@ fn print_summary(r: &insitu::RunResult) {
         last.sim_cap_w,
         last.analysis_cap_w,
         r.mean_slack_from(10) * 100.0
-    );
+    ));
+    if let Some(m) = &r.metrics {
+        rep.note(format!(
+            "trace: {} events, {} phases, {} samples, {} decisions",
+            m.events,
+            m.counter("phases"),
+            m.counter("samples"),
+            m.counter("decisions")
+        ));
+    }
 }

@@ -4,7 +4,7 @@
 //!
 //! Variability is `(max − min) / median × 100` over total runtimes.
 
-use bench::{print_table, write_json};
+use bench::{cli, print_table, write_json};
 use insitu::{run_job, variability_pct, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind;
@@ -31,7 +31,9 @@ fn runtime(dim: u32, cap_mode: CapMode, job: u64, run: u64, steps: u64) -> f64 {
 }
 
 fn main() {
-    let steps = if bench::quick_mode() { 40 } else { 200 };
+    let args = cli::CommonArgs::parse("table1_variability");
+    let rep = args.reporter();
+    let steps = if args.quick { 40 } else { 200 };
     let n_runs = 7;
     let cases: [(&str, CapMode); 3] = [
         ("None", CapMode::None),
@@ -83,8 +85,10 @@ fn main() {
         }
     }
 
-    println!("Table I — variability across {n_runs} runs, 128 nodes\n");
+    rep.say(format!("Table I — variability across {n_runs} runs, 128 nodes"));
+    rep.blank();
     print_table(
+        &rep,
         &["Power Cap", "dim", "Variability Type", "Variability %"],
         &rows
             .iter()
@@ -98,7 +102,11 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    println!("\npaper reference: run-to-run 0.2–0.8 (None/Long), 2.1–5.5 (Long+Short);");
-    println!("                 job-to-job 0.8–2.0 (None), 5.7–6.0 (Long), 2.4–8.7 (Long+Short)");
-    write_json("table1_variability", &rows);
+    rep.blank();
+    rep.say("paper reference: run-to-run 0.2–0.8 (None/Long), 2.1–5.5 (Long+Short);");
+    rep.say("                 job-to-job 0.8–2.0 (None), 5.7–6.0 (Long), 2.4–8.7 (Long+Short)");
+    write_json(&rep, "table1_variability", &rows);
+    let mut spec = WorkloadSpec::paper(36, 128, 1, &[AnalysisKind::Rdf, AnalysisKind::Vacf]);
+    spec.total_steps = steps;
+    cli::export_trace(&args, &rep, &JobConfig::new(spec, "static"));
 }

@@ -3,7 +3,7 @@
 //! {4, 20, 100} with RDF + VACF at every step; the other varies only
 //! VACF's interval with RDF + full MSD at every step.
 
-use bench::{print_table, repetitions, total_steps, write_json};
+use bench::{cli, print_table, repetitions, total_steps, write_json};
 use insitu::{median_improvement, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::{AnalysisKind as K, AnalysisSchedule};
@@ -35,6 +35,8 @@ fn run_case(varied: &'static str, j: u64) -> f64 {
 }
 
 fn main() {
+    let args = cli::CommonArgs::parse("table2_mixed");
+    let rep = args.reporter();
     let js = [4u64, 20, 100];
     // The six (varied, j) cases are independent experiments: dispatch them
     // across the worker pool (median_improvement inside falls back to
@@ -47,7 +49,8 @@ fn main() {
         Row { varied, j, improvement_pct: run_case(varied, j) }
     });
 
-    println!("Table II — SeeSAw improvement with mixed intervals, 128 nodes, w = 1, dim 16\n");
+    rep.say("Table II — SeeSAw improvement with mixed intervals, 128 nodes, w = 1, dim 16");
+    rep.blank();
     let table: Vec<Vec<String>> = ["msd", "vacf"]
         .iter()
         .map(|v| {
@@ -59,9 +62,18 @@ fn main() {
             cells
         })
         .collect();
-    print_table(&["varied analysis", "j = 4", "j = 20", "j = 100"], &table);
-    println!("\npaper reference: MSD-varied 5.03 / 0.94 / 0.90 %; VACF-varied");
-    println!("16.76 / 15.09 / 16.24 % — infrequent high-demand analyses make w = 1");
-    println!("over-reactive, while a low-demand analysis at any interval is benign.");
-    write_json("table2_mixed", &rows);
+    print_table(&rep, &["varied analysis", "j = 4", "j = 20", "j = 100"], &table);
+    rep.blank();
+    rep.say("paper reference: MSD-varied 5.03 / 0.94 / 0.90 %; VACF-varied");
+    rep.say("16.76 / 15.09 / 16.24 % — infrequent high-demand analyses make w = 1");
+    rep.say("over-reactive, while a low-demand analysis at any interval is benign.");
+    write_json(&rep, "table2_mixed", &rows);
+    let mut spec = WorkloadSpec::paper(16, 128, 1, &[]);
+    spec.total_steps = total_steps();
+    spec.analyses = vec![
+        AnalysisSchedule::every_sync(K::Rdf),
+        AnalysisSchedule::every_sync(K::Vacf),
+        AnalysisSchedule { kind: K::MsdFull, every: 4 },
+    ];
+    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw"));
 }

@@ -1,0 +1,183 @@
+//! Shared CLI handling for the experiment bins.
+//!
+//! Every bin accepts the same common flags — `--quick`, `--quiet`,
+//! `--trace FILE`, `--trace-perfetto FILE` — parsed strictly: an unknown
+//! flag is a usage error (exit 2), never silently ignored. When the trace
+//! flags are absent the `SEESAW_TRACE` / `SEESAW_TRACE_PERFETTO`
+//! environment variables supply the paths, so sweeps driven by scripts can
+//! opt into tracing without touching each invocation.
+
+use obs::Reporter;
+use std::path::PathBuf;
+
+/// Flags shared by every experiment bin.
+#[derive(Debug, Clone, Default)]
+pub struct CommonArgs {
+    /// Shrink the experiment for CI smoke tests (`--quick`).
+    pub quick: bool,
+    /// Suppress progress output (`--quiet`); `results/*` is still written.
+    pub quiet: bool,
+    /// Write the JSONL event trace of a representative run here.
+    pub trace: Option<PathBuf>,
+    /// Write a Chrome-trace/Perfetto JSON export of the same run here.
+    pub perfetto: Option<PathBuf>,
+}
+
+impl CommonArgs {
+    /// Parse the process arguments, accepting only the common flags.
+    /// Unknown flags print a usage error and exit with status 2.
+    pub fn parse(bin: &str) -> CommonArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match try_parse(&argv) {
+            Ok(mut args) => {
+                args.env_fallback();
+                args
+            }
+            Err(msg) => usage_error(bin, &msg),
+        }
+    }
+
+    /// The progress reporter configured by `--quiet`.
+    pub fn reporter(&self) -> Reporter {
+        Reporter::new(self.quiet)
+    }
+
+    /// Whether either trace output was requested.
+    pub fn wants_trace(&self) -> bool {
+        self.trace.is_some() || self.perfetto.is_some()
+    }
+
+    /// Fill unset trace paths from `SEESAW_TRACE` / `SEESAW_TRACE_PERFETTO`.
+    pub fn env_fallback(&mut self) {
+        if self.trace.is_none() {
+            if let Ok(p) = std::env::var("SEESAW_TRACE") {
+                if !p.is_empty() {
+                    self.trace = Some(PathBuf::from(p));
+                }
+            }
+        }
+        if self.perfetto.is_none() {
+            if let Ok(p) = std::env::var("SEESAW_TRACE_PERFETTO") {
+                if !p.is_empty() {
+                    self.perfetto = Some(PathBuf::from(p));
+                }
+            }
+        }
+    }
+}
+
+/// Parse `argv` accepting only the common flags; `Err` carries the
+/// offending-flag message. Exposed (and exit-free) for unit tests.
+pub fn try_parse(argv: &[String]) -> Result<CommonArgs, String> {
+    let mut out = CommonArgs::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => out.quick = true,
+            "--quiet" => out.quiet = true,
+            "--trace" => {
+                i += 1;
+                let p = argv.get(i).ok_or("--trace requires a file path")?;
+                out.trace = Some(PathBuf::from(p));
+            }
+            "--trace-perfetto" => {
+                i += 1;
+                let p = argv.get(i).ok_or("--trace-perfetto requires a file path")?;
+                out.perfetto = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// The usage text for a bin accepting only the common flags.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--quick] [--quiet] [--trace FILE] [--trace-perfetto FILE]\n\
+         \n\
+         \x20 --quick                 shrink the experiment for smoke tests\n\
+         \x20 --quiet                 suppress progress output (results/* still written)\n\
+         \x20 --trace FILE            write the JSONL event trace of a representative run\n\
+         \x20 --trace-perfetto FILE   write a Chrome-trace/Perfetto JSON export\n\
+         \n\
+         env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply the paths when the flags are absent"
+    )
+}
+
+/// Print `msg` (if any) and the usage text to stderr, then exit 2.
+pub fn usage_error(bin: &str, msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("{bin}: {msg}");
+    }
+    eprintln!("{}", usage(bin));
+    std::process::exit(2);
+}
+
+/// Run one representative traced run of `cfg` and write the requested
+/// exports. Called *after* a bin's main sweep so the sweep's own output
+/// (tables, `results/*.json`) is byte-identical whether or not tracing is
+/// on — the traced run is an extra run, not an instrumented sweep member.
+pub fn export_trace(args: &CommonArgs, rep: &Reporter, cfg: &insitu::JobConfig) {
+    if !args.wants_trace() {
+        return;
+    }
+    let tracer = obs::Tracer::enabled();
+    if let Err(e) = insitu::run_job_traced(cfg.clone(), &tracer) {
+        rep.warn(format!("trace run failed: {e}"));
+        return;
+    }
+    write_trace_files(args, rep, &tracer);
+}
+
+/// Write the JSONL and/or Perfetto exports of an already-filled tracer.
+pub fn write_trace_files(args: &CommonArgs, rep: &Reporter, tracer: &obs::Tracer) {
+    if let Some(path) = &args.trace {
+        match std::fs::write(path, tracer.to_jsonl()) {
+            Ok(()) => rep.note(format!("wrote trace {} ({} events)", path.display(), tracer.len())),
+            Err(e) => rep.warn(format!("cannot write {}: {e}", path.display())),
+        }
+    }
+    if let Some(path) = &args.perfetto {
+        match std::fs::write(path, obs::chrome_trace(&tracer.events())) {
+            Ok(()) => rep.note(format!("wrote perfetto trace {}", path.display())),
+            Err(e) => rep.warn(format!("cannot write {}: {e}", path.display())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn common_flags_parse() {
+        let a = try_parse(&argv(&["--quick", "--quiet"])).unwrap();
+        assert!(a.quick && a.quiet);
+        assert!(a.trace.is_none() && a.perfetto.is_none());
+        let a = try_parse(&argv(&["--trace", "t.jsonl", "--trace-perfetto", "p.json"])).unwrap();
+        assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
+        assert_eq!(a.perfetto.as_deref(), Some(std::path::Path::new("p.json")));
+        assert!(a.wants_trace());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = try_parse(&argv(&["--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        // A value-less --trace is also an error, not a silent skip.
+        assert!(try_parse(&argv(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn empty_argv_is_fine() {
+        let a = try_parse(&[]).unwrap();
+        assert!(!a.quick && !a.quiet && !a.wants_trace());
+    }
+}

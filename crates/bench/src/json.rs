@@ -259,10 +259,7 @@ mod tests {
             ("name", Json::Str("x".into())),
             ("vals", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
         ]);
-        assert_eq!(
-            v.pretty(),
-            "{\n  \"name\": \"x\",\n  \"vals\": [\n    1,\n    2\n  ]\n}"
-        );
+        assert_eq!(v.pretty(), "{\n  \"name\": \"x\",\n  \"vals\": [\n    1,\n    2\n  ]\n}");
     }
 
     #[test]

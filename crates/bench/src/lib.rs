@@ -13,14 +13,20 @@
 //! …
 //! ```
 //!
-//! A `--quick` flag on every binary shrinks steps/scales for smoke-testing.
+//! Every binary accepts the same common flags (parsed strictly — unknown
+//! flags are a usage error): `--quick` shrinks steps/scales for
+//! smoke-testing, `--quiet` suppresses progress output, and
+//! `--trace`/`--trace-perfetto` export an event trace of a representative
+//! run (see [`cli`]).
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod json;
 pub mod svg;
 
 use json::ToJson;
+use obs::Reporter;
 use std::path::{Path, PathBuf};
 
 /// Where experiment output lands (`results/` at the workspace root, or
@@ -42,22 +48,22 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serialize `rows` as pretty JSON into `results/<name>.json`.
-pub fn write_json<T: ToJson + ?Sized>(name: &str, rows: &T) {
+pub fn write_json<T: ToJson + ?Sized>(rep: &Reporter, name: &str, rows: &T) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {dir:?}: {e}");
+        rep.warn(format!("cannot create {dir:?}: {e}"));
         return;
     }
     let path = dir.join(format!("{name}.json"));
     let s = rows.to_json().pretty();
     if let Err(e) = std::fs::write(&path, s) {
-        eprintln!("warning: cannot write {path:?}: {e}");
+        rep.warn(format!("cannot write {path:?}: {e}"));
     } else {
-        eprintln!("wrote {}", display_rel(&path));
+        rep.note(format!("wrote {}", display_rel(&path)));
     }
 }
 
-// Shared JSON shape for per-sync rows (`run_experiment --trace`,
+// Shared JSON shape for per-sync rows (`run_experiment --dump-syncs`,
 // `fault_sweep`, and any bin dumping raw sync traces).
 json_struct!(insitu::SyncRecord {
     index,
@@ -87,16 +93,24 @@ pub fn quick_mode() -> bool {
 
 /// Steps to simulate: the paper's 400, or fewer under `--quick`.
 pub fn total_steps() -> u64 {
-    if quick_mode() { 60 } else { 400 }
+    if quick_mode() {
+        60
+    } else {
+        400
+    }
 }
 
 /// Repetitions for medians: the paper's 3, or 1 under `--quick`.
 pub fn repetitions() -> u64 {
-    if quick_mode() { 1 } else { 3 }
+    if quick_mode() {
+        1
+    } else {
+        3
+    }
 }
 
-/// Print a markdown-style table.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Print a markdown-style table through the reporter.
+pub fn print_table(rep: &Reporter, headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -111,13 +125,13 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .enumerate()
             .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
             .collect();
-        println!("| {} |", padded.join(" | "));
+        rep.say(format!("| {} |", padded.join(" | ")));
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!(
+    rep.say(format!(
         "|{}|",
         widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    ));
     for row in rows {
         line(row);
     }
@@ -135,6 +149,6 @@ mod tests {
 
     #[test]
     fn table_printer_does_not_panic() {
-        print_table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
+        print_table(&Reporter::default(), &["a", "bb"], &[vec!["1".into(), "2".into()]]);
     }
 }

@@ -255,14 +255,14 @@ fn legend(svg: &mut String, series: &[Series]) {
 }
 
 /// Write an SVG chart into `results/<name>.svg`.
-pub fn write_svg(name: &str, svg: &str) {
+pub fn write_svg(rep: &obs::Reporter, name: &str, svg: &str) {
     let dir = crate::results_dir();
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.svg"));
     if std::fs::write(&path, svg).is_ok() {
-        eprintln!("wrote {}", path.display());
+        rep.note(format!("wrote {}", path.display()));
     }
 }
 

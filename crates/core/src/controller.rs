@@ -30,4 +30,9 @@ pub trait Controller: Send {
     /// share they carried must be released. Policies without a budget
     /// ignore the call.
     fn set_budget_w(&mut self, _budget_w: f64) {}
+
+    /// Attach a trace sink so the policy can record decision internals
+    /// (α values, optima, EWMA blends, clamp/hold events). Policies with
+    /// nothing to report ignore the call.
+    fn attach_tracer(&mut self, _tracer: obs::Tracer) {}
 }

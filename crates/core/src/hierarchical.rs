@@ -50,19 +50,10 @@ impl HierarchicalSeeSaw {
 
     /// Distribute `total_w` over the partition's nodes by time-proportional
     /// weights, clamped to limits and exactly renormalized.
-    fn level2(
-        &self,
-        obs: &SyncObservation,
-        role: Role,
-        per_node_mean_w: f64,
-    ) -> Vec<(usize, f64)> {
+    fn level2(&self, obs: &SyncObservation, role: Role, per_node_mean_w: f64) -> Vec<(usize, f64)> {
         let limits = self.cfg.seesaw.limits;
-        let nodes: Vec<(usize, f64)> = obs
-            .nodes
-            .iter()
-            .filter(|n| n.role == role)
-            .map(|n| (n.node, n.time_s))
-            .collect();
+        let nodes: Vec<(usize, f64)> =
+            obs.nodes.iter().filter(|n| n.role == role).map(|n| (n.node, n.time_s)).collect();
         if nodes.is_empty() {
             return Vec::new();
         }
@@ -93,7 +84,11 @@ impl HierarchicalSeeSaw {
                 .iter()
                 .enumerate()
                 .filter(|(_, &(_, w))| {
-                    if residue > 0.0 { w < limits.max_w - 1e-12 } else { w > limits.min_w + 1e-12 }
+                    if residue > 0.0 {
+                        w < limits.max_w - 1e-12
+                    } else {
+                        w > limits.min_w + 1e-12
+                    }
                 })
                 .map(|(k, _)| k)
                 .collect();
@@ -139,6 +134,10 @@ impl Controller for HierarchicalSeeSaw {
         }
         self.inner.set_budget_w(budget_w);
     }
+
+    fn attach_tracer(&mut self, tracer: obs::Tracer) {
+        self.inner.attach_tracer(tracer);
+    }
 }
 
 #[cfg(test)]
@@ -150,10 +149,34 @@ mod tests {
         SyncObservation {
             step: 1,
             nodes: vec![
-                NodeSample { node: 0, role: Role::Simulation, time_s: 4.0, power_w: 108.0, cap_w: 110.0 },
-                NodeSample { node: 1, role: Role::Simulation, time_s: 5.0, power_w: 108.0, cap_w: 110.0 },
-                NodeSample { node: 2, role: Role::Analysis, time_s: 2.0, power_w: 100.0, cap_w: 110.0 },
-                NodeSample { node: 3, role: Role::Analysis, time_s: 2.0, power_w: 100.0, cap_w: 110.0 },
+                NodeSample {
+                    node: 0,
+                    role: Role::Simulation,
+                    time_s: 4.0,
+                    power_w: 108.0,
+                    cap_w: 110.0,
+                },
+                NodeSample {
+                    node: 1,
+                    role: Role::Simulation,
+                    time_s: 5.0,
+                    power_w: 108.0,
+                    cap_w: 110.0,
+                },
+                NodeSample {
+                    node: 2,
+                    role: Role::Analysis,
+                    time_s: 2.0,
+                    power_w: 100.0,
+                    cap_w: 110.0,
+                },
+                NodeSample {
+                    node: 3,
+                    role: Role::Analysis,
+                    time_s: 2.0,
+                    power_w: 100.0,
+                    cap_w: 110.0,
+                },
             ],
         }
     }
@@ -188,8 +211,7 @@ mod tests {
     fn partition_total_is_preserved_by_level2() {
         let mut c = HierarchicalSeeSaw::new(cfg());
         let alloc = c.on_sync(&obs_with_straggler()).unwrap();
-        let sim_total: f64 =
-            [0, 1].iter().map(|&n| alloc.cap_for(n, Role::Simulation)).sum();
+        let sim_total: f64 = [0, 1].iter().map(|&n| alloc.cap_for(n, Role::Simulation)).sum();
         assert!(
             (sim_total - 2.0 * alloc.sim_node_w).abs() < 0.5,
             "level 2 must conserve the level-1 total: {sim_total} vs {}",

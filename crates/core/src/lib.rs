@@ -62,14 +62,8 @@ pub use types::{
 };
 
 /// The controller names [`controller_by_name`] accepts.
-pub const CONTROLLER_NAMES: [&str; 6] = [
-    "seesaw",
-    "power-aware",
-    "time-aware",
-    "static",
-    "hierarchical-seesaw",
-    "probing-seesaw",
-];
+pub const CONTROLLER_NAMES: [&str; 6] =
+    ["seesaw", "power-aware", "time-aware", "static", "hierarchical-seesaw", "probing-seesaw"];
 
 /// A controller name that [`controller_by_name`] does not recognize.
 ///
@@ -109,12 +103,10 @@ pub fn controller_by_name(
         "power-aware" => Ok(Box::new(PowerAware::new(PowerAwareConfig::paper_default(n_nodes)))),
         "time-aware" => Ok(Box::new(TimeAware::new(TimeAwareConfig::paper_default(n_nodes)))),
         "static" => Ok(Box::new(StaticAlloc::new())),
-        "hierarchical-seesaw" => Ok(Box::new(HierarchicalSeeSaw::new(
-            HierarchicalConfig::paper_default(n_nodes),
-        ))),
-        "probing-seesaw" => {
-            Ok(Box::new(ProbingSeeSaw::new(ProbingConfig::paper_default(n_nodes))))
+        "hierarchical-seesaw" => {
+            Ok(Box::new(HierarchicalSeeSaw::new(HierarchicalConfig::paper_default(n_nodes))))
         }
+        "probing-seesaw" => Ok(Box::new(ProbingSeeSaw::new(ProbingConfig::paper_default(n_nodes)))),
         other => Err(UnknownController { name: other.to_string() }),
     }
 }
@@ -124,12 +116,32 @@ mod randomized {
     use super::*;
     use des::Rng;
 
-    fn obs(step: u64, t_s: f64, p_s: f64, cap_s: f64, t_a: f64, p_a: f64, cap_a: f64) -> SyncObservation {
+    fn obs(
+        step: u64,
+        t_s: f64,
+        p_s: f64,
+        cap_s: f64,
+        t_a: f64,
+        p_a: f64,
+        cap_a: f64,
+    ) -> SyncObservation {
         SyncObservation {
             step,
             nodes: vec![
-                NodeSample { node: 0, role: Role::Simulation, time_s: t_s, power_w: p_s, cap_w: cap_s },
-                NodeSample { node: 1, role: Role::Analysis, time_s: t_a, power_w: p_a, cap_w: cap_a },
+                NodeSample {
+                    node: 0,
+                    role: Role::Simulation,
+                    time_s: t_s,
+                    power_w: p_s,
+                    cap_w: cap_s,
+                },
+                NodeSample {
+                    node: 1,
+                    role: Role::Analysis,
+                    time_s: t_a,
+                    power_w: p_a,
+                    cap_w: cap_a,
+                },
             ],
         }
     }
@@ -172,9 +184,15 @@ mod randomized {
             for i in 0..len {
                 let t_s = rng.uniform(0.1, 100.0);
                 let t_a = rng.uniform(0.1, 100.0);
-                if let Some(a) =
-                    ctl.on_sync(&obs(i as u64 + 1, t_s, cap_s - 1.0, cap_s, t_a, cap_a - 1.0, cap_a))
-                {
+                if let Some(a) = ctl.on_sync(&obs(
+                    i as u64 + 1,
+                    t_s,
+                    cap_s - 1.0,
+                    cap_s,
+                    t_a,
+                    cap_a - 1.0,
+                    cap_a,
+                )) {
                     cap_s = a.cap_for(0, Role::Simulation);
                     cap_a = a.cap_for(1, Role::Analysis);
                 }
@@ -229,9 +247,8 @@ mod randomized {
                     if rng.next_f64() < 0.2 {
                         let victim = rng.next_below(total as u64) as usize;
                         let sim_side = victim < total / 2;
-                        let peers = (0..total)
-                            .filter(|&n| alive[n] && (n < total / 2) == sim_side)
-                            .count();
+                        let peers =
+                            (0..total).filter(|&n| alive[n] && (n < total / 2) == sim_side).count();
                         if alive[victim] && peers > 1 {
                             alive[victim] = false;
                             budget = per_node * alive.iter().filter(|&&a| a).count() as f64;
@@ -256,8 +273,7 @@ mod randomized {
                             caps[n] = a.cap_for(n, role);
                         }
                     }
-                    let alive_total: f64 =
-                        (0..total).filter(|&n| alive[n]).map(|n| caps[n]).sum();
+                    let alive_total: f64 = (0..total).filter(|&n| alive[n]).map(|n| caps[n]).sum();
                     assert!(
                         alive_total <= budget0 + 1e-6,
                         "{name}: facility budget violated: {alive_total} > {budget0}"

@@ -8,7 +8,6 @@
 //! (Zhang & Hoffmann; Demirci et al.), and the minimizer assigns each task
 //! the fraction of `C` matching its fraction of the total energy (Eq. 2).
 
-
 /// A task whose synchronization interval obeys `T(P) = energy_j / P`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearTask {
@@ -59,7 +58,12 @@ pub fn optimal_split(c_w: f64, sim: LinearTask, analysis: LinearTask) -> Optimal
 
 /// The objective both controllers minimize: the iteration time under a
 /// given split, i.e. the slower task's time (`min max(T_S, T_A)`, §IV-A).
-pub fn iteration_time(sim: LinearTask, analysis: LinearTask, p_sim_w: f64, p_analysis_w: f64) -> f64 {
+pub fn iteration_time(
+    sim: LinearTask,
+    analysis: LinearTask,
+    p_sim_w: f64,
+    p_analysis_w: f64,
+) -> f64 {
     sim.time_at(p_sim_w).max(analysis.time_at(p_analysis_w))
 }
 

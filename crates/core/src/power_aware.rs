@@ -110,7 +110,11 @@ impl PowerAware {
                 .iter()
                 .filter(|s| s.role == role)
                 .fold((0.0, 0usize), |(sum, n), s| (sum + self.caps[&s.node], n + 1));
-            if n == 0 { 0.0 } else { sum / n as f64 }
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64
+            }
         };
         Allocation {
             sim_node_w: mean(Role::Simulation),

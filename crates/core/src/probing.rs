@@ -46,7 +46,10 @@ enum ProbeState {
     Idle,
     /// A probe is in flight: `dir` is +1 (toward simulation) or −1,
     /// `before_t` the pre-probe iteration time.
-    InFlight { dir: f64, before_t: f64 },
+    InFlight {
+        dir: f64,
+        before_t: f64,
+    },
 }
 
 /// SeeSAw with ε-greedy local-optimum probing.
@@ -91,8 +94,7 @@ impl ProbingSeeSaw {
             self.cfg.seesaw.budget_w,
             (alloc.sim_node_w + bias) * sim.nodes as f64,
             sim.nodes,
-            (alloc.analysis_node_w - bias * sim.nodes as f64 / ana.nodes as f64)
-                * ana.nodes as f64,
+            (alloc.analysis_node_w - bias * sim.nodes as f64 / ana.nodes as f64) * ana.nodes as f64,
             ana.nodes,
         )
     }
@@ -153,6 +155,10 @@ impl Controller for ProbingSeeSaw {
         }
         self.inner.set_budget_w(budget_w);
     }
+
+    fn attach_tracer(&mut self, tracer: obs::Tracer) {
+        self.inner.attach_tracer(tracer);
+    }
 }
 
 #[cfg(test)]
@@ -175,12 +181,32 @@ mod tests {
         }
     }
 
-    fn obs(step: u64, t_s: f64, p_s: f64, cap_s: f64, t_a: f64, p_a: f64, cap_a: f64) -> SyncObservation {
+    fn obs(
+        step: u64,
+        t_s: f64,
+        p_s: f64,
+        cap_s: f64,
+        t_a: f64,
+        p_a: f64,
+        cap_a: f64,
+    ) -> SyncObservation {
         SyncObservation {
             step,
             nodes: vec![
-                NodeSample { node: 0, role: Role::Simulation, time_s: t_s, power_w: p_s, cap_w: cap_s },
-                NodeSample { node: 1, role: Role::Analysis, time_s: t_a, power_w: p_a, cap_w: cap_a },
+                NodeSample {
+                    node: 0,
+                    role: Role::Simulation,
+                    time_s: t_s,
+                    power_w: p_s,
+                    cap_w: cap_s,
+                },
+                NodeSample {
+                    node: 1,
+                    role: Role::Analysis,
+                    time_s: t_a,
+                    power_w: p_a,
+                    cap_w: cap_a,
+                },
             ],
         }
     }

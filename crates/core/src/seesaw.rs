@@ -77,6 +77,7 @@ pub struct SeeSaw {
     prev: Option<(f64, f64)>,
     allocations: u64,
     rejected: u64,
+    tracer: obs::Tracer,
 }
 
 impl SeeSaw {
@@ -91,6 +92,7 @@ impl SeeSaw {
             prev: None,
             allocations: 0,
             rejected: 0,
+            tracer: obs::Tracer::off(),
         }
     }
 
@@ -120,9 +122,7 @@ impl SeeSaw {
 
     fn mean(buf: &[(f64, f64)]) -> (f64, f64) {
         let n = buf.len() as f64;
-        let (t, p) = buf
-            .iter()
-            .fold((0.0, 0.0), |(ts, ps), &(t, p)| (ts + t, ps + p));
+        let (t, p) = buf.iter().fold((0.0, 0.0), |(ts, ps), &(t, p)| (ts + t, ps + p));
         (t / n, p / n)
     }
 }
@@ -146,6 +146,11 @@ impl Controller for SeeSaw {
             || !ana.cap_per_node_w.is_finite()
         {
             self.rejected += 1;
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .emit(obs::Event::ControllerHold { sync: obs.step, reason: "corrupt_sample" });
+                self.tracer.count("holds");
+            }
             return None;
         }
         // Seed the EWMA memory from the caps in force at first observation.
@@ -166,6 +171,13 @@ impl Controller for SeeSaw {
         self.buf_ana.clear();
         // Degenerate feedback (zero time or power) — keep current caps.
         if t_s <= 0.0 || p_s <= 0.0 || t_a <= 0.0 || p_a <= 0.0 {
+            if self.tracer.is_enabled() {
+                self.tracer.emit(obs::Event::ControllerHold {
+                    sync: obs.step,
+                    reason: "degenerate_feedback",
+                });
+                self.tracer.count("holds");
+            }
             return None;
         }
         let c = self.cfg.budget_w;
@@ -189,10 +201,27 @@ impl Controller for SeeSaw {
             }
         };
         let alloc = split_with_limits(self.cfg.limits, c, new_s, sim.nodes, new_a, ana.nodes);
-        self.prev = Some((
-            alloc.sim_node_w * sim.nodes as f64,
-            alloc.analysis_node_w * ana.nodes as f64,
-        ));
+        if self.tracer.is_enabled() {
+            let blend_sim_node = new_s / sim.nodes as f64;
+            let blend_ana_node = new_a / ana.nodes as f64;
+            let clamped = (blend_sim_node - alloc.sim_node_w).abs() > 1e-9
+                || (blend_ana_node - alloc.analysis_node_w).abs() > 1e-9;
+            self.tracer.emit(obs::Event::Decision {
+                sync: obs.step,
+                alpha_sim: LinearTask::from_observation(t_s, p_s).alpha(),
+                alpha_analysis: LinearTask::from_observation(t_a, p_a).alpha(),
+                p_opt_sim_w: opt.p_sim_w,
+                p_opt_analysis_w: opt.p_analysis_w,
+                blend_sim_w: new_s,
+                blend_analysis_w: new_a,
+                sim_node_w: alloc.sim_node_w,
+                analysis_node_w: alloc.analysis_node_w,
+                clamped,
+            });
+            self.tracer.count("decisions");
+        }
+        self.prev =
+            Some((alloc.sim_node_w * sim.nodes as f64, alloc.analysis_node_w * ana.nodes as f64));
         self.allocations += 1;
         Some(alloc)
     }
@@ -214,6 +243,10 @@ impl Controller for SeeSaw {
             self.cfg.budget_w = budget_w;
         }
     }
+
+    fn attach_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
+    }
 }
 
 #[cfg(test)]
@@ -222,12 +255,32 @@ mod tests {
     use crate::types::NodeSample;
 
     /// Build an observation for 1 sim + 1 analysis node.
-    fn obs(step: u64, t_s: f64, p_s: f64, cap_s: f64, t_a: f64, p_a: f64, cap_a: f64) -> SyncObservation {
+    fn obs(
+        step: u64,
+        t_s: f64,
+        p_s: f64,
+        cap_s: f64,
+        t_a: f64,
+        p_a: f64,
+        cap_a: f64,
+    ) -> SyncObservation {
         SyncObservation {
             step,
             nodes: vec![
-                NodeSample { node: 0, role: Role::Simulation, time_s: t_s, power_w: p_s, cap_w: cap_s },
-                NodeSample { node: 1, role: Role::Analysis, time_s: t_a, power_w: p_a, cap_w: cap_a },
+                NodeSample {
+                    node: 0,
+                    role: Role::Simulation,
+                    time_s: t_s,
+                    power_w: p_s,
+                    cap_w: cap_s,
+                },
+                NodeSample {
+                    node: 1,
+                    role: Role::Analysis,
+                    time_s: t_a,
+                    power_w: p_a,
+                    cap_w: cap_a,
+                },
             ],
         }
     }

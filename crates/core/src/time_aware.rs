@@ -115,7 +115,11 @@ impl TimeAware {
                 .iter()
                 .filter(|s| s.role == role)
                 .fold((0.0, 0usize), |(sum, n), s| (sum + self.caps[&s.node], n + 1));
-            if n == 0 { 0.0 } else { sum / n as f64 }
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64
+            }
         };
         Allocation {
             sim_node_w: mean(Role::Simulation),
@@ -140,11 +144,7 @@ impl Controller for TimeAware {
         for s in &obs.nodes {
             self.caps.entry(s.node).or_insert(s.cap_w);
         }
-        let max_t = obs
-            .nodes
-            .iter()
-            .map(|s| s.time_s)
-            .fold(f64::MIN, f64::max);
+        let max_t = obs.nodes.iter().map(|s| s.time_s).fold(f64::MIN, f64::max);
         if max_t <= 0.0 || max_t.is_nan() {
             return None;
         }
@@ -163,12 +163,8 @@ impl Controller for TimeAware {
                 (s.node, deficit)
             })
             .collect();
-        let receivers: Vec<usize> = obs
-            .nodes
-            .iter()
-            .filter(|s| s.time_s >= target)
-            .map(|s| s.node)
-            .collect();
+        let receivers: Vec<usize> =
+            obs.nodes.iter().filter(|s| s.time_s >= target).map(|s| s.node).collect();
         let mut pool = 0.0;
         for &(n, deficit) in &donors {
             let cap = self.caps[&n];
@@ -294,7 +290,10 @@ mod tests {
         }
         // Net movement between sync 20 and sync 40 is bounded by the decayed
         // minimum step: the distribution is stuck, not converging.
-        assert!((caps[0] - snapshot_mid[0]).abs() <= 2.0 * cfg().min_step_w + 1e-9, "{caps:?} vs {snapshot_mid:?}");
+        assert!(
+            (caps[0] - snapshot_mid[0]).abs() <= 2.0 * cfg().min_step_w + 1e-9,
+            "{caps:?} vs {snapshot_mid:?}"
+        );
         // And neither side has drifted off to a limit.
         assert!(caps[0] > 100.0 && caps[1] > 100.0, "{caps:?}");
     }
@@ -384,10 +383,7 @@ mod tests {
     #[test]
     fn single_node_is_noop() {
         let mut c = TimeAware::new(cfg());
-        let obs = SyncObservation {
-            step: 1,
-            nodes: vec![sample(0, Role::Simulation, 4.0, 110.0)],
-        };
+        let obs = SyncObservation { step: 1, nodes: vec![sample(0, Role::Simulation, 4.0, 110.0)] };
         assert!(c.on_sync(&obs).is_none());
     }
 }

@@ -1,6 +1,5 @@
 //! Shared vocabulary for power controllers.
 
-
 /// Whether a node (or rank) belongs to the simulation or analysis partition
 /// of a space-shared in-situ job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,6 +16,14 @@ impl Role {
         match self {
             Role::Simulation => Role::Analysis,
             Role::Analysis => Role::Simulation,
+        }
+    }
+
+    /// Stable lowercase tag for serialized traces.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Role::Simulation => "sim",
+            Role::Analysis => "analysis",
         }
     }
 }
@@ -201,10 +208,34 @@ mod tests {
         SyncObservation {
             step: 1,
             nodes: vec![
-                NodeSample { node: 0, role: Role::Simulation, time_s: 4.0, power_w: 108.0, cap_w: 110.0 },
-                NodeSample { node: 1, role: Role::Simulation, time_s: 4.2, power_w: 109.0, cap_w: 110.0 },
-                NodeSample { node: 2, role: Role::Analysis, time_s: 2.0, power_w: 100.0, cap_w: 110.0 },
-                NodeSample { node: 3, role: Role::Analysis, time_s: 1.9, power_w: 99.0, cap_w: 110.0 },
+                NodeSample {
+                    node: 0,
+                    role: Role::Simulation,
+                    time_s: 4.0,
+                    power_w: 108.0,
+                    cap_w: 110.0,
+                },
+                NodeSample {
+                    node: 1,
+                    role: Role::Simulation,
+                    time_s: 4.2,
+                    power_w: 109.0,
+                    cap_w: 110.0,
+                },
+                NodeSample {
+                    node: 2,
+                    role: Role::Analysis,
+                    time_s: 2.0,
+                    power_w: 100.0,
+                    cap_w: 110.0,
+                },
+                NodeSample {
+                    node: 3,
+                    role: Role::Analysis,
+                    time_s: 1.9,
+                    power_w: 99.0,
+                    cap_w: 110.0,
+                },
             ],
         }
     }

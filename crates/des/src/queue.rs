@@ -59,11 +59,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue with the clock at zero.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-        }
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
     }
 
     /// Current simulation clock: the timestamp of the last popped event.

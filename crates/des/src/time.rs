@@ -9,15 +9,11 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An instant on the simulation clock, in nanoseconds since simulation start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -284,15 +280,8 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
-            SimTime::from_nanos(5),
-            SimTime::ZERO,
-            SimTime::from_nanos(3),
-        ];
+        let mut v = vec![SimTime::from_nanos(5), SimTime::ZERO, SimTime::from_nanos(3)];
         v.sort();
-        assert_eq!(
-            v,
-            vec![SimTime::ZERO, SimTime::from_nanos(3), SimTime::from_nanos(5)]
-        );
+        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_nanos(3), SimTime::from_nanos(5)]);
     }
 }

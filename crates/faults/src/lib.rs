@@ -306,7 +306,11 @@ impl FaultPlan {
                 }
                 if rng.next_f64() < intensity.rapl_delayed {
                     let extra_s = 0.05 + 0.45 * rng.next_f64();
-                    events.push(FaultEvent { sync, node, kind: FaultKind::RaplDelayed { extra_s } });
+                    events.push(FaultEvent {
+                        sync,
+                        node,
+                        kind: FaultKind::RaplDelayed { extra_s },
+                    });
                 }
                 if rng.next_f64() < intensity.rapl_write_error {
                     events.push(FaultEvent { sync, node, kind: FaultKind::RaplWriteError });

@@ -49,8 +49,7 @@ pub fn run_colocated(cfg: JobConfig) -> Result<RunResult, UnknownController> {
         msd2d_per_atom: base.msd2d_per_atom * 2.0,
         ..base
     };
-    let workload: Box<dyn WorkloadGen> =
-        Box::new(AnalyticWorkload::with_cost(spec.clone(), cost));
+    let workload: Box<dyn WorkloadGen> = Box::new(AnalyticWorkload::with_cost(spec.clone(), cost));
 
     let mut co_cfg = cfg;
     co_cfg.workload = spec;
@@ -107,7 +106,8 @@ mod tests {
         // Same silicon, same budget, same work: total time should be within
         // a modest factor of the space-shared run (the modes differ in
         // balancing granularity, not throughput).
-        let co = run_colocated(JobConfig::new(spec(&[K::MsdFull]), "static")).expect("known controller");
+        let co =
+            run_colocated(JobConfig::new(spec(&[K::MsdFull]), "static")).expect("known controller");
         let ss = run_job(JobConfig::new(spec(&[K::MsdFull]), "static")).expect("known controller");
         let ratio = co.total_time_s / ss.total_time_s;
         assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
@@ -115,7 +115,8 @@ mod tests {
 
     #[test]
     fn controller_label_is_tagged() {
-        let r = run_colocated(JobConfig::new(spec(&[K::Vacf]), "seesaw")).expect("known controller");
+        let r =
+            run_colocated(JobConfig::new(spec(&[K::Vacf]), "seesaw")).expect("known controller");
         assert_eq!(r.controller, "seesaw (co-located)");
     }
 }

@@ -26,20 +26,18 @@ mod result;
 mod runtime;
 mod timeshared;
 
+pub use colocated::run_colocated;
 pub use config::JobConfig;
 pub use result::{improvement_pct, median, variability_pct, RunResult, SyncRecord};
 pub use runtime::{
-    build_controller, has_phase, median_improvement, paired_improvement, run_job, run_paired,
-    Runtime,
+    build_controller, has_phase, median_improvement, paired_improvement, run_job, run_job_traced,
+    run_paired, run_paired_traced, Runtime,
 };
-pub use colocated::run_colocated;
 pub use timeshared::run_time_shared;
 
 // Re-export the fault model so experiment drivers and tests can build
 // plans without depending on the `faults` crate directly.
-pub use faults::{
-    FaultEvent, FaultIntensity, FaultKind, FaultPlan, RecoveryEvent, RecoveryKind,
-};
+pub use faults::{FaultEvent, FaultIntensity, FaultKind, FaultPlan, RecoveryEvent, RecoveryKind};
 
 #[cfg(test)]
 mod randomized {
@@ -93,7 +91,14 @@ mod randomized {
     #[test]
     fn determinism_for_every_controller() {
         let mut rng = Rng::seed_from_u64(0x0017_5102);
-        for ctl in ["seesaw", "time-aware", "power-aware", "static", "hierarchical-seesaw", "probing-seesaw"] {
+        for ctl in [
+            "seesaw",
+            "time-aware",
+            "power-aware",
+            "static",
+            "hierarchical-seesaw",
+            "probing-seesaw",
+        ] {
             let seed = rng.next_below(100);
             let mut spec = WorkloadSpec::paper(16, 8, 1, &[AnalysisKind::Rdf]);
             spec.total_steps = 8;

@@ -50,6 +50,8 @@ pub struct RunResult {
     pub fault_events: Vec<FaultEvent>,
     /// Graceful-degradation actions taken in response to injected faults.
     pub recovery_events: Vec<RecoveryEvent>,
+    /// End-of-run observability summary (`None` unless the run was traced).
+    pub metrics: Option<obs::RunMetrics>,
 }
 
 impl RunResult {
@@ -76,8 +78,7 @@ impl RunResult {
 
     /// Distinct fault tags that fired (e.g. `["node_crash", "sample_nan"]`).
     pub fn fault_tags(&self) -> Vec<&'static str> {
-        let mut tags: Vec<&'static str> =
-            self.fault_events.iter().map(|e| e.kind.tag()).collect();
+        let mut tags: Vec<&'static str> = self.fault_events.iter().map(|e| e.kind.tag()).collect();
         tags.sort_unstable();
         tags.dedup();
         tags
@@ -100,7 +101,11 @@ pub fn median(values: &[f64]) -> f64 {
     let mut v = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mid = v.len() / 2;
-    if v.len() % 2 == 1 { v[mid] } else { 0.5 * (v[mid - 1] + v[mid]) }
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
 }
 
 /// Variability of a sample as `(max − min) / median × 100` (Table I).
@@ -111,7 +116,11 @@ pub fn variability_pct(values: &[f64]) -> f64 {
     let max = values.iter().cloned().fold(f64::MIN, f64::max);
     let min = values.iter().cloned().fold(f64::MAX, f64::min);
     let med = median(values);
-    if med <= 0.0 { 0.0 } else { (max - min) / med * 100.0 }
+    if med <= 0.0 {
+        0.0
+    } else {
+        (max - min) / med * 100.0
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +172,7 @@ mod tests {
             analysis_trace: None,
             fault_events: Vec::new(),
             recovery_events: Vec::new(),
+            metrics: None,
         };
         assert!((r.mean_slack_from(10) - 0.2).abs() < 1e-12);
     }

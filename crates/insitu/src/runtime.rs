@@ -59,8 +59,8 @@ pub fn build_controller(cfg: &JobConfig) -> Result<Box<dyn Controller>, UnknownC
         })),
         "static" => Box::new(StaticAlloc::new()),
         // Paper §VIII future-work extensions.
-        "hierarchical-seesaw" => Box::new(seesaw::HierarchicalSeeSaw::new(
-            seesaw::HierarchicalConfig {
+        "hierarchical-seesaw" => {
+            Box::new(seesaw::HierarchicalSeeSaw::new(seesaw::HierarchicalConfig {
                 seesaw: SeeSawConfig {
                     budget_w: budget,
                     window: cfg.window,
@@ -69,8 +69,8 @@ pub fn build_controller(cfg: &JobConfig) -> Result<Box<dyn Controller>, UnknownC
                     skip_step_zero: true,
                 },
                 gamma: 0.5,
-            },
-        )),
+            }))
+        }
         "probing-seesaw" => Box::new(seesaw::ProbingSeeSaw::new(seesaw::ProbingConfig {
             seesaw: SeeSawConfig {
                 budget_w: budget,
@@ -93,6 +93,7 @@ pub struct Runtime {
     workload: Box<dyn WorkloadGen>,
     sim_nodes: Vec<usize>,
     ana_nodes: Vec<usize>,
+    tracer: obs::Tracer,
 }
 
 impl Runtime {
@@ -150,12 +151,31 @@ impl Runtime {
             NetworkModel::aries(),
             5.0e-6,
         );
-        Runtime { cfg, cluster, manager, workload, sim_nodes, ana_nodes }
+        Runtime {
+            cfg,
+            cluster,
+            manager,
+            workload,
+            sim_nodes,
+            ana_nodes,
+            tracer: obs::Tracer::off(),
+        }
     }
 
     /// Job configuration.
     pub fn config(&self) -> &JobConfig {
         &self.cfg
+    }
+
+    /// Attach a trace sink to every layer of the stack: the cluster's
+    /// nodes (phase/wait spans, cap actuation), the power manager
+    /// (samples, exchanges, degradation) and — through it — the
+    /// controller (decision internals). The runtime itself records sync
+    /// epochs and drives the shared sim-time clock.
+    pub fn set_tracer(&mut self, tracer: &obs::Tracer) {
+        self.tracer = tracer.clone();
+        self.cluster.set_tracer(tracer);
+        self.manager.set_tracer(tracer);
     }
 
     /// Run-to-run variability increases near the RAPL floor (paper
@@ -187,31 +207,39 @@ impl Runtime {
             let t0 = t;
             // Fault plans index intervals 0-based; sync_k is 1-based.
             let sync0 = sync_k - 1;
+            self.tracer.set_now(t0);
+            if self.tracer.is_enabled() {
+                self.tracer.emit(obs::Event::SyncStart { sync: sync_k });
+                self.tracer.count("syncs");
+            }
+            let faults_before = fault_log.len();
+            let recoveries_before = recovery_log.len();
             let sf = self.inject_faults(&plan, sync0, &mut fault_log, &mut recovery_log);
+            if self.tracer.is_enabled() {
+                for ev in &fault_log[faults_before..] {
+                    self.tracer.emit(obs::Event::Fault {
+                        sync: sync0,
+                        node: ev.node,
+                        tag: ev.kind.tag(),
+                    });
+                }
+                self.tracer.count_n("faults", (fault_log.len() - faults_before) as u64);
+            }
 
             // --- Watchdog: a partition with no survivors ends the coupled
             // job gracefully (nothing left to synchronize against).
-            let sim_alive: Vec<usize> = self
-                .sim_nodes
-                .iter()
-                .copied()
-                .filter(|&n| self.manager.is_alive(n))
-                .collect();
-            let ana_alive: Vec<usize> = self
-                .ana_nodes
-                .iter()
-                .copied()
-                .filter(|&n| self.manager.is_alive(n))
-                .collect();
+            let sim_alive: Vec<usize> =
+                self.sim_nodes.iter().copied().filter(|&n| self.manager.is_alive(n)).collect();
+            let ana_alive: Vec<usize> =
+                self.ana_nodes.iter().copied().filter(|&n| self.manager.is_alive(n)).collect();
             if sim_alive.is_empty() || ana_alive.is_empty() {
                 break;
             }
 
             // Gather this interval's per-step work (simulation runs all j
             // steps; analysis phases appear on the sync step).
-            let steps: Vec<StepWork> = ((sync_k - 1) * j + 1..=sync_k * j)
-                .map(|s| self.workload.step_work(s))
-                .collect();
+            let steps: Vec<StepWork> =
+                ((sync_k - 1) * j + 1..=sync_k * j).map(|s| self.workload.step_work(s)).collect();
 
             // --- Simulation partition executes its phases.
             let mut sim_arrivals = Vec::with_capacity(sim_alive.len());
@@ -246,14 +274,43 @@ impl Runtime {
             }
 
             // --- Rendezvous: the earlier side waits.
-            let sim_latest =
-                sim_arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t0);
-            let ana_latest =
-                ana_arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t0);
+            let sim_latest = sim_arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t0);
+            let ana_latest = ana_arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t0);
             let rendezvous = sim_latest.max(ana_latest);
+            let sim_time = sim_latest.saturating_since(t0).as_secs_f64();
+            let ana_time = ana_latest.saturating_since(t0).as_secs_f64();
+            let slack_den = sim_time.max(ana_time).max(MIN_INTERVAL_S);
+            if self.tracer.is_enabled() {
+                for (&(node, arrival), role) in sim_arrivals
+                    .iter()
+                    .map(|x| (x, Role::Simulation))
+                    .chain(ana_arrivals.iter().map(|x| (x, Role::Analysis)))
+                {
+                    self.tracer.emit_at(
+                        arrival,
+                        obs::Event::Arrival {
+                            sync: sync_k,
+                            node,
+                            role: role.tag(),
+                            time_s: arrival.saturating_since(t0).as_secs_f64(),
+                        },
+                    );
+                }
+                self.tracer.emit_at(
+                    rendezvous,
+                    obs::Event::Rendezvous {
+                        sync: sync_k,
+                        sim_time_s: sim_time,
+                        analysis_time_s: ana_time,
+                        slack: (sim_time - ana_time).abs() / slack_den,
+                    },
+                );
+            }
             for &(node, arrival) in sim_arrivals.iter().chain(&ana_arrivals) {
                 self.cluster.node_mut(node).wait_until(&machine, arrival, rendezvous);
             }
+            // Manager/controller events below are stamped at the rendezvous.
+            self.tracer.set_now(rendezvous);
 
             // --- Feedback: time to arrival, measured power over the active
             // window, current requested cap. Monitor-side corruption
@@ -265,11 +322,12 @@ impl Runtime {
                 .map(|x| (x, Role::Simulation))
                 .chain(ana_arrivals.iter().map(|x| (x, Role::Analysis)))
             {
-                let time_s =
-                    arrival.saturating_since(t0).as_secs_f64().max(MIN_INTERVAL_S);
-                let mut power_w = self.cluster.measured_total_power(&[node], t0, arrival.max(
-                    t0 + SimDuration::from_nanos(1),
-                ));
+                let time_s = arrival.saturating_since(t0).as_secs_f64().max(MIN_INTERVAL_S);
+                let mut power_w = self.cluster.measured_total_power(
+                    &[node],
+                    t0,
+                    arrival.max(t0 + SimDuration::from_nanos(1)),
+                );
                 let cap_w = self.cluster.node(node).rapl().requested_cap();
                 caps_now.push((node, role, cap_w));
                 if sf.dropout.contains(&node) {
@@ -313,7 +371,7 @@ impl Runtime {
                         });
                     }
                     let cfg = machine.clone();
-                    self.cluster.node_mut(node).rapl_mut().request_cap(&cfg, rendezvous, target);
+                    self.cluster.node_mut(node).request_cap(&cfg, rendezvous, target);
                 }
             }
             // All nodes block while the allocation call runs.
@@ -322,15 +380,29 @@ impl Runtime {
                 self.cluster.node_mut(node).wait_until(&machine, rendezvous, t_end);
             }
             t = t_end;
+            self.tracer.set_now(t_end);
+            if self.tracer.is_enabled() {
+                for rec in &recovery_log[recoveries_before..] {
+                    self.tracer.emit(obs::Event::Recovery {
+                        sync: sync0,
+                        node: rec.node,
+                        tag: rec.kind.tag(),
+                    });
+                }
+                self.tracer.count_n("recoveries", (recovery_log.len() - recoveries_before) as u64);
+                self.tracer.emit(obs::Event::SyncEnd {
+                    sync: sync_k,
+                    overhead_s: outcome.overhead.as_secs_f64(),
+                });
+            }
 
             // --- Record.
-            let sim_time = sim_latest.saturating_since(t0).as_secs_f64();
-            let ana_time = ana_latest.saturating_since(t0).as_secs_f64();
-            let slack_den = sim_time.max(ana_time).max(MIN_INTERVAL_S);
             let mean_power = |arrivals: &[(usize, SimTime)], cluster: &Cluster| -> f64 {
                 arrivals
                     .iter()
-                    .map(|&(n, a)| cluster.node(n).mean_power(t0, a.max(t0 + SimDuration::from_nanos(1))))
+                    .map(|&(n, a)| {
+                        cluster.node(n).mean_power(t0, a.max(t0 + SimDuration::from_nanos(1)))
+                    })
                     .sum::<f64>()
                     / arrivals.len() as f64
             };
@@ -341,7 +413,11 @@ impl Runtime {
                     .iter()
                     .filter(|&&(_, r, _)| r == role)
                     .fold((0.0, 0usize), |(s, n), &(_, _, c)| (s + c, n + 1));
-                if n == 0 { 0.0 } else { sum / n as f64 }
+                if n == 0 {
+                    0.0
+                } else {
+                    sum / n as f64
+                }
             };
             syncs.push(SyncRecord {
                 index: sync_k,
@@ -359,8 +435,7 @@ impl Runtime {
         }
 
         let total_time_s = t.as_secs_f64();
-        let all_nodes: Vec<usize> =
-            self.sim_nodes.iter().chain(&self.ana_nodes).copied().collect();
+        let all_nodes: Vec<usize> = self.sim_nodes.iter().chain(&self.ana_nodes).copied().collect();
         let total_energy_j = self.cluster.total_energy(&all_nodes, SimTime::ZERO, t);
         let (sim_trace, analysis_trace) = if self.cfg.record_traces {
             let sim = self.cluster.sample_trace(&self.sim_nodes, SimTime::ZERO, t);
@@ -369,6 +444,7 @@ impl Runtime {
         } else {
             (None, None)
         };
+        let metrics = if self.tracer.is_enabled() { Some(self.tracer.metrics()) } else { None };
         RunResult {
             controller: self.cfg.controller.clone(),
             total_time_s,
@@ -378,6 +454,7 @@ impl Runtime {
             analysis_trace,
             fault_events: fault_log,
             recovery_events: recovery_log,
+            metrics,
         }
     }
 
@@ -471,10 +548,7 @@ struct SyncFaults {
 
 impl SyncFaults {
     fn straggle_factor(&self, node: usize) -> f64 {
-        self.straggle
-            .iter()
-            .find(|&&(n, _)| n == node)
-            .map_or(1.0, |&(_, f)| f)
+        self.straggle.iter().find(|&&(n, _)| n == node).map_or(1.0, |&(_, f)| f)
     }
 
     fn spike_factor(&self, node: usize) -> Option<f64> {
@@ -499,6 +573,18 @@ pub fn run_job(cfg: JobConfig) -> Result<RunResult, UnknownController> {
     Ok(Runtime::new(cfg)?.run())
 }
 
+/// Run a job with a trace sink attached to every layer. The recorded
+/// trace is keyed on simulated time and is a pure function of
+/// `(cfg, seed)` — byte-identical across repeats and thread counts.
+pub fn run_job_traced(
+    cfg: JobConfig,
+    tracer: &obs::Tracer,
+) -> Result<RunResult, UnknownController> {
+    let mut rt = Runtime::new(cfg)?;
+    rt.set_tracer(tracer);
+    Ok(rt.run())
+}
+
 /// Run `controller` and the static baseline in the same "job" (identical
 /// placement — same job seed, consecutive run seeds, as the paper does to
 /// sidestep job-to-job variability, §VII-A). Returns
@@ -509,12 +595,29 @@ pub fn run_job(cfg: JobConfig) -> Result<RunResult, UnknownController> {
 /// back slotted by index and errors are surfaced in controller-first
 /// order, matching the former serial code exactly.
 pub fn run_paired(cfg: &JobConfig) -> Result<(RunResult, RunResult), UnknownController> {
+    run_paired_traced(cfg, &obs::Tracer::off())
+}
+
+/// [`run_paired`] with a trace sink attached to the *controller* run (the
+/// static baseline runs untraced — its timeline is not the object of
+/// study, and sharing a sink across concurrent runs would interleave
+/// their events nondeterministically).
+pub fn run_paired_traced(
+    cfg: &JobConfig,
+    tracer: &obs::Tracer,
+) -> Result<(RunResult, RunResult), UnknownController> {
     let mut base_cfg = cfg.clone();
     base_cfg.controller = "static".to_string();
     base_cfg.seed.run = cfg.seed.run + 1;
     let cfgs = [cfg.clone(), base_cfg];
-    let mut results =
-        par::global().par_map_indexed(cfgs.len(), |i| run_job(cfgs[i].clone())).into_iter();
+    let tracers = [tracer.clone(), obs::Tracer::off()];
+    let mut results = par::global()
+        .par_map_indexed(cfgs.len(), |i| {
+            let mut rt = Runtime::new(cfgs[i].clone())?;
+            rt.set_tracer(&tracers[i]);
+            Ok(rt.run())
+        })
+        .into_iter();
     let ctl = results.next().expect("two results")?;
     let base = results.next().expect("two results")?;
     Ok((ctl, base))

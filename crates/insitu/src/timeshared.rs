@@ -48,7 +48,8 @@ pub fn run_time_shared(cfg: JobConfig) -> RunResult {
             let mut cursor = t0;
             for sw in &steps {
                 for &w in &sw.sim_phases {
-                    let scaled = theta_sim::Work::scaled(w.kind, w.ref_secs * sim_scale, w.demand_scale);
+                    let scaled =
+                        theta_sim::Work::scaled(w.kind, w.ref_secs * sim_scale, w.demand_scale);
                     let jitter = cluster.noise_mut().phase_jitter();
                     cursor = cluster.node_mut(node).run_phase(&machine, cursor, scaled, jitter);
                 }
@@ -67,7 +68,8 @@ pub fn run_time_shared(cfg: JobConfig) -> RunResult {
         for node in 0..n {
             let mut cursor = sim_end;
             for &w in &ana_phases {
-                let scaled = theta_sim::Work::scaled(w.kind, w.ref_secs * ana_scale, w.demand_scale);
+                let scaled =
+                    theta_sim::Work::scaled(w.kind, w.ref_secs * ana_scale, w.demand_scale);
                 let jitter = cluster.noise_mut().phase_jitter();
                 cursor = cluster.node_mut(node).run_phase(&machine, cursor, scaled, jitter);
             }
@@ -113,6 +115,7 @@ pub fn run_time_shared(cfg: JobConfig) -> RunResult {
         // Time-shared mode does not run the fault-injection seams.
         fault_events: Vec::new(),
         recovery_events: Vec::new(),
+        metrics: None,
     }
 }
 

@@ -132,7 +132,11 @@ impl Msd {
 
     /// MSD against one origin, returning (per-bin sums, per-bin counts,
     /// overall mean).
-    fn against_origin(&self, origin: &Origin, snap: &Snapshot<'_>) -> (Vec<f64>, Vec<u64>, f64, AnalysisWork) {
+    fn against_origin(
+        &self,
+        origin: &Origin,
+        snap: &Snapshot<'_>,
+    ) -> (Vec<f64>, Vec<u64>, f64, AnalysisWork) {
         let n = snap.len();
         let one_d = self.cfg.bins;
         let mut sums = vec![0.0; self.nbins_total()];

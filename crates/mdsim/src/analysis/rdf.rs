@@ -140,8 +140,7 @@ impl Analysis for Rdf {
         let r_max = self.cfg.r_max.min(snap.box_len / 2.0);
         let n_water = snap.species.iter().filter(|s| s.is_water_site()).count();
         self.water_density = n_water as f64 / snap.box_len.powi(3);
-        self.n_hydronium =
-            snap.species.iter().filter(|&&s| s == Species::Hydronium).count() as u64;
+        self.n_hydronium = snap.species.iter().filter(|&&s| s == Species::Hydronium).count() as u64;
         self.n_ion = snap.species.iter().filter(|&&s| s == Species::Ion).count() as u64;
         let mut work = Self::accumulate(
             &mut self.hist_hydronium,

@@ -8,14 +8,12 @@ use super::{Analysis, AnalysisKind, AnalysisWork, Snapshot};
 use crate::vec3::Vec3;
 
 /// VACF configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct VacfConfig {
     /// Re-anchor the time origin every this many observed frames (0 =
     /// single origin for the whole run).
     pub origin_interval: u64,
 }
-
 
 /// VACF accumulator.
 #[derive(Debug, Clone)]
@@ -31,7 +29,13 @@ pub struct Vacf {
 impl Vacf {
     /// Build a VACF accumulator.
     pub fn new(cfg: VacfConfig) -> Self {
-        Vacf { cfg, origin_vel: Vec::new(), origin_norm: 0.0, frames_since_origin: 0, series: Vec::new() }
+        Vacf {
+            cfg,
+            origin_vel: Vec::new(),
+            origin_norm: 0.0,
+            frames_since_origin: 0,
+            series: Vec::new(),
+        }
     }
 
     /// The normalized correlation series `(lag, C)`; `C(0) = 1`.
@@ -63,13 +67,8 @@ impl Analysis for Vacf {
             self.set_origin(snap);
         }
         let n = snap.len();
-        let corr: f64 = self
-            .origin_vel
-            .iter()
-            .zip(snap.vel)
-            .map(|(v0, v)| v0.dot(*v))
-            .sum::<f64>()
-            / n as f64;
+        let corr: f64 =
+            self.origin_vel.iter().zip(snap.vel).map(|(v0, v)| v0.dot(*v)).sum::<f64>() / n as f64;
         let c = if self.origin_norm > 0.0 { corr / self.origin_norm } else { 0.0 };
         self.series.push((self.frames_since_origin, c));
         self.frames_since_origin += 1;

@@ -212,8 +212,7 @@ mod tests {
     #[test]
     fn bond_at_equilibrium_has_no_force() {
         let mut sys = two_particle_system(1.2);
-        let topo =
-            Topology { bonds: vec![Bond { i: 0, j: 1, k: 50.0, r0: 1.2 }], angles: vec![] };
+        let topo = Topology { bonds: vec![Bond { i: 0, j: 1, k: 50.0, r0: 1.2 }], angles: vec![] };
         let e = compute_bonded(&mut sys, &topo);
         assert!(e.bond_energy.abs() < 1e-12);
         assert!(sys.force[0].norm() < 1e-9);
@@ -222,8 +221,7 @@ mod tests {
     #[test]
     fn stretched_bond_pulls_back() {
         let mut sys = two_particle_system(1.5);
-        let topo =
-            Topology { bonds: vec![Bond { i: 0, j: 1, k: 50.0, r0: 1.2 }], angles: vec![] };
+        let topo = Topology { bonds: vec![Bond { i: 0, j: 1, k: 50.0, r0: 1.2 }], angles: vec![] };
         let e = compute_bonded(&mut sys, &topo);
         assert!((e.bond_energy - 50.0 * 0.09).abs() < 1e-9);
         // Particle 0 pulled toward +x (toward particle 1).

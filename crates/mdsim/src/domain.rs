@@ -51,9 +51,7 @@ impl DomainDecomposition {
 
     /// Rank owning a (wrapped) position in a box of side `box_len`.
     pub fn rank_of(&self, p: Vec3, box_len: f64) -> usize {
-        let cell = |x: f64, n: usize| -> usize {
-            (((x / box_len) * n as f64) as usize).min(n - 1)
-        };
+        let cell = |x: f64, n: usize| -> usize { (((x / box_len) * n as f64) as usize).min(n - 1) };
         let (ix, iy, iz) =
             (cell(p.x, self.grid[0]), cell(p.y, self.grid[1]), cell(p.z, self.grid[2]));
         (ix * self.grid[1] + iy) * self.grid[2] + iz

@@ -44,8 +44,11 @@ impl<W: Write> ThermoWriter<W> {
     /// Append one record.
     pub fn write(&mut self, rec: &ThermoRecord) -> io::Result<()> {
         if !self.wrote_header {
-            writeln!(self.out, "{:>8} {:>12} {:>14} {:>14} {:>14} {:>12}",
-                "Step", "Temp", "KinEng", "PotEng", "TotEng", "Press")?;
+            writeln!(
+                self.out,
+                "{:>8} {:>12} {:>14} {:>14} {:>14} {:>12}",
+                "Step", "Temp", "KinEng", "PotEng", "TotEng", "Press"
+            )?;
             self.wrote_header = true;
         }
         writeln!(

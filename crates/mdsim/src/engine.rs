@@ -67,8 +67,7 @@ impl MdEngine {
         let params = ForceParams::default();
         let table = PairTable::new();
         let neighbor_skin = 0.4;
-        let exclusions =
-            if topology.is_empty() { None } else { Some(topology.exclusions()) };
+        let exclusions = if topology.is_empty() { None } else { Some(topology.exclusions()) };
         let nl = NeighborList::build(&system.pos, system.box_len, params.cutoff, neighbor_skin);
         let mut last_eval =
             compute_forces_excluding(&mut system, &nl, params, &table, exclusions.as_deref());

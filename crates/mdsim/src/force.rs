@@ -110,7 +110,12 @@ impl Default for PairTerm {
 }
 
 /// Evaluate forces into `sys.force`, returning energy/virial/work counts.
-pub fn compute_forces(sys: &mut System, nl: &NeighborList, params: ForceParams, table: &PairTable) -> ForceEval {
+pub fn compute_forces(
+    sys: &mut System,
+    nl: &NeighborList,
+    params: ForceParams,
+    table: &PairTable,
+) -> ForceEval {
     compute_forces_excluding(sys, nl, params, table, None)
 }
 
@@ -235,7 +240,12 @@ fn compute_forces_serial(
 /// thread count (though it deliberately differs in rounding from the
 /// running sum inside [`compute_forces`] — tests compare gradients, not
 /// bits).
-pub fn compute_potential(sys: &System, nl: &NeighborList, params: ForceParams, table: &PairTable) -> f64 {
+pub fn compute_potential(
+    sys: &System,
+    nl: &NeighborList,
+    params: ForceParams,
+    table: &PairTable,
+) -> f64 {
     let cutoff_sq = params.cutoff * params.cutoff;
     let pair_u = |&(i, j): &(u32, u32)| -> f64 {
         let (i, j) = (i as usize, j as usize);

@@ -91,9 +91,7 @@ pub fn parse(script: &str) -> Result<InputScript, ParseError> {
         let cmd = tok.next().unwrap();
         let err = |message: String| ParseError { line: line_no, message };
         let mut arg = |what: &str| -> Result<String, ParseError> {
-            tok.next()
-                .map(str::to_string)
-                .ok_or_else(|| err(format!("{cmd}: missing {what}")))
+            tok.next().map(str::to_string).ok_or_else(|| err(format!("{cmd}: missing {what}")))
         };
         match cmd {
             "units" => {
@@ -103,9 +101,7 @@ pub fn parse(script: &str) -> Result<InputScript, ParseError> {
                 }
             }
             "dim" => {
-                out.dim = arg("value")?
-                    .parse()
-                    .map_err(|e| err(format!("dim: {e}")))?;
+                out.dim = arg("value")?.parse().map_err(|e| err(format!("dim: {e}")))?;
                 if out.dim == 0 {
                     return Err(err("dim must be positive".into()));
                 }
@@ -114,8 +110,7 @@ pub fn parse(script: &str) -> Result<InputScript, ParseError> {
                 out.seed = arg("value")?.parse().map_err(|e| err(format!("seed: {e}")))?;
             }
             "timestep" => {
-                out.timestep =
-                    arg("value")?.parse().map_err(|e| err(format!("timestep: {e}")))?;
+                out.timestep = arg("value")?.parse().map_err(|e| err(format!("timestep: {e}")))?;
                 if out.timestep <= 0.0 || out.timestep.is_nan() {
                     return Err(err("timestep must be positive".into()));
                 }
@@ -146,8 +141,7 @@ pub fn parse(script: &str) -> Result<InputScript, ParseError> {
                 out.analyses.push(AnalysisSchedule { kind, every });
             }
             "run" => {
-                out.run_steps =
-                    arg("step count")?.parse().map_err(|e| err(format!("run: {e}")))?;
+                out.run_steps = arg("step count")?.parse().map_err(|e| err(format!("run: {e}")))?;
             }
             other => return Err(err(format!("unknown command {other:?}"))),
         }

@@ -9,7 +9,6 @@
 //! consume: per-molecule positions and velocities of three species.
 //! Reduced Lennard-Jones units throughout (σ = ε = m_water = 1).
 
-
 /// Particle species.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Species {
@@ -30,13 +29,8 @@ pub const NSPECIES: usize = 5;
 
 impl Species {
     /// All species, in storage order.
-    pub const ALL: [Species; NSPECIES] = [
-        Species::Water,
-        Species::Hydronium,
-        Species::Ion,
-        Species::WaterO,
-        Species::WaterH,
-    ];
+    pub const ALL: [Species; NSPECIES] =
+        [Species::Water, Species::Hydronium, Species::Ion, Species::WaterO, Species::WaterH];
 
     /// Particle mass (reduced units; one water molecule = 1).
     pub fn mass(self) -> f64 {

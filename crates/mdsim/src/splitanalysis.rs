@@ -88,10 +88,7 @@ impl SplitAnalysis {
     /// paper's `j`.
     pub fn new(engine: MdEngine, schedules: Vec<AnalysisSchedule>, sync_every: u64) -> Self {
         assert!(sync_every >= 1, "j must be at least 1");
-        let analyses = schedules
-            .into_iter()
-            .map(|s| (s, crate::analysis::build(s.kind)))
-            .collect();
+        let analyses = schedules.into_iter().map(|s| (s, crate::analysis::build(s.kind))).collect();
         SplitAnalysis { engine, analyses, sync_every, step: 0, verified_count: None }
     }
 
@@ -181,10 +178,7 @@ impl SplitAnalysis {
 
     /// Access a completed analysis for result extraction.
     pub fn analysis(&self, kind: AnalysisKind) -> Option<&dyn Analysis> {
-        self.analyses
-            .iter()
-            .find(|(s, _)| s.kind == kind)
-            .map(|(_, a)| a.as_ref())
+        self.analyses.iter().find(|(s, _)| s.kind == kind).map(|(_, a)| a.as_ref())
     }
 }
 

@@ -45,11 +45,7 @@ impl System {
 
     /// Kinetic energy `Σ ½ m v²`.
     pub fn kinetic_energy(&self) -> f64 {
-        self.species
-            .iter()
-            .zip(&self.vel)
-            .map(|(s, v)| 0.5 * s.mass() * v.norm_sq())
-            .sum()
+        self.species.iter().zip(&self.vel).map(|(s, v)| 0.5 * s.mass() * v.norm_sq()).sum()
     }
 
     /// Instantaneous temperature `2·KE / (3N)` (reduced units, k_B = 1).
@@ -62,10 +58,7 @@ impl System {
 
     /// Total linear momentum.
     pub fn momentum(&self) -> Vec3 {
-        self.species
-            .iter()
-            .zip(&self.vel)
-            .fold(Vec3::ZERO, |acc, (s, v)| acc + *v * s.mass())
+        self.species.iter().zip(&self.vel).fold(Vec3::ZERO, |acc, (s, v)| acc + *v * s.mass())
     }
 
     /// Remove center-of-mass drift.
@@ -157,23 +150,12 @@ pub fn water_ion_box(dim: usize, temperature: f64, seed: u64) -> System {
         .iter()
         .map(|s| {
             let sigma = (temperature / s.mass()).sqrt();
-            Vec3::new(
-                rng.normal() * sigma,
-                rng.normal() * sigma,
-                rng.normal() * sigma,
-            )
+            Vec3::new(rng.normal() * sigma, rng.normal() * sigma, rng.normal() * sigma)
         })
         .collect();
 
     let unwrapped = pos.clone();
-    let mut sys = System {
-        box_len,
-        force: vec![Vec3::ZERO; n],
-        species,
-        pos,
-        vel,
-        unwrapped,
-    };
+    let mut sys = System { box_len, force: vec![Vec3::ZERO; n], species, pos, vel, unwrapped };
     sys.zero_momentum();
     sys.rescale_to_temperature(temperature);
     sys
@@ -220,16 +202,8 @@ pub fn water3_box(n_side: usize, temperature: f64, seed: u64) -> (System, Topolo
                 // Random molecular orientation: two O–H vectors at THETA.
                 let phi = rng.uniform(0.0, std::f64::consts::TAU);
                 let half = water3::THETA / 2.0;
-                let axis1 = Vec3::new(
-                    phi.cos() * half.sin(),
-                    phi.sin() * half.sin(),
-                    half.cos(),
-                );
-                let axis2 = Vec3::new(
-                    phi.cos() * half.sin(),
-                    phi.sin() * half.sin(),
-                    -half.cos(),
-                );
+                let axis1 = Vec3::new(phi.cos() * half.sin(), phi.sin() * half.sin(), half.cos());
+                let axis2 = Vec3::new(phi.cos() * half.sin(), phi.sin() * half.sin(), -half.cos());
                 let base = pos.len() as u32;
                 species.push(Species::WaterO);
                 pos.push(o.wrap(box_len));
@@ -237,18 +211,8 @@ pub fn water3_box(n_side: usize, temperature: f64, seed: u64) -> (System, Topolo
                 pos.push((o + axis1 * water3::R_OH).wrap(box_len));
                 species.push(Species::WaterH);
                 pos.push((o + axis2 * water3::R_OH).wrap(box_len));
-                topo.bonds.push(Bond {
-                    i: base,
-                    j: base + 1,
-                    k: water3::K_BOND,
-                    r0: water3::R_OH,
-                });
-                topo.bonds.push(Bond {
-                    i: base,
-                    j: base + 2,
-                    k: water3::K_BOND,
-                    r0: water3::R_OH,
-                });
+                topo.bonds.push(Bond { i: base, j: base + 1, k: water3::K_BOND, r0: water3::R_OH });
+                topo.bonds.push(Bond { i: base, j: base + 2, k: water3::K_BOND, r0: water3::R_OH });
                 topo.angles.push(Angle {
                     i: base + 1,
                     j: base,
@@ -268,14 +232,8 @@ pub fn water3_box(n_side: usize, temperature: f64, seed: u64) -> (System, Topolo
         })
         .collect();
     let unwrapped = pos.clone();
-    let mut sys = System {
-        box_len,
-        force: vec![Vec3::ZERO; species.len()],
-        species,
-        pos,
-        vel,
-        unwrapped,
-    };
+    let mut sys =
+        System { box_len, force: vec![Vec3::ZERO; species.len()], species, pos, vel, unwrapped };
     sys.zero_momentum();
     sys.rescale_to_temperature(temperature);
     (sys, topo)
@@ -361,8 +319,7 @@ mod tests {
     fn water3_geometry_starts_at_equilibrium() {
         let (sys, topo) = water3_box(3, 1.0, 10);
         for b in &topo.bonds {
-            let d = (sys.pos[b.i as usize] - sys.pos[b.j as usize])
-                .minimum_image(sys.box_len);
+            let d = (sys.pos[b.i as usize] - sys.pos[b.j as usize]).minimum_image(sys.box_len);
             assert!((d.norm() - water3::R_OH).abs() < 1e-9, "{}", d.norm());
         }
     }

@@ -52,7 +52,11 @@ impl Thermostat {
 
 /// Equilibrate a system for `steps` with the given thermostat; returns the
 /// final temperature.
-pub fn equilibrate(engine: &mut crate::engine::MdEngine, thermostat: Thermostat, steps: u64) -> f64 {
+pub fn equilibrate(
+    engine: &mut crate::engine::MdEngine,
+    thermostat: Thermostat,
+    steps: u64,
+) -> f64 {
     let dt = crate::integrate::Integrator::default().dt;
     for s in 0..steps {
         engine.step();

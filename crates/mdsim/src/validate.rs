@@ -136,8 +136,8 @@ mod tests {
         let mut times = Vec::new();
         let mut msd_series = Vec::new();
         let mut vacf_series = Vec::new();
-        let v2 = engine.system.vel.iter().map(|v| v.norm_sq()).sum::<f64>()
-            / engine.system.len() as f64;
+        let v2 =
+            engine.system.vel.iter().map(|v| v.norm_sq()).sum::<f64>() / engine.system.len() as f64;
         for k in 0..300u64 {
             if k % sample_every == 0 {
                 let snap = Snapshot::of(&engine.system);

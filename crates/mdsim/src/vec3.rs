@@ -63,7 +63,11 @@ impl Vec3 {
 fn wrap1(x: f64, l: f64) -> f64 {
     let w = x - l * (x / l).floor();
     // Guard the x == l edge caused by rounding.
-    if w >= l { w - l } else { w }
+    if w >= l {
+        w - l
+    } else {
+        w
+    }
 }
 
 impl Add for Vec3 {

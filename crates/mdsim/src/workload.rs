@@ -336,10 +336,7 @@ impl WorkloadGen for AnalyticWorkload {
             ));
         } else {
             // Amortized skin-triggered rebuilds between syncs.
-            sim.push(Work::new(
-                PhaseKind::NeighborRebuild,
-                cost.offsync_neighbor_per_atom * a_sim,
-            ));
+            sim.push(Work::new(PhaseKind::NeighborRebuild, cost.offsync_neighbor_per_atom * a_sim));
         }
         sim.push(Work::scaled(PhaseKind::Force, cost.force_per_atom * a_sim * setup, util_s));
         sim.push(Work::new(
@@ -416,17 +413,13 @@ impl WorkloadGen for MeasuredWorkload {
         let cost = &self.cost;
         let scale_sim = self.spec.atoms_per_sim_node() / self.real_atoms;
         let scale_ana = self.spec.atoms_per_analysis_node() / self.real_atoms;
-        let comm_extra =
-            cost.comm_log_s * (self.spec.nodes_total() as f64).log2().max(0.0);
+        let comm_extra = cost.comm_log_s * (self.spec.nodes_total() as f64).log2().max(0.0);
         // Convert measured counts to per-atom-equivalent durations: the real
         // run's per-atom ratios modulate the calibrated constants.
         let atoms = self.real_atoms;
         let pair_ratio = rec.force_pairs as f64 / (atoms * 40.0); // 40 pairs/atom nominal
         let mut sim = vec![
-            Work::new(
-                PhaseKind::Integrate,
-                cost.integrate_per_atom * atoms * scale_sim,
-            ),
+            Work::new(PhaseKind::Integrate, cost.integrate_per_atom * atoms * scale_sim),
             Work::new(
                 PhaseKind::Force,
                 cost.force_per_atom * atoms * scale_sim * pair_ratio.max(0.1),
@@ -461,7 +454,7 @@ impl WorkloadGen for MeasuredWorkload {
                 // ops are O(atoms) for most kernels; normalize per atom.
                 let ops_per_atom = work.ops as f64 / atoms;
                 let nominal_ops_per_atom = match kind {
-                    AnalysisKind::Rdf => 32.0,  // targets × waters / atoms
+                    AnalysisKind::Rdf => 32.0, // targets × waters / atoms
                     AnalysisKind::Vacf => 1.0,
                     AnalysisKind::MsdFull => 8.0, // grows with origins
                     AnalysisKind::Msd1d | AnalysisKind::Msd2d => 1.0,
@@ -585,7 +578,9 @@ mod tests {
 
     #[test]
     fn low_demand_analyses_are_2_to_4x_faster() {
-        for kind in [AnalysisKind::Vacf, AnalysisKind::Rdf, AnalysisKind::Msd1d, AnalysisKind::Msd2d] {
+        for kind in
+            [AnalysisKind::Vacf, AnalysisKind::Rdf, AnalysisKind::Msd1d, AnalysisKind::Msd2d]
+        {
             let spec = WorkloadSpec::paper(16, 128, 1, &[kind]);
             let mut w = AnalyticWorkload::new(spec);
             let sw = (1..=10).map(|s| w.step_work(s)).last().unwrap();
@@ -602,8 +597,7 @@ mod tests {
         assert!(early > 1.2 * late, "early {early} late {late}");
         // Without MSD only the (smaller) scale-dependent startup transient
         // remains.
-        let mut w2 =
-            AnalyticWorkload::new(WorkloadSpec::paper(16, 128, 1, &[AnalysisKind::Vacf]));
+        let mut w2 = AnalyticWorkload::new(WorkloadSpec::paper(16, 128, 1, &[AnalysisKind::Vacf]));
         let e2 = w2.step_work(1).sim_ref_secs();
         let l2 = w2.step_work(10).sim_ref_secs();
         assert!(e2 > l2, "startup transient expected");
@@ -626,13 +620,18 @@ mod tests {
 
     #[test]
     fn comm_terms_grow_with_scale() {
-        let mut small = AnalyticWorkload::new(WorkloadSpec::paper(48, 128, 1, &[AnalysisKind::Vacf]));
-        let mut big = AnalyticWorkload::new(WorkloadSpec::paper(48, 1024, 1, &[AnalysisKind::Vacf]));
+        let mut small =
+            AnalyticWorkload::new(WorkloadSpec::paper(48, 128, 1, &[AnalysisKind::Vacf]));
+        let mut big =
+            AnalyticWorkload::new(WorkloadSpec::paper(48, 1024, 1, &[AnalysisKind::Vacf]));
         let comm = |sw: &StepWork| {
             sw.sim_phases
                 .iter()
                 .filter(|p| {
-                    matches!(p.kind, PhaseKind::SyncExchange | PhaseKind::ThermoIo | PhaseKind::NeighborRebuild)
+                    matches!(
+                        p.kind,
+                        PhaseKind::SyncExchange | PhaseKind::ThermoIo | PhaseKind::NeighborRebuild
+                    )
                 })
                 .map(|p| p.ref_secs)
                 .sum::<f64>()

@@ -20,11 +20,7 @@ pub struct Outcome<T> {
 }
 
 fn check_len<T>(comm: &Communicator, vals: &[T]) {
-    assert_eq!(
-        vals.len(),
-        comm.size(),
-        "one contribution per member rank required"
-    );
+    assert_eq!(vals.len(), comm.size(), "one contribution per member rank required");
 }
 
 /// `MPI_Allreduce(SUM)` over one `f64` per rank.
@@ -55,10 +51,7 @@ pub fn allgather<T: Clone>(
     bytes_per_item: u64,
 ) -> Outcome<Vec<T>> {
     check_len(comm, vals);
-    Outcome {
-        value: vals.to_vec(),
-        cost: net.allgather(comm.nnodes(), bytes_per_item),
-    }
+    Outcome { value: vals.to_vec(), cost: net.allgather(comm.nnodes(), bytes_per_item) }
 }
 
 /// `MPI_Allgather` with message loss: ranks listed in `lost` contribute

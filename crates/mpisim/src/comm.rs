@@ -85,8 +85,7 @@ impl Communicator {
 
     /// Distinct nodes hosting this communicator's ranks, ascending.
     pub fn nodes(&self) -> Vec<usize> {
-        let set: BTreeSet<usize> =
-            self.ranks.iter().map(|&r| self.layout.node_of(r)).collect();
+        let set: BTreeSet<usize> = self.ranks.iter().map(|&r| self.layout.node_of(r)).collect();
         set.into_iter().collect()
     }
 

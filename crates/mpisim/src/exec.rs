@@ -231,7 +231,10 @@ mod tests {
     fn compute_only_programs_finish_at_their_sums() {
         let out = Executor::new(
             net(),
-            vec![vec![Op::Compute(secs(1.0)), Op::Compute(secs(0.5))], vec![Op::Compute(secs(2.0))]],
+            vec![
+                vec![Op::Compute(secs(1.0)), Op::Compute(secs(0.5))],
+                vec![Op::Compute(secs(2.0))],
+            ],
         )
         .run();
         let Outcome::Finished(t) = out else { panic!("{out:?}") };
@@ -245,14 +248,8 @@ mod tests {
         let out = Executor::new(
             net(),
             vec![
-                vec![
-                    Op::Send { to: 1, bytes: 1024, tag: 7 },
-                    Op::Recv { from: 1, tag: 8 },
-                ],
-                vec![
-                    Op::Recv { from: 0, tag: 7 },
-                    Op::Send { to: 0, bytes: 1024, tag: 8 },
-                ],
+                vec![Op::Send { to: 1, bytes: 1024, tag: 7 }, Op::Recv { from: 1, tag: 8 }],
+                vec![Op::Recv { from: 0, tag: 7 }, Op::Send { to: 0, bytes: 1024, tag: 8 }],
             ],
         )
         .run();
@@ -288,10 +285,7 @@ mod tests {
                     Op::Compute(secs(1.0)),
                     Op::Send { to: 1, bytes: 64, tag: 1 },
                 ],
-                vec![
-                    Op::Recv { from: 0, tag: 1 },
-                    Op::Recv { from: 0, tag: 1 },
-                ],
+                vec![Op::Recv { from: 0, tag: 1 }, Op::Recv { from: 0, tag: 1 }],
             ],
         )
         .run();
@@ -304,10 +298,7 @@ mod tests {
         // Receiver wants tag 2; only tag 1 ever arrives → deadlock.
         let out = Executor::new(
             net(),
-            vec![
-                vec![Op::Send { to: 1, bytes: 8, tag: 1 }],
-                vec![Op::Recv { from: 0, tag: 2 }],
-            ],
+            vec![vec![Op::Send { to: 1, bytes: 8, tag: 1 }], vec![Op::Recv { from: 0, tag: 2 }]],
         )
         .run();
         let Outcome::Deadlock(blocked) = out else { panic!("{out:?}") };

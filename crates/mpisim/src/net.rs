@@ -32,7 +32,11 @@ impl NetworkModel {
     }
 
     fn rounds(nodes: usize) -> u32 {
-        if nodes <= 1 { 0 } else { (nodes as f64).log2().ceil() as u32 }
+        if nodes <= 1 {
+            0
+        } else {
+            (nodes as f64).log2().ceil() as u32
+        }
     }
 
     /// Point-to-point message cost between two nodes.

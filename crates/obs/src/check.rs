@@ -1,0 +1,191 @@
+//! A minimal recursive-descent JSON validator.
+//!
+//! The workspace serializes JSON by hand (no registry dependencies), so
+//! tests need an independent way to assert that what we emit actually
+//! *parses*. This checks well-formedness per RFC 8259 — it builds no
+//! value tree and allocates nothing.
+
+/// True when `input` is exactly one well-formed JSON value (leading and
+/// trailing whitespace allowed, nothing else).
+pub fn is_valid_json(input: &str) -> bool {
+    let b = input.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    match value(b, pos) {
+        Some(next) => {
+            pos = skip_ws(b, next);
+            pos == b.len()
+        }
+        None => false,
+    }
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+/// Parse one value starting at `pos`; return the index just past it.
+fn value(b: &[u8], pos: usize) -> Option<usize> {
+    match b.get(pos)? {
+        b'{' => object(b, pos),
+        b'[' => array(b, pos),
+        b'"' => string(b, pos),
+        b't' => literal(b, pos, b"true"),
+        b'f' => literal(b, pos, b"false"),
+        b'n' => literal(b, pos, b"null"),
+        b'-' | b'0'..=b'9' => number(b, pos),
+        _ => None,
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Option<usize> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Some(pos + lit.len())
+    } else {
+        None
+    }
+}
+
+fn object(b: &[u8], pos: usize) -> Option<usize> {
+    let mut p = skip_ws(b, pos + 1);
+    if b.get(p) == Some(&b'}') {
+        return Some(p + 1);
+    }
+    loop {
+        p = string(b, skip_ws(b, p))?;
+        p = skip_ws(b, p);
+        if b.get(p) != Some(&b':') {
+            return None;
+        }
+        p = value(b, skip_ws(b, p + 1))?;
+        p = skip_ws(b, p);
+        match b.get(p)? {
+            b',' => p = skip_ws(b, p + 1),
+            b'}' => return Some(p + 1),
+            _ => return None,
+        }
+    }
+}
+
+fn array(b: &[u8], pos: usize) -> Option<usize> {
+    let mut p = skip_ws(b, pos + 1);
+    if b.get(p) == Some(&b']') {
+        return Some(p + 1);
+    }
+    loop {
+        p = value(b, p)?;
+        p = skip_ws(b, p);
+        match b.get(p)? {
+            b',' => p = skip_ws(b, p + 1),
+            b']' => return Some(p + 1),
+            _ => return None,
+        }
+    }
+}
+
+fn string(b: &[u8], pos: usize) -> Option<usize> {
+    if b.get(pos) != Some(&b'"') {
+        return None;
+    }
+    let mut p = pos + 1;
+    while p < b.len() {
+        match b[p] {
+            b'"' => return Some(p + 1),
+            b'\\' => match b.get(p + 1)? {
+                b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => p += 2,
+                b'u' => {
+                    let hex = b.get(p + 2..p + 6)?;
+                    if !hex.iter().all(|c| c.is_ascii_hexdigit()) {
+                        return None;
+                    }
+                    p += 6;
+                }
+                _ => return None,
+            },
+            0x00..=0x1f => return None, // control chars must be escaped
+            _ => p += 1,
+        }
+    }
+    None
+}
+
+fn number(b: &[u8], pos: usize) -> Option<usize> {
+    let mut p = pos;
+    if b.get(p) == Some(&b'-') {
+        p += 1;
+    }
+    match b.get(p)? {
+        b'0' => p += 1,
+        b'1'..=b'9' => {
+            while matches!(b.get(p), Some(b'0'..=b'9')) {
+                p += 1;
+            }
+        }
+        _ => return None,
+    }
+    if b.get(p) == Some(&b'.') {
+        p += 1;
+        if !matches!(b.get(p), Some(b'0'..=b'9')) {
+            return None;
+        }
+        while matches!(b.get(p), Some(b'0'..=b'9')) {
+            p += 1;
+        }
+    }
+    if matches!(b.get(p), Some(b'e' | b'E')) {
+        p += 1;
+        if matches!(b.get(p), Some(b'+' | b'-')) {
+            p += 1;
+        }
+        if !matches!(b.get(p), Some(b'0'..=b'9')) {
+            return None;
+        }
+        while matches!(b.get(p), Some(b'0'..=b'9')) {
+            p += 1;
+        }
+    }
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::is_valid_json;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e3",
+            "\"a\\n\\u00e9\"",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":false}",
+            "  {\"t\":0,\"ev\":\"sync_start\",\"sync\":1}  ",
+        ] {
+            assert!(is_valid_json(ok), "should accept: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "{} extra",
+            "{\"a\":1,}",
+        ] {
+            assert!(!is_valid_json(bad), "should reject: {bad}");
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The typed event schema.
+//!
+//! Every event is stamped with **simulated** time, never wall-clock, so a
+//! trace is a pure function of `(config, seed)` and byte-identical across
+//! runs and `POLIMER_THREADS` settings. Serialization is a hand-rolled
+//! compact JSONL line per event (the workspace carries no registry
+//! dependencies): field order is fixed per variant, floats print through
+//! Rust's shortest-roundtrip formatter, and non-finite floats serialize
+//! as `null` — the same rules `bench::json` applies to persisted results.
+
+use des::SimTime;
+use std::fmt::Write as _;
+
+/// One structured trace event (payload only; the timestamp lives in
+/// [`TraceEvent`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    // --- insitu runtime: synchronization epochs -------------------------
+    /// A synchronization interval opened.
+    SyncStart {
+        /// 1-based synchronization index.
+        sync: u64,
+    },
+    /// A node reached the rendezvous point.
+    Arrival {
+        /// Synchronization index.
+        sync: u64,
+        /// Node id.
+        node: usize,
+        /// Partition tag (`"sim"` / `"analysis"`).
+        role: &'static str,
+        /// Time from interval start to arrival, seconds.
+        time_s: f64,
+    },
+    /// Both partitions arrived; the earlier one waited.
+    Rendezvous {
+        /// Synchronization index.
+        sync: u64,
+        /// Simulation partition time (slowest node), seconds.
+        sim_time_s: f64,
+        /// Analysis partition time (slowest node), seconds.
+        analysis_time_s: f64,
+        /// Normalized wait slack `|T_S − T_A| / max(T_S, T_A)`.
+        slack: f64,
+    },
+    /// The interval closed (allocation overhead included).
+    SyncEnd {
+        /// Synchronization index.
+        sync: u64,
+        /// Allocation overhead charged at interval end, seconds.
+        overhead_s: f64,
+    },
+
+    // --- theta-sim: node activity and RAPL actuation --------------------
+    /// A node executed one phase (a completed span).
+    Phase {
+        /// Node id.
+        node: usize,
+        /// Phase kind tag (e.g. `"force"`, `"analysis_msd"`).
+        kind: &'static str,
+        /// Span start, nanoseconds of simulated time.
+        start_ns: u64,
+        /// Span end, nanoseconds of simulated time.
+        end_ns: u64,
+    },
+    /// A node blocked at a synchronization point (wait slack span).
+    Wait {
+        /// Node id.
+        node: usize,
+        /// Span start, nanoseconds of simulated time.
+        start_ns: u64,
+        /// Span end, nanoseconds of simulated time.
+        end_ns: u64,
+    },
+    /// A RAPL cap request, with what the PCU will actually do about it.
+    CapRequest {
+        /// Node id.
+        node: usize,
+        /// Cap the controller asked for, watts.
+        requested_w: f64,
+        /// Cap accepted after range clamping, watts.
+        granted_w: f64,
+        /// When enforcement changes (actuation latency included),
+        /// nanoseconds of simulated time; equals the request time when the
+        /// request was a no-op or was swallowed by a stuck PCU.
+        effective_ns: u64,
+    },
+
+    // --- polimer: measurement and exchange ------------------------------
+    /// A plausible node sample entered the aggregation window.
+    Sample {
+        /// Node id.
+        node: usize,
+        /// Partition tag.
+        role: &'static str,
+        /// Interval time, seconds.
+        time_s: f64,
+        /// Measured mean power, watts.
+        power_w: f64,
+        /// Cap in force, watts.
+        cap_w: f64,
+    },
+    /// A sample failed the plausibility gate (or arrived from a dead node).
+    SampleRejected {
+        /// Node id.
+        node: usize,
+    },
+    /// One measurement exchange + decision completed.
+    ExchangeDone {
+        /// Synchronization index the exchange closed.
+        sync: u64,
+        /// Exchange + decision overhead, seconds.
+        overhead_s: f64,
+        /// Whether the controller produced a new allocation.
+        decided: bool,
+    },
+    /// A node's monitor rank died and a peer was promoted.
+    MonitorReelected {
+        /// Node id.
+        node: usize,
+        /// The promoted global rank.
+        new_rank: usize,
+    },
+    /// A crashed node was excluded from aggregation.
+    NodeExcluded {
+        /// Node id.
+        node: usize,
+    },
+    /// The budget was renormalized over the surviving nodes.
+    BudgetRenormalized {
+        /// The new global budget, watts.
+        budget_w: f64,
+    },
+    /// The exchange was abandoned and the previous allocation held.
+    AllocationHeld {
+        /// Synchronization index.
+        sync: u64,
+    },
+
+    // --- seesaw controller: decision internals ---------------------------
+    /// One SeeSAw window closed and produced an allocation (Eqs. 1–4).
+    Decision {
+        /// Synchronization index of the closing observation.
+        sync: u64,
+        /// `α_S = 1/(T_S·P_S)` over the window (Eq. 1).
+        alpha_sim: f64,
+        /// `α_A = 1/(T_A·P_A)` over the window (Eq. 1).
+        alpha_analysis: f64,
+        /// Analytic optimum for the simulation partition, watts (Eq. 2).
+        p_opt_sim_w: f64,
+        /// Analytic optimum for the analysis partition, watts (Eq. 2).
+        p_opt_analysis_w: f64,
+        /// Post-EWMA partition total, simulation, watts (Eqs. 3–4).
+        blend_sim_w: f64,
+        /// Post-EWMA partition total, analysis, watts (Eqs. 3–4).
+        blend_analysis_w: f64,
+        /// Final per-node cap, simulation partition, watts.
+        sim_node_w: f64,
+        /// Final per-node cap, analysis partition, watts.
+        analysis_node_w: f64,
+        /// Whether the δ-limits clamped the blended split.
+        clamped: bool,
+    },
+    /// The controller held the current caps instead of allocating.
+    ControllerHold {
+        /// Synchronization index.
+        sync: u64,
+        /// Why (`"corrupt_sample"`, `"degenerate_feedback"`).
+        reason: &'static str,
+    },
+
+    // --- faults ----------------------------------------------------------
+    /// An injected fault fired.
+    Fault {
+        /// Synchronization interval (0-based plan ordinal).
+        sync: u64,
+        /// Target node.
+        node: usize,
+        /// Stable fault tag (`faults::FaultKind::tag`).
+        tag: &'static str,
+    },
+    /// A graceful-degradation action was taken.
+    Recovery {
+        /// Synchronization interval (0-based plan ordinal).
+        sync: u64,
+        /// Node the action concerned.
+        node: usize,
+        /// Stable recovery tag (`faults::RecoveryKind::tag`).
+        tag: &'static str,
+    },
+}
+
+impl Event {
+    /// Stable lowercase tag identifying the variant in serialized output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::SyncStart { .. } => "sync_start",
+            Event::Arrival { .. } => "arrival",
+            Event::Rendezvous { .. } => "rendezvous",
+            Event::SyncEnd { .. } => "sync_end",
+            Event::Phase { .. } => "phase",
+            Event::Wait { .. } => "wait",
+            Event::CapRequest { .. } => "cap_request",
+            Event::Sample { .. } => "sample",
+            Event::SampleRejected { .. } => "sample_rejected",
+            Event::ExchangeDone { .. } => "exchange_done",
+            Event::MonitorReelected { .. } => "monitor_reelected",
+            Event::NodeExcluded { .. } => "node_excluded",
+            Event::BudgetRenormalized { .. } => "budget_renormalized",
+            Event::AllocationHeld { .. } => "allocation_held",
+            Event::Decision { .. } => "decision",
+            Event::ControllerHold { .. } => "controller_hold",
+            Event::Fault { .. } => "fault",
+            Event::Recovery { .. } => "recovery",
+        }
+    }
+}
+
+/// A timestamped event: what happened, and *when on the simulation clock*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time at which the event was recorded.
+    pub t: SimTime,
+    /// The payload.
+    pub ev: Event,
+}
+
+impl TraceEvent {
+    /// Serialize as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Append the compact JSON form to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"t\":{},\"ev\":\"{}\"", self.t.as_nanos(), self.ev.tag());
+        match &self.ev {
+            Event::SyncStart { sync } => {
+                field_u64(out, "sync", *sync);
+            }
+            Event::Arrival { sync, node, role, time_s } => {
+                field_u64(out, "sync", *sync);
+                field_usize(out, "node", *node);
+                field_str(out, "role", role);
+                field_f64(out, "time_s", *time_s);
+            }
+            Event::Rendezvous { sync, sim_time_s, analysis_time_s, slack } => {
+                field_u64(out, "sync", *sync);
+                field_f64(out, "sim_time_s", *sim_time_s);
+                field_f64(out, "analysis_time_s", *analysis_time_s);
+                field_f64(out, "slack", *slack);
+            }
+            Event::SyncEnd { sync, overhead_s } => {
+                field_u64(out, "sync", *sync);
+                field_f64(out, "overhead_s", *overhead_s);
+            }
+            Event::Phase { node, kind, start_ns, end_ns } => {
+                field_usize(out, "node", *node);
+                field_str(out, "kind", kind);
+                field_u64(out, "start_ns", *start_ns);
+                field_u64(out, "end_ns", *end_ns);
+            }
+            Event::Wait { node, start_ns, end_ns } => {
+                field_usize(out, "node", *node);
+                field_u64(out, "start_ns", *start_ns);
+                field_u64(out, "end_ns", *end_ns);
+            }
+            Event::CapRequest { node, requested_w, granted_w, effective_ns } => {
+                field_usize(out, "node", *node);
+                field_f64(out, "requested_w", *requested_w);
+                field_f64(out, "granted_w", *granted_w);
+                field_u64(out, "effective_ns", *effective_ns);
+            }
+            Event::Sample { node, role, time_s, power_w, cap_w } => {
+                field_usize(out, "node", *node);
+                field_str(out, "role", role);
+                field_f64(out, "time_s", *time_s);
+                field_f64(out, "power_w", *power_w);
+                field_f64(out, "cap_w", *cap_w);
+            }
+            Event::SampleRejected { node } => {
+                field_usize(out, "node", *node);
+            }
+            Event::ExchangeDone { sync, overhead_s, decided } => {
+                field_u64(out, "sync", *sync);
+                field_f64(out, "overhead_s", *overhead_s);
+                field_bool(out, "decided", *decided);
+            }
+            Event::MonitorReelected { node, new_rank } => {
+                field_usize(out, "node", *node);
+                field_usize(out, "new_rank", *new_rank);
+            }
+            Event::NodeExcluded { node } => {
+                field_usize(out, "node", *node);
+            }
+            Event::BudgetRenormalized { budget_w } => {
+                field_f64(out, "budget_w", *budget_w);
+            }
+            Event::AllocationHeld { sync } => {
+                field_u64(out, "sync", *sync);
+            }
+            Event::Decision {
+                sync,
+                alpha_sim,
+                alpha_analysis,
+                p_opt_sim_w,
+                p_opt_analysis_w,
+                blend_sim_w,
+                blend_analysis_w,
+                sim_node_w,
+                analysis_node_w,
+                clamped,
+            } => {
+                field_u64(out, "sync", *sync);
+                field_f64(out, "alpha_sim", *alpha_sim);
+                field_f64(out, "alpha_analysis", *alpha_analysis);
+                field_f64(out, "p_opt_sim_w", *p_opt_sim_w);
+                field_f64(out, "p_opt_analysis_w", *p_opt_analysis_w);
+                field_f64(out, "blend_sim_w", *blend_sim_w);
+                field_f64(out, "blend_analysis_w", *blend_analysis_w);
+                field_f64(out, "sim_node_w", *sim_node_w);
+                field_f64(out, "analysis_node_w", *analysis_node_w);
+                field_bool(out, "clamped", *clamped);
+            }
+            Event::ControllerHold { sync, reason } => {
+                field_u64(out, "sync", *sync);
+                field_str(out, "reason", reason);
+            }
+            Event::Fault { sync, node, tag } => {
+                field_u64(out, "sync", *sync);
+                field_usize(out, "node", *node);
+                field_str(out, "tag", tag);
+            }
+            Event::Recovery { sync, node, tag } => {
+                field_u64(out, "sync", *sync);
+                field_usize(out, "node", *node);
+                field_str(out, "tag", tag);
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Serialize a slice of events as JSONL (one event per line, trailing
+/// newline after the last line — the format `SEESAW_TRACE` files use).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        ev.write_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn field_u64(out: &mut String, key: &str, v: u64) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn field_usize(out: &mut String, key: &str, v: usize) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn field_bool(out: &mut String, key: &str, v: bool) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+/// Floats print via the shortest-roundtrip formatter (deterministic for a
+/// given bit pattern); non-finite values become `null`, matching the
+/// persisted-results contract that NaN/∞ never appear as JSON numbers.
+fn field_f64(out: &mut String, key: &str, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, ",\"{key}\":{v}");
+    } else {
+        let _ = write!(out, ",\"{key}\":null");
+    }
+}
+
+/// Event tags are `&'static str` drawn from fixed vocabularies and the
+/// strings contain no characters needing JSON escaping.
+fn field_str(out: &mut String, key: &str, v: &str) {
+    debug_assert!(v.chars().all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
+    let _ = write!(out, ",\"{key}\":\"{v}\"");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shape_is_compact_json() {
+        let ev = TraceEvent { t: SimTime::from_nanos(1_500_000), ev: Event::SyncStart { sync: 3 } };
+        assert_eq!(ev.to_json_line(), "{\"t\":1500000,\"ev\":\"sync_start\",\"sync\":3}");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_null() {
+        let ev =
+            TraceEvent { t: SimTime::ZERO, ev: Event::BudgetRenormalized { budget_w: f64::NAN } };
+        assert!(ev.to_json_line().contains("\"budget_w\":null"));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let evs = vec![
+            TraceEvent { t: SimTime::ZERO, ev: Event::SyncStart { sync: 1 } },
+            TraceEvent {
+                t: SimTime::from_nanos(5),
+                ev: Event::SyncEnd { sync: 1, overhead_s: 0.25 },
+            },
+        ];
+        let s = to_jsonl(&evs);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.ends_with('\n'));
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic sim-time observability for the PoLiMER stack.
+//!
+//! Everything in this crate is keyed on **simulated time**
+//! ([`des::SimTime`]) rather than wall-clock, so a trace is a pure
+//! function of `(config, seed)`: two same-seed runs — at any
+//! `POLIMER_THREADS` setting — serialize byte-identical JSONL, the same
+//! reproducibility contract the rest of the workspace gives for results.
+//!
+//! The pieces:
+//!
+//! - [`Tracer`] — a cloneable sink handle threaded through the stack.
+//!   Disabled (the default) it is a `None` branch: no allocation, no
+//!   locking, no formatting. Enabled it buffers typed [`Event`]s plus
+//!   named counters and scalar series.
+//! - [`Event`] / [`TraceEvent`] — the typed schema covering runtime sync
+//!   epochs, node phase/wait spans, RAPL cap actuation, power-manager
+//!   measurement and exchange, SeeSAw decision internals, and fault
+//!   injection/recovery.
+//! - [`to_jsonl`] / [`chrome_trace`] — exporters: a JSONL event log and a
+//!   Chrome-trace (Perfetto) timeline with per-node cap/power counter
+//!   tracks and phase activity lanes.
+//! - [`RunMetrics`] — the end-of-run counter/series summary embedded in
+//!   `insitu::RunResult` for traced runs.
+//! - [`Reporter`] — the quiet-aware progress printer the experiment bins
+//!   share instead of ad-hoc `println!` lines.
+//!
+//! Activation: the bins accept `--trace <path>` (JSONL) and
+//! `--trace-perfetto <path>`, or the `SEESAW_TRACE` /
+//! `SEESAW_TRACE_PERFETTO` environment variables.
+#![warn(missing_docs)]
+
+mod check;
+mod event;
+mod perfetto;
+mod report;
+mod sink;
+
+pub use check::is_valid_json;
+pub use event::{to_jsonl, Event, TraceEvent};
+pub use perfetto::chrome_trace;
+pub use report::Reporter;
+pub use sink::{RunMetrics, StatSummary, Tracer};

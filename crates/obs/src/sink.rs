@@ -1,0 +1,320 @@
+//! The trace sink: a cheap, cloneable handle that is either **off** (a
+//! `None` branch — the disabled path does no allocation, no locking, and
+//! no formatting) or **on** (an `Arc` around buffered events, counters and
+//! histograms).
+//!
+//! One tracer belongs to one run. Events are appended in program order of
+//! the run that owns the tracer; since a run executes on a single worker
+//! thread (the `par` pool parallelizes *across* runs, not within one),
+//! the buffer order — and therefore the serialized trace — is a pure
+//! function of the run's inputs.
+
+use crate::event::{to_jsonl, Event, TraceEvent};
+use des::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Running aggregate for one named scalar series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StatAcc {
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl StatAcc {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+    }
+}
+
+impl Default for StatAcc {
+    fn default() -> Self {
+        StatAcc { count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+    }
+}
+
+/// Summary of one observed scalar series (a histogram's moments).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatSummary {
+    /// Series name (e.g. `"wait_s"`).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sum of observations (mean = `sum / count`).
+    pub sum: f64,
+}
+
+impl StatSummary {
+    /// Mean of the series (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// End-of-run metrics summary (embedded into `insitu::RunResult` when a
+/// run was traced).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunMetrics {
+    /// Total number of trace events recorded.
+    pub events: u64,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Named scalar series summaries, sorted by name.
+    pub stats: Vec<StatSummary>,
+}
+
+impl RunMetrics {
+    /// Look up a counter by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Look up a stat series by name.
+    pub fn stat(&self, name: &str) -> Option<&StatSummary> {
+        self.stats.iter().find(|s| s.name == name)
+    }
+}
+
+struct Inner {
+    /// The "current" simulated time, set by the layer that owns the clock
+    /// (the runtime) so layers without a clock (controllers, the power
+    /// manager) can stamp events without threading `SimTime` through
+    /// every call signature.
+    now_ns: AtomicU64,
+    events: Mutex<Vec<TraceEvent>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    stats: Mutex<BTreeMap<&'static str, StatAcc>>,
+}
+
+/// A handle to one run's trace. Cloning is cheap (an `Arc` bump when
+/// enabled, a copy of `None` when disabled); all clones feed the same
+/// buffer. The default handle is **off**.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<Inner>>);
+
+impl Tracer {
+    /// The disabled tracer: every operation is a branch on `None`.
+    pub fn off() -> Self {
+        Tracer(None)
+    }
+
+    /// An enabled tracer with an empty buffer.
+    pub fn enabled() -> Self {
+        Tracer(Some(Arc::new(Inner {
+            now_ns: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            stats: Mutex::new(BTreeMap::new()),
+        })))
+    }
+
+    /// Whether events are being recorded. Hot call sites gate event
+    /// construction on this so the disabled path stays free.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Advance the shared sim-time stamp used by [`Tracer::emit`].
+    #[inline]
+    pub fn set_now(&self, t: SimTime) {
+        if let Some(inner) = &self.0 {
+            inner.now_ns.store(t.as_nanos(), Ordering::Relaxed);
+        }
+    }
+
+    /// The current sim-time stamp.
+    pub fn now(&self) -> SimTime {
+        match &self.0 {
+            Some(inner) => SimTime::from_nanos(inner.now_ns.load(Ordering::Relaxed)),
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Record `ev` at the current sim-time stamp.
+    #[inline]
+    pub fn emit(&self, ev: Event) {
+        if let Some(inner) = &self.0 {
+            let t = SimTime::from_nanos(inner.now_ns.load(Ordering::Relaxed));
+            inner.events.lock().expect("trace buffer poisoned").push(TraceEvent { t, ev });
+        }
+    }
+
+    /// Record `ev` at an explicit instant (events that carry their own
+    /// span, e.g. phases).
+    #[inline]
+    pub fn emit_at(&self, t: SimTime, ev: Event) {
+        if let Some(inner) = &self.0 {
+            inner.events.lock().expect("trace buffer poisoned").push(TraceEvent { t, ev });
+        }
+    }
+
+    /// Bump a named counter by 1.
+    #[inline]
+    pub fn count(&self, name: &'static str) {
+        self.count_n(name, 1);
+    }
+
+    /// Bump a named counter by `n`.
+    #[inline]
+    pub fn count_n(&self, name: &'static str, n: u64) {
+        if let Some(inner) = &self.0 {
+            *inner.counters.lock().expect("counters poisoned").entry(name).or_insert(0) += n;
+        }
+    }
+
+    /// Record one observation of a named scalar series. Non-finite values
+    /// are dropped (they would poison min/max/sum).
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.0 {
+            if value.is_finite() {
+                inner.stats.lock().expect("stats poisoned").entry(name).or_default().observe(value);
+            }
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Some(inner) => inner.events.lock().expect("trace buffer poisoned").len(),
+            None => 0,
+        }
+    }
+
+    /// True when nothing has been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the buffered events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.0 {
+            Some(inner) => inner.events.lock().expect("trace buffer poisoned").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Serialize the buffer as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        to_jsonl(&self.events())
+    }
+
+    /// Summarize counters and stat series (plus the event count).
+    pub fn metrics(&self) -> RunMetrics {
+        let Some(inner) = &self.0 else {
+            return RunMetrics::default();
+        };
+        let events = inner.events.lock().expect("trace buffer poisoned").len() as u64;
+        let counters = inner
+            .counters
+            .lock()
+            .expect("counters poisoned")
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect();
+        let stats = inner
+            .stats
+            .lock()
+            .expect("stats poisoned")
+            .iter()
+            .map(|(&k, a)| StatSummary {
+                name: k.to_string(),
+                count: a.count,
+                min: if a.count == 0 { 0.0 } else { a.min },
+                max: if a.count == 0 { 0.0 } else { a.max },
+                sum: a.sum,
+            })
+            .collect();
+        RunMetrics { events, counters, stats }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            None => write!(f, "Tracer(off)"),
+            Some(_) => write!(f, "Tracer({} events)", self.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let t = Tracer::off();
+        t.set_now(SimTime::from_nanos(5));
+        t.emit(Event::SyncStart { sync: 1 });
+        t.count("syncs");
+        t.observe("wait_s", 1.0);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert_eq!(t.metrics(), RunMetrics::default());
+    }
+
+    #[test]
+    fn emit_uses_the_shared_clock() {
+        let t = Tracer::enabled();
+        t.set_now(SimTime::from_nanos(42));
+        t.emit(Event::SyncStart { sync: 1 });
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].t, SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Tracer::enabled();
+        let c = t.clone();
+        c.set_now(SimTime::from_nanos(7));
+        c.emit(Event::SyncStart { sync: 1 });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.now(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    fn counters_and_stats_summarize() {
+        let t = Tracer::enabled();
+        t.count("syncs");
+        t.count_n("syncs", 2);
+        t.observe("wait_s", 1.0);
+        t.observe("wait_s", 3.0);
+        t.observe("wait_s", f64::NAN); // dropped
+        let m = t.metrics();
+        assert_eq!(m.counter("syncs"), 3);
+        let s = m.stat("wait_s").expect("series exists");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn metrics_counters_are_name_sorted() {
+        let t = Tracer::enabled();
+        t.count("zeta");
+        t.count("alpha");
+        let m = t.metrics();
+        let names: Vec<&str> = m.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+}

@@ -244,11 +244,7 @@ impl Pool {
     /// index: `out[i] == f(i)` regardless of which worker ran `i`. The
     /// per-item closure should be coarse (a whole trial, a whole cell);
     /// items are batched internally to keep queue traffic low.
-    pub fn par_map_indexed<R: Send>(
-        &self,
-        len: usize,
-        f: impl Fn(usize) -> R + Sync,
-    ) -> Vec<R> {
+    pub fn par_map_indexed<R: Send>(&self, len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
         let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
         let threads = self.effective_threads().max(1);
         let chunk = len.div_ceil(threads * 4).max(1);
@@ -269,9 +265,8 @@ mod tests {
     fn chunks_fold_matches_serial_reference() {
         let items: Vec<u64> = (0..10_000).collect();
         let pool = Pool::new(7);
-        let total = pool
-            .par_chunks_fold(&items, 64, |_, c| c.iter().sum::<u64>(), |a, b| a + b)
-            .unwrap();
+        let total =
+            pool.par_chunks_fold(&items, 64, |_, c| c.iter().sum::<u64>(), |a, b| a + b).unwrap();
         assert_eq!(total, items.iter().sum::<u64>());
     }
 

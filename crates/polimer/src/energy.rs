@@ -68,10 +68,8 @@ impl EnergyLedger {
     /// synchronization with the interval's job-wide energy and duration.
     /// Energy accrues to every open region and to the per-partition totals.
     pub fn record_interval(&mut self, sim_energy_j: f64, ana_energy_j: f64, dt_s: f64) {
-        *self.partition_energy_j.entry(role_key(Role::Simulation)).or_insert(0.0) +=
-            sim_energy_j;
-        *self.partition_energy_j.entry(role_key(Role::Analysis)).or_insert(0.0) +=
-            ana_energy_j;
+        *self.partition_energy_j.entry(role_key(Role::Simulation)).or_insert(0.0) += sim_energy_j;
+        *self.partition_energy_j.entry(role_key(Role::Analysis)).or_insert(0.0) += ana_energy_j;
         for (e, t) in self.open.values_mut() {
             *e += sim_energy_j + ana_energy_j;
             *t += dt_s;

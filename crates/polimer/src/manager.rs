@@ -96,6 +96,7 @@ pub struct PowerManager {
     overhead_log: Vec<(u64, SimDuration)>,
     last_allocation: Option<Allocation>,
     rejected_samples: u64,
+    tracer: obs::Tracer,
 }
 
 impl PowerManager {
@@ -140,7 +141,15 @@ impl PowerManager {
             overhead_log: Vec::new(),
             last_allocation: None,
             rejected_samples: 0,
+            tracer: obs::Tracer::off(),
         }
+    }
+
+    /// Attach a trace sink; it is forwarded to the controller so decision
+    /// internals land on the same timeline.
+    pub fn set_tracer(&mut self, tracer: &obs::Tracer) {
+        self.tracer = tracer.clone();
+        self.controller.attach_tracer(tracer.clone());
     }
 
     /// The designated monitor ranks, one per node.
@@ -198,12 +207,18 @@ impl PowerManager {
         }
         self.alive[node] = false;
         let sync = self.acc.sync_index();
-        let mut events =
-            vec![RecoveryEvent { sync, node, kind: RecoveryKind::NodeExcluded }];
+        let mut events = vec![RecoveryEvent { sync, node, kind: RecoveryKind::NodeExcluded }];
+        if self.tracer.is_enabled() {
+            self.tracer.emit(obs::Event::NodeExcluded { node });
+        }
         if let Some(b0) = self.initial_budget_w {
             let share = b0 / self.world_nodes as f64;
-            self.controller.set_budget_w(share * self.alive_nodes() as f64);
+            let budget_w = share * self.alive_nodes() as f64;
+            self.controller.set_budget_w(budget_w);
             events.push(RecoveryEvent { sync, node, kind: RecoveryKind::BudgetRenormalized });
+            if self.tracer.is_enabled() {
+                self.tracer.emit(obs::Event::BudgetRenormalized { budget_w });
+            }
         }
         events
     }
@@ -222,6 +237,9 @@ impl PowerManager {
         let new = base + (old - base + 1) % self.ranks_per_node;
         self.monitor_ranks[node] = new;
         let sync = self.acc.sync_index();
+        if self.tracer.is_enabled() {
+            self.tracer.emit(obs::Event::MonitorReelected { node, new_rank: new });
+        }
         Some((new, RecoveryEvent { sync, node, kind: RecoveryKind::MonitorReelected }))
     }
 
@@ -242,7 +260,22 @@ impl PowerManager {
             && interval.cap_w.is_finite();
         if !self.is_alive(interval.node) || !plausible {
             self.rejected_samples += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(obs::Event::SampleRejected { node: interval.node });
+                self.tracer.count("samples_rejected");
+            }
             return false;
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.emit(obs::Event::Sample {
+                node: interval.node,
+                role: interval.role.tag(),
+                time_s: interval.time_s,
+                power_w: interval.power_w,
+                cap_w: interval.cap_w,
+            });
+            self.tracer.count("samples");
+            self.tracer.observe("interval_s", interval.time_s);
         }
         self.acc.push(interval);
         true
@@ -281,13 +314,19 @@ impl PowerManager {
         if faults.failed_attempts > MAX_COLLECTIVE_RETRIES {
             let overhead =
                 coll::retried_collective_cost(&self.net, &monitors, MAX_COLLECTIVE_RETRIES, 24);
-            recoveries.push(RecoveryEvent {
-                sync,
-                node: 0,
-                kind: RecoveryKind::AllocationHeld,
-            });
+            recoveries.push(RecoveryEvent { sync, node: 0, kind: RecoveryKind::AllocationHeld });
             self.overhead_log.push((sync, overhead));
             self.acc.charge_overhead(overhead.as_secs_f64());
+            if self.tracer.is_enabled() {
+                self.tracer.emit(obs::Event::AllocationHeld { sync });
+                self.tracer.emit(obs::Event::ExchangeDone {
+                    sync,
+                    overhead_s: overhead.as_secs_f64(),
+                    decided: false,
+                });
+                self.tracer.count("exchanges");
+                self.tracer.observe("overhead_s", overhead.as_secs_f64());
+            }
             return AllocOutcome { allocation: None, overhead, recoveries };
         }
 
@@ -298,21 +337,12 @@ impl PowerManager {
             coll::allgather(&self.net, &monitors, &contributions, 24).cost
         } else {
             // In the monitor communicator one rank == one node.
-            let gathered = coll::allgather_lossy(
-                &self.net,
-                &monitors,
-                &contributions,
-                &faults.lost_nodes,
-                24,
-            );
+            let gathered =
+                coll::allgather_lossy(&self.net, &monitors, &contributions, &faults.lost_nodes, 24);
             let before = obs.nodes.len();
             obs.nodes.retain(|s| gathered.value.get(s.node).is_some_and(Option::is_some));
             for &node in &faults.lost_nodes {
-                recoveries.push(RecoveryEvent {
-                    sync,
-                    node,
-                    kind: RecoveryKind::SampleRejected,
-                });
+                recoveries.push(RecoveryEvent { sync, node, kind: RecoveryKind::SampleRejected });
             }
             self.rejected_samples += (before - obs.nodes.len()) as u64;
             if faults.failed_attempts > 0 {
@@ -337,6 +367,15 @@ impl PowerManager {
         // The allocation call's cost lands in the next interval's measured
         // times (paper §VI-B).
         self.acc.charge_overhead(overhead.as_secs_f64());
+        if self.tracer.is_enabled() {
+            self.tracer.emit(obs::Event::ExchangeDone {
+                sync,
+                overhead_s: overhead.as_secs_f64(),
+                decided: allocation.is_some(),
+            });
+            self.tracer.count("exchanges");
+            self.tracer.observe("overhead_s", overhead.as_secs_f64());
+        }
         AllocOutcome { allocation, overhead, recoveries }
     }
 
@@ -581,10 +620,7 @@ mod tests {
         let out = mgr.power_alloc_with(&faults);
         assert!(out.allocation.is_some(), "retry succeeded, decision made");
         assert!(out.overhead > healthy, "retries cost time: {:?}", out.overhead);
-        assert!(out
-            .recoveries
-            .iter()
-            .any(|r| r.kind == faults::RecoveryKind::CollectiveRetried));
+        assert!(out.recoveries.iter().any(|r| r.kind == faults::RecoveryKind::CollectiveRetried));
     }
 
     #[test]
@@ -596,16 +632,11 @@ mod tests {
         let good = mgr.power_alloc();
         let held = good.allocation.expect("healthy round allocates");
         feed(&mut mgr, 4.0, 2.0);
-        let faults = ExchangeFaults {
-            lost_nodes: Vec::new(),
-            failed_attempts: MAX_COLLECTIVE_RETRIES + 1,
-        };
+        let faults =
+            ExchangeFaults { lost_nodes: Vec::new(), failed_attempts: MAX_COLLECTIVE_RETRIES + 1 };
         let out = mgr.power_alloc_with(&faults);
         assert!(out.allocation.is_none(), "exchange abandoned");
-        assert!(out
-            .recoveries
-            .iter()
-            .any(|r| r.kind == faults::RecoveryKind::AllocationHeld));
+        assert!(out.recoveries.iter().any(|r| r.kind == faults::RecoveryKind::AllocationHeld));
         assert_eq!(mgr.last_allocation(), Some(&held), "fallback is the held allocation");
         assert!(out.overhead > good.overhead, "wasted retries are charged");
     }

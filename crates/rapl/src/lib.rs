@@ -194,8 +194,7 @@ impl<F: PowercapFs> RaplReader<F> {
         let mut domains = Vec::new();
         for path in fs.list_domains()? {
             let name = fs.read(&path.join("name"))?.trim().to_string();
-            let max_energy_range_uj =
-                parse_u64(&fs.read(&path.join("max_energy_range_uj"))?)?;
+            let max_energy_range_uj = parse_u64(&fs.read(&path.join("max_energy_range_uj"))?)?;
             domains.push(DomainInfo { path, name, max_energy_range_uj });
         }
         let n = domains.len();
@@ -254,7 +253,12 @@ impl<F: PowercapFs> RaplReader<F> {
 
     /// Set a power limit, watts (requires write access — root on real
     /// sysfs).
-    pub fn set_power_limit_w(&mut self, domain: usize, window: Window, watts: f64) -> io::Result<()> {
+    pub fn set_power_limit_w(
+        &mut self,
+        domain: usize,
+        window: Window,
+        watts: f64,
+    ) -> io::Result<()> {
         if !(watts.is_finite() && watts > 0.0) {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "power must be positive"));
         }
@@ -280,10 +284,9 @@ impl<F: PowercapFs> RaplReader<F> {
             match self.set_power_limit_w(domain, window, watts) {
                 Ok(()) => return Ok(attempt),
                 Err(e) => {
-                    let transient = matches!(
-                        e.raw_os_error(),
-                        Some(5) /* EIO */ | Some(11) /* EAGAIN */
-                    ) || e.kind() == io::ErrorKind::Interrupted;
+                    let transient =
+                        matches!(e.raw_os_error(), Some(5) /* EIO */ | Some(11) /* EAGAIN */)
+                            || e.kind() == io::ErrorKind::Interrupted;
                     if !transient || attempt >= max_retries {
                         return Err(e);
                     }
@@ -302,9 +305,7 @@ impl<F: PowercapFs> RaplReader<F> {
 }
 
 fn parse_u64(s: &str) -> io::Result<u64> {
-    s.trim()
-        .parse::<u64>()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    s.trim().parse::<u64>().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

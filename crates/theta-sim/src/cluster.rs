@@ -1,8 +1,8 @@
 //! The cluster: a set of nodes plus the machine's noise model.
 
 use crate::config::{CapMode, MachineConfig};
-use crate::noise::{NoiseModel, NoiseSeed};
 use crate::node::Node;
+use crate::noise::{NoiseModel, NoiseSeed};
 use crate::rapl::RaplDomain;
 use des::{PeriodicSampler, SimTime, TimeSeries};
 
@@ -66,7 +66,12 @@ impl Cluster {
     }
 
     /// A deterministic cluster with zero noise (unit tests).
-    pub fn noiseless(config: MachineConfig, n: usize, cap_mode: CapMode, initial_cap_w: f64) -> Self {
+    pub fn noiseless(
+        config: MachineConfig,
+        n: usize,
+        cap_mode: CapMode,
+        initial_cap_w: f64,
+    ) -> Self {
         let mut c = Self::new(config, n, cap_mode, initial_cap_w, NoiseSeed::new(0, 0));
         c.noise = NoiseModel::silent(n);
         c.nodes = (0..n)
@@ -121,13 +126,20 @@ impl Cluster {
         &mut self.noise
     }
 
+    /// Attach a trace sink to every node (clones share one buffer).
+    pub fn set_tracer(&mut self, tracer: &obs::Tracer) {
+        for node in &mut self.nodes {
+            node.set_tracer(tracer.clone());
+        }
+    }
+
     /// Request a per-node cap on every node in `ids` at time `now`.
     /// Returns the clamped per-node value accepted by RAPL.
     pub fn request_cap(&mut self, now: SimTime, ids: &[usize], per_node_w: f64) -> f64 {
         let mut accepted = per_node_w;
         for &id in ids {
             let config = self.config.clone();
-            accepted = self.nodes[id].rapl_mut().request_cap(&config, now, per_node_w);
+            accepted = self.nodes[id].request_cap(&config, now, per_node_w);
         }
         accepted
     }
@@ -248,7 +260,8 @@ mod tests {
 
     #[test]
     fn noisy_cluster_efficiencies_vary() {
-        let c = Cluster::new(MachineConfig::theta(), 64, CapMode::Long, 110.0, NoiseSeed::new(1, 1));
+        let c =
+            Cluster::new(MachineConfig::theta(), 64, CapMode::Long, 110.0, NoiseSeed::new(1, 1));
         let effs: Vec<f64> = c.nodes().iter().map(|n| n.efficiency()).collect();
         let min = effs.iter().cloned().fold(f64::MAX, f64::min);
         let max = effs.iter().cloned().fold(f64::MIN, f64::max);

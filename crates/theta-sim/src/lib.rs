@@ -23,18 +23,21 @@
 
 mod cluster;
 mod config;
-mod noise;
 mod node;
+mod noise;
 mod phase;
 pub mod power;
 mod rapl;
 
 pub use cluster::Cluster;
 pub use config::{CapMode, MachineConfig};
-pub use noise::{NoiseModel, NoiseSeed, NoiseSigmas};
 pub use node::Node;
+pub use noise::{NoiseModel, NoiseSeed, NoiseSigmas};
 pub use phase::{PhaseKind, Work};
-pub use power::{cliff_factor, duration_secs, operating_point, rate, OperatingPoint, CLIFF_FLOOR_FACTOR, CLIFF_START_W, MIN_RATE};
+pub use power::{
+    cliff_factor, duration_secs, operating_point, rate, OperatingPoint, CLIFF_FLOOR_FACTOR,
+    CLIFF_START_W, MIN_RATE,
+};
 pub use rapl::RaplDomain;
 
 #[cfg(test)]

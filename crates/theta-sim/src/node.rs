@@ -19,6 +19,8 @@ pub struct Node {
     /// Time up to which this node's activity has been simulated.
     busy_until: SimTime,
     last_draw_w: f64,
+    /// Sim-time trace sink (off by default; a `None` branch when disabled).
+    tracer: obs::Tracer,
 }
 
 impl Node {
@@ -27,7 +29,20 @@ impl Node {
         assert!(efficiency > 0.0, "efficiency must be positive");
         let mut draw = TimeSeries::new();
         draw.push(SimTime::ZERO, 0.0);
-        Node { id, efficiency, rapl, draw, busy_until: SimTime::ZERO, last_draw_w: 0.0 }
+        Node {
+            id,
+            efficiency,
+            rapl,
+            draw,
+            busy_until: SimTime::ZERO,
+            last_draw_w: 0.0,
+            tracer: obs::Tracer::off(),
+        }
+    }
+
+    /// Attach a trace sink (pass [`obs::Tracer::off`] to detach).
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Node identifier.
@@ -43,6 +58,28 @@ impl Node {
     /// Mutable access to the RAPL domain (capping interface).
     pub fn rapl_mut(&mut self) -> &mut RaplDomain {
         &mut self.rapl
+    }
+
+    /// Request a new RAPL cap, recording the request/grant/enforcement
+    /// triple on the trace. Returns the clamped value RAPL accepted.
+    pub fn request_cap(&mut self, m: &MachineConfig, now: SimTime, watts: f64) -> f64 {
+        let granted = self.rapl.request_cap(m, now, watts);
+        if self.tracer.is_enabled() {
+            // Actuation latency: when the request is a no-op or the PCU is
+            // stuck, enforcement never changes — report the request time.
+            let effective = self.rapl.next_change_after(now).unwrap_or(now);
+            self.tracer.emit_at(
+                now,
+                obs::Event::CapRequest {
+                    node: self.id,
+                    requested_w: watts,
+                    granted_w: granted,
+                    effective_ns: effective.as_nanos(),
+                },
+            );
+            self.tracer.count("cap_requests");
+        }
+        granted
     }
 
     /// Shared access to the RAPL domain.
@@ -68,7 +105,13 @@ impl Node {
     ///
     /// Panics in debug builds if `start` precedes previously simulated
     /// activity on this node.
-    pub fn run_phase(&mut self, m: &MachineConfig, start: SimTime, work: Work, jitter: f64) -> SimTime {
+    pub fn run_phase(
+        &mut self,
+        m: &MachineConfig,
+        start: SimTime,
+        work: Work,
+        jitter: f64,
+    ) -> SimTime {
         debug_assert!(start >= self.busy_until, "node {} scheduled into its past", self.id);
         debug_assert!(jitter > 0.0);
         self.rapl.advance(start);
@@ -101,6 +144,18 @@ impl Node {
             }
         }
         self.busy_until = t;
+        if self.tracer.is_enabled() {
+            self.tracer.emit_at(
+                start,
+                obs::Event::Phase {
+                    node: self.id,
+                    kind: work.kind.tag(),
+                    start_ns: start.as_nanos(),
+                    end_ns: t.as_nanos(),
+                },
+            );
+            self.tracer.count("phases");
+        }
         t
     }
 
@@ -127,6 +182,18 @@ impl Node {
             }
         }
         self.busy_until = until;
+        if self.tracer.is_enabled() {
+            self.tracer.emit_at(
+                from,
+                obs::Event::Wait {
+                    node: self.id,
+                    start_ns: from.as_nanos(),
+                    end_ns: until.as_nanos(),
+                },
+            );
+            self.tracer.count("waits");
+            self.tracer.observe("wait_s", until.saturating_since(from).as_secs_f64());
+        }
     }
 
     /// True (noise-free) mean power over `[from, to)`, watts.
@@ -245,7 +312,10 @@ mod tests {
         let mut nominal = capped_node(110.0);
         let mut slow = Node::new(1, 0.9, RaplDomain::capped(&m, CapMode::Long, 110.0));
         let w = Work::new(PhaseKind::Force, 1.0);
-        assert!(slow.run_phase(&m, SimTime::ZERO, w, 1.0) > nominal.run_phase(&m, SimTime::ZERO, w, 1.0));
+        assert!(
+            slow.run_phase(&m, SimTime::ZERO, w, 1.0)
+                > nominal.run_phase(&m, SimTime::ZERO, w, 1.0)
+        );
     }
 
     #[test]

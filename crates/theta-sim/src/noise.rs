@@ -86,10 +86,7 @@ impl NoiseModel {
     pub fn with_sigmas(nodes: usize, sigmas: NoiseSigmas, seed: NoiseSeed) -> Self {
         let mut job_rng = Rng::seed_from_u64(seed.job.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut run_rng = Rng::seed_from_u64(
-            seed.job
-                .wrapping_mul(31)
-                .wrapping_add(seed.run)
-                .wrapping_mul(0xD1B5_4A32_D192_ED03),
+            seed.job.wrapping_mul(31).wrapping_add(seed.run).wrapping_mul(0xD1B5_4A32_D192_ED03),
         );
         let run_bias = run_rng.normal_clamped(1.0, sigmas.run).max(0.5);
         let node_efficiency = (0..nodes)
@@ -98,9 +95,8 @@ impl NoiseModel {
                 (job_eff * run_bias).max(0.5)
             })
             .collect();
-        let jitter_rng = Rng::seed_from_u64(
-            seed.run.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(seed.job),
-        );
+        let jitter_rng =
+            Rng::seed_from_u64(seed.run.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(seed.job));
         let measure_rng = Rng::seed_from_u64(
             seed.run.wrapping_mul(0xE703_7ED1_A0B4_28DB).wrapping_add(!seed.job),
         );
@@ -134,10 +130,8 @@ impl NoiseModel {
     /// (multi-×10 % stalls from OS noise that the throttled cores cannot
     /// hide) — the dominant tail effect at δ_min on KNL.
     pub fn phase_jitter_scaled(&mut self, sigma_scale: f64) -> f64 {
-        let base = self
-            .jitter_rng
-            .normal_clamped(1.0, self.sigmas.phase * sigma_scale.max(0.0))
-            .max(0.5);
+        let base =
+            self.jitter_rng.normal_clamped(1.0, self.sigmas.phase * sigma_scale.max(0.0)).max(0.5);
         if sigma_scale > 1.0 {
             let p = 0.004 * ((sigma_scale - 1.0) / 3.0).min(1.0);
             if self.jitter_rng.next_f64() < p {

@@ -96,6 +96,23 @@ impl PhaseKind {
         matches!(self, PhaseKind::Wait)
     }
 
+    /// Stable lowercase tag for serialized traces.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PhaseKind::Integrate => "integrate",
+            PhaseKind::Force => "force",
+            PhaseKind::NeighborRebuild => "neighbor_rebuild",
+            PhaseKind::SyncExchange => "sync_exchange",
+            PhaseKind::ThermoIo => "thermo_io",
+            PhaseKind::AnalysisRdf => "analysis_rdf",
+            PhaseKind::AnalysisVacf => "analysis_vacf",
+            PhaseKind::AnalysisMsd => "analysis_msd",
+            PhaseKind::AnalysisMsd1d => "analysis_msd1d",
+            PhaseKind::AnalysisMsd2d => "analysis_msd2d",
+            PhaseKind::Wait => "wait",
+        }
+    }
+
     /// All productive (non-wait) phase kinds; useful for tests and sweeps.
     pub fn all_productive() -> &'static [PhaseKind] {
         &[

@@ -136,8 +136,10 @@ mod tests {
         // ThermoIo (s = 0.25) gains far less from 105→113 than Force
         // (s = 1); the comparison is made above the δ_min cliff zone so it
         // isolates pure sensitivity.
-        let io_gain = rate(&m, unit(PhaseKind::ThermoIo), 113.0) / rate(&m, unit(PhaseKind::ThermoIo), 105.0);
-        let force_gain = rate(&m, unit(PhaseKind::Force), 113.0) / rate(&m, unit(PhaseKind::Force), 105.0);
+        let io_gain =
+            rate(&m, unit(PhaseKind::ThermoIo), 113.0) / rate(&m, unit(PhaseKind::ThermoIo), 105.0);
+        let force_gain =
+            rate(&m, unit(PhaseKind::Force), 113.0) / rate(&m, unit(PhaseKind::Force), 105.0);
         assert!(io_gain < force_gain, "{io_gain} !< {force_gain}");
         assert!(io_gain < 1.06, "{io_gain}");
     }
@@ -231,7 +233,8 @@ mod tests {
         let w = Work::new(PhaseKind::ThermoIo, 1.0);
         let r98 = rate(&m, w, 98.0);
         let s = PhaseKind::ThermoIo.sensitivity();
-        let no_cliff = (1.0 - s) + s * (98.0 - m.floor_w) / (106.0_f64.min(m.ref_power_w) - m.floor_w);
+        let no_cliff =
+            (1.0 - s) + s * (98.0 - m.floor_w) / (106.0_f64.min(m.ref_power_w) - m.floor_w);
         assert!(r98 < no_cliff, "{r98} !< {no_cliff}");
     }
 

@@ -15,7 +15,8 @@ fn main() {
     let mut spec = WorkloadSpec::paper(16, 128, 1, &[AnalysisKind::MsdFull]);
     spec.total_steps = 120;
 
-    let baseline = run_job(JobConfig::new(spec.clone(), "static").with_seed(7, 0)).expect("known controller");
+    let baseline =
+        run_job(JobConfig::new(spec.clone(), "static").with_seed(7, 0)).expect("known controller");
     println!(
         "{:12} total {:8.1} s   energy {:7.2} MJ   (baseline)",
         "static",
@@ -24,7 +25,8 @@ fn main() {
     );
 
     for ctl in ["seesaw", "time-aware", "power-aware"] {
-        let r = run_job(JobConfig::new(spec.clone(), ctl).with_seed(7, 1)).expect("known controller");
+        let r =
+            run_job(JobConfig::new(spec.clone(), ctl).with_seed(7, 1)).expect("known controller");
         let imp = improvement_pct(baseline.total_time_s, r.total_time_s);
         let last = r.syncs.last().unwrap();
         println!(

@@ -39,8 +39,7 @@ fn main() {
         let rec = driver.advance();
         thermo.write(&rec.thermo).expect("write thermo");
         if rec.synced {
-            let names: Vec<&str> =
-                rec.analysis_work.iter().map(|(k, _)| k.name()).collect();
+            let names: Vec<&str> = rec.analysis_work.iter().map(|(k, _)| k.name()).collect();
             if !names.is_empty() {
                 // Annotate which analyses ran at this sync.
                 // (Printed after the thermo table below.)
@@ -52,8 +51,7 @@ fn main() {
 
     // Final frame for a viewer.
     let mut xyz = Vec::new();
-    write_xyz_frame(&mut xyz, &driver.engine().system, driver.step_count())
-        .expect("write xyz");
+    write_xyz_frame(&mut xyz, &driver.engine().system, driver.step_count()).expect("write xyz");
     let text = String::from_utf8(xyz).unwrap();
     println!(
         "\nfinal XYZ frame: {} lines, first two:\n{}",

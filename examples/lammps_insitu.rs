@@ -29,7 +29,8 @@ fn main() {
     let cfg = JobConfig::new(spec, "seesaw");
     let result = Runtime::with_workload(cfg, Box::new(workload)).expect("known controller").run();
 
-    println!("simulated {} synchronizations, total {:.1} s, {:.2} MJ",
+    println!(
+        "simulated {} synchronizations, total {:.1} s, {:.2} MJ",
         result.syncs.len(),
         result.total_time_s,
         result.total_energy_j / 1e6

@@ -13,6 +13,9 @@ cargo test -q --offline
 echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "==> format: cargo fmt --check"
+cargo fmt --check
+
 echo "==> determinism: fault_sweep twice, byte-identical JSON"
 a="$(mktemp -d)"
 b="$(mktemp -d)"
@@ -26,8 +29,20 @@ echo "==> parallel determinism: fault_sweep at POLIMER_THREADS=4 vs committed JS
 SEESAW_RESULTS_DIR="$c" POLIMER_THREADS=4 ./target/release/fault_sweep >/dev/null
 diff "$c/fault_sweep.json" results/fault_sweep.json
 
+echo "==> trace determinism: run_experiment JSONL at POLIMER_THREADS=1 vs 4"
+SEESAW_TRACE="$c/t1.jsonl" POLIMER_THREADS=1 \
+    ./target/release/run_experiment --nodes 8 --dim 16 --steps 40 --analyses vacf --quiet
+SEESAW_TRACE="$c/t4.jsonl" POLIMER_THREADS=4 \
+    ./target/release/run_experiment --nodes 8 --dim 16 --steps 40 --analyses vacf --quiet
+diff "$c/t1.jsonl" "$c/t4.jsonl"
+test -s "$c/t1.jsonl"
+
 echo "==> kernel speedup record: md_kernels serial-vs-parallel bench"
 SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench md_kernels -- --quick
 test -s "$c/BENCH_kernels.json"
 
-echo "OK: build + tests green, clippy clean, sweeps thread-count invariant"
+echo "==> tracing overhead record: trace_overhead on/off bench"
+SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench trace_overhead -- --quick
+test -s "$c/BENCH_trace.json"
+
+echo "OK: build + tests green, clippy + fmt clean, sweeps and traces thread-count invariant"

@@ -21,15 +21,13 @@ fn small_spec(kinds: &[K], steps: u64) -> WorkloadSpec {
 fn measured_workload_through_runtime_matches_analytic_shape() {
     let spec = small_spec(&[K::Vacf, K::Rdf], 12);
     let measured = MeasuredWorkload::new(spec.clone(), 1, 77);
-    let rm = Runtime::with_workload(JobConfig::new(spec.clone(), "seesaw"), Box::new(measured)).expect("known controller")
+    let rm = Runtime::with_workload(JobConfig::new(spec.clone(), "seesaw"), Box::new(measured))
+        .expect("known controller")
         .run();
     let ra = Runtime::new(JobConfig::new(spec, "seesaw")).expect("known controller").run();
     assert_eq!(rm.syncs.len(), ra.syncs.len());
     let ratio = rm.total_time_s / ra.total_time_s;
-    assert!(
-        (0.4..2.5).contains(&ratio),
-        "measured vs analytic total time ratio {ratio}"
-    );
+    assert!((0.4..2.5).contains(&ratio), "measured vs analytic total time ratio {ratio}");
     // Both discover the same direction: VACF+RDF is a low-demand analysis
     // mix, the simulation ends with at least as much power.
     let (ma, aa) = (rm.syncs.last().unwrap(), ra.syncs.last().unwrap());
@@ -88,8 +86,20 @@ fn seesaw_drives_mock_rapl_host() {
         let obs = SyncObservation {
             step,
             nodes: vec![
-                NodeSample { node: 0, role: Role::Simulation, time_s: 4.0, power_w: p0, cap_w: caps[0] },
-                NodeSample { node: 1, role: Role::Analysis, time_s: 2.0, power_w: p1, cap_w: caps[1] },
+                NodeSample {
+                    node: 0,
+                    role: Role::Simulation,
+                    time_s: 4.0,
+                    power_w: p0,
+                    cap_w: caps[0],
+                },
+                NodeSample {
+                    node: 1,
+                    role: Role::Analysis,
+                    time_s: 2.0,
+                    power_w: p1,
+                    cap_w: caps[1],
+                },
             ],
         };
         if let Some(alloc) = ctl.on_sync(&obs) {

@@ -1,7 +1,9 @@
 //! Integration tests for the §VIII future-work extensions and the §III
 //! alternative execution modes, run through the full coupled stack.
 
-use insitu::{improvement_pct, paired_improvement, run_colocated, run_job, run_time_shared, JobConfig};
+use insitu::{
+    improvement_pct, paired_improvement, run_colocated, run_job, run_time_shared, JobConfig,
+};
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
 
@@ -17,7 +19,8 @@ fn spec(dim: u32, nodes: usize, steps: u64, kinds: &[K]) -> WorkloadSpec {
 fn hierarchical_matches_or_beats_plain_seesaw() {
     let s = spec(36, 32, 80, &[K::Vacf]);
     let plain = paired_improvement(&JobConfig::new(s.clone(), "seesaw")).expect("known controller");
-    let hier = paired_improvement(&JobConfig::new(s, "hierarchical-seesaw")).expect("known controller");
+    let hier =
+        paired_improvement(&JobConfig::new(s, "hierarchical-seesaw")).expect("known controller");
     assert!(
         hier > plain - 2.0,
         "hierarchical should not regress: plain {plain:.2} %, hierarchical {hier:.2} %"
@@ -30,7 +33,8 @@ fn hierarchical_matches_or_beats_plain_seesaw() {
 fn probing_does_not_regress() {
     let s = spec(16, 32, 80, &[K::MsdFull]);
     let plain = paired_improvement(&JobConfig::new(s.clone(), "seesaw")).expect("known controller");
-    let probing = paired_improvement(&JobConfig::new(s, "probing-seesaw")).expect("known controller");
+    let probing =
+        paired_improvement(&JobConfig::new(s, "probing-seesaw")).expect("known controller");
     assert!(
         probing > plain - 2.5,
         "probing overhead too high: plain {plain:.2} %, probing {probing:.2} %"
@@ -43,7 +47,8 @@ fn probing_does_not_regress() {
 fn time_shared_wins_on_slack_dominated_workloads() {
     let s = spec(36, 16, 60, &[K::Vacf]);
     let base = run_job(JobConfig::new(s.clone(), "static")).expect("known controller");
-    let see = run_job(JobConfig::new(s.clone(), "seesaw").with_seed(1, 1)).expect("known controller");
+    let see =
+        run_job(JobConfig::new(s.clone(), "seesaw").with_seed(1, 1)).expect("known controller");
     let ts = run_time_shared(JobConfig::new(s, "static").with_seed(1, 2));
     let imp_see = improvement_pct(base.total_time_s, see.total_time_s);
     let imp_ts = improvement_pct(base.total_time_s, ts.total_time_s);

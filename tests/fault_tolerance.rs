@@ -19,20 +19,14 @@ fn quick_cfg(controller: &str) -> JobConfig {
 fn mid_run_node_crash_neither_panics_nor_stops_seesaw_winning() {
     // Node 6 is an analysis node (nodes 0–3 simulate, 4–7 analyze); it
     // dies at sync 10 of 30. Both runs see the same crash.
-    let plan = FaultPlan::from_events(vec![FaultEvent {
-        sync: 10,
-        node: 6,
-        kind: FaultKind::NodeCrash,
-    }]);
+    let plan =
+        FaultPlan::from_events(vec![FaultEvent { sync: 10, node: 6, kind: FaultKind::NodeCrash }]);
     let cfg = quick_cfg("seesaw").with_faults(plan);
     let ctl = run_job(cfg.clone()).expect("known controller");
 
     // The run completes every interval on the survivors.
     assert_eq!(ctl.syncs.len(), 30, "crash must not end the run");
-    assert!(ctl
-        .fault_events
-        .iter()
-        .any(|e| e.node == 6 && e.kind == FaultKind::NodeCrash));
+    assert!(ctl.fault_events.iter().any(|e| e.node == 6 && e.kind == FaultKind::NodeCrash));
     assert!(ctl.recovery_count(RecoveryKind::NodeExcluded) == 1);
     assert!(ctl.recovery_count(RecoveryKind::BudgetRenormalized) == 1);
     // Caps stay inside hardware limits throughout.
@@ -88,9 +82,8 @@ fn empty_plan_is_byte_identical_to_no_plan() {
 #[test]
 fn losing_a_whole_partition_ends_the_run_gracefully() {
     // All four analysis nodes die at sync 5: nothing left to couple with.
-    let events = (4..8)
-        .map(|node| FaultEvent { sync: 5, node, kind: FaultKind::NodeCrash })
-        .collect();
+    let events =
+        (4..8).map(|node| FaultEvent { sync: 5, node, kind: FaultKind::NodeCrash }).collect();
     let cfg = quick_cfg("seesaw").with_faults(FaultPlan::from_events(events));
     let r = run_job(cfg).expect("known controller");
     assert_eq!(r.syncs.len(), 5, "run ends at the sync the partition vanished");

@@ -56,7 +56,8 @@ fn seesaw_beats_time_aware_on_full_msd() {
 /// power even though the baseline times look nearly identical.
 #[test]
 fn seesaw_settles_and_gives_msd_analysis_more_power() {
-    let r = run_job(JobConfig::new(spec(16, 64, 60, &[K::MsdFull]), "seesaw")).expect("known controller");
+    let r = run_job(JobConfig::new(spec(16, 64, 60, &[K::MsdFull]), "seesaw"))
+        .expect("known controller");
     assert!(r.mean_slack_from(20) < 0.1, "late slack {:.3}", r.mean_slack_from(20));
     let last = r.syncs.last().unwrap();
     assert!(
@@ -71,8 +72,8 @@ fn seesaw_settles_and_gives_msd_analysis_more_power() {
 /// measured power stays near ~105 W regardless (demand-limited).
 #[test]
 fn simulation_cannot_use_extra_power_at_small_scale() {
-    let cfg = JobConfig::new(spec(16, 32, 40, &[K::MsdFull]), "static")
-        .with_initial_caps(130.0, 90.0);
+    let cfg =
+        JobConfig::new(spec(16, 32, 40, &[K::MsdFull]), "static").with_initial_caps(130.0, 90.0);
     let r = run_job(cfg).expect("known controller");
     let s = &r.syncs[10];
     assert!(
@@ -93,13 +94,15 @@ fn unbalanced_starts_are_recovered() {
                 .with_window(2)
                 .with_initial_caps(s0, a0)
                 .with_seed(9, 0),
-        ).expect("known controller");
+        )
+        .expect("known controller");
         let ctl = run_job(
             JobConfig::new(spec(36, 32, 80, &kinds), "seesaw")
                 .with_window(2)
                 .with_initial_caps(s0, a0)
                 .with_seed(9, 1),
-        ).expect("known controller");
+        )
+        .expect("known controller");
         improvement_pct(base.total_time_s, ctl.total_time_s)
     };
     let sim_more = run_case(120.0, 100.0);
@@ -116,7 +119,8 @@ fn unbalanced_starts_are_recovered() {
 fn improvement_peaks_at_tight_but_feasible_budgets() {
     let kinds = [K::MsdFull, K::Rdf, K::Msd1d, K::Msd2d, K::Vacf];
     let imp_at = |cap: f64| {
-        paired_improvement(&JobConfig::new(spec(16, 32, 60, &kinds), "seesaw").with_budget(cap)).expect("known controller")
+        paired_improvement(&JobConfig::new(spec(16, 32, 60, &kinds), "seesaw").with_budget(cap))
+            .expect("known controller")
     };
     let at_min = imp_at(98.0);
     let at_sweet = imp_at(112.0);
@@ -130,16 +134,15 @@ fn improvement_peaks_at_tight_but_feasible_budgets() {
 /// interval and grows (absolutely) with node count.
 #[test]
 fn overhead_small_and_scaling() {
-    let small = run_job(JobConfig::new(spec(48, 32, 30, &[K::Vacf]), "seesaw")).expect("known controller");
-    let big = run_job(JobConfig::new(spec(48, 256, 30, &[K::Vacf]), "seesaw")).expect("known controller");
+    let small =
+        run_job(JobConfig::new(spec(48, 32, 30, &[K::Vacf]), "seesaw")).expect("known controller");
+    let big =
+        run_job(JobConfig::new(spec(48, 256, 30, &[K::Vacf]), "seesaw")).expect("known controller");
     let mean = |r: &insitu::RunResult| {
         r.syncs.iter().map(|s| s.overhead_s).sum::<f64>() / r.syncs.len() as f64
     };
     assert!(mean(&big) > mean(&small), "overhead must grow with scale");
-    assert!(
-        small.total_overhead_s() < 0.01 * small.total_time_s,
-        "overhead must be negligible"
-    );
+    assert!(small.total_overhead_s() < 0.01 * small.total_time_s, "overhead must be negligible");
 }
 
 /// §VII-C1 (Fig. 6): with infrequent synchronization (large j) there are

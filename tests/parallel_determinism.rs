@@ -23,11 +23,8 @@ fn force_bits(threads: usize) -> (u64, u64, u64, Vec<u64>) {
         let table = PairTable::new();
         let nl = NeighborList::build(&sys.pos, sys.box_len, params.cutoff, 0.4);
         let ev = compute_forces(&mut sys, &nl, params, &table);
-        let fbits = sys
-            .force
-            .iter()
-            .flat_map(|f| [f.x.to_bits(), f.y.to_bits(), f.z.to_bits()])
-            .collect();
+        let fbits =
+            sys.force.iter().flat_map(|f| [f.x.to_bits(), f.y.to_bits(), f.z.to_bits()]).collect();
         (ev.potential.to_bits(), ev.virial.to_bits(), ev.pairs_evaluated, fbits)
     })
 }
@@ -64,11 +61,7 @@ fn trajectory_bits(threads: usize) -> Vec<u64> {
         for _ in 0..25 {
             e.step();
         }
-        e.system
-            .pos
-            .iter()
-            .flat_map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()])
-            .collect()
+        e.system.pos.iter().flat_map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()]).collect()
     })
 }
 

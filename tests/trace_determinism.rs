@@ -1,0 +1,206 @@
+//! Determinism and round-trip gates for the `obs` tracing subsystem.
+//!
+//! Traces are keyed on simulated time, so the serialized JSONL of a
+//! fixed-seed run must be **byte-identical** across repeats and across
+//! `POLIMER_THREADS` settings — the same contract PR 1/PR 2 established
+//! for results. These tests also gate the zero-behavioural-footprint
+//! property (tracing on/off never changes what the run computes) and the
+//! exporters' well-formedness (valid JSON, monotone Chrome-trace
+//! timestamps).
+
+use insitu::{
+    run_job, run_job_traced, run_paired, run_paired_traced, FaultEvent, FaultKind, FaultPlan,
+    JobConfig,
+};
+use mdsim::workload::WorkloadSpec;
+use mdsim::AnalysisKind;
+use obs::{chrome_trace, is_valid_json, Event, TraceEvent, Tracer};
+
+fn quick_cfg(controller: &str) -> JobConfig {
+    let mut spec = WorkloadSpec::paper(16, 8, 1, &[AnalysisKind::Vacf]);
+    spec.total_steps = 40;
+    JobConfig::new(spec, controller)
+}
+
+/// JSONL trace of one fixed-seed run at a given worker-pool size.
+fn trace_at(threads: usize) -> String {
+    par::with_threads(threads, || {
+        let tracer = Tracer::enabled();
+        run_job_traced(quick_cfg("seesaw"), &tracer).expect("known controller");
+        tracer.to_jsonl()
+    })
+}
+
+#[test]
+fn jsonl_trace_byte_identical_across_thread_counts() {
+    let serial = trace_at(1);
+    assert!(!serial.is_empty(), "traced run must record events");
+    for threads in [2, 4] {
+        assert_eq!(serial, trace_at(threads), "trace drifted at T={threads}");
+    }
+}
+
+#[test]
+fn jsonl_trace_byte_identical_across_repeats() {
+    assert_eq!(trace_at(1), trace_at(1), "same-seed repeat must serialize identically");
+}
+
+#[test]
+fn paired_trace_byte_identical_across_thread_counts() {
+    let paired = |threads: usize| {
+        par::with_threads(threads, || {
+            let tracer = Tracer::enabled();
+            run_paired_traced(&quick_cfg("seesaw"), &tracer).expect("known controller");
+            tracer.to_jsonl()
+        })
+    };
+    let serial = paired(1);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, paired(4), "paired trace drifted at T=4");
+}
+
+#[test]
+fn tracing_has_zero_behavioural_footprint() {
+    // The traced run must compute bit-for-bit the same result as the
+    // untraced run: tracing only observes, never perturbs.
+    let plain = run_job(quick_cfg("seesaw")).expect("known controller");
+    let traced = run_job_traced(quick_cfg("seesaw"), &Tracer::enabled()).expect("known controller");
+    assert_eq!(plain.total_time_s.to_bits(), traced.total_time_s.to_bits());
+    assert_eq!(plain.total_energy_j.to_bits(), traced.total_energy_j.to_bits());
+    assert_eq!(plain.syncs, traced.syncs);
+    // And run_paired's default path is the off-tracer path.
+    let (ctl, _) = run_paired(&quick_cfg("seesaw")).expect("known controller");
+    assert_eq!(ctl.total_time_s.to_bits(), plain.total_time_s.to_bits());
+}
+
+#[test]
+fn traced_run_embeds_metrics_summary() {
+    let tracer = Tracer::enabled();
+    let r = run_job_traced(quick_cfg("seesaw"), &tracer).expect("known controller");
+    let m = r.metrics.expect("traced run embeds metrics");
+    assert_eq!(m.counter("syncs"), r.syncs.len() as u64);
+    assert!(m.counter("phases") > 0, "phase spans recorded");
+    assert!(m.counter("samples") > 0, "power samples recorded");
+    assert!(m.counter("decisions") > 0, "seesaw made decisions");
+    assert!(m.events >= m.counter("phases"), "{m:?}");
+    assert!(m.stat("wait_s").is_some(), "wait histogram recorded");
+    // Untraced runs carry no metrics.
+    assert!(run_job(quick_cfg("seesaw")).expect("known controller").metrics.is_none());
+}
+
+#[test]
+fn injected_faults_appear_on_the_trace() {
+    let plan =
+        FaultPlan::from_events(vec![FaultEvent { sync: 2, node: 3, kind: FaultKind::SampleNan }]);
+    let tracer = Tracer::enabled();
+    run_job_traced(quick_cfg("seesaw").with_faults(plan), &tracer).expect("known controller");
+    let jsonl = tracer.to_jsonl();
+    assert!(jsonl.contains("\"ev\":\"fault\""), "fault event missing");
+    assert!(jsonl.contains("\"tag\":\"sample_nan\""), "fault tag missing");
+    assert!(jsonl.contains("\"ev\":\"recovery\""), "recovery event missing");
+    assert!(jsonl.contains("\"ev\":\"sample_rejected\""), "plausibility gate missing");
+}
+
+/// One instance of every event variant, for schema round-trips.
+fn one_of_each() -> Vec<TraceEvent> {
+    let evs = vec![
+        Event::SyncStart { sync: 1 },
+        Event::Arrival { sync: 1, node: 0, role: "sim", time_s: 1.25 },
+        Event::Rendezvous { sync: 1, sim_time_s: 1.25, analysis_time_s: 1.0, slack: 0.2 },
+        Event::SyncEnd { sync: 1, overhead_s: 0.01 },
+        Event::Phase { node: 0, kind: "force", start_ns: 0, end_ns: 1_000 },
+        Event::Wait { node: 1, start_ns: 1_000, end_ns: 2_000 },
+        Event::CapRequest { node: 0, requested_w: 120.0, granted_w: 118.5, effective_ns: 3_000 },
+        Event::Sample { node: 0, role: "sim", time_s: 1.25, power_w: 109.5, cap_w: 110.0 },
+        Event::SampleRejected { node: 2 },
+        Event::ExchangeDone { sync: 1, overhead_s: 0.001, decided: true },
+        Event::MonitorReelected { node: 2, new_rank: 5 },
+        Event::NodeExcluded { node: 3 },
+        Event::BudgetRenormalized { budget_w: 330.0 },
+        Event::AllocationHeld { sync: 2 },
+        Event::Decision {
+            sync: 1,
+            alpha_sim: 2.2e-3,
+            alpha_analysis: 4.5e-3,
+            p_opt_sim_w: 140.0,
+            p_opt_analysis_w: 80.0,
+            blend_sim_w: 130.0,
+            blend_analysis_w: 90.0,
+            sim_node_w: 122.0,
+            analysis_node_w: 98.0,
+            clamped: true,
+        },
+        Event::ControllerHold { sync: 1, reason: "corrupt_sample" },
+        Event::Fault { sync: 0, node: 1, tag: "node_crash" },
+        Event::Recovery { sync: 0, node: 1, tag: "budget_renormalized" },
+    ];
+    evs.into_iter()
+        .enumerate()
+        .map(|(i, ev)| TraceEvent { t: des::SimTime::from_nanos(i as u64 * 500), ev })
+        .collect()
+}
+
+#[test]
+fn every_event_variant_serializes_as_valid_json() {
+    for te in one_of_each() {
+        let line = te.to_json_line();
+        assert!(is_valid_json(&line), "invalid JSON: {line}");
+        assert!(line.contains(&format!("\"ev\":\"{}\"", te.ev.tag())), "tag missing: {line}");
+        assert!(line.starts_with(&format!("{{\"t\":{}", te.t.as_nanos())), "t missing: {line}");
+    }
+}
+
+/// Pull every `"ts":<number>` out of a Chrome-trace document, in order.
+fn ts_values(doc: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(i) = rest.find("\"ts\":") {
+        let tail = &rest[i + 5..];
+        let end = tail.find([',', '}']).expect("number terminated");
+        out.push(tail[..end].parse::<f64>().expect("numeric ts"));
+        rest = &tail[end..];
+    }
+    out
+}
+
+#[test]
+fn perfetto_export_is_valid_json_with_monotone_timestamps() {
+    let doc = chrome_trace(&one_of_each());
+    assert!(is_valid_json(&doc), "chrome trace must be valid JSON");
+    let ts = ts_values(&doc);
+    assert!(!ts.is_empty(), "export has timestamped entries");
+    for w in ts.windows(2) {
+        assert!(w[0] <= w[1], "ts not monotone: {} then {}", w[0], w[1]);
+    }
+}
+
+#[test]
+fn perfetto_export_of_a_real_run_has_cap_and_phase_lanes() {
+    let tracer = Tracer::enabled();
+    run_job_traced(quick_cfg("seesaw"), &tracer).expect("known controller");
+    let doc = chrome_trace(&tracer.events());
+    assert!(is_valid_json(&doc), "chrome trace must be valid JSON");
+    // Phase activity lanes (complete spans) and per-node cap counters.
+    assert!(doc.contains("\"ph\":\"X\""), "phase spans missing");
+    assert!(doc.contains("\"name\":\"cap_w\""), "cap counter track missing");
+    assert!(doc.contains("\"name\":\"power_w\""), "power counter track missing");
+    assert!(doc.contains("\"name\":\"process_name\""), "process metadata missing");
+    assert!(doc.contains("controller"), "controller lane missing");
+    let ts = ts_values(&doc);
+    for w in ts.windows(2) {
+        assert!(w[0] <= w[1], "ts not monotone: {} then {}", w[0], w[1]);
+    }
+}
+
+#[test]
+fn trace_jsonl_lines_are_valid_json() {
+    let tracer = Tracer::enabled();
+    run_job_traced(quick_cfg("seesaw"), &tracer).expect("known controller");
+    let jsonl = tracer.to_jsonl();
+    let mut lines = 0;
+    for line in jsonl.lines() {
+        assert!(is_valid_json(line), "invalid JSONL line: {line}");
+        lines += 1;
+    }
+    assert!(lines > 100, "expected a dense trace, got {lines} lines");
+}

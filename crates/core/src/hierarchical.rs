@@ -63,47 +63,19 @@ impl HierarchicalSeeSaw {
         if t_mean <= 0.0 || self.cfg.gamma == 0.0 {
             return nodes.iter().map(|&(id, _)| (id, per_node_mean_w)).collect();
         }
-        // Raw weights, clamp to hardware limits, then iteratively push the
-        // clamp residue back into the nodes that can still move, so the
-        // partition total is preserved exactly whenever it is feasible and
-        // never exceeded otherwise.
-        let mut caps: Vec<(usize, f64)> = nodes
-            .iter()
-            .map(|&(id, t)| {
-                let w = (t / t_mean).powf(self.cfg.gamma);
-                (id, limits.clamp(per_node_mean_w * w))
-            })
-            .collect();
-        for _ in 0..8 {
-            let assigned: f64 = caps.iter().map(|&(_, w)| w).sum();
-            let residue = total_w - assigned;
-            if residue.abs() < 1e-9 {
-                break;
-            }
-            let adjustable: Vec<usize> = caps
-                .iter()
-                .enumerate()
-                .filter(|(_, &(_, w))| {
-                    if residue > 0.0 {
-                        w < limits.max_w - 1e-12
-                    } else {
-                        w > limits.min_w + 1e-12
-                    }
-                })
-                .map(|(k, _)| k)
-                .collect();
-            if adjustable.is_empty() {
-                break;
-            }
-            let share = residue / adjustable.len() as f64;
-            for k in adjustable {
-                caps[k].1 = limits.clamp(caps[k].1 + share);
-            }
-        }
-        // Feasibility floor: if every node is pinned at δ_min the total may
-        // still exceed the level-1 share; that is a hardware constraint the
+        // Raw time-proportional desires, then an exact water-filling
+        // projection onto the δ box with the partition total as the sum
+        // constraint: conservation is analytic (no residue loop, no leak),
+        // and the total exceeds the level-1 share only when every node
+        // pinned at δ_min makes it infeasible — a hardware floor the
         // level-1 clamp already accounts for.
-        caps
+        let desired: Vec<f64> = nodes
+            .iter()
+            .map(|&(_, t)| per_node_mean_w * (t / t_mean).powf(self.cfg.gamma))
+            .collect();
+        let caps =
+            crate::waterfill::water_fill_uniform(&desired, limits.min_w, limits.max_w, total_w);
+        nodes.iter().zip(caps).map(|(&(id, _), w)| (id, w)).collect()
     }
 }
 
@@ -213,10 +185,32 @@ mod tests {
         let alloc = c.on_sync(&obs_with_straggler()).unwrap();
         let sim_total: f64 = [0, 1].iter().map(|&n| alloc.cap_for(n, Role::Simulation)).sum();
         assert!(
-            (sim_total - 2.0 * alloc.sim_node_w).abs() < 0.5,
+            (sim_total - 2.0 * alloc.sim_node_w).abs() < 1e-6,
             "level 2 must conserve the level-1 total: {sim_total} vs {}",
             2.0 * alloc.sim_node_w
         );
+    }
+
+    #[test]
+    fn extreme_straggler_conserves_partition_total() {
+        // Node 1 is 25x slower than node 0: its desire saturates at δ_max
+        // and the water-filling must hand the residue back to node 0 so the
+        // partition total is conserved exactly (the old residue loop leaked
+        // here), unless δ bounds make conservation infeasible.
+        let mut c = HierarchicalSeeSaw::new(cfg());
+        let mut o = obs_with_straggler();
+        o.nodes[1].time_s = 100.0;
+        let alloc = c.on_sync(&o).unwrap();
+        let sim_total: f64 = [0, 1].iter().map(|&n| alloc.cap_for(n, Role::Simulation)).sum();
+        let share = 2.0 * alloc.sim_node_w;
+        let l = Limits::theta();
+        if share >= 2.0 * l.min_w && share <= 2.0 * l.max_w {
+            assert!(
+                (sim_total - share).abs() < 1e-6,
+                "extreme straggler must not leak power: {sim_total} vs {share}"
+            );
+        }
+        assert!(alloc.cap_for(1, Role::Simulation) >= alloc.cap_for(0, Role::Simulation));
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod seesaw;
 mod static_alloc;
 mod time_aware;
 mod types;
+pub mod waterfill;
 
 pub use controller::Controller;
 pub use hierarchical::{HierarchicalConfig, HierarchicalSeeSaw};
@@ -60,6 +61,7 @@ pub use time_aware::{TimeAware, TimeAwareConfig};
 pub use types::{
     split_with_limits, Allocation, Limits, NodeSample, PartitionView, Role, SyncObservation,
 };
+pub use waterfill::{water_fill, water_fill_uniform};
 
 /// The controller names [`controller_by_name`] accepts.
 pub const CONTROLLER_NAMES: [&str; 6] =

@@ -158,12 +158,16 @@ impl Allocation {
 }
 
 /// Split a two-partition budget into per-node caps honouring δ limits, with
-/// δ_max taking priority on a tie (paper §IV-A, last paragraph).
+/// δ_max taking priority over δ_min on a tie (paper §IV-A, last paragraph).
 ///
 /// `sim_total_w`/`ana_total_w` are partition totals; the result is per-node.
-/// When one side clamps, the other side absorbs the remaining budget
-/// (clamped itself as a final step, which may leave budget unused when both
-/// sides clamp the same way).
+/// The clamp *iterates*: each round pins the worst violation at its bound
+/// and recomputes the peer from the remaining budget, so a clamp on one
+/// side can never push the pair over the budget. The total exceeds
+/// `budget_w` only when both sides pinned at δ_min make it infeasible
+/// (`budget_w < δ_min × (sim_nodes + ana_nodes)` — a hardware floor the
+/// caller must budget for); budget goes *unused* only when both sides
+/// saturate at δ_max.
 pub fn split_with_limits(
     limits: Limits,
     budget_w: f64,
@@ -173,31 +177,37 @@ pub fn split_with_limits(
     ana_nodes: usize,
 ) -> Allocation {
     assert!(sim_nodes > 0 && ana_nodes > 0, "both partitions must be non-empty");
+    const EPS: f64 = 1e-9;
     let ns = sim_nodes as f64;
     let na = ana_nodes as f64;
     let mut sim = sim_total_w / ns;
     let mut ana = ana_total_w / na;
 
-    let sim_hi = sim > limits.max_w;
-    let ana_hi = ana > limits.max_w;
-    let sim_lo = sim < limits.min_w;
-    let ana_lo = ana < limits.min_w;
-
-    // δ_max violations take priority over δ_min on a tie.
-    if sim_hi {
-        sim = limits.max_w;
-        ana = limits.clamp((budget_w - sim * ns) / na);
-    } else if ana_hi {
-        ana = limits.max_w;
-        sim = limits.clamp((budget_w - ana * na) / ns);
-    } else if sim_lo {
-        sim = limits.min_w;
-        ana = limits.clamp((budget_w - sim * ns) / na);
-    } else if ana_lo {
-        ana = limits.min_w;
-        sim = limits.clamp((budget_w - ana * na) / ns);
+    // Each iteration pins one side and recomputes the other exactly from
+    // the budget; a feasible split is reached in at most two pins, and the
+    // only non-terminating patterns are both-high (budget beyond every
+    // δ_max) and both-low (budget below every δ_min), which the final
+    // clamp resolves to the saturated corner. 4 iterations cover all
+    // pin/re-pin sequences.
+    for _ in 0..4 {
+        // δ_max violations take priority over δ_min on a tie.
+        if sim > limits.max_w + EPS {
+            sim = limits.max_w;
+            ana = (budget_w - sim * ns) / na;
+        } else if ana > limits.max_w + EPS {
+            ana = limits.max_w;
+            sim = (budget_w - ana * na) / ns;
+        } else if sim < limits.min_w - EPS {
+            sim = limits.min_w;
+            ana = (budget_w - sim * ns) / na;
+        } else if ana < limits.min_w - EPS {
+            ana = limits.min_w;
+            sim = (budget_w - ana * na) / ns;
+        } else {
+            break;
+        }
     }
-    Allocation::uniform(sim, ana)
+    Allocation::uniform(limits.clamp(sim), limits.clamp(ana))
 }
 
 #[cfg(test)]
@@ -305,6 +315,47 @@ mod tests {
         assert_eq!(a.sim_node_w, 120.0);
         // Analysis gets remainder (100 W/node), itself clamped.
         assert_eq!(a.analysis_node_w, 100.0);
+    }
+
+    #[test]
+    fn split_respects_budget_after_max_clamp() {
+        // Repro from the machine-scheduler work: 310 W over 1+1 nodes with a
+        // lopsided demand. The single-pass clamp returned (215, 98) = 313 W,
+        // 3 W over budget, even though (212, 98) = 310 W is feasible.
+        let a = split_with_limits(Limits::theta(), 310.0, 290.0, 1, 20.0, 1);
+        assert!(
+            a.sim_node_w + a.analysis_node_w <= 310.0 + 1e-9,
+            "budget violated: {} + {}",
+            a.sim_node_w,
+            a.analysis_node_w
+        );
+        assert!((a.sim_node_w - 212.0).abs() < 1e-9, "{a:?}");
+        assert!((a.analysis_node_w - 98.0).abs() < 1e-9, "{a:?}");
+    }
+
+    #[test]
+    fn split_budget_conservation_over_grid() {
+        // Property: whenever budget ≥ n·δ_min the total never exceeds the
+        // budget, for any demand split and partition shape.
+        let l = Limits::theta();
+        for &(ns, na) in &[(1usize, 1usize), (1, 2), (2, 1), (2, 2), (3, 1), (4, 4)] {
+            let n = (ns + na) as f64;
+            let mut budget = n * l.min_w;
+            while budget <= n * l.max_w + 50.0 {
+                for frac in [0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.93, 0.95, 1.0] {
+                    let a =
+                        split_with_limits(l, budget, budget * frac, ns, budget * (1.0 - frac), na);
+                    let total = a.sim_node_w * ns as f64 + a.analysis_node_w * na as f64;
+                    assert!(
+                        total <= budget + 1e-6,
+                        "budget={budget} frac={frac} ns={ns} na={na}: total={total}"
+                    );
+                    assert!(a.sim_node_w >= l.min_w && a.sim_node_w <= l.max_w);
+                    assert!(a.analysis_node_w >= l.min_w && a.analysis_node_w <= l.max_w);
+                }
+                budget += 7.0;
+            }
+        }
     }
 
     #[test]

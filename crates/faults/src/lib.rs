@@ -365,9 +365,102 @@ impl FaultPlan {
     }
 }
 
+/// A job-level fault: kill job `job` at the start of scheduling epoch
+/// `epoch` (machine-level analogue of [`FaultKind::NodeCrash`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobFault {
+    /// Scheduling epoch (0-based) at which the kill fires.
+    pub epoch: u64,
+    /// Target job id (arrival ordinal in the scheduler's job list).
+    pub job: usize,
+}
+
+/// A replayable schedule of job kills for the machine-level scheduler.
+///
+/// Same invariants as [`FaultPlan`]: generation is deterministic in all
+/// arguments, and the empty plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobFaultPlan {
+    events: Vec<JobFault>,
+}
+
+impl JobFaultPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        JobFaultPlan::default()
+    }
+
+    /// Build from an explicit kill list (tests, bespoke scenarios).
+    pub fn from_events(mut events: Vec<JobFault>) -> Self {
+        events.sort_by_key(|e| (e.epoch, e.job));
+        JobFaultPlan { events }
+    }
+
+    /// Generate kills for `jobs` jobs over `epochs` scheduling epochs,
+    /// each job dying at most once with per-epoch probability `kill_prob`.
+    pub fn generate(seed: u64, jobs: usize, epochs: u64, kill_prob: f64) -> Self {
+        if kill_prob <= 0.0 || jobs == 0 || epochs == 0 {
+            return JobFaultPlan::none();
+        }
+        // Domain-separated from both the node-fault plans and every
+        // simulation stream.
+        let mut rng = Rng::seed_from_u64(seed ^ 0x10B_FA17_5C4E_D01E);
+        let mut events = Vec::new();
+        let mut killed = vec![false; jobs];
+        for epoch in 0..epochs {
+            for (job, dead) in killed.iter_mut().enumerate() {
+                if !*dead && rng.next_f64() < kill_prob {
+                    *dead = true;
+                    events.push(JobFault { epoch, job });
+                }
+            }
+        }
+        JobFaultPlan { events }
+    }
+
+    /// True if the plan kills nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All scheduled kills, ordered by `(epoch, job)`.
+    pub fn events(&self) -> &[JobFault] {
+        &self.events
+    }
+
+    /// Jobs killed at scheduling epoch `epoch`.
+    pub fn kills_at(&self, epoch: u64) -> impl Iterator<Item = usize> + '_ {
+        self.events.iter().filter(move |e| e.epoch == epoch).map(|e| e.job)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn job_plan_generation_is_deterministic_and_kills_once() {
+        let a = JobFaultPlan::generate(11, 6, 40, 0.1);
+        let b = JobFaultPlan::generate(11, 6, 40, 0.1);
+        assert_eq!(a, b);
+        for job in 0..6 {
+            let kills = a.events().iter().filter(|e| e.job == job).count();
+            assert!(kills <= 1, "job {job} killed {kills} times");
+        }
+        assert!(JobFaultPlan::generate(11, 6, 40, 0.0).is_empty());
+    }
+
+    #[test]
+    fn job_plan_kills_at_filters_by_epoch() {
+        let plan = JobFaultPlan::from_events(vec![
+            JobFault { epoch: 3, job: 1 },
+            JobFault { epoch: 0, job: 2 },
+        ]);
+        assert_eq!(plan.kills_at(0).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(plan.kills_at(3).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(plan.kills_at(1).count(), 0);
+        assert_eq!(plan.events()[0].epoch, 0, "from_events sorts");
+    }
 
     #[test]
     fn empty_plan_is_free() {

@@ -86,6 +86,11 @@ pub fn build_controller(cfg: &JobConfig) -> Result<Box<dyn Controller>, UnknownC
 }
 
 /// The runtime for one job.
+///
+/// Runs either to completion via [`Runtime::run`] or one synchronization
+/// interval at a time via [`Runtime::step_sync`] — the seam the machine
+/// scheduler uses to interleave many jobs and rebase their budgets
+/// between epochs.
 pub struct Runtime {
     cfg: JobConfig,
     cluster: Cluster,
@@ -94,6 +99,13 @@ pub struct Runtime {
     sim_nodes: Vec<usize>,
     ana_nodes: Vec<usize>,
     tracer: obs::Tracer,
+    // Stepping state (owned here so `run` is just a step loop).
+    t: SimTime,
+    next_sync: u64,
+    syncs: Vec<SyncRecord>,
+    fault_log: Vec<FaultEvent>,
+    recovery_log: Vec<RecoveryEvent>,
+    halted: bool,
 }
 
 impl Runtime {
@@ -151,6 +163,7 @@ impl Runtime {
             NetworkModel::aries(),
             5.0e-6,
         );
+        let sync_count = spec.sync_count();
         Runtime {
             cfg,
             cluster,
@@ -159,6 +172,12 @@ impl Runtime {
             sim_nodes,
             ana_nodes,
             tracer: obs::Tracer::off(),
+            t: SimTime::ZERO,
+            next_sync: 1,
+            syncs: Vec::with_capacity(sync_count as usize),
+            fault_log: Vec::new(),
+            recovery_log: Vec::new(),
+            halted: false,
         }
     }
 
@@ -193,18 +212,55 @@ impl Runtime {
 
     /// Execute the run to completion.
     pub fn run(mut self) -> RunResult {
+        while self.step_sync() {}
+        self.finish()
+    }
+
+    /// Simulated time reached so far (the job's own clock).
+    pub fn now(&self) -> SimTime {
+        self.t
+    }
+
+    /// Whether the job has executed every synchronization (or halted early
+    /// because a partition lost all survivors).
+    pub fn is_done(&self) -> bool {
+        self.halted || self.next_sync > self.cfg.workload.sync_count()
+    }
+
+    /// Synchronizations completed so far.
+    pub fn completed_syncs(&self) -> u64 {
+        self.next_sync - 1
+    }
+
+    /// Rebase the job's power budget between epochs (machine-level
+    /// scheduling): flows through the manager's renormalization seam into
+    /// the controller, taking effect at the next allocation.
+    pub fn set_budget_w(&mut self, budget_w: f64) {
+        self.manager.set_budget_w(budget_w);
+    }
+
+    /// Energy consumed by all the job's nodes over `[t0, now)`, joules —
+    /// the machine governor's feedback metric (`E = T·P`).
+    pub fn energy_since(&self, t0: SimTime) -> f64 {
+        let all: Vec<usize> = self.sim_nodes.iter().chain(&self.ana_nodes).copied().collect();
+        self.cluster.total_energy(&all, t0, self.t.max(t0))
+    }
+
+    /// Execute one synchronization interval. Returns `false` when the job
+    /// is already done (nothing was executed), `true` otherwise.
+    pub fn step_sync(&mut self) -> bool {
+        if self.is_done() {
+            return false;
+        }
         let spec = self.cfg.workload.clone();
         let plan = self.cfg.faults.clone();
         let machine = self.cluster.config().clone();
         let j = spec.sync_every;
-        let sync_count = spec.sync_count();
-        let mut t = SimTime::ZERO;
-        let mut syncs = Vec::with_capacity(sync_count as usize);
-        let mut fault_log: Vec<FaultEvent> = Vec::new();
-        let mut recovery_log: Vec<RecoveryEvent> = Vec::new();
+        let sync_k = self.next_sync;
+        self.next_sync += 1;
 
-        for sync_k in 1..=sync_count {
-            let t0 = t;
+        {
+            let t0 = self.t;
             // Fault plans index intervals 0-based; sync_k is 1-based.
             let sync0 = sync_k - 1;
             self.tracer.set_now(t0);
@@ -212,18 +268,18 @@ impl Runtime {
                 self.tracer.emit(obs::Event::SyncStart { sync: sync_k });
                 self.tracer.count("syncs");
             }
-            let faults_before = fault_log.len();
-            let recoveries_before = recovery_log.len();
-            let sf = self.inject_faults(&plan, sync0, &mut fault_log, &mut recovery_log);
+            let faults_before = self.fault_log.len();
+            let recoveries_before = self.recovery_log.len();
+            let sf = self.inject_faults(&plan, sync0);
             if self.tracer.is_enabled() {
-                for ev in &fault_log[faults_before..] {
+                for ev in &self.fault_log[faults_before..] {
                     self.tracer.emit(obs::Event::Fault {
                         sync: sync0,
                         node: ev.node,
                         tag: ev.kind.tag(),
                     });
                 }
-                self.tracer.count_n("faults", (fault_log.len() - faults_before) as u64);
+                self.tracer.count_n("faults", (self.fault_log.len() - faults_before) as u64);
             }
 
             // --- Watchdog: a partition with no survivors ends the coupled
@@ -233,7 +289,8 @@ impl Runtime {
             let ana_alive: Vec<usize> =
                 self.ana_nodes.iter().copied().filter(|&n| self.manager.is_alive(n)).collect();
             if sim_alive.is_empty() || ana_alive.is_empty() {
-                break;
+                self.halted = true;
+                return true;
             }
 
             // Gather this interval's per-step work (simulation runs all j
@@ -332,7 +389,7 @@ impl Runtime {
                 caps_now.push((node, role, cap_w));
                 if sf.dropout.contains(&node) {
                     // The monitor missed the window: nothing to record.
-                    recovery_log.push(RecoveryEvent {
+                    self.recovery_log.push(RecoveryEvent {
                         sync: sync0,
                         node,
                         kind: RecoveryKind::SampleRejected,
@@ -346,7 +403,7 @@ impl Runtime {
                     power_w *= factor;
                 }
                 if !self.manager.record(NodeInterval { node, role, time_s, power_w, cap_w }) {
-                    recovery_log.push(RecoveryEvent {
+                    self.recovery_log.push(RecoveryEvent {
                         sync: sync0,
                         node,
                         kind: RecoveryKind::SampleRejected,
@@ -356,7 +413,7 @@ impl Runtime {
 
             // --- poli_power_alloc(): exchange, decide, apply.
             let outcome = self.manager.power_alloc_with(&sf.exchange);
-            recovery_log.extend(outcome.recoveries.iter().copied());
+            self.recovery_log.extend(outcome.recoveries.iter().copied());
             if let Some(alloc) = &outcome.allocation {
                 for &(node, role, _) in &caps_now {
                     let target = alloc.cap_for(node, role);
@@ -364,7 +421,7 @@ impl Runtime {
                         // Transient EIO on the powercap write; the retried
                         // write lands ~1 ms late but the cap does apply.
                         self.cluster.node_mut(node).rapl_mut().inject_extra_latency(1.0e-3);
-                        recovery_log.push(RecoveryEvent {
+                        self.recovery_log.push(RecoveryEvent {
                             sync: sync0,
                             node,
                             kind: RecoveryKind::CapWriteRetried,
@@ -379,17 +436,18 @@ impl Runtime {
             for &(node, _, _) in &caps_now {
                 self.cluster.node_mut(node).wait_until(&machine, rendezvous, t_end);
             }
-            t = t_end;
+            self.t = t_end;
             self.tracer.set_now(t_end);
             if self.tracer.is_enabled() {
-                for rec in &recovery_log[recoveries_before..] {
+                for rec in &self.recovery_log[recoveries_before..] {
                     self.tracer.emit(obs::Event::Recovery {
                         sync: sync0,
                         node: rec.node,
                         tag: rec.kind.tag(),
                     });
                 }
-                self.tracer.count_n("recoveries", (recovery_log.len() - recoveries_before) as u64);
+                self.tracer
+                    .count_n("recoveries", (self.recovery_log.len() - recoveries_before) as u64);
                 self.tracer.emit(obs::Event::SyncEnd {
                     sync: sync_k,
                     overhead_s: outcome.overhead.as_secs_f64(),
@@ -419,7 +477,7 @@ impl Runtime {
                     sum / n as f64
                 }
             };
-            syncs.push(SyncRecord {
+            self.syncs.push(SyncRecord {
                 index: sync_k,
                 start_s: t0.as_secs_f64(),
                 end_s: t_end.as_secs_f64(),
@@ -433,7 +491,14 @@ impl Runtime {
                 overhead_s: outcome.overhead.as_secs_f64(),
             });
         }
+        true
+    }
 
+    /// Consume the runtime and assemble the result from whatever has been
+    /// stepped so far (everything, when called after [`Runtime::run`]'s
+    /// loop; a prefix, when the scheduler killed the job early).
+    pub fn finish(mut self) -> RunResult {
+        let t = self.t;
         let total_time_s = t.as_secs_f64();
         let all_nodes: Vec<usize> = self.sim_nodes.iter().chain(&self.ana_nodes).copied().collect();
         let total_energy_j = self.cluster.total_energy(&all_nodes, SimTime::ZERO, t);
@@ -449,11 +514,11 @@ impl Runtime {
             controller: self.cfg.controller.clone(),
             total_time_s,
             total_energy_j,
-            syncs,
+            syncs: self.syncs,
             sim_trace,
             analysis_trace,
-            fault_events: fault_log,
-            recovery_events: recovery_log,
+            fault_events: self.fault_log,
+            recovery_events: self.recovery_log,
             metrics,
         }
     }
@@ -463,13 +528,7 @@ impl Runtime {
     /// to the target node's actuator, and the rest into the [`SyncFaults`]
     /// the interval's feedback/exchange paths consume. Only faults that
     /// actually applied (live target) are logged.
-    fn inject_faults(
-        &mut self,
-        plan: &faults::FaultPlan,
-        sync0: u64,
-        fault_log: &mut Vec<FaultEvent>,
-        recovery_log: &mut Vec<RecoveryEvent>,
-    ) -> SyncFaults {
+    fn inject_faults(&mut self, plan: &faults::FaultPlan, sync0: u64) -> SyncFaults {
         let mut sf = SyncFaults::default();
         let events: Vec<FaultEvent> = plan.events_at(sync0).copied().collect();
         for ev in events {
@@ -478,54 +537,63 @@ impl Runtime {
                 FaultKind::NodeCrash => {
                     let recs = self.manager.mark_node_dead(ev.node);
                     if !recs.is_empty() {
-                        fault_log.push(ev);
-                        recovery_log.extend(recs);
+                        self.fault_log.push(ev);
+                        self.recovery_log.extend(recs);
                     }
                 }
                 // The exchange is collective: it degrades regardless of
                 // which node the plan pinned the timeout on.
                 FaultKind::CollectiveTimeout { failures } => {
                     sf.exchange.failed_attempts = sf.exchange.failed_attempts.max(failures);
-                    fault_log.push(ev);
+                    self.fault_log.push(ev);
                 }
                 _ if !alive => {}
                 FaultKind::Straggler { factor } => {
                     sf.straggle.push((ev.node, factor));
-                    fault_log.push(ev);
+                    self.fault_log.push(ev);
                 }
                 FaultKind::RaplStuck => {
                     self.cluster.node_mut(ev.node).rapl_mut().inject_ignore_requests(1);
-                    fault_log.push(ev);
+                    self.fault_log.push(ev);
                 }
                 FaultKind::RaplDelayed { extra_s } => {
                     self.cluster.node_mut(ev.node).rapl_mut().inject_extra_latency(extra_s);
-                    fault_log.push(ev);
+                    self.fault_log.push(ev);
                 }
                 FaultKind::RaplWriteError => {
                     sf.write_error.push(ev.node);
-                    fault_log.push(ev);
+                    self.fault_log.push(ev);
                 }
                 FaultKind::SampleNan => {
                     sf.nan.push(ev.node);
-                    fault_log.push(ev);
+                    self.fault_log.push(ev);
                 }
                 FaultKind::SampleSpike { factor } => {
                     sf.spike.push((ev.node, factor));
-                    fault_log.push(ev);
+                    self.fault_log.push(ev);
                 }
                 FaultKind::SampleDropout => {
                     sf.dropout.push(ev.node);
-                    fault_log.push(ev);
+                    self.fault_log.push(ev);
                 }
                 FaultKind::MonitorDeath => {
                     if let Some((_rank, rec)) = self.manager.mark_monitor_dead(ev.node) {
-                        fault_log.push(ev);
-                        recovery_log.push(rec);
+                        self.fault_log.push(ev);
+                        self.recovery_log.push(rec);
+                    } else if alive {
+                        // No live rank left to promote: the node has lost
+                        // monitoring entirely — treat it as a node failure
+                        // so it stops participating in aggregation.
+                        let recs = self.manager.mark_node_dead(ev.node);
+                        if !recs.is_empty() {
+                            self.fault_log.push(ev);
+                            self.recovery_log.extend(recs);
+                        }
                     }
                 }
                 FaultKind::MessageLoss => {
                     sf.exchange.lost_nodes.push(ev.node);
-                    fault_log.push(ev);
+                    self.fault_log.push(ev);
                 }
             }
         }

@@ -169,6 +169,43 @@ pub enum Event {
         reason: &'static str,
     },
 
+    // --- sched: machine-level job scheduling ------------------------------
+    /// A job entered the machine queue.
+    JobArrived {
+        /// Job id (queue ordinal).
+        job: usize,
+    },
+    /// A queued job was admitted and started running.
+    JobStarted {
+        /// Job id.
+        job: usize,
+        /// Nodes leased to the job.
+        nodes: usize,
+        /// Initial power budget handed to the job, watts.
+        budget_w: f64,
+    },
+    /// A running job finished all its synchronizations.
+    JobCompleted {
+        /// Job id.
+        job: usize,
+        /// The job's own simulated completion time, seconds.
+        time_s: f64,
+    },
+    /// A running job was killed by fault injection.
+    JobKilled {
+        /// Job id.
+        job: usize,
+    },
+    /// The machine governor re-divided the envelope for one epoch.
+    MachineBudget {
+        /// Scheduling epoch ordinal.
+        epoch: u64,
+        /// Power allocated to running jobs, watts.
+        allocated_w: f64,
+        /// Power left in the pool (no running job can absorb it), watts.
+        pool_w: f64,
+    },
+
     // --- faults ----------------------------------------------------------
     /// An injected fault fired.
     Fault {
@@ -210,6 +247,11 @@ impl Event {
             Event::AllocationHeld { .. } => "allocation_held",
             Event::Decision { .. } => "decision",
             Event::ControllerHold { .. } => "controller_hold",
+            Event::JobArrived { .. } => "job_arrived",
+            Event::JobStarted { .. } => "job_started",
+            Event::JobCompleted { .. } => "job_completed",
+            Event::JobKilled { .. } => "job_killed",
+            Event::MachineBudget { .. } => "machine_budget",
             Event::Fault { .. } => "fault",
             Event::Recovery { .. } => "recovery",
         }
@@ -327,6 +369,26 @@ impl TraceEvent {
             Event::ControllerHold { sync, reason } => {
                 field_u64(out, "sync", *sync);
                 field_str(out, "reason", reason);
+            }
+            Event::JobArrived { job } => {
+                field_usize(out, "job", *job);
+            }
+            Event::JobStarted { job, nodes, budget_w } => {
+                field_usize(out, "job", *job);
+                field_usize(out, "nodes", *nodes);
+                field_f64(out, "budget_w", *budget_w);
+            }
+            Event::JobCompleted { job, time_s } => {
+                field_usize(out, "job", *job);
+                field_f64(out, "time_s", *time_s);
+            }
+            Event::JobKilled { job } => {
+                field_usize(out, "job", *job);
+            }
+            Event::MachineBudget { epoch, allocated_w, pool_w } => {
+                field_u64(out, "epoch", *epoch);
+                field_f64(out, "allocated_w", *allocated_w);
+                field_f64(out, "pool_w", *pool_w);
             }
             Event::Fault { sync, node, tag } => {
                 field_u64(out, "sync", *sync);

@@ -217,6 +217,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             Event::Arrival { .. } => {
                 // Covered by the per-node wait spans and rendezvous instants.
             }
+            Event::JobArrived { .. }
+            | Event::JobStarted { .. }
+            | Event::JobCompleted { .. }
+            | Event::JobKilled { .. }
+            | Event::MachineBudget { .. } => {
+                // Machine-level scheduling events have no per-node row; the
+                // JSONL trace carries them, the Perfetto view omits them.
+            }
         }
     }
 

@@ -86,6 +86,9 @@ pub struct PowerManager {
     /// Participation mask: nodes marked dead are excluded from aggregation
     /// and their budget share is released to the survivors.
     alive: Vec<bool>,
+    /// Per-node rank liveness (`[node][local_rank]`): ranks whose monitor
+    /// died stay dead and are skipped at the next re-election.
+    dead_ranks: Vec<Vec<bool>>,
     controller: Box<dyn Controller>,
     /// The controller's budget at init, for survivor renormalization and
     /// restoration on `reset`.
@@ -127,12 +130,14 @@ impl PowerManager {
         let nnodes = world.nnodes();
         let roles = monitor_ranks.iter().map(|&r| role_of(r)).collect();
         let initial_budget_w = controller.budget_w();
+        let ranks_per_node = world.size() / nnodes;
         PowerManager {
             roles,
             monitor_ranks,
             world_nodes: nnodes,
-            ranks_per_node: world.size() / nnodes,
+            ranks_per_node,
             alive: vec![true; nnodes],
+            dead_ranks: vec![vec![false; ranks_per_node]; nnodes],
             controller,
             initial_budget_w,
             net,
@@ -223,24 +228,44 @@ impl PowerManager {
         events
     }
 
-    /// The monitor rank on `node` died: promote the node's next rank to
-    /// monitor. Returns the new monitor rank and the recovery event, or
-    /// `None` when the node has no spare rank to promote (single-rank
-    /// nodes lose monitoring entirely — callers should treat that as a
-    /// node failure).
+    /// The monitor rank on `node` died: promote the node's next *live*
+    /// rank to monitor. Dead ranks are remembered per node, so repeated
+    /// monitor deaths on the same node never re-elect an earlier casualty.
+    /// Returns the new monitor rank and the recovery event, or `None`
+    /// when no live rank remains to promote (single-rank nodes, or every
+    /// rank already dead — callers should treat that as a node failure).
     pub fn mark_monitor_dead(&mut self, node: usize) -> Option<(usize, RecoveryEvent)> {
         if node >= self.world_nodes || !self.alive[node] || self.ranks_per_node <= 1 {
             return None;
         }
         let base = node * self.ranks_per_node;
-        let old = self.monitor_ranks[node];
-        let new = base + (old - base + 1) % self.ranks_per_node;
+        let old_local = self.monitor_ranks[node] - base;
+        self.dead_ranks[node][old_local] = true;
+        let next_local = (1..self.ranks_per_node)
+            .map(|k| (old_local + k) % self.ranks_per_node)
+            .find(|&k| !self.dead_ranks[node][k])?;
+        let new = base + next_local;
         self.monitor_ranks[node] = new;
         let sync = self.acc.sync_index();
         if self.tracer.is_enabled() {
             self.tracer.emit(obs::Event::MonitorReelected { node, new_rank: new });
         }
         Some((new, RecoveryEvent { sync, node, kind: RecoveryKind::MonitorReelected }))
+    }
+
+    /// Rebase the job's power budget (machine-level scheduling seam): the
+    /// new value becomes the baseline for survivor renormalization and
+    /// `reset`, and the controller sees the share of it owned by the nodes
+    /// currently alive.
+    pub fn set_budget_w(&mut self, budget_w: f64) {
+        self.initial_budget_w = Some(budget_w);
+        let share = budget_w / self.world_nodes as f64;
+        self.controller.set_budget_w(share * self.alive_nodes() as f64);
+    }
+
+    /// The job's baseline budget, if the controller has one.
+    pub fn budget_w(&self) -> Option<f64> {
+        self.initial_budget_w
     }
 
     /// Record one node's feedback for the interval that is about to close.
@@ -388,6 +413,7 @@ impl PowerManager {
         self.acc.reset();
         self.overhead_log.clear();
         self.alive = vec![true; self.world_nodes];
+        self.dead_ranks = vec![vec![false; self.ranks_per_node]; self.world_nodes];
         self.last_allocation = None;
         self.rejected_samples = 0;
     }
@@ -580,6 +606,58 @@ mod tests {
         )
         .expect("known controller");
         assert!(single.mark_monitor_dead(0).is_none());
+    }
+
+    #[test]
+    fn second_monitor_death_on_same_node_never_reelects_the_dead_rank() {
+        let mut mgr = manager("seesaw"); // 8 ranks, 2 per node
+        let (first, _) = mgr.mark_monitor_dead(2).expect("spare rank exists");
+        assert_eq!(first, 5, "node 2's ranks are {{4, 5}}; 5 takes over");
+        // Rank 5 dies too: the only other rank (4) is already dead, so the
+        // node has no live monitor left — the old modulo walk re-elected 4.
+        assert!(
+            mgr.mark_monitor_dead(2).is_none(),
+            "no live rank may be promoted after both have died"
+        );
+        // Three-rank nodes walk past the first casualty to the next live
+        // rank, then exhaust.
+        let world = Communicator::world(JobLayout::new(6, 3));
+        let mut wide = PowerManager::init(
+            &world,
+            |_| Role::Simulation,
+            PowerManagerConfig::with_controller("static"),
+        )
+        .expect("known controller");
+        assert_eq!(wide.monitor_ranks(), &[0, 3]);
+        let (a, _) = wide.mark_monitor_dead(1).expect("rank 4 promotes");
+        assert_eq!(a, 4);
+        let (b, _) = wide.mark_monitor_dead(1).expect("rank 5 promotes, skipping dead 3");
+        assert_eq!(b, 5);
+        assert!(wide.mark_monitor_dead(1).is_none(), "all three ranks dead");
+        // Reset clears rank liveness.
+        wide.reset();
+        assert!(wide.mark_monitor_dead(1).is_some(), "reset revives ranks");
+    }
+
+    #[test]
+    fn set_budget_w_rebases_renormalization_baseline() {
+        let mut mgr = manager("seesaw");
+        assert_eq!(mgr.budget_w(), Some(440.0), "paper default: 110 W x 4 nodes");
+        mgr.set_budget_w(600.0);
+        assert_eq!(mgr.budget_w(), Some(600.0));
+        // A node death renormalizes against the rebased budget.
+        mgr.mark_node_dead(3);
+        feed(&mut mgr, 4.0, 2.0);
+        let _skip = mgr.power_alloc();
+        for node in 0..3usize {
+            let role = if node < 2 { Role::Simulation } else { Role::Analysis };
+            let t = if node < 2 { 4.0 } else { 2.0 };
+            mgr.record(NodeInterval { node, role, time_s: t, power_w: 108.0, cap_w: 110.0 });
+        }
+        let alloc = mgr.power_alloc().allocation.expect("survivors allocate");
+        let total = 2.0 * alloc.sim_node_w + alloc.analysis_node_w;
+        assert!(total <= 450.0 + 1e-6, "3 alive x 150 W share: {total}");
+        assert!(total > 330.0, "rebased budget (not the init 440) is in play: {total}");
     }
 
     #[test]

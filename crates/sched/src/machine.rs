@@ -1,0 +1,511 @@
+//! The epoch-driven machine scheduler.
+
+use crate::queue::{JobSpec, JobState};
+use des::SimTime;
+use faults::JobFaultPlan;
+use insitu::Runtime;
+use seesaw::{water_fill, UnknownController};
+use std::sync::Mutex;
+use theta_sim::MachineNodes;
+
+/// How the governor divides the envelope across running jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Static node-proportional share: `P_j ∝ n_j`, fixed for the epoch
+    /// regardless of what the jobs do with it.
+    EqualShare,
+    /// SeeSAw's feedback one level up: `P_j ∝ E_j`, the energy the job
+    /// consumed over the previous epoch (N-ary Eq. 2).
+    EnergyFeedback,
+    /// SLURM-style power-aware: `P_j ∝ P̄_j`, the job's mean power draw
+    /// over the previous epoch (usage-proportional, time-blind).
+    PowerAware,
+}
+
+impl Policy {
+    /// Stable lowercase tag for serialized results.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Policy::EqualShare => "equal-share",
+            Policy::EnergyFeedback => "energy-feedback",
+            Policy::PowerAware => "power-aware",
+        }
+    }
+
+    /// All policies, in comparison order.
+    pub fn all() -> [Policy; 3] {
+        [Policy::EqualShare, Policy::EnergyFeedback, Policy::PowerAware]
+    }
+}
+
+/// Machine-level configuration.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Node count the admission gate leases against.
+    pub nodes: usize,
+    /// Machine power envelope, watts.
+    pub envelope_w: f64,
+    /// Synchronization intervals each running job executes per epoch.
+    pub syncs_per_epoch: u64,
+    /// Governor policy.
+    pub policy: Policy,
+    /// Hard epoch bound (safety net against misconfigured workloads).
+    pub max_epochs: u64,
+}
+
+impl MachineSpec {
+    /// A machine of `nodes` Theta nodes with an `envelope_w` envelope.
+    pub fn new(nodes: usize, envelope_w: f64, policy: Policy) -> Self {
+        MachineSpec { nodes, envelope_w, syncs_per_epoch: 1, policy, max_epochs: 10_000 }
+    }
+}
+
+/// Per-epoch scheduler telemetry (also the budget-invariant test surface).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch ordinal.
+    pub epoch: u64,
+    /// Machine clock at the start of the epoch, seconds.
+    pub start_s: f64,
+    /// Jobs running during the epoch.
+    pub running: usize,
+    /// Jobs queued (arrived, not admitted).
+    pub queued: usize,
+    /// Envelope handed to running jobs, watts (`Σ budgets`).
+    pub allocated_w: f64,
+    /// Envelope no running job could absorb, watts.
+    pub pool_w: f64,
+    /// Per-job budgets in force this epoch, `(job id, watts)`.
+    pub budgets: Vec<(usize, f64)>,
+}
+
+/// Final accounting for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Job id (submission ordinal).
+    pub job: usize,
+    /// Controller the job ran.
+    pub controller: String,
+    /// Nodes the job asked for.
+    pub nodes: usize,
+    /// Terminal state tag (`completed` / `killed` / `rejected`).
+    pub outcome: &'static str,
+    /// Machine clock when the job started, seconds (0 if never admitted).
+    pub start_s: f64,
+    /// Machine clock when the job left, seconds.
+    pub finish_s: f64,
+    /// The job's own simulated time at departure, seconds.
+    pub job_time_s: f64,
+    /// Energy the job consumed, joules.
+    pub energy_j: f64,
+    /// Synchronizations the job completed.
+    pub syncs_done: u64,
+}
+
+/// Result of one machine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineResult {
+    /// One outcome per submitted job, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Per-epoch telemetry.
+    pub epochs: Vec<EpochRecord>,
+    /// Machine clock at the end, seconds.
+    pub makespan_s: f64,
+    /// Total energy across all jobs, joules.
+    pub total_energy_j: f64,
+}
+
+impl MachineResult {
+    /// Mean machine time from arrival-eligibility to departure over jobs
+    /// that completed (the scheduling-quality headline).
+    pub fn mean_completion_s(&self) -> f64 {
+        let done: Vec<&JobOutcome> =
+            self.outcomes.iter().filter(|o| o.outcome == "completed").collect();
+        if done.is_empty() {
+            return 0.0;
+        }
+        done.iter().map(|o| o.finish_s).sum::<f64>() / done.len() as f64
+    }
+}
+
+struct JobSlot {
+    spec: JobSpec,
+    state: JobState,
+    runtime: Option<Runtime>,
+    budget_w: f64,
+    /// Feedback from the previous epoch.
+    last_energy_j: f64,
+    last_dt_s: f64,
+    has_feedback: bool,
+    start_s: f64,
+    finish_s: f64,
+    job_time_s: f64,
+    energy_j: f64,
+    syncs_done: u64,
+}
+
+impl JobSlot {
+    fn floor_w(&self) -> f64 {
+        self.spec.nodes() as f64 * self.spec.config.machine.min_cap_w
+    }
+
+    fn ceil_w(&self) -> f64 {
+        self.spec.nodes() as f64 * self.spec.config.machine.max_cap_w()
+    }
+}
+
+/// The machine scheduler.
+pub struct Scheduler {
+    spec: MachineSpec,
+    jobs: Vec<JobSlot>,
+    pool: MachineNodes,
+    job_faults: JobFaultPlan,
+    tracer: obs::Tracer,
+    machine_t: SimTime,
+    records: Vec<EpochRecord>,
+}
+
+impl Scheduler {
+    /// Build a scheduler for a machine and a job list. Fails fast if any
+    /// job names an unknown controller (each job's runtime is constructed
+    /// at admission; validating here keeps failures out of the loop).
+    pub fn new(spec: MachineSpec, jobs: Vec<JobSpec>) -> Result<Self, UnknownController> {
+        assert!(spec.nodes > 0 && spec.envelope_w > 0.0 && spec.syncs_per_epoch > 0);
+        for j in &jobs {
+            insitu::build_controller(&j.config)?;
+        }
+        let pool = MachineNodes::new(spec.nodes);
+        let jobs = jobs
+            .into_iter()
+            .map(|spec| JobSlot {
+                spec,
+                state: JobState::Waiting,
+                runtime: None,
+                budget_w: 0.0,
+                last_energy_j: 0.0,
+                last_dt_s: 0.0,
+                has_feedback: false,
+                start_s: 0.0,
+                finish_s: 0.0,
+                job_time_s: 0.0,
+                energy_j: 0.0,
+                syncs_done: 0,
+            })
+            .collect();
+        Ok(Scheduler {
+            spec,
+            jobs,
+            pool,
+            job_faults: JobFaultPlan::none(),
+            tracer: obs::Tracer::off(),
+            machine_t: SimTime::ZERO,
+            records: Vec::new(),
+        })
+    }
+
+    /// Attach a job-level fault plan (kills).
+    pub fn with_job_faults(mut self, plan: JobFaultPlan) -> Self {
+        self.job_faults = plan;
+        self
+    }
+
+    /// Attach a trace sink. Only the scheduler emits into it (jobs run
+    /// untraced — sharing a sink across concurrently stepped jobs would
+    /// interleave their events nondeterministically).
+    pub fn set_tracer(&mut self, tracer: &obs::Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    /// Run the machine until every job is terminal (or `max_epochs`).
+    pub fn run(mut self) -> MachineResult {
+        for epoch in 0..self.spec.max_epochs {
+            self.fire_kills(epoch);
+            self.admit_arrivals(epoch);
+            self.admit_queue();
+            let (allocated_w, pool_w, budgets) = self.govern();
+            self.tracer.set_now(self.machine_t);
+            if self.tracer.is_enabled() {
+                self.tracer.emit(obs::Event::MachineBudget { epoch, allocated_w, pool_w });
+            }
+            let running = budgets.len();
+            let queued = self.jobs.iter().filter(|j| matches!(j.state, JobState::Queued)).count();
+            self.records.push(EpochRecord {
+                epoch,
+                start_s: self.machine_t.as_secs_f64(),
+                running,
+                queued,
+                allocated_w,
+                pool_w,
+                budgets,
+            });
+            self.step_running();
+            self.reap_completed();
+            if self.jobs.iter().all(|j| j.state.is_terminal()) {
+                break;
+            }
+        }
+        // Anything still live at the epoch bound is accounted as killed.
+        let leftover: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.state.is_terminal())
+            .map(|(i, _)| i)
+            .collect();
+        for i in leftover {
+            self.kill_job(i);
+        }
+
+        let outcomes = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| JobOutcome {
+                job: i,
+                controller: j.spec.config.controller.clone(),
+                nodes: j.spec.nodes(),
+                outcome: j.state.tag(),
+                start_s: j.start_s,
+                finish_s: j.finish_s,
+                job_time_s: j.job_time_s,
+                energy_j: j.energy_j,
+                syncs_done: j.syncs_done,
+            })
+            .collect::<Vec<_>>();
+        let total_energy_j = outcomes.iter().map(|o| o.energy_j).sum();
+        MachineResult {
+            outcomes,
+            epochs: self.records,
+            makespan_s: self.machine_t.as_secs_f64(),
+            total_energy_j,
+        }
+    }
+
+    fn fire_kills(&mut self, epoch: u64) {
+        let victims: Vec<usize> = self.job_faults.kills_at(epoch).collect();
+        for job in victims {
+            if job < self.jobs.len() && !self.jobs[job].state.is_terminal() {
+                self.kill_job(job);
+                self.tracer.set_now(self.machine_t);
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(obs::Event::JobKilled { job });
+                }
+            }
+        }
+    }
+
+    fn kill_job(&mut self, job: usize) {
+        let slot = &mut self.jobs[job];
+        if let JobState::Running { lease } = slot.state {
+            self.pool.release(lease);
+            if let Some(rt) = slot.runtime.take() {
+                slot.energy_j = rt.energy_since(SimTime::ZERO);
+                slot.syncs_done = rt.completed_syncs();
+                slot.job_time_s = rt.now().as_secs_f64();
+            }
+        }
+        slot.finish_s = self.machine_t.as_secs_f64();
+        slot.state = JobState::Killed;
+        slot.budget_w = 0.0;
+    }
+
+    fn admit_arrivals(&mut self, epoch: u64) {
+        for job in 0..self.jobs.len() {
+            let slot = &mut self.jobs[job];
+            if !matches!(slot.state, JobState::Waiting) || slot.spec.arrival_epoch != epoch {
+                continue;
+            }
+            // Structurally impossible jobs are rejected at arrival so the
+            // loop can terminate (they would otherwise queue forever).
+            if slot.spec.nodes() > self.spec.nodes || slot.floor_w() > self.spec.envelope_w {
+                slot.state = JobState::Rejected;
+                slot.finish_s = self.machine_t.as_secs_f64();
+                continue;
+            }
+            slot.state = JobState::Queued;
+            self.tracer.set_now(self.machine_t);
+            if self.tracer.is_enabled() {
+                self.tracer.emit(obs::Event::JobArrived { job });
+            }
+        }
+    }
+
+    /// FIFO admission with backfill: walk the queue in submission order;
+    /// a job that does not fit (nodes or power floor) is skipped and later
+    /// jobs may backfill around it.
+    fn admit_queue(&mut self) {
+        let mut floor_in_use: f64 = self
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Running { .. }))
+            .map(|j| j.floor_w())
+            .sum();
+        for job in 0..self.jobs.len() {
+            if !matches!(self.jobs[job].state, JobState::Queued) {
+                continue;
+            }
+            let need_nodes = self.jobs[job].spec.nodes();
+            let need_floor = self.jobs[job].floor_w();
+            if floor_in_use + need_floor > self.spec.envelope_w + 1e-9 {
+                continue;
+            }
+            let Some(lease) = self.pool.lease(need_nodes) else {
+                continue;
+            };
+            let rt = Runtime::new(self.jobs[job].spec.config.clone())
+                .expect("controller validated in Scheduler::new");
+            let slot = &mut self.jobs[job];
+            slot.runtime = Some(rt);
+            slot.state = JobState::Running { lease };
+            slot.start_s = self.machine_t.as_secs_f64();
+            slot.budget_w = slot.spec.config.budget_w();
+            floor_in_use += need_floor;
+            self.tracer.set_now(self.machine_t);
+            if self.tracer.is_enabled() {
+                self.tracer.emit(obs::Event::JobStarted {
+                    job,
+                    nodes: need_nodes,
+                    budget_w: slot.budget_w,
+                });
+            }
+        }
+    }
+
+    /// Divide the envelope across running jobs per the policy, push the
+    /// shares through each job's budget seam, and return
+    /// `(allocated, pool, per-job budgets)`.
+    fn govern(&mut self) -> (f64, f64, Vec<(usize, f64)>) {
+        let running: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| matches!(j.state, JobState::Running { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if running.is_empty() {
+            return (0.0, self.spec.envelope_w, Vec::new());
+        }
+        let lo: Vec<f64> = running.iter().map(|&i| self.jobs[i].floor_w()).collect();
+        let hi: Vec<f64> = running.iter().map(|&i| self.jobs[i].ceil_w()).collect();
+        let total_nodes: f64 = running.iter().map(|&i| self.jobs[i].spec.nodes() as f64).sum();
+
+        // Weights: node count for jobs without feedback yet; the policy's
+        // metric otherwise, rescaled so the two kinds mix on one scale
+        // (a no-feedback job weighs as much as the mean feedback job
+        // does per node).
+        let metric = |i: usize| -> Option<f64> {
+            let j = &self.jobs[i];
+            if !j.has_feedback {
+                return None;
+            }
+            match self.spec.policy {
+                Policy::EqualShare => None,
+                Policy::EnergyFeedback => (j.last_energy_j > 0.0).then_some(j.last_energy_j),
+                Policy::PowerAware => (j.last_dt_s > 0.0).then(|| j.last_energy_j / j.last_dt_s),
+            }
+        };
+        let with_metric: Vec<(usize, f64)> =
+            running.iter().filter_map(|&i| metric(i).map(|m| (i, m))).collect();
+        let mean_per_node: f64 = if with_metric.is_empty() {
+            1.0
+        } else {
+            with_metric.iter().map(|&(_, m)| m).sum::<f64>()
+                / with_metric.iter().map(|&(i, _)| self.jobs[i].spec.nodes() as f64).sum::<f64>()
+        };
+        let weights: Vec<f64> = running
+            .iter()
+            .map(|&i| metric(i).unwrap_or_else(|| mean_per_node * self.jobs[i].spec.nodes() as f64))
+            .collect();
+        let weight_sum: f64 = weights.iter().sum();
+        let desired: Vec<f64> = if weight_sum > 0.0 {
+            weights.iter().map(|w| self.spec.envelope_w * w / weight_sum).collect()
+        } else {
+            running
+                .iter()
+                .map(|&i| self.spec.envelope_w * self.jobs[i].spec.nodes() as f64 / total_nodes)
+                .collect()
+        };
+
+        let budgets = water_fill(&desired, &lo, &hi, self.spec.envelope_w);
+        let mut out = Vec::with_capacity(running.len());
+        for (k, &i) in running.iter().enumerate() {
+            let b = budgets[k];
+            self.jobs[i].budget_w = b;
+            if let Some(rt) = self.jobs[i].runtime.as_mut() {
+                rt.set_budget_w(b);
+            }
+            out.push((i, b));
+        }
+        let allocated: f64 = budgets.iter().sum();
+        let pool = (self.spec.envelope_w - allocated).max(0.0);
+        (allocated, pool, out)
+    }
+
+    /// Step every running job `syncs_per_epoch` intervals across the
+    /// worker pool. Jobs are moved into index-stable mutex slots, stepped,
+    /// and moved back, so results and RNG streams are independent of the
+    /// thread count; the machine clock advances by the slowest job's
+    /// progress (the epoch is a gang barrier).
+    fn step_running(&mut self) {
+        let running: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| matches!(j.state, JobState::Running { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if running.is_empty() {
+            return;
+        }
+        let syncs = self.spec.syncs_per_epoch;
+        let slots: Vec<Mutex<Option<Runtime>>> =
+            running.iter().map(|&i| Mutex::new(self.jobs[i].runtime.take())).collect();
+        let stepped: Vec<(f64, f64)> = par::global().par_map_indexed(running.len(), |k| {
+            let mut guard = slots[k].lock().expect("slot lock");
+            let rt = guard.as_mut().expect("running job has a runtime");
+            let t0 = rt.now();
+            for _ in 0..syncs {
+                if !rt.step_sync() {
+                    break;
+                }
+            }
+            let dt = rt.now().saturating_since(t0).as_secs_f64();
+            let e = rt.energy_since(t0);
+            (e, dt)
+        });
+        let mut epoch_dt = 0.0f64;
+        for ((slot, &i), (e, dt)) in slots.into_iter().zip(&running).zip(stepped) {
+            self.jobs[i].runtime = slot.into_inner().expect("slot lock");
+            self.jobs[i].last_energy_j = e;
+            self.jobs[i].last_dt_s = dt;
+            self.jobs[i].has_feedback = true;
+            epoch_dt = epoch_dt.max(dt);
+        }
+        self.machine_t += des::SimDuration::from_secs_f64(epoch_dt);
+    }
+
+    fn reap_completed(&mut self) {
+        for job in 0..self.jobs.len() {
+            let done = matches!(self.jobs[job].state, JobState::Running { .. })
+                && self.jobs[job].runtime.as_ref().is_some_and(|rt| rt.is_done());
+            if !done {
+                continue;
+            }
+            let slot = &mut self.jobs[job];
+            let JobState::Running { lease } = slot.state else { unreachable!() };
+            let rt = slot.runtime.take().expect("running job has a runtime");
+            let time_s = rt.now().as_secs_f64();
+            slot.energy_j = rt.energy_since(SimTime::ZERO);
+            slot.syncs_done = rt.completed_syncs();
+            slot.job_time_s = time_s;
+            slot.finish_s = slot.start_s + time_s;
+            slot.state = JobState::Completed;
+            slot.budget_w = 0.0;
+            self.pool.release(lease);
+            self.tracer.set_now(self.machine_t);
+            if self.tracer.is_enabled() {
+                self.tracer.emit(obs::Event::JobCompleted { job, time_s });
+            }
+        }
+    }
+}

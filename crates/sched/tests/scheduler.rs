@@ -1,0 +1,173 @@
+//! Machine-scheduler behavior: budget conservation, queueing, failures,
+//! determinism.
+
+use insitu::JobConfig;
+use mdsim::workload::WorkloadSpec;
+use mdsim::AnalysisKind;
+use sched::{JobSpec, MachineSpec, Policy, Scheduler};
+
+/// A small 2-node job (1 sim + 1 analysis), `syncs` synchronizations.
+fn small_job(seed: u64, syncs: u64, kind: AnalysisKind) -> JobConfig {
+    let mut spec = WorkloadSpec::paper(8, 2, 1, &[kind]);
+    spec.total_steps = syncs;
+    JobConfig::new(spec, "seesaw").with_seed(seed, 0)
+}
+
+fn machine(nodes: usize, envelope_w: f64, policy: Policy) -> MachineSpec {
+    let mut m = MachineSpec::new(nodes, envelope_w, policy);
+    m.syncs_per_epoch = 4;
+    m
+}
+
+/// The tentpole invariant: after every arrival/departure/failure epoch,
+/// the running jobs' budgets sum to exactly the machine envelope whenever
+/// their feasible boxes allow it, never exceed it otherwise, and every
+/// job stays inside `[n·δ_min, n·δ_max]`.
+#[test]
+fn budgets_conserve_the_envelope_every_epoch() {
+    let jobs = vec![
+        JobSpec::at_start(small_job(1, 24, AnalysisKind::MsdFull)),
+        JobSpec::at_start(small_job(2, 24, AnalysisKind::Vacf)),
+        JobSpec::arriving(2, small_job(3, 16, AnalysisKind::Vacf)),
+        JobSpec::arriving(3, small_job(4, 16, AnalysisKind::Rdf)),
+    ];
+    // 8 nodes, envelope 700 W: all four 2-node jobs fit the nodes, but
+    // 4 × 2 × 215 = 1720 W ≫ 700 W, so the governor is always binding.
+    let plan = faults::JobFaultPlan::from_events(vec![faults::JobFault { epoch: 4, job: 1 }]);
+    let result = Scheduler::new(machine(8, 700.0, Policy::EnergyFeedback), jobs)
+        .expect("valid controllers")
+        .with_job_faults(plan)
+        .run();
+
+    assert!(result.epochs.iter().any(|e| e.running >= 3), "epochs overlap jobs");
+    for rec in &result.epochs {
+        let sum: f64 = rec.budgets.iter().map(|&(_, b)| b).sum();
+        assert!((sum - rec.allocated_w).abs() < 1e-9);
+        assert!(rec.allocated_w <= 700.0 + 1e-6, "epoch {}: over-allocated {sum}", rec.epoch);
+        assert!((rec.allocated_w + rec.pool_w - 700.0).abs() < 1e-6 || rec.running == 0);
+        let floor_sum: f64 = rec.budgets.len() as f64 * 2.0 * 98.0;
+        let ceil_sum: f64 = rec.budgets.len() as f64 * 2.0 * 215.0;
+        if rec.running > 0 && floor_sum <= 700.0 && ceil_sum >= 700.0 {
+            assert!(
+                (sum - 700.0).abs() < 1e-6,
+                "epoch {}: envelope not fully used: {sum}",
+                rec.epoch
+            );
+        }
+        for &(job, b) in &rec.budgets {
+            assert!(
+                (2.0 * 98.0 - 1e-9..=2.0 * 215.0 + 1e-9).contains(&b),
+                "job {job} budget {b} outside its box"
+            );
+        }
+    }
+    assert_eq!(result.outcomes[1].outcome, "killed");
+    for id in [0usize, 2, 3] {
+        assert_eq!(result.outcomes[id].outcome, "completed", "job {id}");
+        assert!(result.outcomes[id].energy_j > 0.0);
+    }
+}
+
+/// A kill releases nodes AND budget: the queued job that could not fit
+/// gets admitted afterwards, and the machine drains.
+#[test]
+fn killed_job_returns_nodes_and_budget_to_the_pool() {
+    let jobs = vec![
+        JobSpec::at_start(small_job(10, 40, AnalysisKind::MsdFull)),
+        JobSpec::at_start(small_job(11, 40, AnalysisKind::MsdFull)),
+        JobSpec::at_start(small_job(12, 12, AnalysisKind::Vacf)),
+    ];
+    // 4 nodes: only two 2-node jobs fit; job 2 queues until a slot opens.
+    let plan = faults::JobFaultPlan::from_events(vec![faults::JobFault { epoch: 3, job: 0 }]);
+    let result = Scheduler::new(machine(4, 600.0, Policy::EnergyFeedback), jobs)
+        .expect("valid controllers")
+        .with_job_faults(plan)
+        .run();
+    assert_eq!(result.outcomes[0].outcome, "killed");
+    assert_eq!(result.outcomes[2].outcome, "completed");
+    assert!(
+        result.outcomes[2].start_s >= result.outcomes[0].finish_s,
+        "job 2 waited for job 0's nodes"
+    );
+    let queued_early = result.epochs.iter().take(3).all(|e| e.queued == 1);
+    assert!(queued_early, "job 2 queued while the machine was full");
+}
+
+/// FIFO order with backfill: a wide job blocks at the head, a later
+/// narrow job runs around it, and the wide job still completes once
+/// space opens.
+#[test]
+fn backfill_lets_narrow_jobs_around_a_blocked_wide_job() {
+    let wide = {
+        let mut spec = WorkloadSpec::paper(8, 4, 1, &[AnalysisKind::Vacf]);
+        spec.total_steps = 12;
+        JobConfig::new(spec, "seesaw").with_seed(20, 0)
+    };
+    let jobs = vec![
+        JobSpec::at_start(small_job(21, 40, AnalysisKind::MsdFull)),
+        JobSpec::at_start(wide),
+        JobSpec::at_start(small_job(22, 12, AnalysisKind::Vacf)),
+    ];
+    let result = Scheduler::new(machine(4, 800.0, Policy::EqualShare), jobs)
+        .expect("valid controllers")
+        .run();
+    assert_eq!(result.outcomes[2].start_s, 0.0, "narrow job 2 backfills immediately");
+    assert_eq!(result.outcomes[1].outcome, "completed", "wide job eventually runs");
+    assert!(result.outcomes[1].start_s > 0.0, "wide job had to wait");
+}
+
+/// Jobs that can never run are rejected at arrival, not queued forever.
+#[test]
+fn impossible_jobs_are_rejected() {
+    let too_wide = {
+        let mut spec = WorkloadSpec::paper(8, 8, 1, &[AnalysisKind::Vacf]);
+        spec.total_steps = 4;
+        JobConfig::new(spec, "seesaw")
+    };
+    let jobs =
+        vec![JobSpec::at_start(too_wide), JobSpec::at_start(small_job(30, 8, AnalysisKind::Vacf))];
+    // 4-node machine: the 8-node job is structurally impossible.
+    let result = Scheduler::new(machine(4, 600.0, Policy::EqualShare), jobs)
+        .expect("valid controllers")
+        .run();
+    assert_eq!(result.outcomes[0].outcome, "rejected");
+    assert_eq!(result.outcomes[1].outcome, "completed");
+}
+
+/// The whole machine run is a pure function of its inputs.
+#[test]
+fn machine_run_is_deterministic() {
+    let build = || {
+        let jobs = vec![
+            JobSpec::at_start(small_job(40, 16, AnalysisKind::MsdFull)),
+            JobSpec::at_start(small_job(41, 16, AnalysisKind::Vacf)),
+            JobSpec::arriving(2, small_job(42, 12, AnalysisKind::Rdf)),
+        ];
+        Scheduler::new(machine(8, 700.0, Policy::EnergyFeedback), jobs)
+            .expect("valid controllers")
+            .with_job_faults(faults::JobFaultPlan::generate(5, 3, 20, 0.02))
+    };
+    let a = build().run();
+    let b = build().run();
+    assert_eq!(a, b);
+}
+
+/// The scheduler's trace is emitted on the machine clock and carries the
+/// job lifecycle.
+#[test]
+fn scheduler_trace_records_job_lifecycle() {
+    let jobs = vec![
+        JobSpec::at_start(small_job(50, 8, AnalysisKind::Vacf)),
+        JobSpec::arriving(1, small_job(51, 8, AnalysisKind::Vacf)),
+    ];
+    let tracer = obs::Tracer::enabled();
+    let mut s = Scheduler::new(machine(4, 600.0, Policy::EnergyFeedback), jobs).expect("valid");
+    s.set_tracer(&tracer);
+    let _result = s.run();
+    let events = tracer.events();
+    let tags: Vec<&str> = events.iter().map(|e| e.ev.tag()).collect();
+    assert!(tags.contains(&"job_arrived"));
+    assert!(tags.contains(&"job_started"));
+    assert!(tags.contains(&"job_completed"));
+    assert!(tags.contains(&"machine_budget"));
+}

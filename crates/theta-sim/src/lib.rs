@@ -23,6 +23,7 @@
 
 mod cluster;
 mod config;
+mod machine;
 mod node;
 mod noise;
 mod phase;
@@ -31,6 +32,7 @@ mod rapl;
 
 pub use cluster::Cluster;
 pub use config::{CapMode, MachineConfig};
+pub use machine::{MachineNodes, NodeLease};
 pub use node::Node;
 pub use noise::{NoiseModel, NoiseSeed, NoiseSigmas};
 pub use phase::{PhaseKind, Work};

@@ -29,6 +29,15 @@ echo "==> parallel determinism: fault_sweep at POLIMER_THREADS=4 vs committed JS
 SEESAW_RESULTS_DIR="$c" POLIMER_THREADS=4 ./target/release/fault_sweep >/dev/null
 diff "$c/fault_sweep.json" results/fault_sweep.json
 
+echo "==> scheduler invariants: cargo test -p sched"
+cargo test -q --offline -p sched
+
+echo "==> machine determinism: machine_sweep at POLIMER_THREADS=1 vs 4 vs committed JSON"
+SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 ./target/release/machine_sweep --quiet >/dev/null
+SEESAW_RESULTS_DIR="$b" POLIMER_THREADS=4 ./target/release/machine_sweep --quiet >/dev/null
+diff "$a/machine_sweep.json" "$b/machine_sweep.json"
+diff "$b/machine_sweep.json" results/machine_sweep.json
+
 echo "==> trace determinism: run_experiment JSONL at POLIMER_THREADS=1 vs 4"
 SEESAW_TRACE="$c/t1.jsonl" POLIMER_THREADS=1 \
     ./target/release/run_experiment --nodes 8 --dim 16 --steps 40 --analyses vacf --quiet

@@ -1,0 +1,654 @@
+//! An **owned** mirror of the `obs` event schema, plus the strict JSONL
+//! line parser.
+//!
+//! `obs::Event` borrows `&'static str` tags straight from the emitting
+//! crates; a trace read back from disk has no such statics, so the audit
+//! layer carries owned strings. The parser is deliberately strict: field
+//! *order* must match the serializer exactly (same keys, same sequence,
+//! nothing extra), so a line round-trips byte-for-byte through
+//! [`AuditEvent::to_json_line`] — that round-trip is itself a test of the
+//! emitter.
+
+use crate::json::{self, Value};
+use std::fmt::Write as _;
+
+/// Payload of a `decision` line (mirrors `obs::DecisionInfo`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionFields {
+    /// Synchronization index of the closing observation (0-based).
+    pub sync: u64,
+    /// Simulation nodes the split was computed over.
+    pub sim_nodes: u64,
+    /// Analysis nodes the split was computed over.
+    pub analysis_nodes: u64,
+    /// `α_S` over the window.
+    pub alpha_sim: f64,
+    /// `α_A` over the window.
+    pub alpha_analysis: f64,
+    /// Analytic optimum, simulation partition total, watts.
+    pub p_opt_sim_w: f64,
+    /// Analytic optimum, analysis partition total, watts.
+    pub p_opt_analysis_w: f64,
+    /// Post-EWMA partition total, simulation, watts.
+    pub blend_sim_w: f64,
+    /// Post-EWMA partition total, analysis, watts.
+    pub blend_analysis_w: f64,
+    /// Final per-node cap, simulation partition, watts.
+    pub sim_node_w: f64,
+    /// Final per-node cap, analysis partition, watts.
+    pub analysis_node_w: f64,
+    /// Whether the δ-limits clamped the blended split.
+    pub clamped: bool,
+}
+
+/// The payload of one audited trace line. Field meanings are documented on
+/// the corresponding `obs::Event` variants; this enum only owns them.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum EventKind {
+    RunStart {
+        sim_nodes: u64,
+        analysis_nodes: u64,
+        budget_w: f64,
+        min_cap_w: f64,
+        max_cap_w: f64,
+        actuation_ns: u64,
+    },
+    SyncStart {
+        sync: u64,
+    },
+    Arrival {
+        sync: u64,
+        node: u64,
+        role: String,
+        time_s: f64,
+    },
+    Rendezvous {
+        sync: u64,
+        sim_time_s: f64,
+        analysis_time_s: f64,
+        slack: f64,
+    },
+    SyncEnd {
+        sync: u64,
+        overhead_s: f64,
+    },
+    SyncEnergy {
+        sync: u64,
+        energy_j: f64,
+    },
+    NodeEnergy {
+        node: u64,
+        energy_j: f64,
+    },
+    RunEnd {
+        total_time_s: f64,
+        total_energy_j: f64,
+    },
+    Phase {
+        node: u64,
+        kind: String,
+        start_ns: u64,
+        end_ns: u64,
+    },
+    Wait {
+        node: u64,
+        start_ns: u64,
+        end_ns: u64,
+    },
+    CapRequest {
+        node: u64,
+        requested_w: f64,
+        granted_w: f64,
+        effective_ns: u64,
+    },
+    Sample {
+        node: u64,
+        role: String,
+        time_s: f64,
+        power_w: f64,
+        cap_w: f64,
+    },
+    SampleRejected {
+        node: u64,
+    },
+    ExchangeDone {
+        sync: u64,
+        overhead_s: f64,
+        decided: bool,
+    },
+    MonitorReelected {
+        node: u64,
+        new_rank: u64,
+    },
+    NodeExcluded {
+        node: u64,
+    },
+    BudgetRenormalized {
+        budget_w: f64,
+    },
+    AllocationHeld {
+        sync: u64,
+    },
+    Decision(Box<DecisionFields>),
+    ControllerHold {
+        sync: u64,
+        reason: String,
+    },
+    MachineStart {
+        nodes: u64,
+        envelope_w: f64,
+    },
+    JobArrived {
+        job: u64,
+    },
+    JobStarted {
+        job: u64,
+        nodes: u64,
+        budget_w: f64,
+    },
+    JobCompleted {
+        job: u64,
+        time_s: f64,
+    },
+    JobKilled {
+        job: u64,
+    },
+    MachineBudget {
+        epoch: u64,
+        allocated_w: f64,
+        pool_w: f64,
+    },
+    Fault {
+        sync: u64,
+        node: u64,
+        tag: String,
+    },
+    Recovery {
+        sync: u64,
+        node: u64,
+        tag: String,
+    },
+}
+
+impl EventKind {
+    /// The serialized `ev` tag (identical to `obs::Event::tag`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::RunStart { .. } => "run_start",
+            EventKind::SyncStart { .. } => "sync_start",
+            EventKind::Arrival { .. } => "arrival",
+            EventKind::Rendezvous { .. } => "rendezvous",
+            EventKind::SyncEnd { .. } => "sync_end",
+            EventKind::SyncEnergy { .. } => "sync_energy",
+            EventKind::NodeEnergy { .. } => "node_energy",
+            EventKind::RunEnd { .. } => "run_end",
+            EventKind::Phase { .. } => "phase",
+            EventKind::Wait { .. } => "wait",
+            EventKind::CapRequest { .. } => "cap_request",
+            EventKind::Sample { .. } => "sample",
+            EventKind::SampleRejected { .. } => "sample_rejected",
+            EventKind::ExchangeDone { .. } => "exchange_done",
+            EventKind::MonitorReelected { .. } => "monitor_reelected",
+            EventKind::NodeExcluded { .. } => "node_excluded",
+            EventKind::BudgetRenormalized { .. } => "budget_renormalized",
+            EventKind::AllocationHeld { .. } => "allocation_held",
+            EventKind::Decision(_) => "decision",
+            EventKind::ControllerHold { .. } => "controller_hold",
+            EventKind::MachineStart { .. } => "machine_start",
+            EventKind::JobArrived { .. } => "job_arrived",
+            EventKind::JobStarted { .. } => "job_started",
+            EventKind::JobCompleted { .. } => "job_completed",
+            EventKind::JobKilled { .. } => "job_killed",
+            EventKind::MachineBudget { .. } => "machine_budget",
+            EventKind::Fault { .. } => "fault",
+            EventKind::Recovery { .. } => "recovery",
+        }
+    }
+}
+
+/// One audited trace event: payload plus its sim-time stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditEvent {
+    /// Simulated time, nanoseconds.
+    pub t_ns: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// A line-level parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventError(pub String);
+
+impl std::fmt::Display for EventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for EventError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, EventError> {
+    Err(EventError(msg.into()))
+}
+
+/// Cursor over an object's fields that enforces exact key order.
+struct Fields<'a> {
+    fields: &'a [(String, Value)],
+    next: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn take(&mut self, key: &str) -> Result<&'a Value, EventError> {
+        match self.fields.get(self.next) {
+            Some((k, v)) if k == key => {
+                self.next += 1;
+                Ok(v)
+            }
+            Some((k, _)) => err(format!("expected field \"{key}\", found \"{k}\"")),
+            None => err(format!("missing field \"{key}\"")),
+        }
+    }
+
+    fn u64(&mut self, key: &str) -> Result<u64, EventError> {
+        self.take(key)?
+            .as_u64()
+            .ok_or_else(|| EventError(format!("field \"{key}\" is not a non-negative integer")))
+    }
+
+    fn f64(&mut self, key: &str) -> Result<f64, EventError> {
+        self.take(key)?
+            .as_f64()
+            .ok_or_else(|| EventError(format!("field \"{key}\" is not a number")))
+    }
+
+    fn bool(&mut self, key: &str) -> Result<bool, EventError> {
+        self.take(key)?
+            .as_bool()
+            .ok_or_else(|| EventError(format!("field \"{key}\" is not a boolean")))
+    }
+
+    fn str(&mut self, key: &str) -> Result<String, EventError> {
+        self.take(key)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| EventError(format!("field \"{key}\" is not a string")))
+    }
+
+    fn finish(self) -> Result<(), EventError> {
+        match self.fields.get(self.next) {
+            None => Ok(()),
+            Some((k, _)) => err(format!("unexpected extra field \"{k}\"")),
+        }
+    }
+}
+
+impl AuditEvent {
+    /// Parse one compact JSONL line into a typed event. Strict: the line
+    /// must be exactly `{"t":…,"ev":"…",<payload fields in emitter
+    /// order>}` with nothing missing, reordered, or extra.
+    pub fn parse_line(line: &str) -> Result<AuditEvent, EventError> {
+        let value = json::parse(line).map_err(|e| EventError(format!("invalid JSON: {e}")))?;
+        let obj = match value.as_obj() {
+            Some(fields) => fields,
+            None => return err("event line is not a JSON object"),
+        };
+        let mut f = Fields { fields: obj, next: 0 };
+        let t_ns = f.u64("t")?;
+        let tag = f.str("ev")?;
+        let kind = match tag.as_str() {
+            "run_start" => EventKind::RunStart {
+                sim_nodes: f.u64("sim_nodes")?,
+                analysis_nodes: f.u64("analysis_nodes")?,
+                budget_w: f.f64("budget_w")?,
+                min_cap_w: f.f64("min_cap_w")?,
+                max_cap_w: f.f64("max_cap_w")?,
+                actuation_ns: f.u64("actuation_ns")?,
+            },
+            "sync_start" => EventKind::SyncStart { sync: f.u64("sync")? },
+            "arrival" => EventKind::Arrival {
+                sync: f.u64("sync")?,
+                node: f.u64("node")?,
+                role: f.str("role")?,
+                time_s: f.f64("time_s")?,
+            },
+            "rendezvous" => EventKind::Rendezvous {
+                sync: f.u64("sync")?,
+                sim_time_s: f.f64("sim_time_s")?,
+                analysis_time_s: f.f64("analysis_time_s")?,
+                slack: f.f64("slack")?,
+            },
+            "sync_end" => {
+                EventKind::SyncEnd { sync: f.u64("sync")?, overhead_s: f.f64("overhead_s")? }
+            }
+            "sync_energy" => {
+                EventKind::SyncEnergy { sync: f.u64("sync")?, energy_j: f.f64("energy_j")? }
+            }
+            "node_energy" => {
+                EventKind::NodeEnergy { node: f.u64("node")?, energy_j: f.f64("energy_j")? }
+            }
+            "run_end" => EventKind::RunEnd {
+                total_time_s: f.f64("total_time_s")?,
+                total_energy_j: f.f64("total_energy_j")?,
+            },
+            "phase" => EventKind::Phase {
+                node: f.u64("node")?,
+                kind: f.str("kind")?,
+                start_ns: f.u64("start_ns")?,
+                end_ns: f.u64("end_ns")?,
+            },
+            "wait" => EventKind::Wait {
+                node: f.u64("node")?,
+                start_ns: f.u64("start_ns")?,
+                end_ns: f.u64("end_ns")?,
+            },
+            "cap_request" => EventKind::CapRequest {
+                node: f.u64("node")?,
+                requested_w: f.f64("requested_w")?,
+                granted_w: f.f64("granted_w")?,
+                effective_ns: f.u64("effective_ns")?,
+            },
+            "sample" => EventKind::Sample {
+                node: f.u64("node")?,
+                role: f.str("role")?,
+                time_s: f.f64("time_s")?,
+                power_w: f.f64("power_w")?,
+                cap_w: f.f64("cap_w")?,
+            },
+            "sample_rejected" => EventKind::SampleRejected { node: f.u64("node")? },
+            "exchange_done" => EventKind::ExchangeDone {
+                sync: f.u64("sync")?,
+                overhead_s: f.f64("overhead_s")?,
+                decided: f.bool("decided")?,
+            },
+            "monitor_reelected" => {
+                EventKind::MonitorReelected { node: f.u64("node")?, new_rank: f.u64("new_rank")? }
+            }
+            "node_excluded" => EventKind::NodeExcluded { node: f.u64("node")? },
+            "budget_renormalized" => EventKind::BudgetRenormalized { budget_w: f.f64("budget_w")? },
+            "allocation_held" => EventKind::AllocationHeld { sync: f.u64("sync")? },
+            "decision" => EventKind::Decision(Box::new(DecisionFields {
+                sync: f.u64("sync")?,
+                sim_nodes: f.u64("sim_nodes")?,
+                analysis_nodes: f.u64("analysis_nodes")?,
+                alpha_sim: f.f64("alpha_sim")?,
+                alpha_analysis: f.f64("alpha_analysis")?,
+                p_opt_sim_w: f.f64("p_opt_sim_w")?,
+                p_opt_analysis_w: f.f64("p_opt_analysis_w")?,
+                blend_sim_w: f.f64("blend_sim_w")?,
+                blend_analysis_w: f.f64("blend_analysis_w")?,
+                sim_node_w: f.f64("sim_node_w")?,
+                analysis_node_w: f.f64("analysis_node_w")?,
+                clamped: f.bool("clamped")?,
+            })),
+            "controller_hold" => {
+                EventKind::ControllerHold { sync: f.u64("sync")?, reason: f.str("reason")? }
+            }
+            "machine_start" => {
+                EventKind::MachineStart { nodes: f.u64("nodes")?, envelope_w: f.f64("envelope_w")? }
+            }
+            "job_arrived" => EventKind::JobArrived { job: f.u64("job")? },
+            "job_started" => EventKind::JobStarted {
+                job: f.u64("job")?,
+                nodes: f.u64("nodes")?,
+                budget_w: f.f64("budget_w")?,
+            },
+            "job_completed" => {
+                EventKind::JobCompleted { job: f.u64("job")?, time_s: f.f64("time_s")? }
+            }
+            "job_killed" => EventKind::JobKilled { job: f.u64("job")? },
+            "machine_budget" => EventKind::MachineBudget {
+                epoch: f.u64("epoch")?,
+                allocated_w: f.f64("allocated_w")?,
+                pool_w: f.f64("pool_w")?,
+            },
+            "fault" => {
+                EventKind::Fault { sync: f.u64("sync")?, node: f.u64("node")?, tag: f.str("tag")? }
+            }
+            "recovery" => EventKind::Recovery {
+                sync: f.u64("sync")?,
+                node: f.u64("node")?,
+                tag: f.str("tag")?,
+            },
+            other => return err(format!("unknown event tag \"{other}\"")),
+        };
+        f.finish()?;
+        Ok(AuditEvent { t_ns, kind })
+    }
+
+    /// Convert a live in-memory event (the tap path, no serialization).
+    pub fn from_obs(te: &obs::TraceEvent) -> AuditEvent {
+        // Round-tripping through the serialized form keeps exactly one
+        // definition of the mapping; a trace is a few MB at most and the
+        // tap path is not hot.
+        AuditEvent::parse_line(&te.to_json_line())
+            .expect("obs serializer and audit parser agree on the schema")
+    }
+
+    /// Serialize back to the exact byte format the `obs` emitter writes.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"t\":{},\"ev\":\"{}\"", self.t_ns, self.kind.tag());
+        {
+            let out = &mut out;
+            match &self.kind {
+                EventKind::RunStart {
+                    sim_nodes,
+                    analysis_nodes,
+                    budget_w,
+                    min_cap_w,
+                    max_cap_w,
+                    actuation_ns,
+                } => {
+                    fu(out, "sim_nodes", *sim_nodes);
+                    fu(out, "analysis_nodes", *analysis_nodes);
+                    ff(out, "budget_w", *budget_w);
+                    ff(out, "min_cap_w", *min_cap_w);
+                    ff(out, "max_cap_w", *max_cap_w);
+                    fu(out, "actuation_ns", *actuation_ns);
+                }
+                EventKind::SyncStart { sync } => fu(out, "sync", *sync),
+                EventKind::Arrival { sync, node, role, time_s } => {
+                    fu(out, "sync", *sync);
+                    fu(out, "node", *node);
+                    fs(out, "role", role);
+                    ff(out, "time_s", *time_s);
+                }
+                EventKind::Rendezvous { sync, sim_time_s, analysis_time_s, slack } => {
+                    fu(out, "sync", *sync);
+                    ff(out, "sim_time_s", *sim_time_s);
+                    ff(out, "analysis_time_s", *analysis_time_s);
+                    ff(out, "slack", *slack);
+                }
+                EventKind::SyncEnd { sync, overhead_s } => {
+                    fu(out, "sync", *sync);
+                    ff(out, "overhead_s", *overhead_s);
+                }
+                EventKind::SyncEnergy { sync, energy_j } => {
+                    fu(out, "sync", *sync);
+                    ff(out, "energy_j", *energy_j);
+                }
+                EventKind::NodeEnergy { node, energy_j } => {
+                    fu(out, "node", *node);
+                    ff(out, "energy_j", *energy_j);
+                }
+                EventKind::RunEnd { total_time_s, total_energy_j } => {
+                    ff(out, "total_time_s", *total_time_s);
+                    ff(out, "total_energy_j", *total_energy_j);
+                }
+                EventKind::Phase { node, kind, start_ns, end_ns } => {
+                    fu(out, "node", *node);
+                    fs(out, "kind", kind);
+                    fu(out, "start_ns", *start_ns);
+                    fu(out, "end_ns", *end_ns);
+                }
+                EventKind::Wait { node, start_ns, end_ns } => {
+                    fu(out, "node", *node);
+                    fu(out, "start_ns", *start_ns);
+                    fu(out, "end_ns", *end_ns);
+                }
+                EventKind::CapRequest { node, requested_w, granted_w, effective_ns } => {
+                    fu(out, "node", *node);
+                    ff(out, "requested_w", *requested_w);
+                    ff(out, "granted_w", *granted_w);
+                    fu(out, "effective_ns", *effective_ns);
+                }
+                EventKind::Sample { node, role, time_s, power_w, cap_w } => {
+                    fu(out, "node", *node);
+                    fs(out, "role", role);
+                    ff(out, "time_s", *time_s);
+                    ff(out, "power_w", *power_w);
+                    ff(out, "cap_w", *cap_w);
+                }
+                EventKind::SampleRejected { node } => fu(out, "node", *node),
+                EventKind::ExchangeDone { sync, overhead_s, decided } => {
+                    fu(out, "sync", *sync);
+                    ff(out, "overhead_s", *overhead_s);
+                    fb(out, "decided", *decided);
+                }
+                EventKind::MonitorReelected { node, new_rank } => {
+                    fu(out, "node", *node);
+                    fu(out, "new_rank", *new_rank);
+                }
+                EventKind::NodeExcluded { node } => fu(out, "node", *node),
+                EventKind::BudgetRenormalized { budget_w } => ff(out, "budget_w", *budget_w),
+                EventKind::AllocationHeld { sync } => fu(out, "sync", *sync),
+                EventKind::Decision(d) => {
+                    fu(out, "sync", d.sync);
+                    fu(out, "sim_nodes", d.sim_nodes);
+                    fu(out, "analysis_nodes", d.analysis_nodes);
+                    ff(out, "alpha_sim", d.alpha_sim);
+                    ff(out, "alpha_analysis", d.alpha_analysis);
+                    ff(out, "p_opt_sim_w", d.p_opt_sim_w);
+                    ff(out, "p_opt_analysis_w", d.p_opt_analysis_w);
+                    ff(out, "blend_sim_w", d.blend_sim_w);
+                    ff(out, "blend_analysis_w", d.blend_analysis_w);
+                    ff(out, "sim_node_w", d.sim_node_w);
+                    ff(out, "analysis_node_w", d.analysis_node_w);
+                    fb(out, "clamped", d.clamped);
+                }
+                EventKind::ControllerHold { sync, reason } => {
+                    fu(out, "sync", *sync);
+                    fs(out, "reason", reason);
+                }
+                EventKind::MachineStart { nodes, envelope_w } => {
+                    fu(out, "nodes", *nodes);
+                    ff(out, "envelope_w", *envelope_w);
+                }
+                EventKind::JobArrived { job } => fu(out, "job", *job),
+                EventKind::JobStarted { job, nodes, budget_w } => {
+                    fu(out, "job", *job);
+                    fu(out, "nodes", *nodes);
+                    ff(out, "budget_w", *budget_w);
+                }
+                EventKind::JobCompleted { job, time_s } => {
+                    fu(out, "job", *job);
+                    ff(out, "time_s", *time_s);
+                }
+                EventKind::JobKilled { job } => fu(out, "job", *job),
+                EventKind::MachineBudget { epoch, allocated_w, pool_w } => {
+                    fu(out, "epoch", *epoch);
+                    ff(out, "allocated_w", *allocated_w);
+                    ff(out, "pool_w", *pool_w);
+                }
+                EventKind::Fault { sync, node, tag } => {
+                    fu(out, "sync", *sync);
+                    fu(out, "node", *node);
+                    fs(out, "tag", tag);
+                }
+                EventKind::Recovery { sync, node, tag } => {
+                    fu(out, "sync", *sync);
+                    fu(out, "node", *node);
+                    fs(out, "tag", tag);
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn fu(out: &mut String, key: &str, v: u64) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn fb(out: &mut String, key: &str, v: bool) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn ff(out: &mut String, key: &str, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, ",\"{key}\":{v}");
+    } else {
+        let _ = write!(out, ",\"{key}\":null");
+    }
+}
+
+fn fs(out: &mut String, key: &str, v: &str) {
+    let _ = write!(out, ",\"{key}\":\"{v}\"");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_bytes() {
+        let lines = [
+            "{\"t\":0,\"ev\":\"run_start\",\"sim_nodes\":12,\"analysis_nodes\":4,\"budget_w\":1760,\"min_cap_w\":98,\"max_cap_w\":215,\"actuation_ns\":10000000}",
+            "{\"t\":1500000,\"ev\":\"sync_start\",\"sync\":3}",
+            "{\"t\":2000000,\"ev\":\"sample\",\"node\":7,\"role\":\"sim\",\"time_s\":2.5,\"power_w\":109.63,\"cap_w\":115}",
+            "{\"t\":9,\"ev\":\"exchange_done\",\"sync\":1,\"overhead_s\":0.05,\"decided\":true}",
+            "{\"t\":5,\"ev\":\"budget_renormalized\",\"budget_w\":null}",
+        ];
+        for line in lines {
+            let ev = AuditEvent::parse_line(line).expect(line);
+            assert_eq!(ev.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn reordered_fields_are_rejected() {
+        let e =
+            AuditEvent::parse_line("{\"t\":1,\"ev\":\"sync_end\",\"overhead_s\":0.1,\"sync\":1}");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn extra_and_missing_fields_are_rejected() {
+        assert!(AuditEvent::parse_line("{\"t\":1,\"ev\":\"sync_start\"}").is_err());
+        assert!(
+            AuditEvent::parse_line("{\"t\":1,\"ev\":\"sync_start\",\"sync\":1,\"x\":2}").is_err()
+        );
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(AuditEvent::parse_line("{\"t\":1,\"ev\":\"nope\"}").is_err());
+    }
+
+    #[test]
+    fn non_object_lines_are_rejected() {
+        assert!(AuditEvent::parse_line("[1,2]").is_err());
+        assert!(AuditEvent::parse_line("{\"t\":1,\"ev\":\"sync_start\",\"sync\":1} junk").is_err());
+    }
+
+    #[test]
+    fn from_obs_matches_parse_of_serialized_form() {
+        let te = obs::TraceEvent {
+            t: des::SimTime::from_nanos(42),
+            ev: obs::Event::Wait { node: 3, start_ns: 40, end_ns: 50 },
+        };
+        let ev = AuditEvent::from_obs(&te);
+        assert_eq!(ev, AuditEvent::parse_line(&te.to_json_line()).unwrap());
+        assert_eq!(ev.to_json_line(), te.to_json_line());
+    }
+
+    #[test]
+    fn float_field_accepts_integer_literal() {
+        let ev =
+            AuditEvent::parse_line("{\"t\":0,\"ev\":\"budget_renormalized\",\"budget_w\":1700}")
+                .unwrap();
+        assert_eq!(ev.kind, EventKind::BudgetRenormalized { budget_w: 1700.0 });
+    }
+}

@@ -1,0 +1,825 @@
+//! The invariant battery: structural and physical consistency checks over
+//! one trace.
+//!
+//! Each check is independent and pure; [`check_all`] runs the full
+//! battery and returns every violation found (empty = clean). The checks
+//! encode what the simulator *promises*, so a passing audit is evidence
+//! the run obeyed its own physics, and a failing one points at the layer
+//! that broke its contract:
+//!
+//! - **clock**: the shared sim-time stamp never runs backwards (span
+//!   events carry their own explicit times and are exempt).
+//! - **sync**: synchronization intervals are numbered 1,2,3,… and well
+//!   nested; only a halted run may leave the last interval open.
+//! - **spans**: per node, phase/wait spans are ordered and non-overlapping,
+//!   and every span lies inside its enclosing interval.
+//! - **budget**: at every decision, the granted per-node caps times the
+//!   partition sizes stay within the current budget (renormalizations
+//!   tracked), except when the budget sits below the feasibility floor
+//!   `n · δ_min` — then every cap must be pinned at `δ_min`.
+//! - **cap_range** / **actuation**: every RAPL grant is the clamp of its
+//!   request (or the TDP fallback of an uncapped domain) inside
+//!   `[δ_min, δ_max]`, and enforcement happens either immediately (no-op
+//!   or swallowed request) or at least one actuation latency later.
+//! - **energy**: per-interval and per-node energies each sum to the run
+//!   total (the intervals tile `[0, T]`).
+//! - **envelope**: machine-level epoch divisions sum to the envelope.
+//! - **faults**: every injected fault that mandates a graceful-degradation
+//!   action got one (pairing rules below).
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+
+/// Absolute slack for watt-level comparisons (budget/cap arithmetic is
+/// exact modulo float association).
+const EPS_W: f64 = 1e-6;
+/// Relative tolerance for energy identities (sums over many intervals
+/// accumulate association error only).
+const ENERGY_REL_TOL: f64 = 1e-6;
+
+/// One invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which check fired (`"clock"`, `"sync"`, `"spans"`, `"budget"`,
+    /// `"cap_range"`, `"actuation"`, `"energy"`, `"envelope"`,
+    /// `"faults"`).
+    pub check: &'static str,
+    /// What exactly went wrong, with enough context to locate it.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+fn v(out: &mut Vec<Violation>, check: &'static str, detail: String) {
+    out.push(Violation { check, detail });
+}
+
+/// Run the full battery.
+pub fn check_all(trace: &Trace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_clock(trace, &mut out);
+    check_sync_sequence(trace, &mut out);
+    check_spans(trace, &mut out);
+    check_budget(trace, &mut out);
+    check_caps(trace, &mut out);
+    check_energy(trace, &mut out);
+    check_envelope(trace, &mut out);
+    check_faults(trace, &mut out);
+    out
+}
+
+/// Span-carrying kinds stamp themselves at explicit (possibly past)
+/// instants; everything else rides the shared clock and must be
+/// non-decreasing in buffer order.
+fn rides_shared_clock(kind: &EventKind) -> bool {
+    !matches!(
+        kind,
+        EventKind::Phase { .. }
+            | EventKind::Wait { .. }
+            | EventKind::Arrival { .. }
+            | EventKind::CapRequest { .. }
+    )
+}
+
+/// Clock monotonicity.
+pub fn check_clock(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut last: u64 = 0;
+    for (i, ev) in trace.events.iter().enumerate() {
+        if rides_shared_clock(&ev.kind) {
+            if ev.t_ns < last {
+                v(
+                    out,
+                    "clock",
+                    format!(
+                        "event {} ({}) at t={}ns precedes earlier stamp {}ns",
+                        i,
+                        ev.kind.tag(),
+                        ev.t_ns,
+                        last
+                    ),
+                );
+            }
+            last = last.max(ev.t_ns);
+        }
+    }
+}
+
+/// Interval numbering and nesting; also checks that interval-scoped
+/// controller events carry the 0-based index of the open interval.
+pub fn check_sync_sequence(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut open: Option<u64> = None;
+    let mut next_expected: u64 = 1;
+    let mut seen_run_end = false;
+    for ev in &trace.events {
+        if seen_run_end {
+            v(out, "sync", format!("event ({}) after run_end", ev.kind.tag()));
+            seen_run_end = false; // report once
+        }
+        match &ev.kind {
+            EventKind::SyncStart { sync } => {
+                if let Some(k) = open {
+                    v(out, "sync", format!("sync {sync} opened while sync {k} still open"));
+                }
+                if *sync != next_expected {
+                    v(out, "sync", format!("sync {sync} opened, expected {next_expected}"));
+                }
+                open = Some(*sync);
+                next_expected = *sync + 1;
+            }
+            EventKind::SyncEnd { sync, .. } => match open.take() {
+                Some(k) if k == *sync => {}
+                Some(k) => v(out, "sync", format!("sync_end {sync} closes open sync {k}")),
+                None => v(out, "sync", format!("sync_end {sync} with no open sync")),
+            },
+            // Controller-plane events are 0-based: interval k runs the
+            // exchange for observation k-1.
+            EventKind::ExchangeDone { sync, .. }
+            | EventKind::AllocationHeld { sync }
+            | EventKind::ControllerHold { sync, .. } => {
+                if let Some(k) = open.filter(|&k| k > 0) {
+                    if *sync != k - 1 {
+                        v(
+                            out,
+                            "sync",
+                            format!(
+                                "{} carries observation index {sync} inside interval {k} \
+                                 (expected {})",
+                                ev.kind.tag(),
+                                k - 1
+                            ),
+                        );
+                    }
+                }
+            }
+            EventKind::Decision(d) => {
+                if let Some(k) = open.filter(|&k| k > 0) {
+                    if d.sync != k - 1 {
+                        v(
+                            out,
+                            "sync",
+                            format!(
+                                "decision carries observation index {} inside interval {k} \
+                                 (expected {})",
+                                d.sync,
+                                k - 1
+                            ),
+                        );
+                    }
+                }
+            }
+            EventKind::RunEnd { .. } => seen_run_end = true,
+            _ => {}
+        }
+    }
+    // A final open interval is legal only as a halt (partition death);
+    // a halted run never reaches its run_end epilogue's sync close, so
+    // nothing further to assert here.
+}
+
+/// Per-node span ordering plus containment in the enclosing interval.
+pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    let mut last_end: BTreeMap<u64, u64> = BTreeMap::new();
+    // (start, end, open sync at emission) per span, resolved against the
+    // interval window once sync_end supplies it.
+    let mut window_start: Option<u64> = None;
+    let mut open_sync: Option<u64> = None;
+    let mut pending: Vec<(u64, u64, u64, &'static str)> = Vec::new();
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::SyncStart { sync } => {
+                window_start = Some(ev.t_ns);
+                open_sync = Some(*sync);
+                pending.clear();
+            }
+            EventKind::SyncEnd { sync, .. } => {
+                let t_end = ev.t_ns;
+                for (node, start, end, what) in pending.drain(..) {
+                    if end > t_end {
+                        v(
+                            out,
+                            "spans",
+                            format!(
+                                "{what} span [{start}, {end}]ns on node {node} overruns \
+                                 interval {sync} end {t_end}ns"
+                            ),
+                        );
+                    }
+                }
+                window_start = None;
+                open_sync = None;
+            }
+            EventKind::Phase { node, start_ns, end_ns, .. }
+            | EventKind::Wait { node, start_ns, end_ns } => {
+                let what =
+                    if matches!(ev.kind, EventKind::Phase { .. }) { "phase" } else { "wait" };
+                if start_ns > end_ns {
+                    v(
+                        out,
+                        "spans",
+                        format!(
+                            "{what} span on node {node} runs backwards: [{start_ns}, {end_ns}]ns"
+                        ),
+                    );
+                }
+                let prev = last_end.entry(*node).or_insert(0);
+                if *start_ns < *prev {
+                    v(
+                        out,
+                        "spans",
+                        format!(
+                            "{what} span [{start_ns}, {end_ns}]ns on node {node} overlaps \
+                             earlier activity ending at {}ns",
+                            prev
+                        ),
+                    );
+                }
+                *prev = (*prev).max(*end_ns);
+                if let (Some(w0), Some(k)) = (window_start, open_sync) {
+                    if *start_ns < w0 {
+                        v(
+                            out,
+                            "spans",
+                            format!(
+                                "{what} span [{start_ns}, {end_ns}]ns on node {node} starts \
+                                 before interval {k} start {w0}ns"
+                            ),
+                        );
+                    }
+                    pending.push((*node, *start_ns, *end_ns, what));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Budget conservation at every decision.
+pub fn check_budget(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut budget: Option<f64> = None;
+    let mut min_cap: Option<f64> = None;
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::RunStart { budget_w, min_cap_w, .. } => {
+                budget = Some(*budget_w);
+                min_cap = Some(*min_cap_w);
+            }
+            EventKind::BudgetRenormalized { budget_w } => {
+                if !budget_w.is_finite() || *budget_w < 0.0 {
+                    v(out, "budget", format!("renormalized budget is not a power: {budget_w}"));
+                }
+                budget = Some(*budget_w);
+            }
+            EventKind::Decision(d) => {
+                let (Some(b), Some(floor)) = (budget, min_cap) else { continue };
+                let n = (d.sim_nodes + d.analysis_nodes) as f64;
+                let total =
+                    d.sim_node_w * d.sim_nodes as f64 + d.analysis_node_w * d.analysis_nodes as f64;
+                let tol = EPS_W * n.max(1.0);
+                // Below the feasibility floor the allocator pins every cap
+                // at δ_min and the total legitimately exceeds the budget.
+                let at_floor = d.sim_node_w <= floor + tol && d.analysis_node_w <= floor + tol;
+                if !(total <= b + tol || at_floor) {
+                    v(
+                        out,
+                        "budget",
+                        format!(
+                            "decision at observation {}: allocation {:.6} W exceeds budget \
+                             {:.6} W ({} sim nodes x {:.6} W + {} analysis nodes x {:.6} W)",
+                            d.sync,
+                            total,
+                            b,
+                            d.sim_nodes,
+                            d.sim_node_w,
+                            d.analysis_nodes,
+                            d.analysis_node_w
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// RAPL grant clamping, range, and actuation latency.
+pub fn check_caps(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut range: Option<(f64, f64)> = None;
+    let mut actuation_ns: Option<u64> = None;
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::RunStart { min_cap_w, max_cap_w, actuation_ns: a, .. } => {
+                range = Some((*min_cap_w, *max_cap_w));
+                actuation_ns = Some(*a);
+            }
+            EventKind::CapRequest { node, requested_w, granted_w, effective_ns } => {
+                if let Some((lo, hi)) = range {
+                    if !(*granted_w >= lo - EPS_W && *granted_w <= hi + EPS_W) {
+                        v(
+                            out,
+                            "cap_range",
+                            format!(
+                                "node {node}: granted cap {granted_w} W outside \
+                                 [{lo}, {hi}] W"
+                            ),
+                        );
+                    }
+                    let clamp = requested_w.clamp(lo, hi);
+                    // An uncapped domain (CapMode::None) reports its TDP
+                    // regardless of the request.
+                    let ok = (granted_w - clamp).abs() <= EPS_W || (granted_w - hi).abs() <= EPS_W;
+                    if !ok {
+                        v(
+                            out,
+                            "cap_range",
+                            format!(
+                                "node {node}: granted cap {granted_w} W is neither \
+                                 clamp({requested_w}) = {clamp} W nor the TDP {hi} W"
+                            ),
+                        );
+                    }
+                }
+                if let Some(a) = actuation_ns {
+                    // Enforcement is either immediate (no-op request,
+                    // stuck PCU) or at least one actuation latency out.
+                    if *effective_ns != ev.t_ns && *effective_ns < ev.t_ns + a {
+                        v(
+                            out,
+                            "actuation",
+                            format!(
+                                "node {node}: cap requested at {}ns enforced at {}ns, \
+                                 sooner than the {}ns actuation latency",
+                                ev.t_ns, effective_ns, a
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Energy identities: interval energies and node energies each tile the
+/// run total.
+pub fn check_energy(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut sync_sum = 0.0;
+    let mut node_sum = 0.0;
+    let mut have_sync = false;
+    let mut have_node = false;
+    let mut total: Option<f64> = None;
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::SyncEnergy { sync, energy_j } => {
+                have_sync = true;
+                if !energy_j.is_finite() || *energy_j < 0.0 {
+                    v(out, "energy", format!("interval {sync} energy is not physical: {energy_j}"));
+                } else {
+                    sync_sum += energy_j;
+                }
+            }
+            EventKind::NodeEnergy { node, energy_j } => {
+                have_node = true;
+                if !energy_j.is_finite() || *energy_j < 0.0 {
+                    v(out, "energy", format!("node {node} energy is not physical: {energy_j}"));
+                } else {
+                    node_sum += energy_j;
+                }
+            }
+            EventKind::RunEnd { total_energy_j, .. } => total = Some(*total_energy_j),
+            _ => {}
+        }
+    }
+    let Some(total) = total else { return };
+    let tol = ENERGY_REL_TOL * total.abs().max(1.0);
+    if have_sync && (sync_sum - total).abs() > tol {
+        v(
+            out,
+            "energy",
+            format!(
+                "interval energies sum to {sync_sum} J but the run total is {total} J \
+                 (tolerance {tol} J)"
+            ),
+        );
+    }
+    if have_node && (node_sum - total).abs() > tol {
+        v(
+            out,
+            "energy",
+            format!(
+                "node energies sum to {node_sum} J but the run total is {total} J \
+                 (tolerance {tol} J)"
+            ),
+        );
+    }
+}
+
+/// Machine-level envelope conservation at every epoch division.
+pub fn check_envelope(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut envelope: Option<f64> = None;
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::MachineStart { envelope_w, .. } => envelope = Some(*envelope_w),
+            EventKind::MachineBudget { epoch, allocated_w, pool_w } => {
+                let Some(env) = envelope else { continue };
+                if *allocated_w < -EPS_W || *pool_w < -EPS_W {
+                    v(
+                        out,
+                        "envelope",
+                        format!("epoch {epoch}: negative power ({allocated_w} W allocated, {pool_w} W pool)"),
+                    );
+                }
+                if (allocated_w + pool_w - env).abs() > EPS_W * env.max(1.0) {
+                    v(
+                        out,
+                        "envelope",
+                        format!(
+                            "epoch {epoch}: allocated {allocated_w} W + pool {pool_w} W does \
+                             not sum to the envelope {env} W"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Fault → graceful-degradation pairing. The numbering is the 0-based
+/// plan ordinal carried on both fault and recovery events; interval
+/// `k` (1-based) hosts the faults of ordinal `k - 1`.
+pub fn check_faults(trace: &Trace, out: &mut Vec<Violation>) {
+    use std::collections::BTreeSet;
+    // (sync0, node, tag) of every recovery.
+    let mut recoveries: BTreeSet<(u64, u64, &str)> = BTreeSet::new();
+    // Intervals (1-based) in which at least one cap request happened, and
+    // (interval, node) pairs with an accepted sample.
+    let mut cap_intervals: BTreeSet<u64> = BTreeSet::new();
+    let mut samples: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut open: Option<u64> = None;
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::SyncStart { sync } => open = Some(*sync),
+            EventKind::SyncEnd { .. } => open = None,
+            EventKind::CapRequest { .. } => {
+                if let Some(k) = open {
+                    cap_intervals.insert(k);
+                }
+            }
+            EventKind::Sample { node, .. } => {
+                if let Some(k) = open {
+                    samples.insert((k, *node));
+                }
+            }
+            EventKind::Recovery { sync, node, tag } => {
+                recoveries.insert((*sync, *node, tag.as_str()));
+            }
+            _ => {}
+        }
+    }
+    let has = |s: u64, n: u64, tag: &str| recoveries.contains(&(s, n, tag));
+    let has_any_node =
+        |s: u64, tag: &str| recoveries.iter().any(|(rs, _, rt)| *rs == s && *rt == tag);
+    for ev in &trace.events {
+        let EventKind::Fault { sync, node, tag } = &ev.kind else { continue };
+        let (s, n) = (*sync, *node);
+        let interval = s + 1;
+        let ok = match tag.as_str() {
+            // A crash always excludes the node.
+            "node_crash" => has(s, n, "node_excluded"),
+            // A dead monitor is re-elected — unless its node crashed in
+            // the same interval and got excluded instead.
+            "monitor_death" => has(s, n, "monitor_reelected") || has(s, n, "node_excluded"),
+            // Corrupt samples must be rejected by the plausibility gate.
+            "sample_nan" | "sample_dropout" => has(s, n, "sample_rejected"),
+            // A spike is rejected when it leaves the plausible range; a
+            // small spike factor may keep the sample plausible, in which
+            // case the sample must actually have been accepted.
+            "sample_spike" => has(s, n, "sample_rejected") || samples.contains(&(interval, n)),
+            // A failed cap write is retried — but only if a cap write was
+            // attempted at all in that interval (the controller may have
+            // held).
+            "rapl_write_error" => {
+                has(s, n, "cap_write_retried") || !cap_intervals.contains(&interval)
+            }
+            // A timed-out collective is retried, or the exchange is
+            // abandoned and the previous allocation held.
+            "collective_timeout" => {
+                has_any_node(s, "collective_retried") || has_any_node(s, "allocation_held")
+            }
+            // Perturbations the stack absorbs without a discrete action.
+            "straggler" | "rapl_stuck" | "rapl_delayed" | "message_loss" => true,
+            other => {
+                v(out, "faults", format!("unknown fault tag \"{other}\" at ordinal {s}"));
+                true
+            }
+        };
+        if !ok {
+            v(
+                out,
+                "faults",
+                format!(
+                    "fault \"{tag}\" on node {n} at ordinal {s} has no matching \
+                     graceful-degradation action"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AuditEvent, DecisionFields};
+
+    fn ev(t_ns: u64, kind: EventKind) -> AuditEvent {
+        AuditEvent { t_ns, kind }
+    }
+
+    fn run_start(budget_w: f64) -> AuditEvent {
+        ev(
+            0,
+            EventKind::RunStart {
+                sim_nodes: 12,
+                analysis_nodes: 4,
+                budget_w,
+                min_cap_w: 98.0,
+                max_cap_w: 215.0,
+                actuation_ns: 10_000_000,
+            },
+        )
+    }
+
+    fn decision(sync: u64, sim_w: f64, ana_w: f64) -> AuditEvent {
+        ev(
+            10,
+            EventKind::Decision(Box::new(DecisionFields {
+                sync,
+                sim_nodes: 12,
+                analysis_nodes: 4,
+                alpha_sim: 1.0,
+                alpha_analysis: 1.0,
+                p_opt_sim_w: sim_w * 12.0,
+                p_opt_analysis_w: ana_w * 4.0,
+                blend_sim_w: sim_w * 12.0,
+                blend_analysis_w: ana_w * 4.0,
+                sim_node_w: sim_w,
+                analysis_node_w: ana_w,
+                clamped: false,
+            })),
+        )
+    }
+
+    #[test]
+    fn clean_minimal_trace_passes() {
+        let trace = Trace {
+            events: vec![
+                run_start(1760.0),
+                ev(0, EventKind::SyncStart { sync: 1 }),
+                ev(0, EventKind::Phase { node: 0, kind: "force".into(), start_ns: 0, end_ns: 5 }),
+                ev(5, EventKind::Wait { node: 0, start_ns: 5, end_ns: 8 }),
+                decision(0, 110.0, 110.0),
+                ev(10, EventKind::SyncEnd { sync: 1, overhead_s: 0.0 }),
+                ev(10, EventKind::SyncEnergy { sync: 1, energy_j: 42.0 }),
+                ev(10, EventKind::NodeEnergy { node: 0, energy_j: 42.0 }),
+                ev(10, EventKind::RunEnd { total_time_s: 1e-8, total_energy_j: 42.0 }),
+            ],
+        };
+        assert_eq!(check_all(&trace), Vec::new());
+    }
+
+    #[test]
+    fn backwards_clock_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                ev(10, EventKind::SyncStart { sync: 1 }),
+                ev(5, EventKind::SyncEnd { sync: 1, overhead_s: 0.0 }),
+            ],
+        };
+        assert!(check_all(&trace).iter().any(|x| x.check == "clock"));
+    }
+
+    #[test]
+    fn span_events_may_carry_past_times() {
+        let trace = Trace {
+            events: vec![
+                ev(10, EventKind::SyncStart { sync: 1 }),
+                ev(
+                    90,
+                    EventKind::Phase { node: 0, kind: "force".into(), start_ns: 10, end_ns: 90 },
+                ),
+                ev(95, EventKind::SyncEnd { sync: 1, overhead_s: 0.0 }),
+            ],
+        };
+        assert_eq!(check_all(&trace), Vec::new());
+    }
+
+    #[test]
+    fn out_of_order_sync_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                ev(0, EventKind::SyncStart { sync: 2 }),
+                ev(1, EventKind::SyncEnd { sync: 2, overhead_s: 0.0 }),
+            ],
+        };
+        assert!(check_all(&trace).iter().any(|x| x.check == "sync"));
+    }
+
+    #[test]
+    fn trailing_open_sync_is_a_legal_halt() {
+        let trace = Trace {
+            events: vec![
+                ev(0, EventKind::SyncStart { sync: 1 }),
+                ev(1, EventKind::SyncEnd { sync: 1, overhead_s: 0.0 }),
+                ev(2, EventKind::SyncStart { sync: 2 }),
+            ],
+        };
+        assert_eq!(check_all(&trace), Vec::new());
+    }
+
+    #[test]
+    fn overlapping_node_spans_are_flagged() {
+        let trace = Trace {
+            events: vec![
+                ev(0, EventKind::Phase { node: 3, kind: "force".into(), start_ns: 0, end_ns: 10 }),
+                ev(0, EventKind::Phase { node: 3, kind: "neigh".into(), start_ns: 5, end_ns: 15 }),
+            ],
+        };
+        assert!(check_all(&trace).iter().any(|x| x.check == "spans"));
+    }
+
+    #[test]
+    fn span_overrunning_its_interval_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                ev(0, EventKind::SyncStart { sync: 1 }),
+                ev(9, EventKind::Phase { node: 0, kind: "force".into(), start_ns: 0, end_ns: 99 }),
+                ev(10, EventKind::SyncEnd { sync: 1, overhead_s: 0.0 }),
+            ],
+        };
+        assert!(check_all(&trace).iter().any(|x| x.check == "spans"));
+    }
+
+    #[test]
+    fn over_budget_decision_is_flagged() {
+        let trace = Trace { events: vec![run_start(1760.0), decision(0, 215.0, 98.0)] };
+        // 12 x 215 + 4 x 98 = 2972 > 1760.
+        let violations = check_all(&trace);
+        assert!(violations.iter().any(|x| x.check == "budget"), "{violations:?}");
+    }
+
+    #[test]
+    fn floor_pinned_decision_under_infeasible_budget_passes() {
+        let trace = Trace { events: vec![run_start(100.0), decision(0, 98.0, 98.0)] };
+        // 16 x 98 = 1568 > 100, but every cap is pinned at the floor.
+        assert_eq!(check_all(&trace), Vec::new());
+    }
+
+    #[test]
+    fn renormalized_budget_is_tracked() {
+        let trace = Trace {
+            events: vec![
+                run_start(1760.0),
+                ev(5, EventKind::BudgetRenormalized { budget_w: 1000.0 }),
+                decision(1, 110.0, 110.0), // 12x110 + 4x110 = 1760 > 1000
+            ],
+        };
+        assert!(check_all(&trace).iter().any(|x| x.check == "budget"));
+    }
+
+    #[test]
+    fn unclamped_grant_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                run_start(1760.0),
+                ev(
+                    0,
+                    EventKind::CapRequest {
+                        node: 2,
+                        requested_w: 120.0,
+                        granted_w: 130.0,
+                        effective_ns: 0,
+                    },
+                ),
+            ],
+        };
+        assert!(check_all(&trace).iter().any(|x| x.check == "cap_range"));
+    }
+
+    #[test]
+    fn tdp_grant_from_uncapped_domain_passes() {
+        let trace = Trace {
+            events: vec![
+                run_start(1760.0),
+                ev(
+                    0,
+                    EventKind::CapRequest {
+                        node: 2,
+                        requested_w: 120.0,
+                        granted_w: 215.0,
+                        effective_ns: 0,
+                    },
+                ),
+            ],
+        };
+        assert_eq!(check_all(&trace), Vec::new());
+    }
+
+    #[test]
+    fn too_fast_actuation_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                run_start(1760.0),
+                ev(
+                    1_000,
+                    EventKind::CapRequest {
+                        node: 0,
+                        requested_w: 120.0,
+                        granted_w: 120.0,
+                        effective_ns: 5_000, // request + 4000 ns < 10 ms latency
+                    },
+                ),
+            ],
+        };
+        assert!(check_all(&trace).iter().any(|x| x.check == "actuation"));
+    }
+
+    #[test]
+    fn energy_identity_violation_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                ev(0, EventKind::SyncEnergy { sync: 1, energy_j: 10.0 }),
+                ev(1, EventKind::RunEnd { total_time_s: 1.0, total_energy_j: 25.0 }),
+            ],
+        };
+        assert!(check_all(&trace).iter().any(|x| x.check == "energy"));
+    }
+
+    #[test]
+    fn envelope_leak_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                ev(0, EventKind::MachineStart { nodes: 16, envelope_w: 1760.0 }),
+                ev(0, EventKind::MachineBudget { epoch: 0, allocated_w: 1000.0, pool_w: 500.0 }),
+            ],
+        };
+        assert!(check_all(&trace).iter().any(|x| x.check == "envelope"));
+    }
+
+    #[test]
+    fn unrecovered_crash_is_flagged_and_paired_crash_passes() {
+        let bad = Trace {
+            events: vec![ev(0, EventKind::Fault { sync: 2, node: 5, tag: "node_crash".into() })],
+        };
+        assert!(check_all(&bad).iter().any(|x| x.check == "faults"));
+        let good = Trace {
+            events: vec![
+                ev(0, EventKind::Fault { sync: 2, node: 5, tag: "node_crash".into() }),
+                ev(0, EventKind::Recovery { sync: 2, node: 5, tag: "node_excluded".into() }),
+            ],
+        };
+        assert_eq!(check_all(&good), Vec::new());
+    }
+
+    #[test]
+    fn write_error_without_cap_traffic_passes() {
+        let trace = Trace {
+            events: vec![
+                ev(0, EventKind::SyncStart { sync: 3 }),
+                ev(1, EventKind::Fault { sync: 2, node: 1, tag: "rapl_write_error".into() }),
+                ev(2, EventKind::SyncEnd { sync: 3, overhead_s: 0.0 }),
+            ],
+        };
+        let mut out = Vec::new();
+        check_faults(&trace, &mut out);
+        assert_eq!(out, Vec::new());
+    }
+
+    #[test]
+    fn spike_with_accepted_sample_passes() {
+        let trace = Trace {
+            events: vec![
+                ev(0, EventKind::SyncStart { sync: 3 }),
+                ev(1, EventKind::Fault { sync: 2, node: 1, tag: "sample_spike".into() }),
+                ev(
+                    2,
+                    EventKind::Sample {
+                        node: 1,
+                        role: "sim".into(),
+                        time_s: 1.0,
+                        power_w: 900.0,
+                        cap_w: 110.0,
+                    },
+                ),
+                ev(3, EventKind::SyncEnd { sync: 3, overhead_s: 0.0 }),
+            ],
+        };
+        let mut out = Vec::new();
+        check_faults(&trace, &mut out);
+        assert_eq!(out, Vec::new());
+    }
+}

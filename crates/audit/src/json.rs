@@ -1,0 +1,430 @@
+//! A small, strict JSON parser (the workspace carries no registry
+//! dependencies, so this is hand-rolled like the emitters it audits).
+//!
+//! Design points that matter for auditing:
+//!
+//! - **Objects preserve key order.** The trace serializer writes fields in
+//!   a fixed per-variant order; the audit parser checks that order, so an
+//!   object is a `Vec<(String, Value)>`, not a map.
+//! - **Integers and floats are distinguished.** A number without `.`/`e`
+//!   that fits an `i64` parses as [`Value::Int`]; everything else is
+//!   [`Value::Num`]. Timestamps and ids must be integral; power/energy
+//!   fields accept either.
+//! - **Whole-input strictness.** `parse` fails on trailing garbage, so a
+//!   truncated or concatenated line can never half-parse.
+//! - Errors carry the byte offset where parsing stopped.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integral number that fits `i64`.
+    Int(i64),
+    /// Any other number.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, **in source key order**.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Int` and `Num` both read as `f64`; `Null` reads as
+    /// NaN (the serializers write non-finite floats as `null`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Num(x) => Some(*x),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view (ids, nanosecond timestamps, ordinals).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Look up an object field by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse `input` as exactly one JSON value (leading/trailing whitespace
+/// allowed, anything else after the value is an error).
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError { msg: msg.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).expect("valid utf8"));
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("non-ascii in \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad hex in \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let first_digit = self.pos;
+        let int_digits = self.digits()?;
+        if int_digits > 1 && self.bytes[first_digit] == b'0' {
+            return Err(ParseError { msg: "leading zero".to_string(), offset: start });
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| ParseError { msg: "invalid number".to_string(), offset: start })
+    }
+
+    /// Consume one-or-more ASCII digits; returns how many.
+    fn digits(&mut self) -> Result<usize, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            Err(self.err("expected digit"))
+        } else {
+            Ok(self.pos - start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::Num(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Num(1000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".to_string()));
+    }
+
+    #[test]
+    fn objects_preserve_key_order() {
+        let v = parse("{\"b\":1,\"a\":2}").unwrap();
+        let fields = v.as_obj().unwrap();
+        assert_eq!(fields[0].0, "b");
+        assert_eq!(fields[1].0, "a");
+    }
+
+    #[test]
+    fn nested_structures_parse() {
+        let v = parse("{\"xs\":[1,2.0,null],\"o\":{\"k\":true}}").unwrap();
+        assert_eq!(v.get("xs").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("o").unwrap().get("k").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn escapes_resolve() {
+        assert_eq!(parse("\"a\\n\\t\\\"\\\\b\"").unwrap(), Value::Str("a\n\t\"\\b".to_string()));
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Value::Str("A".to_string()));
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse("\"\\uD83D\\uDE00\"").unwrap(), Value::Str("\u{1F600}".to_string()));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_report_offsets() {
+        let e = parse("{\"a\":}").unwrap_err();
+        assert_eq!(e.offset, 5);
+        assert!(parse("{\"a\"1}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("\"\\uD83D\"").is_err(), "unpaired surrogate");
+        assert!(parse("01").is_err(), "leading zero");
+    }
+
+    #[test]
+    fn null_reads_as_nan_number() {
+        assert!(parse("null").unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn int_float_distinction() {
+        assert_eq!(parse("3").unwrap().as_u64(), Some(3));
+        assert_eq!(parse("3.0").unwrap().as_u64(), None);
+        assert_eq!(parse("3.0").unwrap().as_f64(), Some(3.0));
+        // Too big for i64 falls back to float.
+        assert!(matches!(parse("99999999999999999999").unwrap(), Value::Num(_)));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(parse("\"héllo → ok\"").unwrap(), Value::Str("héllo → ok".to_string()));
+    }
+}

@@ -1,0 +1,34 @@
+//! # audit — the trace audit engine
+//!
+//! Consumes the JSONL traces the `obs` layer writes (or taps a live
+//! [`obs::Tracer`] buffer) and answers two questions:
+//!
+//! 1. **Did the run obey its own physics?** — [`invariants::check_all`]
+//!    runs a battery of structural and physical checks: clock
+//!    monotonicity, interval nesting, per-node span ordering, budget
+//!    conservation at every allocation, RAPL clamp/actuation consistency,
+//!    energy identities, machine-envelope conservation, and
+//!    fault → graceful-degradation pairing.
+//! 2. **Where did the time and energy go?** — [`AuditReport`] derives
+//!    per-phase and per-partition attribution, a per-interval straggler
+//!    breakdown, a critical-path decomposition, and the cap-actuation
+//!    latency distribution.
+//!
+//! The parser ([`AuditEvent::parse_line`]) is strict — exact field order,
+//! nothing missing, nothing extra — so a parsed trace re-serializes
+//! byte-for-byte, and the round trip doubles as a test of the emitter.
+//! Everything is hand-rolled on top of [`json`]: the workspace carries no
+//! registry dependencies.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod invariants;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use event::{AuditEvent, DecisionFields, EventKind};
+pub use invariants::{check_all, Violation};
+pub use metrics::AuditReport;
+pub use trace::{Trace, TraceError};

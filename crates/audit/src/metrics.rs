@@ -1,0 +1,582 @@
+//! Derived reports: where the time and the energy actually went.
+//!
+//! Everything here is computed from the trace alone. Span durations and
+//! per-node/per-interval energies are exact (the simulator records them);
+//! per-phase *energy* attribution multiplies each phase span by the
+//! node's measured mean power over that interval (the `sample` event), a
+//! first-order attribution that is exact when power is flat within the
+//! interval and clearly labelled approximate otherwise.
+
+use crate::event::EventKind;
+use crate::invariants::{check_all, Violation};
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Time and (approximate) energy attributed to one phase kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseAttribution {
+    /// Phase kind tag (e.g. `"force"`, `"analysis_msd"`, `"wait"`).
+    pub kind: String,
+    /// Number of spans.
+    pub spans: u64,
+    /// Total span time across nodes, seconds.
+    pub time_s: f64,
+    /// Mean-power-weighted energy attribution, joules.
+    pub energy_j: f64,
+}
+
+/// Exact energy attributed to one partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionAttribution {
+    /// Partition tag (`"sim"` / `"analysis"`).
+    pub role: String,
+    /// Distinct nodes seen in the partition.
+    pub nodes: u64,
+    /// Sum of the partition's whole-run node energies, joules.
+    pub energy_j: f64,
+}
+
+/// Barrier-wait breakdown for one synchronization interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncStragglers {
+    /// 1-based synchronization index.
+    pub sync: u64,
+    /// Simulation-partition interval time (slowest node), seconds.
+    pub sim_time_s: f64,
+    /// Analysis-partition interval time (slowest node), seconds.
+    pub analysis_time_s: f64,
+    /// Normalized rendezvous slack.
+    pub slack: f64,
+    /// Total time nodes spent blocked at the barrier, seconds.
+    pub wait_total_s: f64,
+    /// Longest single wait, seconds.
+    pub wait_max_s: f64,
+    /// The node that arrived last (the straggler), if arrivals were traced.
+    pub slowest_node: Option<u64>,
+}
+
+/// Whole-run critical-path decomposition: every interval is limited by
+/// exactly one partition, and allocation overhead is serial on top.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CriticalPath {
+    /// Time on intervals where simulation was the slower partition, seconds.
+    pub sim_limited_s: f64,
+    /// Time on intervals where analysis was the slower partition, seconds.
+    pub analysis_limited_s: f64,
+    /// Serial allocation/exchange overhead, seconds.
+    pub overhead_s: f64,
+    /// Intervals limited by the simulation partition.
+    pub sim_limited_syncs: u64,
+    /// Intervals limited by the analysis partition.
+    pub analysis_limited_syncs: u64,
+}
+
+/// Summary of the observed cap-actuation latency distribution
+/// (request → enforcement, over requests that actually changed the cap).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Actuated requests (latency > 0).
+    pub count: u64,
+    /// Requests that were no-ops or swallowed (latency = 0).
+    pub immediate: u64,
+    /// Minimum latency, seconds (0 when empty).
+    pub min_s: f64,
+    /// Maximum latency, seconds.
+    pub max_s: f64,
+    /// Mean latency, seconds.
+    pub mean_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_s: f64,
+}
+
+/// The full audit result for one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Total events audited.
+    pub events: u64,
+    /// Synchronization intervals opened.
+    pub syncs: u64,
+    /// Total run time, seconds (0 when the trace has no `run_end`).
+    pub total_time_s: f64,
+    /// Total run energy, joules (0 when the trace has no `run_end`).
+    pub total_energy_j: f64,
+    /// Every invariant violation found (empty = clean).
+    pub violations: Vec<Violation>,
+    /// Per-phase-kind time/energy attribution, sorted by kind.
+    pub phases: Vec<PhaseAttribution>,
+    /// Per-partition exact energy attribution, sorted by role.
+    pub partitions: Vec<PartitionAttribution>,
+    /// Per-interval barrier-wait breakdown.
+    pub stragglers: Vec<SyncStragglers>,
+    /// Critical-path decomposition.
+    pub critical_path: CriticalPath,
+    /// Cap-actuation latency distribution.
+    pub cap_latency: LatencyStats,
+}
+
+impl AuditReport {
+    /// Whether the invariant battery passed.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Audit a trace: run the invariant battery and derive the reports.
+    pub fn from_trace(trace: &Trace) -> AuditReport {
+        let violations = check_all(trace);
+
+        let mut open: Option<u64> = None;
+        let mut syncs: u64 = 0;
+        let mut total_time_s = 0.0;
+        let mut total_energy_j = 0.0;
+        // (interval, node) -> measured mean power.
+        let mut sample_w: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+        // node -> partition tag.
+        let mut roles: BTreeMap<u64, String> = BTreeMap::new();
+        // node -> whole-run energy.
+        let mut node_energy: BTreeMap<u64, f64> = BTreeMap::new();
+        // Phase/wait spans: (interval, node, kind, dur_s).
+        let mut spans: Vec<(u64, u64, String, f64)> = Vec::new();
+        // interval -> (wait_total, wait_max).
+        let mut waits: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+        // interval -> slowest (time_s, node).
+        let mut slowest: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+        // interval -> rendezvous payload.
+        let mut rendezvous: BTreeMap<u64, (f64, f64, f64)> = BTreeMap::new();
+        // interval -> closing overhead.
+        let mut overhead: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut latencies_s: Vec<f64> = Vec::new();
+        let mut immediate: u64 = 0;
+
+        for ev in &trace.events {
+            match &ev.kind {
+                EventKind::SyncStart { sync } => {
+                    open = Some(*sync);
+                    syncs += 1;
+                }
+                EventKind::SyncEnd { sync, overhead_s } => {
+                    open = None;
+                    if overhead_s.is_finite() {
+                        overhead.insert(*sync, *overhead_s);
+                    }
+                }
+                EventKind::Phase { node, kind, start_ns, end_ns } => {
+                    let dur = end_ns.saturating_sub(*start_ns) as f64 / 1e9;
+                    spans.push((open.unwrap_or(0), *node, kind.clone(), dur));
+                }
+                EventKind::Wait { node, start_ns, end_ns } => {
+                    let dur = end_ns.saturating_sub(*start_ns) as f64 / 1e9;
+                    spans.push((open.unwrap_or(0), *node, "wait".to_string(), dur));
+                    let w = waits.entry(open.unwrap_or(0)).or_insert((0.0, 0.0));
+                    w.0 += dur;
+                    w.1 = w.1.max(dur);
+                }
+                EventKind::Sample { node, role, power_w, .. } => {
+                    if let Some(k) = open {
+                        if power_w.is_finite() {
+                            sample_w.insert((k, *node), *power_w);
+                        }
+                    }
+                    roles.entry(*node).or_insert_with(|| role.clone());
+                }
+                EventKind::Arrival { sync, node, role, time_s } => {
+                    roles.entry(*node).or_insert_with(|| role.clone());
+                    let e = slowest.entry(*sync).or_insert((f64::NEG_INFINITY, 0));
+                    if *time_s > e.0 {
+                        *e = (*time_s, *node);
+                    }
+                }
+                EventKind::Rendezvous { sync, sim_time_s, analysis_time_s, slack } => {
+                    rendezvous.insert(*sync, (*sim_time_s, *analysis_time_s, *slack));
+                }
+                EventKind::NodeEnergy { node, energy_j } => {
+                    node_energy.insert(*node, *energy_j);
+                }
+                EventKind::RunEnd { total_time_s: t, total_energy_j: e } => {
+                    total_time_s = *t;
+                    total_energy_j = *e;
+                }
+                EventKind::CapRequest { effective_ns, .. } => {
+                    if *effective_ns > ev.t_ns {
+                        latencies_s.push((effective_ns - ev.t_ns) as f64 / 1e9);
+                    } else {
+                        immediate += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Phase attribution: exact time, mean-power-weighted energy.
+        let mut by_kind: BTreeMap<String, PhaseAttribution> = BTreeMap::new();
+        for (interval, node, kind, dur) in &spans {
+            let a = by_kind.entry(kind.clone()).or_insert_with(|| PhaseAttribution {
+                kind: kind.clone(),
+                spans: 0,
+                time_s: 0.0,
+                energy_j: 0.0,
+            });
+            a.spans += 1;
+            a.time_s += dur;
+            if let Some(w) = sample_w.get(&(*interval, *node)) {
+                a.energy_j += w * dur;
+            }
+        }
+
+        let mut partitions: BTreeMap<String, PartitionAttribution> = BTreeMap::new();
+        for (node, role) in &roles {
+            let p = partitions.entry(role.clone()).or_insert_with(|| PartitionAttribution {
+                role: role.clone(),
+                nodes: 0,
+                energy_j: 0.0,
+            });
+            p.nodes += 1;
+            p.energy_j += node_energy.get(node).copied().unwrap_or(0.0);
+        }
+
+        let mut stragglers = Vec::with_capacity(rendezvous.len());
+        let mut critical_path = CriticalPath::default();
+        for (&sync, &(sim_t, ana_t, slack)) in &rendezvous {
+            let (wait_total_s, wait_max_s) = waits.get(&sync).copied().unwrap_or((0.0, 0.0));
+            stragglers.push(SyncStragglers {
+                sync,
+                sim_time_s: sim_t,
+                analysis_time_s: ana_t,
+                slack,
+                wait_total_s,
+                wait_max_s,
+                slowest_node: slowest.get(&sync).map(|&(_, n)| n),
+            });
+            if sim_t >= ana_t {
+                critical_path.sim_limited_s += sim_t;
+                critical_path.sim_limited_syncs += 1;
+            } else {
+                critical_path.analysis_limited_s += ana_t;
+                critical_path.analysis_limited_syncs += 1;
+            }
+        }
+        // `+ 0.0` normalizes the empty sum's -0.0 identity.
+        critical_path.overhead_s = overhead.values().sum::<f64>() + 0.0;
+
+        latencies_s.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let cap_latency = if latencies_s.is_empty() {
+            LatencyStats { immediate, ..LatencyStats::default() }
+        } else {
+            let n = latencies_s.len();
+            let p95 = latencies_s[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+            LatencyStats {
+                count: n as u64,
+                immediate,
+                min_s: latencies_s[0],
+                max_s: latencies_s[n - 1],
+                mean_s: latencies_s.iter().sum::<f64>() / n as f64,
+                p95_s: p95,
+            }
+        };
+
+        AuditReport {
+            events: trace.len() as u64,
+            syncs,
+            total_time_s,
+            total_energy_j,
+            violations,
+            phases: by_kind.into_values().collect(),
+            partitions: partitions.into_values().collect(),
+            stragglers,
+            critical_path,
+            cap_latency,
+        }
+    }
+
+    /// Serialize as a JSON document (hand-rolled, deterministic: same
+    /// float rules as every other persisted artifact).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"events\": {},", self.events);
+        let _ = writeln!(s, "  \"syncs\": {},", self.syncs);
+        let _ = writeln!(s, "  \"total_time_s\": {},", jf(self.total_time_s));
+        let _ = writeln!(s, "  \"total_energy_j\": {},", jf(self.total_energy_j));
+        s.push_str("  \"violations\": [");
+        for (i, viol) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"check\": \"{}\", \"detail\": {}}}",
+                viol.check,
+                js(&viol.detail)
+            );
+        }
+        s.push_str(if self.violations.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"kind\": {}, \"spans\": {}, \"time_s\": {}, \"energy_j\": {}}}",
+                js(&p.kind),
+                p.spans,
+                jf(p.time_s),
+                jf(p.energy_j)
+            );
+        }
+        s.push_str(if self.phases.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"partitions\": [");
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"role\": {}, \"nodes\": {}, \"energy_j\": {}}}",
+                js(&p.role),
+                p.nodes,
+                jf(p.energy_j)
+            );
+        }
+        s.push_str(if self.partitions.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"stragglers\": [");
+        for (i, x) in self.stragglers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"sync\": {}, \"sim_time_s\": {}, \"analysis_time_s\": {}, \
+                 \"slack\": {}, \"wait_total_s\": {}, \"wait_max_s\": {}, \"slowest_node\": {}}}",
+                x.sync,
+                jf(x.sim_time_s),
+                jf(x.analysis_time_s),
+                jf(x.slack),
+                jf(x.wait_total_s),
+                jf(x.wait_max_s),
+                x.slowest_node.map_or("null".to_string(), |n| n.to_string())
+            );
+        }
+        s.push_str(if self.stragglers.is_empty() { "],\n" } else { "\n  ],\n" });
+        let cp = &self.critical_path;
+        let _ = writeln!(
+            s,
+            "  \"critical_path\": {{\"sim_limited_s\": {}, \"analysis_limited_s\": {}, \
+             \"overhead_s\": {}, \"sim_limited_syncs\": {}, \"analysis_limited_syncs\": {}}},",
+            jf(cp.sim_limited_s),
+            jf(cp.analysis_limited_s),
+            jf(cp.overhead_s),
+            cp.sim_limited_syncs,
+            cp.analysis_limited_syncs
+        );
+        let cl = &self.cap_latency;
+        let _ = writeln!(
+            s,
+            "  \"cap_latency\": {{\"count\": {}, \"immediate\": {}, \"min_s\": {}, \
+             \"max_s\": {}, \"mean_s\": {}, \"p95_s\": {}}}",
+            cl.count,
+            cl.immediate,
+            jf(cl.min_s),
+            jf(cl.max_s),
+            jf(cl.mean_s),
+            jf(cl.p95_s)
+        );
+        s.push_str("}\n");
+        s
+    }
+
+    /// A short human summary (one paragraph, for the reporter).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "audit: {} events, {} syncs, {}",
+            self.events,
+            self.syncs,
+            if self.clean() {
+                "0 violations".to_string()
+            } else {
+                format!("{} VIOLATIONS", self.violations.len())
+            }
+        );
+        if self.total_time_s > 0.0 {
+            let _ = write!(s, "; {:.2} s, {:.0} J", self.total_time_s, self.total_energy_j);
+        }
+        let cp = &self.critical_path;
+        if cp.sim_limited_syncs + cp.analysis_limited_syncs > 0 {
+            let _ = write!(
+                s,
+                "; critical path {:.2} s sim / {:.2} s analysis / {:.2} s overhead",
+                cp.sim_limited_s, cp.analysis_limited_s, cp.overhead_s
+            );
+        }
+        if self.cap_latency.count > 0 {
+            let _ = write!(
+                s,
+                "; cap actuation p95 {:.1} ms over {} requests",
+                self.cap_latency.p95_s * 1e3,
+                self.cap_latency.count
+            );
+        }
+        for viol in self.violations.iter().take(5) {
+            let _ = write!(s, "\n  {viol}");
+        }
+        if self.violations.len() > 5 {
+            let _ = write!(s, "\n  ... and {} more", self.violations.len() - 5);
+        }
+        s
+    }
+}
+
+/// JSON float: shortest-roundtrip, `null` when non-finite.
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string with minimal escaping (tags and details are ASCII).
+fn js(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AuditEvent;
+
+    fn ev(t_ns: u64, kind: EventKind) -> AuditEvent {
+        AuditEvent { t_ns, kind }
+    }
+
+    fn small_trace() -> Trace {
+        Trace {
+            events: vec![
+                ev(0, EventKind::SyncStart { sync: 1 }),
+                ev(
+                    0,
+                    EventKind::Phase {
+                        node: 0,
+                        kind: "force".into(),
+                        start_ns: 0,
+                        end_ns: 2_000_000_000,
+                    },
+                ),
+                ev(
+                    2_000_000_000,
+                    EventKind::Wait { node: 0, start_ns: 2_000_000_000, end_ns: 3_000_000_000 },
+                ),
+                ev(
+                    3_000_000_000,
+                    EventKind::Arrival { sync: 1, node: 0, role: "sim".into(), time_s: 2.0 },
+                ),
+                ev(
+                    3_000_000_000,
+                    EventKind::Arrival { sync: 1, node: 1, role: "analysis".into(), time_s: 3.0 },
+                ),
+                ev(
+                    3_000_000_000,
+                    EventKind::Rendezvous {
+                        sync: 1,
+                        sim_time_s: 2.0,
+                        analysis_time_s: 3.0,
+                        slack: 1.0 / 3.0,
+                    },
+                ),
+                ev(
+                    3_000_000_000,
+                    EventKind::Sample {
+                        node: 0,
+                        role: "sim".into(),
+                        time_s: 2.0,
+                        power_w: 110.0,
+                        cap_w: 115.0,
+                    },
+                ),
+                ev(
+                    3_000_000_000,
+                    EventKind::CapRequest {
+                        node: 0,
+                        requested_w: 120.0,
+                        granted_w: 120.0,
+                        effective_ns: 3_010_000_000,
+                    },
+                ),
+                ev(3_100_000_000, EventKind::SyncEnd { sync: 1, overhead_s: 0.1 }),
+                ev(3_100_000_000, EventKind::NodeEnergy { node: 0, energy_j: 300.0 }),
+                ev(3_100_000_000, EventKind::NodeEnergy { node: 1, energy_j: 100.0 }),
+                ev(3_100_000_000, EventKind::RunEnd { total_time_s: 3.1, total_energy_j: 400.0 }),
+            ],
+        }
+    }
+
+    #[test]
+    fn report_derives_attribution_and_critical_path() {
+        let r = AuditReport::from_trace(&small_trace());
+        assert_eq!(r.syncs, 1);
+        assert_eq!(r.total_energy_j, 400.0);
+        // Phase attribution: 2 s of force at 110 W + 1 s wait at 110 W.
+        let force = r.phases.iter().find(|p| p.kind == "force").unwrap();
+        assert!((force.time_s - 2.0).abs() < 1e-12);
+        assert!((force.energy_j - 220.0).abs() < 1e-9);
+        let wait = r.phases.iter().find(|p| p.kind == "wait").unwrap();
+        assert!((wait.energy_j - 110.0).abs() < 1e-9);
+        // Partition energy is exact from node_energy events.
+        let sim = r.partitions.iter().find(|p| p.role == "sim").unwrap();
+        assert_eq!(sim.energy_j, 300.0);
+        // Analysis was slower: critical path charges it.
+        assert_eq!(r.critical_path.analysis_limited_syncs, 1);
+        assert!((r.critical_path.analysis_limited_s - 3.0).abs() < 1e-12);
+        assert!((r.critical_path.overhead_s - 0.1).abs() < 1e-12);
+        // The straggler row names node 1.
+        assert_eq!(r.stragglers.len(), 1);
+        assert_eq!(r.stragglers[0].slowest_node, Some(1));
+        assert!((r.stragglers[0].wait_max_s - 1.0).abs() < 1e-12);
+        // Cap latency: one actuated request at 10 ms.
+        assert_eq!(r.cap_latency.count, 1);
+        assert!((r.cap_latency.p95_s - 0.01).abs() < 1e-12);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn report_json_parses_back() {
+        let r = AuditReport::from_trace(&small_trace());
+        let doc = r.to_json();
+        let v = crate::json::parse(&doc).expect("report JSON parses");
+        assert_eq!(v.get("syncs").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("violations").unwrap().as_arr().unwrap().len(), 0);
+        assert!(v.get("critical_path").unwrap().get("overhead_s").is_some());
+    }
+
+    #[test]
+    fn summary_mentions_violations() {
+        let mut r = AuditReport::from_trace(&small_trace());
+        assert!(r.summary().contains("0 violations"));
+        r.violations.push(Violation { check: "clock", detail: "x".into() });
+        assert!(r.summary().contains("1 VIOLATIONS"));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let r = AuditReport::from_trace(&Trace::default());
+        assert!(r.clean());
+        assert_eq!(r.events, 0);
+        assert_eq!(r.cap_latency.count, 0);
+    }
+}

@@ -2,11 +2,15 @@
 //! construction, one full Verlet step, and each analysis kernel over the
 //! 1568-atom benchmark cell — plus a serial-vs-parallel comparison of the
 //! two hot kernels at a fixed thread count, recorded to
-//! `results/BENCH_kernels.json`.
+//! `results/BENCH_kernels.json` in the unified [`bench::gate`] schema so
+//! `bench_gate` can diff reruns against the committed baseline. All
+//! metrics here are informational wall-clock medians (no `max` bounds, no
+//! drift tolerance — host-dependent noise).
 //!
 //! Plain timing harness (`harness = false`): the offline build carries no
 //! criterion, so each case reports median-of-runs wall time directly.
 
+use bench::gate::{BenchDoc, Metric};
 use mdsim::analysis::{Msd, MsdConfig, Rdf, RdfConfig, Snapshot, Vacf, VacfConfig};
 use mdsim::{
     compute_forces, water_ion_box, Analysis, ForceParams, MdEngine, NeighborList, PairTable,
@@ -91,7 +95,6 @@ struct KernelRow {
     parallel_us: f64,
     speedup: f64,
 }
-bench::json_struct!(KernelRow { kernel, atoms, threads, serial_us, parallel_us, speedup });
 
 /// Time the force and neighbor-build kernels serially
 /// (`par::with_threads(1, ..)` — the exact serial code path) and at
@@ -151,14 +154,48 @@ fn bench_parallel_speedup() -> Vec<KernelRow> {
             r.kernel, r.atoms, r.serial_us, r.threads, r.parallel_us, r.speedup
         );
     }
-    bench::write_json(&obs::Reporter::default(), "BENCH_kernels", &rows);
     rows
 }
 
 fn main() {
+    let rep = obs::Reporter::default();
     bench_force();
     bench_neighbor();
     bench_verlet_step();
     bench_analyses();
-    bench_parallel_speedup();
+    let rows = bench_parallel_speedup();
+
+    let mut metrics = Vec::new();
+    let us = |name: String, value: f64| Metric {
+        name,
+        value,
+        unit: "us".to_string(),
+        max: None,
+        tolerance_pct: None,
+    };
+    for r in &rows {
+        metrics.push(us(format!("{}_{}_serial_us", r.kernel, r.atoms), r.serial_us));
+        metrics.push(us(format!("{}_{}_t{}_us", r.kernel, r.atoms, r.threads), r.parallel_us));
+        metrics.push(Metric {
+            name: format!("{}_{}_speedup", r.kernel, r.atoms),
+            value: r.speedup,
+            unit: "x".to_string(),
+            max: None,
+            tolerance_pct: None,
+        });
+    }
+    let doc = BenchDoc {
+        bench: "md_kernels".to_string(),
+        profile: if bench::quick_mode() { "quick" } else { "full" }.to_string(),
+        metrics,
+    };
+    let dir = bench::results_dir();
+    let path = dir.join("BENCH_kernels.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, doc.to_json()))
+    {
+        rep.warn(format!("cannot write {}: {e}", path.display()));
+    } else {
+        rep.note(format!("wrote {}", path.display()));
+    }
 }

@@ -117,5 +117,10 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     write_json(&rep, "ablation", &rows);
-    cli::export_trace(&args, &rep, &JobConfig::new(spec(16, nodes, &[K::MsdFull]), "seesaw"));
+    cli::export_trace(
+        "ablation",
+        &args,
+        &rep,
+        &JobConfig::new(spec(16, nodes, &[K::MsdFull]), "seesaw"),
+    );
 }

@@ -1,0 +1,97 @@
+//! Audit one or more JSONL trace files from disk: parse strictly, run the
+//! invariant battery, print the derived summary.
+//!
+//! ```text
+//! audit_trace [--json DIR] [--quiet] FILE...
+//! ```
+//!
+//! Exits 1 when any file fails to parse or any invariant is violated —
+//! the offline counterpart of the `--audit` flag the experiment bins
+//! carry.
+
+use audit::{AuditReport, Trace};
+use obs::Reporter;
+use std::path::PathBuf;
+
+const BIN: &str = "audit_trace";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: {BIN} [--json DIR] [--quiet] FILE...\n\
+         \n\
+         \x20 --json DIR   also write audit_<file-stem>.json reports into DIR\n\
+         \x20 --quiet      only print failures\n\
+         \n\
+         parses each JSONL trace strictly, runs the invariant battery, and\n\
+         prints the derived report summary; exits 1 on parse errors or violations"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_dir = Some(PathBuf::from(argv.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => usage(),
+            file => files.push(PathBuf::from(file)),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        usage();
+    }
+    let rep = Reporter::new(quiet);
+
+    let mut failed = false;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{BIN}: cannot read {}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let trace = match Trace::parse_jsonl(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{BIN}: {}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let report = AuditReport::from_trace(&trace);
+        rep.say(format!("{}: {}", path.display(), report.summary()));
+        if let Some(dir) = &json_dir {
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+            let out = dir.join(format!("audit_{stem}.json"));
+            match std::fs::write(&out, report.to_json()) {
+                Ok(()) => rep.note(format!("wrote {}", out.display())),
+                Err(e) => {
+                    eprintln!("{BIN}: cannot write {}: {e}", out.display());
+                    failed = true;
+                }
+            }
+        }
+        if !report.clean() {
+            eprintln!("{BIN}: {}: {} violation(s)", path.display(), report.violations.len());
+            for v in &report.violations {
+                eprintln!("  {v}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

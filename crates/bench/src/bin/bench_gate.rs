@@ -1,0 +1,111 @@
+//! The perf-regression gate runner: diff fresh `BENCH_*.json` documents
+//! against the committed baselines under `results/`.
+//!
+//! ```text
+//! bench_gate --fresh /tmp/ci-results [--baseline results] [--quiet]
+//! ```
+//!
+//! For every known benchmark document present in the baseline directory,
+//! the fresh directory must contain a parseable counterpart that (a)
+//! respects its own absolute `max` bounds and (b) — when both documents
+//! were produced under the same profile — stays within each metric's
+//! declared `tolerance_pct` of the baseline value. Exits 1 on any
+//! failure, so `scripts/verify.sh` and CI can gate on it directly.
+
+use bench::gate::{compare, BenchDoc};
+use obs::Reporter;
+use std::path::{Path, PathBuf};
+
+const BIN: &str = "bench_gate";
+
+/// The benchmark documents the gate knows about.
+const DOCS: &[&str] = &["BENCH_trace.json", "BENCH_kernels.json"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: {BIN} --fresh DIR [--baseline DIR] [--quiet]\n\
+         \n\
+         \x20 --fresh DIR      directory holding freshly produced BENCH_*.json documents\n\
+         \x20 --baseline DIR   committed baselines (default: the repo's results/)\n\
+         \x20 --quiet          suppress per-document notes\n\
+         \n\
+         exits 1 when any fresh document is missing, malformed, over an absolute\n\
+         bound, or (same profile only) outside a metric's drift tolerance"
+    );
+    std::process::exit(2);
+}
+
+fn load(dir: &Path, name: &str) -> Result<BenchDoc, String> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    BenchDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut fresh_dir: Option<PathBuf> = None;
+    let mut baseline_dir: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fresh" => {
+                i += 1;
+                fresh_dir = Some(PathBuf::from(argv.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_dir = Some(PathBuf::from(argv.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(fresh_dir) = fresh_dir else { usage() };
+    let baseline_dir = baseline_dir.unwrap_or_else(bench::results_dir);
+    let rep = Reporter::new(quiet);
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut checked = 0;
+    for name in DOCS {
+        let baseline = match load(&baseline_dir, name) {
+            Ok(doc) => doc,
+            Err(e) => {
+                // No committed baseline yet: nothing to gate against.
+                rep.note(format!("skipping {name}: {e}"));
+                continue;
+            }
+        };
+        match load(&fresh_dir, name) {
+            Ok(fresh) => {
+                let fails = compare(&fresh, &baseline);
+                rep.note(format!(
+                    "{name}: {} metrics vs {} baseline ({} fresh profile, {} baseline) — {}",
+                    fresh.metrics.len(),
+                    baseline.metrics.len(),
+                    fresh.profile,
+                    baseline.profile,
+                    if fails.is_empty() { "ok" } else { "FAIL" }
+                ));
+                failures.extend(fails);
+                checked += 1;
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+
+    if checked == 0 && failures.is_empty() {
+        rep.warn("no benchmark documents found to gate".to_string());
+    }
+    if failures.is_empty() {
+        rep.say(format!("{BIN}: {checked} document(s) pass"));
+    } else {
+        eprintln!("{BIN}: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

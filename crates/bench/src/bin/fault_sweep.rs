@@ -130,5 +130,5 @@ fn main() {
     // sweep's JSON stays byte-identical whether or not tracing is on.
     let x = *intensities.last().expect("non-empty sweep");
     let plan = FaultPlan::generate(PLAN_SEED, &FaultIntensity::scaled(x), nodes, syncs);
-    cli::export_trace(&args, &rep, &base_cfg.clone().with_faults(plan));
+    cli::export_trace("fault_sweep", &args, &rep, &base_cfg.clone().with_faults(plan));
 }

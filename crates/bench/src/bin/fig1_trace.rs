@@ -99,5 +99,5 @@ fn main() {
         ),
     );
     write_json(&rep, "fig1_trace", &samples);
-    cli::export_trace(&args, &rep, &JobConfig::new(spec, "static"));
+    cli::export_trace("fig1_trace", &args, &rep, &JobConfig::new(spec, "static"));
 }

@@ -128,5 +128,5 @@ fn main() {
     write_json(&rep, "fig3_analyses", &rows);
     let mut spec = WorkloadSpec::paper(16, 128, 1, &[K::MsdFull]);
     spec.total_steps = total_steps();
-    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw"));
+    cli::export_trace("fig3_analyses", &args, &rep, &JobConfig::new(spec, "seesaw"));
 }

@@ -177,5 +177,5 @@ fn main() {
     write_json(&rep, "fig4_baseline", &baseline);
     // Representative traced run: the SeeSAw configuration of panel (a) —
     // its Perfetto export shows the per-node cap and phase lanes.
-    cli::export_trace(&args, &rep, &JobConfig::new(spec(), "seesaw"));
+    cli::export_trace("fig4_power_alloc", &args, &rep, &JobConfig::new(spec(), "seesaw"));
 }

@@ -84,5 +84,5 @@ fn main() {
     rep.say("time-aware approach drives the gap to δ_min and degrades severely even");
     rep.say("though its normalized slack looks near zero.");
     write_json(&rep, "fig5_scale", &points);
-    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw"));
+    cli::export_trace("fig5_scale", &args, &rep, &JobConfig::new(spec, "seesaw"));
 }

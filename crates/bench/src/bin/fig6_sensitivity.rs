@@ -81,5 +81,10 @@ fn main() {
     write_json(&rep, "fig6_sensitivity", &rows);
     let mut spec = WorkloadSpec::paper(48, nodes, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
     spec.total_steps = total_steps();
-    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw").with_window(ws[0]));
+    cli::export_trace(
+        "fig6_sensitivity",
+        &args,
+        &rep,
+        &JobConfig::new(spec, "seesaw").with_window(ws[0]),
+    );
 }

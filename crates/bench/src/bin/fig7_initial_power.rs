@@ -89,5 +89,5 @@ fn main() {
     let mut spec = WorkloadSpec::paper(36, 128, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
     spec.total_steps = total_steps();
     let cfg = JobConfig::new(spec, "seesaw").with_window(2).with_initial_caps(120.0, 100.0);
-    cli::export_trace(&args, &rep, &cfg);
+    cli::export_trace("fig7_initial_power", &args, &rep, &cfg);
 }

@@ -76,5 +76,10 @@ fn main() {
     let mut spec =
         WorkloadSpec::paper(16, 128, 1, &[K::MsdFull, K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
     spec.total_steps = total_steps();
-    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw").with_budget(110.0));
+    cli::export_trace(
+        "fig8_power_caps",
+        &args,
+        &rep,
+        &JobConfig::new(spec, "seesaw").with_budget(110.0),
+    );
 }

@@ -68,5 +68,5 @@ fn main() {
     write_json(&rep, "fig9_overhead", &rows);
     let mut spec = WorkloadSpec::paper(48, scales[0], 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
     spec.total_steps = total_steps();
-    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw"));
+    cli::export_trace("fig9_overhead", &args, &rep, &JobConfig::new(spec, "seesaw"));
 }

@@ -190,7 +190,7 @@ fn main() {
 
     // Representative traced run: the mixed scenario under energy
     // feedback, after the sweep so its JSON is unaffected by tracing.
-    if args.wants_trace() {
+    if args.wants_trace() || args.audit {
         let sc = &scs[0];
         let mut spec = MachineSpec::new(sc.nodes, sc.envelope_w, Policy::EnergyFeedback);
         spec.syncs_per_epoch = 5;
@@ -199,5 +199,6 @@ fn main() {
         s.set_tracer(&tracer);
         let _ = s.run();
         cli::write_trace_files(&args, &rep, &tracer);
+        cli::audit_tracer("machine_sweep", &args, &rep, &tracer);
     }
 }

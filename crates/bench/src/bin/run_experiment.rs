@@ -28,9 +28,11 @@ fn usage() -> ! {
                       [--analyses rdf,vacf,msd,msd1d,msd2d] [--budget W]
                       [--window W] [--seed S] [--sim-cap W --analysis-cap W]
                       [--no-baseline] [--dump-syncs] [--quiet]
-                      [--trace FILE] [--trace-perfetto FILE]
+                      [--trace FILE] [--trace-perfetto FILE] [--audit]
 
-env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply trace paths when the flags are absent"
+env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply trace paths when the flags are
+absent; SEESAW_AUDIT=1 turns on --audit (invariant battery over the controller
+run's trace; writes results/audit_run_experiment.json, exits 1 on violations)"
     );
     std::process::exit(2);
 }
@@ -90,6 +92,7 @@ fn main() {
             "--quiet" => common.quiet = true,
             "--trace" => common.trace = Some(val().into()),
             "--trace-perfetto" => common.perfetto = Some(val().into()),
+            "--audit" => common.audit = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("{BIN}: unknown flag {other:?}");
@@ -111,7 +114,11 @@ fn main() {
 
     // The controller run itself carries the tracer: `--trace` captures the
     // exact run being summarized, not a separate representative run.
-    let tracer = if common.wants_trace() { obs::Tracer::enabled() } else { obs::Tracer::off() };
+    let tracer = if common.wants_trace() || common.audit {
+        obs::Tracer::enabled()
+    } else {
+        obs::Tracer::off()
+    };
 
     if baseline && controller != "static" {
         let (ctl, base) = match run_paired_traced(&cfg, &tracer) {
@@ -144,6 +151,7 @@ fn main() {
         }
     }
     cli::write_trace_files(&common, &rep, &tracer);
+    cli::audit_tracer(BIN, &common, &rep, &tracer);
 }
 
 fn print_summary(rep: &Reporter, r: &RunResult) {

@@ -108,5 +108,5 @@ fn main() {
     write_json(&rep, "table1_variability", &rows);
     let mut spec = WorkloadSpec::paper(36, 128, 1, &[AnalysisKind::Rdf, AnalysisKind::Vacf]);
     spec.total_steps = steps;
-    cli::export_trace(&args, &rep, &JobConfig::new(spec, "static"));
+    cli::export_trace("table1_variability", &args, &rep, &JobConfig::new(spec, "static"));
 }

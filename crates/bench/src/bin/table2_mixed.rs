@@ -75,5 +75,5 @@ fn main() {
         AnalysisSchedule::every_sync(K::Vacf),
         AnalysisSchedule { kind: K::MsdFull, every: 4 },
     ];
-    cli::export_trace(&args, &rep, &JobConfig::new(spec, "seesaw"));
+    cli::export_trace("table2_mixed", &args, &rep, &JobConfig::new(spec, "seesaw"));
 }

@@ -1,11 +1,12 @@
 //! Shared CLI handling for the experiment bins.
 //!
 //! Every bin accepts the same common flags — `--quick`, `--quiet`,
-//! `--trace FILE`, `--trace-perfetto FILE` — parsed strictly: an unknown
-//! flag is a usage error (exit 2), never silently ignored. When the trace
-//! flags are absent the `SEESAW_TRACE` / `SEESAW_TRACE_PERFETTO`
-//! environment variables supply the paths, so sweeps driven by scripts can
-//! opt into tracing without touching each invocation.
+//! `--trace FILE`, `--trace-perfetto FILE`, `--audit` — parsed strictly:
+//! an unknown flag is a usage error (exit 2), never silently ignored.
+//! When the trace flags are absent the `SEESAW_TRACE` /
+//! `SEESAW_TRACE_PERFETTO` environment variables supply the paths, so
+//! sweeps driven by scripts can opt into tracing without touching each
+//! invocation; `SEESAW_AUDIT=1` likewise turns on `--audit`.
 
 use obs::Reporter;
 use std::path::PathBuf;
@@ -21,6 +22,10 @@ pub struct CommonArgs {
     pub trace: Option<PathBuf>,
     /// Write a Chrome-trace/Perfetto JSON export of the same run here.
     pub perfetto: Option<PathBuf>,
+    /// Audit the representative run's trace (`--audit`): run the
+    /// invariant battery, write `results/audit_<bin>.json`, and exit
+    /// nonzero on any violation.
+    pub audit: bool,
 }
 
 impl CommonArgs {
@@ -47,7 +52,8 @@ impl CommonArgs {
         self.trace.is_some() || self.perfetto.is_some()
     }
 
-    /// Fill unset trace paths from `SEESAW_TRACE` / `SEESAW_TRACE_PERFETTO`.
+    /// Fill unset trace paths from `SEESAW_TRACE` / `SEESAW_TRACE_PERFETTO`
+    /// and the audit flag from `SEESAW_AUDIT`.
     pub fn env_fallback(&mut self) {
         if self.trace.is_none() {
             if let Ok(p) = std::env::var("SEESAW_TRACE") {
@@ -63,6 +69,13 @@ impl CommonArgs {
                 }
             }
         }
+        if !self.audit {
+            if let Ok(p) = std::env::var("SEESAW_AUDIT") {
+                if p == "1" || p.eq_ignore_ascii_case("true") {
+                    self.audit = true;
+                }
+            }
+        }
     }
 }
 
@@ -75,6 +88,7 @@ pub fn try_parse(argv: &[String]) -> Result<CommonArgs, String> {
         match argv[i].as_str() {
             "--quick" => out.quick = true,
             "--quiet" => out.quiet = true,
+            "--audit" => out.audit = true,
             "--trace" => {
                 i += 1;
                 let p = argv.get(i).ok_or("--trace requires a file path")?;
@@ -96,14 +110,17 @@ pub fn try_parse(argv: &[String]) -> Result<CommonArgs, String> {
 /// The usage text for a bin accepting only the common flags.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--quick] [--quiet] [--trace FILE] [--trace-perfetto FILE]\n\
+        "usage: {bin} [--quick] [--quiet] [--trace FILE] [--trace-perfetto FILE] [--audit]\n\
          \n\
          \x20 --quick                 shrink the experiment for smoke tests\n\
          \x20 --quiet                 suppress progress output (results/* still written)\n\
          \x20 --trace FILE            write the JSONL event trace of a representative run\n\
          \x20 --trace-perfetto FILE   write a Chrome-trace/Perfetto JSON export\n\
+         \x20 --audit                 audit the representative run (invariant battery;\n\
+         \x20                         writes results/audit_{bin}.json, exits 1 on violations)\n\
          \n\
-         env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply the paths when the flags are absent"
+         env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply the paths when the flags are\n\
+         absent; SEESAW_AUDIT=1 turns on --audit"
     )
 }
 
@@ -116,12 +133,15 @@ pub fn usage_error(bin: &str, msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Run one representative traced run of `cfg` and write the requested
-/// exports. Called *after* a bin's main sweep so the sweep's own output
-/// (tables, `results/*.json`) is byte-identical whether or not tracing is
-/// on — the traced run is an extra run, not an instrumented sweep member.
-pub fn export_trace(args: &CommonArgs, rep: &Reporter, cfg: &insitu::JobConfig) {
-    if !args.wants_trace() {
+/// Run one representative traced run of `cfg`, write the requested
+/// exports, and audit the trace when `--audit` is on. Called *after* a
+/// bin's main sweep so the sweep's own output (tables, `results/*.json`)
+/// is byte-identical whether or not tracing is on — the traced run is an
+/// extra run, not an instrumented sweep member.
+///
+/// **Exits the process with status 1** when the audit finds violations.
+pub fn export_trace(bin: &str, args: &CommonArgs, rep: &Reporter, cfg: &insitu::JobConfig) {
+    if !args.wants_trace() && !args.audit {
         return;
     }
     let tracer = obs::Tracer::enabled();
@@ -130,6 +150,30 @@ pub fn export_trace(args: &CommonArgs, rep: &Reporter, cfg: &insitu::JobConfig) 
         return;
     }
     write_trace_files(args, rep, &tracer);
+    audit_tracer(bin, args, rep, &tracer);
+}
+
+/// Audit an already-filled tracer when `--audit` is on: write
+/// `results/audit_<bin>.json` and **exit 1** on violations.
+pub fn audit_tracer(bin: &str, args: &CommonArgs, rep: &Reporter, tracer: &obs::Tracer) {
+    if !args.audit {
+        return;
+    }
+    let trace = audit::Trace::from_tracer(tracer);
+    let report = audit::AuditReport::from_trace(&trace);
+    let path = crate::results_dir().join(format!("audit_{bin}.json"));
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => rep.note(format!("wrote {}", path.display())),
+        Err(e) => rep.warn(format!("cannot write {}: {e}", path.display())),
+    }
+    rep.note(report.summary());
+    if !report.clean() {
+        eprintln!("{bin}: trace audit FAILED with {} violation(s)", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Write the JSONL and/or Perfetto exports of an already-filled tracer.
@@ -161,10 +205,18 @@ mod tests {
         let a = try_parse(&argv(&["--quick", "--quiet"])).unwrap();
         assert!(a.quick && a.quiet);
         assert!(a.trace.is_none() && a.perfetto.is_none());
+        assert!(!a.audit);
         let a = try_parse(&argv(&["--trace", "t.jsonl", "--trace-perfetto", "p.json"])).unwrap();
         assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
         assert_eq!(a.perfetto.as_deref(), Some(std::path::Path::new("p.json")));
         assert!(a.wants_trace());
+    }
+
+    #[test]
+    fn audit_flag_parses() {
+        let a = try_parse(&argv(&["--audit"])).unwrap();
+        assert!(a.audit);
+        assert!(!a.wants_trace(), "--audit alone requests no trace files");
     }
 
     #[test]

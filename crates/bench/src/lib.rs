@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod gate;
 pub mod json;
 pub mod svg;
 

@@ -149,7 +149,6 @@ impl Controller for SeeSaw {
             if self.tracer.is_enabled() {
                 self.tracer
                     .emit(obs::Event::ControllerHold { sync: obs.step, reason: "corrupt_sample" });
-                self.tracer.count("holds");
             }
             return None;
         }
@@ -176,7 +175,6 @@ impl Controller for SeeSaw {
                     sync: obs.step,
                     reason: "degenerate_feedback",
                 });
-                self.tracer.count("holds");
             }
             return None;
         }
@@ -206,8 +204,10 @@ impl Controller for SeeSaw {
             let blend_ana_node = new_a / ana.nodes as f64;
             let clamped = (blend_sim_node - alloc.sim_node_w).abs() > 1e-9
                 || (blend_ana_node - alloc.analysis_node_w).abs() > 1e-9;
-            self.tracer.emit(obs::Event::Decision {
+            self.tracer.emit(obs::Event::Decision(Box::new(obs::DecisionInfo {
                 sync: obs.step,
+                sim_nodes: sim.nodes,
+                analysis_nodes: ana.nodes,
                 alpha_sim: LinearTask::from_observation(t_s, p_s).alpha(),
                 alpha_analysis: LinearTask::from_observation(t_a, p_a).alpha(),
                 p_opt_sim_w: opt.p_sim_w,
@@ -217,8 +217,7 @@ impl Controller for SeeSaw {
                 sim_node_w: alloc.sim_node_w,
                 analysis_node_w: alloc.analysis_node_w,
                 clamped,
-            });
-            self.tracer.count("decisions");
+            })));
         }
         self.prev =
             Some((alloc.sim_node_w * sim.nodes as f64, alloc.analysis_node_w * ana.nodes as f64));

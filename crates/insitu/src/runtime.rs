@@ -195,6 +195,14 @@ impl Runtime {
         self.tracer = tracer.clone();
         self.cluster.set_tracer(tracer);
         self.manager.set_tracer(tracer);
+        // Pre-size the event buffer so steady-state recording never
+        // reallocates: per sync, every node records its phase spans (~one
+        // per step-phase), two waits, an arrival, a cap request and a
+        // sample, plus a dozen controller-level events.
+        let spec = &self.cfg.workload;
+        let per_node = 4 * spec.sync_every as usize + 8;
+        let estimate = spec.sync_count() as usize * (spec.nodes_total() * per_node + 12) + 64;
+        self.tracer.reserve(estimate.min(1 << 24));
     }
 
     /// Run-to-run variability increases near the RAPL floor (paper
@@ -265,8 +273,19 @@ impl Runtime {
             let sync0 = sync_k - 1;
             self.tracer.set_now(t0);
             if self.tracer.is_enabled() {
+                if sync_k == 1 {
+                    // Run context header: what the audit layer checks budget
+                    // conservation and cap ranges against.
+                    self.tracer.emit(obs::Event::RunStart {
+                        sim_nodes: self.sim_nodes.len(),
+                        analysis_nodes: self.ana_nodes.len(),
+                        budget_w: self.cfg.budget_w(),
+                        min_cap_w: machine.min_cap_w,
+                        max_cap_w: machine.max_cap_w(),
+                        actuation_ns: machine.cap_actuation.as_nanos(),
+                    });
+                }
                 self.tracer.emit(obs::Event::SyncStart { sync: sync_k });
-                self.tracer.count("syncs");
             }
             let faults_before = self.fault_log.len();
             let recoveries_before = self.recovery_log.len();
@@ -279,7 +298,6 @@ impl Runtime {
                         tag: ev.kind.tag(),
                     });
                 }
-                self.tracer.count_n("faults", (self.fault_log.len() - faults_before) as u64);
             }
 
             // --- Watchdog: a partition with no survivors ends the coupled
@@ -439,6 +457,9 @@ impl Runtime {
             self.t = t_end;
             self.tracer.set_now(t_end);
             if self.tracer.is_enabled() {
+                // Land every node's batched span events (phases, waits,
+                // cap requests) before this interval's sync_end.
+                self.cluster.flush_trace();
                 for rec in &self.recovery_log[recoveries_before..] {
                     self.tracer.emit(obs::Event::Recovery {
                         sync: sync0,
@@ -446,11 +467,18 @@ impl Runtime {
                         tag: rec.kind.tag(),
                     });
                 }
-                self.tracer
-                    .count_n("recoveries", (self.recovery_log.len() - recoveries_before) as u64);
                 self.tracer.emit(obs::Event::SyncEnd {
                     sync: sync_k,
                     overhead_s: outcome.overhead.as_secs_f64(),
+                });
+                // True interval energy (a pure read of the draw series):
+                // the per-sync series tiles [0, T], so the audit layer can
+                // close it against the run total.
+                let all: Vec<usize> =
+                    self.sim_nodes.iter().chain(&self.ana_nodes).copied().collect();
+                self.tracer.emit(obs::Event::SyncEnergy {
+                    sync: sync_k,
+                    energy_j: self.cluster.total_energy(&all, t0, t_end),
                 });
             }
 
@@ -509,6 +537,18 @@ impl Runtime {
         } else {
             (None, None)
         };
+        if self.tracer.is_enabled() {
+            // Catch spans batched after the last interval close (halt paths).
+            self.cluster.flush_trace();
+            self.tracer.set_now(t);
+            for &node in &all_nodes {
+                self.tracer.emit(obs::Event::NodeEnergy {
+                    node,
+                    energy_j: self.cluster.total_energy(&[node], SimTime::ZERO, t),
+                });
+            }
+            self.tracer.emit(obs::Event::RunEnd { total_time_s, total_energy_j });
+        }
         let metrics = if self.tracer.is_enabled() { Some(self.tracer.metrics()) } else { None };
         RunResult {
             controller: self.cfg.controller.clone(),

@@ -11,11 +11,60 @@
 use des::SimTime;
 use std::fmt::Write as _;
 
+/// The payload of a [`Event::Decision`] (boxed: the decision carries by
+/// far the widest field set, and boxing it keeps the common variants —
+/// phases, waits, samples — small enough that the hot-path buffer push
+/// stays a short memcpy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionInfo {
+    /// Synchronization index of the closing observation.
+    pub sync: u64,
+    /// Simulation nodes the split was computed over.
+    pub sim_nodes: usize,
+    /// Analysis nodes the split was computed over.
+    pub analysis_nodes: usize,
+    /// `α_S = 1/(T_S·P_S)` over the window (Eq. 1).
+    pub alpha_sim: f64,
+    /// `α_A = 1/(T_A·P_A)` over the window (Eq. 1).
+    pub alpha_analysis: f64,
+    /// Analytic optimum for the simulation partition, watts (Eq. 2).
+    pub p_opt_sim_w: f64,
+    /// Analytic optimum for the analysis partition, watts (Eq. 2).
+    pub p_opt_analysis_w: f64,
+    /// Post-EWMA partition total, simulation, watts (Eqs. 3–4).
+    pub blend_sim_w: f64,
+    /// Post-EWMA partition total, analysis, watts (Eqs. 3–4).
+    pub blend_analysis_w: f64,
+    /// Final per-node cap, simulation partition, watts.
+    pub sim_node_w: f64,
+    /// Final per-node cap, analysis partition, watts.
+    pub analysis_node_w: f64,
+    /// Whether the δ-limits clamped the blended split.
+    pub clamped: bool,
+}
+
 /// One structured trace event (payload only; the timestamp lives in
 /// [`TraceEvent`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
-    // --- insitu runtime: synchronization epochs -------------------------
+    // --- insitu runtime: run header/footer and synchronization epochs ----
+    /// Run context header, emitted once before the first sync: everything
+    /// the audit layer needs to check budget conservation and cap ranges
+    /// without being handed the job config out of band.
+    RunStart {
+        /// Simulation-partition node count.
+        sim_nodes: usize,
+        /// Analysis-partition node count.
+        analysis_nodes: usize,
+        /// Global power budget, watts.
+        budget_w: f64,
+        /// RAPL range floor (δ_min), watts.
+        min_cap_w: f64,
+        /// RAPL range ceiling (δ_max = TDP), watts.
+        max_cap_w: f64,
+        /// RAPL actuation latency, nanoseconds.
+        actuation_ns: u64,
+    },
     /// A synchronization interval opened.
     SyncStart {
         /// 1-based synchronization index.
@@ -49,6 +98,30 @@ pub enum Event {
         sync: u64,
         /// Allocation overhead charged at interval end, seconds.
         overhead_s: f64,
+    },
+    /// True cluster energy over one closed interval, joules. The intervals
+    /// tile `[0, T]`, so these must sum to [`Event::RunEnd`]'s total — the
+    /// audit layer's energy identity.
+    SyncEnergy {
+        /// Synchronization index.
+        sync: u64,
+        /// Energy over `[t_start, t_end)` summed across all nodes, joules.
+        energy_j: f64,
+    },
+    /// Whole-run true energy of one node, joules (emitted at run end).
+    NodeEnergy {
+        /// Node id.
+        node: usize,
+        /// Energy over `[0, T)`, joules.
+        energy_j: f64,
+    },
+    /// Run footer: the totals every per-interval and per-node energy
+    /// series must close against.
+    RunEnd {
+        /// Total simulated run time, seconds.
+        total_time_s: f64,
+        /// Total true energy, joules.
+        total_energy_j: f64,
     },
 
     // --- theta-sim: node activity and RAPL actuation --------------------
@@ -139,28 +212,7 @@ pub enum Event {
 
     // --- seesaw controller: decision internals ---------------------------
     /// One SeeSAw window closed and produced an allocation (Eqs. 1–4).
-    Decision {
-        /// Synchronization index of the closing observation.
-        sync: u64,
-        /// `α_S = 1/(T_S·P_S)` over the window (Eq. 1).
-        alpha_sim: f64,
-        /// `α_A = 1/(T_A·P_A)` over the window (Eq. 1).
-        alpha_analysis: f64,
-        /// Analytic optimum for the simulation partition, watts (Eq. 2).
-        p_opt_sim_w: f64,
-        /// Analytic optimum for the analysis partition, watts (Eq. 2).
-        p_opt_analysis_w: f64,
-        /// Post-EWMA partition total, simulation, watts (Eqs. 3–4).
-        blend_sim_w: f64,
-        /// Post-EWMA partition total, analysis, watts (Eqs. 3–4).
-        blend_analysis_w: f64,
-        /// Final per-node cap, simulation partition, watts.
-        sim_node_w: f64,
-        /// Final per-node cap, analysis partition, watts.
-        analysis_node_w: f64,
-        /// Whether the δ-limits clamped the blended split.
-        clamped: bool,
-    },
+    Decision(Box<DecisionInfo>),
     /// The controller held the current caps instead of allocating.
     ControllerHold {
         /// Synchronization index.
@@ -170,6 +222,14 @@ pub enum Event {
     },
 
     // --- sched: machine-level job scheduling ------------------------------
+    /// Machine scheduler header, emitted once when the epoch loop starts:
+    /// the envelope every [`Event::MachineBudget`] division must sum to.
+    MachineStart {
+        /// Machine node count.
+        nodes: usize,
+        /// Machine power envelope, watts.
+        envelope_w: f64,
+    },
     /// A job entered the machine queue.
     JobArrived {
         /// Job id (queue ordinal).
@@ -231,10 +291,14 @@ impl Event {
     /// Stable lowercase tag identifying the variant in serialized output.
     pub fn tag(&self) -> &'static str {
         match self {
+            Event::RunStart { .. } => "run_start",
             Event::SyncStart { .. } => "sync_start",
             Event::Arrival { .. } => "arrival",
             Event::Rendezvous { .. } => "rendezvous",
             Event::SyncEnd { .. } => "sync_end",
+            Event::SyncEnergy { .. } => "sync_energy",
+            Event::NodeEnergy { .. } => "node_energy",
+            Event::RunEnd { .. } => "run_end",
             Event::Phase { .. } => "phase",
             Event::Wait { .. } => "wait",
             Event::CapRequest { .. } => "cap_request",
@@ -245,8 +309,9 @@ impl Event {
             Event::NodeExcluded { .. } => "node_excluded",
             Event::BudgetRenormalized { .. } => "budget_renormalized",
             Event::AllocationHeld { .. } => "allocation_held",
-            Event::Decision { .. } => "decision",
+            Event::Decision(_) => "decision",
             Event::ControllerHold { .. } => "controller_hold",
+            Event::MachineStart { .. } => "machine_start",
             Event::JobArrived { .. } => "job_arrived",
             Event::JobStarted { .. } => "job_started",
             Event::JobCompleted { .. } => "job_completed",
@@ -279,6 +344,21 @@ impl TraceEvent {
     pub fn write_json(&self, out: &mut String) {
         let _ = write!(out, "{{\"t\":{},\"ev\":\"{}\"", self.t.as_nanos(), self.ev.tag());
         match &self.ev {
+            Event::RunStart {
+                sim_nodes,
+                analysis_nodes,
+                budget_w,
+                min_cap_w,
+                max_cap_w,
+                actuation_ns,
+            } => {
+                field_usize(out, "sim_nodes", *sim_nodes);
+                field_usize(out, "analysis_nodes", *analysis_nodes);
+                field_f64(out, "budget_w", *budget_w);
+                field_f64(out, "min_cap_w", *min_cap_w);
+                field_f64(out, "max_cap_w", *max_cap_w);
+                field_u64(out, "actuation_ns", *actuation_ns);
+            }
             Event::SyncStart { sync } => {
                 field_u64(out, "sync", *sync);
             }
@@ -297,6 +377,18 @@ impl TraceEvent {
             Event::SyncEnd { sync, overhead_s } => {
                 field_u64(out, "sync", *sync);
                 field_f64(out, "overhead_s", *overhead_s);
+            }
+            Event::SyncEnergy { sync, energy_j } => {
+                field_u64(out, "sync", *sync);
+                field_f64(out, "energy_j", *energy_j);
+            }
+            Event::NodeEnergy { node, energy_j } => {
+                field_usize(out, "node", *node);
+                field_f64(out, "energy_j", *energy_j);
+            }
+            Event::RunEnd { total_time_s, total_energy_j } => {
+                field_f64(out, "total_time_s", *total_time_s);
+                field_f64(out, "total_energy_j", *total_energy_j);
             }
             Event::Phase { node, kind, start_ns, end_ns } => {
                 field_usize(out, "node", *node);
@@ -343,32 +435,27 @@ impl TraceEvent {
             Event::AllocationHeld { sync } => {
                 field_u64(out, "sync", *sync);
             }
-            Event::Decision {
-                sync,
-                alpha_sim,
-                alpha_analysis,
-                p_opt_sim_w,
-                p_opt_analysis_w,
-                blend_sim_w,
-                blend_analysis_w,
-                sim_node_w,
-                analysis_node_w,
-                clamped,
-            } => {
-                field_u64(out, "sync", *sync);
-                field_f64(out, "alpha_sim", *alpha_sim);
-                field_f64(out, "alpha_analysis", *alpha_analysis);
-                field_f64(out, "p_opt_sim_w", *p_opt_sim_w);
-                field_f64(out, "p_opt_analysis_w", *p_opt_analysis_w);
-                field_f64(out, "blend_sim_w", *blend_sim_w);
-                field_f64(out, "blend_analysis_w", *blend_analysis_w);
-                field_f64(out, "sim_node_w", *sim_node_w);
-                field_f64(out, "analysis_node_w", *analysis_node_w);
-                field_bool(out, "clamped", *clamped);
+            Event::Decision(d) => {
+                field_u64(out, "sync", d.sync);
+                field_usize(out, "sim_nodes", d.sim_nodes);
+                field_usize(out, "analysis_nodes", d.analysis_nodes);
+                field_f64(out, "alpha_sim", d.alpha_sim);
+                field_f64(out, "alpha_analysis", d.alpha_analysis);
+                field_f64(out, "p_opt_sim_w", d.p_opt_sim_w);
+                field_f64(out, "p_opt_analysis_w", d.p_opt_analysis_w);
+                field_f64(out, "blend_sim_w", d.blend_sim_w);
+                field_f64(out, "blend_analysis_w", d.blend_analysis_w);
+                field_f64(out, "sim_node_w", d.sim_node_w);
+                field_f64(out, "analysis_node_w", d.analysis_node_w);
+                field_bool(out, "clamped", d.clamped);
             }
             Event::ControllerHold { sync, reason } => {
                 field_u64(out, "sync", *sync);
                 field_str(out, "reason", reason);
+            }
+            Event::MachineStart { nodes, envelope_w } => {
+                field_usize(out, "nodes", *nodes);
+                field_f64(out, "envelope_w", *envelope_w);
             }
             Event::JobArrived { job } => {
                 field_usize(out, "job", *job);

@@ -10,8 +10,9 @@
 //!
 //! - [`Tracer`] — a cloneable sink handle threaded through the stack.
 //!   Disabled (the default) it is a `None` branch: no allocation, no
-//!   locking, no formatting. Enabled it buffers typed [`Event`]s plus
-//!   named counters and scalar series.
+//!   locking, no formatting. Enabled it buffers typed [`Event`]s — one
+//!   lock and one `Vec` push per event; counters and scalar series are
+//!   derived from the buffer at export time, never aggregated per event.
 //! - [`Event`] / [`TraceEvent`] — the typed schema covering runtime sync
 //!   epochs, node phase/wait spans, RAPL cap actuation, power-manager
 //!   measurement and exchange, SeeSAw decision internals, and fault
@@ -29,14 +30,12 @@
 //! `SEESAW_TRACE_PERFETTO` environment variables.
 #![warn(missing_docs)]
 
-mod check;
 mod event;
 mod perfetto;
 mod report;
 mod sink;
 
-pub use check::is_valid_json;
-pub use event::{to_jsonl, Event, TraceEvent};
+pub use event::{to_jsonl, DecisionInfo, Event, TraceEvent};
 pub use perfetto::chrome_trace;
 pub use report::Reporter;
 pub use sink::{RunMetrics, StatSummary, Tracer};

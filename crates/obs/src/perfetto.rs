@@ -129,12 +129,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     instant("rendezvous", CONTROLLER_PID, t_ns, &args),
                 );
             }
-            Event::Decision { sync, sim_node_w, analysis_node_w, clamped, .. } => {
+            Event::Decision(d) => {
                 controller_used = true;
                 let args = format!(
-                    "\"sync\":{sync},\"sim_node_w\":{},\"analysis_node_w\":{},\"clamped\":{clamped}",
-                    f(*sim_node_w),
-                    f(*analysis_node_w)
+                    "\"sync\":{},\"sim_node_w\":{},\"analysis_node_w\":{},\"clamped\":{}",
+                    d.sync,
+                    f(d.sim_node_w),
+                    f(d.analysis_node_w),
+                    d.clamped
                 );
                 push(
                     &mut entries,
@@ -214,10 +216,25 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                 let args = format!("\"tag\":\"{tag}\"");
                 push(&mut entries, t_ns, *node, instant("recovery", *node, t_ns, &args));
             }
-            Event::Arrival { .. } => {
-                // Covered by the per-node wait spans and rendezvous instants.
+            Event::SyncEnergy { sync: _, energy_j } => {
+                controller_used = true;
+                push(
+                    &mut entries,
+                    t_ns,
+                    CONTROLLER_PID,
+                    counter("sync_energy_j", CONTROLLER_PID, t_ns, *energy_j),
+                );
             }
-            Event::JobArrived { .. }
+            Event::Arrival { .. } | Event::RunStart { .. } | Event::RunEnd { .. } => {
+                // Arrivals are covered by the per-node wait spans and
+                // rendezvous instants; the run header/footer are audit
+                // context, not timeline content.
+            }
+            Event::NodeEnergy { .. } => {
+                // A whole-run scalar per node; no sensible timeline shape.
+            }
+            Event::MachineStart { .. }
+            | Event::JobArrived { .. }
             | Event::JobStarted { .. }
             | Event::JobCompleted { .. }
             | Event::JobKilled { .. }

@@ -1,17 +1,21 @@
 //! The trace sink: a cheap, cloneable handle that is either **off** (a
 //! `None` branch — the disabled path does no allocation, no locking, and
-//! no formatting) or **on** (an `Arc` around buffered events, counters and
-//! histograms).
+//! no formatting) or **on** (an `Arc` around one buffered event vector).
 //!
 //! One tracer belongs to one run. Events are appended in program order of
 //! the run that owns the tracer; since a run executes on a single worker
 //! thread (the `par` pool parallelizes *across* runs, not within one),
 //! the buffer order — and therefore the serialized trace — is a pure
 //! function of the run's inputs.
+//!
+//! The enabled hot path is a single uncontended lock and a `Vec` push:
+//! counters and histograms are **derived from the events at export time**
+//! ([`RunMetrics::from_events`]), never aggregated per event, and callers
+//! that know their run's shape pre-size the buffer via [`Tracer::reserve`]
+//! so steady-state recording never reallocates.
 
 use crate::event::{to_jsonl, Event, TraceEvent};
 use des::SimTime;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -27,6 +31,9 @@ struct StatAcc {
 
 impl StatAcc {
     fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         self.count += 1;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
@@ -88,6 +95,85 @@ impl RunMetrics {
     pub fn stat(&self, name: &str) -> Option<&StatSummary> {
         self.stats.iter().find(|s| s.name == name)
     }
+
+    /// Derive the counter and histogram summary from an event buffer.
+    /// Every series is 1:1 with an event kind, so nothing needs to be
+    /// aggregated while the run is hot — this walk happens once at export.
+    /// The walk itself uses fixed slots (an array increment per event, no
+    /// map lookups): it runs over every traced run's full buffer, so it is
+    /// part of the measured tracing overhead.
+    pub fn from_events(events: &[TraceEvent]) -> RunMetrics {
+        // Name-sorted counter slots; assembly below relies on the order.
+        const NAMES: [&str; 11] = [
+            "cap_requests",
+            "decisions",
+            "exchanges",
+            "faults",
+            "holds",
+            "phases",
+            "recoveries",
+            "samples",
+            "samples_rejected",
+            "syncs",
+            "waits",
+        ];
+        let mut counts = [0u64; NAMES.len()];
+        // Stat series, name-sorted: interval_s, overhead_s, wait_s. A
+        // series exists once its event kind occurred (even if every value
+        // was non-finite and therefore unobserved).
+        let mut stats = [StatAcc::default(); 3];
+        let mut seen = [false; 3];
+        for te in events {
+            match &te.ev {
+                Event::SyncStart { .. } => counts[9] += 1,
+                Event::Phase { .. } => counts[5] += 1,
+                Event::Wait { start_ns, end_ns, .. } => {
+                    counts[10] += 1;
+                    seen[2] = true;
+                    stats[2].observe(end_ns.saturating_sub(*start_ns) as f64 / 1e9);
+                }
+                Event::CapRequest { .. } => counts[0] += 1,
+                Event::Sample { time_s, .. } => {
+                    counts[7] += 1;
+                    seen[0] = true;
+                    stats[0].observe(*time_s);
+                }
+                Event::SampleRejected { .. } => counts[8] += 1,
+                Event::ExchangeDone { overhead_s, .. } => {
+                    counts[2] += 1;
+                    seen[1] = true;
+                    stats[1].observe(*overhead_s);
+                }
+                Event::Decision(_) => counts[1] += 1,
+                Event::ControllerHold { .. } => counts[4] += 1,
+                Event::Fault { .. } => counts[3] += 1,
+                Event::Recovery { .. } => counts[6] += 1,
+                _ => {}
+            }
+        }
+        RunMetrics {
+            events: events.len() as u64,
+            counters: NAMES
+                .iter()
+                .zip(counts)
+                .filter(|&(_, v)| v > 0)
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            stats: ["interval_s", "overhead_s", "wait_s"]
+                .iter()
+                .zip(stats)
+                .zip(seen)
+                .filter(|&(_, s)| s)
+                .map(|((k, a), _)| StatSummary {
+                    name: k.to_string(),
+                    count: a.count,
+                    min: if a.count == 0 { 0.0 } else { a.min },
+                    max: if a.count == 0 { 0.0 } else { a.max },
+                    sum: a.sum,
+                })
+                .collect(),
+        }
+    }
 }
 
 struct Inner {
@@ -97,8 +183,6 @@ struct Inner {
     /// every call signature.
     now_ns: AtomicU64,
     events: Mutex<Vec<TraceEvent>>,
-    counters: Mutex<BTreeMap<&'static str, u64>>,
-    stats: Mutex<BTreeMap<&'static str, StatAcc>>,
 }
 
 /// A handle to one run's trace. Cloning is cheap (an `Arc` bump when
@@ -115,12 +199,7 @@ impl Tracer {
 
     /// An enabled tracer with an empty buffer.
     pub fn enabled() -> Self {
-        Tracer(Some(Arc::new(Inner {
-            now_ns: AtomicU64::new(0),
-            events: Mutex::new(Vec::new()),
-            counters: Mutex::new(BTreeMap::new()),
-            stats: Mutex::new(BTreeMap::new()),
-        })))
+        Tracer(Some(Arc::new(Inner { now_ns: AtomicU64::new(0), events: Mutex::new(Vec::new()) })))
     }
 
     /// Whether events are being recorded. Hot call sites gate event
@@ -128,6 +207,17 @@ impl Tracer {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// Pre-size the event buffer for roughly `additional` more events, so
+    /// steady-state recording never pays a reallocation-and-copy. Callers
+    /// that can estimate their run's event volume (the runtime knows its
+    /// sync count and node count) should call this once up front; a
+    /// generous overestimate costs only address space.
+    pub fn reserve(&self, additional: usize) {
+        if let Some(inner) = &self.0 {
+            inner.events.lock().expect("trace buffer poisoned").reserve(additional);
+        }
     }
 
     /// Advance the shared sim-time stamp used by [`Tracer::emit`].
@@ -164,28 +254,17 @@ impl Tracer {
         }
     }
 
-    /// Bump a named counter by 1.
-    #[inline]
-    pub fn count(&self, name: &'static str) {
-        self.count_n(name, 1);
-    }
-
-    /// Bump a named counter by `n`.
-    #[inline]
-    pub fn count_n(&self, name: &'static str, n: u64) {
+    /// Move a batch of pre-stamped events into the buffer under **one**
+    /// lock acquisition, clearing `buf` (its capacity is retained). Hot
+    /// emitters that own their events (`&mut self` call sites) batch into
+    /// a local scratch and drain per synchronization interval — one lock
+    /// per interval instead of one per event. On a disabled tracer the
+    /// batch is discarded.
+    pub fn emit_drain(&self, buf: &mut Vec<TraceEvent>) {
         if let Some(inner) = &self.0 {
-            *inner.counters.lock().expect("counters poisoned").entry(name).or_insert(0) += n;
-        }
-    }
-
-    /// Record one observation of a named scalar series. Non-finite values
-    /// are dropped (they would poison min/max/sum).
-    #[inline]
-    pub fn observe(&self, name: &'static str, value: f64) {
-        if let Some(inner) = &self.0 {
-            if value.is_finite() {
-                inner.stats.lock().expect("stats poisoned").entry(name).or_default().observe(value);
-            }
+            inner.events.lock().expect("trace buffer poisoned").append(buf);
+        } else {
+            buf.clear();
         }
     }
 
@@ -212,36 +291,21 @@ impl Tracer {
 
     /// Serialize the buffer as JSONL.
     pub fn to_jsonl(&self) -> String {
-        to_jsonl(&self.events())
+        match &self.0 {
+            Some(inner) => to_jsonl(&inner.events.lock().expect("trace buffer poisoned")),
+            None => String::new(),
+        }
     }
 
-    /// Summarize counters and stat series (plus the event count).
+    /// Summarize counters and stat series (plus the event count), derived
+    /// from the buffered events.
     pub fn metrics(&self) -> RunMetrics {
-        let Some(inner) = &self.0 else {
-            return RunMetrics::default();
-        };
-        let events = inner.events.lock().expect("trace buffer poisoned").len() as u64;
-        let counters = inner
-            .counters
-            .lock()
-            .expect("counters poisoned")
-            .iter()
-            .map(|(&k, &v)| (k.to_string(), v))
-            .collect();
-        let stats = inner
-            .stats
-            .lock()
-            .expect("stats poisoned")
-            .iter()
-            .map(|(&k, a)| StatSummary {
-                name: k.to_string(),
-                count: a.count,
-                min: if a.count == 0 { 0.0 } else { a.min },
-                max: if a.count == 0 { 0.0 } else { a.max },
-                sum: a.sum,
-            })
-            .collect();
-        RunMetrics { events, counters, stats }
+        match &self.0 {
+            Some(inner) => {
+                RunMetrics::from_events(&inner.events.lock().expect("trace buffer poisoned"))
+            }
+            None => RunMetrics::default(),
+        }
     }
 }
 
@@ -263,8 +327,6 @@ mod tests {
         let t = Tracer::off();
         t.set_now(SimTime::from_nanos(5));
         t.emit(Event::SyncStart { sync: 1 });
-        t.count("syncs");
-        t.observe("wait_s", 1.0);
         assert!(!t.is_enabled());
         assert!(t.is_empty());
         assert_eq!(t.metrics(), RunMetrics::default());
@@ -291,30 +353,42 @@ mod tests {
     }
 
     #[test]
-    fn counters_and_stats_summarize() {
+    fn metrics_derive_counters_and_stats_from_events() {
         let t = Tracer::enabled();
-        t.count("syncs");
-        t.count_n("syncs", 2);
-        t.observe("wait_s", 1.0);
-        t.observe("wait_s", 3.0);
-        t.observe("wait_s", f64::NAN); // dropped
+        t.emit(Event::SyncStart { sync: 1 });
+        t.emit(Event::Wait { node: 0, start_ns: 0, end_ns: 1_000_000_000 });
+        t.emit(Event::Wait { node: 1, start_ns: 0, end_ns: 3_000_000_000 });
+        t.emit(Event::Sample { node: 0, role: "sim", time_s: 2.5, power_w: 110.0, cap_w: 115.0 });
         let m = t.metrics();
-        assert_eq!(m.counter("syncs"), 3);
-        let s = m.stat("wait_s").expect("series exists");
-        assert_eq!(s.count, 2);
-        assert_eq!(s.min, 1.0);
-        assert_eq!(s.max, 3.0);
-        assert_eq!(s.mean(), 2.0);
+        assert_eq!(m.events, 4);
+        assert_eq!(m.counter("syncs"), 1);
+        assert_eq!(m.counter("waits"), 2);
+        assert_eq!(m.counter("samples"), 1);
         assert_eq!(m.counter("absent"), 0);
+        let w = m.stat("wait_s").expect("series exists");
+        assert_eq!(w.count, 2);
+        assert_eq!(w.min, 1.0);
+        assert_eq!(w.max, 3.0);
+        assert_eq!(w.mean(), 2.0);
+        assert_eq!(m.stat("interval_s").expect("series exists").sum, 2.5);
     }
 
     #[test]
     fn metrics_counters_are_name_sorted() {
         let t = Tracer::enabled();
-        t.count("zeta");
-        t.count("alpha");
+        t.emit(Event::Wait { node: 0, start_ns: 0, end_ns: 1 });
+        t.emit(Event::SyncStart { sync: 1 });
         let m = t.metrics();
         let names: Vec<&str> = m.counters.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(names, ["syncs", "waits"]);
+    }
+
+    #[test]
+    fn reserve_is_a_no_op_on_disabled_tracers() {
+        Tracer::off().reserve(1 << 20);
+        let t = Tracer::enabled();
+        t.reserve(128);
+        t.emit(Event::SyncStart { sync: 1 });
+        assert_eq!(t.len(), 1);
     }
 }

@@ -287,7 +287,6 @@ impl PowerManager {
             self.rejected_samples += 1;
             if self.tracer.is_enabled() {
                 self.tracer.emit(obs::Event::SampleRejected { node: interval.node });
-                self.tracer.count("samples_rejected");
             }
             return false;
         }
@@ -299,8 +298,6 @@ impl PowerManager {
                 power_w: interval.power_w,
                 cap_w: interval.cap_w,
             });
-            self.tracer.count("samples");
-            self.tracer.observe("interval_s", interval.time_s);
         }
         self.acc.push(interval);
         true
@@ -349,8 +346,6 @@ impl PowerManager {
                     overhead_s: overhead.as_secs_f64(),
                     decided: false,
                 });
-                self.tracer.count("exchanges");
-                self.tracer.observe("overhead_s", overhead.as_secs_f64());
             }
             return AllocOutcome { allocation: None, overhead, recoveries };
         }
@@ -398,8 +393,6 @@ impl PowerManager {
                 overhead_s: overhead.as_secs_f64(),
                 decided: allocation.is_some(),
             });
-            self.tracer.count("exchanges");
-            self.tracer.observe("overhead_s", overhead.as_secs_f64());
         }
         AllocOutcome { allocation, overhead, recoveries }
     }

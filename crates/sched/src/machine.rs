@@ -218,6 +218,13 @@ impl Scheduler {
 
     /// Run the machine until every job is terminal (or `max_epochs`).
     pub fn run(mut self) -> MachineResult {
+        if self.tracer.is_enabled() {
+            self.tracer.set_now(self.machine_t);
+            self.tracer.emit(obs::Event::MachineStart {
+                nodes: self.spec.nodes,
+                envelope_w: self.spec.envelope_w,
+            });
+        }
         for epoch in 0..self.spec.max_epochs {
             self.fire_kills(epoch);
             self.admit_arrivals(epoch);

@@ -133,6 +133,14 @@ impl Cluster {
         }
     }
 
+    /// Drain every node's locally buffered span events into the tracer,
+    /// in node-id order (so the flushed order is deterministic).
+    pub fn flush_trace(&mut self) {
+        for node in &mut self.nodes {
+            node.flush_trace();
+        }
+    }
+
     /// Request a per-node cap on every node in `ids` at time `now`.
     /// Returns the clamped per-node value accepted by RAPL.
     pub fn request_cap(&mut self, now: SimTime, ids: &[usize], per_node_w: f64) -> f64 {

@@ -21,6 +21,10 @@ pub struct Node {
     last_draw_w: f64,
     /// Sim-time trace sink (off by default; a `None` branch when disabled).
     tracer: obs::Tracer,
+    /// Local scratch for span events (phases, waits, cap requests): the
+    /// node owns its emission order, so spans batch here lock-free and
+    /// drain into the tracer once per interval via [`Node::flush_trace`].
+    span_buf: Vec<obs::TraceEvent>,
 }
 
 impl Node {
@@ -37,12 +41,22 @@ impl Node {
             busy_until: SimTime::ZERO,
             last_draw_w: 0.0,
             tracer: obs::Tracer::off(),
+            span_buf: Vec::new(),
         }
     }
 
     /// Attach a trace sink (pass [`obs::Tracer::off`] to detach).
     pub fn set_tracer(&mut self, tracer: obs::Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Drain locally buffered span events into the tracer (one lock).
+    /// The runtime calls this at every interval close — and once more at
+    /// run end — so spans always land before their interval's `sync_end`.
+    pub fn flush_trace(&mut self) {
+        if !self.span_buf.is_empty() {
+            self.tracer.emit_drain(&mut self.span_buf);
+        }
     }
 
     /// Node identifier.
@@ -68,16 +82,15 @@ impl Node {
             // Actuation latency: when the request is a no-op or the PCU is
             // stuck, enforcement never changes — report the request time.
             let effective = self.rapl.next_change_after(now).unwrap_or(now);
-            self.tracer.emit_at(
-                now,
-                obs::Event::CapRequest {
+            self.span_buf.push(obs::TraceEvent {
+                t: now,
+                ev: obs::Event::CapRequest {
                     node: self.id,
                     requested_w: watts,
                     granted_w: granted,
                     effective_ns: effective.as_nanos(),
                 },
-            );
-            self.tracer.count("cap_requests");
+            });
         }
         granted
     }
@@ -145,16 +158,15 @@ impl Node {
         }
         self.busy_until = t;
         if self.tracer.is_enabled() {
-            self.tracer.emit_at(
-                start,
-                obs::Event::Phase {
+            self.span_buf.push(obs::TraceEvent {
+                t: start,
+                ev: obs::Event::Phase {
                     node: self.id,
                     kind: work.kind.tag(),
                     start_ns: start.as_nanos(),
                     end_ns: t.as_nanos(),
                 },
-            );
-            self.tracer.count("phases");
+            });
         }
         t
     }
@@ -183,16 +195,14 @@ impl Node {
         }
         self.busy_until = until;
         if self.tracer.is_enabled() {
-            self.tracer.emit_at(
-                from,
-                obs::Event::Wait {
+            self.span_buf.push(obs::TraceEvent {
+                t: from,
+                ev: obs::Event::Wait {
                     node: self.id,
                     start_ns: from.as_nanos(),
                     end_ns: until.as_nanos(),
                 },
-            );
-            self.tracer.count("waits");
-            self.tracer.observe("wait_s", until.saturating_since(from).as_secs_f64());
+            });
         }
     }
 

@@ -21,7 +21,7 @@ a="$(mktemp -d)"
 b="$(mktemp -d)"
 c="$(mktemp -d)"
 trap 'rm -rf "$a" "$b" "$c"' EXIT
-SEESAW_RESULTS_DIR="$a" ./target/release/fault_sweep --quick >/dev/null
+SEESAW_RESULTS_DIR="$a" ./target/release/fault_sweep --quick --audit >/dev/null
 SEESAW_RESULTS_DIR="$b" ./target/release/fault_sweep --quick >/dev/null
 diff "$a/fault_sweep.json" "$b/fault_sweep.json"
 
@@ -32,26 +32,34 @@ diff "$c/fault_sweep.json" results/fault_sweep.json
 echo "==> scheduler invariants: cargo test -p sched"
 cargo test -q --offline -p sched
 
-echo "==> machine determinism: machine_sweep at POLIMER_THREADS=1 vs 4 vs committed JSON"
-SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 ./target/release/machine_sweep --quiet >/dev/null
-SEESAW_RESULTS_DIR="$b" POLIMER_THREADS=4 ./target/release/machine_sweep --quiet >/dev/null
+echo "==> machine determinism: machine_sweep at POLIMER_THREADS=1 vs 4 vs committed JSON (audited)"
+SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 ./target/release/machine_sweep --quiet --audit >/dev/null
+SEESAW_RESULTS_DIR="$b" POLIMER_THREADS=4 ./target/release/machine_sweep --quiet --audit >/dev/null
 diff "$a/machine_sweep.json" "$b/machine_sweep.json"
 diff "$b/machine_sweep.json" results/machine_sweep.json
+diff "$a/audit_machine_sweep.json" "$b/audit_machine_sweep.json"
 
-echo "==> trace determinism: run_experiment JSONL at POLIMER_THREADS=1 vs 4"
-SEESAW_TRACE="$c/t1.jsonl" POLIMER_THREADS=1 \
+echo "==> trace determinism: run_experiment JSONL + audit report at POLIMER_THREADS=1 vs 4"
+SEESAW_TRACE="$c/t1.jsonl" SEESAW_AUDIT=1 SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 \
     ./target/release/run_experiment --nodes 8 --dim 16 --steps 40 --analyses vacf --quiet
-SEESAW_TRACE="$c/t4.jsonl" POLIMER_THREADS=4 \
+SEESAW_TRACE="$c/t4.jsonl" SEESAW_AUDIT=1 SEESAW_RESULTS_DIR="$b" POLIMER_THREADS=4 \
     ./target/release/run_experiment --nodes 8 --dim 16 --steps 40 --analyses vacf --quiet
 diff "$c/t1.jsonl" "$c/t4.jsonl"
 test -s "$c/t1.jsonl"
+diff "$a/audit_run_experiment.json" "$b/audit_run_experiment.json"
+
+echo "==> trace audit: invariant battery over the serialized trace"
+./target/release/audit_trace --quiet "$c/t1.jsonl"
 
 echo "==> kernel speedup record: md_kernels serial-vs-parallel bench"
 SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench md_kernels -- --quick
 test -s "$c/BENCH_kernels.json"
 
-echo "==> tracing overhead record: trace_overhead on/off bench"
+echo "==> tracing overhead record: trace_overhead on/off bench (<50% gate)"
 SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench trace_overhead -- --quick
 test -s "$c/BENCH_trace.json"
 
-echo "OK: build + tests green, clippy + fmt clean, sweeps and traces thread-count invariant"
+echo "==> perf-regression gate: bench_gate vs committed baselines"
+./target/release/bench_gate --fresh "$c" --quiet
+
+echo "OK: build + tests green, clippy + fmt clean, sweeps/traces thread-count invariant, audits clean, bench gate passed"

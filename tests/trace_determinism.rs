@@ -5,16 +5,19 @@
 //! `POLIMER_THREADS` settings — the same contract PR 1/PR 2 established
 //! for results. These tests also gate the zero-behavioural-footprint
 //! property (tracing on/off never changes what the run computes) and the
-//! exporters' well-formedness (valid JSON, monotone Chrome-trace
-//! timestamps).
+//! exporters' well-formedness, validated by the `audit` crate's strict
+//! parser: every line must round-trip **byte-for-byte** through
+//! [`audit::AuditEvent`], and the Chrome-trace document must parse under
+//! [`audit::json`] with monotone timestamps.
 
+use audit::{AuditEvent, Trace};
 use insitu::{
     run_job, run_job_traced, run_paired, run_paired_traced, FaultEvent, FaultKind, FaultPlan,
     JobConfig,
 };
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind;
-use obs::{chrome_trace, is_valid_json, Event, TraceEvent, Tracer};
+use obs::{chrome_trace, DecisionInfo, Event, TraceEvent, Tracer};
 
 fn quick_cfg(controller: &str) -> JobConfig {
     let mut spec = WorkloadSpec::paper(16, 8, 1, &[AnalysisKind::Vacf]);
@@ -101,13 +104,26 @@ fn injected_faults_appear_on_the_trace() {
     assert!(jsonl.contains("\"ev\":\"sample_rejected\""), "plausibility gate missing");
 }
 
-/// One instance of every event variant, for schema round-trips.
+/// One instance of every event variant, for schema round-trips. Keep in
+/// sync with `obs::Event` — the count assertion below fails when a new
+/// variant is added here or there alone.
 fn one_of_each() -> Vec<TraceEvent> {
     let evs = vec![
+        Event::RunStart {
+            sim_nodes: 6,
+            analysis_nodes: 2,
+            budget_w: 1280.0,
+            min_cap_w: 98.0,
+            max_cap_w: 215.0,
+            actuation_ns: 10_000_000,
+        },
         Event::SyncStart { sync: 1 },
         Event::Arrival { sync: 1, node: 0, role: "sim", time_s: 1.25 },
         Event::Rendezvous { sync: 1, sim_time_s: 1.25, analysis_time_s: 1.0, slack: 0.2 },
         Event::SyncEnd { sync: 1, overhead_s: 0.01 },
+        Event::SyncEnergy { sync: 1, energy_j: 1034.5 },
+        Event::NodeEnergy { node: 0, energy_j: 250.25 },
+        Event::RunEnd { total_time_s: 52.5, total_energy_j: 41_380.0 },
         Event::Phase { node: 0, kind: "force", start_ns: 0, end_ns: 1_000 },
         Event::Wait { node: 1, start_ns: 1_000, end_ns: 2_000 },
         Event::CapRequest { node: 0, requested_w: 120.0, granted_w: 118.5, effective_ns: 3_000 },
@@ -118,8 +134,10 @@ fn one_of_each() -> Vec<TraceEvent> {
         Event::NodeExcluded { node: 3 },
         Event::BudgetRenormalized { budget_w: 330.0 },
         Event::AllocationHeld { sync: 2 },
-        Event::Decision {
+        Event::Decision(Box::new(DecisionInfo {
             sync: 1,
+            sim_nodes: 6,
+            analysis_nodes: 2,
             alpha_sim: 2.2e-3,
             alpha_analysis: 4.5e-3,
             p_opt_sim_w: 140.0,
@@ -129,8 +147,14 @@ fn one_of_each() -> Vec<TraceEvent> {
             sim_node_w: 122.0,
             analysis_node_w: 98.0,
             clamped: true,
-        },
+        })),
         Event::ControllerHold { sync: 1, reason: "corrupt_sample" },
+        Event::MachineStart { nodes: 64, envelope_w: 8000.0 },
+        Event::JobArrived { job: 0 },
+        Event::JobStarted { job: 0, nodes: 8, budget_w: 1280.0 },
+        Event::JobCompleted { job: 0, time_s: 52.5 },
+        Event::JobKilled { job: 1 },
+        Event::MachineBudget { epoch: 3, allocated_w: 7500.0, pool_w: 500.0 },
         Event::Fault { sync: 0, node: 1, tag: "node_crash" },
         Event::Recovery { sync: 0, node: 1, tag: "budget_renormalized" },
     ];
@@ -141,13 +165,32 @@ fn one_of_each() -> Vec<TraceEvent> {
 }
 
 #[test]
-fn every_event_variant_serializes_as_valid_json() {
-    for te in one_of_each() {
+fn every_event_variant_round_trips_byte_for_byte() {
+    let all = one_of_each();
+    assert_eq!(all.len(), 28, "one_of_each must cover every obs::Event variant");
+    for te in all {
         let line = te.to_json_line();
-        assert!(is_valid_json(&line), "invalid JSON: {line}");
+        let parsed = AuditEvent::parse_line(&line)
+            .unwrap_or_else(|e| panic!("audit parser rejected {line}: {e}"));
+        assert_eq!(parsed.t_ns, te.t.as_nanos(), "timestamp drifted: {line}");
+        assert_eq!(parsed.to_json_line(), line, "round trip not byte-identical");
         assert!(line.contains(&format!("\"ev\":\"{}\"", te.ev.tag())), "tag missing: {line}");
         assert!(line.starts_with(&format!("{{\"t\":{}", te.t.as_nanos())), "t missing: {line}");
     }
+}
+
+#[test]
+fn audit_parser_rejects_schema_drift() {
+    // The parser is strict: reordered, missing, or extra fields — the
+    // classic silent-schema-drift failure modes — are all errors.
+    assert!(AuditEvent::parse_line(r#"{"t":0,"ev":"sync_start","sync":1}"#).is_ok());
+    assert!(AuditEvent::parse_line(r#"{"ev":"sync_start","t":0,"sync":1}"#).is_err(), "reordered");
+    assert!(AuditEvent::parse_line(r#"{"t":0,"ev":"sync_start"}"#).is_err(), "missing field");
+    assert!(
+        AuditEvent::parse_line(r#"{"t":0,"ev":"sync_start","sync":1,"x":2}"#).is_err(),
+        "extra field"
+    );
+    assert!(AuditEvent::parse_line(r#"{"t":0,"ev":"no_such_event"}"#).is_err(), "unknown tag");
 }
 
 /// Pull every `"ts":<number>` out of a Chrome-trace document, in order.
@@ -166,7 +209,7 @@ fn ts_values(doc: &str) -> Vec<f64> {
 #[test]
 fn perfetto_export_is_valid_json_with_monotone_timestamps() {
     let doc = chrome_trace(&one_of_each());
-    assert!(is_valid_json(&doc), "chrome trace must be valid JSON");
+    audit::json::parse(&doc).expect("chrome trace must be valid JSON");
     let ts = ts_values(&doc);
     assert!(!ts.is_empty(), "export has timestamped entries");
     for w in ts.windows(2) {
@@ -179,7 +222,12 @@ fn perfetto_export_of_a_real_run_has_cap_and_phase_lanes() {
     let tracer = Tracer::enabled();
     run_job_traced(quick_cfg("seesaw"), &tracer).expect("known controller");
     let doc = chrome_trace(&tracer.events());
-    assert!(is_valid_json(&doc), "chrome trace must be valid JSON");
+    let v = audit::json::parse(&doc).expect("chrome trace must be valid JSON");
+    let entries = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("chrome trace carries a traceEvents array");
+    assert!(entries.len() > 100, "expected a dense export, got {} entries", entries.len());
     // Phase activity lanes (complete spans) and per-node cap counters.
     assert!(doc.contains("\"ph\":\"X\""), "phase spans missing");
     assert!(doc.contains("\"name\":\"cap_w\""), "cap counter track missing");
@@ -193,14 +241,13 @@ fn perfetto_export_of_a_real_run_has_cap_and_phase_lanes() {
 }
 
 #[test]
-fn trace_jsonl_lines_are_valid_json() {
+fn trace_jsonl_parses_strictly_and_round_trips() {
     let tracer = Tracer::enabled();
     run_job_traced(quick_cfg("seesaw"), &tracer).expect("known controller");
     let jsonl = tracer.to_jsonl();
-    let mut lines = 0;
-    for line in jsonl.lines() {
-        assert!(is_valid_json(line), "invalid JSONL line: {line}");
-        lines += 1;
-    }
-    assert!(lines > 100, "expected a dense trace, got {lines} lines");
+    let trace = Trace::parse_jsonl(&jsonl).expect("strict parse of a real trace");
+    assert!(trace.len() > 100, "expected a dense trace, got {} events", trace.len());
+    assert_eq!(trace.to_jsonl(), jsonl, "whole-trace round trip not byte-identical");
+    // The in-memory tap must agree with the serialized path.
+    assert_eq!(Trace::from_tracer(&tracer).events, trace.events);
 }

@@ -1,0 +1,172 @@
+//! Namespaced diagnostic codes for audit and bench-gate findings.
+//!
+//! Every finding the audit battery or the perf-regression gate can raise
+//! carries a stable code (`AUDIT0001`…, `BENCH0001`…), a short check name,
+//! and a severity. Codes are append-only: a code never changes meaning and
+//! is never reused, so scripts can grep a report for `AUDIT0004` across
+//! releases. The human renderer follows the compiler convention
+//! (`error[AUDIT0004] budget: …`); the JSON renderer emits
+//! `code`/`severity`/`check`/`detail` fields.
+
+/// How bad a diagnostic is. Errors fail the audit (or the gate); warnings
+/// are advisory and never flip an exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A broken invariant or exceeded bound.
+    Error,
+    /// Advisory: worth a look, not a failure.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase tag (`"error"` / `"warning"`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// A stable, namespaced diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagCode {
+    /// The namespaced code, e.g. `"AUDIT0004"`.
+    pub code: &'static str,
+    /// Short check name, e.g. `"budget"`.
+    pub check: &'static str,
+    /// Default severity of findings under this code.
+    pub severity: Severity,
+}
+
+const fn audit(code: &'static str, check: &'static str) -> DiagCode {
+    DiagCode { code, check, severity: Severity::Error }
+}
+
+/// `AUDIT0001` — the shared sim-time clock ran backwards.
+pub const CLOCK: DiagCode = audit("AUDIT0001", "clock");
+/// `AUDIT0002` — synchronization intervals misnumbered or badly nested.
+pub const SYNC: DiagCode = audit("AUDIT0002", "sync");
+/// `AUDIT0003` — per-node spans overlap or escape their interval.
+pub const SPANS: DiagCode = audit("AUDIT0003", "spans");
+/// `AUDIT0004` — a decision allocated more power than the budget.
+pub const BUDGET: DiagCode = audit("AUDIT0004", "budget");
+/// `AUDIT0005` — a RAPL grant left the `[δ_min, δ_max]` range.
+pub const CAP_RANGE: DiagCode = audit("AUDIT0005", "cap_range");
+/// `AUDIT0006` — a cap was enforced faster than the actuation latency.
+pub const ACTUATION: DiagCode = audit("AUDIT0006", "actuation");
+/// `AUDIT0007` — interval/node energies do not tile the run total.
+pub const ENERGY: DiagCode = audit("AUDIT0007", "energy");
+/// `AUDIT0008` — a machine epoch division leaked or overdrew envelope.
+pub const ENVELOPE: DiagCode = audit("AUDIT0008", "envelope");
+/// `AUDIT0009` — an injected fault lacks its graceful-degradation pair.
+pub const FAULTS: DiagCode = audit("AUDIT0009", "faults");
+/// `AUDIT0010` — a fleet invariant broke: job lost or double-run, retry
+/// schedule out of contract, or fleet-envelope conservation violated.
+pub const FLEET: DiagCode = audit("AUDIT0010", "fleet");
+
+/// `BENCH0001` — a metric exceeded its absolute bound.
+pub const BENCH_BOUND: DiagCode = audit("BENCH0001", "bound");
+/// `BENCH0002` — a metric drifted beyond tolerance from its baseline.
+pub const BENCH_DRIFT: DiagCode = audit("BENCH0002", "drift");
+/// `BENCH0003` — a baseline metric is missing from the fresh document.
+pub const BENCH_MISSING: DiagCode = audit("BENCH0003", "missing");
+/// `BENCH0004` — a bench document failed to parse.
+pub const BENCH_PARSE: DiagCode = audit("BENCH0004", "parse");
+
+/// One finding: a code plus the specifics of where and how it fired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The namespaced code (carries check name and severity).
+    pub code: DiagCode,
+    /// What exactly went wrong, with enough context to locate it.
+    pub detail: String,
+}
+
+/// The audit battery's historical name for a finding.
+pub type Violation = Diagnostic;
+
+impl Diagnostic {
+    /// A finding under `code`.
+    pub fn new(code: DiagCode, detail: impl Into<String>) -> Self {
+        Diagnostic { code, detail: detail.into() }
+    }
+
+    /// The short check name (`"clock"`, `"budget"`, …).
+    pub fn check(&self) -> &'static str {
+        self.code.check
+    }
+
+    /// The namespaced code string (`"AUDIT0001"`, …).
+    pub fn code_str(&self) -> &'static str {
+        self.code.code
+    }
+
+    /// The finding's severity.
+    pub fn severity(&self) -> Severity {
+        self.code.severity
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.code.severity.tag(),
+            self.code.code,
+            self.code.check,
+            self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_renderer_is_compiler_style() {
+        let d = Diagnostic::new(BUDGET, "allocation 2000 W exceeds budget 1760 W");
+        assert_eq!(
+            d.to_string(),
+            "error[AUDIT0004] budget: allocation 2000 W exceeds budget 1760 W"
+        );
+    }
+
+    #[test]
+    fn accessors_expose_code_check_severity() {
+        let d = Diagnostic::new(FLEET, "job 3 lost");
+        assert_eq!(d.code_str(), "AUDIT0010");
+        assert_eq!(d.check(), "fleet");
+        assert_eq!(d.severity(), Severity::Error);
+        assert_eq!(d.severity().tag(), "error");
+        assert_eq!(Severity::Warning.tag(), "warning");
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let all = [
+            CLOCK,
+            SYNC,
+            SPANS,
+            BUDGET,
+            CAP_RANGE,
+            ACTUATION,
+            ENERGY,
+            ENVELOPE,
+            FAULTS,
+            FLEET,
+            BENCH_BOUND,
+            BENCH_DRIFT,
+            BENCH_MISSING,
+            BENCH_PARSE,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.code, b.code, "duplicate code {}", a.code);
+                assert_ne!(a.check, b.check, "duplicate check {}", a.check);
+            }
+        }
+    }
+}

@@ -159,6 +159,45 @@ pub enum EventKind {
         allocated_w: f64,
         pool_w: f64,
     },
+    FleetStart {
+        machines: u64,
+        envelope_w: f64,
+        retry_base_epochs: u64,
+        retry_cap_epochs: u64,
+        max_retries: u64,
+    },
+    MachineDown {
+        machine: u64,
+        epoch: u64,
+    },
+    MachineUp {
+        machine: u64,
+        epoch: u64,
+    },
+    JobDispatched {
+        job: u64,
+        machine: u64,
+    },
+    JobRetry {
+        job: u64,
+        attempt: u64,
+        backoff_epochs: u64,
+    },
+    JobMigrated {
+        job: u64,
+        from_machine: u64,
+        to_machine: u64,
+    },
+    JobFailed {
+        job: u64,
+        attempts: u64,
+    },
+    EnvelopeRenorm {
+        epoch: u64,
+        machine: u64,
+        share_w: f64,
+        cap_w: f64,
+    },
     Fault {
         sync: u64,
         node: u64,
@@ -201,6 +240,14 @@ impl EventKind {
             EventKind::JobCompleted { .. } => "job_completed",
             EventKind::JobKilled { .. } => "job_killed",
             EventKind::MachineBudget { .. } => "machine_budget",
+            EventKind::FleetStart { .. } => "fleet_start",
+            EventKind::MachineDown { .. } => "machine_down",
+            EventKind::MachineUp { .. } => "machine_up",
+            EventKind::JobDispatched { .. } => "job_dispatched",
+            EventKind::JobRetry { .. } => "job_retry",
+            EventKind::JobMigrated { .. } => "job_migrated",
+            EventKind::JobFailed { .. } => "job_failed",
+            EventKind::EnvelopeRenorm { .. } => "envelope_renorm",
             EventKind::Fault { .. } => "fault",
             EventKind::Recovery { .. } => "recovery",
         }
@@ -402,6 +449,41 @@ impl AuditEvent {
                 allocated_w: f.f64("allocated_w")?,
                 pool_w: f.f64("pool_w")?,
             },
+            "fleet_start" => EventKind::FleetStart {
+                machines: f.u64("machines")?,
+                envelope_w: f.f64("envelope_w")?,
+                retry_base_epochs: f.u64("retry_base_epochs")?,
+                retry_cap_epochs: f.u64("retry_cap_epochs")?,
+                max_retries: f.u64("max_retries")?,
+            },
+            "machine_down" => {
+                EventKind::MachineDown { machine: f.u64("machine")?, epoch: f.u64("epoch")? }
+            }
+            "machine_up" => {
+                EventKind::MachineUp { machine: f.u64("machine")?, epoch: f.u64("epoch")? }
+            }
+            "job_dispatched" => {
+                EventKind::JobDispatched { job: f.u64("job")?, machine: f.u64("machine")? }
+            }
+            "job_retry" => EventKind::JobRetry {
+                job: f.u64("job")?,
+                attempt: f.u64("attempt")?,
+                backoff_epochs: f.u64("backoff_epochs")?,
+            },
+            "job_migrated" => EventKind::JobMigrated {
+                job: f.u64("job")?,
+                from_machine: f.u64("from_machine")?,
+                to_machine: f.u64("to_machine")?,
+            },
+            "job_failed" => {
+                EventKind::JobFailed { job: f.u64("job")?, attempts: f.u64("attempts")? }
+            }
+            "envelope_renorm" => EventKind::EnvelopeRenorm {
+                epoch: f.u64("epoch")?,
+                machine: f.u64("machine")?,
+                share_w: f.f64("share_w")?,
+                cap_w: f.f64("cap_w")?,
+            },
             "fault" => {
                 EventKind::Fault { sync: f.u64("sync")?, node: f.u64("node")?, tag: f.str("tag")? }
             }
@@ -551,6 +633,51 @@ impl AuditEvent {
                     ff(out, "allocated_w", *allocated_w);
                     ff(out, "pool_w", *pool_w);
                 }
+                EventKind::FleetStart {
+                    machines,
+                    envelope_w,
+                    retry_base_epochs,
+                    retry_cap_epochs,
+                    max_retries,
+                } => {
+                    fu(out, "machines", *machines);
+                    ff(out, "envelope_w", *envelope_w);
+                    fu(out, "retry_base_epochs", *retry_base_epochs);
+                    fu(out, "retry_cap_epochs", *retry_cap_epochs);
+                    fu(out, "max_retries", *max_retries);
+                }
+                EventKind::MachineDown { machine, epoch } => {
+                    fu(out, "machine", *machine);
+                    fu(out, "epoch", *epoch);
+                }
+                EventKind::MachineUp { machine, epoch } => {
+                    fu(out, "machine", *machine);
+                    fu(out, "epoch", *epoch);
+                }
+                EventKind::JobDispatched { job, machine } => {
+                    fu(out, "job", *job);
+                    fu(out, "machine", *machine);
+                }
+                EventKind::JobRetry { job, attempt, backoff_epochs } => {
+                    fu(out, "job", *job);
+                    fu(out, "attempt", *attempt);
+                    fu(out, "backoff_epochs", *backoff_epochs);
+                }
+                EventKind::JobMigrated { job, from_machine, to_machine } => {
+                    fu(out, "job", *job);
+                    fu(out, "from_machine", *from_machine);
+                    fu(out, "to_machine", *to_machine);
+                }
+                EventKind::JobFailed { job, attempts } => {
+                    fu(out, "job", *job);
+                    fu(out, "attempts", *attempts);
+                }
+                EventKind::EnvelopeRenorm { epoch, machine, share_w, cap_w } => {
+                    fu(out, "epoch", *epoch);
+                    fu(out, "machine", *machine);
+                    ff(out, "share_w", *share_w);
+                    ff(out, "cap_w", *cap_w);
+                }
                 EventKind::Fault { sync, node, tag } => {
                     fu(out, "sync", *sync);
                     fu(out, "node", *node);
@@ -600,6 +727,14 @@ mod tests {
             "{\"t\":2000000,\"ev\":\"sample\",\"node\":7,\"role\":\"sim\",\"time_s\":2.5,\"power_w\":109.63,\"cap_w\":115}",
             "{\"t\":9,\"ev\":\"exchange_done\",\"sync\":1,\"overhead_s\":0.05,\"decided\":true}",
             "{\"t\":5,\"ev\":\"budget_renormalized\",\"budget_w\":null}",
+            "{\"t\":0,\"ev\":\"fleet_start\",\"machines\":3,\"envelope_w\":2100,\"retry_base_epochs\":1,\"retry_cap_epochs\":8,\"max_retries\":3}",
+            "{\"t\":7,\"ev\":\"machine_down\",\"machine\":1,\"epoch\":4}",
+            "{\"t\":8,\"ev\":\"machine_up\",\"machine\":1,\"epoch\":9}",
+            "{\"t\":7,\"ev\":\"job_dispatched\",\"job\":2,\"machine\":0}",
+            "{\"t\":7,\"ev\":\"job_retry\",\"job\":2,\"attempt\":1,\"backoff_epochs\":1}",
+            "{\"t\":9,\"ev\":\"job_migrated\",\"job\":2,\"from_machine\":1,\"to_machine\":0}",
+            "{\"t\":9,\"ev\":\"job_failed\",\"job\":5,\"attempts\":4}",
+            "{\"t\":7,\"ev\":\"envelope_renorm\",\"epoch\":4,\"machine\":0,\"share_w\":1050.5,\"cap_w\":1100}",
         ];
         for line in lines {
             let ev = AuditEvent::parse_line(line).expect(line);

@@ -26,7 +26,16 @@
 //! - **envelope**: machine-level epoch divisions sum to the envelope.
 //! - **faults**: every injected fault that mandates a graceful-degradation
 //!   action got one (pairing rules below).
+//! - **fleet**: across machine failures, no job is lost or double-run, the
+//!   retry/backoff schedule is monotone, capped, and pair-matched with
+//!   dispatches, machine down/up declarations alternate, and every
+//!   envelope renormalization conserves the fleet envelope over live
+//!   members.
+//!
+//! Every violation carries a namespaced diagnostic code ([`crate::diag`]):
+//! `AUDIT0001` (clock) through `AUDIT0010` (fleet).
 
+use crate::diag::{self, DiagCode, Violation};
 use crate::event::EventKind;
 use crate::trace::Trace;
 
@@ -37,25 +46,8 @@ const EPS_W: f64 = 1e-6;
 /// accumulate association error only).
 const ENERGY_REL_TOL: f64 = 1e-6;
 
-/// One invariant violation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Violation {
-    /// Which check fired (`"clock"`, `"sync"`, `"spans"`, `"budget"`,
-    /// `"cap_range"`, `"actuation"`, `"energy"`, `"envelope"`,
-    /// `"faults"`).
-    pub check: &'static str,
-    /// What exactly went wrong, with enough context to locate it.
-    pub detail: String,
-}
-
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{}] {}", self.check, self.detail)
-    }
-}
-
-fn v(out: &mut Vec<Violation>, check: &'static str, detail: String) {
-    out.push(Violation { check, detail });
+fn v(out: &mut Vec<Violation>, code: DiagCode, detail: String) {
+    out.push(Violation::new(code, detail));
 }
 
 /// Run the full battery.
@@ -69,6 +61,7 @@ pub fn check_all(trace: &Trace) -> Vec<Violation> {
     check_energy(trace, &mut out);
     check_envelope(trace, &mut out);
     check_faults(trace, &mut out);
+    check_fleet(trace, &mut out);
     out
 }
 
@@ -93,7 +86,7 @@ pub fn check_clock(trace: &Trace, out: &mut Vec<Violation>) {
             if ev.t_ns < last {
                 v(
                     out,
-                    "clock",
+                    diag::CLOCK,
                     format!(
                         "event {} ({}) at t={}ns precedes earlier stamp {}ns",
                         i,
@@ -116,24 +109,24 @@ pub fn check_sync_sequence(trace: &Trace, out: &mut Vec<Violation>) {
     let mut seen_run_end = false;
     for ev in &trace.events {
         if seen_run_end {
-            v(out, "sync", format!("event ({}) after run_end", ev.kind.tag()));
+            v(out, diag::SYNC, format!("event ({}) after run_end", ev.kind.tag()));
             seen_run_end = false; // report once
         }
         match &ev.kind {
             EventKind::SyncStart { sync } => {
                 if let Some(k) = open {
-                    v(out, "sync", format!("sync {sync} opened while sync {k} still open"));
+                    v(out, diag::SYNC, format!("sync {sync} opened while sync {k} still open"));
                 }
                 if *sync != next_expected {
-                    v(out, "sync", format!("sync {sync} opened, expected {next_expected}"));
+                    v(out, diag::SYNC, format!("sync {sync} opened, expected {next_expected}"));
                 }
                 open = Some(*sync);
                 next_expected = *sync + 1;
             }
             EventKind::SyncEnd { sync, .. } => match open.take() {
                 Some(k) if k == *sync => {}
-                Some(k) => v(out, "sync", format!("sync_end {sync} closes open sync {k}")),
-                None => v(out, "sync", format!("sync_end {sync} with no open sync")),
+                Some(k) => v(out, diag::SYNC, format!("sync_end {sync} closes open sync {k}")),
+                None => v(out, diag::SYNC, format!("sync_end {sync} with no open sync")),
             },
             // Controller-plane events are 0-based: interval k runs the
             // exchange for observation k-1.
@@ -144,7 +137,7 @@ pub fn check_sync_sequence(trace: &Trace, out: &mut Vec<Violation>) {
                     if *sync != k - 1 {
                         v(
                             out,
-                            "sync",
+                            diag::SYNC,
                             format!(
                                 "{} carries observation index {sync} inside interval {k} \
                                  (expected {})",
@@ -160,7 +153,7 @@ pub fn check_sync_sequence(trace: &Trace, out: &mut Vec<Violation>) {
                     if d.sync != k - 1 {
                         v(
                             out,
-                            "sync",
+                            diag::SYNC,
                             format!(
                                 "decision carries observation index {} inside interval {k} \
                                  (expected {})",
@@ -202,7 +195,7 @@ pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
                     if end > t_end {
                         v(
                             out,
-                            "spans",
+                            diag::SPANS,
                             format!(
                                 "{what} span [{start}, {end}]ns on node {node} overruns \
                                  interval {sync} end {t_end}ns"
@@ -220,7 +213,7 @@ pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
                 if start_ns > end_ns {
                     v(
                         out,
-                        "spans",
+                        diag::SPANS,
                         format!(
                             "{what} span on node {node} runs backwards: [{start_ns}, {end_ns}]ns"
                         ),
@@ -230,7 +223,7 @@ pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
                 if *start_ns < *prev {
                     v(
                         out,
-                        "spans",
+                        diag::SPANS,
                         format!(
                             "{what} span [{start_ns}, {end_ns}]ns on node {node} overlaps \
                              earlier activity ending at {}ns",
@@ -243,7 +236,7 @@ pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
                     if *start_ns < w0 {
                         v(
                             out,
-                            "spans",
+                            diag::SPANS,
                             format!(
                                 "{what} span [{start_ns}, {end_ns}]ns on node {node} starts \
                                  before interval {k} start {w0}ns"
@@ -270,7 +263,7 @@ pub fn check_budget(trace: &Trace, out: &mut Vec<Violation>) {
             }
             EventKind::BudgetRenormalized { budget_w } => {
                 if !budget_w.is_finite() || *budget_w < 0.0 {
-                    v(out, "budget", format!("renormalized budget is not a power: {budget_w}"));
+                    v(out, diag::BUDGET, format!("renormalized budget is not a power: {budget_w}"));
                 }
                 budget = Some(*budget_w);
             }
@@ -286,7 +279,7 @@ pub fn check_budget(trace: &Trace, out: &mut Vec<Violation>) {
                 if !(total <= b + tol || at_floor) {
                     v(
                         out,
-                        "budget",
+                        diag::BUDGET,
                         format!(
                             "decision at observation {}: allocation {:.6} W exceeds budget \
                              {:.6} W ({} sim nodes x {:.6} W + {} analysis nodes x {:.6} W)",
@@ -321,7 +314,7 @@ pub fn check_caps(trace: &Trace, out: &mut Vec<Violation>) {
                     if !(*granted_w >= lo - EPS_W && *granted_w <= hi + EPS_W) {
                         v(
                             out,
-                            "cap_range",
+                            diag::CAP_RANGE,
                             format!(
                                 "node {node}: granted cap {granted_w} W outside \
                                  [{lo}, {hi}] W"
@@ -335,7 +328,7 @@ pub fn check_caps(trace: &Trace, out: &mut Vec<Violation>) {
                     if !ok {
                         v(
                             out,
-                            "cap_range",
+                            diag::CAP_RANGE,
                             format!(
                                 "node {node}: granted cap {granted_w} W is neither \
                                  clamp({requested_w}) = {clamp} W nor the TDP {hi} W"
@@ -349,7 +342,7 @@ pub fn check_caps(trace: &Trace, out: &mut Vec<Violation>) {
                     if *effective_ns != ev.t_ns && *effective_ns < ev.t_ns + a {
                         v(
                             out,
-                            "actuation",
+                            diag::ACTUATION,
                             format!(
                                 "node {node}: cap requested at {}ns enforced at {}ns, \
                                  sooner than the {}ns actuation latency",
@@ -377,7 +370,11 @@ pub fn check_energy(trace: &Trace, out: &mut Vec<Violation>) {
             EventKind::SyncEnergy { sync, energy_j } => {
                 have_sync = true;
                 if !energy_j.is_finite() || *energy_j < 0.0 {
-                    v(out, "energy", format!("interval {sync} energy is not physical: {energy_j}"));
+                    v(
+                        out,
+                        diag::ENERGY,
+                        format!("interval {sync} energy is not physical: {energy_j}"),
+                    );
                 } else {
                     sync_sum += energy_j;
                 }
@@ -385,7 +382,7 @@ pub fn check_energy(trace: &Trace, out: &mut Vec<Violation>) {
             EventKind::NodeEnergy { node, energy_j } => {
                 have_node = true;
                 if !energy_j.is_finite() || *energy_j < 0.0 {
-                    v(out, "energy", format!("node {node} energy is not physical: {energy_j}"));
+                    v(out, diag::ENERGY, format!("node {node} energy is not physical: {energy_j}"));
                 } else {
                     node_sum += energy_j;
                 }
@@ -399,7 +396,7 @@ pub fn check_energy(trace: &Trace, out: &mut Vec<Violation>) {
     if have_sync && (sync_sum - total).abs() > tol {
         v(
             out,
-            "energy",
+            diag::ENERGY,
             format!(
                 "interval energies sum to {sync_sum} J but the run total is {total} J \
                  (tolerance {tol} J)"
@@ -409,7 +406,7 @@ pub fn check_energy(trace: &Trace, out: &mut Vec<Violation>) {
     if have_node && (node_sum - total).abs() > tol {
         v(
             out,
-            "energy",
+            diag::ENERGY,
             format!(
                 "node energies sum to {node_sum} J but the run total is {total} J \
                  (tolerance {tol} J)"
@@ -429,14 +426,14 @@ pub fn check_envelope(trace: &Trace, out: &mut Vec<Violation>) {
                 if *allocated_w < -EPS_W || *pool_w < -EPS_W {
                     v(
                         out,
-                        "envelope",
+                        diag::ENVELOPE,
                         format!("epoch {epoch}: negative power ({allocated_w} W allocated, {pool_w} W pool)"),
                     );
                 }
                 if (allocated_w + pool_w - env).abs() > EPS_W * env.max(1.0) {
                     v(
                         out,
-                        "envelope",
+                        diag::ENVELOPE,
                         format!(
                             "epoch {epoch}: allocated {allocated_w} W + pool {pool_w} W does \
                              not sum to the envelope {env} W"
@@ -514,18 +511,279 @@ pub fn check_faults(trace: &Trace, out: &mut Vec<Violation>) {
             // Perturbations the stack absorbs without a discrete action.
             "straggler" | "rapl_stuck" | "rapl_delayed" | "message_loss" => true,
             other => {
-                v(out, "faults", format!("unknown fault tag \"{other}\" at ordinal {s}"));
+                v(out, diag::FAULTS, format!("unknown fault tag \"{other}\" at ordinal {s}"));
                 true
             }
         };
         if !ok {
             v(
                 out,
-                "faults",
+                diag::FAULTS,
                 format!(
                     "fault \"{tag}\" on node {n} at ordinal {s} has no matching \
                      graceful-degradation action"
                 ),
+            );
+        }
+    }
+}
+
+/// Fleet federation invariants. Gated on the presence of a `fleet_start`
+/// header; single-machine and in-situ traces skip it entirely.
+///
+/// Checked per job: arrival before dispatch, at most one open dispatch at
+/// a time (no double-run), retries pair-matched with dispatches and
+/// numbered 1,2,3,… up to the retry budget, backoff non-decreasing and
+/// capped at the configured ceiling, terminal exactly once, and no job
+/// left non-terminal at end of trace (no job lost — a fleet that gives up
+/// must say `job_failed`). Checked per machine: down/up declarations
+/// alternate and dispatches never target a down machine. Checked per
+/// renormalization epoch: shares sum to `min(fleet envelope, Σ member
+/// caps)` and each member's share respects its own cap.
+pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    let mut fleet: Option<(f64, u64, u64, u64)> = None; // (envelope, base, cap, max_retries)
+    for ev in &trace.events {
+        if let EventKind::FleetStart {
+            envelope_w,
+            retry_base_epochs,
+            retry_cap_epochs,
+            max_retries,
+            ..
+        } = &ev.kind
+        {
+            fleet = Some((*envelope_w, *retry_base_epochs, *retry_cap_epochs, *max_retries));
+            break;
+        }
+    }
+    let Some((fleet_envelope_w, _retry_base, retry_cap, max_retries)) = fleet else {
+        return;
+    };
+
+    #[derive(Default)]
+    struct JobLedger {
+        arrived: bool,
+        dispatched_open: bool,
+        dispatches: u64,
+        retries: u64,
+        last_backoff: u64,
+        last_machine: Option<u64>,
+        terminal: bool,
+    }
+    let mut jobs: BTreeMap<u64, JobLedger> = BTreeMap::new();
+    let mut down: BTreeMap<u64, bool> = BTreeMap::new();
+    // One renormalization group = consecutive envelope_renorm events with
+    // the same epoch; closed by any other event kind or an epoch change.
+    let mut renorm: Option<(u64, f64, f64)> = None; // (epoch, Σshare, Σcap)
+    let close_renorm = |out: &mut Vec<Violation>, group: &mut Option<(u64, f64, f64)>| {
+        if let Some((epoch, share_sum, cap_sum)) = group.take() {
+            let expected = fleet_envelope_w.min(cap_sum);
+            if (share_sum - expected).abs() > EPS_W * expected.max(1.0) {
+                v(
+                    out,
+                    diag::FLEET,
+                    format!(
+                        "renorm at epoch {epoch}: shares sum to {share_sum} W, expected \
+                         min(envelope {fleet_envelope_w} W, member caps {cap_sum} W) = {expected} W"
+                    ),
+                );
+            }
+        }
+    };
+
+    for ev in &trace.events {
+        if !matches!(ev.kind, EventKind::EnvelopeRenorm { .. }) {
+            close_renorm(out, &mut renorm);
+        }
+        match &ev.kind {
+            EventKind::MachineDown { machine, epoch } => {
+                let was_down = down.insert(*machine, true) == Some(true);
+                if was_down {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!("machine {machine} declared down at epoch {epoch} while down"),
+                    );
+                }
+            }
+            EventKind::MachineUp { machine, epoch } => {
+                let was_down = down.insert(*machine, false) == Some(true);
+                if !was_down {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!("machine {machine} declared up at epoch {epoch} while up"),
+                    );
+                }
+            }
+            EventKind::EnvelopeRenorm { epoch, machine, share_w, cap_w } => {
+                if renorm.as_ref().is_some_and(|(e, _, _)| e != epoch) {
+                    close_renorm(out, &mut renorm);
+                }
+                let (_, share_sum, cap_sum) = renorm.get_or_insert((*epoch, 0.0, 0.0));
+                *share_sum += share_w;
+                *cap_sum += cap_w;
+                if *share_w > cap_w + EPS_W {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!(
+                            "renorm at epoch {epoch}: machine {machine} share {share_w} W \
+                             exceeds its cap {cap_w} W"
+                        ),
+                    );
+                }
+                if down.get(machine).copied().unwrap_or(false) {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!("renorm at epoch {epoch}: down machine {machine} got a share"),
+                    );
+                }
+            }
+            EventKind::JobArrived { job } => {
+                jobs.entry(*job).or_default().arrived = true;
+            }
+            EventKind::JobDispatched { job, machine } => {
+                let j = jobs.entry(*job).or_default();
+                if !j.arrived {
+                    v(out, diag::FLEET, format!("job {job} dispatched before arrival"));
+                }
+                if j.terminal {
+                    v(out, diag::FLEET, format!("terminal job {job} dispatched again (zombie)"));
+                }
+                if j.dispatched_open {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!("job {job} dispatched to machine {machine} while already running"),
+                    );
+                }
+                if j.dispatches != j.retries {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!(
+                            "job {job}: dispatch {} not pair-matched with retries ({})",
+                            j.dispatches + 1,
+                            j.retries
+                        ),
+                    );
+                }
+                if down.get(machine).copied().unwrap_or(false) {
+                    v(out, diag::FLEET, format!("job {job} dispatched to down machine {machine}"));
+                }
+                j.dispatched_open = true;
+                j.dispatches += 1;
+                j.last_machine = Some(*machine);
+            }
+            EventKind::JobRetry { job, attempt, backoff_epochs } => {
+                let j = jobs.entry(*job).or_default();
+                if !j.dispatched_open {
+                    v(out, diag::FLEET, format!("job {job} retried without a live dispatch"));
+                }
+                j.dispatched_open = false;
+                if *attempt != j.retries + 1 {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!(
+                            "job {job}: retry attempt {attempt} out of sequence (expected {})",
+                            j.retries + 1
+                        ),
+                    );
+                }
+                if *attempt > max_retries {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!(
+                            "job {job}: retry attempt {attempt} exceeds the budget {max_retries}"
+                        ),
+                    );
+                }
+                if *backoff_epochs < j.last_backoff {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!(
+                            "job {job}: backoff {backoff_epochs} epochs shrank from {}",
+                            j.last_backoff
+                        ),
+                    );
+                }
+                if *backoff_epochs > retry_cap {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!(
+                            "job {job}: backoff {backoff_epochs} epochs exceeds the ceiling \
+                             {retry_cap}"
+                        ),
+                    );
+                }
+                j.retries = *attempt;
+                j.last_backoff = *backoff_epochs;
+            }
+            EventKind::JobMigrated { job, from_machine, to_machine } => {
+                let j = jobs.entry(*job).or_default();
+                if j.last_machine != Some(*from_machine) {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!(
+                            "job {job} migrated from machine {from_machine} but last ran on \
+                             machine {:?}",
+                            j.last_machine
+                        ),
+                    );
+                }
+                if from_machine == to_machine {
+                    v(out, diag::FLEET, format!("job {job} migrated to the same machine"));
+                }
+            }
+            EventKind::JobCompleted { job, .. } => {
+                let j = jobs.entry(*job).or_default();
+                // Single-machine traces also carry job_completed; in a
+                // fleet trace completion must close a live dispatch.
+                if !j.dispatched_open {
+                    v(out, diag::FLEET, format!("job {job} completed without a live dispatch"));
+                }
+                if j.terminal {
+                    v(out, diag::FLEET, format!("job {job} completed twice"));
+                }
+                j.dispatched_open = false;
+                j.terminal = true;
+            }
+            EventKind::JobFailed { job, attempts } => {
+                let j = jobs.entry(*job).or_default();
+                if j.terminal {
+                    v(out, diag::FLEET, format!("job {job} reported failed after terminal state"));
+                }
+                if *attempts != j.dispatches {
+                    v(
+                        out,
+                        diag::FLEET,
+                        format!(
+                            "job {job} failed after {attempts} attempts but {} dispatches \
+                             were traced",
+                            j.dispatches
+                        ),
+                    );
+                }
+                j.dispatched_open = false;
+                j.terminal = true;
+            }
+            _ => {}
+        }
+    }
+    close_renorm(out, &mut renorm);
+    for (job, j) in &jobs {
+        if j.arrived && !j.terminal {
+            v(
+                out,
+                diag::FLEET,
+                format!("job {job} lost: arrived but neither completed nor reported failed"),
             );
         }
     }
@@ -600,7 +858,7 @@ mod tests {
                 ev(5, EventKind::SyncEnd { sync: 1, overhead_s: 0.0 }),
             ],
         };
-        assert!(check_all(&trace).iter().any(|x| x.check == "clock"));
+        assert!(check_all(&trace).iter().any(|x| x.check() == "clock"));
     }
 
     #[test]
@@ -626,7 +884,7 @@ mod tests {
                 ev(1, EventKind::SyncEnd { sync: 2, overhead_s: 0.0 }),
             ],
         };
-        assert!(check_all(&trace).iter().any(|x| x.check == "sync"));
+        assert!(check_all(&trace).iter().any(|x| x.check() == "sync"));
     }
 
     #[test]
@@ -649,7 +907,7 @@ mod tests {
                 ev(0, EventKind::Phase { node: 3, kind: "neigh".into(), start_ns: 5, end_ns: 15 }),
             ],
         };
-        assert!(check_all(&trace).iter().any(|x| x.check == "spans"));
+        assert!(check_all(&trace).iter().any(|x| x.check() == "spans"));
     }
 
     #[test]
@@ -661,7 +919,7 @@ mod tests {
                 ev(10, EventKind::SyncEnd { sync: 1, overhead_s: 0.0 }),
             ],
         };
-        assert!(check_all(&trace).iter().any(|x| x.check == "spans"));
+        assert!(check_all(&trace).iter().any(|x| x.check() == "spans"));
     }
 
     #[test]
@@ -669,7 +927,7 @@ mod tests {
         let trace = Trace { events: vec![run_start(1760.0), decision(0, 215.0, 98.0)] };
         // 12 x 215 + 4 x 98 = 2972 > 1760.
         let violations = check_all(&trace);
-        assert!(violations.iter().any(|x| x.check == "budget"), "{violations:?}");
+        assert!(violations.iter().any(|x| x.check() == "budget"), "{violations:?}");
     }
 
     #[test]
@@ -688,7 +946,7 @@ mod tests {
                 decision(1, 110.0, 110.0), // 12x110 + 4x110 = 1760 > 1000
             ],
         };
-        assert!(check_all(&trace).iter().any(|x| x.check == "budget"));
+        assert!(check_all(&trace).iter().any(|x| x.check() == "budget"));
     }
 
     #[test]
@@ -707,7 +965,7 @@ mod tests {
                 ),
             ],
         };
-        assert!(check_all(&trace).iter().any(|x| x.check == "cap_range"));
+        assert!(check_all(&trace).iter().any(|x| x.check() == "cap_range"));
     }
 
     #[test]
@@ -745,7 +1003,7 @@ mod tests {
                 ),
             ],
         };
-        assert!(check_all(&trace).iter().any(|x| x.check == "actuation"));
+        assert!(check_all(&trace).iter().any(|x| x.check() == "actuation"));
     }
 
     #[test]
@@ -756,7 +1014,7 @@ mod tests {
                 ev(1, EventKind::RunEnd { total_time_s: 1.0, total_energy_j: 25.0 }),
             ],
         };
-        assert!(check_all(&trace).iter().any(|x| x.check == "energy"));
+        assert!(check_all(&trace).iter().any(|x| x.check() == "energy"));
     }
 
     #[test]
@@ -767,7 +1025,7 @@ mod tests {
                 ev(0, EventKind::MachineBudget { epoch: 0, allocated_w: 1000.0, pool_w: 500.0 }),
             ],
         };
-        assert!(check_all(&trace).iter().any(|x| x.check == "envelope"));
+        assert!(check_all(&trace).iter().any(|x| x.check() == "envelope"));
     }
 
     #[test]
@@ -775,7 +1033,7 @@ mod tests {
         let bad = Trace {
             events: vec![ev(0, EventKind::Fault { sync: 2, node: 5, tag: "node_crash".into() })],
         };
-        assert!(check_all(&bad).iter().any(|x| x.check == "faults"));
+        assert!(check_all(&bad).iter().any(|x| x.check() == "faults"));
         let good = Trace {
             events: vec![
                 ev(0, EventKind::Fault { sync: 2, node: 5, tag: "node_crash".into() }),
@@ -783,6 +1041,196 @@ mod tests {
             ],
         };
         assert_eq!(check_all(&good), Vec::new());
+    }
+
+    fn fleet_start() -> AuditEvent {
+        ev(
+            0,
+            EventKind::FleetStart {
+                machines: 2,
+                envelope_w: 1000.0,
+                retry_base_epochs: 1,
+                retry_cap_epochs: 8,
+                max_retries: 3,
+            },
+        )
+    }
+
+    /// A clean fleet lifecycle: dispatch, machine loss, retry, migration,
+    /// re-dispatch, completion — zero violations.
+    #[test]
+    fn clean_fleet_recovery_story_passes() {
+        let trace = Trace {
+            events: vec![
+                fleet_start(),
+                ev(
+                    0,
+                    EventKind::EnvelopeRenorm {
+                        epoch: 0,
+                        machine: 0,
+                        share_w: 500.0,
+                        cap_w: 600.0,
+                    },
+                ),
+                ev(
+                    0,
+                    EventKind::EnvelopeRenorm {
+                        epoch: 0,
+                        machine: 1,
+                        share_w: 500.0,
+                        cap_w: 600.0,
+                    },
+                ),
+                ev(0, EventKind::JobArrived { job: 0 }),
+                ev(0, EventKind::JobDispatched { job: 0, machine: 1 }),
+                ev(5, EventKind::MachineDown { machine: 1, epoch: 3 }),
+                ev(5, EventKind::JobRetry { job: 0, attempt: 1, backoff_epochs: 1 }),
+                ev(
+                    5,
+                    EventKind::EnvelopeRenorm {
+                        epoch: 3,
+                        machine: 0,
+                        share_w: 600.0,
+                        cap_w: 600.0,
+                    },
+                ),
+                ev(9, EventKind::JobMigrated { job: 0, from_machine: 1, to_machine: 0 }),
+                ev(9, EventKind::JobDispatched { job: 0, machine: 0 }),
+                ev(20, EventKind::JobCompleted { job: 0, time_s: 12.0 }),
+            ],
+        };
+        let mut out = Vec::new();
+        check_fleet(&trace, &mut out);
+        assert_eq!(out, Vec::new());
+    }
+
+    #[test]
+    fn fleet_checks_are_gated_on_the_header() {
+        // Without fleet_start the same events are ignored (single-machine
+        // traces carry job_completed with no fleet dispatch protocol).
+        let trace = Trace { events: vec![ev(0, EventKind::JobCompleted { job: 0, time_s: 1.0 })] };
+        let mut out = Vec::new();
+        check_fleet(&trace, &mut out);
+        assert_eq!(out, Vec::new());
+    }
+
+    #[test]
+    fn lost_job_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                fleet_start(),
+                ev(0, EventKind::JobArrived { job: 7 }),
+                ev(0, EventKind::JobDispatched { job: 7, machine: 0 }),
+            ],
+        };
+        let mut out = Vec::new();
+        check_fleet(&trace, &mut out);
+        assert!(out.iter().any(|x| x.check() == "fleet" && x.detail.contains("lost")), "{out:?}");
+    }
+
+    #[test]
+    fn double_run_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                fleet_start(),
+                ev(0, EventKind::JobArrived { job: 0 }),
+                ev(0, EventKind::JobDispatched { job: 0, machine: 0 }),
+                ev(1, EventKind::JobDispatched { job: 0, machine: 1 }),
+                ev(2, EventKind::JobCompleted { job: 0, time_s: 1.0 }),
+            ],
+        };
+        let mut out = Vec::new();
+        check_fleet(&trace, &mut out);
+        assert!(out.iter().any(|x| x.detail.contains("already running")), "{out:?}");
+    }
+
+    #[test]
+    fn zombie_resubmit_after_failure_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                fleet_start(),
+                ev(0, EventKind::JobArrived { job: 0 }),
+                ev(0, EventKind::JobDispatched { job: 0, machine: 0 }),
+                ev(1, EventKind::JobFailed { job: 0, attempts: 1 }),
+                ev(2, EventKind::JobDispatched { job: 0, machine: 1 }),
+                ev(3, EventKind::JobCompleted { job: 0, time_s: 1.0 }),
+            ],
+        };
+        let mut out = Vec::new();
+        check_fleet(&trace, &mut out);
+        assert!(out.iter().any(|x| x.detail.contains("zombie")), "{out:?}");
+    }
+
+    #[test]
+    fn retry_schedule_violations_are_flagged() {
+        let base = vec![
+            fleet_start(),
+            ev(0, EventKind::JobArrived { job: 0 }),
+            ev(0, EventKind::JobDispatched { job: 0, machine: 0 }),
+        ];
+        // Out-of-sequence attempt number.
+        let mut events = base.clone();
+        events.push(ev(1, EventKind::JobRetry { job: 0, attempt: 2, backoff_epochs: 1 }));
+        events.push(ev(9, EventKind::JobFailed { job: 0, attempts: 1 }));
+        let mut out = Vec::new();
+        check_fleet(&Trace { events }, &mut out);
+        assert!(out.iter().any(|x| x.detail.contains("out of sequence")), "{out:?}");
+        // Backoff above the configured ceiling.
+        let mut events = base.clone();
+        events.push(ev(1, EventKind::JobRetry { job: 0, attempt: 1, backoff_epochs: 99 }));
+        events.push(ev(9, EventKind::JobFailed { job: 0, attempts: 1 }));
+        let mut out = Vec::new();
+        check_fleet(&Trace { events }, &mut out);
+        assert!(out.iter().any(|x| x.detail.contains("ceiling")), "{out:?}");
+    }
+
+    #[test]
+    fn fleet_envelope_leak_is_flagged() {
+        let trace = Trace {
+            events: vec![
+                fleet_start(),
+                // Two members capped at 600 W each: shares must sum to
+                // min(1000, 1200) = 1000, not 900.
+                ev(
+                    0,
+                    EventKind::EnvelopeRenorm {
+                        epoch: 0,
+                        machine: 0,
+                        share_w: 450.0,
+                        cap_w: 600.0,
+                    },
+                ),
+                ev(
+                    0,
+                    EventKind::EnvelopeRenorm {
+                        epoch: 0,
+                        machine: 1,
+                        share_w: 450.0,
+                        cap_w: 600.0,
+                    },
+                ),
+            ],
+        };
+        let mut out = Vec::new();
+        check_fleet(&trace, &mut out);
+        assert!(out.iter().any(|x| x.detail.contains("shares sum")), "{out:?}");
+        assert!(out.iter().all(|x| x.code_str() == "AUDIT0010"));
+    }
+
+    #[test]
+    fn down_up_alternation_is_enforced() {
+        let trace = Trace {
+            events: vec![
+                fleet_start(),
+                ev(0, EventKind::MachineDown { machine: 0, epoch: 1 }),
+                ev(1, EventKind::MachineDown { machine: 0, epoch: 2 }),
+                ev(2, EventKind::MachineUp { machine: 1, epoch: 3 }),
+            ],
+        };
+        let mut out = Vec::new();
+        check_fleet(&trace, &mut out);
+        assert!(out.iter().any(|x| x.detail.contains("while down")), "{out:?}");
+        assert!(out.iter().any(|x| x.detail.contains("while up")), "{out:?}");
     }
 
     #[test]

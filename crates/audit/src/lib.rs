@@ -7,8 +7,11 @@
 //!    runs a battery of structural and physical checks: clock
 //!    monotonicity, interval nesting, per-node span ordering, budget
 //!    conservation at every allocation, RAPL clamp/actuation consistency,
-//!    energy identities, machine-envelope conservation, and
-//!    fault → graceful-degradation pairing.
+//!    energy identities, machine-envelope conservation,
+//!    fault → graceful-degradation pairing, and the fleet federation
+//!    contract (no job lost or double-run, retry/backoff in bounds,
+//!    fleet-envelope conservation). Every finding carries a namespaced
+//!    diagnostic code ([`diag`]): `AUDIT0001`…`AUDIT0010`.
 //! 2. **Where did the time and energy go?** — [`AuditReport`] derives
 //!    per-phase and per-partition attribution, a per-interval straggler
 //!    breakdown, a critical-path decomposition, and the cap-actuation
@@ -22,13 +25,15 @@
 
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod event;
 pub mod invariants;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use diag::{DiagCode, Diagnostic, Severity, Violation};
 pub use event::{AuditEvent, DecisionFields, EventKind};
-pub use invariants::{check_all, Violation};
+pub use invariants::check_all;
 pub use metrics::AuditReport;
 pub use trace::{Trace, TraceError};

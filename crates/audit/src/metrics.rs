@@ -7,8 +7,9 @@
 //! first-order attribution that is exact when power is flat within the
 //! interval and clearly labelled approximate otherwise.
 
+use crate::diag::Violation;
 use crate::event::EventKind;
-use crate::invariants::{check_all, Violation};
+use crate::invariants::check_all;
 use crate::trace::Trace;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -304,8 +305,11 @@ impl AuditReport {
             }
             let _ = write!(
                 s,
-                "\n    {{\"check\": \"{}\", \"detail\": {}}}",
-                viol.check,
+                "\n    {{\"code\": \"{}\", \"severity\": \"{}\", \"check\": \"{}\", \
+                 \"detail\": {}}}",
+                viol.code_str(),
+                viol.severity().tag(),
+                viol.check(),
                 js(&viol.detail)
             );
         }
@@ -568,8 +572,11 @@ mod tests {
     fn summary_mentions_violations() {
         let mut r = AuditReport::from_trace(&small_trace());
         assert!(r.summary().contains("0 violations"));
-        r.violations.push(Violation { check: "clock", detail: "x".into() });
+        r.violations.push(Violation::new(crate::diag::CLOCK, "x"));
         assert!(r.summary().contains("1 VIOLATIONS"));
+        assert!(r.summary().contains("error[AUDIT0001] clock: x"));
+        assert!(r.to_json().contains("\"code\": \"AUDIT0001\""));
+        assert!(r.to_json().contains("\"severity\": \"error\""));
     }
 
     #[test]

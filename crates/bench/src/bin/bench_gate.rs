@@ -9,9 +9,11 @@
 //! the fresh directory must contain a parseable counterpart that (a)
 //! respects its own absolute `max` bounds and (b) — when both documents
 //! were produced under the same profile — stays within each metric's
-//! declared `tolerance_pct` of the baseline value. Exits 1 on any
-//! failure, so `scripts/verify.sh` and CI can gate on it directly.
+//! declared `tolerance_pct` of the baseline value. Failures are rendered
+//! as namespaced diagnostics (`error[BENCH0001] bound: …`). Exits 1 on
+//! any failure, so `scripts/verify.sh` and CI can gate on it directly.
 
+use audit::{diag, Diagnostic};
 use bench::gate::{compare, BenchDoc};
 use obs::Reporter;
 use std::path::{Path, PathBuf};
@@ -67,7 +69,7 @@ fn main() {
     let baseline_dir = baseline_dir.unwrap_or_else(bench::results_dir);
     let rep = Reporter::new(quiet);
 
-    let mut failures: Vec<String> = Vec::new();
+    let mut failures: Vec<Diagnostic> = Vec::new();
     let mut checked = 0;
     for name in DOCS {
         let baseline = match load(&baseline_dir, name) {
@@ -92,7 +94,7 @@ fn main() {
                 failures.extend(fails);
                 checked += 1;
             }
-            Err(e) => failures.push(e),
+            Err(e) => failures.push(Diagnostic::new(diag::BENCH_PARSE, e)),
         }
     }
 

@@ -26,8 +26,14 @@
 //!   against a `full` baseline would gate noise, not regressions), and
 //!   only for metrics that declare it (deterministic counts set 0; noisy
 //!   wall-clock medians set `null` and rely on `max`).
+//!
+//! Gate failures are [`audit::Diagnostic`]s under the `BENCH0001`…
+//! `BENCH0004` codes, rendered compiler-style
+//! (`error[BENCH0001] bound: …`) by the `bench_gate` binary.
 
+use audit::diag;
 use audit::json::{self, Value};
+use audit::Diagnostic;
 use std::fmt::Write as _;
 
 /// One benchmark metric.
@@ -115,20 +121,23 @@ impl BenchDoc {
     }
 
     /// Check the document's own absolute bounds (`max`).
-    pub fn check_bounds(&self) -> Vec<String> {
+    pub fn check_bounds(&self) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for m in &self.metrics {
             if let Some(max) = m.max {
                 // NaN compares as a violation, never a pass.
                 if m.value.partial_cmp(&max).is_none_or(|o| o == std::cmp::Ordering::Greater) {
-                    out.push(format!(
-                        "{}/{}: {} {} exceeds the absolute bound {} {}",
-                        self.bench,
-                        m.name,
-                        jf(m.value),
-                        m.unit,
-                        jf(max),
-                        m.unit
+                    out.push(Diagnostic::new(
+                        diag::BENCH_BOUND,
+                        format!(
+                            "{}/{}: {} {} exceeds the absolute bound {} {}",
+                            self.bench,
+                            m.name,
+                            jf(m.value),
+                            m.unit,
+                            jf(max),
+                            m.unit
+                        ),
                     ));
                 }
             }
@@ -139,14 +148,17 @@ impl BenchDoc {
 
 /// Compare a fresh document against the committed baseline. Returns every
 /// gate failure (empty = pass).
-pub fn compare(fresh: &BenchDoc, baseline: &BenchDoc) -> Vec<String> {
+pub fn compare(fresh: &BenchDoc, baseline: &BenchDoc) -> Vec<Diagnostic> {
     let mut out = fresh.check_bounds();
     let same_profile = fresh.profile == baseline.profile;
     for base in &baseline.metrics {
         let Some(m) = fresh.metric(&base.name) else {
-            out.push(format!(
-                "{}/{}: metric present in baseline but missing from fresh run",
-                fresh.bench, base.name
+            out.push(Diagnostic::new(
+                diag::BENCH_MISSING,
+                format!(
+                    "{}/{}: metric present in baseline but missing from fresh run",
+                    fresh.bench, base.name
+                ),
             ));
             continue;
         };
@@ -161,16 +173,19 @@ pub fn compare(fresh: &BenchDoc, baseline: &BenchDoc) -> Vec<String> {
             let drift_pct = (m.value - base.value).abs() / denom * 100.0;
             // NaN compares as a violation, never a pass.
             if drift_pct.partial_cmp(&tol).is_none_or(|o| o == std::cmp::Ordering::Greater) {
-                out.push(format!(
-                    "{}/{}: {} {} drifted {:.2}% from baseline {} {} (tolerance {}%)",
-                    fresh.bench,
-                    m.name,
-                    jf(m.value),
-                    m.unit,
-                    drift_pct,
-                    jf(base.value),
-                    base.unit,
-                    jf(tol)
+                out.push(Diagnostic::new(
+                    diag::BENCH_DRIFT,
+                    format!(
+                        "{}/{}: {} {} drifted {:.2}% from baseline {} {} (tolerance {}%)",
+                        fresh.bench,
+                        m.name,
+                        jf(m.value),
+                        m.unit,
+                        drift_pct,
+                        jf(base.value),
+                        base.unit,
+                        jf(tol)
+                    ),
                 ));
             }
         }
@@ -235,7 +250,7 @@ mod tests {
     fn within_bounds_and_tolerance_passes() {
         let fresh = doc("full", 32.0, Some(50.0), Some(25.0));
         let base = doc("full", 30.0, Some(50.0), Some(25.0));
-        assert_eq!(compare(&fresh, &base), Vec::<String>::new());
+        assert_eq!(compare(&fresh, &base), Vec::new());
     }
 
     #[test]
@@ -244,7 +259,8 @@ mod tests {
         let base = doc("full", 30.0, Some(50.0), None);
         let fails = compare(&fresh, &base);
         assert_eq!(fails.len(), 1);
-        assert!(fails[0].contains("absolute bound"), "{fails:?}");
+        assert_eq!(fails[0].code_str(), "BENCH0001");
+        assert!(fails[0].to_string().contains("absolute bound"), "{fails:?}");
     }
 
     #[test]
@@ -255,7 +271,8 @@ mod tests {
         let doctored = doc("full", 90.0, None, Some(10.0));
         let fails = compare(&fresh, &doctored);
         assert_eq!(fails.len(), 1);
-        assert!(fails[0].contains("drifted"), "{fails:?}");
+        assert_eq!(fails[0].code_str(), "BENCH0002");
+        assert!(fails[0].to_string().contains("drifted"), "{fails:?}");
     }
 
     #[test]
@@ -263,7 +280,7 @@ mod tests {
         let fresh = doc("quick", 49.0, Some(50.0), Some(1.0));
         let base = doc("full", 30.0, Some(50.0), Some(1.0));
         // 63% drift would fail, but profiles differ → only bounds apply.
-        assert_eq!(compare(&fresh, &base), Vec::<String>::new());
+        assert_eq!(compare(&fresh, &base), Vec::new());
     }
 
     #[test]
@@ -273,7 +290,8 @@ mod tests {
         let base = doc("full", 30.0, None, None);
         let fails = compare(&fresh, &base);
         assert_eq!(fails.len(), 1);
-        assert!(fails[0].contains("missing"), "{fails:?}");
+        assert_eq!(fails[0].code_str(), "BENCH0003");
+        assert!(fails[0].to_string().contains("missing"), "{fails:?}");
     }
 
     #[test]

@@ -434,6 +434,181 @@ impl JobFaultPlan {
     }
 }
 
+/// One kind of machine-level fault (failure-domain analogue of
+/// [`FaultKind`]: a whole machine, not a node, misbehaves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MachineFaultKind {
+    /// The machine dies at the start of the fleet epoch and never returns.
+    Crash,
+    /// The machine is unreachable (heartbeats lost, jobs frozen) for
+    /// `epochs` fleet epochs, then heals.
+    Partition {
+        /// Outage length in fleet epochs.
+        epochs: u64,
+    },
+    /// The machine keeps running but every epoch takes `factor` (> 1)
+    /// times longer on its wall clock, for `epochs` fleet epochs.
+    Slow {
+        /// Multiplier on the machine's epoch duration.
+        factor: f64,
+        /// Slowdown length in fleet epochs.
+        epochs: u64,
+    },
+}
+
+impl MachineFaultKind {
+    /// Stable lowercase tag for logs and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MachineFaultKind::Crash => "machine_crash",
+            MachineFaultKind::Partition { .. } => "partition",
+            MachineFaultKind::Slow { .. } => "slow_machine",
+        }
+    }
+}
+
+/// A machine-level fault scheduled at one fleet epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineFault {
+    /// Fleet scheduling epoch (0-based) at which the fault fires.
+    pub epoch: u64,
+    /// Target machine (fleet-wide index).
+    pub machine: usize,
+    /// What happens.
+    pub kind: MachineFaultKind,
+}
+
+/// Per-kind injection probabilities for machine faults (per machine, per
+/// fleet epoch). All fields are probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MachineFaultIntensity {
+    /// Probability a machine crashes (fires at most once per machine).
+    pub crash: f64,
+    /// Probability a machine partitions away for a few epochs.
+    pub partition: f64,
+    /// Probability a machine slows down for a few epochs.
+    pub slow: f64,
+}
+
+impl MachineFaultIntensity {
+    /// No machine faults at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The `fleet_sweep` storm profile: one knob `x ∈ [0, 1]`. Crashes
+    /// stay rare (a crashed machine never returns, so the fleet must keep
+    /// enough survivors to finish); partitions and slowdowns are the
+    /// common weather.
+    pub fn storm(x: f64) -> Self {
+        let x = x.clamp(0.0, 1.0);
+        MachineFaultIntensity { crash: 0.01 * x, partition: 0.03 * x, slow: 0.04 * x }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.crash == 0.0 && self.partition == 0.0 && self.slow == 0.0
+    }
+}
+
+/// A replayable schedule of machine-level faults for the fleet scheduler.
+///
+/// Same invariants as [`FaultPlan`]: generation is deterministic in all
+/// arguments, the plan is materialized up front so injection never draws
+/// from a simulation RNG stream, and the empty plan injects nothing. At
+/// most one fault is active per machine at a time (a partitioned machine
+/// does not also slow down mid-outage), and a crashed machine schedules
+/// nothing further.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineFaultPlan {
+    events: Vec<MachineFault>,
+}
+
+impl MachineFaultPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        MachineFaultPlan::default()
+    }
+
+    /// Build from an explicit fault list (tests, bespoke scenarios).
+    pub fn from_events(mut events: Vec<MachineFault>) -> Self {
+        events.sort_by_key(|e| (e.epoch, e.machine));
+        MachineFaultPlan { events }
+    }
+
+    /// Generate a storm for `machines` machines over `epochs` fleet
+    /// epochs. Deterministic in all arguments.
+    pub fn generate(
+        seed: u64,
+        intensity: &MachineFaultIntensity,
+        machines: usize,
+        epochs: u64,
+    ) -> Self {
+        if intensity.is_zero() || machines == 0 || epochs == 0 {
+            return MachineFaultPlan::none();
+        }
+        // Domain-separated from the node-level and job-level plans and
+        // from every simulation stream.
+        let mut rng = Rng::seed_from_u64(seed ^ 0xF1EE_7FA1_7B10_C0DE);
+        let mut events = Vec::new();
+        let mut crashed = vec![false; machines];
+        // Epoch at which the machine's current fault (if any) ends.
+        let mut busy_until = vec![0u64; machines];
+        for epoch in 0..epochs {
+            for machine in 0..machines {
+                if crashed[machine] || epoch < busy_until[machine] {
+                    continue;
+                }
+                if rng.next_f64() < intensity.crash {
+                    crashed[machine] = true;
+                    events.push(MachineFault { epoch, machine, kind: MachineFaultKind::Crash });
+                    continue;
+                }
+                if rng.next_f64() < intensity.partition {
+                    let outage = 2 + rng.next_below(4);
+                    busy_until[machine] = epoch + outage;
+                    events.push(MachineFault {
+                        epoch,
+                        machine,
+                        kind: MachineFaultKind::Partition { epochs: outage },
+                    });
+                    continue;
+                }
+                if rng.next_f64() < intensity.slow {
+                    let factor = 1.5 + 2.5 * rng.next_f64();
+                    let span = 2 + rng.next_below(4);
+                    busy_until[machine] = epoch + span;
+                    events.push(MachineFault {
+                        epoch,
+                        machine,
+                        kind: MachineFaultKind::Slow { factor, epochs: span },
+                    });
+                }
+            }
+        }
+        MachineFaultPlan { events }
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All scheduled faults, ordered by `(epoch, machine)`.
+    pub fn events(&self) -> &[MachineFault] {
+        &self.events
+    }
+
+    /// Faults firing at fleet epoch `epoch`.
+    pub fn faults_at(&self, epoch: u64) -> impl Iterator<Item = &MachineFault> {
+        self.events.iter().filter(move |e| e.epoch == epoch)
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,5 +696,51 @@ mod tests {
         let lo = FaultPlan::generate(9, &FaultIntensity::scaled(0.1), 16, 100).len();
         let hi = FaultPlan::generate(9, &FaultIntensity::scaled(1.0), 16, 100).len();
         assert!(hi > lo, "more intensity should mean more events ({lo} vs {hi})");
+    }
+
+    #[test]
+    fn machine_plan_generation_is_deterministic() {
+        let i = MachineFaultIntensity::storm(1.0);
+        let a = MachineFaultPlan::generate(11, &i, 4, 200);
+        let b = MachineFaultPlan::generate(11, &i, 4, 200);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "full storm over 200 epochs should inject something");
+        let c = MachineFaultPlan::generate(12, &i, 4, 200);
+        assert_ne!(a, c, "different seed should change the plan");
+        assert_eq!(MachineFaultPlan::generate(11, &MachineFaultIntensity::none(), 4, 200).len(), 0);
+    }
+
+    #[test]
+    fn machine_plan_crashes_at_most_once_and_never_overlaps() {
+        let i = MachineFaultIntensity { crash: 0.05, partition: 0.2, slow: 0.2 };
+        let plan = MachineFaultPlan::generate(5, &i, 3, 300);
+        for machine in 0..3 {
+            let mut crashed_at = None;
+            let mut busy_until = 0u64;
+            for f in plan.events().iter().filter(|f| f.machine == machine) {
+                assert!(crashed_at.is_none(), "machine {machine} faulted after a crash");
+                assert!(f.epoch >= busy_until, "machine {machine} overlapping faults");
+                match f.kind {
+                    MachineFaultKind::Crash => crashed_at = Some(f.epoch),
+                    MachineFaultKind::Partition { epochs } => busy_until = f.epoch + epochs,
+                    MachineFaultKind::Slow { factor, epochs } => {
+                        assert!(factor > 1.0, "slowdown must dilate time");
+                        busy_until = f.epoch + epochs;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn machine_plan_from_events_sorts_and_filters() {
+        let plan = MachineFaultPlan::from_events(vec![
+            MachineFault { epoch: 5, machine: 1, kind: MachineFaultKind::Crash },
+            MachineFault { epoch: 2, machine: 0, kind: MachineFaultKind::Partition { epochs: 3 } },
+        ]);
+        assert_eq!(plan.events()[0].epoch, 2, "from_events sorts");
+        assert_eq!(plan.faults_at(5).count(), 1);
+        assert_eq!(plan.faults_at(3).count(), 0);
+        assert_eq!(plan.len(), 2);
     }
 }

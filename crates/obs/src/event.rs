@@ -266,6 +266,85 @@ pub enum Event {
         pool_w: f64,
     },
 
+    // --- fleet: federation, failure domains, recovery ---------------------
+    /// Fleet header, emitted once before the first fleet epoch: the global
+    /// envelope and the retry contract every fleet invariant checks
+    /// against.
+    FleetStart {
+        /// Number of federated machines.
+        machines: usize,
+        /// Global fleet power envelope, watts.
+        envelope_w: f64,
+        /// Backoff base, fleet epochs (first retry waits this long).
+        retry_base_epochs: u64,
+        /// Backoff ceiling, fleet epochs.
+        retry_cap_epochs: u64,
+        /// Retry budget per job (dispatches after the first).
+        max_retries: u64,
+    },
+    /// A machine was declared down (heartbeat misses exceeded the
+    /// threshold after a crash or partition).
+    MachineDown {
+        /// Machine id (fleet ordinal).
+        machine: usize,
+        /// Fleet epoch of the declaration.
+        epoch: u64,
+    },
+    /// A previously-down machine healed and rejoined (partitions only;
+    /// crashes are permanent).
+    MachineUp {
+        /// Machine id.
+        machine: usize,
+        /// Fleet epoch of the rejoin.
+        epoch: u64,
+    },
+    /// A fleet job was handed to a machine (first dispatch or
+    /// resubmission).
+    JobDispatched {
+        /// Fleet-global job id.
+        job: usize,
+        /// Target machine.
+        machine: usize,
+    },
+    /// A job lost to a machine failure was scheduled for resubmission.
+    JobRetry {
+        /// Fleet-global job id.
+        job: usize,
+        /// Retry ordinal (1-based: first resubmission is attempt 1).
+        attempt: u64,
+        /// Fleet epochs the job waits before redispatch (capped
+        /// exponential backoff).
+        backoff_epochs: u64,
+    },
+    /// A retried job was placed on a different machine than it left.
+    JobMigrated {
+        /// Fleet-global job id.
+        job: usize,
+        /// Machine the job was evacuated from.
+        from_machine: usize,
+        /// Machine the job resumed on.
+        to_machine: usize,
+    },
+    /// A job exhausted its retry budget and was reported failed.
+    JobFailed {
+        /// Fleet-global job id.
+        job: usize,
+        /// Total dispatch attempts consumed.
+        attempts: u64,
+    },
+    /// The fleet envelope was re-divided across live machines after a
+    /// membership change (one event per surviving member, same epoch).
+    EnvelopeRenorm {
+        /// Fleet epoch of the renormalization.
+        epoch: u64,
+        /// Member machine receiving the share.
+        machine: usize,
+        /// Share handed to the machine, watts.
+        share_w: f64,
+        /// The machine's own envelope ceiling, watts.
+        cap_w: f64,
+    },
+
     // --- faults ----------------------------------------------------------
     /// An injected fault fired.
     Fault {
@@ -317,6 +396,14 @@ impl Event {
             Event::JobCompleted { .. } => "job_completed",
             Event::JobKilled { .. } => "job_killed",
             Event::MachineBudget { .. } => "machine_budget",
+            Event::FleetStart { .. } => "fleet_start",
+            Event::MachineDown { .. } => "machine_down",
+            Event::MachineUp { .. } => "machine_up",
+            Event::JobDispatched { .. } => "job_dispatched",
+            Event::JobRetry { .. } => "job_retry",
+            Event::JobMigrated { .. } => "job_migrated",
+            Event::JobFailed { .. } => "job_failed",
+            Event::EnvelopeRenorm { .. } => "envelope_renorm",
             Event::Fault { .. } => "fault",
             Event::Recovery { .. } => "recovery",
         }
@@ -476,6 +563,51 @@ impl TraceEvent {
                 field_u64(out, "epoch", *epoch);
                 field_f64(out, "allocated_w", *allocated_w);
                 field_f64(out, "pool_w", *pool_w);
+            }
+            Event::FleetStart {
+                machines,
+                envelope_w,
+                retry_base_epochs,
+                retry_cap_epochs,
+                max_retries,
+            } => {
+                field_usize(out, "machines", *machines);
+                field_f64(out, "envelope_w", *envelope_w);
+                field_u64(out, "retry_base_epochs", *retry_base_epochs);
+                field_u64(out, "retry_cap_epochs", *retry_cap_epochs);
+                field_u64(out, "max_retries", *max_retries);
+            }
+            Event::MachineDown { machine, epoch } => {
+                field_usize(out, "machine", *machine);
+                field_u64(out, "epoch", *epoch);
+            }
+            Event::MachineUp { machine, epoch } => {
+                field_usize(out, "machine", *machine);
+                field_u64(out, "epoch", *epoch);
+            }
+            Event::JobDispatched { job, machine } => {
+                field_usize(out, "job", *job);
+                field_usize(out, "machine", *machine);
+            }
+            Event::JobRetry { job, attempt, backoff_epochs } => {
+                field_usize(out, "job", *job);
+                field_u64(out, "attempt", *attempt);
+                field_u64(out, "backoff_epochs", *backoff_epochs);
+            }
+            Event::JobMigrated { job, from_machine, to_machine } => {
+                field_usize(out, "job", *job);
+                field_usize(out, "from_machine", *from_machine);
+                field_usize(out, "to_machine", *to_machine);
+            }
+            Event::JobFailed { job, attempts } => {
+                field_usize(out, "job", *job);
+                field_u64(out, "attempts", *attempts);
+            }
+            Event::EnvelopeRenorm { epoch, machine, share_w, cap_w } => {
+                field_u64(out, "epoch", *epoch);
+                field_usize(out, "machine", *machine);
+                field_f64(out, "share_w", *share_w);
+                field_f64(out, "cap_w", *cap_w);
             }
             Event::Fault { sync, node, tag } => {
                 field_u64(out, "sync", *sync);

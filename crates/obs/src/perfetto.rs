@@ -238,9 +238,18 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             | Event::JobStarted { .. }
             | Event::JobCompleted { .. }
             | Event::JobKilled { .. }
-            | Event::MachineBudget { .. } => {
-                // Machine-level scheduling events have no per-node row; the
-                // JSONL trace carries them, the Perfetto view omits them.
+            | Event::MachineBudget { .. }
+            | Event::FleetStart { .. }
+            | Event::MachineDown { .. }
+            | Event::MachineUp { .. }
+            | Event::JobDispatched { .. }
+            | Event::JobRetry { .. }
+            | Event::JobMigrated { .. }
+            | Event::JobFailed { .. }
+            | Event::EnvelopeRenorm { .. } => {
+                // Machine- and fleet-level scheduling events have no
+                // per-node row; the JSONL trace carries them, the Perfetto
+                // view omits them.
             }
         }
     }

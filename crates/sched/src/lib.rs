@@ -37,5 +37,7 @@
 mod machine;
 mod queue;
 
-pub use machine::{EpochRecord, JobOutcome, MachineResult, MachineSpec, Policy, Scheduler};
+pub use machine::{
+    EpochRecord, Evacuee, JobOutcome, MachineResult, MachineSpec, Policy, Scheduler,
+};
 pub use queue::{JobSpec, JobState};

@@ -3,7 +3,7 @@
 use crate::queue::{JobSpec, JobState};
 use des::SimTime;
 use faults::JobFaultPlan;
-use insitu::Runtime;
+use insitu::{JobConfig, Runtime};
 use seesaw::{water_fill, UnknownController};
 use std::sync::Mutex;
 use theta_sim::MachineNodes;
@@ -128,6 +128,24 @@ impl MachineResult {
     }
 }
 
+/// A non-terminal job pulled off a machine that left the fleet: its
+/// checkpoint state for resubmission elsewhere. The checkpoint is the last
+/// *completed* synchronization interval — work past it is lost and must be
+/// re-run on the new machine.
+#[derive(Debug, Clone)]
+pub struct Evacuee {
+    /// Job id on the evacuated machine (submission ordinal there).
+    pub job: usize,
+    /// The job's configuration as submitted to that machine.
+    pub config: JobConfig,
+    /// Synchronizations completed before the machine was lost.
+    pub completed_syncs: u64,
+    /// Energy already spent on the lost machine, joules.
+    pub energy_j: f64,
+    /// Simulated job time already spent there, seconds.
+    pub job_time_s: f64,
+}
+
 struct JobSlot {
     spec: JobSpec,
     state: JobState,
@@ -155,6 +173,17 @@ impl JobSlot {
 }
 
 /// The machine scheduler.
+///
+/// Two driving styles share one epoch body: [`Scheduler::run`] owns the
+/// loop (single-machine sweeps), while the steppable seam —
+/// [`Scheduler::start`] / [`Scheduler::step_epoch`] /
+/// [`Scheduler::finish`] — lets a fleet front end interleave many
+/// machines, inject membership changes between epochs
+/// ([`Scheduler::submit`], [`Scheduler::evacuate`],
+/// [`Scheduler::set_envelope_w`]), and read progress without disturbing
+/// the run ([`Scheduler::job_progress`]). `run()` is exactly
+/// `start`/`step_epoch`-until-terminal/`finish`, so both styles produce
+/// byte-identical traces and results.
 pub struct Scheduler {
     spec: MachineSpec,
     jobs: Vec<JobSlot>,
@@ -163,6 +192,11 @@ pub struct Scheduler {
     tracer: obs::Tracer,
     machine_t: SimTime,
     records: Vec<EpochRecord>,
+    next_epoch: u64,
+    started: bool,
+    /// Wall-clock multiplier on every epoch (slow-machine faults; 1.0 is
+    /// bit-exact identity).
+    time_dilation: f64,
 }
 
 impl Scheduler {
@@ -200,6 +234,9 @@ impl Scheduler {
             tracer: obs::Tracer::off(),
             machine_t: SimTime::ZERO,
             records: Vec::new(),
+            next_epoch: 0,
+            started: false,
+            time_dilation: 1.0,
         })
     }
 
@@ -218,6 +255,24 @@ impl Scheduler {
 
     /// Run the machine until every job is terminal (or `max_epochs`).
     pub fn run(mut self) -> MachineResult {
+        self.start();
+        while self.next_epoch < self.spec.max_epochs {
+            self.step_epoch();
+            if self.all_terminal() {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Emit the machine-start event. Idempotent; `step_epoch` calls it on
+    /// first use, so external drivers only call it to pin the event before
+    /// emitting their own.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         if self.tracer.is_enabled() {
             self.tracer.set_now(self.machine_t);
             self.tracer.emit(obs::Event::MachineStart {
@@ -225,32 +280,49 @@ impl Scheduler {
                 envelope_w: self.spec.envelope_w,
             });
         }
-        for epoch in 0..self.spec.max_epochs {
-            self.fire_kills(epoch);
-            self.admit_arrivals(epoch);
-            self.admit_queue();
-            let (allocated_w, pool_w, budgets) = self.govern();
-            self.tracer.set_now(self.machine_t);
-            if self.tracer.is_enabled() {
-                self.tracer.emit(obs::Event::MachineBudget { epoch, allocated_w, pool_w });
-            }
-            let running = budgets.len();
-            let queued = self.jobs.iter().filter(|j| matches!(j.state, JobState::Queued)).count();
-            self.records.push(EpochRecord {
-                epoch,
-                start_s: self.machine_t.as_secs_f64(),
-                running,
-                queued,
-                allocated_w,
-                pool_w,
-                budgets,
-            });
-            self.step_running();
-            self.reap_completed();
-            if self.jobs.iter().all(|j| j.state.is_terminal()) {
-                break;
-            }
+    }
+
+    /// Execute one scheduling epoch: fire job-kill faults, admit arrivals
+    /// and the queue, govern the envelope, step every running job, reap
+    /// completions. Safe to call past `max_epochs` (no-op) so external
+    /// drivers need no bound bookkeeping of their own.
+    pub fn step_epoch(&mut self) {
+        self.start();
+        if self.next_epoch >= self.spec.max_epochs {
+            return;
         }
+        let epoch = self.next_epoch;
+        self.fire_kills(epoch);
+        self.admit_arrivals(epoch);
+        self.admit_queue();
+        let (allocated_w, pool_w, budgets) = self.govern();
+        self.tracer.set_now(self.machine_t);
+        if self.tracer.is_enabled() {
+            self.tracer.emit(obs::Event::MachineBudget { epoch, allocated_w, pool_w });
+        }
+        let running = budgets.len();
+        let queued = self.jobs.iter().filter(|j| matches!(j.state, JobState::Queued)).count();
+        self.records.push(EpochRecord {
+            epoch,
+            start_s: self.machine_t.as_secs_f64(),
+            running,
+            queued,
+            allocated_w,
+            pool_w,
+            budgets,
+        });
+        self.step_running();
+        self.reap_completed();
+        self.next_epoch = epoch + 1;
+    }
+
+    /// True once every submitted job is in a terminal state.
+    pub fn all_terminal(&self) -> bool {
+        self.jobs.iter().all(|j| j.state.is_terminal())
+    }
+
+    /// Kill anything still live and build the final accounting.
+    pub fn finish(mut self) -> MachineResult {
         // Anything still live at the epoch bound is accounted as killed.
         let leftover: Vec<usize> = self
             .jobs
@@ -288,17 +360,164 @@ impl Scheduler {
         }
     }
 
+    /// Next epoch ordinal (equivalently: epochs executed so far).
+    pub fn epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Machine clock, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.machine_t.as_secs_f64()
+    }
+
+    /// Nodes currently free in the lease pool.
+    pub fn free_nodes(&self) -> usize {
+        self.pool.free_count()
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.spec.nodes
+    }
+
+    /// Current power envelope, watts.
+    pub fn envelope_w(&self) -> f64 {
+        self.spec.envelope_w
+    }
+
+    /// Retarget the machine's power envelope (fleet renormalization after
+    /// a membership change). Takes effect at the next `govern` call, i.e.
+    /// the next epoch. Running jobs whose floors exceed the new envelope
+    /// are pinned at their floors by `water_fill` (physics cannot shed
+    /// below idle power); admission stays gated on the new value.
+    pub fn set_envelope_w(&mut self, envelope_w: f64) {
+        assert!(envelope_w.is_finite() && envelope_w >= 0.0, "envelope must be finite and >= 0");
+        self.spec.envelope_w = envelope_w;
+    }
+
+    /// Dilate the machine's wall clock: every epoch takes `factor` times
+    /// longer (slow-machine fault). `1.0` restores bit-exact identity.
+    pub fn set_time_dilation(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "dilation must be finite and > 0");
+        self.time_dilation = factor;
+    }
+
+    /// Submit a new job mid-run (fleet dispatch / resubmission). The job
+    /// enters the FIFO queue directly — structural rejection is the
+    /// caller's concern, since a fleet router only dispatches jobs that
+    /// fit. Returns the machine-local job id.
+    pub fn submit(&mut self, config: JobConfig) -> Result<usize, UnknownController> {
+        insitu::build_controller(&config)?;
+        let job = self.jobs.len();
+        self.jobs.push(JobSlot {
+            spec: JobSpec::arriving(self.next_epoch, config),
+            state: JobState::Queued,
+            runtime: None,
+            budget_w: 0.0,
+            last_energy_j: 0.0,
+            last_dt_s: 0.0,
+            has_feedback: false,
+            start_s: 0.0,
+            finish_s: 0.0,
+            job_time_s: 0.0,
+            energy_j: 0.0,
+            syncs_done: 0,
+        });
+        Ok(job)
+    }
+
+    /// Number of submitted jobs (including terminal ones).
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Lifecycle state of job `job`.
+    pub fn job_state(&self, job: usize) -> JobState {
+        self.jobs[job].state
+    }
+
+    /// Progress snapshot of job `job`: `(completed syncs, energy in
+    /// joules, simulated job time in seconds)`. Reads the live runtime for
+    /// running jobs, the captured accounting otherwise.
+    pub fn job_progress(&self, job: usize) -> (u64, f64, f64) {
+        let slot = &self.jobs[job];
+        match &slot.runtime {
+            Some(rt) => {
+                (rt.completed_syncs(), rt.energy_since(SimTime::ZERO), { rt.now().as_secs_f64() })
+            }
+            None => (slot.syncs_done, slot.energy_j, slot.job_time_s),
+        }
+    }
+
+    /// Pull every non-terminal job off the machine (machine loss). Each
+    /// job is checkpointed at its last completed synchronization and
+    /// killed locally; the returned [`Evacuee`]s carry what a fleet needs
+    /// to resubmit the remaining work elsewhere. Leases return to the
+    /// pool, budgets zero out.
+    pub fn evacuate(&mut self) -> Vec<Evacuee> {
+        let live: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.state.is_terminal())
+            .map(|(i, _)| i)
+            .collect();
+        let mut out = Vec::with_capacity(live.len());
+        for job in live {
+            self.kill_job(job);
+            self.enforce_kill_accounting(job);
+            let slot = &self.jobs[job];
+            out.push(Evacuee {
+                job,
+                config: slot.spec.config.clone(),
+                completed_syncs: slot.syncs_done,
+                energy_j: slot.energy_j,
+                job_time_s: slot.job_time_s,
+            });
+        }
+        out
+    }
+
     fn fire_kills(&mut self, epoch: u64) {
         let victims: Vec<usize> = self.job_faults.kills_at(epoch).collect();
         for job in victims {
             if job < self.jobs.len() && !self.jobs[job].state.is_terminal() {
                 self.kill_job(job);
+                self.enforce_kill_accounting(job);
                 self.tracer.set_now(self.machine_t);
                 if self.tracer.is_enabled() {
                     self.tracer.emit(obs::Event::JobKilled { job });
                 }
             }
         }
+    }
+
+    /// Post-kill accounting contract: the victim holds no runtime and no
+    /// envelope share (repaired if violated — both are idempotent zeroes),
+    /// and its lease really returned to the pool (asserted — a leaked node
+    /// cannot be repaired without risking a double release). Kills fire
+    /// before `govern`, so the envelope renormalizes across survivors in
+    /// the same epoch.
+    fn enforce_kill_accounting(&mut self, job: usize) {
+        let slot = &mut self.jobs[job];
+        slot.budget_w = 0.0;
+        slot.runtime = None;
+        let leased: usize = self
+            .jobs
+            .iter()
+            .filter_map(|j| match j.state {
+                JobState::Running { lease } => Some(lease.count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(
+            self.pool.free_count() + leased,
+            self.spec.nodes,
+            "job {job} kill leaked nodes: {} free + {} leased != {} total",
+            self.pool.free_count(),
+            leased,
+            self.spec.nodes
+        );
     }
 
     fn kill_job(&mut self, job: usize) {
@@ -488,7 +707,7 @@ impl Scheduler {
             self.jobs[i].has_feedback = true;
             epoch_dt = epoch_dt.max(dt);
         }
-        self.machine_t += des::SimDuration::from_secs_f64(epoch_dt);
+        self.machine_t += des::SimDuration::from_secs_f64(epoch_dt * self.time_dilation);
     }
 
     fn reap_completed(&mut self) {

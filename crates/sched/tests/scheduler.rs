@@ -152,6 +152,126 @@ fn machine_run_is_deterministic() {
     assert_eq!(a, b);
 }
 
+/// Satellite regression for the kill-accounting contract: pin pool
+/// occupancy and the budget sum across the epoch in which the job-kill
+/// fault fires. The killed job's nodes must be back in the first-fit pool
+/// and its envelope share renormalized onto survivors *in the same
+/// epoch*, not one epoch later.
+#[test]
+fn kill_epoch_returns_nodes_and_renormalizes_budgets_in_place() {
+    let jobs = vec![
+        JobSpec::at_start(small_job(60, 40, AnalysisKind::MsdFull)),
+        JobSpec::at_start(small_job(61, 40, AnalysisKind::Vacf)),
+    ];
+    let plan = faults::JobFaultPlan::from_events(vec![faults::JobFault { epoch: 3, job: 0 }]);
+    let mut s = Scheduler::new(machine(4, 600.0, Policy::EnergyFeedback), jobs)
+        .expect("valid controllers")
+        .with_job_faults(plan);
+    s.start();
+    for _ in 0..3 {
+        s.step_epoch();
+    }
+    // Before the kill: machine full, both jobs share the envelope.
+    assert_eq!(s.free_nodes(), 0, "both 2-node jobs hold the 4 nodes");
+    assert!(matches!(s.job_state(0), sched::JobState::Running { .. }));
+
+    s.step_epoch(); // epoch 3: the kill fires at the head of this epoch
+    assert!(matches!(s.job_state(0), sched::JobState::Killed));
+    assert_eq!(s.free_nodes(), 2, "killed job's lease returned to the pool");
+
+    let result = s.finish();
+    let before = &result.epochs[2];
+    let after = &result.epochs[3];
+    assert_eq!(before.budgets.len(), 2, "epoch 2: both jobs budgeted");
+    assert_eq!(after.budgets.len(), 1, "epoch 3: victim dropped from the budget set");
+    assert!(after.budgets.iter().all(|&(job, _)| job != 0), "victim holds no share");
+    // Renormalization in the kill epoch: the survivor absorbs the freed
+    // share up to its ceiling (2 nodes × 215 W), instead of keeping its
+    // old contended share.
+    let survivor_before = before.budgets.iter().find(|&&(j, _)| j == 1).unwrap().1;
+    let survivor_after = after.budgets[0].1;
+    assert!(
+        survivor_after > survivor_before + 1.0,
+        "survivor share must grow in the kill epoch ({survivor_before} -> {survivor_after})"
+    );
+    assert!((survivor_after - 2.0 * 215.0).abs() < 1e-6, "alone, the survivor pins its ceiling");
+    assert!((after.allocated_w + after.pool_w - 600.0).abs() < 1e-6, "envelope conserved");
+}
+
+/// The steppable seam is the same machine: driving
+/// `start`/`step_epoch`/`finish` by hand reproduces `run()` byte for byte.
+#[test]
+fn steppable_drive_matches_run() {
+    let build = || {
+        let jobs = vec![
+            JobSpec::at_start(small_job(70, 16, AnalysisKind::MsdFull)),
+            JobSpec::at_start(small_job(71, 16, AnalysisKind::Vacf)),
+            JobSpec::arriving(2, small_job(72, 12, AnalysisKind::Rdf)),
+        ];
+        Scheduler::new(machine(8, 700.0, Policy::PowerAware), jobs)
+            .expect("valid controllers")
+            .with_job_faults(faults::JobFaultPlan::generate(5, 3, 20, 0.02))
+    };
+    let a = build().run();
+    let mut s = build();
+    s.start();
+    while !s.all_terminal() {
+        s.step_epoch();
+    }
+    let b = s.finish();
+    assert_eq!(a, b);
+}
+
+/// Evacuation checkpoints every live job at its last completed sync and
+/// leaves the machine empty: all leases back, all budgets zero.
+#[test]
+fn evacuation_checkpoints_live_jobs_and_drains_the_machine() {
+    let jobs = vec![
+        JobSpec::at_start(small_job(80, 40, AnalysisKind::MsdFull)),
+        JobSpec::at_start(small_job(81, 40, AnalysisKind::Vacf)),
+        JobSpec::at_start(small_job(82, 40, AnalysisKind::Rdf)), // queued: 4 nodes full
+    ];
+    let mut s = Scheduler::new(machine(4, 600.0, Policy::EqualShare), jobs).expect("valid");
+    s.start();
+    for _ in 0..3 {
+        s.step_epoch();
+    }
+    let evacuees = s.evacuate();
+    assert_eq!(evacuees.len(), 3, "every non-terminal job evacuates");
+    for e in &evacuees[..2] {
+        assert_eq!(e.completed_syncs, 3 * 4, "checkpoint = 3 epochs × 4 syncs");
+        assert!(e.energy_j > 0.0, "spent energy travels with the evacuee");
+        assert!(e.job_time_s > 0.0);
+    }
+    assert_eq!(evacuees[2].completed_syncs, 0, "queued job evacuates from scratch");
+    assert_eq!(s.free_nodes(), 4, "machine drained");
+    assert!(s.all_terminal());
+    let result = s.finish();
+    for o in &result.outcomes {
+        assert_eq!(o.outcome, "killed");
+    }
+}
+
+/// Mid-run submission (fleet dispatch) enters the FIFO queue and runs
+/// once space allows; resubmitted work is a plain job to the machine.
+#[test]
+fn mid_run_submission_is_admitted_next_epoch() {
+    let jobs = vec![JobSpec::at_start(small_job(90, 24, AnalysisKind::Vacf))];
+    let mut s = Scheduler::new(machine(4, 600.0, Policy::EqualShare), jobs).expect("valid");
+    s.start();
+    s.step_epoch();
+    let id = s.submit(small_job(91, 8, AnalysisKind::Rdf)).expect("valid controller");
+    assert_eq!(id, 1);
+    assert!(matches!(s.job_state(id), sched::JobState::Queued));
+    s.step_epoch();
+    assert!(matches!(s.job_state(id), sched::JobState::Running { .. }));
+    while !s.all_terminal() {
+        s.step_epoch();
+    }
+    let result = s.finish();
+    assert_eq!(result.outcomes[1].outcome, "completed");
+}
+
 /// The scheduler's trace is emitted on the machine clock and carries the
 /// job lifecycle.
 #[test]

@@ -39,6 +39,20 @@ diff "$a/machine_sweep.json" "$b/machine_sweep.json"
 diff "$b/machine_sweep.json" results/machine_sweep.json
 diff "$a/audit_machine_sweep.json" "$b/audit_machine_sweep.json"
 
+echo "==> fleet invariants: cargo test -p fleet"
+cargo test -q --offline -p fleet
+
+echo "==> fleet chaos soak: fleet_sweep at POLIMER_THREADS=1 vs 4 vs committed JSON (traced + audited)"
+SEESAW_RESULTS_DIR="$a" SEESAW_TRACE="$c/fleet1.jsonl" POLIMER_THREADS=1 \
+    ./target/release/fleet_sweep --quiet --audit >/dev/null
+SEESAW_RESULTS_DIR="$b" SEESAW_TRACE="$c/fleet4.jsonl" POLIMER_THREADS=4 \
+    ./target/release/fleet_sweep --quiet --audit >/dev/null
+diff "$a/fleet_sweep.json" "$b/fleet_sweep.json"
+diff "$b/fleet_sweep.json" results/fleet_sweep.json
+diff "$c/fleet1.jsonl" "$c/fleet4.jsonl"
+test -s "$c/fleet1.jsonl"
+diff "$a/audit_fleet_sweep.json" "$b/audit_fleet_sweep.json"
+
 echo "==> trace determinism: run_experiment JSONL + audit report at POLIMER_THREADS=1 vs 4"
 SEESAW_TRACE="$c/t1.jsonl" SEESAW_AUDIT=1 SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 \
     ./target/release/run_experiment --nodes 8 --dim 16 --steps 40 --analyses vacf --quiet

@@ -113,7 +113,7 @@ fn budget_overspend_mutation_is_caught() {
         },
     );
     assert!(
-        violations.iter().any(|v| v.check == "budget"),
+        violations.iter().any(|v| v.check() == "budget"),
         "budget check must catch the overspend: {violations:?}"
     );
 }
@@ -131,7 +131,7 @@ fn out_of_range_cap_mutation_is_caught() {
         },
     );
     assert!(
-        violations.iter().any(|v| v.check == "cap_range"),
+        violations.iter().any(|v| v.check() == "cap_range"),
         "cap range check must catch the rogue grant: {violations:?}"
     );
 }
@@ -148,7 +148,7 @@ fn energy_identity_mutation_is_caught() {
         },
     );
     assert!(
-        violations.iter().any(|v| v.check == "energy"),
+        violations.iter().any(|v| v.check() == "energy"),
         "energy identity must catch the doctored interval: {violations:?}"
     );
 }

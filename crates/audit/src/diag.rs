@@ -73,6 +73,10 @@ pub const BENCH_DRIFT: DiagCode = audit("BENCH0002", "drift");
 pub const BENCH_MISSING: DiagCode = audit("BENCH0003", "missing");
 /// `BENCH0004` — a bench document failed to parse.
 pub const BENCH_PARSE: DiagCode = audit("BENCH0004", "parse");
+/// `BENCH0005` — a kernel-performance promise broken: an absolute
+/// ns/pair ceiling exceeded, or a metric fell below its declared floor
+/// (e.g. parallel-vs-serial speedup at one thread).
+pub const BENCH_KERNEL: DiagCode = audit("BENCH0005", "kernel");
 
 /// One finding: a code plus the specifics of where and how it fired.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,6 +165,7 @@ mod tests {
             BENCH_DRIFT,
             BENCH_MISSING,
             BENCH_PARSE,
+            BENCH_KERNEL,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -43,7 +43,14 @@ fn time_ms(f: impl FnOnce()) -> f64 {
 }
 
 fn metric(name: &str, value: f64, unit: &str, max: Option<f64>, tol: Option<f64>) -> Metric {
-    Metric { name: name.to_string(), value, unit: unit.to_string(), max, tolerance_pct: tol }
+    Metric {
+        name: name.to_string(),
+        value,
+        unit: unit.to_string(),
+        min: None,
+        max,
+        tolerance_pct: tol,
+    }
 }
 
 fn main() {

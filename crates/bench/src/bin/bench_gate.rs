@@ -7,11 +7,14 @@
 //!
 //! For every known benchmark document present in the baseline directory,
 //! the fresh directory must contain a parseable counterpart that (a)
-//! respects its own absolute `max` bounds and (b) — when both documents
-//! were produced under the same profile — stays within each metric's
-//! declared `tolerance_pct` of the baseline value. Failures are rendered
-//! as namespaced diagnostics (`error[BENCH0001] bound: …`). Exits 1 on
-//! any failure, so `scripts/verify.sh` and CI can gate on it directly.
+//! respects its own absolute `max` ceilings and `min` floors and (b) —
+//! when both documents were produced under the same profile — stays
+//! within each metric's declared `tolerance_pct` of the baseline value.
+//! Failures are rendered as namespaced diagnostics (`error[BENCH0001]
+//! bound: …`; kernel-promise violations — ns/pair ceilings and declared
+//! floors like the T1 speedup — as `error[BENCH0005] kernel: …`). Exits
+//! 1 on any failure, so `scripts/verify.sh` and CI can gate on it
+//! directly.
 
 use audit::{diag, Diagnostic};
 use bench::gate::{compare, BenchDoc};

@@ -15,11 +15,14 @@
 //! }
 //! ```
 //!
-//! Two kinds of bound, checked independently:
+//! Three kinds of bound, checked independently:
 //!
 //! - **`max`** — an absolute ceiling the metric must never exceed,
 //!   whatever the profile. Used for hard promises (tracing overhead
-//!   < 50 %).
+//!   < 50 %, force kernel under N ns per pair).
+//! - **`min`** — an absolute floor, the mirror image: used for promises
+//!   like "the parallel dispatch costs nothing at one thread"
+//!   (`speedup ≥ ~1`).
 //! - **`tolerance_pct`** — allowed relative drift versus the committed
 //!   baseline value. Only checked when the fresh and baseline documents
 //!   were produced under the **same profile** (comparing a `--quick` run
@@ -28,8 +31,12 @@
 //!   wall-clock medians set `null` and rely on `max`).
 //!
 //! Gate failures are [`audit::Diagnostic`]s under the `BENCH0001`…
-//! `BENCH0004` codes, rendered compiler-style
+//! `BENCH0005` codes, rendered compiler-style
 //! (`error[BENCH0001] bound: …`) by the `bench_gate` binary.
+//! Kernel-performance promises get their own code: floor violations and
+//! ceilings on `ns/pair` metrics raise `BENCH0005` rather than the
+//! generic `BENCH0001`, so a hot-path regression is distinguishable from
+//! an ordinary bound failure at a glance.
 
 use audit::diag;
 use audit::json::{self, Value};
@@ -43,13 +50,31 @@ pub struct Metric {
     pub name: String,
     /// Measured value.
     pub value: f64,
-    /// Unit tag (`"ms"`, `"pct"`, `"count"`, `"x"`).
+    /// Unit tag (`"ms"`, `"pct"`, `"count"`, `"x"`, `"ns/pair"`).
     pub unit: String,
+    /// Absolute floor, or `None` when unbounded below. Violations raise
+    /// `BENCH0005` (a kernel-performance promise, e.g. speedup ≥ 1).
+    pub min: Option<f64>,
     /// Absolute ceiling, or `None` when unbounded.
     pub max: Option<f64>,
     /// Allowed drift vs. baseline, percent, or `None` to skip drift
     /// checking.
     pub tolerance_pct: Option<f64>,
+}
+
+impl Metric {
+    /// An informational metric: recorded and drift-visible in diffs, but
+    /// never gated (no floor, no ceiling, no tolerance).
+    pub fn info(name: &str, value: f64, unit: &str) -> Metric {
+        Metric {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+            min: None,
+            max: None,
+            tolerance_pct: None,
+        }
+    }
 }
 
 /// One persisted benchmark document.
@@ -85,6 +110,7 @@ impl BenchDoc {
                 name,
                 value,
                 unit,
+                min: opt_f64(row, "min")?,
                 max: opt_f64(row, "max")?,
                 tolerance_pct: opt_f64(row, "tolerance_pct")?,
             });
@@ -106,11 +132,12 @@ impl BenchDoc {
             }
             let _ = write!(
                 s,
-                "\n    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\", \"max\": {}, \
-                 \"tolerance_pct\": {}}}",
+                "\n    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\", \"min\": {}, \
+                 \"max\": {}, \"tolerance_pct\": {}}}",
                 m.name,
                 jf(m.value),
                 m.unit,
+                m.min.map_or("null".to_string(), jf),
                 m.max.map_or("null".to_string(), jf),
                 m.tolerance_pct.map_or("null".to_string(), jf)
             );
@@ -120,15 +147,35 @@ impl BenchDoc {
         s
     }
 
-    /// Check the document's own absolute bounds (`max`).
+    /// Check the document's own absolute bounds (`min` and `max`).
     pub fn check_bounds(&self) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for m in &self.metrics {
+            if let Some(min) = m.min {
+                // NaN compares as a violation, never a pass.
+                if m.value.partial_cmp(&min).is_none_or(|o| o == std::cmp::Ordering::Less) {
+                    out.push(Diagnostic::new(
+                        diag::BENCH_KERNEL,
+                        format!(
+                            "{}/{}: {} {} is below the required floor {} {}",
+                            self.bench,
+                            m.name,
+                            jf(m.value),
+                            m.unit,
+                            jf(min),
+                            m.unit
+                        ),
+                    ));
+                }
+            }
             if let Some(max) = m.max {
                 // NaN compares as a violation, never a pass.
                 if m.value.partial_cmp(&max).is_none_or(|o| o == std::cmp::Ordering::Greater) {
+                    // ns/pair ceilings are kernel-performance promises.
+                    let code =
+                        if m.unit == "ns/pair" { diag::BENCH_KERNEL } else { diag::BENCH_BOUND };
                     out.push(Diagnostic::new(
-                        diag::BENCH_BOUND,
+                        code,
                         format!(
                             "{}/{}: {} {} exceeds the absolute bound {} {}",
                             self.bench,
@@ -233,6 +280,7 @@ mod tests {
                 name: "overhead_on_pct".to_string(),
                 value,
                 unit: "pct".to_string(),
+                min: None,
                 max,
                 tolerance_pct: tol,
             }],
@@ -298,6 +346,66 @@ mod tests {
     fn nan_value_fails_its_bound() {
         let fresh = doc("full", f64::NAN, Some(50.0), None);
         assert_eq!(fresh.check_bounds().len(), 1);
+    }
+
+    #[test]
+    fn floor_violation_raises_kernel_code() {
+        // A speedup floor: value below `min` is a BENCH0005 finding.
+        let fresh = BenchDoc {
+            bench: "md_kernels".to_string(),
+            profile: "full".to_string(),
+            metrics: vec![Metric {
+                name: "force_eval_1568_t1_speedup".to_string(),
+                value: 0.8,
+                unit: "x".to_string(),
+                min: Some(0.9),
+                max: None,
+                tolerance_pct: None,
+            }],
+        };
+        let fails = fresh.check_bounds();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].code_str(), "BENCH0005");
+        assert!(fails[0].to_string().contains("floor"), "{fails:?}");
+    }
+
+    #[test]
+    fn ns_per_pair_ceiling_raises_kernel_code() {
+        let fresh = BenchDoc {
+            bench: "md_kernels".to_string(),
+            profile: "full".to_string(),
+            metrics: vec![Metric {
+                name: "force_eval_1568_serial_ns_per_pair".to_string(),
+                value: 40.0,
+                unit: "ns/pair".to_string(),
+                min: None,
+                max: Some(25.0),
+                tolerance_pct: None,
+            }],
+        };
+        let fails = fresh.check_bounds();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].code_str(), "BENCH0005", "ns/pair ceilings are kernel promises");
+    }
+
+    #[test]
+    fn nan_value_fails_its_floor() {
+        let mut fresh = doc("full", f64::NAN, None, None);
+        fresh.metrics[0].min = Some(0.5);
+        assert_eq!(fresh.check_bounds().len(), 1);
+    }
+
+    #[test]
+    fn min_field_round_trips_and_old_documents_parse() {
+        let mut d = doc("full", 1.02, None, Some(5.0));
+        d.metrics[0].min = Some(0.9);
+        let parsed = BenchDoc::parse(&d.to_json()).unwrap();
+        assert_eq!(parsed, d);
+        // Documents persisted before the `min` field existed stay valid.
+        let legacy = "{\"bench\":\"trace\",\"profile\":\"full\",\"metrics\":[{\"name\":\"m\",\
+                      \"value\":1,\"unit\":\"pct\",\"max\":null,\"tolerance_pct\":null}]}";
+        let parsed = BenchDoc::parse(legacy).unwrap();
+        assert_eq!(parsed.metrics[0].min, None);
     }
 
     #[test]

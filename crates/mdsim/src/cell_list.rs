@@ -5,6 +5,10 @@ use crate::vec3::Vec3;
 /// A cubic cell grid over a periodic box. Cells are at least `min_cell`
 /// wide so that all pairs within `min_cell` are found in the 27-cell
 /// neighborhood.
+///
+/// The grid owns its bin storage across rebuilds: [`CellList::rebin`]
+/// clears and refills the bins in place, so a steady-state simulation
+/// re-bins every timestep without touching the allocator.
 #[derive(Debug, Clone)]
 pub struct CellList {
     /// Cells per box edge.
@@ -13,6 +17,8 @@ pub struct CellList {
     pub box_len: f64,
     /// Particle indices per cell, cell-major.
     bins: Vec<Vec<u32>>,
+    /// Per-atom cell index scratch, persistent across rebuilds.
+    atom_cells: Vec<u32>,
 }
 
 impl CellList {
@@ -21,27 +27,44 @@ impl CellList {
 
     /// Build the grid and bin all positions. `min_cell` is typically the
     /// cutoff plus skin.
+    pub fn build(positions: &[Vec3], box_len: f64, min_cell: f64) -> Self {
+        assert!(box_len > 0.0 && min_cell > 0.0);
+        let cells_per_side = ((box_len / min_cell).floor() as usize).max(1);
+        let mut cl = CellList {
+            cells_per_side,
+            box_len,
+            bins: vec![Vec::new(); cells_per_side.pow(3)],
+            atom_cells: Vec::new(),
+        };
+        cl.rebin(positions);
+        cl
+    }
+
+    /// Re-bin `positions` into the existing grid, reusing bin storage.
+    /// The grid geometry (box length, cell count) is fixed at
+    /// [`CellList::build`] time; positions must be wrapped into the box.
     ///
     /// Cell indices are computed in parallel (slotted by atom); the bin
     /// scatter itself is a serial pass in atom order, so every bin lists
     /// its members in ascending atom index regardless of thread count —
     /// the property the neighbor list's pair ordering (and therefore the
     /// force kernel's reduction order) relies on.
-    pub fn build(positions: &[Vec3], box_len: f64, min_cell: f64) -> Self {
-        assert!(box_len > 0.0 && min_cell > 0.0);
-        let cells_per_side = ((box_len / min_cell).floor() as usize).max(1);
-        let mut bins = vec![Vec::new(); cells_per_side.pow(3)];
-        let inv = cells_per_side as f64 / box_len;
-        let mut cell_of_atom = vec![0u32; positions.len()];
-        par::global().par_fill(&mut cell_of_atom, Self::BIN_CHUNK, |start, out| {
+    pub fn rebin(&mut self, positions: &[Vec3]) {
+        for bin in &mut self.bins {
+            bin.clear();
+        }
+        let n = self.cells_per_side;
+        let inv = n as f64 / self.box_len;
+        self.atom_cells.clear();
+        self.atom_cells.resize(positions.len(), 0);
+        par::global().par_fill(&mut self.atom_cells, Self::BIN_CHUNK, |start, out| {
             for (k, slot) in out.iter_mut().enumerate() {
-                *slot = Self::cell_index_raw(positions[start + k], inv, cells_per_side) as u32;
+                *slot = Self::cell_index_raw(positions[start + k], inv, n) as u32;
             }
         });
-        for (i, &idx) in cell_of_atom.iter().enumerate() {
-            bins[idx as usize].push(i as u32);
+        for (i, &idx) in self.atom_cells.iter().enumerate() {
+            self.bins[idx as usize].push(i as u32);
         }
-        CellList { cells_per_side, box_len, bins }
     }
 
     #[inline]
@@ -97,15 +120,6 @@ impl CellList {
         len
     }
 
-    /// The periodic neighborhood of cell `idx` as a fresh `Vec` —
-    /// convenience for tests and one-off inspection; hot paths use
-    /// [`CellList::neighborhood_into`].
-    pub fn neighborhood(&self, idx: usize) -> Vec<usize> {
-        let mut scratch = [0usize; 27];
-        let len = self.neighborhood_into(idx, &mut scratch);
-        scratch[..len].to_vec()
-    }
-
     /// Total binned particles (sanity checks).
     pub fn total(&self) -> usize {
         self.bins.iter().map(Vec::len).sum()
@@ -133,6 +147,13 @@ mod tests {
         v
     }
 
+    /// Test shim for the removed Vec-returning `neighborhood` accessor.
+    fn neighborhood(cl: &CellList, idx: usize) -> Vec<usize> {
+        let mut scratch = [0usize; 27];
+        let len = cl.neighborhood_into(idx, &mut scratch);
+        scratch[..len].to_vec()
+    }
+
     #[test]
     fn bins_every_particle_exactly_once() {
         let pos = grid_positions(6, 12.0);
@@ -149,11 +170,25 @@ mod tests {
     }
 
     #[test]
+    fn rebin_matches_fresh_build() {
+        let pos_a = grid_positions(6, 12.0);
+        let mut pos_b = pos_a.clone();
+        pos_b.rotate_left(7); // same atoms, different binning order
+        let fresh = CellList::build(&pos_b, 12.0, 2.5);
+        let mut reused = CellList::build(&pos_a, 12.0, 2.5);
+        reused.rebin(&pos_b);
+        assert_eq!(reused.total(), pos_b.len());
+        for c in 0..fresh.ncells() {
+            assert_eq!(reused.cell(c), fresh.cell(c), "cell {c} diverged after rebin");
+        }
+    }
+
+    #[test]
     fn neighborhood_has_27_distinct_cells_when_large() {
         let pos = grid_positions(8, 16.0);
         let cl = CellList::build(&pos, 16.0, 2.0);
         assert_eq!(cl.cells_per_side, 8);
-        let nb = cl.neighborhood(cl.cell_of(Vec3::new(8.0, 8.0, 8.0)));
+        let nb = neighborhood(&cl, cl.cell_of(Vec3::new(8.0, 8.0, 8.0)));
         assert_eq!(nb.len(), 27);
     }
 
@@ -162,7 +197,7 @@ mod tests {
         let pos = grid_positions(2, 4.0);
         let cl = CellList::build(&pos, 4.0, 2.0);
         assert_eq!(cl.cells_per_side, 2);
-        let nb = cl.neighborhood(0);
+        let nb = neighborhood(&cl, 0);
         // All 8 cells, each exactly once.
         assert_eq!(nb.len(), 8);
     }
@@ -172,7 +207,7 @@ mod tests {
         let pos = grid_positions(2, 2.0);
         let cl = CellList::build(&pos, 2.0, 5.0);
         assert_eq!(cl.ncells(), 1);
-        assert_eq!(cl.neighborhood(0), vec![0]);
+        assert_eq!(neighborhood(&cl, 0), vec![0]);
         assert_eq!(cl.cell(0).len(), 8);
     }
 
@@ -182,7 +217,7 @@ mod tests {
         let a = Vec3::new(1.0, 1.0, 1.0);
         let b = Vec3::new(1.5, 1.2, 0.8);
         let cl = CellList::build(&[a, b], box_len, 2.0);
-        let nb = cl.neighborhood(cl.cell_of(a));
+        let nb = neighborhood(&cl, cl.cell_of(a));
         assert!(nb.contains(&cl.cell_of(b)));
     }
 
@@ -193,7 +228,7 @@ mod tests {
         let a = Vec3::new(0.1, 6.0, 6.0);
         let b = Vec3::new(11.9, 6.0, 6.0);
         let cl = CellList::build(&[a, b], box_len, 2.0);
-        let nb = cl.neighborhood(cl.cell_of(a));
+        let nb = neighborhood(&cl, cl.cell_of(a));
         assert!(nb.contains(&cl.cell_of(b)), "wraparound neighborhood missing");
     }
 }

@@ -2,7 +2,7 @@
 //! with per-phase work accounting.
 
 use crate::bonded::{compute_bonded, Topology};
-use crate::force::{compute_forces_excluding, ForceEval, ForceParams};
+use crate::force::{compute_forces_into, CoeffTable, ForceEval, ForceParams, ForceScratch};
 use crate::integrate::Integrator;
 use crate::neighbor::NeighborList;
 use crate::species::PairTable;
@@ -27,10 +27,11 @@ pub struct EngineStepCounts {
 pub struct MdEngine {
     /// The particle system.
     pub system: System,
-    params: ForceParams,
-    table: PairTable,
+    /// Precomputed per-species-pair force coefficients.
+    coeffs: CoeffTable,
+    /// Reusable force-kernel buffers; steady-state steps allocate nothing.
+    scratch: ForceScratch,
     integrator: Integrator,
-    neighbor_skin: f64,
     nl: NeighborList,
     last_eval: ForceEval,
     step: u64,
@@ -65,20 +66,20 @@ impl MdEngine {
     /// non-bonded kernel.
     pub fn with_topology(mut system: System, topology: Topology) -> Self {
         let params = ForceParams::default();
-        let table = PairTable::new();
+        let coeffs = CoeffTable::new(&PairTable::new(), params.cutoff);
+        let mut scratch = ForceScratch::new();
         let neighbor_skin = 0.4;
         let exclusions = if topology.is_empty() { None } else { Some(topology.exclusions()) };
         let nl = NeighborList::build(&system.pos, system.box_len, params.cutoff, neighbor_skin);
         let mut last_eval =
-            compute_forces_excluding(&mut system, &nl, params, &table, exclusions.as_deref());
+            compute_forces_into(&mut scratch, &mut system, &nl, &coeffs, exclusions.as_deref());
         let bonded = compute_bonded(&mut system, &topology);
         last_eval.potential += bonded.total();
         MdEngine {
             system,
-            params,
-            table,
+            coeffs,
+            scratch,
             integrator: Integrator::default(),
-            neighbor_skin,
             nl,
             last_eval,
             step: 0,
@@ -119,16 +120,12 @@ impl MdEngine {
         self.system.len() as u64
     }
 
-    /// Rebuild the neighbor list if the skin criterion demands it
-    /// (flow step 5). Returns pairs stored if rebuilt.
+    /// Rebuild the neighbor list (in place, reusing its storage) if the
+    /// skin criterion demands it (flow step 5). Returns pairs stored if
+    /// rebuilt.
     pub fn update_neighbors(&mut self) -> Option<u64> {
         if self.nl.needs_rebuild(&self.system.pos) {
-            self.nl = NeighborList::build(
-                &self.system.pos,
-                self.system.box_len,
-                self.params.cutoff,
-                self.neighbor_skin,
-            );
+            self.nl.rebuild(&self.system.pos);
             Some(self.nl.npairs() as u64)
         } else {
             None
@@ -137,22 +134,17 @@ impl MdEngine {
 
     /// Force the neighbor list to rebuild regardless of displacement.
     pub fn force_neighbor_rebuild(&mut self) -> u64 {
-        self.nl = NeighborList::build(
-            &self.system.pos,
-            self.system.box_len,
-            self.params.cutoff,
-            self.neighbor_skin,
-        );
+        self.nl.rebuild(&self.system.pos);
         self.nl.npairs() as u64
     }
 
     /// Compute forces and run the final half-kick (flow step 6).
     pub fn force_and_final_integrate(&mut self) -> u64 {
-        self.last_eval = compute_forces_excluding(
+        self.last_eval = compute_forces_into(
+            &mut self.scratch,
             &mut self.system,
             &self.nl,
-            self.params,
-            &self.table,
+            &self.coeffs,
             self.exclusions.as_deref(),
         );
         if !self.topology.is_empty() {

@@ -7,16 +7,33 @@
 //! continuous at the cutoff.
 //!
 //! The kernel is the dominant computational phase of every timestep,
-//! exactly as in LAMMPS, and it parallelizes without giving up bitwise
-//! determinism: per-pair terms (the expensive square roots and divisions)
-//! are computed in parallel into slots indexed by pair, then accumulated
-//! serially in pair order — the exact floating-point operation sequence
-//! of the serial kernel. `POLIMER_THREADS=1` (or a small pair list) takes
-//! the one-pass serial loop directly; any other thread count reproduces
-//! it bit for bit.
+//! exactly as in LAMMPS. It is built for raw speed without giving up
+//! bitwise determinism:
+//!
+//! * **Lane batching** — pairs are processed in groups of [`LANES`]
+//!   through fixed-width `[f64; LANES]` arrays, which the autovectorizer
+//!   lowers to SIMD (no external crates). Masked lanes (excluded pairs,
+//!   out-of-cutoff pairs, tail padding) compute on a guarded `r² = 1` and
+//!   are then *selected* to exact `0.0` — never multiplied by a mask, so
+//!   no `inf · 0` NaNs can leak.
+//! * **Coefficient table** — per-species-pair σ², 4ε, 24ε, the LJ shift
+//!   and the Coulomb prefactor live in a flat [`CoeffTable`] built once,
+//!   so the inner loop does one divide and one square root per pair and
+//!   zero table arithmetic.
+//! * **Chunk-merged accumulation** — the pair list is cut into fixed
+//!   chunks; each chunk accumulates its own force/energy partials
+//!   ([`ForceScratch`] slots), and partials merge in ascending chunk
+//!   order. Chunk boundaries depend only on the pair count, and lane
+//!   grouping depends only on position within the chunk, so the full
+//!   floating-point op sequence is a pure function of the input:
+//!   `POLIMER_THREADS=1` reproduces any other thread count bit for bit.
+//!
+//! All buffers live in a caller-owned [`ForceScratch`], so steady-state
+//! force evaluation performs no heap allocation (asserted by the
+//! `alloc_free` test with a counting global allocator).
 
 use crate::neighbor::NeighborList;
-use crate::species::PairTable;
+use crate::species::{PairTable, NSPECIES};
 use crate::system::System;
 use crate::vec3::Vec3;
 
@@ -49,67 +66,274 @@ pub struct ForceEval {
     pub pairs_evaluated: u64,
 }
 
-#[inline]
-fn pair_terms(
-    table: &PairTable,
-    si: crate::species::Species,
-    sj: crate::species::Species,
-    r_sq: f64,
-    cutoff: f64,
-) -> (f64, f64) {
-    // Returns (u, f_over_r): potential and |f|/r for the pair.
-    let r = r_sq.sqrt();
-    let sigma = table.sigma(si, sj);
-    let eps = table.epsilon(si, sj);
-    let sr2 = sigma * sigma / r_sq;
-    let sr6 = sr2 * sr2 * sr2;
-    let sr12 = sr6 * sr6;
-    // Cut-and-shifted LJ.
-    let src2 = sigma * sigma / (cutoff * cutoff);
-    let src6 = src2 * src2 * src2;
-    let u_shift = 4.0 * eps * (src6 * src6 - src6);
-    let mut u = 4.0 * eps * (sr12 - sr6) - u_shift;
-    let mut f_over_r = 24.0 * eps * (2.0 * sr12 - sr6) / r_sq;
-    // DSF Coulomb.
-    let qq = table.charge_product(si, sj);
-    if qq != 0.0 {
-        let rc = cutoff;
-        u += COULOMB_K * qq * (1.0 / r - 1.0 / rc + (r - rc) / (rc * rc));
-        f_over_r += COULOMB_K * qq * (1.0 / r_sq - 1.0 / (rc * rc)) / r;
-    }
-    (u, f_over_r)
-}
+/// SIMD-friendly lane width: pairs are evaluated in groups of this many.
+/// Two 4-wide registers' worth, so the divide and square-root chains of
+/// consecutive half-groups overlap in the divider pipeline.
+const LANES: usize = 8;
 
-/// Pairs per parallel work unit. Also the chunk size of the historical
-/// serial fold, kept so profiles stay comparable across versions.
-const PAIR_CHUNK: usize = 16_384;
+/// Pairs per chunk: the unit of parallel work and of the deterministic
+/// merge order. Sized so the per-chunk clear + merge of an atom-length
+/// partial buffer is amortized over many pairs (at the 12k-atom benchmark
+/// it costs under 10 bytes of buffer traffic per pair) while still
+/// splitting production pair lists into enough chunks to balance.
+const PAIR_CHUNK: usize = 32_768;
 
-/// Below this many pairs the slot buffer + spawn overhead cannot pay for
-/// itself; the kernel stays on the one-pass serial loop.
+/// Below this many pairs the per-chunk partial buffers + spawn overhead
+/// cannot pay for themselves; the kernel stays on the serial path.
 const PAR_MIN_PAIRS: usize = 8_192;
 
-/// Per-pair result slot for the parallel kernel's compute phase. Pure
-/// function of the pair — where it was computed cannot affect its bits.
-#[derive(Clone, Copy)]
-struct PairTerm {
-    /// Force on `i` (negated for `j`).
-    fij: Vec3,
-    /// Pair potential contribution.
-    u: f64,
-    /// Pair virial contribution (`f_over_r * r_sq`).
-    vir: f64,
-    /// False for excluded / out-of-range pairs, which must be *skipped*
-    /// (not accumulated as zero) to replicate the serial op sequence.
-    active: bool,
+/// Ceiling on chunk count: for huge pair lists the chunk size grows so
+/// the per-chunk force partials (one `Vec<Vec3>` of atom length each)
+/// stay bounded in memory.
+const MAX_CHUNKS: usize = 64;
+
+/// Per-species-pair coefficients with everything liftable lifted out of
+/// the inner loop: σ², 4ε and 24ε pre-multiplied, the LJ cutoff shift
+/// pre-evaluated, and the Coulomb prefactor `K·qᵢqⱼ` folded in.
+#[derive(Debug, Clone, Copy, Default)]
+struct PairCoeff {
+    sigma_sq: f64,
+    eps4: f64,
+    eps24: f64,
+    u_shift: f64,
+    kqq: f64,
 }
 
-impl Default for PairTerm {
-    fn default() -> Self {
-        PairTerm { fij: Vec3::ZERO, u: 0.0, vir: 0.0, active: false }
+/// Flat per-species-pair coefficient table plus cutoff constants. Build
+/// once per force field (cheap), reuse for every evaluation.
+#[derive(Debug, Clone)]
+pub struct CoeffTable {
+    cutoff: f64,
+    cutoff_sq: f64,
+    inv_rc: f64,
+    inv_rc_sq: f64,
+    coeff: [PairCoeff; NSPECIES * NSPECIES],
+}
+
+impl CoeffTable {
+    /// Precompute coefficients for every species pair at `cutoff`.
+    pub fn new(table: &PairTable, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        use crate::species::Species;
+        let mut coeff = [PairCoeff::default(); NSPECIES * NSPECIES];
+        for a in Species::ALL {
+            for b in Species::ALL {
+                let sigma = table.sigma(a, b);
+                let eps = table.epsilon(a, b);
+                let src2 = sigma * sigma / (cutoff * cutoff);
+                let src6 = src2 * src2 * src2;
+                coeff[a.index() * NSPECIES + b.index()] = PairCoeff {
+                    sigma_sq: sigma * sigma,
+                    eps4: 4.0 * eps,
+                    eps24: 24.0 * eps,
+                    u_shift: 4.0 * eps * (src6 * src6 - src6),
+                    kqq: COULOMB_K * table.charge_product(a, b),
+                };
+            }
+        }
+        CoeffTable {
+            cutoff,
+            cutoff_sq: cutoff * cutoff,
+            inv_rc: 1.0 / cutoff,
+            inv_rc_sq: 1.0 / (cutoff * cutoff),
+            coeff,
+        }
     }
+
+    /// The cutoff radius the table was built for.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    #[inline]
+    fn at(&self, si: u8, sj: u8) -> &PairCoeff {
+        &self.coeff[si as usize * NSPECIES + sj as usize]
+    }
+}
+
+/// One chunk's partial results: a full-length force buffer plus scalar
+/// accumulators. Merged into the system in ascending chunk order.
+#[derive(Debug, Clone, Default)]
+struct ChunkSlot {
+    forces: Vec<Vec3>,
+    u: f64,
+    vir: f64,
+    evaluated: u64,
+}
+
+/// Reusable scratch owned by the caller (typically [`crate::MdEngine`]):
+/// per-chunk partial accumulators and the species-index cache. Once the
+/// buffers reach steady-state size, [`compute_forces_into`] allocates
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ForceScratch {
+    /// Chunk-size override for tests; 0 means the production size.
+    chunk_pairs: usize,
+    /// Species index per atom as `u8` (dense gather in the inner loop).
+    sp_idx: Vec<u8>,
+    /// The serial path's single reused chunk slot.
+    serial: ChunkSlot,
+    /// Per-chunk slots for the parallel path.
+    slots: Vec<ChunkSlot>,
+}
+
+impl ForceScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Test hook: force a specific chunk size so determinism tests can
+    /// vary the canonical op sequence (the result is bit-stable across
+    /// *thread counts* for a fixed chunk size, not across chunk sizes).
+    pub fn with_chunk_pairs(chunk_pairs: usize) -> Self {
+        assert!(chunk_pairs >= 1, "chunk size must be >= 1");
+        ForceScratch { chunk_pairs, ..Self::default() }
+    }
+
+    fn effective_chunk(&self, npairs: usize) -> usize {
+        if self.chunk_pairs != 0 {
+            self.chunk_pairs
+        } else {
+            PAIR_CHUNK.max(npairs.div_ceil(MAX_CHUNKS))
+        }
+    }
+}
+
+/// Shared read-only context for chunk evaluation.
+struct LaneCtx<'a> {
+    pos: &'a [Vec3],
+    sp: &'a [u8],
+    coeffs: &'a CoeffTable,
+    exclusions: Option<&'a [(u32, u32)]>,
+    box_len: f64,
+    inv_box: f64,
+}
+
+/// One lane group's worth of evaluated pair terms.
+struct LaneGroup {
+    ii: [usize; LANES],
+    jj: [usize; LANES],
+    active: [bool; LANES],
+    dx: [f64; LANES],
+    dy: [f64; LANES],
+    dz: [f64; LANES],
+    r2: [f64; LANES],
+    u: [f64; LANES],
+    fr: [f64; LANES],
+}
+
+/// Evaluate up to [`LANES`] pairs as fixed-width lane arrays. Inactive
+/// lanes (excluded, out of cutoff, coincident, or tail padding) run the
+/// arithmetic on a guarded `r² = 1` and are selected to exact zero.
+#[inline]
+fn eval_lane_group(ctx: &LaneCtx, window: &[(u32, u32)]) -> LaneGroup {
+    let mut ii = [0usize; LANES];
+    let mut jj = [0usize; LANES];
+    // Padding lanes keep i == j == 0: their r² is exactly 0, which the
+    // active mask rejects, so they contribute exact zeros.
+    let mut masked = [false; LANES];
+    for (l, &(i, j)) in window.iter().enumerate() {
+        ii[l] = i as usize;
+        jj[l] = j as usize;
+        masked[l] = ctx.exclusions.is_some_and(|ex| ex.binary_search(&(i, j)).is_ok());
+    }
+    let mut dx = [0.0; LANES];
+    let mut dy = [0.0; LANES];
+    let mut dz = [0.0; LANES];
+    let mut r2 = [0.0; LANES];
+    let (bl, ib) = (ctx.box_len, ctx.inv_box);
+    for l in 0..LANES {
+        let d = ctx.pos[ii[l]] - ctx.pos[jj[l]];
+        dx[l] = d.x - bl * (d.x * ib).round();
+        dy[l] = d.y - bl * (d.y * ib).round();
+        dz[l] = d.z - bl * (d.z * ib).round();
+        r2[l] = dx[l] * dx[l] + dy[l] * dy[l] + dz[l] * dz[l];
+    }
+    let c = ctx.coeffs;
+    let mut active = [false; LANES];
+    let mut r2g = [1.0; LANES];
+    for l in 0..LANES {
+        active[l] = !masked[l] && r2[l] <= c.cutoff_sq && r2[l] > 0.0;
+        if active[l] {
+            r2g[l] = r2[l];
+        }
+    }
+    let mut sig2 = [0.0; LANES];
+    let mut e4 = [0.0; LANES];
+    let mut e24 = [0.0; LANES];
+    let mut ush = [0.0; LANES];
+    let mut kqq = [0.0; LANES];
+    for l in 0..LANES {
+        let pc = c.at(ctx.sp[ii[l]], ctx.sp[jj[l]]);
+        sig2[l] = pc.sigma_sq;
+        e4[l] = pc.eps4;
+        e24[l] = pc.eps24;
+        ush[l] = pc.u_shift;
+        kqq[l] = pc.kqq;
+    }
+    let (irc, irc2, rc) = (c.inv_rc, c.inv_rc_sq, c.cutoff);
+    let mut u = [0.0; LANES];
+    let mut fr = [0.0; LANES];
+    for l in 0..LANES {
+        // One divide + one sqrt per pair; 1/r comes from r·(1/r²).
+        let inv_r2 = 1.0 / r2g[l];
+        let r = r2g[l].sqrt();
+        let inv_r = r * inv_r2;
+        let sr2 = sig2[l] * inv_r2;
+        let sr6 = sr2 * sr2 * sr2;
+        let sr12 = sr6 * sr6;
+        let u_lj = e4[l] * (sr12 - sr6) - ush[l];
+        let f_lj = e24[l] * (2.0 * sr12 - sr6) * inv_r2;
+        let u_c = kqq[l] * (inv_r - irc + (r - rc) * irc2);
+        let f_c = kqq[l] * (inv_r2 - irc2) * inv_r;
+        u[l] = if active[l] { u_lj + u_c } else { 0.0 };
+        fr[l] = if active[l] { f_lj + f_c } else { 0.0 };
+    }
+    LaneGroup { ii, jj, active, dx, dy, dz, r2, u, fr }
+}
+
+/// Evaluate one chunk of pairs into `slot` (zeroed first). The lane
+/// grouping and the scatter order depend only on the chunk contents, so
+/// the slot is a pure function of the chunk — where it runs is irrelevant.
+fn eval_chunk(ctx: &LaneCtx, pairs: &[(u32, u32)], n: usize, slot: &mut ChunkSlot) {
+    slot.forces.clear();
+    slot.forces.resize(n, Vec3::ZERO);
+    let forces = slot.forces.as_mut_slice();
+    let mut u_acc = [0.0f64; LANES];
+    let mut vir_acc = [0.0f64; LANES];
+    let mut evaluated = 0u64;
+    for window in pairs.chunks(LANES) {
+        let g = eval_lane_group(ctx, window);
+        for l in 0..LANES {
+            u_acc[l] += g.u[l];
+            vir_acc[l] += g.fr[l] * g.r2[l];
+            evaluated += g.active[l] as u64;
+        }
+        // Branchless scatter: inactive and padding lanes carry `fr == 0`,
+        // so their force components are `±0.0` — and adding a signed zero
+        // never changes an accumulator (it starts at `+0.0` and
+        // round-to-nearest can never produce `-0.0` from a sum), so the
+        // unconditional form is bit-identical to skipping them. The
+        // active split is ~2:1 in a typical skin shell, which makes a
+        // per-lane branch here mispredict constantly.
+        for l in 0..LANES {
+            let f = Vec3::new(g.dx[l] * g.fr[l], g.dy[l] * g.fr[l], g.dz[l] * g.fr[l]);
+            forces[g.ii[l]] += f;
+            forces[g.jj[l]] -= f;
+        }
+    }
+    // Fixed fold order over the lane accumulators: ascending lane index.
+    slot.u = u_acc.iter().copied().fold(0.0, |a, b| a + b);
+    slot.vir = vir_acc.iter().copied().fold(0.0, |a, b| a + b);
+    slot.evaluated = evaluated;
 }
 
 /// Evaluate forces into `sys.force`, returning energy/virial/work counts.
+///
+/// Convenience wrapper that builds a [`CoeffTable`] and a throwaway
+/// [`ForceScratch`] per call; hot paths hold both and call
+/// [`compute_forces_into`].
 pub fn compute_forces(
     sys: &mut System,
     nl: &NeighborList,
@@ -129,138 +353,161 @@ pub fn compute_forces_excluding(
     table: &PairTable,
     exclusions: Option<&[(u32, u32)]>,
 ) -> ForceEval {
+    let coeffs = CoeffTable::new(table, params.cutoff);
+    compute_forces_into(&mut ForceScratch::new(), sys, nl, &coeffs, exclusions)
+}
+
+/// The allocation-free force kernel: evaluate forces into `sys.force`
+/// using caller-owned scratch and a prebuilt coefficient table.
+///
+/// Dispatches to the serial path when the pool is trivial or the pair
+/// list is small; otherwise chunks are evaluated in parallel and merged
+/// in ascending chunk order — the identical op sequence either way, so
+/// results are bit-identical at any `POLIMER_THREADS`.
+pub fn compute_forces_into(
+    scratch: &mut ForceScratch,
+    sys: &mut System,
+    nl: &NeighborList,
+    coeffs: &CoeffTable,
+    exclusions: Option<&[(u32, u32)]>,
+) -> ForceEval {
+    let pool = par::global();
+    if pool.effective_threads() <= 1 || nl.npairs() < PAR_MIN_PAIRS || pool.is_busy() {
+        return compute_forces_serial(scratch, sys, nl, coeffs, exclusions);
+    }
     debug_assert!(
         exclusions.is_none_or(|ex| ex.windows(2).all(|w| w[0] < w[1])),
         "exclusions must be sorted for binary search"
     );
-    let pool = par::global();
-    if pool.effective_threads() <= 1 || nl.npairs() < PAR_MIN_PAIRS {
-        return compute_forces_serial(sys, nl, params, table, exclusions);
-    }
-
-    let n = sys.len();
-    let cutoff_sq = params.cutoff * params.cutoff;
-    let box_len = sys.box_len;
-    let pos = &sys.pos;
-    let species = &sys.species;
     let pairs = nl.pairs();
+    let chunk = scratch.effective_chunk(pairs.len());
+    let n_chunks = pairs.len().div_ceil(chunk);
+    let n = sys.len();
 
-    // Phase 1 (parallel): per-pair terms into slots indexed by pair. The
-    // slot content is a pure function of the pair, so the buffer is
-    // identical however chunks land on workers.
-    let mut terms = vec![PairTerm::default(); pairs.len()];
-    pool.par_fill(&mut terms, PAIR_CHUNK, |start, out| {
-        for (k, term) in out.iter_mut().enumerate() {
-            let (i, j) = pairs[start + k];
-            if exclusions.is_some_and(|ex| ex.binary_search(&(i, j)).is_ok()) {
-                continue;
-            }
-            let (i, j) = (i as usize, j as usize);
-            let d = (pos[i] - pos[j]).minimum_image(box_len);
-            let r_sq = d.norm_sq();
-            if r_sq > cutoff_sq || r_sq == 0.0 {
-                continue;
-            }
-            let (u, f_over_r) = pair_terms(table, species[i], species[j], r_sq, params.cutoff);
-            *term = PairTerm { fij: d * f_over_r, u, vir: f_over_r * r_sq, active: true };
-        }
+    let System { box_len, species, pos, force, .. } = sys;
+    let ForceScratch { sp_idx, slots, .. } = scratch;
+    sp_idx.clear();
+    sp_idx.extend(species.iter().map(|s| s.index() as u8));
+    if slots.len() < n_chunks {
+        slots.resize_with(n_chunks, ChunkSlot::default);
+    }
+    let ctx =
+        LaneCtx { pos, sp: sp_idx, coeffs, exclusions, box_len: *box_len, inv_box: 1.0 / *box_len };
+    pool.par_fill(&mut slots[..n_chunks], 1, |ci, out| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(pairs.len());
+        eval_chunk(&ctx, &pairs[lo..hi], n, &mut out[0]);
     });
 
-    // Phase 2 (serial): accumulate in pair order — the exact operation
-    // sequence of the serial kernel, so the result is bit-identical to
-    // `POLIMER_THREADS=1` and independent of the thread count.
-    let mut forces = vec![Vec3::ZERO; n];
+    // Merge in ascending chunk order. Each particle's additions happen in
+    // chunk order regardless of how the merge itself is split, so this
+    // parallel fill is bit-identical to the serial path's interleaved
+    // per-chunk merge.
+    let done: &[ChunkSlot] = &slots[..n_chunks];
+    force.clear();
+    force.resize(n, Vec3::ZERO);
+    pool.par_fill(force, 4_096, |start, out| {
+        for slot in done {
+            let part = &slot.forces[start..start + out.len()];
+            for (f, p) in out.iter_mut().zip(part) {
+                *f += *p;
+            }
+        }
+    });
     let mut potential = 0.0;
     let mut virial = 0.0;
     let mut evaluated = 0u64;
-    for (term, &(i, j)) in terms.iter().zip(pairs) {
-        if !term.active {
-            continue;
-        }
-        forces[i as usize] += term.fij;
-        forces[j as usize] -= term.fij;
-        potential += term.u;
-        virial += term.vir;
-        evaluated += 1;
+    for slot in done {
+        potential += slot.u;
+        virial += slot.vir;
+        evaluated += slot.evaluated;
     }
-
-    sys.force = forces;
     ForceEval { potential, virial, pairs_evaluated: evaluated }
 }
 
-/// The one-pass serial kernel: the canonical operation order every other
-/// execution strategy must reproduce bit for bit.
-fn compute_forces_serial(
+/// The canonical serial kernel: chunks evaluated and merged one at a time
+/// through a single reused slot, in ascending chunk order. Every other
+/// execution strategy reproduces this op sequence bit for bit. Public so
+/// benches can time it against the dispatching entry point.
+pub fn compute_forces_serial(
+    scratch: &mut ForceScratch,
     sys: &mut System,
     nl: &NeighborList,
-    params: ForceParams,
-    table: &PairTable,
+    coeffs: &CoeffTable,
     exclusions: Option<&[(u32, u32)]>,
 ) -> ForceEval {
-    let n = sys.len();
-    let cutoff_sq = params.cutoff * params.cutoff;
-    let box_len = sys.box_len;
-    let pos = &sys.pos;
-    let species = &sys.species;
+    debug_assert!(
+        exclusions.is_none_or(|ex| ex.windows(2).all(|w| w[0] < w[1])),
+        "exclusions must be sorted for binary search"
+    );
     let pairs = nl.pairs();
+    let chunk = scratch.effective_chunk(pairs.len());
+    let n = sys.len();
 
-    let mut forces = vec![Vec3::ZERO; n];
+    let System { box_len, species, pos, force, .. } = sys;
+    let ForceScratch { sp_idx, serial, .. } = scratch;
+    sp_idx.clear();
+    sp_idx.extend(species.iter().map(|s| s.index() as u8));
+    let ctx =
+        LaneCtx { pos, sp: sp_idx, coeffs, exclusions, box_len: *box_len, inv_box: 1.0 / *box_len };
+    force.clear();
+    force.resize(n, Vec3::ZERO);
     let mut potential = 0.0;
     let mut virial = 0.0;
     let mut evaluated = 0u64;
-    for chunk in pairs.chunks(PAIR_CHUNK) {
-        for &(i, j) in chunk {
-            if exclusions.is_some_and(|ex| ex.binary_search(&(i, j)).is_ok()) {
-                continue;
-            }
-            let (i, j) = (i as usize, j as usize);
-            let d = (pos[i] - pos[j]).minimum_image(box_len);
-            let r_sq = d.norm_sq();
-            if r_sq > cutoff_sq || r_sq == 0.0 {
-                continue;
-            }
-            let (u, f_over_r) = pair_terms(table, species[i], species[j], r_sq, params.cutoff);
-            let fij = d * f_over_r;
-            forces[i] += fij;
-            forces[j] -= fij;
-            potential += u;
-            virial += f_over_r * r_sq;
-            evaluated += 1;
+    let mut lo = 0;
+    while lo < pairs.len() {
+        let hi = (lo + chunk).min(pairs.len());
+        eval_chunk(&ctx, &pairs[lo..hi], n, serial);
+        for (f, p) in force.iter_mut().zip(&serial.forces) {
+            *f += *p;
         }
+        potential += serial.u;
+        virial += serial.vir;
+        evaluated += serial.evaluated;
+        lo = hi;
     }
-
-    sys.force = forces;
     ForceEval { potential, virial, pairs_evaluated: evaluated }
 }
 
 /// Potential energy only (no force mutation) — for gradient tests.
 ///
-/// Reduced as fixed-size chunk partials merged in chunk order
+/// Shares the lane-batched chunk kernel with [`compute_forces_into`] and
+/// reduces chunk partials in ascending chunk order
 /// ([`par::Pool::par_chunks_fold`]), so the value is bit-identical at any
-/// thread count (though it deliberately differs in rounding from the
-/// running sum inside [`compute_forces`] — tests compare gradients, not
-/// bits).
+/// thread count. Allocates a species cache per call; this is a
+/// test/diagnostic path, not the engine hot loop.
 pub fn compute_potential(
     sys: &System,
     nl: &NeighborList,
     params: ForceParams,
     table: &PairTable,
 ) -> f64 {
-    let cutoff_sq = params.cutoff * params.cutoff;
-    let pair_u = |&(i, j): &(u32, u32)| -> f64 {
-        let (i, j) = (i as usize, j as usize);
-        let d = (sys.pos[i] - sys.pos[j]).minimum_image(sys.box_len);
-        let r_sq = d.norm_sq();
-        if r_sq > cutoff_sq || r_sq == 0.0 {
-            return 0.0;
-        }
-        pair_terms(table, sys.species[i], sys.species[j], r_sq, params.cutoff).0
+    let coeffs = CoeffTable::new(table, params.cutoff);
+    let sp: Vec<u8> = sys.species.iter().map(|s| s.index() as u8).collect();
+    let ctx = LaneCtx {
+        pos: &sys.pos,
+        sp: &sp,
+        coeffs: &coeffs,
+        exclusions: None,
+        box_len: sys.box_len,
+        inv_box: 1.0 / sys.box_len,
     };
     par::global()
         .par_chunks_fold(
             nl.pairs(),
             PAIR_CHUNK,
-            |_, chunk| chunk.iter().map(pair_u).sum::<f64>(),
+            |_, chunk| {
+                let mut u_acc = [0.0f64; LANES];
+                for window in chunk.chunks(LANES) {
+                    let g = eval_lane_group(&ctx, window);
+                    for (acc, u) in u_acc.iter_mut().zip(g.u) {
+                        *acc += u;
+                    }
+                }
+                // Same ascending-lane fold as `eval_chunk`.
+                u_acc.iter().copied().fold(0.0, |a, b| a + b)
+            },
             |a, b| a + b,
         )
         .unwrap_or(0.0)
@@ -407,5 +654,121 @@ mod tests {
         assert!(ev.pairs_evaluated as usize <= nl.npairs());
         // With skin 0.3 most stored pairs are in range.
         assert!(ev.pairs_evaluated as usize > nl.npairs() / 2);
+    }
+
+    /// Straightforward scalar reference: same formulas, strict pair order,
+    /// no lanes, no chunks. Lane batching must agree to summation-order
+    /// tolerance and exactly on the evaluated-pair count.
+    fn scalar_reference(
+        sys: &System,
+        nl: &NeighborList,
+        coeffs: &CoeffTable,
+        exclusions: Option<&[(u32, u32)]>,
+    ) -> (Vec<Vec3>, f64, u64) {
+        let inv_box = 1.0 / sys.box_len;
+        let mut forces = vec![Vec3::ZERO; sys.len()];
+        let mut u_total = 0.0;
+        let mut evaluated = 0u64;
+        for &(i, j) in nl.pairs() {
+            if exclusions.is_some_and(|ex| ex.binary_search(&(i, j)).is_ok()) {
+                continue;
+            }
+            let (iu, ju) = (i as usize, j as usize);
+            let d = sys.pos[iu] - sys.pos[ju];
+            let dx = d.x - sys.box_len * (d.x * inv_box).round();
+            let dy = d.y - sys.box_len * (d.y * inv_box).round();
+            let dz = d.z - sys.box_len * (d.z * inv_box).round();
+            let r2 = dx * dx + dy * dy + dz * dz;
+            if r2 > coeffs.cutoff_sq || r2 == 0.0 {
+                continue;
+            }
+            let pc = coeffs.at(sys.species[iu].index() as u8, sys.species[ju].index() as u8);
+            let inv_r2 = 1.0 / r2;
+            let r = r2.sqrt();
+            let inv_r = r * inv_r2;
+            let sr2 = pc.sigma_sq * inv_r2;
+            let sr6 = sr2 * sr2 * sr2;
+            let sr12 = sr6 * sr6;
+            let u = pc.eps4 * (sr12 - sr6) - pc.u_shift
+                + pc.kqq * (inv_r - coeffs.inv_rc + (r - coeffs.cutoff) * coeffs.inv_rc_sq);
+            let fr = pc.eps24 * (2.0 * sr12 - sr6) * inv_r2
+                + pc.kqq * (inv_r2 - coeffs.inv_rc_sq) * inv_r;
+            forces[iu] += Vec3::new(dx * fr, dy * fr, dz * fr);
+            forces[ju] -= Vec3::new(dx * fr, dy * fr, dz * fr);
+            u_total += u;
+            evaluated += 1;
+        }
+        (forces, u_total, evaluated)
+    }
+
+    #[test]
+    fn exclusions_survive_lane_batching() {
+        // Exclusion pairs land at arbitrary offsets inside lane groups and
+        // straddle chunk boundaries for tiny chunk sizes; every chunking
+        // must agree with the scalar reference.
+        let (sys, nl, params, table) = setup();
+        let coeffs = CoeffTable::new(&table, params.cutoff);
+        let mut ex: Vec<(u32, u32)> = nl.pairs().iter().step_by(7).copied().collect();
+        ex.sort_unstable();
+        let (f_ref, u_ref, count_ref) = scalar_reference(&sys, &nl, &coeffs, Some(&ex));
+        assert!(count_ref > 0);
+        for chunk in [3usize, 5, 64, 16_384] {
+            let mut scratch = ForceScratch::with_chunk_pairs(chunk);
+            let mut s = sys.clone();
+            let ev = compute_forces_into(&mut scratch, &mut s, &nl, &coeffs, Some(&ex));
+            assert_eq!(ev.pairs_evaluated, count_ref, "chunk {chunk}: evaluated count");
+            let rel = (ev.potential - u_ref).abs() / u_ref.abs().max(1.0);
+            assert!(rel < 1e-9, "chunk {chunk}: potential {} vs {u_ref}", ev.potential);
+            for (k, (a, b)) in s.force.iter().zip(&f_ref).enumerate() {
+                let scale = b.norm().max(1.0);
+                assert!((*a - *b).norm() < 1e-9 * scale, "chunk {chunk} atom {k}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_reference_without_exclusions() {
+        let (sys, nl, params, table) = setup();
+        let coeffs = CoeffTable::new(&table, params.cutoff);
+        let (f_ref, u_ref, count_ref) = scalar_reference(&sys, &nl, &coeffs, None);
+        let mut s = sys.clone();
+        let ev = compute_forces_into(&mut ForceScratch::new(), &mut s, &nl, &coeffs, None);
+        assert_eq!(ev.pairs_evaluated, count_ref);
+        let rel = (ev.potential - u_ref).abs() / u_ref.abs().max(1.0);
+        assert!(rel < 1e-9, "{} vs {u_ref}", ev.potential);
+        for (a, b) in s.force.iter().zip(&f_ref) {
+            assert!((*a - *b).norm() < 1e-9 * b.norm().max(1.0));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_stable() {
+        // Re-running with warm scratch must reproduce the cold run exactly.
+        let (sys, nl, params, table) = setup();
+        let coeffs = CoeffTable::new(&table, params.cutoff);
+        let mut scratch = ForceScratch::new();
+        let mut s1 = sys.clone();
+        let ev1 = compute_forces_into(&mut scratch, &mut s1, &nl, &coeffs, None);
+        let mut s2 = sys.clone();
+        let ev2 = compute_forces_into(&mut scratch, &mut s2, &nl, &coeffs, None);
+        assert_eq!(ev1.potential.to_bits(), ev2.potential.to_bits());
+        assert_eq!(ev1.virial.to_bits(), ev2.virial.to_bits());
+        assert_eq!(ev1.pairs_evaluated, ev2.pairs_evaluated);
+        for (a, b) in s1.force.iter().zip(&s2.force) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn potential_matches_force_eval_bits() {
+        // Both paths share the chunked lane kernel; with the default chunk
+        // size they produce the same canonical sum.
+        let (sys, nl, params, table) = setup();
+        let mut s = sys.clone();
+        let ev = compute_forces(&mut s, &nl, params, &table);
+        let u = compute_potential(&sys, &nl, params, &table);
+        assert_eq!(ev.potential.to_bits(), u.to_bits());
     }
 }

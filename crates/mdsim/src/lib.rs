@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_probe;
 pub mod analysis;
 mod bonded;
 mod cell_list;
@@ -55,7 +56,8 @@ pub use cell_list::CellList;
 pub use domain::DomainDecomposition;
 pub use engine::{EngineStepCounts, MdEngine};
 pub use force::{
-    compute_forces, compute_forces_excluding, compute_potential, ForceEval, ForceParams,
+    compute_forces, compute_forces_excluding, compute_forces_into, compute_forces_serial,
+    compute_potential, CoeffTable, ForceEval, ForceParams, ForceScratch,
 };
 pub use integrate::Integrator;
 pub use neighbor::{brute_force_pairs, NeighborList};

@@ -5,9 +5,21 @@
 //! skin since the last build, at which point LAMMPS-style engines rebuild —
 //! this is the "update neighbor lists" step 5 of the Verlet-Splitanalysis
 //! flow and is communication/memory intensive on real machines.
+//!
+//! The list owns its storage across rebuilds: [`NeighborList::rebuild`]
+//! re-bins the persistent cell grid and re-scans it into the existing
+//! pair vector, so a steady-state engine rebuilds without allocating.
+//! Cells are scanned in cache-sized blocks of consecutive indices; block
+//! order equals cell order, so the pair stream is identical to a plain
+//! serial cell sweep at any thread count.
 
 use crate::cell_list::CellList;
 use crate::vec3::Vec3;
+
+/// Consecutive cells scanned per traversal block. Blocks are the unit of
+/// parallel work *and* of cache reuse: a block's member atoms and their
+/// 27-cell halos stay resident while the block is swept.
+const CELL_BLOCK: usize = 16;
 
 /// A half neighbor list.
 #[derive(Debug, Clone)]
@@ -16,61 +28,81 @@ pub struct NeighborList {
     pub cutoff: f64,
     /// Extra margin beyond the cutoff.
     pub skin: f64,
-    /// CSR layout: `pairs[offsets[i]..offsets[i+1]]` are the neighbors `j > i`…
-    /// stored as flat `(i, j)` pairs for simplicity and cache-friendly sweeps.
+    /// Flat `(i, j)` pairs, `i < j`, in cell-sweep order.
     pairs: Vec<(u32, u32)>,
     /// Positions at build time (displacement tracking).
     ref_pos: Vec<Vec3>,
     box_len: f64,
+    /// Persistent cell grid, re-binned in place on rebuild.
+    cells: CellList,
+    /// Per-block pair buffers for the parallel scan, reused across calls.
+    block_bufs: Vec<Vec<(u32, u32)>>,
 }
 
 impl NeighborList {
     /// Build from scratch. `positions` must be wrapped into the box.
     ///
-    /// Cells are scanned in parallel, each producing its own pair list;
-    /// the per-cell lists are concatenated in ascending cell order, which
-    /// reproduces the serial cell sweep's pair ordering exactly — and the
-    /// pair ordering fixes the force kernel's floating-point reduction
-    /// order, so neighbor builds are bit-stable at any thread count.
+    /// Cell blocks are scanned in parallel, each producing its own pair
+    /// list; the per-block lists are concatenated in ascending block
+    /// order, which reproduces the serial cell sweep's pair ordering
+    /// exactly — and the pair ordering fixes the force kernel's
+    /// floating-point reduction order, so neighbor builds are bit-stable
+    /// at any thread count.
     pub fn build(positions: &[Vec3], box_len: f64, cutoff: f64, skin: f64) -> Self {
         assert!(cutoff > 0.0 && skin >= 0.0);
         let reach = cutoff + skin;
-        let cl = CellList::build(positions, box_len, reach);
+        let cells = CellList::build(positions, box_len, reach);
+        let mut nl = NeighborList {
+            cutoff,
+            skin,
+            pairs: Vec::new(),
+            ref_pos: Vec::new(),
+            box_len,
+            cells,
+            block_bufs: Vec::new(),
+        };
+        nl.scan(positions);
+        nl.ref_pos.extend_from_slice(positions);
+        nl
+    }
+
+    /// Rebuild in place for new positions, reusing all storage. The atom
+    /// count and box geometry must match the original
+    /// [`NeighborList::build`]; positions must be wrapped into the box.
+    pub fn rebuild(&mut self, positions: &[Vec3]) {
+        self.cells.rebin(positions);
+        self.scan(positions);
+        self.ref_pos.clear();
+        self.ref_pos.extend_from_slice(positions);
+    }
+
+    /// Scan the (already binned) cell grid into `self.pairs`.
+    fn scan(&mut self, positions: &[Vec3]) {
+        let reach = self.cutoff + self.skin;
         let reach_sq = reach * reach;
-        let cell_pairs = par::global().par_map_indexed(cl.ncells(), |cell| {
-            let members = cl.cell(cell);
-            let mut out = Vec::with_capacity(members.len() * 20);
-            let mut scratch = [0usize; 27];
-            let nbhd_len = cl.neighborhood_into(cell, &mut scratch);
-            for (k, &i) in members.iter().enumerate() {
-                let pi = positions[i as usize];
-                // Pairs within the same cell.
-                for &j in &members[k + 1..] {
-                    let d = (positions[j as usize] - pi).minimum_image(box_len);
-                    if d.norm_sq() <= reach_sq {
-                        out.push((i.min(j), i.max(j)));
-                    }
-                }
-                // Pairs with higher-indexed cells (avoid double visits).
-                for &nc in &scratch[..nbhd_len] {
-                    if nc <= cell {
-                        continue;
-                    }
-                    for &j in cl.cell(nc) {
-                        let d = (positions[j as usize] - pi).minimum_image(box_len);
-                        if d.norm_sq() <= reach_sq {
-                            out.push((i.min(j), i.max(j)));
-                        }
-                    }
-                }
+        let box_len = self.box_len;
+        let cells = &self.cells;
+        let n_blocks = cells.ncells().div_ceil(CELL_BLOCK);
+        let pool = par::global();
+        self.pairs.clear();
+        if pool.effective_threads() <= 1 || n_blocks <= 1 || pool.is_busy() {
+            // Serial: sweep blocks in order straight into the pair vector.
+            for block in 0..n_blocks {
+                scan_block(cells, block, positions, reach_sq, box_len, &mut self.pairs);
             }
-            out
-        });
-        let mut pairs = Vec::with_capacity(cell_pairs.iter().map(Vec::len).sum());
-        for cp in &cell_pairs {
-            pairs.extend_from_slice(cp);
+            return;
         }
-        NeighborList { cutoff, skin, pairs, ref_pos: positions.to_vec(), box_len }
+        if self.block_bufs.len() < n_blocks {
+            self.block_bufs.resize_with(n_blocks, Vec::new);
+        }
+        pool.par_fill(&mut self.block_bufs[..n_blocks], 1, |block, out| {
+            let buf = &mut out[0];
+            buf.clear();
+            scan_block(cells, block, positions, reach_sq, box_len, buf);
+        });
+        for buf in &self.block_bufs[..n_blocks] {
+            self.pairs.extend_from_slice(buf);
+        }
     }
 
     /// The half pair list.
@@ -91,6 +123,46 @@ impl NeighborList {
             .iter()
             .zip(&self.ref_pos)
             .any(|(p, r)| (*p - *r).minimum_image(self.box_len).norm_sq() > limit_sq)
+    }
+}
+
+/// Sweep one block of consecutive cells, appending pairs in cell order.
+fn scan_block(
+    cells: &CellList,
+    block: usize,
+    positions: &[Vec3],
+    reach_sq: f64,
+    box_len: f64,
+    out: &mut Vec<(u32, u32)>,
+) {
+    let lo = block * CELL_BLOCK;
+    let hi = (lo + CELL_BLOCK).min(cells.ncells());
+    let mut scratch = [0usize; 27];
+    for cell in lo..hi {
+        let members = cells.cell(cell);
+        let nbhd_len = cells.neighborhood_into(cell, &mut scratch);
+        for (k, &i) in members.iter().enumerate() {
+            let pi = positions[i as usize];
+            // Pairs within the same cell.
+            for &j in &members[k + 1..] {
+                let d = (positions[j as usize] - pi).minimum_image(box_len);
+                if d.norm_sq() <= reach_sq {
+                    out.push((i.min(j), i.max(j)));
+                }
+            }
+            // Pairs with higher-indexed cells (avoid double visits).
+            for &nc in &scratch[..nbhd_len] {
+                if nc <= cell {
+                    continue;
+                }
+                for &j in cells.cell(nc) {
+                    let d = (positions[j as usize] - pi).minimum_image(box_len);
+                    if d.norm_sq() <= reach_sq {
+                        out.push((i.min(j), i.max(j)));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -136,6 +208,26 @@ mod tests {
         let sys = water_ion_box(1, 1.0, 6);
         let nl = NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.3);
         assert!(!nl.needs_rebuild(&sys.pos));
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        let sys_a = water_ion_box(1, 1.0, 6);
+        let sys_b = water_ion_box(1, 1.0, 17);
+        let mut reused = NeighborList::build(&sys_a.pos, sys_a.box_len, 2.5, 0.3);
+        reused.rebuild(&sys_b.pos);
+        let fresh = NeighborList::build(&sys_b.pos, sys_b.box_len, 2.5, 0.3);
+        assert_eq!(reused.pairs(), fresh.pairs(), "in-place rebuild diverged from fresh build");
+        assert!(!reused.needs_rebuild(&sys_b.pos), "ref positions not refreshed");
+    }
+
+    #[test]
+    fn serial_and_parallel_scans_agree_exactly() {
+        let sys = water_ion_box(1, 1.0, 11);
+        let serial = par::with_threads(1, || NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.3));
+        let parallel =
+            par::with_threads(4, || NeighborList::build(&sys.pos, sys.box_len, 2.5, 0.3));
+        assert_eq!(serial.pairs(), parallel.pairs(), "pair stream depends on thread count");
     }
 
     #[test]

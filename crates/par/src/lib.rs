@@ -34,7 +34,7 @@
 #![warn(missing_docs)]
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Upper bound on pool width; guards absurd `POLIMER_THREADS` values.
@@ -136,6 +136,10 @@ impl Pool {
     /// Chunk boundaries depend only on `items.len()` and `chunk_size`, and
     /// the merge order is fixed, so the result is bit-identical at any
     /// thread count. Returns `None` for empty input.
+    ///
+    /// Partials land in slots indexed by chunk (one [`Pool::par_fill`]
+    /// over an `Option<A>` slot per chunk), so the merge is a single
+    /// in-order pass — no per-worker buffers, no sort by chunk index.
     pub fn par_chunks_fold<T, A>(
         &self,
         items: &[T],
@@ -150,41 +154,16 @@ impl Pool {
         assert!(chunk_size >= 1, "chunk_size must be >= 1");
         let n_chunks = items.len().div_ceil(chunk_size);
         let threads = self.effective_threads().min(n_chunks);
-        if threads <= 1 || !self.try_begin() {
+        if threads <= 1 || self.is_busy() {
             return items.chunks(chunk_size).enumerate().map(|(ci, c)| map(ci, c)).reduce(fold);
         }
-        let _guard = ActiveGuard(self);
-
-        let next = AtomicUsize::new(0);
-        let mut parts: Vec<(usize, A)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let ci = next.fetch_add(1, Ordering::Relaxed);
-                            if ci >= n_chunks {
-                                break;
-                            }
-                            let lo = ci * chunk_size;
-                            let hi = (lo + chunk_size).min(items.len());
-                            local.push((ci, map(ci, &items[lo..hi])));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            let mut parts = Vec::with_capacity(n_chunks);
-            for h in handles {
-                match h.join() {
-                    Ok(local) => parts.extend(local),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-            parts
+        let mut slots: Vec<Option<A>> = (0..n_chunks).map(|_| None).collect();
+        self.par_fill(&mut slots, 1, |ci, out| {
+            let lo = ci * chunk_size;
+            let hi = (lo + chunk_size).min(items.len());
+            out[0] = Some(map(ci, &items[lo..hi]));
         });
-        parts.sort_unstable_by_key(|&(ci, _)| ci);
-        parts.into_iter().map(|(_, a)| a).reduce(&mut fold)
+        slots.into_iter().map(|s| s.expect("par_fill visits every slot")).reduce(&mut fold)
     }
 
     /// Fill `out` in place: `fill(start_index, chunk)` is invoked for each

@@ -65,7 +65,11 @@ diff "$a/audit_run_experiment.json" "$b/audit_run_experiment.json"
 echo "==> trace audit: invariant battery over the serialized trace"
 ./target/release/audit_trace --quiet "$c/t1.jsonl"
 
-echo "==> kernel speedup record: md_kernels serial-vs-parallel bench"
+# The bench itself exits nonzero when a kernel promise breaks: an
+# absolute ns/pair ceiling, the T1 dispatch-overhead speedup floor, or a
+# nonzero allocations-per-call count (BENCH0005). bench_gate re-checks
+# the same bounds plus drift from the persisted document below.
+echo "==> kernel perf gate: md_kernels ns/pair ceilings + T1 speedup floor + alloc-free"
 SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench md_kernels -- --quick
 test -s "$c/BENCH_kernels.json"
 

@@ -1,0 +1,63 @@
+//! Zero-allocation gate for the MD hot path.
+//!
+//! This test binary registers [`mdsim::alloc_probe::CountingAlloc`] as its
+//! global allocator (its own process, so the counter sees nothing else)
+//! and asserts that the warmed hot paths — force evaluation through
+//! caller-owned scratch, in-place neighbor rebuilds, and whole engine
+//! steps — perform **zero** heap allocations at one thread. At higher
+//! thread counts the scoped pool spawns OS threads per call, which
+//! allocate; the kernels themselves still only write into reused buffers,
+//! which is what this gate pins down.
+//!
+//! Everything lives in one `#[test]` because the allocation counter is
+//! process-global: concurrently running tests would pollute the deltas.
+
+use mdsim::alloc_probe::{allocations, CountingAlloc};
+use mdsim::{
+    compute_forces_into, water_ion_box, CoeffTable, ForceParams, ForceScratch, MdEngine,
+    NeighborList, PairTable,
+};
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+#[test]
+fn hot_paths_are_allocation_free_after_warmup() {
+    par::with_threads(1, || {
+        // Force kernel + neighbor rebuild on a static system: after one
+        // warming call each, repeated calls must not touch the allocator.
+        let sys = water_ion_box(1, 1.0, 42);
+        let params = ForceParams::default();
+        let coeffs = CoeffTable::new(&PairTable::new(), params.cutoff);
+        let mut nl = NeighborList::build(&sys.pos, sys.box_len, params.cutoff, 0.4);
+        let mut scratch = ForceScratch::new();
+        let mut s = sys.clone();
+        compute_forces_into(&mut scratch, &mut s, &nl, &coeffs, None);
+        nl.rebuild(&s.pos);
+
+        let before = allocations();
+        for _ in 0..5 {
+            compute_forces_into(&mut scratch, &mut s, &nl, &coeffs, None);
+            nl.rebuild(&s.pos);
+        }
+        assert_eq!(allocations(), before, "force/neighbor hot path allocated");
+
+        // A full engine: velocity-Verlet steps with skin-triggered
+        // rebuilds on moving atoms. Generous warmup so every bin and the
+        // pair list have seen their steady-state sizes (Vec growth leaves
+        // slack, so later density fluctuations stay within capacity).
+        let mut e = MdEngine::water_ion_benchmark(1, 43);
+        let mut rebuilds = 0u32;
+        for _ in 0..30 {
+            rebuilds += u32::from(e.step().rebuilt);
+        }
+        assert!(rebuilds > 0, "warmup never rebuilt the neighbor list");
+
+        let before = allocations();
+        rebuilds = 0;
+        for _ in 0..12 {
+            rebuilds += u32::from(e.step().rebuilt);
+        }
+        assert_eq!(allocations(), before, "engine step allocated ({rebuilds} rebuilds)");
+    });
+}

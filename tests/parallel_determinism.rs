@@ -11,7 +11,8 @@
 use insitu::{run_paired, JobConfig};
 use mdsim::workload::WorkloadSpec;
 use mdsim::{
-    compute_forces, water_ion_box, AnalysisKind, ForceParams, MdEngine, NeighborList, PairTable,
+    compute_forces, compute_forces_into, water_ion_box, AnalysisKind, CoeffTable, ForceParams,
+    ForceScratch, MdEngine, NeighborList, PairTable,
 };
 
 /// Force evaluation on the 12 544-atom cell (dim 2 — comfortably above
@@ -34,6 +35,40 @@ fn force_eval_bit_identical_across_thread_counts() {
     let serial = force_bits(1);
     for threads in [2, 4, 8] {
         assert_eq!(serial, force_bits(threads), "force kernel drifted at T={threads}");
+    }
+}
+
+/// Force evaluation with an explicit chunk size, as raw bits. The chunk
+/// size *defines* the canonical reduction order, so different chunk sizes
+/// legitimately differ in the last ulp — but for any fixed chunk size,
+/// every thread count must reproduce the same bits.
+fn force_bits_chunked(threads: usize, chunk_pairs: usize) -> (u64, u64, u64, Vec<u64>) {
+    par::with_threads(threads, || {
+        let mut sys = water_ion_box(1, 1.0, 55);
+        let params = ForceParams::default();
+        let coeffs = CoeffTable::new(&PairTable::new(), params.cutoff);
+        let nl = NeighborList::build(&sys.pos, sys.box_len, params.cutoff, 0.4);
+        let mut scratch = ForceScratch::with_chunk_pairs(chunk_pairs);
+        let ev = compute_forces_into(&mut scratch, &mut sys, &nl, &coeffs, None);
+        let fbits =
+            sys.force.iter().flat_map(|f| [f.x.to_bits(), f.y.to_bits(), f.z.to_bits()]).collect();
+        (ev.potential.to_bits(), ev.virial.to_bits(), ev.pairs_evaluated, fbits)
+    })
+}
+
+#[test]
+fn force_eval_bit_identical_across_threads_and_chunk_sizes() {
+    // 5000 is deliberately not a multiple of the lane width, so every
+    // chunk ends in a partially-filled lane group.
+    for chunk_pairs in [1_024, 5_000, 16_384] {
+        let serial = force_bits_chunked(1, chunk_pairs);
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                serial,
+                force_bits_chunked(threads, chunk_pairs),
+                "chunk={chunk_pairs} drifted at T={threads}"
+            );
+        }
     }
 }
 

@@ -43,6 +43,10 @@ const fn audit(code: &'static str, check: &'static str) -> DiagCode {
     DiagCode { code, check, severity: Severity::Error }
 }
 
+const fn audit_warn(code: &'static str, check: &'static str) -> DiagCode {
+    DiagCode { code, check, severity: Severity::Warning }
+}
+
 /// `AUDIT0001` — the shared sim-time clock ran backwards.
 pub const CLOCK: DiagCode = audit("AUDIT0001", "clock");
 /// `AUDIT0002` — synchronization intervals misnumbered or badly nested.
@@ -64,6 +68,18 @@ pub const FAULTS: DiagCode = audit("AUDIT0009", "faults");
 /// `AUDIT0010` — a fleet invariant broke: job lost or double-run, retry
 /// schedule out of contract, or fleet-envelope conservation violated.
 pub const FLEET: DiagCode = audit("AUDIT0010", "fleet");
+
+/// `AUDIT0011` — a machine-scheduler job lifecycle broke: started without
+/// arriving, completed without running, killed or completed after a
+/// terminal state, or started twice.
+pub const LIFECYCLE: DiagCode = audit("AUDIT0011", "lifecycle");
+/// `AUDIT0012` — advisory: the run opened intervals but never reached its
+/// `run_end` epilogue (a halt — legal under partition death, worth a
+/// look otherwise).
+pub const HALT: DiagCode = audit_warn("AUDIT0012", "halt");
+/// `AUDIT0013` — a streamed trace line failed to parse (the streaming
+/// audit stops at the first malformed line, like the batch loader).
+pub const STREAM: DiagCode = audit("AUDIT0013", "stream");
 
 /// `BENCH0001` — a metric exceeded its absolute bound.
 pub const BENCH_BOUND: DiagCode = audit("BENCH0001", "bound");
@@ -149,6 +165,13 @@ mod tests {
     }
 
     #[test]
+    fn halt_is_advisory() {
+        let d = Diagnostic::new(HALT, "run halted with interval 7 open");
+        assert_eq!(d.severity(), Severity::Warning);
+        assert_eq!(d.to_string(), "warning[AUDIT0012] halt: run halted with interval 7 open");
+    }
+
+    #[test]
     fn codes_are_unique() {
         let all = [
             CLOCK,
@@ -161,6 +184,9 @@ mod tests {
             ENVELOPE,
             FAULTS,
             FLEET,
+            LIFECYCLE,
+            HALT,
+            STREAM,
             BENCH_BOUND,
             BENCH_DRIFT,
             BENCH_MISSING,

@@ -499,12 +499,186 @@ impl AuditEvent {
     }
 
     /// Convert a live in-memory event (the tap path, no serialization).
+    ///
+    /// Equivalent to parsing [`obs::TraceEvent::to_json_line`] — including
+    /// the float normalization: the serializer writes non-finite values as
+    /// `null` and the parser reads `null` as NaN, so non-finite floats map
+    /// to NaN here too. Unlike the round trip, this allocates only for the
+    /// borrowed string tags, which is what lets a streaming audit consume
+    /// the live event flow without a per-event format-and-parse.
     pub fn from_obs(te: &obs::TraceEvent) -> AuditEvent {
-        // Round-tripping through the serialized form keeps exactly one
-        // definition of the mapping; a trace is a few MB at most and the
-        // tap path is not hot.
-        AuditEvent::parse_line(&te.to_json_line())
-            .expect("obs serializer and audit parser agree on the schema")
+        use obs::Event as E;
+        // Non-finite floats lose their identity on disk (`null`), so the
+        // in-memory path collapses them identically.
+        fn n(v: f64) -> f64 {
+            if v.is_finite() {
+                v
+            } else {
+                f64::NAN
+            }
+        }
+        let kind = match &te.ev {
+            E::RunStart {
+                sim_nodes,
+                analysis_nodes,
+                budget_w,
+                min_cap_w,
+                max_cap_w,
+                actuation_ns,
+            } => EventKind::RunStart {
+                sim_nodes: *sim_nodes as u64,
+                analysis_nodes: *analysis_nodes as u64,
+                budget_w: n(*budget_w),
+                min_cap_w: n(*min_cap_w),
+                max_cap_w: n(*max_cap_w),
+                actuation_ns: *actuation_ns,
+            },
+            E::SyncStart { sync } => EventKind::SyncStart { sync: *sync },
+            E::Arrival { sync, node, role, time_s } => EventKind::Arrival {
+                sync: *sync,
+                node: *node as u64,
+                role: (*role).to_string(),
+                time_s: n(*time_s),
+            },
+            E::Rendezvous { sync, sim_time_s, analysis_time_s, slack } => EventKind::Rendezvous {
+                sync: *sync,
+                sim_time_s: n(*sim_time_s),
+                analysis_time_s: n(*analysis_time_s),
+                slack: n(*slack),
+            },
+            E::SyncEnd { sync, overhead_s } => {
+                EventKind::SyncEnd { sync: *sync, overhead_s: n(*overhead_s) }
+            }
+            E::SyncEnergy { sync, energy_j } => {
+                EventKind::SyncEnergy { sync: *sync, energy_j: n(*energy_j) }
+            }
+            E::NodeEnergy { node, energy_j } => {
+                EventKind::NodeEnergy { node: *node as u64, energy_j: n(*energy_j) }
+            }
+            E::RunEnd { total_time_s, total_energy_j } => EventKind::RunEnd {
+                total_time_s: n(*total_time_s),
+                total_energy_j: n(*total_energy_j),
+            },
+            E::Phase { node, kind, start_ns, end_ns } => EventKind::Phase {
+                node: *node as u64,
+                kind: (*kind).to_string(),
+                start_ns: *start_ns,
+                end_ns: *end_ns,
+            },
+            E::Wait { node, start_ns, end_ns } => {
+                EventKind::Wait { node: *node as u64, start_ns: *start_ns, end_ns: *end_ns }
+            }
+            E::CapRequest { node, requested_w, granted_w, effective_ns } => EventKind::CapRequest {
+                node: *node as u64,
+                requested_w: n(*requested_w),
+                granted_w: n(*granted_w),
+                effective_ns: *effective_ns,
+            },
+            E::Sample { node, role, time_s, power_w, cap_w } => EventKind::Sample {
+                node: *node as u64,
+                role: (*role).to_string(),
+                time_s: n(*time_s),
+                power_w: n(*power_w),
+                cap_w: n(*cap_w),
+            },
+            E::SampleRejected { node } => EventKind::SampleRejected { node: *node as u64 },
+            E::ExchangeDone { sync, overhead_s, decided } => EventKind::ExchangeDone {
+                sync: *sync,
+                overhead_s: n(*overhead_s),
+                decided: *decided,
+            },
+            E::MonitorReelected { node, new_rank } => {
+                EventKind::MonitorReelected { node: *node as u64, new_rank: *new_rank as u64 }
+            }
+            E::NodeExcluded { node } => EventKind::NodeExcluded { node: *node as u64 },
+            E::BudgetRenormalized { budget_w } => {
+                EventKind::BudgetRenormalized { budget_w: n(*budget_w) }
+            }
+            E::AllocationHeld { sync } => EventKind::AllocationHeld { sync: *sync },
+            E::Decision(d) => EventKind::Decision(Box::new(DecisionFields {
+                sync: d.sync,
+                sim_nodes: d.sim_nodes as u64,
+                analysis_nodes: d.analysis_nodes as u64,
+                alpha_sim: n(d.alpha_sim),
+                alpha_analysis: n(d.alpha_analysis),
+                p_opt_sim_w: n(d.p_opt_sim_w),
+                p_opt_analysis_w: n(d.p_opt_analysis_w),
+                blend_sim_w: n(d.blend_sim_w),
+                blend_analysis_w: n(d.blend_analysis_w),
+                sim_node_w: n(d.sim_node_w),
+                analysis_node_w: n(d.analysis_node_w),
+                clamped: d.clamped,
+            })),
+            E::ControllerHold { sync, reason } => {
+                EventKind::ControllerHold { sync: *sync, reason: (*reason).to_string() }
+            }
+            E::MachineStart { nodes, envelope_w } => {
+                EventKind::MachineStart { nodes: *nodes as u64, envelope_w: n(*envelope_w) }
+            }
+            E::JobArrived { job } => EventKind::JobArrived { job: *job as u64 },
+            E::JobStarted { job, nodes, budget_w } => EventKind::JobStarted {
+                job: *job as u64,
+                nodes: *nodes as u64,
+                budget_w: n(*budget_w),
+            },
+            E::JobCompleted { job, time_s } => {
+                EventKind::JobCompleted { job: *job as u64, time_s: n(*time_s) }
+            }
+            E::JobKilled { job } => EventKind::JobKilled { job: *job as u64 },
+            E::MachineBudget { epoch, allocated_w, pool_w } => EventKind::MachineBudget {
+                epoch: *epoch,
+                allocated_w: n(*allocated_w),
+                pool_w: n(*pool_w),
+            },
+            E::FleetStart {
+                machines,
+                envelope_w,
+                retry_base_epochs,
+                retry_cap_epochs,
+                max_retries,
+            } => EventKind::FleetStart {
+                machines: *machines as u64,
+                envelope_w: n(*envelope_w),
+                retry_base_epochs: *retry_base_epochs,
+                retry_cap_epochs: *retry_cap_epochs,
+                max_retries: *max_retries,
+            },
+            E::MachineDown { machine, epoch } => {
+                EventKind::MachineDown { machine: *machine as u64, epoch: *epoch }
+            }
+            E::MachineUp { machine, epoch } => {
+                EventKind::MachineUp { machine: *machine as u64, epoch: *epoch }
+            }
+            E::JobDispatched { job, machine } => {
+                EventKind::JobDispatched { job: *job as u64, machine: *machine as u64 }
+            }
+            E::JobRetry { job, attempt, backoff_epochs } => EventKind::JobRetry {
+                job: *job as u64,
+                attempt: *attempt,
+                backoff_epochs: *backoff_epochs,
+            },
+            E::JobMigrated { job, from_machine, to_machine } => EventKind::JobMigrated {
+                job: *job as u64,
+                from_machine: *from_machine as u64,
+                to_machine: *to_machine as u64,
+            },
+            E::JobFailed { job, attempts } => {
+                EventKind::JobFailed { job: *job as u64, attempts: *attempts }
+            }
+            E::EnvelopeRenorm { epoch, machine, share_w, cap_w } => EventKind::EnvelopeRenorm {
+                epoch: *epoch,
+                machine: *machine as u64,
+                share_w: n(*share_w),
+                cap_w: n(*cap_w),
+            },
+            E::Fault { sync, node, tag } => {
+                EventKind::Fault { sync: *sync, node: *node as u64, tag: (*tag).to_string() }
+            }
+            E::Recovery { sync, node, tag } => {
+                EventKind::Recovery { sync: *sync, node: *node as u64, tag: (*tag).to_string() }
+            }
+        };
+        AuditEvent { t_ns: te.t.as_nanos(), kind }
     }
 
     /// Serialize back to the exact byte format the `obs` emitter writes.
@@ -777,6 +951,30 @@ mod tests {
         let ev = AuditEvent::from_obs(&te);
         assert_eq!(ev, AuditEvent::parse_line(&te.to_json_line()).unwrap());
         assert_eq!(ev.to_json_line(), te.to_json_line());
+    }
+
+    #[test]
+    fn from_obs_normalizes_non_finite_floats_like_the_round_trip() {
+        let cases = vec![
+            obs::Event::BudgetRenormalized { budget_w: f64::INFINITY },
+            obs::Event::Rendezvous {
+                sync: 2,
+                sim_time_s: 1.5,
+                analysis_time_s: f64::NAN,
+                slack: f64::NEG_INFINITY,
+            },
+            obs::Event::MachineBudget { epoch: 3, allocated_w: 440.0, pool_w: 440.0 },
+            obs::Event::Fault { sync: 1, node: 4, tag: "straggler" },
+        ];
+        for ev in cases {
+            let te = obs::TraceEvent { t: des::SimTime::from_nanos(9), ev };
+            let direct = AuditEvent::from_obs(&te);
+            let round = AuditEvent::parse_line(&te.to_json_line()).unwrap();
+            // NaN breaks PartialEq — compare through the byte format, which
+            // is what the equivalence gate diffs.
+            assert_eq!(direct.to_json_line(), round.to_json_line());
+            assert_eq!(direct.to_json_line(), te.to_json_line());
+        }
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! The invariant battery: structural and physical consistency checks over
-//! one trace.
+//! one trace, implemented as **incremental checkers**.
 //!
-//! Each check is independent and pure; [`check_all`] runs the full
-//! battery and returns every violation found (empty = clean). The checks
-//! encode what the simulator *promises*, so a passing audit is evidence
-//! the run obeyed its own physics, and a failing one points at the layer
-//! that broke its contract:
+//! Every check is a small state machine fed one event at a time
+//! ([`StreamChecker::feed`]) and flushed once at end of stream
+//! ([`StreamChecker::finish`]). Checker state is bounded by the run's
+//! *shape* — open spans, nodes, live jobs — never by its length, so the
+//! battery audits a multi-gigabyte trace in constant memory. The batch
+//! entry points ([`check_all`] and the per-check functions) are thin
+//! wrappers that feed a checker from an in-memory [`Trace`]: there is
+//! exactly one implementation of every invariant, which is what makes the
+//! streaming and batch audit reports byte-identical by construction.
+//!
+//! The checks encode what the simulator *promises*, so a passing audit is
+//! evidence the run obeyed its own physics, and a failing one points at
+//! the layer that broke its contract:
 //!
 //! - **clock**: the shared sim-time stamp never runs backwards (span
 //!   events carry their own explicit times and are exempt).
@@ -25,19 +33,32 @@
 //!   total (the intervals tile `[0, T]`).
 //! - **envelope**: machine-level epoch divisions sum to the envelope.
 //! - **faults**: every injected fault that mandates a graceful-degradation
-//!   action got one (pairing rules below).
+//!   action got one. Streaming note: the evidence for the fault at plan
+//!   ordinal `s` lives in interval `s + 1`, so the checker judges each
+//!   fault when that interval closes (or at end of stream) and then
+//!   prunes the closed interval's evidence — the lookback window is one
+//!   interval, not the whole trace.
 //! - **fleet**: across machine failures, no job is lost or double-run, the
 //!   retry/backoff schedule is monotone, capped, and pair-matched with
 //!   dispatches, machine down/up declarations alternate, and every
 //!   envelope renormalization conserves the fleet envelope over live
-//!   members.
+//!   members. Gated on the `fleet_start` header, which real fleet traces
+//!   emit before any other fleet event.
+//! - **lifecycle**: on machine-scheduler traces (gated on
+//!   `machine_start`), every job start/complete/kill respects the
+//!   arrival → running → terminal protocol — no job starts twice, completes
+//!   without running, or acts after its terminal event.
+//! - **halt** (advisory): a run that opened intervals but never reached
+//!   its `run_end` epilogue halted mid-run — legal under partition death,
+//!   worth a look otherwise.
 //!
 //! Every violation carries a namespaced diagnostic code ([`crate::diag`]):
-//! `AUDIT0001` (clock) through `AUDIT0010` (fleet).
+//! `AUDIT0001` (clock) through `AUDIT0012` (halt).
 
-use crate::diag::{self, DiagCode, Violation};
-use crate::event::EventKind;
+use crate::diag::{self, DiagCode, Severity, Violation};
+use crate::event::{AuditEvent, EventKind};
 use crate::trace::Trace;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Absolute slack for watt-level comparisons (budget/cap arithmetic is
 /// exact modulo float association).
@@ -50,19 +71,13 @@ fn v(out: &mut Vec<Violation>, code: DiagCode, detail: String) {
     out.push(Violation::new(code, detail));
 }
 
-/// Run the full battery.
+/// Run the full battery over an in-memory trace.
 pub fn check_all(trace: &Trace) -> Vec<Violation> {
-    let mut out = Vec::new();
-    check_clock(trace, &mut out);
-    check_sync_sequence(trace, &mut out);
-    check_spans(trace, &mut out);
-    check_budget(trace, &mut out);
-    check_caps(trace, &mut out);
-    check_energy(trace, &mut out);
-    check_envelope(trace, &mut out);
-    check_faults(trace, &mut out);
-    check_fleet(trace, &mut out);
-    out
+    let mut checker = StreamChecker::default();
+    for ev in &trace.events {
+        checker.feed(ev);
+    }
+    checker.finish()
 }
 
 /// Span-carrying kinds stamp themselves at explicit (possibly past)
@@ -78,52 +93,160 @@ fn rides_shared_clock(kind: &EventKind) -> bool {
     )
 }
 
-/// Clock monotonicity.
-pub fn check_clock(trace: &Trace, out: &mut Vec<Violation>) {
-    let mut last: u64 = 0;
-    for (i, ev) in trace.events.iter().enumerate() {
+/// The full incremental battery: feed events in stream order, then
+/// [`finish`](StreamChecker::finish) for the concatenated findings in
+/// battery order (clock, sync, spans, budget, caps, energy, envelope,
+/// faults, fleet, lifecycle, halt).
+///
+/// State held between events is O(active spans + nodes + live jobs +
+/// one fault-evidence window) — independent of trace length.
+#[derive(Debug, Default)]
+pub struct StreamChecker {
+    clock: ClockChecker,
+    sync: SyncChecker,
+    spans: SpansChecker,
+    budget: BudgetChecker,
+    caps: CapsChecker,
+    energy: EnergyChecker,
+    envelope: EnvelopeChecker,
+    faults: FaultChecker,
+    fleet: FleetChecker,
+    lifecycle: LifecycleChecker,
+    halt: HaltChecker,
+}
+
+impl StreamChecker {
+    /// Feed one event through every checker.
+    pub fn feed(&mut self, ev: &AuditEvent) {
+        self.clock.feed(ev);
+        self.sync.feed(ev);
+        self.spans.feed(ev);
+        self.budget.feed(ev);
+        self.caps.feed(ev);
+        self.energy.feed(ev);
+        self.envelope.feed(ev);
+        self.faults.feed(ev);
+        self.fleet.feed(ev);
+        self.lifecycle.feed(ev);
+        self.halt.feed(ev);
+    }
+
+    /// Error-severity findings accumulated so far (advisories excluded).
+    /// Checks that only conclude at end of stream (energy identities, the
+    /// lost-job scan) are not yet reflected — this is the live count a
+    /// health snapshot quotes mid-run.
+    pub fn errors_so_far(&self) -> u64 {
+        [
+            &self.clock.out,
+            &self.sync.out,
+            &self.spans.out,
+            &self.budget.out,
+            &self.caps.out,
+            &self.energy.out,
+            &self.envelope.out,
+            &self.faults.out,
+            &self.fleet.out,
+            &self.lifecycle.out,
+            &self.halt.out,
+        ]
+        .iter()
+        .flat_map(|o| o.iter())
+        .filter(|x| x.severity() == Severity::Error)
+        .count() as u64
+    }
+
+    /// Flush end-of-stream checks and return every finding, battery order.
+    pub fn finish(mut self) -> Vec<Violation> {
+        self.energy.finish();
+        self.faults.finish();
+        self.fleet.finish();
+        self.halt.finish();
+        let mut out = self.clock.out;
+        out.append(&mut self.sync.out);
+        out.append(&mut self.spans.out);
+        out.append(&mut self.budget.out);
+        out.append(&mut self.caps.out);
+        out.append(&mut self.energy.out);
+        out.append(&mut self.envelope.out);
+        out.append(&mut self.faults.out);
+        out.append(&mut self.fleet.out);
+        out.append(&mut self.lifecycle.out);
+        out.append(&mut self.halt.out);
+        out
+    }
+}
+
+// --- clock ---------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ClockChecker {
+    index: u64,
+    last: u64,
+    out: Vec<Violation>,
+}
+
+impl ClockChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
+        let i = self.index;
+        self.index += 1;
         if rides_shared_clock(&ev.kind) {
-            if ev.t_ns < last {
+            if ev.t_ns < self.last {
                 v(
-                    out,
+                    &mut self.out,
                     diag::CLOCK,
                     format!(
                         "event {} ({}) at t={}ns precedes earlier stamp {}ns",
                         i,
                         ev.kind.tag(),
                         ev.t_ns,
-                        last
+                        self.last
                     ),
                 );
             }
-            last = last.max(ev.t_ns);
+            self.last = self.last.max(ev.t_ns);
         }
     }
 }
 
-/// Interval numbering and nesting; also checks that interval-scoped
-/// controller events carry the 0-based index of the open interval.
-pub fn check_sync_sequence(trace: &Trace, out: &mut Vec<Violation>) {
-    let mut open: Option<u64> = None;
-    let mut next_expected: u64 = 1;
-    let mut seen_run_end = false;
+/// Clock monotonicity (batch wrapper).
+pub fn check_clock(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = ClockChecker::default();
     for ev in &trace.events {
-        if seen_run_end {
+        c.feed(ev);
+    }
+    out.append(&mut c.out);
+}
+
+// --- sync ----------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct SyncChecker {
+    open: Option<u64>,
+    next_expected: Option<u64>,
+    seen_run_end: bool,
+    out: Vec<Violation>,
+}
+
+impl SyncChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
+        let out = &mut self.out;
+        if self.seen_run_end {
             v(out, diag::SYNC, format!("event ({}) after run_end", ev.kind.tag()));
-            seen_run_end = false; // report once
+            self.seen_run_end = false; // report once
         }
         match &ev.kind {
             EventKind::SyncStart { sync } => {
-                if let Some(k) = open {
+                if let Some(k) = self.open {
                     v(out, diag::SYNC, format!("sync {sync} opened while sync {k} still open"));
                 }
+                let next_expected = self.next_expected.unwrap_or(1);
                 if *sync != next_expected {
                     v(out, diag::SYNC, format!("sync {sync} opened, expected {next_expected}"));
                 }
-                open = Some(*sync);
-                next_expected = *sync + 1;
+                self.open = Some(*sync);
+                self.next_expected = Some(*sync + 1);
             }
-            EventKind::SyncEnd { sync, .. } => match open.take() {
+            EventKind::SyncEnd { sync, .. } => match self.open.take() {
                 Some(k) if k == *sync => {}
                 Some(k) => v(out, diag::SYNC, format!("sync_end {sync} closes open sync {k}")),
                 None => v(out, diag::SYNC, format!("sync_end {sync} with no open sync")),
@@ -133,7 +256,7 @@ pub fn check_sync_sequence(trace: &Trace, out: &mut Vec<Violation>) {
             EventKind::ExchangeDone { sync, .. }
             | EventKind::AllocationHeld { sync }
             | EventKind::ControllerHold { sync, .. } => {
-                if let Some(k) = open.filter(|&k| k > 0) {
+                if let Some(k) = self.open.filter(|&k| k > 0) {
                     if *sync != k - 1 {
                         v(
                             out,
@@ -149,7 +272,7 @@ pub fn check_sync_sequence(trace: &Trace, out: &mut Vec<Violation>) {
                 }
             }
             EventKind::Decision(d) => {
-                if let Some(k) = open.filter(|&k| k > 0) {
+                if let Some(k) = self.open.filter(|&k| k > 0) {
                     if d.sync != k - 1 {
                         v(
                             out,
@@ -164,34 +287,49 @@ pub fn check_sync_sequence(trace: &Trace, out: &mut Vec<Violation>) {
                     }
                 }
             }
-            EventKind::RunEnd { .. } => seen_run_end = true,
+            EventKind::RunEnd { .. } => self.seen_run_end = true,
             _ => {}
         }
+        // A final open interval is legal only as a halt (partition death);
+        // the advisory halt checker reports that case separately.
     }
-    // A final open interval is legal only as a halt (partition death);
-    // a halted run never reaches its run_end epilogue's sync close, so
-    // nothing further to assert here.
 }
 
-/// Per-node span ordering plus containment in the enclosing interval.
-pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
-    use std::collections::BTreeMap;
-    let mut last_end: BTreeMap<u64, u64> = BTreeMap::new();
-    // (start, end, open sync at emission) per span, resolved against the
-    // interval window once sync_end supplies it.
-    let mut window_start: Option<u64> = None;
-    let mut open_sync: Option<u64> = None;
-    let mut pending: Vec<(u64, u64, u64, &'static str)> = Vec::new();
+/// Interval numbering and nesting; also checks that interval-scoped
+/// controller events carry the 0-based index of the open interval (batch
+/// wrapper).
+pub fn check_sync_sequence(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = SyncChecker::default();
     for ev in &trace.events {
+        c.feed(ev);
+    }
+    out.append(&mut c.out);
+}
+
+// --- spans ---------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct SpansChecker {
+    last_end: BTreeMap<u64, u64>,
+    window_start: Option<u64>,
+    open_sync: Option<u64>,
+    /// (node, start, end, what) of spans awaiting the interval close.
+    pending: Vec<(u64, u64, u64, &'static str)>,
+    out: Vec<Violation>,
+}
+
+impl SpansChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
+        let out = &mut self.out;
         match &ev.kind {
             EventKind::SyncStart { sync } => {
-                window_start = Some(ev.t_ns);
-                open_sync = Some(*sync);
-                pending.clear();
+                self.window_start = Some(ev.t_ns);
+                self.open_sync = Some(*sync);
+                self.pending.clear();
             }
             EventKind::SyncEnd { sync, .. } => {
                 let t_end = ev.t_ns;
-                for (node, start, end, what) in pending.drain(..) {
+                for (node, start, end, what) in self.pending.drain(..) {
                     if end > t_end {
                         v(
                             out,
@@ -203,8 +341,8 @@ pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
                         );
                     }
                 }
-                window_start = None;
-                open_sync = None;
+                self.window_start = None;
+                self.open_sync = None;
             }
             EventKind::Phase { node, start_ns, end_ns, .. }
             | EventKind::Wait { node, start_ns, end_ns } => {
@@ -219,7 +357,7 @@ pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
                         ),
                     );
                 }
-                let prev = last_end.entry(*node).or_insert(0);
+                let prev = self.last_end.entry(*node).or_insert(0);
                 if *start_ns < *prev {
                     v(
                         out,
@@ -232,7 +370,7 @@ pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
                     );
                 }
                 *prev = (*prev).max(*end_ns);
-                if let (Some(w0), Some(k)) = (window_start, open_sync) {
+                if let (Some(w0), Some(k)) = (self.window_start, self.open_sync) {
                     if *start_ns < w0 {
                         v(
                             out,
@@ -243,7 +381,7 @@ pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
                             ),
                         );
                     }
-                    pending.push((*node, *start_ns, *end_ns, what));
+                    self.pending.push((*node, *start_ns, *end_ns, what));
                 }
             }
             _ => {}
@@ -251,24 +389,41 @@ pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
     }
 }
 
-/// Budget conservation at every decision.
-pub fn check_budget(trace: &Trace, out: &mut Vec<Violation>) {
-    let mut budget: Option<f64> = None;
-    let mut min_cap: Option<f64> = None;
+/// Per-node span ordering plus containment in the enclosing interval
+/// (batch wrapper).
+pub fn check_spans(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = SpansChecker::default();
     for ev in &trace.events {
+        c.feed(ev);
+    }
+    out.append(&mut c.out);
+}
+
+// --- budget --------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct BudgetChecker {
+    budget: Option<f64>,
+    min_cap: Option<f64>,
+    out: Vec<Violation>,
+}
+
+impl BudgetChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
+        let out = &mut self.out;
         match &ev.kind {
             EventKind::RunStart { budget_w, min_cap_w, .. } => {
-                budget = Some(*budget_w);
-                min_cap = Some(*min_cap_w);
+                self.budget = Some(*budget_w);
+                self.min_cap = Some(*min_cap_w);
             }
             EventKind::BudgetRenormalized { budget_w } => {
                 if !budget_w.is_finite() || *budget_w < 0.0 {
                     v(out, diag::BUDGET, format!("renormalized budget is not a power: {budget_w}"));
                 }
-                budget = Some(*budget_w);
+                self.budget = Some(*budget_w);
             }
             EventKind::Decision(d) => {
-                let (Some(b), Some(floor)) = (budget, min_cap) else { continue };
+                let (Some(b), Some(floor)) = (self.budget, self.min_cap) else { return };
                 let n = (d.sim_nodes + d.analysis_nodes) as f64;
                 let total =
                     d.sim_node_w * d.sim_nodes as f64 + d.analysis_node_w * d.analysis_nodes as f64;
@@ -299,18 +454,34 @@ pub fn check_budget(trace: &Trace, out: &mut Vec<Violation>) {
     }
 }
 
-/// RAPL grant clamping, range, and actuation latency.
-pub fn check_caps(trace: &Trace, out: &mut Vec<Violation>) {
-    let mut range: Option<(f64, f64)> = None;
-    let mut actuation_ns: Option<u64> = None;
+/// Budget conservation at every decision (batch wrapper).
+pub fn check_budget(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = BudgetChecker::default();
     for ev in &trace.events {
+        c.feed(ev);
+    }
+    out.append(&mut c.out);
+}
+
+// --- caps ----------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct CapsChecker {
+    range: Option<(f64, f64)>,
+    actuation_ns: Option<u64>,
+    out: Vec<Violation>,
+}
+
+impl CapsChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
+        let out = &mut self.out;
         match &ev.kind {
             EventKind::RunStart { min_cap_w, max_cap_w, actuation_ns: a, .. } => {
-                range = Some((*min_cap_w, *max_cap_w));
-                actuation_ns = Some(*a);
+                self.range = Some((*min_cap_w, *max_cap_w));
+                self.actuation_ns = Some(*a);
             }
             EventKind::CapRequest { node, requested_w, granted_w, effective_ns } => {
-                if let Some((lo, hi)) = range {
+                if let Some((lo, hi)) = self.range {
                     if !(*granted_w >= lo - EPS_W && *granted_w <= hi + EPS_W) {
                         v(
                             out,
@@ -336,7 +507,7 @@ pub fn check_caps(trace: &Trace, out: &mut Vec<Violation>) {
                         );
                     }
                 }
-                if let Some(a) = actuation_ns {
+                if let Some(a) = self.actuation_ns {
                     // Enforcement is either immediate (no-op request,
                     // stuck PCU) or at least one actuation latency out.
                     if *effective_ns != ev.t_ns && *effective_ns < ev.t_ns + a {
@@ -357,18 +528,33 @@ pub fn check_caps(trace: &Trace, out: &mut Vec<Violation>) {
     }
 }
 
-/// Energy identities: interval energies and node energies each tile the
-/// run total.
-pub fn check_energy(trace: &Trace, out: &mut Vec<Violation>) {
-    let mut sync_sum = 0.0;
-    let mut node_sum = 0.0;
-    let mut have_sync = false;
-    let mut have_node = false;
-    let mut total: Option<f64> = None;
+/// RAPL grant clamping, range, and actuation latency (batch wrapper).
+pub fn check_caps(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = CapsChecker::default();
     for ev in &trace.events {
+        c.feed(ev);
+    }
+    out.append(&mut c.out);
+}
+
+// --- energy --------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct EnergyChecker {
+    sync_sum: f64,
+    node_sum: f64,
+    have_sync: bool,
+    have_node: bool,
+    total: Option<f64>,
+    out: Vec<Violation>,
+}
+
+impl EnergyChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
+        let out = &mut self.out;
         match &ev.kind {
             EventKind::SyncEnergy { sync, energy_j } => {
-                have_sync = true;
+                self.have_sync = true;
                 if !energy_j.is_finite() || *energy_j < 0.0 {
                     v(
                         out,
@@ -376,53 +562,76 @@ pub fn check_energy(trace: &Trace, out: &mut Vec<Violation>) {
                         format!("interval {sync} energy is not physical: {energy_j}"),
                     );
                 } else {
-                    sync_sum += energy_j;
+                    self.sync_sum += energy_j;
                 }
             }
             EventKind::NodeEnergy { node, energy_j } => {
-                have_node = true;
+                self.have_node = true;
                 if !energy_j.is_finite() || *energy_j < 0.0 {
                     v(out, diag::ENERGY, format!("node {node} energy is not physical: {energy_j}"));
                 } else {
-                    node_sum += energy_j;
+                    self.node_sum += energy_j;
                 }
             }
-            EventKind::RunEnd { total_energy_j, .. } => total = Some(*total_energy_j),
+            EventKind::RunEnd { total_energy_j, .. } => self.total = Some(*total_energy_j),
             _ => {}
         }
     }
-    let Some(total) = total else { return };
-    let tol = ENERGY_REL_TOL * total.abs().max(1.0);
-    if have_sync && (sync_sum - total).abs() > tol {
-        v(
-            out,
-            diag::ENERGY,
-            format!(
-                "interval energies sum to {sync_sum} J but the run total is {total} J \
-                 (tolerance {tol} J)"
-            ),
-        );
-    }
-    if have_node && (node_sum - total).abs() > tol {
-        v(
-            out,
-            diag::ENERGY,
-            format!(
-                "node energies sum to {node_sum} J but the run total is {total} J \
-                 (tolerance {tol} J)"
-            ),
-        );
+
+    fn finish(&mut self) {
+        let Some(total) = self.total else { return };
+        let tol = ENERGY_REL_TOL * total.abs().max(1.0);
+        if self.have_sync && (self.sync_sum - total).abs() > tol {
+            v(
+                &mut self.out,
+                diag::ENERGY,
+                format!(
+                    "interval energies sum to {} J but the run total is {total} J \
+                     (tolerance {tol} J)",
+                    self.sync_sum
+                ),
+            );
+        }
+        if self.have_node && (self.node_sum - total).abs() > tol {
+            v(
+                &mut self.out,
+                diag::ENERGY,
+                format!(
+                    "node energies sum to {} J but the run total is {total} J \
+                     (tolerance {tol} J)",
+                    self.node_sum
+                ),
+            );
+        }
     }
 }
 
-/// Machine-level envelope conservation at every epoch division.
-pub fn check_envelope(trace: &Trace, out: &mut Vec<Violation>) {
-    let mut envelope: Option<f64> = None;
+/// Energy identities: interval energies and node energies each tile the
+/// run total (batch wrapper).
+pub fn check_energy(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = EnergyChecker::default();
     for ev in &trace.events {
+        c.feed(ev);
+    }
+    c.finish();
+    out.append(&mut c.out);
+}
+
+// --- envelope ------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct EnvelopeChecker {
+    envelope: Option<f64>,
+    out: Vec<Violation>,
+}
+
+impl EnvelopeChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
+        let out = &mut self.out;
         match &ev.kind {
-            EventKind::MachineStart { envelope_w, .. } => envelope = Some(*envelope_w),
+            EventKind::MachineStart { envelope_w, .. } => self.envelope = Some(*envelope_w),
             EventKind::MachineBudget { epoch, allocated_w, pool_w } => {
-                let Some(env) = envelope else { continue };
+                let Some(env) = self.envelope else { return };
                 if *allocated_w < -EPS_W || *pool_w < -EPS_W {
                     v(
                         out,
@@ -446,141 +655,201 @@ pub fn check_envelope(trace: &Trace, out: &mut Vec<Violation>) {
     }
 }
 
-/// Fault → graceful-degradation pairing. The numbering is the 0-based
-/// plan ordinal carried on both fault and recovery events; interval
-/// `k` (1-based) hosts the faults of ordinal `k - 1`.
-pub fn check_faults(trace: &Trace, out: &mut Vec<Violation>) {
-    use std::collections::BTreeSet;
-    // (sync0, node, tag) of every recovery.
-    let mut recoveries: BTreeSet<(u64, u64, &str)> = BTreeSet::new();
-    // Intervals (1-based) in which at least one cap request happened, and
-    // (interval, node) pairs with an accepted sample.
-    let mut cap_intervals: BTreeSet<u64> = BTreeSet::new();
-    let mut samples: BTreeSet<(u64, u64)> = BTreeSet::new();
-    let mut open: Option<u64> = None;
+/// Machine-level envelope conservation at every epoch division (batch
+/// wrapper).
+pub fn check_envelope(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = EnvelopeChecker::default();
     for ev in &trace.events {
+        c.feed(ev);
+    }
+    out.append(&mut c.out);
+}
+
+// --- faults --------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct FaultChecker {
+    /// (sync0, node, tag) of every recovery in the open evidence window.
+    recoveries: BTreeSet<(u64, u64, String)>,
+    /// Intervals (1-based) in the window with at least one cap request.
+    cap_intervals: BTreeSet<u64>,
+    /// (interval, node) pairs in the window with an accepted sample.
+    samples: BTreeSet<(u64, u64)>,
+    /// Faults awaiting their evidence interval's close: (sync0, node, tag).
+    pending: Vec<(u64, u64, String)>,
+    open: Option<u64>,
+    out: Vec<Violation>,
+}
+
+/// Judge one fault against the currently-held evidence.
+fn judge_fault(
+    out: &mut Vec<Violation>,
+    recoveries: &BTreeSet<(u64, u64, String)>,
+    cap_intervals: &BTreeSet<u64>,
+    samples: &BTreeSet<(u64, u64)>,
+    s: u64,
+    n: u64,
+    tag: &str,
+) {
+    let interval = s + 1;
+    let has = |t: &str| recoveries.contains(&(s, n, t.to_string()));
+    let has_any_node = |t: &str| recoveries.iter().any(|(rs, _, rt)| *rs == s && rt == t);
+    let ok = match tag {
+        // A crash always excludes the node.
+        "node_crash" => has("node_excluded"),
+        // A dead monitor is re-elected — unless its node crashed in
+        // the same interval and got excluded instead.
+        "monitor_death" => has("monitor_reelected") || has("node_excluded"),
+        // Corrupt samples must be rejected by the plausibility gate.
+        "sample_nan" | "sample_dropout" => has("sample_rejected"),
+        // A spike is rejected when it leaves the plausible range; a
+        // small spike factor may keep the sample plausible, in which
+        // case the sample must actually have been accepted.
+        "sample_spike" => has("sample_rejected") || samples.contains(&(interval, n)),
+        // A failed cap write is retried — but only if a cap write was
+        // attempted at all in that interval (the controller may have
+        // held).
+        "rapl_write_error" => has("cap_write_retried") || !cap_intervals.contains(&interval),
+        // A timed-out collective is retried, or the exchange is
+        // abandoned and the previous allocation held.
+        "collective_timeout" => {
+            has_any_node("collective_retried") || has_any_node("allocation_held")
+        }
+        // Perturbations the stack absorbs without a discrete action.
+        "straggler" | "rapl_stuck" | "rapl_delayed" | "message_loss" => true,
+        other => {
+            v(out, diag::FAULTS, format!("unknown fault tag \"{other}\" at ordinal {s}"));
+            true
+        }
+    };
+    if !ok {
+        v(
+            out,
+            diag::FAULTS,
+            format!(
+                "fault \"{tag}\" on node {n} at ordinal {s} has no matching \
+                 graceful-degradation action"
+            ),
+        );
+    }
+}
+
+impl FaultChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
         match &ev.kind {
-            EventKind::SyncStart { sync } => open = Some(*sync),
-            EventKind::SyncEnd { .. } => open = None,
+            EventKind::SyncStart { sync } => self.open = Some(*sync),
+            EventKind::SyncEnd { sync, .. } => {
+                self.open = None;
+                let k = *sync;
+                // Interval k just closed: every fault of ordinal ≤ k−1 has
+                // its full evidence window in hand — judge it now, then
+                // prune the evidence the remaining (later-ordinal) faults
+                // can no longer need.
+                let pending = std::mem::take(&mut self.pending);
+                for (s, n, tag) in pending {
+                    if s < k {
+                        judge_fault(
+                            &mut self.out,
+                            &self.recoveries,
+                            &self.cap_intervals,
+                            &self.samples,
+                            s,
+                            n,
+                            &tag,
+                        );
+                    } else {
+                        self.pending.push((s, n, tag));
+                    }
+                }
+                self.recoveries.retain(|(rs, _, _)| *rs >= k);
+                self.samples.retain(|(ri, _)| *ri > k);
+                self.cap_intervals.retain(|ri| *ri > k);
+            }
             EventKind::CapRequest { .. } => {
-                if let Some(k) = open {
-                    cap_intervals.insert(k);
+                if let Some(k) = self.open {
+                    self.cap_intervals.insert(k);
                 }
             }
             EventKind::Sample { node, .. } => {
-                if let Some(k) = open {
-                    samples.insert((k, *node));
+                if let Some(k) = self.open {
+                    self.samples.insert((k, *node));
                 }
             }
             EventKind::Recovery { sync, node, tag } => {
-                recoveries.insert((*sync, *node, tag.as_str()));
+                self.recoveries.insert((*sync, *node, tag.clone()));
+            }
+            EventKind::Fault { sync, node, tag } => {
+                self.pending.push((*sync, *node, tag.clone()));
             }
             _ => {}
         }
     }
-    let has = |s: u64, n: u64, tag: &str| recoveries.contains(&(s, n, tag));
-    let has_any_node =
-        |s: u64, tag: &str| recoveries.iter().any(|(rs, _, rt)| *rs == s && *rt == tag);
-    for ev in &trace.events {
-        let EventKind::Fault { sync, node, tag } = &ev.kind else { continue };
-        let (s, n) = (*sync, *node);
-        let interval = s + 1;
-        let ok = match tag.as_str() {
-            // A crash always excludes the node.
-            "node_crash" => has(s, n, "node_excluded"),
-            // A dead monitor is re-elected — unless its node crashed in
-            // the same interval and got excluded instead.
-            "monitor_death" => has(s, n, "monitor_reelected") || has(s, n, "node_excluded"),
-            // Corrupt samples must be rejected by the plausibility gate.
-            "sample_nan" | "sample_dropout" => has(s, n, "sample_rejected"),
-            // A spike is rejected when it leaves the plausible range; a
-            // small spike factor may keep the sample plausible, in which
-            // case the sample must actually have been accepted.
-            "sample_spike" => has(s, n, "sample_rejected") || samples.contains(&(interval, n)),
-            // A failed cap write is retried — but only if a cap write was
-            // attempted at all in that interval (the controller may have
-            // held).
-            "rapl_write_error" => {
-                has(s, n, "cap_write_retried") || !cap_intervals.contains(&interval)
-            }
-            // A timed-out collective is retried, or the exchange is
-            // abandoned and the previous allocation held.
-            "collective_timeout" => {
-                has_any_node(s, "collective_retried") || has_any_node(s, "allocation_held")
-            }
-            // Perturbations the stack absorbs without a discrete action.
-            "straggler" | "rapl_stuck" | "rapl_delayed" | "message_loss" => true,
-            other => {
-                v(out, diag::FAULTS, format!("unknown fault tag \"{other}\" at ordinal {s}"));
-                true
-            }
-        };
-        if !ok {
-            v(
-                out,
-                diag::FAULTS,
-                format!(
-                    "fault \"{tag}\" on node {n} at ordinal {s} has no matching \
-                     graceful-degradation action"
-                ),
+
+    fn finish(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        for (s, n, tag) in pending {
+            judge_fault(
+                &mut self.out,
+                &self.recoveries,
+                &self.cap_intervals,
+                &self.samples,
+                s,
+                n,
+                &tag,
             );
         }
     }
 }
 
-/// Fleet federation invariants. Gated on the presence of a `fleet_start`
-/// header; single-machine and in-situ traces skip it entirely.
-///
-/// Checked per job: arrival before dispatch, at most one open dispatch at
-/// a time (no double-run), retries pair-matched with dispatches and
-/// numbered 1,2,3,… up to the retry budget, backoff non-decreasing and
-/// capped at the configured ceiling, terminal exactly once, and no job
-/// left non-terminal at end of trace (no job lost — a fleet that gives up
-/// must say `job_failed`). Checked per machine: down/up declarations
-/// alternate and dispatches never target a down machine. Checked per
-/// renormalization epoch: shares sum to `min(fleet envelope, Σ member
-/// caps)` and each member's share respects its own cap.
-pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
-    use std::collections::BTreeMap;
-    let mut fleet: Option<(f64, u64, u64, u64)> = None; // (envelope, base, cap, max_retries)
+/// Fault → graceful-degradation pairing (batch wrapper). The numbering is
+/// the 0-based plan ordinal carried on both fault and recovery events;
+/// interval `k` (1-based) hosts the faults of ordinal `k - 1`, so each
+/// fault is judged when interval `k` closes.
+pub fn check_faults(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = FaultChecker::default();
     for ev in &trace.events {
-        if let EventKind::FleetStart {
-            envelope_w,
-            retry_base_epochs,
-            retry_cap_epochs,
-            max_retries,
-            ..
-        } = &ev.kind
-        {
-            fleet = Some((*envelope_w, *retry_base_epochs, *retry_cap_epochs, *max_retries));
-            break;
-        }
+        c.feed(ev);
     }
-    let Some((fleet_envelope_w, _retry_base, retry_cap, max_retries)) = fleet else {
-        return;
-    };
+    c.finish();
+    out.append(&mut c.out);
+}
 
-    #[derive(Default)]
-    struct JobLedger {
-        arrived: bool,
-        dispatched_open: bool,
-        dispatches: u64,
-        retries: u64,
-        last_backoff: u64,
-        last_machine: Option<u64>,
-        terminal: bool,
-    }
-    let mut jobs: BTreeMap<u64, JobLedger> = BTreeMap::new();
-    let mut down: BTreeMap<u64, bool> = BTreeMap::new();
-    // One renormalization group = consecutive envelope_renorm events with
-    // the same epoch; closed by any other event kind or an epoch change.
-    let mut renorm: Option<(u64, f64, f64)> = None; // (epoch, Σshare, Σcap)
-    let close_renorm = |out: &mut Vec<Violation>, group: &mut Option<(u64, f64, f64)>| {
-        if let Some((epoch, share_sum, cap_sum)) = group.take() {
+// --- fleet ---------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct JobLedger {
+    arrived: bool,
+    dispatched_open: bool,
+    dispatches: u64,
+    retries: u64,
+    last_backoff: u64,
+    last_machine: Option<u64>,
+    terminal: bool,
+}
+
+#[derive(Debug, Default)]
+struct FleetChecker {
+    /// (envelope, retry_base, retry_cap, max_retries) from `fleet_start`.
+    /// Until the header arrives every fleet event is ignored (a
+    /// single-machine trace carries `job_completed` with no fleet
+    /// protocol; real fleet traces emit the header first).
+    params: Option<(f64, u64, u64, u64)>,
+    jobs: BTreeMap<u64, JobLedger>,
+    down: BTreeMap<u64, bool>,
+    /// One renormalization group = consecutive envelope_renorm events with
+    /// the same epoch; closed by any other event kind or an epoch change.
+    renorm: Option<(u64, f64, f64)>,
+    out: Vec<Violation>,
+}
+
+impl FleetChecker {
+    fn close_renorm(&mut self) {
+        let Some((fleet_envelope_w, ..)) = self.params else { return };
+        if let Some((epoch, share_sum, cap_sum)) = self.renorm.take() {
             let expected = fleet_envelope_w.min(cap_sum);
             if (share_sum - expected).abs() > EPS_W * expected.max(1.0) {
                 v(
-                    out,
+                    &mut self.out,
                     diag::FLEET,
                     format!(
                         "renorm at epoch {epoch}: shares sum to {share_sum} W, expected \
@@ -589,15 +858,36 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                 );
             }
         }
-    };
+    }
 
-    for ev in &trace.events {
-        if !matches!(ev.kind, EventKind::EnvelopeRenorm { .. }) {
-            close_renorm(out, &mut renorm);
+    fn feed(&mut self, ev: &AuditEvent) {
+        if self.params.is_none() {
+            if let EventKind::FleetStart {
+                envelope_w,
+                retry_base_epochs,
+                retry_cap_epochs,
+                max_retries,
+                ..
+            } = &ev.kind
+            {
+                self.params =
+                    Some((*envelope_w, *retry_base_epochs, *retry_cap_epochs, *max_retries));
+            }
+            return;
         }
+        let (_, _, retry_cap, max_retries) = self.params.expect("header seen");
+        match &ev.kind {
+            EventKind::EnvelopeRenorm { epoch, .. } => {
+                if self.renorm.as_ref().is_some_and(|(e, _, _)| e != epoch) {
+                    self.close_renorm();
+                }
+            }
+            _ => self.close_renorm(),
+        }
+        let out = &mut self.out;
         match &ev.kind {
             EventKind::MachineDown { machine, epoch } => {
-                let was_down = down.insert(*machine, true) == Some(true);
+                let was_down = self.down.insert(*machine, true) == Some(true);
                 if was_down {
                     v(
                         out,
@@ -607,7 +897,7 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                 }
             }
             EventKind::MachineUp { machine, epoch } => {
-                let was_down = down.insert(*machine, false) == Some(true);
+                let was_down = self.down.insert(*machine, false) == Some(true);
                 if !was_down {
                     v(
                         out,
@@ -617,10 +907,7 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                 }
             }
             EventKind::EnvelopeRenorm { epoch, machine, share_w, cap_w } => {
-                if renorm.as_ref().is_some_and(|(e, _, _)| e != epoch) {
-                    close_renorm(out, &mut renorm);
-                }
-                let (_, share_sum, cap_sum) = renorm.get_or_insert((*epoch, 0.0, 0.0));
+                let (_, share_sum, cap_sum) = self.renorm.get_or_insert((*epoch, 0.0, 0.0));
                 *share_sum += share_w;
                 *cap_sum += cap_w;
                 if *share_w > cap_w + EPS_W {
@@ -633,7 +920,7 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                         ),
                     );
                 }
-                if down.get(machine).copied().unwrap_or(false) {
+                if self.down.get(machine).copied().unwrap_or(false) {
                     v(
                         out,
                         diag::FLEET,
@@ -642,10 +929,10 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                 }
             }
             EventKind::JobArrived { job } => {
-                jobs.entry(*job).or_default().arrived = true;
+                self.jobs.entry(*job).or_default().arrived = true;
             }
             EventKind::JobDispatched { job, machine } => {
-                let j = jobs.entry(*job).or_default();
+                let j = self.jobs.entry(*job).or_default();
                 if !j.arrived {
                     v(out, diag::FLEET, format!("job {job} dispatched before arrival"));
                 }
@@ -670,15 +957,16 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                         ),
                     );
                 }
-                if down.get(machine).copied().unwrap_or(false) {
+                if self.down.get(machine).copied().unwrap_or(false) {
                     v(out, diag::FLEET, format!("job {job} dispatched to down machine {machine}"));
                 }
+                let j = self.jobs.entry(*job).or_default();
                 j.dispatched_open = true;
                 j.dispatches += 1;
                 j.last_machine = Some(*machine);
             }
             EventKind::JobRetry { job, attempt, backoff_epochs } => {
-                let j = jobs.entry(*job).or_default();
+                let j = self.jobs.entry(*job).or_default();
                 if !j.dispatched_open {
                     v(out, diag::FLEET, format!("job {job} retried without a live dispatch"));
                 }
@@ -722,11 +1010,12 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                         ),
                     );
                 }
+                let j = self.jobs.entry(*job).or_default();
                 j.retries = *attempt;
                 j.last_backoff = *backoff_epochs;
             }
             EventKind::JobMigrated { job, from_machine, to_machine } => {
-                let j = jobs.entry(*job).or_default();
+                let j = self.jobs.entry(*job).or_default();
                 if j.last_machine != Some(*from_machine) {
                     v(
                         out,
@@ -743,7 +1032,7 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                 }
             }
             EventKind::JobCompleted { job, .. } => {
-                let j = jobs.entry(*job).or_default();
+                let j = self.jobs.entry(*job).or_default();
                 // Single-machine traces also carry job_completed; in a
                 // fleet trace completion must close a live dispatch.
                 if !j.dispatched_open {
@@ -752,11 +1041,12 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                 if j.terminal {
                     v(out, diag::FLEET, format!("job {job} completed twice"));
                 }
+                let j = self.jobs.entry(*job).or_default();
                 j.dispatched_open = false;
                 j.terminal = true;
             }
             EventKind::JobFailed { job, attempts } => {
-                let j = jobs.entry(*job).or_default();
+                let j = self.jobs.entry(*job).or_default();
                 if j.terminal {
                     v(out, diag::FLEET, format!("job {job} reported failed after terminal state"));
                 }
@@ -771,22 +1061,182 @@ pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
                         ),
                     );
                 }
+                let j = self.jobs.entry(*job).or_default();
                 j.dispatched_open = false;
                 j.terminal = true;
             }
             _ => {}
         }
     }
-    close_renorm(out, &mut renorm);
-    for (job, j) in &jobs {
-        if j.arrived && !j.terminal {
+
+    fn finish(&mut self) {
+        if self.params.is_none() {
+            return;
+        }
+        self.close_renorm();
+        for (job, j) in &self.jobs {
+            if j.arrived && !j.terminal {
+                v(
+                    &mut self.out,
+                    diag::FLEET,
+                    format!("job {job} lost: arrived but neither completed nor reported failed"),
+                );
+            }
+        }
+    }
+}
+
+/// Fleet federation invariants (batch wrapper). Gated on the
+/// `fleet_start` header; single-machine and in-situ traces skip it
+/// entirely.
+///
+/// Checked per job: arrival before dispatch, at most one open dispatch at
+/// a time (no double-run), retries pair-matched with dispatches and
+/// numbered 1,2,3,… up to the retry budget, backoff non-decreasing and
+/// capped at the configured ceiling, terminal exactly once, and no job
+/// left non-terminal at end of trace (no job lost — a fleet that gives up
+/// must say `job_failed`). Checked per machine: down/up declarations
+/// alternate and dispatches never target a down machine. Checked per
+/// renormalization epoch: shares sum to `min(fleet envelope, Σ member
+/// caps)` and each member's share respects its own cap.
+pub fn check_fleet(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = FleetChecker::default();
+    for ev in &trace.events {
+        c.feed(ev);
+    }
+    c.finish();
+    out.append(&mut c.out);
+}
+
+// --- lifecycle -----------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct JobState {
+    arrived: bool,
+    running: bool,
+    terminal: bool,
+}
+
+#[derive(Debug, Default)]
+struct LifecycleChecker {
+    /// Set by `machine_start`; fleet and in-situ traces never activate.
+    active: bool,
+    jobs: BTreeMap<u64, JobState>,
+    out: Vec<Violation>,
+}
+
+impl LifecycleChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
+        if let EventKind::MachineStart { .. } = &ev.kind {
+            self.active = true;
+            return;
+        }
+        if !self.active {
+            return;
+        }
+        let out = &mut self.out;
+        match &ev.kind {
+            EventKind::JobArrived { job } => {
+                self.jobs.entry(*job).or_default().arrived = true;
+            }
+            EventKind::JobStarted { job, .. } => {
+                let j = self.jobs.entry(*job).or_default();
+                if !j.arrived {
+                    v(out, diag::LIFECYCLE, format!("job {job} started without arriving"));
+                }
+                if j.terminal {
+                    v(out, diag::LIFECYCLE, format!("job {job} started after terminal state"));
+                }
+                if j.running {
+                    v(out, diag::LIFECYCLE, format!("job {job} started while already running"));
+                }
+                let j = self.jobs.entry(*job).or_default();
+                j.running = true;
+            }
+            EventKind::JobCompleted { job, .. } => {
+                let j = self.jobs.entry(*job).or_default();
+                if !j.running {
+                    v(out, diag::LIFECYCLE, format!("job {job} completed without running"));
+                }
+                if j.terminal {
+                    v(out, diag::LIFECYCLE, format!("job {job} completed after terminal state"));
+                }
+                let j = self.jobs.entry(*job).or_default();
+                j.running = false;
+                j.terminal = true;
+            }
+            EventKind::JobKilled { job } => {
+                let j = self.jobs.entry(*job).or_default();
+                // Killing a queued, never-started job is legal (admission
+                // kills on machine teardown).
+                if !j.arrived {
+                    v(out, diag::LIFECYCLE, format!("job {job} killed without arriving"));
+                }
+                if j.terminal {
+                    v(out, diag::LIFECYCLE, format!("job {job} killed after terminal state"));
+                }
+                let j = self.jobs.entry(*job).or_default();
+                j.running = false;
+                j.terminal = true;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Machine-scheduler job lifecycle protocol (batch wrapper). Gated on the
+/// `machine_start` header; fleet and in-situ traces skip it.
+pub fn check_lifecycle(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = LifecycleChecker::default();
+    for ev in &trace.events {
+        c.feed(ev);
+    }
+    out.append(&mut c.out);
+}
+
+// --- halt (advisory) -----------------------------------------------------
+
+#[derive(Debug, Default)]
+struct HaltChecker {
+    run_start: bool,
+    last_sync: Option<u64>,
+    run_end: bool,
+    out: Vec<Violation>,
+}
+
+impl HaltChecker {
+    fn feed(&mut self, ev: &AuditEvent) {
+        match &ev.kind {
+            EventKind::RunStart { .. } => self.run_start = true,
+            EventKind::SyncStart { sync } => self.last_sync = Some(*sync),
+            EventKind::RunEnd { .. } => self.run_end = true,
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        if let (true, Some(k), false) = (self.run_start, self.last_sync, self.run_end) {
             v(
-                out,
-                diag::FLEET,
-                format!("job {job} lost: arrived but neither completed nor reported failed"),
+                &mut self.out,
+                diag::HALT,
+                format!(
+                    "run halted: interval {k} is the last opened and run_end was never \
+                     recorded (legal under partition death, otherwise a lost epilogue)"
+                ),
             );
         }
     }
+}
+
+/// Advisory halt detection (batch wrapper): a trace with a `run_start`
+/// header and at least one interval but no `run_end` epilogue.
+pub fn check_halt(trace: &Trace, out: &mut Vec<Violation>) {
+    let mut c = HaltChecker::default();
+    for ev in &trace.events {
+        c.feed(ev);
+    }
+    c.finish();
+    out.append(&mut c.out);
 }
 
 #[cfg(test)]
@@ -1269,5 +1719,137 @@ mod tests {
         let mut out = Vec::new();
         check_faults(&trace, &mut out);
         assert_eq!(out, Vec::new());
+    }
+
+    fn machine_start() -> AuditEvent {
+        ev(0, EventKind::MachineStart { nodes: 16, envelope_w: 1760.0 })
+    }
+
+    #[test]
+    fn clean_job_lifecycle_passes() {
+        let trace = Trace {
+            events: vec![
+                machine_start(),
+                ev(0, EventKind::JobArrived { job: 0 }),
+                ev(1, EventKind::JobStarted { job: 0, nodes: 8, budget_w: 880.0 }),
+                ev(9, EventKind::JobCompleted { job: 0, time_s: 1.0 }),
+                ev(9, EventKind::JobArrived { job: 1 }),
+                ev(10, EventKind::JobKilled { job: 1 }), // queued kill: legal
+            ],
+        };
+        assert_eq!(check_all(&trace), Vec::new());
+    }
+
+    #[test]
+    fn lifecycle_protocol_breaks_are_flagged() {
+        // Started without arriving.
+        let t1 = Trace {
+            events: vec![
+                machine_start(),
+                ev(1, EventKind::JobStarted { job: 3, nodes: 8, budget_w: 880.0 }),
+            ],
+        };
+        let got = check_all(&t1);
+        assert!(
+            got.iter()
+                .any(|x| x.code_str() == "AUDIT0011" && x.detail.contains("without arriving")),
+            "{got:?}"
+        );
+        // Completed twice (second completion is after a terminal state).
+        let t2 = Trace {
+            events: vec![
+                machine_start(),
+                ev(0, EventKind::JobArrived { job: 0 }),
+                ev(1, EventKind::JobStarted { job: 0, nodes: 8, budget_w: 880.0 }),
+                ev(2, EventKind::JobCompleted { job: 0, time_s: 1.0 }),
+                ev(3, EventKind::JobCompleted { job: 0, time_s: 1.0 }),
+            ],
+        };
+        let got = check_all(&t2);
+        assert!(
+            got.iter().any(|x| x.check() == "lifecycle" && x.detail.contains("terminal")),
+            "{got:?}"
+        );
+        // Started while already running.
+        let t3 = Trace {
+            events: vec![
+                machine_start(),
+                ev(0, EventKind::JobArrived { job: 0 }),
+                ev(1, EventKind::JobStarted { job: 0, nodes: 8, budget_w: 880.0 }),
+                ev(2, EventKind::JobStarted { job: 0, nodes: 8, budget_w: 880.0 }),
+            ],
+        };
+        let got = check_all(&t3);
+        assert!(
+            got.iter().any(|x| x.check() == "lifecycle" && x.detail.contains("already running")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn lifecycle_is_gated_on_the_machine_header() {
+        // Fleet traces carry job events with no machine_start; the
+        // lifecycle protocol does not apply there.
+        let trace = Trace {
+            events: vec![ev(1, EventKind::JobStarted { job: 3, nodes: 8, budget_w: 880.0 })],
+        };
+        assert_eq!(check_all(&trace), Vec::new());
+    }
+
+    #[test]
+    fn halted_run_with_header_draws_the_advisory() {
+        let trace = Trace {
+            events: vec![
+                run_start(1760.0),
+                ev(0, EventKind::SyncStart { sync: 1 }),
+                ev(1, EventKind::SyncEnd { sync: 1, overhead_s: 0.0 }),
+                ev(2, EventKind::SyncStart { sync: 2 }),
+                // no run_end: halted mid-interval
+            ],
+        };
+        let got = check_all(&trace);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].code_str(), "AUDIT0012");
+        assert_eq!(got[0].severity(), Severity::Warning);
+        assert!(got[0].detail.contains("interval 2"), "{got:?}");
+    }
+
+    /// The incremental battery is insensitive to how the stream is
+    /// chunked: feeding event-by-event equals the batch wrapper.
+    #[test]
+    fn streaming_feed_matches_batch_battery() {
+        let trace = Trace {
+            events: vec![
+                run_start(1760.0),
+                ev(0, EventKind::SyncStart { sync: 2 }), // misnumbered
+                ev(9, EventKind::Phase { node: 0, kind: "force".into(), start_ns: 0, end_ns: 99 }), // overruns
+                decision(1, 215.0, 215.0), // over budget
+                ev(10, EventKind::SyncEnd { sync: 2, overhead_s: 0.0 }),
+                ev(11, EventKind::Fault { sync: 1, node: 5, tag: "node_crash".into() }),
+            ],
+        };
+        let batch = check_all(&trace);
+        let mut checker = StreamChecker::default();
+        for e in &trace.events {
+            checker.feed(e);
+        }
+        let streamed = checker.finish();
+        assert_eq!(batch, streamed);
+        assert!(batch.iter().any(|x| x.check() == "sync"));
+        assert!(batch.iter().any(|x| x.check() == "spans"));
+        assert!(batch.iter().any(|x| x.check() == "budget"));
+        assert!(batch.iter().any(|x| x.check() == "faults"));
+    }
+
+    #[test]
+    fn errors_so_far_counts_only_errors() {
+        let mut checker = StreamChecker::default();
+        checker.feed(&run_start(1760.0));
+        checker.feed(&ev(0, EventKind::SyncStart { sync: 2 })); // misnumbered
+        assert_eq!(checker.errors_so_far(), 1);
+        // The halt advisory only lands at finish and is a warning.
+        let out = checker.finish();
+        assert!(out.iter().any(|x| x.severity() == Severity::Warning));
+        assert_eq!(out.iter().filter(|x| x.severity() == Severity::Error).count(), 1);
     }
 }

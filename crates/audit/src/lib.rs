@@ -1,21 +1,28 @@
 //! # audit — the trace audit engine
 //!
-//! Consumes the JSONL traces the `obs` layer writes (or taps a live
-//! [`obs::Tracer`] buffer) and answers two questions:
+//! Consumes the event stream the `obs` layer records — live through the
+//! [`obs::EventSubscriber`] seam, from a tapped [`obs::Tracer`] buffer,
+//! or parsed back from a JSONL file — and answers two questions:
 //!
-//! 1. **Did the run obey its own physics?** — [`invariants::check_all`]
-//!    runs a battery of structural and physical checks: clock
-//!    monotonicity, interval nesting, per-node span ordering, budget
-//!    conservation at every allocation, RAPL clamp/actuation consistency,
-//!    energy identities, machine-envelope conservation,
-//!    fault → graceful-degradation pairing, and the fleet federation
-//!    contract (no job lost or double-run, retry/backoff in bounds,
-//!    fleet-envelope conservation). Every finding carries a namespaced
-//!    diagnostic code ([`diag`]): `AUDIT0001`…`AUDIT0010`.
-//! 2. **Where did the time and energy go?** — [`AuditReport`] derives
-//!    per-phase and per-partition attribution, a per-interval straggler
-//!    breakdown, a critical-path decomposition, and the cap-actuation
-//!    latency distribution.
+//! 1. **Did the run obey its own physics?** — the incremental checker
+//!    battery ([`StreamChecker`]; batch wrapper [`invariants::check_all`])
+//!    runs structural and physical checks one event at a time, carrying
+//!    O(active spans + nodes) state: clock monotonicity, interval
+//!    nesting, per-node span ordering, budget conservation at every
+//!    allocation, RAPL clamp/actuation consistency, energy identities,
+//!    machine-envelope conservation, fault → graceful-degradation
+//!    pairing, the fleet federation contract (no job lost or double-run,
+//!    retry/backoff in bounds, fleet-envelope conservation), the machine
+//!    job-lifecycle protocol, and a halted-run advisory. Every finding
+//!    carries a namespaced diagnostic code ([`diag`]):
+//!    `AUDIT0001`…`AUDIT0013`.
+//! 2. **Where did the time and energy go?** — [`StreamAuditor`] folds the
+//!    same stream into [`AuditReport`] (per-phase and per-partition
+//!    attribution, a per-interval straggler breakdown, a critical-path
+//!    decomposition, the cap-actuation latency distribution), a
+//!    [`Registry`] of counters/gauges/deterministic histograms, and
+//!    per-interval [`RunHealth`] snapshots — in constant memory, interval
+//!    working sets discarded as each `sync_end` closes them.
 //!
 //! The parser ([`AuditEvent::parse_line`]) is strict — exact field order,
 //! nothing missing, nothing extra — so a parsed trace re-serializes
@@ -30,10 +37,14 @@ pub mod event;
 pub mod invariants;
 pub mod json;
 pub mod metrics;
+pub mod registry;
+pub mod stream;
 pub mod trace;
 
 pub use diag::{DiagCode, Diagnostic, Severity, Violation};
 pub use event::{AuditEvent, DecisionFields, EventKind};
-pub use invariants::check_all;
+pub use invariants::{check_all, StreamChecker};
 pub use metrics::AuditReport;
+pub use registry::{Counter, ExactSum, Gauge, Histogram, Registry};
+pub use stream::{health_to_json, RunHealth, StreamAuditor, StreamOutcome};
 pub use trace::{Trace, TraceError};

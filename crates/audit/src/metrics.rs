@@ -7,11 +7,8 @@
 //! first-order attribution that is exact when power is flat within the
 //! interval and clearly labelled approximate otherwise.
 
-use crate::diag::Violation;
-use crate::event::EventKind;
-use crate::invariants::check_all;
+use crate::diag::{Severity, Violation};
 use crate::trace::Trace;
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Time and (approximate) energy attributed to one phase kind.
@@ -117,176 +114,22 @@ pub struct AuditReport {
 }
 
 impl AuditReport {
-    /// Whether the invariant battery passed.
+    /// Whether the invariant battery passed: no error-severity findings.
+    /// Advisory warnings (e.g. the `AUDIT0012` halt notice) stay in
+    /// `violations` for the record but do not fail the audit.
     pub fn clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.iter().all(|x| x.severity() != Severity::Error)
     }
 
-    /// Audit a trace: run the invariant battery and derive the reports.
+    /// Audit a trace: feed the streaming engine and take its report.
+    /// Batch and streaming audits share this one implementation, which is
+    /// what makes their reports byte-identical.
     pub fn from_trace(trace: &Trace) -> AuditReport {
-        let violations = check_all(trace);
-
-        let mut open: Option<u64> = None;
-        let mut syncs: u64 = 0;
-        let mut total_time_s = 0.0;
-        let mut total_energy_j = 0.0;
-        // (interval, node) -> measured mean power.
-        let mut sample_w: BTreeMap<(u64, u64), f64> = BTreeMap::new();
-        // node -> partition tag.
-        let mut roles: BTreeMap<u64, String> = BTreeMap::new();
-        // node -> whole-run energy.
-        let mut node_energy: BTreeMap<u64, f64> = BTreeMap::new();
-        // Phase/wait spans: (interval, node, kind, dur_s).
-        let mut spans: Vec<(u64, u64, String, f64)> = Vec::new();
-        // interval -> (wait_total, wait_max).
-        let mut waits: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
-        // interval -> slowest (time_s, node).
-        let mut slowest: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
-        // interval -> rendezvous payload.
-        let mut rendezvous: BTreeMap<u64, (f64, f64, f64)> = BTreeMap::new();
-        // interval -> closing overhead.
-        let mut overhead: BTreeMap<u64, f64> = BTreeMap::new();
-        let mut latencies_s: Vec<f64> = Vec::new();
-        let mut immediate: u64 = 0;
-
+        let mut auditor = crate::stream::StreamAuditor::new();
         for ev in &trace.events {
-            match &ev.kind {
-                EventKind::SyncStart { sync } => {
-                    open = Some(*sync);
-                    syncs += 1;
-                }
-                EventKind::SyncEnd { sync, overhead_s } => {
-                    open = None;
-                    if overhead_s.is_finite() {
-                        overhead.insert(*sync, *overhead_s);
-                    }
-                }
-                EventKind::Phase { node, kind, start_ns, end_ns } => {
-                    let dur = end_ns.saturating_sub(*start_ns) as f64 / 1e9;
-                    spans.push((open.unwrap_or(0), *node, kind.clone(), dur));
-                }
-                EventKind::Wait { node, start_ns, end_ns } => {
-                    let dur = end_ns.saturating_sub(*start_ns) as f64 / 1e9;
-                    spans.push((open.unwrap_or(0), *node, "wait".to_string(), dur));
-                    let w = waits.entry(open.unwrap_or(0)).or_insert((0.0, 0.0));
-                    w.0 += dur;
-                    w.1 = w.1.max(dur);
-                }
-                EventKind::Sample { node, role, power_w, .. } => {
-                    if let Some(k) = open {
-                        if power_w.is_finite() {
-                            sample_w.insert((k, *node), *power_w);
-                        }
-                    }
-                    roles.entry(*node).or_insert_with(|| role.clone());
-                }
-                EventKind::Arrival { sync, node, role, time_s } => {
-                    roles.entry(*node).or_insert_with(|| role.clone());
-                    let e = slowest.entry(*sync).or_insert((f64::NEG_INFINITY, 0));
-                    if *time_s > e.0 {
-                        *e = (*time_s, *node);
-                    }
-                }
-                EventKind::Rendezvous { sync, sim_time_s, analysis_time_s, slack } => {
-                    rendezvous.insert(*sync, (*sim_time_s, *analysis_time_s, *slack));
-                }
-                EventKind::NodeEnergy { node, energy_j } => {
-                    node_energy.insert(*node, *energy_j);
-                }
-                EventKind::RunEnd { total_time_s: t, total_energy_j: e } => {
-                    total_time_s = *t;
-                    total_energy_j = *e;
-                }
-                EventKind::CapRequest { effective_ns, .. } => {
-                    if *effective_ns > ev.t_ns {
-                        latencies_s.push((effective_ns - ev.t_ns) as f64 / 1e9);
-                    } else {
-                        immediate += 1;
-                    }
-                }
-                _ => {}
-            }
+            auditor.feed(ev);
         }
-
-        // Phase attribution: exact time, mean-power-weighted energy.
-        let mut by_kind: BTreeMap<String, PhaseAttribution> = BTreeMap::new();
-        for (interval, node, kind, dur) in &spans {
-            let a = by_kind.entry(kind.clone()).or_insert_with(|| PhaseAttribution {
-                kind: kind.clone(),
-                spans: 0,
-                time_s: 0.0,
-                energy_j: 0.0,
-            });
-            a.spans += 1;
-            a.time_s += dur;
-            if let Some(w) = sample_w.get(&(*interval, *node)) {
-                a.energy_j += w * dur;
-            }
-        }
-
-        let mut partitions: BTreeMap<String, PartitionAttribution> = BTreeMap::new();
-        for (node, role) in &roles {
-            let p = partitions.entry(role.clone()).or_insert_with(|| PartitionAttribution {
-                role: role.clone(),
-                nodes: 0,
-                energy_j: 0.0,
-            });
-            p.nodes += 1;
-            p.energy_j += node_energy.get(node).copied().unwrap_or(0.0);
-        }
-
-        let mut stragglers = Vec::with_capacity(rendezvous.len());
-        let mut critical_path = CriticalPath::default();
-        for (&sync, &(sim_t, ana_t, slack)) in &rendezvous {
-            let (wait_total_s, wait_max_s) = waits.get(&sync).copied().unwrap_or((0.0, 0.0));
-            stragglers.push(SyncStragglers {
-                sync,
-                sim_time_s: sim_t,
-                analysis_time_s: ana_t,
-                slack,
-                wait_total_s,
-                wait_max_s,
-                slowest_node: slowest.get(&sync).map(|&(_, n)| n),
-            });
-            if sim_t >= ana_t {
-                critical_path.sim_limited_s += sim_t;
-                critical_path.sim_limited_syncs += 1;
-            } else {
-                critical_path.analysis_limited_s += ana_t;
-                critical_path.analysis_limited_syncs += 1;
-            }
-        }
-        // `+ 0.0` normalizes the empty sum's -0.0 identity.
-        critical_path.overhead_s = overhead.values().sum::<f64>() + 0.0;
-
-        latencies_s.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let cap_latency = if latencies_s.is_empty() {
-            LatencyStats { immediate, ..LatencyStats::default() }
-        } else {
-            let n = latencies_s.len();
-            let p95 = latencies_s[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
-            LatencyStats {
-                count: n as u64,
-                immediate,
-                min_s: latencies_s[0],
-                max_s: latencies_s[n - 1],
-                mean_s: latencies_s.iter().sum::<f64>() / n as f64,
-                p95_s: p95,
-            }
-        };
-
-        AuditReport {
-            events: trace.len() as u64,
-            syncs,
-            total_time_s,
-            total_energy_j,
-            violations,
-            phases: by_kind.into_values().collect(),
-            partitions: partitions.into_values().collect(),
-            stragglers,
-            critical_path,
-            cap_latency,
-        }
+        auditor.finish().report
     }
 
     /// Serialize as a JSON document (hand-rolled, deterministic: same
@@ -400,7 +243,9 @@ impl AuditReport {
             if self.clean() {
                 "0 violations".to_string()
             } else {
-                format!("{} VIOLATIONS", self.violations.len())
+                let errors =
+                    self.violations.iter().filter(|x| x.severity() == Severity::Error).count();
+                format!("{errors} VIOLATIONS")
             }
         );
         if self.total_time_s > 0.0 {
@@ -463,7 +308,7 @@ fn js(v: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::AuditEvent;
+    use crate::event::{AuditEvent, EventKind};
 
     fn ev(t_ns: u64, kind: EventKind) -> AuditEvent {
         AuditEvent { t_ns, kind }

@@ -1,0 +1,554 @@
+//! The live metrics registry: counters, gauges, and fixed-bucket
+//! deterministic histograms maintained incrementally as events stream
+//! past — the constant-memory replacement for whole-trace report walks.
+//!
+//! Two properties carry the whole design:
+//!
+//! - **Determinism.** Every accumulator is a pure fold over its inputs
+//!   with no wall-clock, no hashing, no allocation-order dependence:
+//!   fixed bucket edges (powers of two over nanoseconds), exact
+//!   compensated sums (Shewchuk partials, so addition is associative up
+//!   to the final collapse), and `BTreeMap` name tables. Feeding the same
+//!   events always yields bit-identical state.
+//! - **Merge-order independence.** [`Registry::merge`] combines two
+//!   registries by summing counts, taking the later gauge write (total
+//!   order on `(t_ns, value)` bits), and adding histograms
+//!   bucket-by-bucket. Counter/histogram merge is commutative and
+//!   associative, so a `par` fan-in over per-run registries produces the
+//!   same bytes regardless of which worker finishes first.
+//!
+//! State is O(names × buckets) — independent of event volume — which is
+//! what lets an at-scale sweep keep its metrics without keeping its
+//! trace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Exactly-rounded running sum (Shewchuk's growing-expansion algorithm).
+///
+/// Keeps the running total as a list of non-overlapping partials whose
+/// sum is the *exact* real-number sum of everything observed; `value()`
+/// collapses the partials with one rounding. Because the partial
+/// representation is canonical for a given exact sum, adding the same
+/// multiset of values in any order — or merging two `ExactSum`s either
+/// way around — lands on identical partials, which is what makes every
+/// mean and total in the registry merge-order independent.
+///
+/// Non-finite inputs are counted but not summed (one infinity would
+/// poison the partials); the report layer decides how to surface them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExactSum {
+    partials: Vec<f64>,
+}
+
+impl ExactSum {
+    /// Add one value (non-finite values are ignored).
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let mut x = x;
+        let mut i = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[i] = lo;
+                i += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(i);
+        if x != 0.0 {
+            self.partials.push(x);
+        }
+    }
+
+    /// Fold another exact sum in (adds its partials; exactness is
+    /// preserved, so merge order cannot matter).
+    pub fn merge(&mut self, other: &ExactSum) {
+        for &p in &other.partials {
+            self.add(p);
+        }
+    }
+
+    /// The correctly-rounded sum.
+    ///
+    /// The partial *decomposition* is not canonical across insertion
+    /// orders (only the exact value it represents is), so a naive fold
+    /// over the partials could round differently. This is the `fsum`
+    /// final pass: descend from the largest partial until the running sum
+    /// goes inexact, then resolve the round-half-even tie against the
+    /// next partial's sign — the result depends only on the exact sum.
+    pub fn value(&self) -> f64 {
+        let p = &self.partials;
+        let mut n = p.len();
+        if n == 0 {
+            return 0.0;
+        }
+        n -= 1;
+        let mut hi = p[n];
+        let mut lo = 0.0;
+        while n > 0 {
+            let x = hi;
+            n -= 1;
+            let y = p[n];
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            if lo != 0.0 {
+                break;
+            }
+        }
+        if n > 0 && ((lo < 0.0 && p[n - 1] < 0.0) || (lo > 0.0 && p[n - 1] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            let yr = x - hi;
+            if y == yr {
+                hi = x;
+            }
+        }
+        hi
+    }
+}
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+}
+
+/// A last-write-wins sampled value, ordered by sim-time stamp.
+///
+/// Merging two gauges keeps the write with the larger `(t_ns, value)`
+/// key — `value` compared by `total_cmp` so ties at the same instant
+/// resolve identically on every merge order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gauge {
+    /// Sim-time of the retained write, nanoseconds.
+    pub t_ns: u64,
+    /// The retained value.
+    pub value: f64,
+}
+
+impl Gauge {
+    /// Record a write at `t_ns` (kept only if it is the latest so far).
+    pub fn set(&mut self, t_ns: u64, value: f64) {
+        if (t_ns, value.total_cmp(&self.value)) >= (self.t_ns, std::cmp::Ordering::Equal) {
+            *self = Gauge { t_ns, value };
+        }
+    }
+
+    /// Keep the later of two writes.
+    pub fn merge(&mut self, other: &Gauge) {
+        self.set(other.t_ns, other.value);
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { t_ns: 0, value: f64::NEG_INFINITY }
+    }
+}
+
+/// Number of log2 buckets: one per possible leading-bit position of a
+/// `u64` nanosecond value, plus a zero bucket folded into index 0.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Fixed-bucket deterministic histogram over nanosecond-scale values.
+///
+/// Buckets are powers of two: bucket *b* holds values whose
+/// floor(log2(v)) is *b* (v=0 lands in bucket 0), so the edges are a
+/// property of the type, not the data — two histograms always share a
+/// bucketing and merge by adding counts. Exact min/max/sum ride along so
+/// the summary stats the reports quote (`min`, `max`, `mean`) stay exact
+/// while the quantiles are bucket-resolution, clamped into the observed
+/// range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Exact smallest observation (u64::MAX when empty).
+    pub min_ns: u64,
+    /// Exact largest observation (0 when empty).
+    pub max_ns: u64,
+    sum: ExactSum,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            sum: ExactSum::default(),
+        }
+    }
+}
+
+/// Bucket index for one value: floor(log2(v)), with 0 → bucket 0.
+fn bucket(v_ns: u64) -> usize {
+    (63 - v_ns.max(1).leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v_ns: u64) {
+        self.counts[bucket(v_ns)] += 1;
+        self.count += 1;
+        self.min_ns = self.min_ns.min(v_ns);
+        self.max_ns = self.max_ns.max(v_ns);
+        self.sum.add(v_ns as f64);
+    }
+
+    /// Add another histogram's observations (commutative, associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.sum.merge(&other.sum);
+    }
+
+    /// Exact mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum.value() / self.count as f64
+        }
+    }
+
+    /// Exact sum in nanoseconds.
+    pub fn sum_ns(&self) -> f64 {
+        self.sum.value()
+    }
+
+    /// Quantile estimate, bucket resolution: walks the fixed buckets to
+    /// the one containing the `q`-th observation (nearest-rank,
+    /// `ceil(q·n)`) and reports that bucket's **upper edge**, clamped
+    /// into `[min, max]` so single-observation and single-bucket
+    /// histograms answer exactly.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper edge of bucket b: 2^(b+1) − 1 (saturating at the
+                // top bucket).
+                let edge = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                return edge.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Non-empty buckets as `(bucket_low_ns, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << b }, c))
+            .collect()
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Names are `BTreeMap` keys, so iteration (and therefore
+/// serialization) is name-sorted regardless of registration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Named counter, created on first use.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+
+    /// Named gauge, created on first use.
+    pub fn gauge(&mut self, name: &str) -> &mut Gauge {
+        self.gauges.entry(name.to_string()).or_default()
+    }
+
+    /// Named histogram, created on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.0)
+    }
+
+    /// Read a gauge's retained value (None when absent or never set).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).filter(|g| g.t_ns > 0 || g.value.is_finite()).map(|g| g.value)
+    }
+
+    /// Read a histogram (None when absent).
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Fold another registry in: counters add, gauges keep the later
+    /// write, histograms add bucket-by-bucket. Commutative and
+    /// associative for counters and histograms; gauges resolve by the
+    /// total `(t_ns, value)` order, so fan-in order cannot change the
+    /// result.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, c) in &other.counters {
+            self.counter(name).add(c.0);
+        }
+        for (name, g) in &other.gauges {
+            self.gauge(name).merge(g);
+        }
+        for (name, h) in &other.histograms {
+            self.histogram(name).merge(h);
+        }
+    }
+
+    /// Serialize name-sorted as a compact JSON object — the byte-level
+    /// fingerprint the determinism tests compare.
+    pub fn to_json(&self) -> String {
+        fn jf(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{");
+        let _ = write!(out, "\"counters\":{{");
+        for (i, (name, c)) in self.counters.iter().enumerate() {
+            let _ = write!(out, "{}\"{name}\":{}", if i > 0 { "," } else { "" }, c.0);
+        }
+        let _ = write!(out, "}},\"gauges\":{{");
+        for (i, (name, g)) in self.gauges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{name}\":{{\"t_ns\":{},\"value\":{}}}",
+                if i > 0 { "," } else { "" },
+                g.t_ns,
+                jf(g.value)
+            );
+        }
+        let _ = write!(out, "}},\"histograms\":{{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{name}\":{{\"count\":{},\"min_ns\":{},\"max_ns\":{},\"sum_ns\":{},\
+                 \"p50_ns\":{},\"p95_ns\":{},\"buckets\":[",
+                if i > 0 { "," } else { "" },
+                h.count,
+                if h.count == 0 { 0 } else { h.min_ns },
+                h.max_ns,
+                jf(h.sum_ns()),
+                h.quantile_ns(0.50),
+                h.quantile_ns(0.95),
+            );
+            for (j, (low, c)) in h.nonzero_buckets().into_iter().enumerate() {
+                let _ = write!(out, "{}[{low},{c}]", if j > 0 { "," } else { "" });
+            }
+            let _ = write!(out, "]}}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sum_is_order_independent() {
+        // A pathological cancellation set: naive summation gives different
+        // bytes depending on order; the exact sum cannot.
+        let values = [1e16, 1.0, -1e16, 2.5e-10, 3.0, -3.0, 1e-300, 7.25];
+        let mut fwd = ExactSum::default();
+        for &v in &values {
+            fwd.add(v);
+        }
+        let mut rev = ExactSum::default();
+        for &v in values.iter().rev() {
+            rev.add(v);
+        }
+        assert_eq!(fwd.value().to_bits(), rev.value().to_bits());
+        // The correctly-rounded sum: one rounding of the exact value
+        // (naive left-to-right association lands one ulp high here).
+        assert_eq!(fwd.value(), 8.25 + 2.5e-10);
+    }
+
+    #[test]
+    fn exact_sum_merge_matches_one_shot() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64) * 0.1 - 3.7).collect();
+        let mut one = ExactSum::default();
+        for &v in &values {
+            one.add(v);
+        }
+        let (a_half, b_half) = values.split_at(37);
+        let mut a = ExactSum::default();
+        let mut b = ExactSum::default();
+        for &v in a_half {
+            a.add(v);
+        }
+        for &v in b_half {
+            b.add(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.value().to_bits(), one.value().to_bits());
+        assert_eq!(ba.value().to_bits(), one.value().to_bits());
+    }
+
+    #[test]
+    fn exact_sum_skips_non_finite() {
+        let mut s = ExactSum::default();
+        s.add(1.5);
+        s.add(f64::INFINITY);
+        s.add(f64::NAN);
+        s.add(2.5);
+        assert_eq!(s.value(), 4.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 1);
+        assert_eq!(bucket(4), 2);
+        assert_eq!(bucket(1 << 40), 40);
+        assert_eq!(bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_quantiles_clamp_into_observed_range() {
+        let mut h = Histogram::default();
+        h.observe(10_000_000); // one 10 ms latency
+                               // Bucket resolution would answer the bucket edge (16777215), but
+                               // the clamp pins single observations exactly.
+        assert_eq!(h.quantile_ns(0.95), 10_000_000);
+        assert_eq!(h.quantile_ns(0.50), 10_000_000);
+        h.observe(40_000_000);
+        let p95 = h.quantile_ns(0.95);
+        assert!((10_000_000..=40_000_000).contains(&p95));
+        assert_eq!(h.min_ns, 10_000_000);
+        assert_eq!(h.max_ns, 40_000_000);
+        assert_eq!(h.mean_ns(), 25_000_000.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_one_shot_feed() {
+        let values: Vec<u64> = (0..200).map(|i| (i * i * 97 + 13) % 50_000_000).collect();
+        let mut one = Histogram::default();
+        for &v in &values {
+            one.observe(v);
+        }
+        let (left, right) = values.split_at(71);
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for &v in left {
+            a.observe(v);
+        }
+        for &v in right {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, one);
+        assert_eq!(ba, one);
+    }
+
+    #[test]
+    fn gauge_keeps_the_latest_write_in_any_merge_order() {
+        let mut a = Gauge::default();
+        a.set(10, 5.0);
+        a.set(30, 7.5);
+        let mut b = Gauge::default();
+        b.set(20, 100.0);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.value, 7.5);
+        // Same-instant tie: larger value (by total_cmp) wins regardless of
+        // which side merges into which.
+        let mut x = Gauge::default();
+        x.set(40, 1.0);
+        let mut y = Gauge::default();
+        y.set(40, 2.0);
+        let mut xy = x;
+        xy.merge(&y);
+        let mut yx = y;
+        yx.merge(&x);
+        assert_eq!(xy, yx);
+        assert_eq!(xy.value, 2.0);
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent_bytes() {
+        let mut a = Registry::default();
+        a.counter("syncs").add(3);
+        a.gauge("allocated_w").set(100, 440.0);
+        a.histogram("wait_ns").observe(1_000);
+        a.histogram("wait_ns").observe(9_000);
+        let mut b = Registry::default();
+        b.counter("syncs").add(4);
+        b.counter("faults").inc();
+        b.gauge("allocated_w").set(200, 880.0);
+        b.histogram("wait_ns").observe(2_000_000);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.counter_value("syncs"), 7);
+        assert_eq!(ab.counter_value("faults"), 1);
+        assert_eq!(ab.gauge_value("allocated_w"), Some(880.0));
+        assert_eq!(ab.get_histogram("wait_ns").unwrap().count, 3);
+    }
+
+    #[test]
+    fn registry_json_is_name_sorted_and_stable() {
+        let mut r = Registry::default();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        let j = r.to_json();
+        assert!(j.find("alpha").unwrap() < j.find("zeta").unwrap());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -1,0 +1,595 @@
+//! The streaming audit engine: one pass, bounded state, live health.
+//!
+//! [`StreamAuditor`] consumes events one at a time — from a live
+//! [`obs::Tracer`] (it implements [`obs::EventSubscriber`]), from a JSONL
+//! file line by line ([`StreamAuditor::feed_line`]), or from an in-memory
+//! trace — and produces exactly what the batch engine produces: the full
+//! [`AuditReport`] plus a [`Registry`] of counters/gauges/histograms and
+//! the per-interval [`RunHealth`] snapshot series.
+//!
+//! **Byte-identical by construction.** [`AuditReport::from_trace`] is
+//! itself implemented as "feed a `StreamAuditor`, then finish", so there
+//! is one engine, not two kept in agreement. The `verify.sh` gate diffs
+//! `audit_trace` batch output against `audit_trace --stream` output on
+//! every bin's trace to keep it that way.
+//!
+//! **Bounded state.** The invariant battery carries O(active spans +
+//! nodes + live jobs) ([`StreamChecker`]); the report accumulator buffers
+//! only the *current* interval's spans and samples (folded into the
+//! per-kind attribution when the interval closes), per-node maps, and the
+//! fixed-size registry. Nothing holds a `Vec` of all events. The outputs
+//! that are per-interval by nature (straggler rows, health snapshots)
+//! grow with the interval count — that is the size of the report itself,
+//! not a function of the event count.
+//!
+//! The attribution fold order matches the batch walk exactly: every span
+//! of interval `k` precedes `sync_end k` in the record order, and the
+//! interval's samples are all in hand by then, so folding at `sync_end`
+//! reproduces the batch result bit for bit — including float-addition
+//! order.
+
+use crate::event::{AuditEvent, EventError, EventKind};
+use crate::invariants::StreamChecker;
+use crate::metrics::{
+    AuditReport, CriticalPath, LatencyStats, PartitionAttribution, PhaseAttribution, SyncStragglers,
+};
+use crate::registry::Registry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One run-health snapshot: the live state of the run at an interval or
+/// epoch boundary, as seen by the streaming auditor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHealth {
+    /// Simulation time of the snapshot.
+    pub t_ns: u64,
+    /// What closed: `"sync"` (in-situ interval), `"epoch"` (machine
+    /// scheduler division), or `"renorm"` (fleet envelope division).
+    pub marker: &'static str,
+    /// The interval/epoch index that closed.
+    pub index: u64,
+    /// Jobs started (or dispatched) and not yet terminal.
+    pub jobs_running: u64,
+    /// Machines currently up (1 for a single-machine trace, 0 in-situ).
+    pub machines_up: u64,
+    /// Watts currently allocated (last decision / epoch division / renorm).
+    pub allocated_w: f64,
+    /// The budget those watts were drawn from (power budget, machine
+    /// envelope, or fleet envelope).
+    pub budget_w: f64,
+    /// Error-severity violations found so far.
+    pub violations: u64,
+}
+
+/// Serialize a health series as a JSON document (same float rules as
+/// every other persisted artifact).
+pub fn health_to_json(rows: &[RunHealth]) -> String {
+    let mut s = String::with_capacity(256 + rows.len() * 128);
+    s.push_str("{\n  \"snapshots\": [");
+    for (i, h) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"t_ns\": {}, \"marker\": \"{}\", \"index\": {}, \"jobs_running\": {}, \
+             \"machines_up\": {}, \"allocated_w\": {}, \"budget_w\": {}, \"violations\": {}}}",
+            h.t_ns,
+            h.marker,
+            h.index,
+            h.jobs_running,
+            h.machines_up,
+            jf(h.allocated_w),
+            jf(h.budget_w),
+            h.violations
+        );
+    }
+    s.push_str(if rows.is_empty() { "]\n" } else { "\n  ]\n" });
+    s.push_str("}\n");
+    s
+}
+
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Everything one streaming pass produces.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// The audit report — byte-identical to the batch engine's.
+    pub report: AuditReport,
+    /// Per-interval run-health snapshots, record order.
+    pub health: Vec<RunHealth>,
+    /// The live metrics registry (counters, gauges, histograms).
+    pub registry: Registry,
+}
+
+/// The single-pass audit engine. Feed events, then
+/// [`finish`](StreamAuditor::finish).
+#[derive(Debug, Default)]
+pub struct StreamAuditor {
+    checker: StreamChecker,
+    registry: Registry,
+    events: u64,
+    syncs: u64,
+    open: Option<u64>,
+    total_time_s: f64,
+    total_energy_j: f64,
+    /// Current interval's measured mean power, keyed (interval, node).
+    cur_samples: BTreeMap<(u64, u64), f64>,
+    /// Current interval's spans: (interval, node, kind, dur_s), record
+    /// order. Spans outside any interval fold immediately instead.
+    cur_spans: Vec<(u64, u64, String, f64)>,
+    by_kind: BTreeMap<String, PhaseAttribution>,
+    /// node -> partition tag (first seen).
+    roles: BTreeMap<u64, String>,
+    /// node -> whole-run energy (last write).
+    node_energy: BTreeMap<u64, f64>,
+    /// Pending per-interval rows awaiting their interval close.
+    waits: BTreeMap<u64, (f64, f64)>,
+    slowest: BTreeMap<u64, (f64, u64)>,
+    rendezvous: BTreeMap<u64, (f64, f64, f64)>,
+    stragglers: Vec<SyncStragglers>,
+    critical_path: CriticalPath,
+    overhead_sum: f64,
+    // Live health state.
+    health: Vec<RunHealth>,
+    jobs_running: u64,
+    machines_up: u64,
+    allocated_w: f64,
+    budget_w: f64,
+    /// Open fleet renormalization group: (epoch, Σshare_w, last t_ns).
+    renorm_group: Option<(u64, f64, u64)>,
+}
+
+impl StreamAuditor {
+    /// A fresh auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse one JSONL trace line (strict, like the batch loader) and
+    /// feed it. The caller decides whether a parse failure aborts.
+    pub fn feed_line(&mut self, line: &str) -> Result<(), EventError> {
+        let ev = AuditEvent::parse_line(line)?;
+        self.feed(&ev);
+        Ok(())
+    }
+
+    /// Drain a straggler/critical-path row for every rendezvous with
+    /// sync ≤ `up_to` (ascending), pruning the per-interval maps.
+    fn drain_rendezvous(&mut self, up_to: u64) {
+        while self.rendezvous.first_key_value().is_some_and(|(&s, _)| s <= up_to) {
+            let (sync, (sim_t, ana_t, slack)) = self.rendezvous.pop_first().expect("nonempty");
+            let (wait_total_s, wait_max_s) = self.waits.get(&sync).copied().unwrap_or((0.0, 0.0));
+            self.stragglers.push(SyncStragglers {
+                sync,
+                sim_time_s: sim_t,
+                analysis_time_s: ana_t,
+                slack,
+                wait_total_s,
+                wait_max_s,
+                slowest_node: self.slowest.get(&sync).map(|&(_, n)| n),
+            });
+            if sim_t >= ana_t {
+                self.critical_path.sim_limited_s += sim_t;
+                self.critical_path.sim_limited_syncs += 1;
+            } else {
+                self.critical_path.analysis_limited_s += ana_t;
+                self.critical_path.analysis_limited_syncs += 1;
+            }
+        }
+        self.waits.retain(|&k, _| k > up_to);
+        self.slowest.retain(|&k, _| k > up_to);
+    }
+
+    /// Fold the closed interval's spans into the per-kind attribution
+    /// (same fold order and sample lookup as the batch walk).
+    fn fold_spans(&mut self) {
+        for (interval, node, kind, dur) in self.cur_spans.drain(..) {
+            let a = self.by_kind.entry(kind.clone()).or_insert_with(|| PhaseAttribution {
+                kind,
+                spans: 0,
+                time_s: 0.0,
+                energy_j: 0.0,
+            });
+            a.spans += 1;
+            a.time_s += dur;
+            if let Some(w) = self.cur_samples.get(&(interval, node)) {
+                a.energy_j += w * dur;
+            }
+        }
+        self.cur_samples.clear();
+    }
+
+    fn close_renorm_group(&mut self) {
+        if let Some((epoch, share_sum, t_ns)) = self.renorm_group.take() {
+            self.allocated_w = share_sum;
+            self.registry.gauge("allocated_w").set(t_ns, share_sum);
+            self.snapshot(t_ns, "renorm", epoch);
+        }
+    }
+
+    fn snapshot(&mut self, t_ns: u64, marker: &'static str, index: u64) {
+        let row = RunHealth {
+            t_ns,
+            marker,
+            index,
+            jobs_running: self.jobs_running,
+            machines_up: self.machines_up,
+            allocated_w: self.allocated_w,
+            budget_w: self.budget_w,
+            violations: self.checker.errors_so_far(),
+        };
+        self.health.push(row);
+    }
+
+    /// Feed one event: invariants, metrics, attribution, health.
+    pub fn feed(&mut self, ev: &AuditEvent) {
+        self.checker.feed(ev);
+        self.events += 1;
+        self.registry.counter("events").inc();
+        if self.renorm_group.is_some() && !matches!(ev.kind, EventKind::EnvelopeRenorm { .. }) {
+            self.close_renorm_group();
+        }
+        match &ev.kind {
+            EventKind::SyncStart { sync } => {
+                self.open = Some(*sync);
+                self.syncs += 1;
+                self.registry.counter("syncs").inc();
+            }
+            EventKind::SyncEnd { sync, overhead_s } => {
+                self.open = None;
+                if overhead_s.is_finite() {
+                    self.overhead_sum += *overhead_s;
+                }
+                self.fold_spans();
+                self.drain_rendezvous(*sync);
+                self.registry.gauge("jobs_running").set(ev.t_ns, self.jobs_running as f64);
+                self.snapshot(ev.t_ns, "sync", *sync);
+            }
+            EventKind::Phase { node, kind, start_ns, end_ns } => {
+                let dur = end_ns.saturating_sub(*start_ns) as f64 / 1e9;
+                self.registry.histogram("phase_ns").observe(end_ns.saturating_sub(*start_ns));
+                let entry = (self.open.unwrap_or(0), *node, kind.clone(), dur);
+                if self.open.is_some() {
+                    self.cur_spans.push(entry);
+                } else {
+                    self.cur_spans.push(entry);
+                    self.fold_spans();
+                }
+            }
+            EventKind::Wait { node, start_ns, end_ns } => {
+                let dur = end_ns.saturating_sub(*start_ns) as f64 / 1e9;
+                self.registry.histogram("wait_ns").observe(end_ns.saturating_sub(*start_ns));
+                let entry = (self.open.unwrap_or(0), *node, "wait".to_string(), dur);
+                if self.open.is_some() {
+                    self.cur_spans.push(entry);
+                } else {
+                    self.cur_spans.push(entry);
+                    self.fold_spans();
+                }
+                let w = self.waits.entry(self.open.unwrap_or(0)).or_insert((0.0, 0.0));
+                w.0 += dur;
+                w.1 = w.1.max(dur);
+            }
+            EventKind::Sample { node, role, power_w, .. } => {
+                self.registry.counter("samples").inc();
+                if let Some(k) = self.open {
+                    if power_w.is_finite() {
+                        self.cur_samples.insert((k, *node), *power_w);
+                    }
+                }
+                if !self.roles.contains_key(node) {
+                    self.roles.insert(*node, role.clone());
+                }
+            }
+            EventKind::Arrival { sync, node, role, time_s } => {
+                if !self.roles.contains_key(node) {
+                    self.roles.insert(*node, role.clone());
+                }
+                let e = self.slowest.entry(*sync).or_insert((f64::NEG_INFINITY, 0));
+                if *time_s > e.0 {
+                    *e = (*time_s, *node);
+                }
+            }
+            EventKind::Rendezvous { sync, sim_time_s, analysis_time_s, slack } => {
+                self.rendezvous.insert(*sync, (*sim_time_s, *analysis_time_s, *slack));
+            }
+            EventKind::NodeEnergy { node, energy_j } => {
+                self.node_energy.insert(*node, *energy_j);
+            }
+            EventKind::RunEnd { total_time_s: t, total_energy_j: e } => {
+                self.total_time_s = *t;
+                self.total_energy_j = *e;
+            }
+            EventKind::CapRequest { effective_ns, .. } => {
+                if *effective_ns > ev.t_ns {
+                    self.registry
+                        .histogram("cap_actuation_latency_ns")
+                        .observe(effective_ns - ev.t_ns);
+                } else {
+                    self.registry.counter("cap_immediate").inc();
+                }
+            }
+            EventKind::RunStart { budget_w, .. } => {
+                self.budget_w = *budget_w;
+                self.registry.gauge("budget_w").set(ev.t_ns, *budget_w);
+            }
+            EventKind::BudgetRenormalized { budget_w } => {
+                self.budget_w = *budget_w;
+                self.registry.gauge("budget_w").set(ev.t_ns, *budget_w);
+            }
+            EventKind::Decision(d) => {
+                let total =
+                    d.sim_node_w * d.sim_nodes as f64 + d.analysis_node_w * d.analysis_nodes as f64;
+                self.allocated_w = total;
+                self.registry.gauge("allocated_w").set(ev.t_ns, total);
+            }
+            EventKind::Fault { .. } => self.registry.counter("faults").inc(),
+            EventKind::Recovery { .. } => self.registry.counter("recoveries").inc(),
+            EventKind::MachineStart { envelope_w, .. } => {
+                self.machines_up = 1;
+                self.budget_w = *envelope_w;
+                self.registry.gauge("budget_w").set(ev.t_ns, *envelope_w);
+            }
+            EventKind::MachineBudget { epoch, allocated_w, pool_w: _ } => {
+                self.allocated_w = *allocated_w;
+                self.registry.gauge("allocated_w").set(ev.t_ns, *allocated_w);
+                self.registry.gauge("jobs_running").set(ev.t_ns, self.jobs_running as f64);
+                self.snapshot(ev.t_ns, "epoch", *epoch);
+            }
+            EventKind::JobStarted { .. } | EventKind::JobDispatched { .. } => {
+                self.jobs_running += 1;
+            }
+            EventKind::JobCompleted { .. }
+            | EventKind::JobKilled { .. }
+            | EventKind::JobRetry { .. }
+            | EventKind::JobFailed { .. } => {
+                self.jobs_running = self.jobs_running.saturating_sub(1);
+            }
+            EventKind::FleetStart { machines, envelope_w, .. } => {
+                self.machines_up = *machines;
+                self.budget_w = *envelope_w;
+                self.registry.gauge("budget_w").set(ev.t_ns, *envelope_w);
+            }
+            EventKind::MachineDown { .. } => {
+                self.machines_up = self.machines_up.saturating_sub(1);
+            }
+            EventKind::MachineUp { .. } => self.machines_up += 1,
+            EventKind::EnvelopeRenorm { epoch, share_w, .. } => {
+                match &mut self.renorm_group {
+                    Some((e, sum, t)) if *e == *epoch => {
+                        *sum += share_w;
+                        *t = ev.t_ns;
+                    }
+                    _ => {
+                        // Epoch change: the is_some guard above only fires
+                        // for non-renorm events, so close here.
+                        self.close_renorm_group();
+                        self.renorm_group = Some((*epoch, *share_w, ev.t_ns));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Flush end-of-stream state and produce the report, the health
+    /// series, and the metrics registry.
+    pub fn finish(mut self) -> StreamOutcome {
+        self.close_renorm_group();
+        self.fold_spans();
+        self.drain_rendezvous(u64::MAX);
+        // `+ 0.0` normalizes the empty sum's -0.0 identity.
+        self.critical_path.overhead_s = self.overhead_sum + 0.0;
+
+        let immediate = self.registry.counter_value("cap_immediate");
+        let cap_latency = match self.registry.get_histogram("cap_actuation_latency_ns") {
+            Some(h) if h.count > 0 => LatencyStats {
+                count: h.count,
+                immediate,
+                min_s: h.min_ns as f64 / 1e9,
+                max_s: h.max_ns as f64 / 1e9,
+                mean_s: h.mean_ns() / 1e9,
+                p95_s: h.quantile_ns(0.95) as f64 / 1e9,
+            },
+            _ => LatencyStats { immediate, ..LatencyStats::default() },
+        };
+
+        let mut partitions: BTreeMap<String, PartitionAttribution> = BTreeMap::new();
+        for (node, role) in &self.roles {
+            let p = partitions.entry(role.clone()).or_insert_with(|| PartitionAttribution {
+                role: role.clone(),
+                nodes: 0,
+                energy_j: 0.0,
+            });
+            p.nodes += 1;
+            p.energy_j += self.node_energy.get(node).copied().unwrap_or(0.0);
+        }
+
+        let report = AuditReport {
+            events: self.events,
+            syncs: self.syncs,
+            total_time_s: self.total_time_s,
+            total_energy_j: self.total_energy_j,
+            violations: self.checker.finish(),
+            phases: self.by_kind.into_values().collect(),
+            partitions: partitions.into_values().collect(),
+            stragglers: self.stragglers,
+            critical_path: self.critical_path,
+            cap_latency,
+        };
+        StreamOutcome { report, health: self.health, registry: self.registry }
+    }
+}
+
+impl obs::EventSubscriber for StreamAuditor {
+    fn on_event(&mut self, ev: &obs::TraceEvent) {
+        self.feed(&AuditEvent::from_obs(ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn sample_lines() -> Vec<String> {
+        let trace = {
+            use crate::event::EventKind as K;
+            let ev = |t_ns, kind| AuditEvent { t_ns, kind };
+            Trace {
+                events: vec![
+                    ev(
+                        0,
+                        K::RunStart {
+                            sim_nodes: 12,
+                            analysis_nodes: 4,
+                            budget_w: 1760.0,
+                            min_cap_w: 98.0,
+                            max_cap_w: 215.0,
+                            actuation_ns: 10_000_000,
+                        },
+                    ),
+                    ev(0, K::SyncStart { sync: 1 }),
+                    ev(0, K::Phase { node: 0, kind: "force".into(), start_ns: 0, end_ns: 5_000 }),
+                    ev(5_000, K::Wait { node: 0, start_ns: 5_000, end_ns: 8_000 }),
+                    ev(
+                        8_000,
+                        K::Sample {
+                            node: 0,
+                            role: "sim".into(),
+                            time_s: 1.0,
+                            power_w: 110.0,
+                            cap_w: 115.0,
+                        },
+                    ),
+                    ev(
+                        8_000,
+                        K::Rendezvous {
+                            sync: 1,
+                            sim_time_s: 2.0,
+                            analysis_time_s: 1.0,
+                            slack: 0.5,
+                        },
+                    ),
+                    ev(10_000, K::SyncEnd { sync: 1, overhead_s: 0.25 }),
+                    ev(10_000, K::SyncEnergy { sync: 1, energy_j: 42.0 }),
+                    ev(10_000, K::NodeEnergy { node: 0, energy_j: 42.0 }),
+                    ev(10_000, K::RunEnd { total_time_s: 1e-5, total_energy_j: 42.0 }),
+                ],
+            }
+        };
+        trace.events.iter().map(|e| e.to_json_line()).collect()
+    }
+
+    #[test]
+    fn streamed_report_is_byte_identical_to_batch() {
+        let lines = sample_lines();
+        let joined = lines.join("\n");
+        let trace = Trace::parse_jsonl(&joined).expect("parses");
+        let batch = AuditReport::from_trace(&trace);
+
+        let mut auditor = StreamAuditor::new();
+        for line in &lines {
+            auditor.feed_line(line).expect("clean line");
+        }
+        let out = auditor.finish();
+        assert_eq!(out.report.to_json(), batch.to_json());
+        assert_eq!(out.report, batch);
+    }
+
+    #[test]
+    fn health_snapshots_track_the_run() {
+        let lines = sample_lines();
+        let mut auditor = StreamAuditor::new();
+        for line in &lines {
+            auditor.feed_line(line).expect("clean line");
+        }
+        let out = auditor.finish();
+        assert_eq!(out.health.len(), 1);
+        let h = &out.health[0];
+        assert_eq!(h.marker, "sync");
+        assert_eq!(h.index, 1);
+        assert_eq!(h.budget_w, 1760.0);
+        assert_eq!(h.violations, 0);
+        let doc = health_to_json(&out.health);
+        let v = crate::json::parse(&doc).expect("health JSON parses");
+        assert_eq!(v.get("snapshots").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn registry_reflects_the_stream() {
+        let lines = sample_lines();
+        let mut auditor = StreamAuditor::new();
+        for line in &lines {
+            auditor.feed_line(line).expect("clean line");
+        }
+        let out = auditor.finish();
+        assert_eq!(out.registry.counter_value("events"), lines.len() as u64);
+        assert_eq!(out.registry.counter_value("syncs"), 1);
+        assert_eq!(out.registry.counter_value("samples"), 1);
+        assert_eq!(out.registry.gauge_value("budget_w"), Some(1760.0));
+        let phases = out.registry.get_histogram("phase_ns").expect("phase histogram");
+        assert_eq!(phases.count, 1);
+        assert_eq!(phases.min_ns, 5_000);
+    }
+
+    #[test]
+    fn malformed_line_is_reported_not_swallowed() {
+        let mut auditor = StreamAuditor::new();
+        let err = auditor.feed_line("{\"not\": \"a trace line\"}");
+        assert!(err.is_err());
+        // The auditor is still usable: the caller decides whether to stop.
+        auditor.feed_line("{\"t\":0,\"ev\":\"sync_start\",\"sync\":1}").expect("valid line");
+        let out = auditor.finish();
+        assert_eq!(out.report.events, 1);
+    }
+
+    #[test]
+    fn chunked_and_one_shot_feeds_agree() {
+        let lines = sample_lines();
+        let feed_all = |chunk: usize| {
+            let mut auditor = StreamAuditor::new();
+            for batch in lines.chunks(chunk) {
+                for line in batch {
+                    auditor.feed_line(line).expect("clean line");
+                }
+            }
+            let out = auditor.finish();
+            (out.report.to_json(), health_to_json(&out.health), out.registry.to_json())
+        };
+        let one_shot = feed_all(lines.len());
+        for chunk in [1, 2, 3] {
+            assert_eq!(feed_all(chunk), one_shot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn live_subscriber_matches_file_replay() {
+        use obs::{Event, Tracer};
+        use std::sync::{Arc, Mutex};
+        let auditor = Arc::new(Mutex::new(StreamAuditor::new()));
+        let tracer = Tracer::enabled();
+        tracer.attach(Box::new(Arc::clone(&auditor)));
+        tracer.emit(Event::SyncStart { sync: 1 });
+        tracer.set_now(des::SimTime::from_nanos(10));
+        tracer.emit(Event::SyncEnd { sync: 1, overhead_s: 0.125 });
+        let jsonl = tracer.to_jsonl();
+        drop(tracer); // release the tracer's subscriber handle
+
+        let live = Arc::try_unwrap(auditor).expect("sole owner").into_inner().unwrap().finish();
+        let mut replay = StreamAuditor::new();
+        for line in jsonl.lines() {
+            replay.feed_line(line).expect("clean line");
+        }
+        let replayed = replay.finish();
+        assert_eq!(live.report.to_json(), replayed.report.to_json());
+        assert_eq!(live.health, replayed.health);
+    }
+}

@@ -2,23 +2,34 @@
 //! invariant battery, print the derived summary.
 //!
 //! ```text
-//! audit_trace [--json DIR] [--quiet] FILE...
+//! audit_trace [--stream] [--json DIR] [--quiet] FILE...
 //! ```
 //!
 //! Exits 1 when any file fails to parse or any invariant is violated —
 //! the offline counterpart of the `--audit` flag the experiment bins
-//! carry.
+//! carry. `--stream` audits line by line in constant memory (the file is
+//! never materialized as a `Vec` of events), producing a report
+//! byte-identical to the batch path plus run-health snapshots and the
+//! metric registry under `--json`.
 
-use audit::{AuditReport, Trace};
+use audit::{diag, AuditReport, Diagnostic, StreamAuditor, Trace};
 use obs::Reporter;
-use std::path::PathBuf;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
 
 const BIN: &str = "audit_trace";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: {BIN} [--json DIR] [--quiet] FILE...\n\
+        "usage: {BIN} [--stream] [--json DIR] [--quiet] FILE...\n\
          \n\
+         \x20 --stream     audit line by line in constant memory: the file is fed\n\
+         \x20              through the incremental checker battery as it is read,\n\
+         \x20              never held as a whole; the report is byte-identical to\n\
+         \x20              the batch path, and --json additionally writes\n\
+         \x20              health_<file-stem>.json (per-interval run-health\n\
+         \x20              snapshots) and metrics_<file-stem>.json (the metric\n\
+         \x20              registry); a malformed line is reported as AUDIT0013\n\
          \x20 --json DIR   also write audit_<file-stem>.json reports into DIR\n\
          \x20 --quiet      only print failures\n\
          \n\
@@ -28,11 +39,80 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn write_json(rep: &Reporter, out: &Path, body: &str) -> bool {
+    match std::fs::write(out, body) {
+        Ok(()) => {
+            rep.note(format!("wrote {}", out.display()));
+            true
+        }
+        Err(e) => {
+            eprintln!("{BIN}: cannot write {}: {e}", out.display());
+            false
+        }
+    }
+}
+
+/// Batch path: load the whole file, parse it into a [`Trace`], audit.
+fn audit_batch(path: &Path, rep: &Reporter, json_dir: Option<&Path>) -> Result<AuditReport, ()> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("{BIN}: cannot read {}: {e}", path.display());
+    })?;
+    let trace = Trace::parse_jsonl(&text).map_err(|e| {
+        eprintln!("{BIN}: {}: {e}", path.display());
+    })?;
+    let report = AuditReport::from_trace(&trace);
+    if let Some(dir) = json_dir {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        if !write_json(rep, &dir.join(format!("audit_{stem}.json")), &report.to_json()) {
+            return Err(());
+        }
+    }
+    Ok(report)
+}
+
+/// Streaming path: feed the file line by line through a
+/// [`StreamAuditor`]; peak memory is one line plus the incremental
+/// checker state (O(active spans + nodes)), independent of trace length.
+/// A malformed line is diagnosed as `AUDIT0013` and, like the batch
+/// loader, aborts this file's audit.
+fn audit_stream(path: &Path, rep: &Reporter, json_dir: Option<&Path>) -> Result<AuditReport, ()> {
+    let file = std::fs::File::open(path).map_err(|e| {
+        eprintln!("{BIN}: cannot read {}: {e}", path.display());
+    })?;
+    let mut auditor = StreamAuditor::new();
+    for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| {
+            eprintln!("{BIN}: cannot read {}: {e}", path.display());
+        })?;
+        if let Err(e) = auditor.feed_line(&line) {
+            let d = Diagnostic::new(diag::STREAM, format!("line {}: {}", i + 1, e));
+            eprintln!("{BIN}: {}: {d}", path.display());
+            return Err(());
+        }
+    }
+    let outcome = auditor.finish();
+    if let Some(dir) = json_dir {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        let writes = [
+            (format!("audit_{stem}.json"), outcome.report.to_json()),
+            (format!("health_{stem}.json"), audit::health_to_json(&outcome.health)),
+            (format!("metrics_{stem}.json"), outcome.registry.to_json()),
+        ];
+        for (name, body) in writes {
+            if !write_json(rep, &dir.join(name), &body) {
+                return Err(());
+            }
+        }
+    }
+    Ok(outcome.report)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<PathBuf> = Vec::new();
     let mut json_dir: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut stream = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -41,6 +121,7 @@ fn main() {
                 json_dir = Some(PathBuf::from(argv.get(i).cloned().unwrap_or_else(|| usage())));
             }
             "--quiet" => quiet = true,
+            "--stream" => stream = true,
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => usage(),
             file => files.push(PathBuf::from(file)),
@@ -54,35 +135,19 @@ fn main() {
 
     let mut failed = false;
     for path in &files {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("{BIN}: cannot read {}: {e}", path.display());
+        let result = if stream {
+            audit_stream(path, &rep, json_dir.as_deref())
+        } else {
+            audit_batch(path, &rep, json_dir.as_deref())
+        };
+        let report = match result {
+            Ok(r) => r,
+            Err(()) => {
                 failed = true;
                 continue;
             }
         };
-        let trace = match Trace::parse_jsonl(&text) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("{BIN}: {}: {e}", path.display());
-                failed = true;
-                continue;
-            }
-        };
-        let report = AuditReport::from_trace(&trace);
         rep.say(format!("{}: {}", path.display(), report.summary()));
-        if let Some(dir) = &json_dir {
-            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
-            let out = dir.join(format!("audit_{stem}.json"));
-            match std::fs::write(&out, report.to_json()) {
-                Ok(()) => rep.note(format!("wrote {}", out.display())),
-                Err(e) => {
-                    eprintln!("{BIN}: cannot write {}: {e}", out.display());
-                    failed = true;
-                }
-            }
-        }
         if !report.clean() {
             eprintln!("{BIN}: {}: {} violation(s)", path.display(), report.violations.len());
             for v in &report.violations {

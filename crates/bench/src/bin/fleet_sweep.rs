@@ -217,12 +217,11 @@ fn main() {
     // Representative traced run: 3 machines, mixed storm, energy
     // feedback — after the sweep so its JSON is unaffected by tracing.
     if args.wants_trace() || args.audit {
-        let tracer = obs::Tracer::enabled();
+        let session = cli::trace_session(&args);
         let mut fleet =
             build(SEEDS[0], steps, 3, Policy::EnergyFeedback, &MachineFaultIntensity::storm(1.0));
-        fleet.set_tracer(&tracer);
+        fleet.set_tracer(&session.tracer);
         let _ = fleet.run();
-        cli::write_trace_files(&args, &rep, &tracer);
-        cli::audit_tracer("fleet_sweep", &args, &rep, &tracer);
+        cli::finish_session("fleet_sweep", &args, &rep, session);
     }
 }

@@ -194,11 +194,10 @@ fn main() {
         let sc = &scs[0];
         let mut spec = MachineSpec::new(sc.nodes, sc.envelope_w, Policy::EnergyFeedback);
         spec.syncs_per_epoch = 5;
-        let tracer = obs::Tracer::enabled();
+        let session = cli::trace_session(&args);
         let mut s = Scheduler::new(spec, sc.jobs.clone()).expect("known controllers");
-        s.set_tracer(&tracer);
+        s.set_tracer(&session.tracer);
         let _ = s.run();
-        cli::write_trace_files(&args, &rep, &tracer);
-        cli::audit_tracer("machine_sweep", &args, &rep, &tracer);
+        cli::finish_session("machine_sweep", &args, &rep, session);
     }
 }

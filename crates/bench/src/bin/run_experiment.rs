@@ -113,12 +113,10 @@ fn main() {
     }
 
     // The controller run itself carries the tracer: `--trace` captures the
-    // exact run being summarized, not a separate representative run.
-    let tracer = if common.wants_trace() || common.audit {
-        obs::Tracer::enabled()
-    } else {
-        obs::Tracer::off()
-    };
+    // exact run being summarized, not a separate representative run. Under
+    // `--audit` a streaming auditor rides the subscriber seam.
+    let session = cli::trace_session(&common);
+    let tracer = session.tracer.clone();
 
     if baseline && controller != "static" {
         let (ctl, base) = match run_paired_traced(&cfg, &tracer) {
@@ -150,8 +148,8 @@ fn main() {
             println!("{}", bench::json::ToJson::to_json(&r.syncs).pretty());
         }
     }
-    cli::write_trace_files(&common, &rep, &tracer);
-    cli::audit_tracer(BIN, &common, &rep, &tracer);
+    drop(tracer);
+    cli::finish_session(BIN, &common, &rep, session);
 }
 
 fn print_summary(rep: &Reporter, r: &RunResult) {

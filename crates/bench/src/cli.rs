@@ -10,6 +10,7 @@
 
 use obs::Reporter;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Flags shared by every experiment bin.
 #[derive(Debug, Clone, Default)]
@@ -22,9 +23,10 @@ pub struct CommonArgs {
     pub trace: Option<PathBuf>,
     /// Write a Chrome-trace/Perfetto JSON export of the same run here.
     pub perfetto: Option<PathBuf>,
-    /// Audit the representative run's trace (`--audit`): run the
-    /// invariant battery, write `results/audit_<bin>.json`, and exit
-    /// nonzero on any violation.
+    /// Audit the representative run live (`--audit`): stream its events
+    /// through the incremental invariant battery, write
+    /// `results/audit_<bin>.json` plus run-health snapshots and the
+    /// metric registry, and exit nonzero on any violation.
     pub audit: bool,
 }
 
@@ -116,8 +118,10 @@ pub fn usage(bin: &str) -> String {
          \x20 --quiet                 suppress progress output (results/* still written)\n\
          \x20 --trace FILE            write the JSONL event trace of a representative run\n\
          \x20 --trace-perfetto FILE   write a Chrome-trace/Perfetto JSON export\n\
-         \x20 --audit                 audit the representative run (invariant battery;\n\
-         \x20                         writes results/audit_{bin}.json, exits 1 on violations)\n\
+         \x20 --audit                 audit the representative run live (streaming invariant\n\
+         \x20                         battery; writes results/audit_{bin}.json plus\n\
+         \x20                         health_{bin}.json and metrics_{bin}.json, exits 1 on\n\
+         \x20                         violations)\n\
          \n\
          env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply the paths when the flags are\n\
          absent; SEESAW_AUDIT=1 turns on --audit"
@@ -133,39 +137,67 @@ pub fn usage_error(bin: &str, msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Run one representative traced run of `cfg`, write the requested
-/// exports, and audit the trace when `--audit` is on. Called *after* a
-/// bin's main sweep so the sweep's own output (tables, `results/*.json`)
-/// is byte-identical whether or not tracing is on — the traced run is an
-/// extra run, not an instrumented sweep member.
-///
-/// **Exits the process with status 1** when the audit finds violations.
-pub fn export_trace(bin: &str, args: &CommonArgs, rep: &Reporter, cfg: &insitu::JobConfig) {
-    if !args.wants_trace() && !args.audit {
-        return;
-    }
-    let tracer = obs::Tracer::enabled();
-    if let Err(e) = insitu::run_job_traced(cfg.clone(), &tracer) {
-        rep.warn(format!("trace run failed: {e}"));
-        return;
-    }
-    write_trace_files(args, rep, &tracer);
-    audit_tracer(bin, args, rep, &tracer);
+/// One representative run's observability wiring: a tracer for the run
+/// to emit into, plus (under `--audit`) a live [`audit::StreamAuditor`]
+/// attached as a subscriber. The tracer buffers only when a trace file
+/// was requested; `--audit` alone uses a streaming (constant-memory)
+/// tracer — events flow through the auditor and are dropped, so the
+/// audited run never materializes a full `Vec` of events.
+pub struct TraceSession {
+    /// Hand this to the run (`set_tracer` / `run_job_traced`).
+    pub tracer: obs::Tracer,
+    auditor: Option<Arc<Mutex<audit::StreamAuditor>>>,
 }
 
-/// Audit an already-filled tracer when `--audit` is on: write
-/// `results/audit_<bin>.json` and **exit 1** on violations.
-pub fn audit_tracer(bin: &str, args: &CommonArgs, rep: &Reporter, tracer: &obs::Tracer) {
-    if !args.audit {
-        return;
+/// Build the observability wiring for one representative run from the
+/// common flags. The returned session is inert (tracer off, no auditor)
+/// when neither trace files nor `--audit` were requested.
+pub fn trace_session(args: &CommonArgs) -> TraceSession {
+    let tracer = if args.wants_trace() {
+        obs::Tracer::enabled()
+    } else if args.audit {
+        obs::Tracer::streaming()
+    } else {
+        obs::Tracer::off()
+    };
+    let auditor = if args.audit {
+        let auditor = Arc::new(Mutex::new(audit::StreamAuditor::new()));
+        tracer.attach(Box::new(Arc::clone(&auditor)));
+        Some(auditor)
+    } else {
+        None
+    };
+    TraceSession { tracer, auditor }
+}
+
+/// Finish a session after the run: write the requested trace exports,
+/// then (under `--audit`) finalize the streaming auditor and write
+/// `results/audit_<bin>.json`, `results/health_<bin>.json` (per-interval
+/// run-health snapshots), and `results/metrics_<bin>.json` (the metric
+/// registry). **Exits the process with status 1** when the audit finds
+/// violations.
+pub fn finish_session(bin: &str, args: &CommonArgs, rep: &Reporter, session: TraceSession) {
+    let TraceSession { tracer, auditor } = session;
+    write_trace_files(args, rep, &tracer);
+    let Some(auditor) = auditor else { return };
+    // The run may still hold tracer clones (scheduler handles), so take
+    // the auditor's state out through the shared cell rather than trying
+    // to unwrap the Arc.
+    let auditor = std::mem::take(&mut *auditor.lock().expect("auditor poisoned"));
+    let outcome = auditor.finish();
+    let dir = crate::results_dir();
+    let writes = [
+        (dir.join(format!("audit_{bin}.json")), outcome.report.to_json()),
+        (dir.join(format!("health_{bin}.json")), audit::health_to_json(&outcome.health)),
+        (dir.join(format!("metrics_{bin}.json")), outcome.registry.to_json()),
+    ];
+    for (path, body) in writes {
+        match std::fs::write(&path, body) {
+            Ok(()) => rep.note(format!("wrote {}", path.display())),
+            Err(e) => rep.warn(format!("cannot write {}: {e}", path.display())),
+        }
     }
-    let trace = audit::Trace::from_tracer(tracer);
-    let report = audit::AuditReport::from_trace(&trace);
-    let path = crate::results_dir().join(format!("audit_{bin}.json"));
-    match std::fs::write(&path, report.to_json()) {
-        Ok(()) => rep.note(format!("wrote {}", path.display())),
-        Err(e) => rep.warn(format!("cannot write {}: {e}", path.display())),
-    }
+    let report = outcome.report;
     rep.note(report.summary());
     if !report.clean() {
         eprintln!("{bin}: trace audit FAILED with {} violation(s)", report.violations.len());
@@ -174,6 +206,26 @@ pub fn audit_tracer(bin: &str, args: &CommonArgs, rep: &Reporter, tracer: &obs::
         }
         std::process::exit(1);
     }
+}
+
+/// Run one representative traced run of `cfg`, write the requested
+/// exports, and audit the trace when `--audit` is on — live, through the
+/// streaming subscriber seam, not by re-walking a buffered trace. Called
+/// *after* a bin's main sweep so the sweep's own output (tables,
+/// `results/*.json`) is byte-identical whether or not tracing is on —
+/// the traced run is an extra run, not an instrumented sweep member.
+///
+/// **Exits the process with status 1** when the audit finds violations.
+pub fn export_trace(bin: &str, args: &CommonArgs, rep: &Reporter, cfg: &insitu::JobConfig) {
+    if !args.wants_trace() && !args.audit {
+        return;
+    }
+    let session = trace_session(args);
+    if let Err(e) = insitu::run_job_traced(cfg.clone(), &session.tracer) {
+        rep.warn(format!("trace run failed: {e}"));
+        return;
+    }
+    finish_session(bin, args, rep, session);
 }
 
 /// Write the JSONL and/or Perfetto exports of an already-filled tracer.

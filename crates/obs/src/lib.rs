@@ -10,9 +10,14 @@
 //!
 //! - [`Tracer`] — a cloneable sink handle threaded through the stack.
 //!   Disabled (the default) it is a `None` branch: no allocation, no
-//!   locking, no formatting. Enabled it buffers typed [`Event`]s — one
-//!   lock and one `Vec` push per event; counters and scalar series are
-//!   derived from the buffer at export time, never aggregated per event.
+//!   locking, no formatting. Enabled it records typed [`Event`]s — one
+//!   lock per event (or per batch), fixed-slot counter updates, and a
+//!   `Vec` push when buffering. [`Tracer::streaming`] skips the buffer
+//!   entirely: events flow to attached [`EventSubscriber`]s and are
+//!   dropped, giving constant-memory observability for audited runs.
+//! - [`EventSubscriber`] — the subscriber seam: consumers attached via
+//!   [`Tracer::attach`] see every event in deterministic sim-time record
+//!   order without the trace ever being collected into a `Vec`.
 //! - [`Event`] / [`TraceEvent`] — the typed schema covering runtime sync
 //!   epochs, node phase/wait spans, RAPL cap actuation, power-manager
 //!   measurement and exchange, SeeSAw decision internals, and fault
@@ -38,4 +43,4 @@ mod sink;
 pub use event::{to_jsonl, DecisionInfo, Event, TraceEvent};
 pub use perfetto::chrome_trace;
 pub use report::Reporter;
-pub use sink::{RunMetrics, StatSummary, Tracer};
+pub use sink::{EventSubscriber, RunMetrics, StatSummary, Tracer};

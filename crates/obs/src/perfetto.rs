@@ -4,8 +4,12 @@
 //! `chrome://tracing` and <https://ui.perfetto.dev>: each node becomes a
 //! process row with phase/wait activity spans and `cap_w` / `power_w`
 //! counter tracks, and controller-level happenings (sync boundaries,
-//! decisions, holds) land on a synthetic "controller" process. Timestamps
-//! are microseconds of **simulated** time, so the export is as
+//! decisions, holds) land on a synthetic "controller" process. Machine
+//! and fleet traces contribute controller-row counter tracks too:
+//! `allocated_w` / `pool_w` from each governor epoch, `budget_w` from
+//! renormalizations, and a derived `jobs_running` gauge (+1 on job
+//! start/dispatch, −1 on completion, kill, retry, or failure).
+//! Timestamps are microseconds of **simulated** time, so the export is as
 //! deterministic as the trace itself.
 
 use crate::event::{Event, TraceEvent};
@@ -70,6 +74,9 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     let mut entries: Vec<Entry> = Vec::with_capacity(events.len());
     let mut pids: BTreeSet<usize> = BTreeSet::new();
     let mut controller_used = false;
+    // Derived jobs-in-flight counter for machine/fleet traces: +1 on
+    // start/dispatch, −1 when a job leaves the machine for any reason.
+    let mut jobs_running: u64 = 0;
     let push = |entries: &mut Vec<Entry>, ts_ns: u64, pid: usize, json: String| {
         let seq = entries.len();
         entries.push(Entry { ts_ns, pid, seq, json });
@@ -187,6 +194,12 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     CONTROLLER_PID,
                     instant("budget_renormalized", CONTROLLER_PID, t_ns, &args),
                 );
+                push(
+                    &mut entries,
+                    t_ns,
+                    CONTROLLER_PID,
+                    counter("budget_w", CONTROLLER_PID, t_ns, *budget_w),
+                );
             }
             Event::MonitorReelected { node, new_rank } => {
                 controller_used = true;
@@ -233,23 +246,54 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             Event::NodeEnergy { .. } => {
                 // A whole-run scalar per node; no sensible timeline shape.
             }
+            Event::MachineBudget { allocated_w, pool_w, .. } => {
+                controller_used = true;
+                push(
+                    &mut entries,
+                    t_ns,
+                    CONTROLLER_PID,
+                    counter("allocated_w", CONTROLLER_PID, t_ns, *allocated_w),
+                );
+                push(
+                    &mut entries,
+                    t_ns,
+                    CONTROLLER_PID,
+                    counter("pool_w", CONTROLLER_PID, t_ns, *pool_w),
+                );
+            }
+            Event::JobStarted { .. } | Event::JobDispatched { .. } => {
+                controller_used = true;
+                jobs_running += 1;
+                push(
+                    &mut entries,
+                    t_ns,
+                    CONTROLLER_PID,
+                    counter("jobs_running", CONTROLLER_PID, t_ns, jobs_running as f64),
+                );
+            }
+            Event::JobCompleted { .. }
+            | Event::JobKilled { .. }
+            | Event::JobRetry { .. }
+            | Event::JobFailed { .. } => {
+                controller_used = true;
+                jobs_running = jobs_running.saturating_sub(1);
+                push(
+                    &mut entries,
+                    t_ns,
+                    CONTROLLER_PID,
+                    counter("jobs_running", CONTROLLER_PID, t_ns, jobs_running as f64),
+                );
+            }
             Event::MachineStart { .. }
             | Event::JobArrived { .. }
-            | Event::JobStarted { .. }
-            | Event::JobCompleted { .. }
-            | Event::JobKilled { .. }
-            | Event::MachineBudget { .. }
             | Event::FleetStart { .. }
             | Event::MachineDown { .. }
             | Event::MachineUp { .. }
-            | Event::JobDispatched { .. }
-            | Event::JobRetry { .. }
             | Event::JobMigrated { .. }
-            | Event::JobFailed { .. }
             | Event::EnvelopeRenorm { .. } => {
-                // Machine- and fleet-level scheduling events have no
-                // per-node row; the JSONL trace carries them, the Perfetto
-                // view omits them.
+                // The remaining scheduling events have no per-node row and
+                // no counter shape; the JSONL trace carries them, the
+                // Perfetto view omits them.
             }
         }
     }
@@ -312,6 +356,34 @@ mod tests {
         assert!(s.contains("\"name\":\"cap_w\""));
         assert!(s.contains("\"name\":\"sync_end\""));
         assert!(s.contains("\"name\":\"process_name\""));
+    }
+
+    #[test]
+    fn scheduler_events_render_as_counter_tracks() {
+        let trace = vec![
+            te(0, Event::MachineStart { nodes: 8, envelope_w: 880.0 }),
+            te(0, Event::JobArrived { job: 0 }),
+            te(10, Event::JobStarted { job: 0, nodes: 4, budget_w: 440.0 }),
+            te(10, Event::MachineBudget { epoch: 0, allocated_w: 440.0, pool_w: 440.0 }),
+            te(20, Event::JobStarted { job: 1, nodes: 4, budget_w: 440.0 }),
+            te(30, Event::JobCompleted { job: 0, time_s: 1.5 }),
+            te(40, Event::BudgetRenormalized { budget_w: 800.0 }),
+        ];
+        let s = chrome_trace(&trace);
+        // Governor epochs become allocated/pool counter tracks…
+        assert!(s.contains("\"name\":\"allocated_w\""));
+        assert!(s.contains("\"args\":{\"allocated_w\":440}"));
+        assert!(s.contains("\"name\":\"pool_w\""));
+        // …renormalizations a budget track alongside the instant…
+        assert!(s.contains("\"name\":\"budget_renormalized\""));
+        assert!(s.contains("\"args\":{\"budget_w\":800}"));
+        // …and job lifecycle a jobs-in-flight gauge: 1, 2, then back to 1.
+        assert!(s.contains("\"args\":{\"jobs_running\":1}"));
+        assert!(s.contains("\"args\":{\"jobs_running\":2}"));
+        let ups = s.matches("\"args\":{\"jobs_running\":1}").count();
+        assert_eq!(ups, 2, "rise to 1 and fall back to 1");
+        // All of it lands on the controller row.
+        assert!(s.contains("\"name\":\"controller\""));
     }
 
     #[test]

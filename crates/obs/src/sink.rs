@@ -1,24 +1,59 @@
 //! The trace sink: a cheap, cloneable handle that is either **off** (a
 //! `None` branch — the disabled path does no allocation, no locking, and
-//! no formatting) or **on** (an `Arc` around one buffered event vector).
+//! no formatting) or **on** (an `Arc` around one recording core).
 //!
-//! One tracer belongs to one run. Events are appended in program order of
+//! One tracer belongs to one run. Events are recorded in program order of
 //! the run that owns the tracer; since a run executes on a single worker
 //! thread (the `par` pool parallelizes *across* runs, not within one),
-//! the buffer order — and therefore the serialized trace — is a pure
-//! function of the run's inputs.
+//! the record order — and therefore both the serialized trace and every
+//! subscriber's view — is a pure function of the run's inputs.
 //!
-//! The enabled hot path is a single uncontended lock and a `Vec` push:
-//! counters and histograms are **derived from the events at export time**
-//! ([`RunMetrics::from_events`]), never aggregated per event, and callers
-//! that know their run's shape pre-size the buffer via [`Tracer::reserve`]
-//! so steady-state recording never reallocates.
+//! An enabled tracer comes in two flavours:
+//!
+//! - [`Tracer::enabled`] **buffers** every event for later export
+//!   ([`Tracer::events`] / [`Tracer::to_jsonl`]), the right mode when a
+//!   trace file was requested.
+//! - [`Tracer::streaming`] keeps **no buffer at all**: events flow to the
+//!   attached [`EventSubscriber`]s and are dropped, so an audited run's
+//!   peak observability memory is the subscribers' own state, not the
+//!   event volume.
+//!
+//! Either way the hot path is a single uncontended lock per record (one
+//! per *batch* through [`Tracer::emit_drain`]): a fixed-slot counter
+//! update, the subscriber fan-out in attach order, and — only when
+//! buffering — a `Vec` push. [`RunMetrics`] is maintained incrementally
+//! in those fixed slots, so `metrics()` works identically for buffered
+//! and streaming tracers and the summary never requires a buffer walk.
 
 use crate::event::{to_jsonl, Event, TraceEvent};
 use des::SimTime;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// A consumer of the live event stream.
+///
+/// Subscribers attached via [`Tracer::attach`] see every event the tracer
+/// records — `emit`, `emit_at`, and `emit_drain` alike — in exact record
+/// order, under the sink lock, *before* the event is (optionally)
+/// buffered. Because record order is deterministic sim-time order, a
+/// subscriber's state is as reproducible as the trace itself.
+///
+/// Calls happen under the tracer's internal lock: implementations must
+/// not call back into the tracer.
+pub trait EventSubscriber: Send {
+    /// Observe one recorded event.
+    fn on_event(&mut self, ev: &TraceEvent);
+}
+
+/// Share one subscriber between the tracer and the caller: the tracer
+/// feeds it through the mutex while the caller keeps a handle to collect
+/// the final state.
+impl<S: EventSubscriber> EventSubscriber for Arc<Mutex<S>> {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.lock().expect("subscriber poisoned").on_event(ev);
+    }
+}
 
 /// Running aggregate for one named scalar series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,84 +120,80 @@ pub struct RunMetrics {
     pub stats: Vec<StatSummary>,
 }
 
-impl RunMetrics {
-    /// Look up a counter by name (0 when absent).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
-    }
+/// Name-sorted counter slots; [`MetricsAcc`] relies on the order.
+const COUNTER_NAMES: [&str; 11] = [
+    "cap_requests",
+    "decisions",
+    "exchanges",
+    "faults",
+    "holds",
+    "phases",
+    "recoveries",
+    "samples",
+    "samples_rejected",
+    "syncs",
+    "waits",
+];
 
-    /// Look up a stat series by name.
-    pub fn stat(&self, name: &str) -> Option<&StatSummary> {
-        self.stats.iter().find(|s| s.name == name)
-    }
+/// The incremental accumulator behind [`RunMetrics`]: fixed counter and
+/// series slots updated with one array increment per event, no map
+/// lookups. Both the per-event hot path and the batch
+/// [`RunMetrics::from_events`] walk run through this single definition.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct MetricsAcc {
+    events: u64,
+    counts: [u64; COUNTER_NAMES.len()],
+    // Stat series, name-sorted: interval_s, overhead_s, wait_s. A series
+    // exists once its event kind occurred (even if every value was
+    // non-finite and therefore unobserved).
+    stats: [StatAcc; 3],
+    seen: [bool; 3],
+}
 
-    /// Derive the counter and histogram summary from an event buffer.
-    /// Every series is 1:1 with an event kind, so nothing needs to be
-    /// aggregated while the run is hot — this walk happens once at export.
-    /// The walk itself uses fixed slots (an array increment per event, no
-    /// map lookups): it runs over every traced run's full buffer, so it is
-    /// part of the measured tracing overhead.
-    pub fn from_events(events: &[TraceEvent]) -> RunMetrics {
-        // Name-sorted counter slots; assembly below relies on the order.
-        const NAMES: [&str; 11] = [
-            "cap_requests",
-            "decisions",
-            "exchanges",
-            "faults",
-            "holds",
-            "phases",
-            "recoveries",
-            "samples",
-            "samples_rejected",
-            "syncs",
-            "waits",
-        ];
-        let mut counts = [0u64; NAMES.len()];
-        // Stat series, name-sorted: interval_s, overhead_s, wait_s. A
-        // series exists once its event kind occurred (even if every value
-        // was non-finite and therefore unobserved).
-        let mut stats = [StatAcc::default(); 3];
-        let mut seen = [false; 3];
-        for te in events {
-            match &te.ev {
-                Event::SyncStart { .. } => counts[9] += 1,
-                Event::Phase { .. } => counts[5] += 1,
-                Event::Wait { start_ns, end_ns, .. } => {
-                    counts[10] += 1;
-                    seen[2] = true;
-                    stats[2].observe(end_ns.saturating_sub(*start_ns) as f64 / 1e9);
-                }
-                Event::CapRequest { .. } => counts[0] += 1,
-                Event::Sample { time_s, .. } => {
-                    counts[7] += 1;
-                    seen[0] = true;
-                    stats[0].observe(*time_s);
-                }
-                Event::SampleRejected { .. } => counts[8] += 1,
-                Event::ExchangeDone { overhead_s, .. } => {
-                    counts[2] += 1;
-                    seen[1] = true;
-                    stats[1].observe(*overhead_s);
-                }
-                Event::Decision(_) => counts[1] += 1,
-                Event::ControllerHold { .. } => counts[4] += 1,
-                Event::Fault { .. } => counts[3] += 1,
-                Event::Recovery { .. } => counts[6] += 1,
-                _ => {}
+impl MetricsAcc {
+    fn observe(&mut self, ev: &Event) {
+        self.events += 1;
+        match ev {
+            Event::SyncStart { .. } => self.counts[9] += 1,
+            Event::Phase { .. } => self.counts[5] += 1,
+            Event::Wait { start_ns, end_ns, .. } => {
+                self.counts[10] += 1;
+                self.seen[2] = true;
+                self.stats[2].observe(end_ns.saturating_sub(*start_ns) as f64 / 1e9);
             }
+            Event::CapRequest { .. } => self.counts[0] += 1,
+            Event::Sample { time_s, .. } => {
+                self.counts[7] += 1;
+                self.seen[0] = true;
+                self.stats[0].observe(*time_s);
+            }
+            Event::SampleRejected { .. } => self.counts[8] += 1,
+            Event::ExchangeDone { overhead_s, .. } => {
+                self.counts[2] += 1;
+                self.seen[1] = true;
+                self.stats[1].observe(*overhead_s);
+            }
+            Event::Decision(_) => self.counts[1] += 1,
+            Event::ControllerHold { .. } => self.counts[4] += 1,
+            Event::Fault { .. } => self.counts[3] += 1,
+            Event::Recovery { .. } => self.counts[6] += 1,
+            _ => {}
         }
+    }
+
+    fn summarize(&self) -> RunMetrics {
         RunMetrics {
-            events: events.len() as u64,
-            counters: NAMES
+            events: self.events,
+            counters: COUNTER_NAMES
                 .iter()
-                .zip(counts)
+                .zip(self.counts)
                 .filter(|&(_, v)| v > 0)
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
             stats: ["interval_s", "overhead_s", "wait_s"]
                 .iter()
-                .zip(stats)
-                .zip(seen)
+                .zip(self.stats)
+                .zip(self.seen)
                 .filter(|&(_, s)| s)
                 .map(|((k, a), _)| StatSummary {
                     name: k.to_string(),
@@ -176,18 +207,87 @@ impl RunMetrics {
     }
 }
 
+impl RunMetrics {
+    /// Look up a counter by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Look up a stat series by name.
+    pub fn stat(&self, name: &str) -> Option<&StatSummary> {
+        self.stats.iter().find(|s| s.name == name)
+    }
+
+    /// Derive the counter and histogram summary from an event buffer —
+    /// the batch form of the incremental accumulation every enabled
+    /// tracer performs per event. Both paths fold the same slots in the
+    /// same order, so a buffered tracer's [`Tracer::metrics`] is
+    /// bit-identical to `from_events` over its buffer.
+    pub fn from_events(events: &[TraceEvent]) -> RunMetrics {
+        let mut acc = MetricsAcc::default();
+        for te in events {
+            acc.observe(&te.ev);
+        }
+        acc.summarize()
+    }
+}
+
+/// Everything mutated per record, under one lock: the optional buffer,
+/// the attached subscribers, and the incremental metrics slots.
+struct Recording {
+    events: Vec<TraceEvent>,
+    subscribers: Vec<Box<dyn EventSubscriber>>,
+    metrics: MetricsAcc,
+}
+
+impl Recording {
+    /// Fan one event out: metrics slots (streaming tracers only — a
+    /// buffered tracer derives [`RunMetrics`] from its buffer on demand,
+    /// keeping the hot buffered path a bare push), then subscribers in
+    /// attach order, then (buffering tracers only) the buffer.
+    fn record(&mut self, buffering: bool, te: TraceEvent) {
+        if !buffering {
+            self.metrics.observe(&te.ev);
+        }
+        for sub in &mut self.subscribers {
+            sub.on_event(&te);
+        }
+        if buffering {
+            self.events.push(te);
+        }
+    }
+}
+
 struct Inner {
     /// The "current" simulated time, set by the layer that owns the clock
     /// (the runtime) so layers without a clock (controllers, the power
     /// manager) can stamp events without threading `SimTime` through
     /// every call signature.
     now_ns: AtomicU64,
-    events: Mutex<Vec<TraceEvent>>,
+    /// Whether events are kept after the subscriber fan-out. Fixed at
+    /// construction: [`Tracer::enabled`] buffers, [`Tracer::streaming`]
+    /// does not.
+    buffering: bool,
+    rec: Mutex<Recording>,
+}
+
+impl Inner {
+    fn new(buffering: bool) -> Self {
+        Inner {
+            now_ns: AtomicU64::new(0),
+            buffering,
+            rec: Mutex::new(Recording {
+                events: Vec::new(),
+                subscribers: Vec::new(),
+                metrics: MetricsAcc::default(),
+            }),
+        }
+    }
 }
 
 /// A handle to one run's trace. Cloning is cheap (an `Arc` bump when
 /// enabled, a copy of `None` when disabled); all clones feed the same
-/// buffer. The default handle is **off**.
+/// recording core. The default handle is **off**.
 #[derive(Clone, Default)]
 pub struct Tracer(Option<Arc<Inner>>);
 
@@ -199,7 +299,16 @@ impl Tracer {
 
     /// An enabled tracer with an empty buffer.
     pub fn enabled() -> Self {
-        Tracer(Some(Arc::new(Inner { now_ns: AtomicU64::new(0), events: Mutex::new(Vec::new()) })))
+        Tracer(Some(Arc::new(Inner::new(true))))
+    }
+
+    /// An enabled tracer that keeps **no buffer**: every recorded event
+    /// is handed to the attached [`EventSubscriber`]s and dropped. The
+    /// constant-memory mode for audited runs whose trace is never
+    /// exported — `events()`/`to_jsonl()` return empty, while
+    /// [`Tracer::metrics`] still summarizes everything recorded.
+    pub fn streaming() -> Self {
+        Tracer(Some(Arc::new(Inner::new(false))))
     }
 
     /// Whether events are being recorded. Hot call sites gate event
@@ -209,14 +318,32 @@ impl Tracer {
         self.0.is_some()
     }
 
+    /// Whether recorded events are kept in the buffer (false for
+    /// disabled and streaming tracers alike).
+    pub fn is_buffering(&self) -> bool {
+        self.0.as_ref().is_some_and(|inner| inner.buffering)
+    }
+
+    /// Attach a subscriber to the live event stream. It sees every event
+    /// recorded from this point on, in record order. No-op on a disabled
+    /// tracer (the subscriber is dropped — nothing will ever flow).
+    pub fn attach(&self, sub: Box<dyn EventSubscriber>) {
+        if let Some(inner) = &self.0 {
+            inner.rec.lock().expect("trace sink poisoned").subscribers.push(sub);
+        }
+    }
+
     /// Pre-size the event buffer for roughly `additional` more events, so
     /// steady-state recording never pays a reallocation-and-copy. Callers
     /// that can estimate their run's event volume (the runtime knows its
     /// sync count and node count) should call this once up front; a
-    /// generous overestimate costs only address space.
+    /// generous overestimate costs only address space. No-op on
+    /// streaming tracers — there is no buffer to size.
     pub fn reserve(&self, additional: usize) {
         if let Some(inner) = &self.0 {
-            inner.events.lock().expect("trace buffer poisoned").reserve(additional);
+            if inner.buffering {
+                inner.rec.lock().expect("trace sink poisoned").events.reserve(additional);
+            }
         }
     }
 
@@ -241,7 +368,13 @@ impl Tracer {
     pub fn emit(&self, ev: Event) {
         if let Some(inner) = &self.0 {
             let t = SimTime::from_nanos(inner.now_ns.load(Ordering::Relaxed));
-            inner.events.lock().expect("trace buffer poisoned").push(TraceEvent { t, ev });
+            let mut rec = inner.rec.lock().expect("trace sink poisoned");
+            if inner.buffering && rec.subscribers.is_empty() {
+                // Fast path: the seed cost of buffered tracing, a push.
+                rec.events.push(TraceEvent { t, ev });
+            } else {
+                rec.record(inner.buffering, TraceEvent { t, ev });
+            }
         }
     }
 
@@ -250,33 +383,48 @@ impl Tracer {
     #[inline]
     pub fn emit_at(&self, t: SimTime, ev: Event) {
         if let Some(inner) = &self.0 {
-            inner.events.lock().expect("trace buffer poisoned").push(TraceEvent { t, ev });
+            let mut rec = inner.rec.lock().expect("trace sink poisoned");
+            if inner.buffering && rec.subscribers.is_empty() {
+                rec.events.push(TraceEvent { t, ev });
+            } else {
+                rec.record(inner.buffering, TraceEvent { t, ev });
+            }
         }
     }
 
-    /// Move a batch of pre-stamped events into the buffer under **one**
-    /// lock acquisition, clearing `buf` (its capacity is retained). Hot
+    /// Record a batch of pre-stamped events under **one** lock
+    /// acquisition, clearing `buf` (its capacity is retained). Hot
     /// emitters that own their events (`&mut self` call sites) batch into
     /// a local scratch and drain per synchronization interval — one lock
-    /// per interval instead of one per event. On a disabled tracer the
-    /// batch is discarded.
+    /// per interval instead of one per event. Subscribers see the batch
+    /// in order; on a disabled tracer the batch is discarded.
     pub fn emit_drain(&self, buf: &mut Vec<TraceEvent>) {
         if let Some(inner) = &self.0 {
-            inner.events.lock().expect("trace buffer poisoned").append(buf);
+            let mut rec = inner.rec.lock().expect("trace sink poisoned");
+            if inner.buffering && rec.subscribers.is_empty() {
+                // Fast path: move the whole batch, nothing per event.
+                rec.events.append(buf);
+            } else {
+                for te in buf.drain(..) {
+                    rec.record(inner.buffering, te);
+                }
+            }
         } else {
             buf.clear();
         }
     }
 
-    /// Number of buffered events.
+    /// Number of buffered events (0 for streaming tracers — use
+    /// [`Tracer::metrics`]'s event count for the recorded total).
     pub fn len(&self) -> usize {
         match &self.0 {
-            Some(inner) => inner.events.lock().expect("trace buffer poisoned").len(),
+            Some(inner) => inner.rec.lock().expect("trace sink poisoned").events.len(),
             None => 0,
         }
     }
 
-    /// True when nothing has been recorded (always true when disabled).
+    /// True when the buffer holds nothing (always true when disabled or
+    /// streaming).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -284,7 +432,7 @@ impl Tracer {
     /// Snapshot the buffered events.
     pub fn events(&self) -> Vec<TraceEvent> {
         match &self.0 {
-            Some(inner) => inner.events.lock().expect("trace buffer poisoned").clone(),
+            Some(inner) => inner.rec.lock().expect("trace sink poisoned").events.clone(),
             None => Vec::new(),
         }
     }
@@ -292,17 +440,26 @@ impl Tracer {
     /// Serialize the buffer as JSONL.
     pub fn to_jsonl(&self) -> String {
         match &self.0 {
-            Some(inner) => to_jsonl(&inner.events.lock().expect("trace buffer poisoned")),
+            Some(inner) => to_jsonl(&inner.rec.lock().expect("trace sink poisoned").events),
             None => String::new(),
         }
     }
 
-    /// Summarize counters and stat series (plus the event count), derived
-    /// from the buffered events.
+    /// Summarize counters and stat series (plus the event count). A
+    /// buffered tracer folds its buffer through the accumulator here, on
+    /// demand; a streaming tracer (no buffer) maintained the same slots
+    /// incrementally per record. Both paths fold identical events through
+    /// one [`MetricsAcc`] definition, so the results are bit-identical —
+    /// and equal to [`RunMetrics::from_events`] over the buffered events.
     pub fn metrics(&self) -> RunMetrics {
         match &self.0 {
             Some(inner) => {
-                RunMetrics::from_events(&inner.events.lock().expect("trace buffer poisoned"))
+                let rec = inner.rec.lock().expect("trace sink poisoned");
+                if inner.buffering {
+                    RunMetrics::from_events(&rec.events)
+                } else {
+                    rec.metrics.summarize()
+                }
             }
             None => RunMetrics::default(),
         }
@@ -313,6 +470,7 @@ impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.0 {
             None => write!(f, "Tracer(off)"),
+            Some(inner) if !inner.buffering => write!(f, "Tracer(streaming)"),
             Some(_) => write!(f, "Tracer({} events)", self.len()),
         }
     }
@@ -386,9 +544,73 @@ mod tests {
     #[test]
     fn reserve_is_a_no_op_on_disabled_tracers() {
         Tracer::off().reserve(1 << 20);
+        Tracer::streaming().reserve(1 << 20);
         let t = Tracer::enabled();
         t.reserve(128);
         t.emit(Event::SyncStart { sync: 1 });
         assert_eq!(t.len(), 1);
+    }
+
+    /// A subscriber that counts events and records the last stamp.
+    #[derive(Default)]
+    struct Probe {
+        seen: Vec<u64>,
+    }
+
+    impl EventSubscriber for Probe {
+        fn on_event(&mut self, ev: &TraceEvent) {
+            self.seen.push(ev.t.as_nanos());
+        }
+    }
+
+    #[test]
+    fn streaming_tracer_buffers_nothing_but_feeds_subscribers() {
+        let probe = Arc::new(Mutex::new(Probe::default()));
+        let t = Tracer::streaming();
+        t.attach(Box::new(Arc::clone(&probe)));
+        t.set_now(SimTime::from_nanos(3));
+        t.emit(Event::SyncStart { sync: 1 });
+        t.emit_at(SimTime::from_nanos(9), Event::SyncEnd { sync: 1, overhead_s: 0.0 });
+        let mut batch =
+            vec![TraceEvent { t: SimTime::from_nanos(11), ev: Event::SyncStart { sync: 2 } }];
+        t.emit_drain(&mut batch);
+        assert!(batch.is_empty(), "drain consumes the batch");
+        assert!(t.is_empty(), "streaming tracers keep no buffer");
+        assert!(t.events().is_empty());
+        assert_eq!(t.to_jsonl(), "");
+        assert!(!t.is_buffering() && t.is_enabled());
+        assert_eq!(probe.lock().unwrap().seen, vec![3, 9, 11]);
+        // Metrics still summarize everything recorded.
+        let m = t.metrics();
+        assert_eq!(m.events, 3);
+        assert_eq!(m.counter("syncs"), 2);
+    }
+
+    #[test]
+    fn buffered_tracer_feeds_subscribers_in_record_order() {
+        let probe = Arc::new(Mutex::new(Probe::default()));
+        let t = Tracer::enabled();
+        t.attach(Box::new(Arc::clone(&probe)));
+        t.set_now(SimTime::from_nanos(1));
+        t.emit(Event::SyncStart { sync: 1 });
+        let mut batch = vec![
+            TraceEvent { t: SimTime::from_nanos(2), ev: Event::SampleRejected { node: 0 } },
+            TraceEvent {
+                t: SimTime::from_nanos(4),
+                ev: Event::SyncEnd { sync: 1, overhead_s: 0.0 },
+            },
+        ];
+        t.emit_drain(&mut batch);
+        assert_eq!(t.len(), 3, "buffered mode still keeps every event");
+        assert_eq!(probe.lock().unwrap().seen, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn attach_on_disabled_tracer_is_a_no_op() {
+        let probe = Arc::new(Mutex::new(Probe::default()));
+        let t = Tracer::off();
+        t.attach(Box::new(Arc::clone(&probe)));
+        t.emit(Event::SyncStart { sync: 1 });
+        assert!(probe.lock().unwrap().seen.is_empty());
     }
 }

@@ -33,11 +33,14 @@ echo "==> scheduler invariants: cargo test -p sched"
 cargo test -q --offline -p sched
 
 echo "==> machine determinism: machine_sweep at POLIMER_THREADS=1 vs 4 vs committed JSON (audited)"
-SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 ./target/release/machine_sweep --quiet --audit >/dev/null
+SEESAW_RESULTS_DIR="$a" SEESAW_TRACE="$c/m1.jsonl" POLIMER_THREADS=1 \
+    ./target/release/machine_sweep --quiet --audit >/dev/null
 SEESAW_RESULTS_DIR="$b" POLIMER_THREADS=4 ./target/release/machine_sweep --quiet --audit >/dev/null
 diff "$a/machine_sweep.json" "$b/machine_sweep.json"
 diff "$b/machine_sweep.json" results/machine_sweep.json
 diff "$a/audit_machine_sweep.json" "$b/audit_machine_sweep.json"
+diff "$a/health_machine_sweep.json" "$b/health_machine_sweep.json"
+diff "$a/metrics_machine_sweep.json" "$b/metrics_machine_sweep.json"
 
 echo "==> fleet invariants: cargo test -p fleet"
 cargo test -q --offline -p fleet
@@ -52,6 +55,8 @@ diff "$b/fleet_sweep.json" results/fleet_sweep.json
 diff "$c/fleet1.jsonl" "$c/fleet4.jsonl"
 test -s "$c/fleet1.jsonl"
 diff "$a/audit_fleet_sweep.json" "$b/audit_fleet_sweep.json"
+diff "$a/health_fleet_sweep.json" "$b/health_fleet_sweep.json"
+diff "$a/metrics_fleet_sweep.json" "$b/metrics_fleet_sweep.json"
 
 echo "==> trace determinism: run_experiment JSONL + audit report at POLIMER_THREADS=1 vs 4"
 SEESAW_TRACE="$c/t1.jsonl" SEESAW_AUDIT=1 SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 \
@@ -61,9 +66,38 @@ SEESAW_TRACE="$c/t4.jsonl" SEESAW_AUDIT=1 SEESAW_RESULTS_DIR="$b" POLIMER_THREAD
 diff "$c/t1.jsonl" "$c/t4.jsonl"
 test -s "$c/t1.jsonl"
 diff "$a/audit_run_experiment.json" "$b/audit_run_experiment.json"
+diff "$a/health_run_experiment.json" "$b/health_run_experiment.json"
+diff "$a/metrics_run_experiment.json" "$b/metrics_run_experiment.json"
 
 echo "==> trace audit: invariant battery over the serialized trace"
 ./target/release/audit_trace --quiet "$c/t1.jsonl"
+
+# Every bin's serialized trace must audit to byte-identical reports down
+# the batch path (whole file -> Vec -> battery) and the streaming path
+# (line by line, constant memory) — and the streamed file replay must
+# reproduce the *live* in-process audit the bins just wrote, snapshots
+# and registry included.
+echo "==> streaming audit equivalence: batch vs --stream vs live, byte-identical"
+mkdir -p "$c/batch" "$c/stream"
+./target/release/audit_trace --quiet --json "$c/batch" \
+    "$c/m1.jsonl" "$c/fleet1.jsonl" "$c/t1.jsonl"
+./target/release/audit_trace --stream --quiet --json "$c/stream" \
+    "$c/m1.jsonl" "$c/fleet1.jsonl" "$c/t1.jsonl"
+for stem in m1 fleet1 t1; do
+    diff "$c/batch/audit_$stem.json" "$c/stream/audit_$stem.json"
+done
+diff "$c/stream/audit_m1.json" "$a/audit_machine_sweep.json"
+diff "$c/stream/health_m1.json" "$a/health_machine_sweep.json"
+diff "$c/stream/metrics_m1.json" "$a/metrics_machine_sweep.json"
+diff "$c/stream/audit_fleet1.json" "$a/audit_fleet_sweep.json"
+diff "$c/stream/health_fleet1.json" "$a/health_fleet_sweep.json"
+diff "$c/stream/metrics_fleet1.json" "$a/metrics_fleet_sweep.json"
+diff "$c/stream/audit_t1.json" "$a/audit_run_experiment.json"
+diff "$c/stream/health_t1.json" "$a/health_run_experiment.json"
+diff "$c/stream/metrics_t1.json" "$a/metrics_run_experiment.json"
+diff "$a/audit_fleet_sweep.json" results/audit_fleet_sweep.json
+diff "$a/health_fleet_sweep.json" results/health_fleet_sweep.json
+diff "$a/metrics_fleet_sweep.json" results/metrics_fleet_sweep.json
 
 # The bench itself exits nonzero when a kernel promise breaks: an
 # absolute ns/pair ceiling, the T1 dispatch-overhead speedup floor, or a
@@ -73,11 +107,11 @@ echo "==> kernel perf gate: md_kernels ns/pair ceilings + T1 speedup floor + all
 SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench md_kernels -- --quick
 test -s "$c/BENCH_kernels.json"
 
-echo "==> tracing overhead record: trace_overhead on/off bench (<50% gate)"
+echo "==> tracing overhead record: trace_overhead off/on/export/audit bench (on <75%, streaming audit <900%)"
 SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench trace_overhead -- --quick
 test -s "$c/BENCH_trace.json"
 
 echo "==> perf-regression gate: bench_gate vs committed baselines"
 ./target/release/bench_gate --fresh "$c" --quiet
 
-echo "OK: build + tests green, clippy + fmt clean, sweeps/traces thread-count invariant, audits clean, bench gate passed"
+echo "OK: build + tests green, clippy + fmt clean, sweeps/traces thread-count invariant, audits clean (batch ≡ stream ≡ live), bench gate passed"

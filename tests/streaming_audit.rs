@@ -1,0 +1,121 @@
+//! Gates for the streaming observability pipeline: the live audit that
+//! rides [`obs::EventSubscriber`] must be a drop-in replacement for the
+//! batch engine — same report bytes, no buffered trace — and all of its
+//! outputs (report, run-health snapshots, metric registry) must be
+//! bit-identical across `POLIMER_THREADS` settings, the same contract
+//! the results and trace files already obey.
+
+use audit::{AuditReport, StreamAuditor, Trace};
+use insitu::{run_job_traced, JobConfig};
+use mdsim::workload::WorkloadSpec;
+use mdsim::AnalysisKind;
+use obs::Tracer;
+use std::sync::{Arc, Mutex};
+
+fn quick_cfg() -> JobConfig {
+    let mut spec = WorkloadSpec::paper(16, 8, 1, &[AnalysisKind::Vacf]);
+    spec.total_steps = 40;
+    JobConfig::new(spec, "seesaw")
+}
+
+/// Live-audit one fixed-seed run at a worker-pool size. The tracer is
+/// the streaming (buffer-less) one: every event flows through the
+/// subscriber and is dropped, so the audit sees the run in constant
+/// memory. Returns the three serialized outputs.
+fn live_outputs_at(threads: usize) -> (String, String, String) {
+    par::with_threads(threads, || {
+        let tracer = Tracer::streaming();
+        let auditor = Arc::new(Mutex::new(StreamAuditor::new()));
+        tracer.attach(Box::new(Arc::clone(&auditor)));
+        run_job_traced(quick_cfg(), &tracer).expect("known controller");
+        assert_eq!(tracer.len(), 0, "streaming tracer must keep no event buffer");
+        drop(tracer);
+        let auditor = Arc::try_unwrap(auditor)
+            .unwrap_or_else(|_| panic!("tracer dropped, sole auditor handle remains"))
+            .into_inner()
+            .expect("auditor poisoned");
+        let o = auditor.finish();
+        (o.report.to_json(), audit::health_to_json(&o.health), o.registry.to_json())
+    })
+}
+
+#[test]
+fn live_audit_outputs_bit_identical_across_thread_counts() {
+    let (report, health, registry) = live_outputs_at(1);
+    assert!(!report.is_empty() && !health.is_empty() && !registry.is_empty());
+    for threads in [2, 4, 7] {
+        let (r, h, g) = live_outputs_at(threads);
+        assert_eq!(report, r, "audit report drifted at T={threads}");
+        assert_eq!(health, h, "health snapshots drifted at T={threads}");
+        assert_eq!(registry, g, "metric registry drifted at T={threads}");
+    }
+}
+
+#[test]
+fn live_audit_matches_batch_and_file_replay() {
+    // One run, observed three ways: live through the subscriber seam,
+    // batch over the parsed trace, and streamed line-by-line from the
+    // serialized file. All three reports must be byte-identical.
+    let tracer = Tracer::enabled();
+    let live = Arc::new(Mutex::new(StreamAuditor::new()));
+    tracer.attach(Box::new(Arc::clone(&live)));
+    run_job_traced(quick_cfg(), &tracer).expect("known controller");
+    let jsonl = tracer.to_jsonl();
+    assert!(!jsonl.is_empty(), "buffered tracer still serializes the run");
+    drop(tracer);
+
+    let live = Arc::try_unwrap(live)
+        .unwrap_or_else(|_| panic!("sole handle"))
+        .into_inner()
+        .expect("poisoned");
+    let live = live.finish();
+
+    let batch = AuditReport::from_trace(&Trace::parse_jsonl(&jsonl).expect("strict parse"));
+
+    let mut replay = StreamAuditor::new();
+    for line in jsonl.lines() {
+        replay.feed_line(line).expect("serialized lines re-parse");
+    }
+    let replay = replay.finish();
+
+    assert!(batch.clean(), "the reference run must audit clean");
+    assert_eq!(live.report.to_json(), batch.to_json(), "live vs batch report");
+    assert_eq!(replay.report.to_json(), batch.to_json(), "file replay vs batch report");
+    assert_eq!(
+        audit::health_to_json(&live.health),
+        audit::health_to_json(&replay.health),
+        "live vs replay health snapshots"
+    );
+    assert_eq!(live.registry.to_json(), replay.registry.to_json(), "live vs replay registry");
+    assert!(!live.health.is_empty(), "a real run yields run-health snapshots");
+}
+
+#[test]
+fn doctored_trace_fails_streaming_and_batch_alike() {
+    // Shrink the advertised power budget in the run header: every real
+    // allocation now exceeds it, so the budget checker (AUDIT0004) must
+    // fire — identically down both engines.
+    let tracer = Tracer::enabled();
+    run_job_traced(quick_cfg(), &tracer).expect("known controller");
+    let jsonl = tracer.to_jsonl();
+    let i = jsonl.find("\"budget_w\":").expect("run header carries a budget") + 11;
+    let end = i + jsonl[i..].find(',').expect("header has more fields");
+    let doctored = format!("{}1{}", &jsonl[..i], &jsonl[end..]);
+    assert_ne!(doctored, jsonl, "the tamper must change the trace");
+
+    let batch = AuditReport::from_trace(&Trace::parse_jsonl(&doctored).expect("still parses"));
+    let mut auditor = StreamAuditor::new();
+    for line in doctored.lines() {
+        auditor.feed_line(line).expect("doctored lines still parse");
+    }
+    let streamed = auditor.finish().report;
+
+    assert!(!batch.clean(), "tampered budget must fail the batch audit");
+    assert!(!streamed.clean(), "tampered budget must fail the streaming audit");
+    assert!(
+        streamed.violations.iter().any(|v| v.to_string().contains("AUDIT0004")),
+        "budget diagnostic expected, got: {:?}",
+        streamed.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+    );
+    assert_eq!(streamed.to_json(), batch.to_json(), "engines must agree on the failure");
+}

@@ -669,13 +669,14 @@ pub fn check_envelope(trace: &Trace, out: &mut Vec<Violation>) {
 
 #[derive(Debug, Default)]
 struct FaultChecker {
-    /// (sync0, node, tag) of every recovery in the open evidence window.
+    /// (sync, node, tag) of every recovery in the open evidence window
+    /// (1-based sync, matching SyncStart/SyncEnd).
     recoveries: BTreeSet<(u64, u64, String)>,
     /// Intervals (1-based) in the window with at least one cap request.
     cap_intervals: BTreeSet<u64>,
     /// (interval, node) pairs in the window with an accepted sample.
     samples: BTreeSet<(u64, u64)>,
-    /// Faults awaiting their evidence interval's close: (sync0, node, tag).
+    /// Faults awaiting their evidence interval's close: (sync, node, tag).
     pending: Vec<(u64, u64, String)>,
     open: Option<u64>,
     out: Vec<Violation>,
@@ -691,7 +692,7 @@ fn judge_fault(
     n: u64,
     tag: &str,
 ) {
-    let interval = s + 1;
+    let interval = s;
     let has = |t: &str| recoveries.contains(&(s, n, t.to_string()));
     let has_any_node = |t: &str| recoveries.iter().any(|(rs, _, rt)| *rs == s && rt == t);
     let ok = match tag {
@@ -718,7 +719,7 @@ fn judge_fault(
         // Perturbations the stack absorbs without a discrete action.
         "straggler" | "rapl_stuck" | "rapl_delayed" | "message_loss" => true,
         other => {
-            v(out, diag::FAULTS, format!("unknown fault tag \"{other}\" at ordinal {s}"));
+            v(out, diag::FAULTS, format!("unknown fault tag \"{other}\" in sync {s}"));
             true
         }
     };
@@ -727,7 +728,7 @@ fn judge_fault(
             out,
             diag::FAULTS,
             format!(
-                "fault \"{tag}\" on node {n} at ordinal {s} has no matching \
+                "fault \"{tag}\" on node {n} in sync {s} has no matching \
                  graceful-degradation action"
             ),
         );
@@ -741,13 +742,13 @@ impl FaultChecker {
             EventKind::SyncEnd { sync, .. } => {
                 self.open = None;
                 let k = *sync;
-                // Interval k just closed: every fault of ordinal ≤ k−1 has
-                // its full evidence window in hand — judge it now, then
-                // prune the evidence the remaining (later-ordinal) faults
-                // can no longer need.
+                // Interval k just closed: every fault landing in sync ≤ k
+                // has its full evidence window in hand — judge it now, then
+                // prune the evidence the remaining (later) faults can no
+                // longer need.
                 let pending = std::mem::take(&mut self.pending);
                 for (s, n, tag) in pending {
-                    if s < k {
+                    if s <= k {
                         judge_fault(
                             &mut self.out,
                             &self.recoveries,
@@ -761,7 +762,7 @@ impl FaultChecker {
                         self.pending.push((s, n, tag));
                     }
                 }
-                self.recoveries.retain(|(rs, _, _)| *rs >= k);
+                self.recoveries.retain(|(rs, _, _)| *rs > k);
                 self.samples.retain(|(ri, _)| *ri > k);
                 self.cap_intervals.retain(|ri| *ri > k);
             }
@@ -801,10 +802,10 @@ impl FaultChecker {
     }
 }
 
-/// Fault → graceful-degradation pairing (batch wrapper). The numbering is
-/// the 0-based plan ordinal carried on both fault and recovery events;
-/// interval `k` (1-based) hosts the faults of ordinal `k - 1`, so each
-/// fault is judged when interval `k` closes.
+/// Fault → graceful-degradation pairing (batch wrapper). Fault and
+/// recovery events carry the 1-based sync they landed in (matching
+/// SyncStart/SyncEnd), so each fault is judged when its own interval
+/// closes.
 pub fn check_faults(trace: &Trace, out: &mut Vec<Violation>) {
     let mut c = FaultChecker::default();
     for ev in &trace.events {
@@ -1688,7 +1689,7 @@ mod tests {
         let trace = Trace {
             events: vec![
                 ev(0, EventKind::SyncStart { sync: 3 }),
-                ev(1, EventKind::Fault { sync: 2, node: 1, tag: "rapl_write_error".into() }),
+                ev(1, EventKind::Fault { sync: 3, node: 1, tag: "rapl_write_error".into() }),
                 ev(2, EventKind::SyncEnd { sync: 3, overhead_s: 0.0 }),
             ],
         };
@@ -1702,7 +1703,7 @@ mod tests {
         let trace = Trace {
             events: vec![
                 ev(0, EventKind::SyncStart { sync: 3 }),
-                ev(1, EventKind::Fault { sync: 2, node: 1, tag: "sample_spike".into() }),
+                ev(1, EventKind::Fault { sync: 3, node: 1, tag: "sample_spike".into() }),
                 ev(
                     2,
                     EventKind::Sample {

@@ -1,7 +1,10 @@
 //! Figure 5: allocated vs measured power per node between synchronizations
-//! at 1024 nodes (all analyses, dim = 48), SeeSAw vs time-aware, with
+//! at scale (all analyses, dim = 48), SeeSAw vs time-aware, with
 //! normalized slack — the paper's demonstration that low time difference
 //! at low power is not an energy-efficient state.
+//!
+//! Swept over node counts (128 → 1024) so the committed artifact records
+//! how the allocation gap and slack behave as the partition grows.
 
 use bench::{cli, print_table, total_steps, write_json};
 use insitu::{run_job, JobConfig};
@@ -9,6 +12,7 @@ use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
 
 struct Point {
+    nodes: usize,
     controller: String,
     sync: u64,
     sim_cap_w: f64,
@@ -18,6 +22,7 @@ struct Point {
     slack: f64,
 }
 bench::json_struct!(Point {
+    nodes,
     controller,
     sync,
     sim_cap_w,
@@ -30,23 +35,29 @@ bench::json_struct!(Point {
 fn main() {
     let args = cli::CommonArgs::parse("fig5_scale");
     let rep = args.reporter();
-    let nodes = if args.quick { 128 } else { 1024 };
-    let mut spec = WorkloadSpec::paper(48, nodes, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
-    spec.total_steps = total_steps();
-
-    // The two controller runs are independent jobs: dispatch them across
-    // the worker pool, then assemble points/summary serially in the fixed
-    // controller order so the JSON is byte-identical to the serial sweep.
+    let node_counts: &[usize] = if args.quick { &[128] } else { &[128, 256, 512, 1024] };
     let ctls = ["seesaw", "time-aware"];
-    let runs = par::global().par_map_indexed(ctls.len(), |i| {
-        run_job(JobConfig::new(spec.clone(), ctls[i])).expect("known controller")
+
+    // Each (node count, controller) pair is an independent job: dispatch
+    // the whole grid across the worker pool, then assemble points/summary
+    // serially in the fixed sweep order so the JSON is byte-identical to
+    // the serial sweep.
+    let cells: Vec<(usize, &str)> =
+        node_counts.iter().flat_map(|&n| ctls.iter().map(move |&c| (n, c))).collect();
+    let runs = par::global().par_map_indexed(cells.len(), |i| {
+        let (nodes, ctl) = cells[i];
+        let mut spec = WorkloadSpec::paper(48, nodes, 1, &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf]);
+        spec.total_steps = total_steps();
+        run_job(JobConfig::new(spec, ctl)).expect("known controller")
     });
 
     let mut points = Vec::new();
     let mut summary = Vec::new();
-    for (&ctl, r) in ctls.iter().zip(&runs) {
+    for (&(nodes, ctl), r) in cells.iter().zip(&runs) {
+        let start = points.len();
         for s in &r.syncs {
             points.push(Point {
+                nodes,
                 controller: ctl.to_string(),
                 sync: s.index,
                 sim_cap_w: s.sim_cap_w,
@@ -56,11 +67,11 @@ fn main() {
                 slack: s.slack,
             });
         }
-        let tail: Vec<&Point> =
-            points.iter().filter(|p| p.controller == ctl && p.sync >= 10).collect();
+        let tail: Vec<&Point> = points[start..].iter().filter(|p| p.sync >= 10).collect();
         let mean =
             |f: fn(&Point) -> f64| tail.iter().map(|p| f(p)).sum::<f64>() / tail.len() as f64;
         summary.push(vec![
+            nodes.to_string(),
             ctl.to_string(),
             format!("{:.1}", mean(|p| p.sim_cap_w)),
             format!("{:.1}", mean(|p| p.sim_measured_w)),
@@ -71,11 +82,23 @@ fn main() {
         ]);
     }
 
-    rep.say(format!("Fig. 5 — allocated vs measured power, {nodes} nodes, all analyses, dim 48"));
+    rep.say(format!(
+        "Fig. 5 — allocated vs measured power, {:?} nodes, all analyses, dim 48",
+        node_counts
+    ));
     rep.blank();
     print_table(
         &rep,
-        &["controller", "S cap W", "S measured W", "A cap W", "A measured W", "slack", "total s"],
+        &[
+            "nodes",
+            "controller",
+            "S cap W",
+            "S measured W",
+            "A cap W",
+            "A measured W",
+            "slack",
+            "total s",
+        ],
         &summary,
     );
     rep.blank();
@@ -84,5 +107,12 @@ fn main() {
     rep.say("time-aware approach drives the gap to δ_min and degrades severely even");
     rep.say("though its normalized slack looks near zero.");
     write_json(&rep, "fig5_scale", &points);
+    let mut spec = WorkloadSpec::paper(
+        48,
+        *node_counts.last().unwrap(),
+        1,
+        &[K::Rdf, K::Msd1d, K::Msd2d, K::Vacf],
+    );
+    spec.total_steps = total_steps();
     cli::export_trace("fig5_scale", &args, &rep, &JobConfig::new(spec, "seesaw"));
 }

@@ -14,6 +14,7 @@ use bench::{cli, print_table, total_steps, write_json};
 use insitu::JobConfig;
 use mdsim::workload::WorkloadSpec;
 use mdsim::AnalysisKind as K;
+use obs::Reporter;
 use sched::{JobSpec, MachineSpec, Policy, Scheduler};
 
 /// One machine configuration + job mix; run once per policy.
@@ -133,9 +134,77 @@ fn run_scenario(sc: &Scenario, policy: Policy) -> Row {
     }
 }
 
+/// The paper's full machine: Theta's 4392 nodes in one job, quiet noise
+/// so the event-driven cluster core buckets the homogeneous partitions
+/// instead of walking every node per interval. Writes
+/// `machine_sweep_theta.json`; the representative run streams through the
+/// live auditor in constant memory under `--audit`.
+fn run_theta(args: &cli::CommonArgs, rep: &Reporter) {
+    const THETA_NODES: usize = 4392;
+    let steps = if args.quick { 20 } else { total_steps() / 2 };
+    let mk_job = || {
+        let mut spec = WorkloadSpec::paper(48, THETA_NODES, 1, &[K::Rdf, K::Vacf]);
+        spec.total_steps = steps;
+        JobConfig::new(spec, "seesaw").with_seed(404, 0).with_quiet_noise()
+    };
+    let sc = Scenario {
+        name: "theta-4392",
+        nodes: THETA_NODES,
+        envelope_w: 110.0 * THETA_NODES as f64,
+        jobs: vec![JobSpec::at_start(mk_job())],
+        kills: faults::JobFaultPlan::none(),
+    };
+    let policies: &[Policy] = if args.quick { &[Policy::EnergyFeedback] } else { &Policy::all() };
+    let rows: Vec<Row> = policies.iter().map(|&p| run_scenario(&sc, p)).collect();
+
+    rep.say("Machine sweep — full Theta (4392 nodes), one machine-spanning job");
+    rep.blank();
+    print_table(
+        rep,
+        &["scenario", "policy", "jobs", "done", "killed", "makespan s", "mean done s", "MJ"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.policy.clone(),
+                    format!("{}", r.jobs),
+                    format!("{}", r.completed),
+                    format!("{}", r.killed),
+                    format!("{:.1}", r.makespan_s),
+                    format!("{:.1}", r.mean_completion_s),
+                    format!("{:.2}", r.total_energy_j / 1e6),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json(rep, "machine_sweep_theta", &rows);
+
+    if args.wants_trace() || args.audit {
+        let mut spec = MachineSpec::new(sc.nodes, sc.envelope_w, Policy::EnergyFeedback);
+        spec.syncs_per_epoch = 5;
+        let session = cli::trace_session(args);
+        let mut s = Scheduler::new(spec, sc.jobs.clone()).expect("known controllers");
+        s.set_tracer(&session.tracer);
+        let _ = s.run();
+        cli::finish_session("machine_sweep_theta", args, rep, session);
+    }
+}
+
 fn main() {
-    let args = cli::CommonArgs::parse("machine_sweep");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let theta = argv.iter().any(|a| a == "--theta");
+    let rest: Vec<String> = argv.into_iter().filter(|a| a != "--theta").collect();
+    let mut args = match cli::try_parse(&rest) {
+        Ok(a) => a,
+        Err(msg) => cli::usage_error("machine_sweep", &msg),
+    };
+    args.env_fallback();
     let rep = args.reporter();
+    if theta {
+        run_theta(&args, &rep);
+        return;
+    }
     let steps = total_steps() / 2;
     let scs = scenarios(steps);
 

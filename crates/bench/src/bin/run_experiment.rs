@@ -28,6 +28,7 @@ fn usage() -> ! {
                       [--analyses rdf,vacf,msd,msd1d,msd2d] [--budget W]
                       [--window W] [--seed S] [--sim-cap W --analysis-cap W]
                       [--no-baseline] [--dump-syncs] [--quiet]
+                      [--quiet-noise] [--step auto|dense]
                       [--trace FILE] [--trace-perfetto FILE] [--audit]
 
 env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply trace paths when the flags are
@@ -66,6 +67,8 @@ fn main() {
     let mut analysis_cap = None;
     let mut baseline = true;
     let mut dump_syncs = false;
+    let mut quiet_noise = false;
+    let mut step = insitu::StepMode::Auto;
     let mut common = cli::CommonArgs::default();
 
     let mut it = args.iter();
@@ -89,6 +92,17 @@ fn main() {
             }
             "--no-baseline" => baseline = false,
             "--dump-syncs" => dump_syncs = true,
+            "--quiet-noise" => quiet_noise = true,
+            "--step" => {
+                step = match val().as_str() {
+                    "auto" => insitu::StepMode::Auto,
+                    "dense" => insitu::StepMode::Dense,
+                    other => {
+                        eprintln!("{BIN}: unknown step mode {other:?}");
+                        usage()
+                    }
+                }
+            }
             "--quiet" => common.quiet = true,
             "--trace" => common.trace = Some(val().into()),
             "--trace-perfetto" => common.perfetto = Some(val().into()),
@@ -106,7 +120,11 @@ fn main() {
     let mut spec = WorkloadSpec::paper(dim, nodes, sync_every, &[]);
     spec.analyses = kinds.iter().map(|&k| AnalysisSchedule::every_sync(k)).collect();
     spec.total_steps = steps;
-    let mut cfg = JobConfig::new(spec, &controller).with_budget(budget).with_window(window);
+    let mut cfg =
+        JobConfig::new(spec, &controller).with_budget(budget).with_window(window).with_step(step);
+    if quiet_noise {
+        cfg = cfg.with_quiet_noise();
+    }
     cfg.seed.job = seed;
     if let (Some(s), Some(a)) = (sim_cap, analysis_cap) {
         cfg = cfg.with_initial_caps(s, a);

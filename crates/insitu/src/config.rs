@@ -4,6 +4,19 @@ use faults::FaultPlan;
 use mdsim::workload::WorkloadSpec;
 use theta_sim::{CapMode, MachineConfig, NoiseSeed};
 
+/// How the runtime advances the cluster through each sync interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepMode {
+    /// Event-driven stepping when the run qualifies (quiet noise): nodes in
+    /// identical state share one representative walk on the DES queue, and
+    /// the rest adopt it. Falls back to dense stepping — bit-identically —
+    /// whenever noise makes per-node evolution stochastic.
+    Auto,
+    /// Always walk every node phase-by-phase (the reference semantics; the
+    /// dense-vs-sparse equivalence gates pin `Auto` against this).
+    Dense,
+}
+
 /// Everything needed to execute one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobConfig {
@@ -33,6 +46,13 @@ pub struct JobConfig {
     /// injects nothing and leaves the run byte-identical to a fault-free
     /// build.
     pub faults: FaultPlan,
+    /// Silence the noise model entirely (all sigmas zero, nominal
+    /// efficiencies). Quiet runs evolve deterministically per node state,
+    /// which is what lets [`StepMode::Auto`] bucket homogeneous nodes —
+    /// the scaling configuration for full-Theta node counts.
+    pub quiet_noise: bool,
+    /// Stepping strategy (see [`StepMode`]).
+    pub step: StepMode,
 }
 
 impl JobConfig {
@@ -50,6 +70,8 @@ impl JobConfig {
             record_traces: false,
             machine: MachineConfig::theta(),
             faults: FaultPlan::none(),
+            quiet_noise: false,
+            step: StepMode::Auto,
         }
     }
 
@@ -102,6 +124,19 @@ impl JobConfig {
     /// Builder: attach a deterministic fault schedule.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Builder: silence the noise model (enables bucketed stepping at
+    /// scale under [`StepMode::Auto`]).
+    pub fn with_quiet_noise(mut self) -> Self {
+        self.quiet_noise = true;
+        self
+    }
+
+    /// Builder: force a stepping strategy.
+    pub fn with_step(mut self, step: StepMode) -> Self {
+        self.step = step;
         self
     }
 }

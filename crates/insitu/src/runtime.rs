@@ -13,8 +13,9 @@
 //!    allocation overhead extends the interval, exactly as the paper
 //!    accounts it (§VI-B).
 
-use crate::config::JobConfig;
+use crate::config::{JobConfig, StepMode};
 use crate::result::{RunResult, SyncRecord};
+use crate::stepper::{self, NodeCtx};
 use des::{SimDuration, SimTime};
 use faults::{FaultEvent, FaultKind, RecoveryEvent, RecoveryKind};
 use mdsim::workload::{AnalyticWorkload, StepWork, WorkloadGen};
@@ -24,7 +25,7 @@ use seesaw::{
     Controller, Limits, PowerAware, PowerAwareConfig, Role, SeeSaw, SeeSawConfig, StaticAlloc,
     TimeAware, TimeAwareConfig, UnknownController,
 };
-use theta_sim::{Cluster, PhaseKind, Work};
+use theta_sim::{Cluster, MachineConfig, NoiseSigmas, PhaseKind, Work};
 
 /// Minimum accounted interval time (guards division by zero on degenerate
 /// configurations).
@@ -98,6 +99,13 @@ pub struct Runtime {
     workload: Box<dyn WorkloadGen>,
     sim_nodes: Vec<usize>,
     ana_nodes: Vec<usize>,
+    /// Every node id, cached so per-epoch energy queries allocate nothing.
+    all_nodes: Vec<usize>,
+    /// The machine model, cached off the cluster so the interval loop never
+    /// clones it.
+    machine: MachineConfig,
+    /// Event-driven bucketed stepping (quiet noise under [`StepMode::Auto`]).
+    sparse: bool,
     tracer: obs::Tracer,
     // Stepping state (owned here so `run` is just a step loop).
     t: SimTime,
@@ -148,7 +156,17 @@ impl Runtime {
         let caps: Vec<f64> = (0..n)
             .map(|i| if i < spec.sim_nodes { cfg.sim_cap0_w() } else { cfg.analysis_cap0_w() })
             .collect();
-        let cluster = Cluster::with_caps(cfg.machine.clone(), &caps, cfg.cap_mode, cfg.seed);
+        let cluster = if cfg.quiet_noise {
+            Cluster::with_caps_sigmas(
+                cfg.machine.clone(),
+                &caps,
+                cfg.cap_mode,
+                NoiseSigmas::zero(),
+                cfg.seed,
+            )
+        } else {
+            Cluster::with_caps(cfg.machine.clone(), &caps, cfg.cap_mode, cfg.seed)
+        };
 
         // Two ranks per node: the monitor plus a peer, so monitor death
         // has a surviving rank to promote. Per-node times are already
@@ -164,6 +182,9 @@ impl Runtime {
             5.0e-6,
         );
         let sync_count = spec.sync_count();
+        let all_nodes: Vec<usize> = (0..n).collect();
+        let machine = cfg.machine.clone();
+        let sparse = cfg.step == StepMode::Auto && cluster.noise().is_quiet();
         Runtime {
             cfg,
             cluster,
@@ -171,6 +192,9 @@ impl Runtime {
             workload,
             sim_nodes,
             ana_nodes,
+            all_nodes,
+            machine,
+            sparse,
             tracer: obs::Tracer::off(),
             t: SimTime::ZERO,
             next_sync: 1,
@@ -218,9 +242,13 @@ impl Runtime {
         }
     }
 
-    /// Execute the run to completion.
+    /// Execute the run to completion. Node histories are compacted between
+    /// intervals (unless the run records power traces, which need them), so
+    /// memory stays O(active segments + intervals) regardless of run length.
     pub fn run(mut self) -> RunResult {
-        while self.step_sync() {}
+        while self.step_sync() {
+            self.compact_history();
+        }
         self.finish()
     }
 
@@ -250,8 +278,28 @@ impl Runtime {
     /// Energy consumed by all the job's nodes over `[t0, now)`, joules —
     /// the machine governor's feedback metric (`E = T·P`).
     pub fn energy_since(&self, t0: SimTime) -> f64 {
-        let all: Vec<usize> = self.sim_nodes.iter().chain(&self.ana_nodes).copied().collect();
-        self.cluster.total_energy(&all, t0, self.t.max(t0))
+        self.cluster.total_energy(&self.all_nodes, t0, self.t.max(t0))
+    }
+
+    /// Prune node draw histories up to the current clock. Every future
+    /// energy query — windows starting at or after now, and `[ZERO, ·)`
+    /// run totals — keeps answering bit-identically (the pruned prefix is
+    /// folded exactly, see [`theta_sim::Node::compact_history`]). A no-op
+    /// when the job records power traces, which replay the full series.
+    ///
+    /// [`Runtime::run`] calls this between intervals; an embedder stepping
+    /// the job via [`Runtime::step_sync`] calls it once its own windowed
+    /// reads of the elapsed span are done (the machine scheduler does so
+    /// after each epoch's [`Runtime::energy_since`]).
+    pub fn compact_history(&mut self) {
+        if !self.cfg.record_traces {
+            self.cluster.compact_history(self.t);
+        }
+    }
+
+    /// Total retained draw samples across the cluster (memory-bound tests).
+    pub fn history_segments(&self) -> usize {
+        self.cluster.history_segments()
     }
 
     /// Execute one synchronization interval. Returns `false` when the job
@@ -260,10 +308,7 @@ impl Runtime {
         if self.is_done() {
             return false;
         }
-        let spec = self.cfg.workload.clone();
-        let plan = self.cfg.faults.clone();
-        let machine = self.cluster.config().clone();
-        let j = spec.sync_every;
+        let j = self.cfg.workload.sync_every;
         let sync_k = self.next_sync;
         self.next_sync += 1;
 
@@ -280,20 +325,24 @@ impl Runtime {
                         sim_nodes: self.sim_nodes.len(),
                         analysis_nodes: self.ana_nodes.len(),
                         budget_w: self.cfg.budget_w(),
-                        min_cap_w: machine.min_cap_w,
-                        max_cap_w: machine.max_cap_w(),
-                        actuation_ns: machine.cap_actuation.as_nanos(),
+                        min_cap_w: self.machine.min_cap_w,
+                        max_cap_w: self.machine.max_cap_w(),
+                        actuation_ns: self.machine.cap_actuation.as_nanos(),
                     });
                 }
                 self.tracer.emit(obs::Event::SyncStart { sync: sync_k });
             }
             let faults_before = self.fault_log.len();
             let recoveries_before = self.recovery_log.len();
-            let sf = self.inject_faults(&plan, sync0);
+            let events: Vec<FaultEvent> = self.cfg.faults.events_at(sync0).copied().collect();
+            let sf = self.inject_faults(events);
             if self.tracer.is_enabled() {
+                // Trace-side sync indices are uniformly 1-based (matching
+                // SyncStart/SyncEnd); only the fault *plan* and the result
+                // logs keep the 0-based interval numbering.
                 for ev in &self.fault_log[faults_before..] {
                     self.tracer.emit(obs::Event::Fault {
-                        sync: sync0,
+                        sync: sync_k,
                         node: ev.node,
                         tag: ev.kind.tag(),
                     });
@@ -301,13 +350,28 @@ impl Runtime {
             }
 
             // --- Watchdog: a partition with no survivors ends the coupled
-            // job gracefully (nothing left to synchronize against).
+            // job gracefully (nothing left to synchronize against). The
+            // interval still closes with a balanced SyncEnd/SyncEnergy —
+            // zero overhead, zero energy, no time elapsed — so the trace
+            // needs no halted-run special case downstream.
             let sim_alive: Vec<usize> =
                 self.sim_nodes.iter().copied().filter(|&n| self.manager.is_alive(n)).collect();
             let ana_alive: Vec<usize> =
                 self.ana_nodes.iter().copied().filter(|&n| self.manager.is_alive(n)).collect();
             if sim_alive.is_empty() || ana_alive.is_empty() {
                 self.halted = true;
+                if self.tracer.is_enabled() {
+                    self.cluster.flush_trace();
+                    for rec in &self.recovery_log[recoveries_before..] {
+                        self.tracer.emit(obs::Event::Recovery {
+                            sync: sync_k,
+                            node: rec.node,
+                            tag: rec.kind.tag(),
+                        });
+                    }
+                    self.tracer.emit(obs::Event::SyncEnd { sync: sync_k, overhead_s: 0.0 });
+                    self.tracer.emit(obs::Event::SyncEnergy { sync: sync_k, energy_j: 0.0 });
+                }
                 return true;
             }
 
@@ -316,37 +380,50 @@ impl Runtime {
             let steps: Vec<StepWork> =
                 ((sync_k - 1) * j + 1..=sync_k * j).map(|s| self.workload.step_work(s)).collect();
 
-            // --- Simulation partition executes its phases.
+            // --- Simulation partition executes its phases (flattened in
+            // step order, exactly the order the per-node walk runs them).
+            let sim_phases: Vec<Work> =
+                steps.iter().flat_map(|sw| sw.sim_phases.iter().copied()).collect();
+            let sim_ctx: Vec<NodeCtx> = sim_alive
+                .iter()
+                .map(|&node| NodeCtx {
+                    node,
+                    sigma_scale: self.low_cap_jitter_scale(node),
+                    stretch: sf.straggle_factor(node),
+                })
+                .collect();
             let mut sim_arrivals = Vec::with_capacity(sim_alive.len());
-            for &node in &sim_alive {
-                let mut cursor = t0;
-                let sigma_scale = self.low_cap_jitter_scale(node);
-                let stretch = sf.straggle_factor(node);
-                for sw in &steps {
-                    for &w in &sw.sim_phases {
-                        let w = stretch_work(w, stretch);
-                        let jitter = self.cluster.noise_mut().phase_jitter_scaled(sigma_scale);
-                        cursor = self.cluster.node_mut(node).run_phase(&machine, cursor, w, jitter);
-                    }
-                }
-                sim_arrivals.push((node, cursor));
-            }
+            stepper::advance_partition(
+                &mut self.cluster,
+                &self.machine,
+                &sim_ctx,
+                &sim_phases,
+                t0,
+                self.sparse,
+                &mut sim_arrivals,
+            );
 
             // --- Analysis partition executes the sync step's phases.
-            let ana_phases: Vec<Work> =
-                steps.last().map(|s| s.analysis_phases.clone()).unwrap_or_default();
+            let ana_phases: &[Work] =
+                steps.last().map(|s| s.analysis_phases.as_slice()).unwrap_or(&[]);
+            let ana_ctx: Vec<NodeCtx> = ana_alive
+                .iter()
+                .map(|&node| NodeCtx {
+                    node,
+                    sigma_scale: self.low_cap_jitter_scale(node),
+                    stretch: sf.straggle_factor(node),
+                })
+                .collect();
             let mut ana_arrivals = Vec::with_capacity(ana_alive.len());
-            for &node in &ana_alive {
-                let mut cursor = t0;
-                let sigma_scale = self.low_cap_jitter_scale(node);
-                let stretch = sf.straggle_factor(node);
-                for &w in &ana_phases {
-                    let w = stretch_work(w, stretch);
-                    let jitter = self.cluster.noise_mut().phase_jitter_scaled(sigma_scale);
-                    cursor = self.cluster.node_mut(node).run_phase(&machine, cursor, w, jitter);
-                }
-                ana_arrivals.push((node, cursor));
-            }
+            stepper::advance_partition(
+                &mut self.cluster,
+                &self.machine,
+                &ana_ctx,
+                ana_phases,
+                t0,
+                self.sparse,
+                &mut ana_arrivals,
+            );
 
             // --- Rendezvous: the earlier side waits.
             let sim_latest = sim_arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t0);
@@ -382,7 +459,7 @@ impl Runtime {
                 );
             }
             for &(node, arrival) in sim_arrivals.iter().chain(&ana_arrivals) {
-                self.cluster.node_mut(node).wait_until(&machine, arrival, rendezvous);
+                self.cluster.node_mut(node).wait_until(&self.machine, arrival, rendezvous);
             }
             // Manager/controller events below are stamped at the rendezvous.
             self.tracer.set_now(rendezvous);
@@ -445,14 +522,13 @@ impl Runtime {
                             kind: RecoveryKind::CapWriteRetried,
                         });
                     }
-                    let cfg = machine.clone();
-                    self.cluster.node_mut(node).request_cap(&cfg, rendezvous, target);
+                    self.cluster.node_mut(node).request_cap(&self.machine, rendezvous, target);
                 }
             }
             // All nodes block while the allocation call runs.
             let t_end = rendezvous + outcome.overhead;
             for &(node, _, _) in &caps_now {
-                self.cluster.node_mut(node).wait_until(&machine, rendezvous, t_end);
+                self.cluster.node_mut(node).wait_until(&self.machine, rendezvous, t_end);
             }
             self.t = t_end;
             self.tracer.set_now(t_end);
@@ -462,7 +538,7 @@ impl Runtime {
                 self.cluster.flush_trace();
                 for rec in &self.recovery_log[recoveries_before..] {
                     self.tracer.emit(obs::Event::Recovery {
-                        sync: sync0,
+                        sync: sync_k,
                         node: rec.node,
                         tag: rec.kind.tag(),
                     });
@@ -474,11 +550,9 @@ impl Runtime {
                 // True interval energy (a pure read of the draw series):
                 // the per-sync series tiles [0, T], so the audit layer can
                 // close it against the run total.
-                let all: Vec<usize> =
-                    self.sim_nodes.iter().chain(&self.ana_nodes).copied().collect();
                 self.tracer.emit(obs::Event::SyncEnergy {
                     sync: sync_k,
-                    energy_j: self.cluster.total_energy(&all, t0, t_end),
+                    energy_j: self.cluster.total_energy(&self.all_nodes, t0, t_end),
                 });
             }
 
@@ -528,8 +602,7 @@ impl Runtime {
     pub fn finish(mut self) -> RunResult {
         let t = self.t;
         let total_time_s = t.as_secs_f64();
-        let all_nodes: Vec<usize> = self.sim_nodes.iter().chain(&self.ana_nodes).copied().collect();
-        let total_energy_j = self.cluster.total_energy(&all_nodes, SimTime::ZERO, t);
+        let total_energy_j = self.cluster.total_energy(&self.all_nodes, SimTime::ZERO, t);
         let (sim_trace, analysis_trace) = if self.cfg.record_traces {
             let sim = self.cluster.sample_trace(&self.sim_nodes, SimTime::ZERO, t);
             let ana = self.cluster.sample_trace(&self.ana_nodes, SimTime::ZERO, t);
@@ -541,7 +614,7 @@ impl Runtime {
             // Catch spans batched after the last interval close (halt paths).
             self.cluster.flush_trace();
             self.tracer.set_now(t);
-            for &node in &all_nodes {
+            for &node in &self.all_nodes {
                 self.tracer.emit(obs::Event::NodeEnergy {
                     node,
                     energy_j: self.cluster.total_energy(&[node], SimTime::ZERO, t),
@@ -568,9 +641,8 @@ impl Runtime {
     /// to the target node's actuator, and the rest into the [`SyncFaults`]
     /// the interval's feedback/exchange paths consume. Only faults that
     /// actually applied (live target) are logged.
-    fn inject_faults(&mut self, plan: &faults::FaultPlan, sync0: u64) -> SyncFaults {
+    fn inject_faults(&mut self, events: Vec<FaultEvent>) -> SyncFaults {
         let mut sf = SyncFaults::default();
-        let events: Vec<FaultEvent> = plan.events_at(sync0).copied().collect();
         for ev in events {
             let alive = self.manager.is_alive(ev.node);
             match ev.kind {
@@ -661,17 +733,6 @@ impl SyncFaults {
 
     fn spike_factor(&self, node: usize) -> Option<f64> {
         self.spike.iter().find(|&&(n, _)| n == node).map(|&(_, f)| f)
-    }
-}
-
-/// Stretch a phase's reference time by a straggler factor. `factor == 1`
-/// returns the work untouched (bit-for-bit), keeping the happy path and
-/// the RNG draw sequence identical.
-fn stretch_work(w: Work, factor: f64) -> Work {
-    if factor == 1.0 {
-        w
-    } else {
-        Work::scaled(w.kind, w.ref_secs * factor, w.demand_scale)
     }
 }
 

@@ -1,0 +1,199 @@
+//! The cluster stepping core: how one partition's nodes advance through a
+//! sync interval's phase list.
+//!
+//! Two strategies produce byte-identical results:
+//!
+//! * **Dense** — the reference semantics: every node walks every phase in
+//!   node order, drawing per-phase jitter from the shared noise stream.
+//!   O(nodes × phases) node touches per interval.
+//! * **Sparse** (event-driven, quiet runs only) — nodes whose evolution is
+//!   fully determined by their state (quiet noise, no straggler lottery)
+//!   are grouped into buckets by exact state fingerprint. One
+//!   representative per bucket walks the phases on the DES event queue —
+//!   buckets are only touched when the simulated clock reaches their next
+//!   completion time — and every other member adopts the representative's
+//!   walk verbatim. O(buckets × phases + nodes) per interval.
+//!
+//! Why the equivalence holds:
+//!
+//! * Bucketed nodes consume **zero** randomness: the noise model's
+//!   zero-sigma fast paths return without drawing, so skipping them leaves
+//!   the shared RNG streams exactly where dense stepping would.
+//! * Nodes operating below the power cliff carry a straggler lottery that
+//!   draws from the stream even when sigmas are zero — those are always
+//!   walked densely, in node order, *before* the buckets, which is the
+//!   relative order dense stepping would consume their draws in (quiet
+//!   bucketed nodes in between contribute no draws).
+//! * Replicas adopt the representative's RAPL domain and draw segments by
+//!   copy, not by replay: `request_cap`'s epsilon no-op check makes
+//!   recomputation divergent, copying makes it exact.
+
+use des::{EventQueue, SimTime};
+use std::collections::BTreeMap;
+use theta_sim::{Cluster, MachineConfig, NodeStateKey, Work};
+
+/// Per-node inputs for one partition's advance.
+pub(crate) struct NodeCtx {
+    /// Node id.
+    pub node: usize,
+    /// Jitter sigma amplification (> 1 near the RAPL floor ⇒ the node
+    /// draws from the straggler lottery and must step densely).
+    pub sigma_scale: f64,
+    /// Work stretch factor from an injected straggler fault.
+    pub stretch: f64,
+}
+
+/// Advance every node in `ctx` (already filtered to survivors, in node
+/// order) from `t0` through `phases`, appending `(node, arrival)` pairs to
+/// `arrivals` in node order. `sparse` selects the event-driven strategy;
+/// it requires a quiet noise model (checked by the caller).
+pub(crate) fn advance_partition(
+    cluster: &mut Cluster,
+    machine: &MachineConfig,
+    ctx: &[NodeCtx],
+    phases: &[Work],
+    t0: SimTime,
+    sparse: bool,
+    arrivals: &mut Vec<(usize, SimTime)>,
+) {
+    if sparse {
+        advance_sparse(cluster, machine, ctx, phases, t0, arrivals);
+    } else {
+        advance_dense(cluster, machine, ctx, phases, t0, arrivals);
+    }
+}
+
+/// Reference semantics: node-major walk, one jitter draw per phase.
+fn advance_dense(
+    cluster: &mut Cluster,
+    machine: &MachineConfig,
+    ctx: &[NodeCtx],
+    phases: &[Work],
+    t0: SimTime,
+    arrivals: &mut Vec<(usize, SimTime)>,
+) {
+    for c in ctx {
+        arrivals.push((c.node, walk_node(cluster, machine, c, phases, t0)));
+    }
+}
+
+/// Walk one node through the whole phase list, drawing its jitter.
+fn walk_node(
+    cluster: &mut Cluster,
+    machine: &MachineConfig,
+    c: &NodeCtx,
+    phases: &[Work],
+    t0: SimTime,
+) -> SimTime {
+    let mut cursor = t0;
+    for &w in phases {
+        let w = stretch_work(w, c.stretch);
+        let jitter = cluster.noise_mut().phase_jitter_scaled(c.sigma_scale);
+        cursor = cluster.node_mut(c.node).run_phase(machine, cursor, w, jitter);
+    }
+    cursor
+}
+
+/// One bucket of state-identical nodes sharing a representative walk.
+struct Bucket {
+    /// Member positions into the partition's `ctx`, in node order;
+    /// `idxs[0]` is the representative.
+    idxs: Vec<usize>,
+    stretch: f64,
+    /// Next phase index the representative has yet to run.
+    next_phase: usize,
+    /// Representative's cursor (start time of its next phase).
+    cursor: SimTime,
+}
+
+/// Event-driven strategy. Straggler-lottery nodes step densely first (in
+/// node order — see the module docs for why that preserves the stream),
+/// then each state-bucket's representative advances phase-by-phase on the
+/// DES queue and fans its walk out to the members.
+fn advance_sparse(
+    cluster: &mut Cluster,
+    machine: &MachineConfig,
+    ctx: &[NodeCtx],
+    phases: &[Work],
+    t0: SimTime,
+    arrivals: &mut Vec<(usize, SimTime)>,
+) {
+    debug_assert!(cluster.noise().is_quiet(), "sparse stepping needs a quiet noise model");
+    // Arrival per ctx index, so the final arrivals list keeps node order.
+    let mut done: Vec<SimTime> = vec![t0; ctx.len()];
+
+    // Pass 1: nodes that consume the jitter stream walk densely.
+    for (i, c) in ctx.iter().enumerate() {
+        if c.sigma_scale > 1.0 {
+            done[i] = walk_node(cluster, machine, c, phases, t0);
+        }
+    }
+
+    // Pass 2: bucket the quiet nodes by exact evolution state. BTreeMap
+    // iteration keeps bucket order (and thus queue tie-breaking)
+    // deterministic.
+    let mut groups: BTreeMap<(u64, NodeStateKey), Vec<usize>> = BTreeMap::new();
+    for (i, c) in ctx.iter().enumerate() {
+        if c.sigma_scale <= 1.0 {
+            groups
+                .entry((c.stretch.to_bits(), cluster.node(c.node).state_key()))
+                .or_default()
+                .push(i);
+        }
+    }
+    let mut buckets: Vec<Bucket> = groups
+        .into_values()
+        .map(|idxs| Bucket { stretch: ctx[idxs[0]].stretch, idxs, next_phase: 0, cursor: t0 })
+        .collect();
+
+    // Pass 3: representative walks, event-driven. Each bucket sits in the
+    // queue keyed by its next completion boundary; it is not touched until
+    // the DES clock reaches it.
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    let mut marks = Vec::with_capacity(buckets.len());
+    for (bi, b) in buckets.iter().enumerate() {
+        marks.push(cluster.node(ctx[b.idxs[0]].node).history_mark());
+        if !phases.is_empty() {
+            queue.push(t0, bi);
+        }
+    }
+    while let Some((now, bi)) = queue.pop() {
+        let b = &mut buckets[bi];
+        debug_assert_eq!(now, b.cursor);
+        let w = stretch_work(phases[b.next_phase], b.stretch);
+        // Quiet jitter is exactly 1.0 without a draw (the dense path's
+        // zero-sigma fast path returns the same constant).
+        b.cursor = cluster.node_mut(ctx[b.idxs[0]].node).run_phase(machine, b.cursor, w, 1.0);
+        b.next_phase += 1;
+        if b.next_phase < phases.len() {
+            queue.push(b.cursor, bi);
+        }
+    }
+
+    // Pass 4: fan each representative's walk out to its members.
+    for (bi, b) in buckets.iter().enumerate() {
+        let rep = ctx[b.idxs[0]].node;
+        for &i in &b.idxs {
+            done[i] = b.cursor;
+            let member = ctx[i].node;
+            if member != rep {
+                cluster.adopt_walk(rep, member, marks[bi]);
+            }
+        }
+    }
+
+    for (i, c) in ctx.iter().enumerate() {
+        arrivals.push((c.node, done[i]));
+    }
+}
+
+/// Stretch a phase's reference time by a straggler factor. `factor == 1`
+/// returns the work untouched (bit-for-bit), keeping the happy path and
+/// the RNG draw sequence identical.
+pub(crate) fn stretch_work(w: Work, factor: f64) -> Work {
+    if factor == 1.0 {
+        w
+    } else {
+        Work::scaled(w.kind, w.ref_secs * factor, w.demand_scale)
+    }
+}

@@ -697,6 +697,9 @@ impl Scheduler {
             }
             let dt = rt.now().saturating_since(t0).as_secs_f64();
             let e = rt.energy_since(t0);
+            // The epoch's windowed read is done; prune the draw histories so
+            // long-running jobs hold O(active) segments, not O(elapsed).
+            rt.compact_history();
             (e, dt)
         });
         let mut epoch_dt = 0.0f64;

@@ -65,6 +65,34 @@ impl Cluster {
         Cluster { config, nodes, noise, cap_mode }
     }
 
+    /// Like [`Cluster::with_caps`] but with explicit noise sigmas. Quiet
+    /// runs (all-zero phase/measure sigmas) make node evolution fully
+    /// deterministic per state, which is what enables bucketed event-driven
+    /// stepping in `insitu`.
+    pub fn with_caps_sigmas(
+        config: MachineConfig,
+        caps_w: &[f64],
+        cap_mode: CapMode,
+        sigmas: crate::noise::NoiseSigmas,
+        seed: NoiseSeed,
+    ) -> Self {
+        assert!(!caps_w.is_empty());
+        let n = caps_w.len();
+        let noise = NoiseModel::with_sigmas(n, sigmas, seed);
+        let nodes = caps_w
+            .iter()
+            .enumerate()
+            .map(|(id, &cap)| {
+                let rapl = match cap_mode {
+                    CapMode::None => RaplDomain::uncapped(&config),
+                    _ => RaplDomain::capped(&config, cap_mode, cap),
+                };
+                Node::new(id, noise.node_efficiency(id), rapl)
+            })
+            .collect();
+        Cluster { config, nodes, noise, cap_mode }
+    }
+
     /// A deterministic cluster with zero noise (unit tests).
     pub fn noiseless(
         config: MachineConfig,
@@ -126,6 +154,35 @@ impl Cluster {
         &mut self.noise
     }
 
+    /// Shared access to the noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Fan a representative's walk out to a replica node: `to` (whose state
+    /// key matched `from`'s when `mark` was taken) adopts everything `from`
+    /// recorded past the mark. See [`Node::adopt_walk`].
+    pub fn adopt_walk(&mut self, from: usize, to: usize, mark: crate::node::NodeHistoryMark) {
+        assert_ne!(from, to);
+        let (a, b) = if from < to { (from, to) } else { (to, from) };
+        let (lo, hi) = self.nodes.split_at_mut(b);
+        let (rep, replica) = if from < to { (&lo[a], &mut hi[0]) } else { (&hi[0], &mut lo[a]) };
+        replica.adopt_walk(rep, mark);
+    }
+
+    /// Compact every node's draw history up to `before` (bit-exact energy
+    /// queries preserved — see [`Node::compact_history`]).
+    pub fn compact_history(&mut self, before: SimTime) {
+        for node in &mut self.nodes {
+            node.compact_history(before);
+        }
+    }
+
+    /// Total retained draw samples across all nodes (memory-bound tests).
+    pub fn history_segments(&self) -> usize {
+        self.nodes.iter().map(|n| n.history_len()).sum()
+    }
+
     /// Attach a trace sink to every node (clones share one buffer).
     pub fn set_tracer(&mut self, tracer: &obs::Tracer) {
         for node in &mut self.nodes {
@@ -142,14 +199,24 @@ impl Cluster {
     }
 
     /// Request a per-node cap on every node in `ids` at time `now`.
-    /// Returns the clamped per-node value accepted by RAPL.
+    /// Returns the minimum clamped value accepted across the nodes — the
+    /// well-defined aggregate a controller can rely on (for today's uniform
+    /// range clamping every node accepts the same value, so this equals each
+    /// node's grant). With no nodes listed, returns what the range clamp
+    /// would accept.
     pub fn request_cap(&mut self, now: SimTime, ids: &[usize], per_node_w: f64) -> f64 {
-        let mut accepted = per_node_w;
+        let Cluster { config, nodes, cap_mode, .. } = self;
+        let mut accepted = f64::INFINITY;
         for &id in ids {
-            let config = self.config.clone();
-            accepted = self.nodes[id].request_cap(&config, now, per_node_w);
+            accepted = accepted.min(nodes[id].request_cap(config, now, per_node_w));
         }
-        accepted
+        if accepted.is_finite() {
+            accepted
+        } else if *cap_mode == CapMode::None {
+            config.tdp_w
+        } else {
+            config.clamp_cap(per_node_w)
+        }
     }
 
     /// True (noise-free) total power drawn by `ids` averaged over

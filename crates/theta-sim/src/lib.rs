@@ -33,7 +33,7 @@ mod rapl;
 pub use cluster::Cluster;
 pub use config::{CapMode, MachineConfig};
 pub use machine::{MachineNodes, NodeLease};
-pub use node::Node;
+pub use node::{Node, NodeHistoryMark, NodeStateKey};
 pub use noise::{NoiseModel, NoiseSeed, NoiseSigmas};
 pub use phase::{PhaseKind, Work};
 pub use power::{

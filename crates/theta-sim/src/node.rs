@@ -14,8 +14,15 @@ pub struct Node {
     /// Static efficiency multiplier (silicon/placement lottery), 1.0 nominal.
     efficiency: f64,
     rapl: RaplDomain,
-    /// Piecewise-constant power draw: change points only.
+    /// Piecewise-constant power draw: change points only. Old samples are
+    /// pruned by [`Node::compact_history`]; their exact integral fold lives
+    /// in `pruned_energy_j` so energy queries stay bit-identical.
     draw: TimeSeries,
+    /// Exact `integrate(ZERO, ·)` fold prefix over the pruned samples.
+    pruned_energy_j: f64,
+    /// Queries with `from >= pruned_until` are answered from the retained
+    /// samples alone; `from == ZERO` routes through the seeded fold.
+    pruned_until: SimTime,
     /// Time up to which this node's activity has been simulated.
     busy_until: SimTime,
     last_draw_w: f64,
@@ -38,6 +45,8 @@ impl Node {
             efficiency,
             rapl,
             draw,
+            pruned_energy_j: 0.0,
+            pruned_until: SimTime::ZERO,
             busy_until: SimTime::ZERO,
             last_draw_w: 0.0,
             tracer: obs::Tracer::off(),
@@ -212,12 +221,42 @@ impl Node {
         if dt <= 0.0 {
             return self.last_draw_w;
         }
-        self.draw.integrate(from, to) / dt
+        self.energy(from, to) / dt
     }
 
     /// True energy consumed over `[from, to)`, joules.
+    ///
+    /// Bit-identical with or without [`Node::compact_history`]: queries at
+    /// or after the compaction point read the retained samples directly;
+    /// full-run queries (`from == ZERO`) continue the exact fold from the
+    /// pruned prefix. Anything else would need the dropped samples.
     pub fn energy(&self, from: SimTime, to: SimTime) -> f64 {
-        self.draw.integrate(from, to)
+        if from >= self.pruned_until {
+            return self.draw.integrate(from, to);
+        }
+        debug_assert!(
+            from == SimTime::ZERO && to >= self.pruned_until,
+            "node {} energy query [{from:?}, {to:?}) reaches into pruned history",
+            self.id
+        );
+        if to <= from {
+            return 0.0;
+        }
+        self.draw.integrate_seeded(self.pruned_energy_j, to)
+    }
+
+    /// Prune draw samples no longer reachable by future energy queries:
+    /// after this call only `[ZERO, to)` totals and windows starting at or
+    /// after `before` are answerable (both bit-identically). Keeps per-node
+    /// state O(segments per interval) instead of O(segments per run).
+    pub fn compact_history(&mut self, before: SimTime) {
+        self.pruned_energy_j = self.draw.compact_before(before, self.pruned_energy_j);
+        self.pruned_until = self.pruned_until.max(before.min(self.busy_until));
+    }
+
+    /// Number of retained draw samples (memory-bound tests).
+    pub fn history_len(&self) -> usize {
+        self.draw.len()
     }
 
     /// Instantaneous true draw at time `t`, watts (piecewise-constant,
@@ -236,6 +275,67 @@ impl Node {
     pub fn draw_series(&self) -> &TimeSeries {
         &self.draw
     }
+
+    /// Exact-state fingerprint for bucketed stepping. Nodes with equal keys
+    /// evolve bit-identically under the same (cap, work, jitter) sequence:
+    /// the key covers everything `run_phase`/`wait_until`/`request_cap`
+    /// read — efficiency, the full RAPL state, the schedule horizon and the
+    /// last recorded draw (the `record_draw` dedup threshold). Draw *history*
+    /// is deliberately excluded: it only feeds energy queries, and replicas
+    /// copy the representative's new segments verbatim.
+    pub fn state_key(&self) -> NodeStateKey {
+        (
+            self.efficiency.to_bits(),
+            self.busy_until,
+            self.last_draw_w.to_bits(),
+            self.rapl.state_key(),
+        )
+    }
+
+    /// Marks the current end of this node's draw and span buffers. Pass to
+    /// [`Node::adopt_walk`] on a replica to copy everything recorded after
+    /// the mark.
+    pub fn history_mark(&self) -> NodeHistoryMark {
+        NodeHistoryMark { draw: self.draw.len(), spans: self.span_buf.len() }
+    }
+
+    /// Fan-out half of bucketed stepping: make this node's state identical
+    /// to `rep`'s after `rep` (which had the same [`Node::state_key`] at
+    /// `mark`) advanced through one or more phases. Copies the new draw
+    /// segments and retargets the new span events to this node's id; the
+    /// RAPL domain is cloned verbatim rather than replayed, because
+    /// `request_cap`'s epsilon no-op check makes replays divergent.
+    pub fn adopt_walk(&mut self, rep: &Node, mark: NodeHistoryMark) {
+        debug_assert_ne!(self.id, rep.id);
+        for i in mark.draw..rep.draw.len() {
+            self.draw.push(rep.draw.times()[i], rep.draw.values()[i]);
+        }
+        self.last_draw_w = rep.last_draw_w;
+        self.busy_until = rep.busy_until;
+        self.rapl = rep.rapl.clone();
+        for ev in &rep.span_buf[mark.spans..] {
+            let mut ev = ev.clone();
+            match &mut ev.ev {
+                obs::Event::Phase { node, .. }
+                | obs::Event::Wait { node, .. }
+                | obs::Event::CapRequest { node, .. } => *node = self.id,
+                other => debug_assert!(false, "unexpected span event {}", other.tag()),
+            }
+            self.span_buf.push(ev);
+        }
+    }
+}
+
+/// Opaque exact-state fingerprint — see [`Node::state_key`].
+pub type NodeStateKey = (u64, SimTime, u64, (u8, u64, u64, Option<(SimTime, u64)>, u32, u64));
+
+/// Buffer positions captured by [`Node::history_mark`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeHistoryMark {
+    /// Draw-series length at the mark.
+    pub draw: usize,
+    /// Span-buffer length at the mark.
+    pub spans: usize,
 }
 
 #[cfg(test)]
@@ -345,6 +445,78 @@ mod tests {
         let mut n = capped_node(110.0);
         let end = n.run_phase(&m, SimTime::from_secs_f64(5.0), Work::none(PhaseKind::Force), 1.0);
         assert_eq!(end, SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn compacted_energy_queries_are_bit_identical() {
+        let m = m();
+        let mut full = capped_node(110.0);
+        let mut pruned = capped_node(110.0);
+        let mut t = SimTime::ZERO;
+        let mut marks = Vec::new();
+        for i in 0..50 {
+            // Alternate caps so the draw series keeps gaining segments.
+            let cap = if i % 2 == 0 { 110.0 } else { 125.0 };
+            for n in [&mut full, &mut pruned] {
+                n.rapl_mut().request_cap(&m, t, cap);
+            }
+            let end = full.run_phase(&m, t, Work::new(PhaseKind::Force, 0.3), 1.0);
+            let end2 = pruned.run_phase(&m, t, Work::new(PhaseKind::Force, 0.3), 1.0);
+            assert_eq!(end, end2);
+            marks.push((t, end));
+            // Compact up to the interval *start*: the just-closed window
+            // stays queryable, everything older folds into the prefix.
+            pruned.compact_history(t);
+            t = end;
+        }
+        assert!(pruned.history_len() < full.history_len());
+        // Full-run totals and every already-closed window answer the same.
+        assert_eq!(
+            full.energy(SimTime::ZERO, t).to_bits(),
+            pruned.energy(SimTime::ZERO, t).to_bits()
+        );
+        let (a, b) = *marks.last().unwrap();
+        assert_eq!(full.energy(a, b).to_bits(), pruned.energy(a, b).to_bits());
+        assert_eq!(full.mean_power(a, b).to_bits(), pruned.mean_power(a, b).to_bits());
+    }
+
+    #[test]
+    fn compaction_bounds_history_length() {
+        let m = m();
+        let mut n = capped_node(110.0);
+        let mut t = SimTime::ZERO;
+        let mut max_len = 0;
+        for i in 0..500 {
+            let cap = if i % 2 == 0 { 110.0 } else { 125.0 };
+            n.rapl_mut().request_cap(&m, t, cap);
+            t = n.run_phase(&m, t, Work::new(PhaseKind::Force, 0.1), 1.0);
+            n.compact_history(t);
+            max_len = max_len.max(n.history_len());
+        }
+        assert!(max_len <= 4, "history grew to {max_len} segments despite compaction");
+    }
+
+    #[test]
+    fn adopt_walk_replicates_state_and_history() {
+        let m = m();
+        let mut rep = capped_node(110.0);
+        let mut replica = Node::new(7, 1.0, RaplDomain::capped(&m, CapMode::Long, 110.0));
+        assert_eq!(rep.state_key(), replica.state_key());
+        let mark = rep.history_mark();
+        rep.request_cap(&m, SimTime::ZERO, 130.0);
+        let end = rep.run_phase(&m, SimTime::ZERO, Work::new(PhaseKind::Force, 1.0), 1.0);
+        replica.adopt_walk(&rep, mark);
+        assert_eq!(rep.state_key(), replica.state_key());
+        assert_eq!(replica.busy_until(), end);
+        assert_eq!(
+            rep.energy(SimTime::ZERO, end).to_bits(),
+            replica.energy(SimTime::ZERO, end).to_bits()
+        );
+        // And both respond identically to the next phase.
+        let e1 = rep.run_phase(&m, end, Work::new(PhaseKind::AnalysisRdf, 0.5), 1.0);
+        let e2 = replica.run_phase(&m, end, Work::new(PhaseKind::AnalysisRdf, 0.5), 1.0);
+        assert_eq!(e1, e2);
+        assert_eq!(rep.state_key(), replica.state_key());
     }
 
     #[test]

@@ -130,6 +130,14 @@ impl NoiseModel {
     /// (multi-×10 % stalls from OS noise that the throttled cores cannot
     /// hide) — the dominant tail effect at δ_min on KNL.
     pub fn phase_jitter_scaled(&mut self, sigma_scale: f64) -> f64 {
+        // Zero-sigma fast path: no jitter and no straggler lottery means no
+        // RNG draw at all. This is what lets the event-driven stepper skip
+        // quiet nodes entirely — a skipped node must consume zero stream —
+        // while the dense stepper stays bit-identical (the clamped normal at
+        // sigma 0 is exactly 1.0).
+        if self.sigmas.phase == 0.0 && sigma_scale <= 1.0 {
+            return 1.0;
+        }
         let base =
             self.jitter_rng.normal_clamped(1.0, self.sigmas.phase * sigma_scale.max(0.0)).max(0.5);
         if sigma_scale > 1.0 {
@@ -143,7 +151,22 @@ impl NoiseModel {
 
     /// Apply measurement noise to a true power reading.
     pub fn noisy_power(&mut self, true_watts: f64) -> f64 {
+        // Zero-sigma fast path mirrors `phase_jitter_scaled`: same value as
+        // the sigma-0 draw (× exactly 1.0), zero stream consumed.
+        if self.sigmas.measure == 0.0 {
+            return true_watts.max(0.0);
+        }
         (true_watts * self.measure_rng.normal_clamped(1.0, self.sigmas.measure)).max(0.0)
+    }
+
+    /// True when per-phase stepping consumes no randomness (phase jitter and
+    /// measurement sigmas both zero), i.e. node evolution is fully determined
+    /// by caps and work. The event-driven stepper may then advance a bucket
+    /// representative and fan the result out without desynchronizing the
+    /// shared RNG streams. Straggler draws (sigma scale > 1) still consume
+    /// the stream, so below-cliff nodes are always walked densely.
+    pub fn is_quiet(&self) -> bool {
+        self.sigmas.phase == 0.0 && self.sigmas.measure == 0.0
     }
 
     /// The sigma set in force.

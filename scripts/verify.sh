@@ -69,6 +69,26 @@ diff "$a/audit_run_experiment.json" "$b/audit_run_experiment.json"
 diff "$a/health_run_experiment.json" "$b/health_run_experiment.json"
 diff "$a/metrics_run_experiment.json" "$b/metrics_run_experiment.json"
 
+echo "==> dense-vs-sparse equivalence: event-driven stepping is byte-identical to the reference walk"
+SEESAW_TRACE="$c/sparse.jsonl" SEESAW_RESULTS_DIR="$a" \
+    ./target/release/run_experiment --nodes 64 --dim 16 --steps 40 --analyses rdf,vacf \
+    --quiet-noise --no-baseline --quiet
+SEESAW_TRACE="$c/dense.jsonl" SEESAW_RESULTS_DIR="$b" \
+    ./target/release/run_experiment --nodes 64 --dim 16 --steps 40 --analyses rdf,vacf \
+    --quiet-noise --step dense --no-baseline --quiet
+diff "$c/sparse.jsonl" "$c/dense.jsonl"
+test -s "$c/sparse.jsonl"
+
+echo "==> full-Theta smoke: 4392-node machine_sweep --theta, audited streaming, T1 vs T4"
+SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 \
+    ./target/release/machine_sweep --theta --quick --quiet --audit >/dev/null
+SEESAW_RESULTS_DIR="$b" POLIMER_THREADS=4 \
+    ./target/release/machine_sweep --theta --quick --quiet --audit >/dev/null
+diff "$a/machine_sweep_theta.json" "$b/machine_sweep_theta.json"
+diff "$a/audit_machine_sweep_theta.json" "$b/audit_machine_sweep_theta.json"
+diff "$a/health_machine_sweep_theta.json" "$b/health_machine_sweep_theta.json"
+diff "$a/metrics_machine_sweep_theta.json" "$b/metrics_machine_sweep_theta.json"
+
 echo "==> trace audit: invariant battery over the serialized trace"
 ./target/release/audit_trace --quiet "$c/t1.jsonl"
 
@@ -110,6 +130,10 @@ test -s "$c/BENCH_kernels.json"
 echo "==> tracing overhead record: trace_overhead off/on/export/audit bench (on <75%, streaming audit <900%)"
 SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench trace_overhead -- --quick
 test -s "$c/BENCH_trace.json"
+
+echo "==> scaling gate: scale bench (sparse epoch-rate floor, sparse >= dense)"
+SEESAW_RESULTS_DIR="$c" cargo bench --offline --bench scale -- --quick
+test -s "$c/BENCH_scale.json"
 
 echo "==> perf-regression gate: bench_gate vs committed baselines"
 ./target/release/bench_gate --fresh "$c" --quiet

@@ -94,6 +94,23 @@ pub const BENCH_PARSE: DiagCode = audit("BENCH0004", "parse");
 /// (e.g. parallel-vs-serial speedup at one thread).
 pub const BENCH_KERNEL: DiagCode = audit("BENCH0005", "kernel");
 
+/// `DIFF0001` — two traces diverge: the first differing event, with the
+/// line number, the field that moved, and whether it was the timestamp,
+/// the event kind, or a payload value.
+pub const DIFF_TRACE: DiagCode = audit("DIFF0001", "trace");
+/// `DIFF0002` — one trace is a strict prefix of the other (a line was
+/// dropped, or a run ended early).
+pub const DIFF_TRUNCATED: DiagCode = audit("DIFF0002", "truncated");
+/// `DIFF0003` — two report/metrics/health artifacts differ beyond the
+/// noise threshold: names the path of the first offending field.
+pub const DIFF_ARTIFACT: DiagCode = audit("DIFF0003", "artifact");
+/// `DIFF0004` — an artifact handed to the differ is unreadable or not
+/// comparable (malformed JSON, mismatched document shapes).
+pub const DIFF_PARSE: DiagCode = audit("DIFF0004", "artifact_parse");
+/// `DIFF0005` — the two artifacts carry different `schema_version`s; the
+/// differ refuses to attribute deltas across schema changes.
+pub const DIFF_SCHEMA: DiagCode = audit("DIFF0005", "schema");
+
 /// One finding: a code plus the specifics of where and how it fired.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
@@ -192,6 +209,11 @@ mod tests {
             BENCH_MISSING,
             BENCH_PARSE,
             BENCH_KERNEL,
+            DIFF_TRACE,
+            DIFF_TRUNCATED,
+            DIFF_ARTIFACT,
+            DIFF_PARSE,
+            DIFF_SCHEMA,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

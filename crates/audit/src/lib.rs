@@ -23,6 +23,12 @@
 //!    [`Registry`] of counters/gauges/deterministic histograms, and
 //!    per-interval [`RunHealth`] snapshots — in constant memory, interval
 //!    working sets discarded as each `sync_end` closes them.
+//! 3. **Why did two runs differ?** — the run explainer ([`diff`]):
+//!    [`TraceDiffer`] streams two JSONL traces to the first divergent
+//!    event (constant memory) and renders a `DIFF0001`/`DIFF0002`
+//!    diagnostic with per-node causal context; [`diff_artifacts`]
+//!    attributes report/metrics deltas to phases, the critical path, and
+//!    registry counters (`DIFF0003`–`DIFF0005`).
 //!
 //! The parser ([`AuditEvent::parse_line`]) is strict — exact field order,
 //! nothing missing, nothing extra — so a parsed trace re-serializes
@@ -33,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod diff;
 pub mod event;
 pub mod invariants;
 pub mod json;
@@ -42,6 +49,7 @@ pub mod stream;
 pub mod trace;
 
 pub use diag::{DiagCode, Diagnostic, Severity, Violation};
+pub use diff::{diff_artifacts, diff_readers, ArtifactDiff, ArtifactDiffOptions, TraceDiffer};
 pub use event::{AuditEvent, DecisionFields, EventKind};
 pub use invariants::{check_all, StreamChecker};
 pub use metrics::AuditReport;

@@ -88,6 +88,22 @@ pub struct LatencyStats {
     pub p95_s: f64,
 }
 
+/// Schema version stamped into `audit_<bin>.json` (bumped on any layout
+/// change so the differs can refuse cross-version comparisons).
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Scrub the sign off a floating-point negative zero (`-0.0` → `0.0`;
+/// every other value, including NaN and infinities, passes through).
+///
+/// IEEE-754 addition of `-0.0 + 0.0` is `+0.0`, so `v + 0.0` is exactly
+/// this normalization. Report accumulators that can legitimately sum to
+/// an empty `-0.0` (e.g. `CriticalPath.overhead_s`) and every serialized
+/// report float go through this one audited function, so `-0` can never
+/// leak into a persisted artifact and break a byte-diff gate.
+pub fn scrub_signed_zero(v: f64) -> f64 {
+    v + 0.0
+}
+
 /// The full audit result for one trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AuditReport {
@@ -137,6 +153,7 @@ impl AuditReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema_version\": {REPORT_SCHEMA_VERSION},");
         let _ = writeln!(s, "  \"events\": {},", self.events);
         let _ = writeln!(s, "  \"syncs\": {},", self.syncs);
         let _ = writeln!(s, "  \"total_time_s\": {},", jf(self.total_time_s));
@@ -277,8 +294,10 @@ impl AuditReport {
     }
 }
 
-/// JSON float: shortest-roundtrip, `null` when non-finite.
+/// JSON float: shortest-roundtrip, `null` when non-finite, signed zero
+/// scrubbed (see [`scrub_signed_zero`]).
 fn jf(v: f64) -> String {
+    let v = scrub_signed_zero(v);
     if v.is_finite() {
         format!("{v}")
     } else {

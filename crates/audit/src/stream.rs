@@ -61,11 +61,17 @@ pub struct RunHealth {
     pub violations: u64,
 }
 
+/// Schema version stamped into `health_<bin>.json` (bumped on any layout
+/// change so the differs can refuse cross-version comparisons).
+pub const HEALTH_SCHEMA_VERSION: u32 = 1;
+
 /// Serialize a health series as a JSON document (same float rules as
 /// every other persisted artifact).
 pub fn health_to_json(rows: &[RunHealth]) -> String {
     let mut s = String::with_capacity(256 + rows.len() * 128);
-    s.push_str("{\n  \"snapshots\": [");
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": {HEALTH_SCHEMA_VERSION},");
+    s.push_str("  \"snapshots\": [");
     for (i, h) in rows.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -90,6 +96,7 @@ pub fn health_to_json(rows: &[RunHealth]) -> String {
 }
 
 fn jf(v: f64) -> String {
+    let v = crate::metrics::scrub_signed_zero(v);
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -190,6 +197,7 @@ impl StreamAuditor {
     /// Fold the closed interval's spans into the per-kind attribution
     /// (same fold order and sample lookup as the batch walk).
     fn fold_spans(&mut self) {
+        let _t = obs::profile::timer("audit.fold_spans");
         for (interval, node, kind, dur) in self.cur_spans.drain(..) {
             let a = self.by_kind.entry(kind.clone()).or_insert_with(|| PhaseAttribution {
                 kind,
@@ -385,8 +393,9 @@ impl StreamAuditor {
         self.close_renorm_group();
         self.fold_spans();
         self.drain_rendezvous(u64::MAX);
-        // `+ 0.0` normalizes the empty sum's -0.0 identity.
-        self.critical_path.overhead_s = self.overhead_sum + 0.0;
+        // The empty sum's identity is -0.0; scrub it like every other
+        // serialized report float.
+        self.critical_path.overhead_s = crate::metrics::scrub_signed_zero(self.overhead_sum);
 
         let immediate = self.registry.counter_value("cap_immediate");
         let cap_latency = match self.registry.get_histogram("cap_actuation_latency_ns") {

@@ -15,6 +15,12 @@
 //! floors like the T1 speedup — as `error[BENCH0005] kernel: …`). Exits
 //! 1 on any failure, so `scripts/verify.sh` and CI can gate on it
 //! directly.
+//!
+//! When the gate fails it also runs the run explainer's attribution
+//! differ ([`audit::diff_artifacts`]) over whatever `audit_*` /
+//! `metrics_*` / `health_*` artifacts exist in both directories, so the
+//! failure names the phases, critical-path shift, and counters that
+//! moved — not just the violated bound.
 
 use audit::{diag, Diagnostic};
 use bench::gate::{compare, BenchDoc};
@@ -111,6 +117,44 @@ fn main() {
         for f in &failures {
             eprintln!("  {f}");
         }
+        attribute_drift(&fresh_dir, &baseline_dir);
         std::process::exit(1);
+    }
+}
+
+/// On failure, explain *where* the run moved: diff every audit/metrics/
+/// health artifact present in both directories with a loose noise
+/// threshold and print the attribution notes (per-phase time/energy
+/// deltas, critical-path shift, counter/histogram movement).
+fn attribute_drift(fresh_dir: &Path, baseline_dir: &Path) {
+    // Wall-clock noise moves every float a little between runs; 2%
+    // keeps the attribution to fields that actually drifted.
+    let opts = audit::ArtifactDiffOptions { rel_tol: 0.02, ..Default::default() };
+    let mut names: Vec<String> = match std::fs::read_dir(fresh_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| {
+                n.ends_with(".json")
+                    && ["audit_", "metrics_", "health_"].iter().any(|p| n.starts_with(p))
+            })
+            .collect(),
+        Err(_) => return,
+    };
+    names.sort();
+    for name in names {
+        let Ok(fresh) = std::fs::read_to_string(fresh_dir.join(&name)) else { continue };
+        let Ok(baseline) = std::fs::read_to_string(baseline_dir.join(&name)) else { continue };
+        let d = audit::diff_artifacts(&baseline, &fresh, &opts);
+        if d.identical() {
+            continue;
+        }
+        eprintln!("{BIN}: attribution for {name} (baseline -> fresh):");
+        for diag in &d.diagnostics {
+            eprintln!("  {diag}");
+        }
+        for note in &d.notes {
+            eprintln!("  note: {note}");
+        }
     }
 }

@@ -216,7 +216,7 @@ fn main() {
 
     // Representative traced run: 3 machines, mixed storm, energy
     // feedback — after the sweep so its JSON is unaffected by tracing.
-    if args.wants_trace() || args.audit {
+    if args.wants_trace() || args.audit || args.profile {
         let session = cli::trace_session(&args);
         let mut fleet =
             build(SEEDS[0], steps, 3, Policy::EnergyFeedback, &MachineFaultIntensity::storm(1.0));

@@ -180,7 +180,7 @@ fn run_theta(args: &cli::CommonArgs, rep: &Reporter) {
     );
     write_json(rep, "machine_sweep_theta", &rows);
 
-    if args.wants_trace() || args.audit {
+    if args.wants_trace() || args.audit || args.profile {
         let mut spec = MachineSpec::new(sc.nodes, sc.envelope_w, Policy::EnergyFeedback);
         spec.syncs_per_epoch = 5;
         let session = cli::trace_session(args);
@@ -259,7 +259,7 @@ fn main() {
 
     // Representative traced run: the mixed scenario under energy
     // feedback, after the sweep so its JSON is unaffected by tracing.
-    if args.wants_trace() || args.audit {
+    if args.wants_trace() || args.audit || args.profile {
         let sc = &scs[0];
         let mut spec = MachineSpec::new(sc.nodes, sc.envelope_w, Policy::EnergyFeedback);
         spec.syncs_per_epoch = 5;

@@ -29,11 +29,13 @@ fn usage() -> ! {
                       [--window W] [--seed S] [--sim-cap W --analysis-cap W]
                       [--no-baseline] [--dump-syncs] [--quiet]
                       [--quiet-noise] [--step auto|dense]
-                      [--trace FILE] [--trace-perfetto FILE] [--audit]
+                      [--trace FILE] [--trace-perfetto FILE] [--audit] [--profile]
 
 env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply trace paths when the flags are
 absent; SEESAW_AUDIT=1 turns on --audit (invariant battery over the controller
-run's trace; writes results/audit_run_experiment.json, exits 1 on violations)"
+run's trace; writes results/audit_run_experiment.json, exits 1 on violations);
+SEESAW_PROFILE=1 turns on --profile (wall-clock stage timers, writes
+results/profile_run_experiment.json — never byte-gated)"
     );
     std::process::exit(2);
 }
@@ -107,6 +109,7 @@ fn main() {
             "--trace" => common.trace = Some(val().into()),
             "--trace-perfetto" => common.perfetto = Some(val().into()),
             "--audit" => common.audit = true,
+            "--profile" => common.profile = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("{BIN}: unknown flag {other:?}");

@@ -6,7 +6,10 @@
 //! When the trace flags are absent the `SEESAW_TRACE` /
 //! `SEESAW_TRACE_PERFETTO` environment variables supply the paths, so
 //! sweeps driven by scripts can opt into tracing without touching each
-//! invocation; `SEESAW_AUDIT=1` likewise turns on `--audit`.
+//! invocation; `SEESAW_AUDIT=1` likewise turns on `--audit` and
+//! `SEESAW_PROFILE=1` turns on `--profile` (the wall-clock stage
+//! profiler, written to `results/profile_<bin>.json` — the one artifact
+//! deliberately excluded from the byte-determinism gates).
 
 use obs::Reporter;
 use std::path::PathBuf;
@@ -28,6 +31,12 @@ pub struct CommonArgs {
     /// `results/audit_<bin>.json` plus run-health snapshots and the
     /// metric registry, and exit nonzero on any violation.
     pub audit: bool,
+    /// Profile wall-clock stage timings (`--profile`): opt-in monotonic
+    /// timers around the pipeline stages feed log₂-bucket histograms,
+    /// written to `results/profile_<bin>.json`. Wall-clock readings are
+    /// inherently nondeterministic, so this artifact never enters a
+    /// byte-diff gate.
+    pub profile: bool,
 }
 
 impl CommonArgs {
@@ -54,8 +63,12 @@ impl CommonArgs {
         self.trace.is_some() || self.perfetto.is_some()
     }
 
-    /// Fill unset trace paths from `SEESAW_TRACE` / `SEESAW_TRACE_PERFETTO`
-    /// and the audit flag from `SEESAW_AUDIT`.
+    /// Fill unset trace paths from `SEESAW_TRACE` / `SEESAW_TRACE_PERFETTO`,
+    /// the audit flag from `SEESAW_AUDIT`, and the profile flag from
+    /// `SEESAW_PROFILE` — then arm the process-global stage profiler to
+    /// match, so stage timers deep in the engine crates need no plumbing.
+    /// Every bin (including the ones with custom argv handling) calls
+    /// this before running.
     pub fn env_fallback(&mut self) {
         if self.trace.is_none() {
             if let Ok(p) = std::env::var("SEESAW_TRACE") {
@@ -78,6 +91,14 @@ impl CommonArgs {
                 }
             }
         }
+        if !self.profile {
+            if let Ok(p) = std::env::var("SEESAW_PROFILE") {
+                if p == "1" || p.eq_ignore_ascii_case("true") {
+                    self.profile = true;
+                }
+            }
+        }
+        obs::profile::set_enabled(self.profile);
     }
 }
 
@@ -91,6 +112,7 @@ pub fn try_parse(argv: &[String]) -> Result<CommonArgs, String> {
             "--quick" => out.quick = true,
             "--quiet" => out.quiet = true,
             "--audit" => out.audit = true,
+            "--profile" => out.profile = true,
             "--trace" => {
                 i += 1;
                 let p = argv.get(i).ok_or("--trace requires a file path")?;
@@ -112,7 +134,7 @@ pub fn try_parse(argv: &[String]) -> Result<CommonArgs, String> {
 /// The usage text for a bin accepting only the common flags.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--quick] [--quiet] [--trace FILE] [--trace-perfetto FILE] [--audit]\n\
+        "usage: {bin} [--quick] [--quiet] [--trace FILE] [--trace-perfetto FILE] [--audit] [--profile]\n\
          \n\
          \x20 --quick                 shrink the experiment for smoke tests\n\
          \x20 --quiet                 suppress progress output (results/* still written)\n\
@@ -122,9 +144,12 @@ pub fn usage(bin: &str) -> String {
          \x20                         battery; writes results/audit_{bin}.json plus\n\
          \x20                         health_{bin}.json and metrics_{bin}.json, exits 1 on\n\
          \x20                         violations)\n\
+         \x20 --profile               time pipeline stages with monotonic wall clocks and\n\
+         \x20                         write results/profile_{bin}.json (nondeterministic by\n\
+         \x20                         nature; never byte-diffed)\n\
          \n\
          env: SEESAW_TRACE / SEESAW_TRACE_PERFETTO supply the paths when the flags are\n\
-         absent; SEESAW_AUDIT=1 turns on --audit"
+         absent; SEESAW_AUDIT=1 turns on --audit; SEESAW_PROFILE=1 turns on --profile"
     )
 }
 
@@ -179,6 +204,13 @@ pub fn trace_session(args: &CommonArgs) -> TraceSession {
 pub fn finish_session(bin: &str, args: &CommonArgs, rep: &Reporter, session: TraceSession) {
     let TraceSession { tracer, auditor } = session;
     write_trace_files(args, rep, &tracer);
+    if args.profile {
+        let path = crate::results_dir().join(format!("profile_{bin}.json"));
+        match std::fs::write(&path, obs::profile::to_json()) {
+            Ok(()) => rep.note(format!("wrote {} (wall-clock; not byte-gated)", path.display())),
+            Err(e) => rep.warn(format!("cannot write {}: {e}", path.display())),
+        }
+    }
     let Some(auditor) = auditor else { return };
     // The run may still hold tracer clones (scheduler handles), so take
     // the auditor's state out through the shared cell rather than trying
@@ -217,7 +249,7 @@ pub fn finish_session(bin: &str, args: &CommonArgs, rep: &Reporter, session: Tra
 ///
 /// **Exits the process with status 1** when the audit finds violations.
 pub fn export_trace(bin: &str, args: &CommonArgs, rep: &Reporter, cfg: &insitu::JobConfig) {
-    if !args.wants_trace() && !args.audit {
+    if !args.wants_trace() && !args.audit && !args.profile {
         return;
     }
     let session = trace_session(args);
@@ -269,6 +301,13 @@ mod tests {
         let a = try_parse(&argv(&["--audit"])).unwrap();
         assert!(a.audit);
         assert!(!a.wants_trace(), "--audit alone requests no trace files");
+    }
+
+    #[test]
+    fn profile_flag_parses() {
+        let a = try_parse(&argv(&["--profile"])).unwrap();
+        assert!(a.profile);
+        assert!(!a.audit && !a.wants_trace());
     }
 
     #[test]

@@ -308,6 +308,7 @@ impl Runtime {
         if self.is_done() {
             return false;
         }
+        let _t = obs::profile::timer("insitu.step_sync");
         let j = self.cfg.workload.sync_every;
         let sync_k = self.next_sync;
         self.next_sync += 1;

@@ -36,11 +36,14 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod hist;
 mod perfetto;
+pub mod profile;
 mod report;
 mod sink;
 
 pub use event::{to_jsonl, DecisionInfo, Event, TraceEvent};
+pub use hist::{ExactSum, Histogram, HISTOGRAM_BUCKETS};
 pub use perfetto::chrome_trace;
 pub use report::Reporter;
 pub use sink::{EventSubscriber, RunMetrics, StatSummary, Tracer};

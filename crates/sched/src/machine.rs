@@ -295,7 +295,10 @@ impl Scheduler {
         self.fire_kills(epoch);
         self.admit_arrivals(epoch);
         self.admit_queue();
-        let (allocated_w, pool_w, budgets) = self.govern();
+        let (allocated_w, pool_w, budgets) = {
+            let _t = obs::profile::timer("sched.governor_epoch");
+            self.govern()
+        };
         self.tracer.set_now(self.machine_t);
         if self.tracer.is_enabled() {
             self.tracer.emit(obs::Event::MachineBudget { epoch, allocated_w, pool_w });

@@ -1,6 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: offline build + tests, lint wall, and the
 # fault-injection determinism gate (same seed -> byte-identical JSON).
+#
+# Every byte-identity gate routes through the run explainer
+# (`trace_diff`): identical inputs are silent exit-0 exactly like `diff`,
+# but a divergence names the first differing line, the field that moved,
+# and the last events per involved node before the break — so a gate
+# failure arrives pre-bisected. A seeded self-test doctors a real trace
+# to prove the explainer actually fails (nonzero exit, DIFF code, line
+# number, per-node context) before any gate trusts it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,18 +24,48 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> format: cargo fmt --check"
 cargo fmt --check
 
-echo "==> determinism: fault_sweep twice, byte-identical JSON"
 a="$(mktemp -d)"
 b="$(mktemp -d)"
 c="$(mktemp -d)"
 trap 'rm -rf "$a" "$b" "$c"' EXIT
+
+# Divergence diagnostics land here; CI sets SEESAW_DIAG_DIR to a
+# persistent path and uploads it as an artifact when a gate fails.
+DIAG="${SEESAW_DIAG_DIR:-$c/diag}"
+mkdir -p "$DIAG"
+
+# On divergence: print the explanation, and bank it plus the tails of
+# both inputs for the CI artifact.
+explain_failure() {
+    cat "$DIAG/last.txt"
+    {
+        echo "=== $1 vs $2 ==="
+        cat "$DIAG/last.txt"
+        echo "--- tail $1 ---"
+        tail -n 20 "$1"
+        echo "--- tail $2 ---"
+        tail -n 20 "$2"
+    } >>"$DIAG/divergence.txt"
+    return 1
+}
+# Trace gate: streaming line-by-line comparison (constant memory).
+tdiff() {
+    ./target/release/trace_diff "$1" "$2" >"$DIAG/last.txt" 2>&1 || explain_failure "$1" "$2"
+}
+# Artifact gate: exact (rel-tol 0) JSON document comparison.
+adiff() {
+    ./target/release/trace_diff --artifact "$1" "$2" >"$DIAG/last.txt" 2>&1 \
+        || explain_failure "$1" "$2"
+}
+
+echo "==> determinism: fault_sweep twice, byte-identical JSON"
 SEESAW_RESULTS_DIR="$a" ./target/release/fault_sweep --quick --audit >/dev/null
 SEESAW_RESULTS_DIR="$b" ./target/release/fault_sweep --quick >/dev/null
-diff "$a/fault_sweep.json" "$b/fault_sweep.json"
+adiff "$a/fault_sweep.json" "$b/fault_sweep.json"
 
 echo "==> parallel determinism: fault_sweep at POLIMER_THREADS=4 vs committed JSON"
 SEESAW_RESULTS_DIR="$c" POLIMER_THREADS=4 ./target/release/fault_sweep >/dev/null
-diff "$c/fault_sweep.json" results/fault_sweep.json
+adiff "$c/fault_sweep.json" results/fault_sweep.json
 
 echo "==> scheduler invariants: cargo test -p sched"
 cargo test -q --offline -p sched
@@ -36,11 +74,11 @@ echo "==> machine determinism: machine_sweep at POLIMER_THREADS=1 vs 4 vs commit
 SEESAW_RESULTS_DIR="$a" SEESAW_TRACE="$c/m1.jsonl" POLIMER_THREADS=1 \
     ./target/release/machine_sweep --quiet --audit >/dev/null
 SEESAW_RESULTS_DIR="$b" POLIMER_THREADS=4 ./target/release/machine_sweep --quiet --audit >/dev/null
-diff "$a/machine_sweep.json" "$b/machine_sweep.json"
-diff "$b/machine_sweep.json" results/machine_sweep.json
-diff "$a/audit_machine_sweep.json" "$b/audit_machine_sweep.json"
-diff "$a/health_machine_sweep.json" "$b/health_machine_sweep.json"
-diff "$a/metrics_machine_sweep.json" "$b/metrics_machine_sweep.json"
+adiff "$a/machine_sweep.json" "$b/machine_sweep.json"
+adiff "$b/machine_sweep.json" results/machine_sweep.json
+adiff "$a/audit_machine_sweep.json" "$b/audit_machine_sweep.json"
+adiff "$a/health_machine_sweep.json" "$b/health_machine_sweep.json"
+adiff "$a/metrics_machine_sweep.json" "$b/metrics_machine_sweep.json"
 
 echo "==> fleet invariants: cargo test -p fleet"
 cargo test -q --offline -p fleet
@@ -50,24 +88,57 @@ SEESAW_RESULTS_DIR="$a" SEESAW_TRACE="$c/fleet1.jsonl" POLIMER_THREADS=1 \
     ./target/release/fleet_sweep --quiet --audit >/dev/null
 SEESAW_RESULTS_DIR="$b" SEESAW_TRACE="$c/fleet4.jsonl" POLIMER_THREADS=4 \
     ./target/release/fleet_sweep --quiet --audit >/dev/null
-diff "$a/fleet_sweep.json" "$b/fleet_sweep.json"
-diff "$b/fleet_sweep.json" results/fleet_sweep.json
-diff "$c/fleet1.jsonl" "$c/fleet4.jsonl"
+adiff "$a/fleet_sweep.json" "$b/fleet_sweep.json"
+adiff "$b/fleet_sweep.json" results/fleet_sweep.json
+tdiff "$c/fleet1.jsonl" "$c/fleet4.jsonl"
 test -s "$c/fleet1.jsonl"
-diff "$a/audit_fleet_sweep.json" "$b/audit_fleet_sweep.json"
-diff "$a/health_fleet_sweep.json" "$b/health_fleet_sweep.json"
-diff "$a/metrics_fleet_sweep.json" "$b/metrics_fleet_sweep.json"
+adiff "$a/audit_fleet_sweep.json" "$b/audit_fleet_sweep.json"
+adiff "$a/health_fleet_sweep.json" "$b/health_fleet_sweep.json"
+adiff "$a/metrics_fleet_sweep.json" "$b/metrics_fleet_sweep.json"
 
 echo "==> trace determinism: run_experiment JSONL + audit report at POLIMER_THREADS=1 vs 4"
 SEESAW_TRACE="$c/t1.jsonl" SEESAW_AUDIT=1 SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 \
     ./target/release/run_experiment --nodes 8 --dim 16 --steps 40 --analyses vacf --quiet
 SEESAW_TRACE="$c/t4.jsonl" SEESAW_AUDIT=1 SEESAW_RESULTS_DIR="$b" POLIMER_THREADS=4 \
     ./target/release/run_experiment --nodes 8 --dim 16 --steps 40 --analyses vacf --quiet
-diff "$c/t1.jsonl" "$c/t4.jsonl"
+tdiff "$c/t1.jsonl" "$c/t4.jsonl"
 test -s "$c/t1.jsonl"
-diff "$a/audit_run_experiment.json" "$b/audit_run_experiment.json"
-diff "$a/health_run_experiment.json" "$b/health_run_experiment.json"
-diff "$a/metrics_run_experiment.json" "$b/metrics_run_experiment.json"
+adiff "$a/audit_run_experiment.json" "$b/audit_run_experiment.json"
+adiff "$a/health_run_experiment.json" "$b/health_run_experiment.json"
+adiff "$a/metrics_run_experiment.json" "$b/metrics_run_experiment.json"
+
+# The gates above only ever feed trace_diff identical files; prove it
+# still *fails* — right code, right line, causal context — on seeded
+# doctored traces before trusting the silence.
+echo "==> trace_diff self-test: doctored traces fail with DIFF codes at the exact line"
+ln="$(grep -n '"ev":"phase"' "$c/t1.jsonl" | tail -1 | cut -d: -f1)"
+sed "${ln}s/\"end_ns\":/\"end_ns\":9/" "$c/t1.jsonl" > "$c/doctored_flip.jsonl"
+set +e
+POLIMER_THREADS=1 ./target/release/trace_diff "$c/t1.jsonl" "$c/doctored_flip.jsonl" \
+    > "$c/explain1.txt"
+r1=$?
+POLIMER_THREADS=4 ./target/release/trace_diff "$c/t1.jsonl" "$c/doctored_flip.jsonl" \
+    > "$c/explain4.txt"
+r4=$?
+set -e
+test "$r1" -eq 1 || { echo "self-test FAILED: flipped value not detected (exit $r1)"; exit 1; }
+test "$r4" -eq 1
+grep -q 'error\[DIFF0001\]' "$c/explain1.txt"
+grep -q "line ${ln}" "$c/explain1.txt"
+grep -q '"end_ns"' "$c/explain1.txt"
+grep -q 'node ' "$c/explain1.txt"
+diff "$c/explain1.txt" "$c/explain4.txt"
+sed "${ln}d" "$c/t1.jsonl" > "$c/doctored_drop.jsonl"
+if ./target/release/trace_diff --quiet "$c/t1.jsonl" "$c/doctored_drop.jsonl"; then
+    echo "self-test FAILED: dropped line not detected"; exit 1
+fi
+head -n 5 "$c/t1.jsonl" > "$c/doctored_trunc.jsonl"
+set +e
+./target/release/trace_diff "$c/t1.jsonl" "$c/doctored_trunc.jsonl" > "$c/explain_trunc.txt"
+rt=$?
+set -e
+test "$rt" -eq 1
+grep -q 'error\[DIFF0002\]' "$c/explain_trunc.txt"
 
 echo "==> dense-vs-sparse equivalence: event-driven stepping is byte-identical to the reference walk"
 SEESAW_TRACE="$c/sparse.jsonl" SEESAW_RESULTS_DIR="$a" \
@@ -76,7 +147,7 @@ SEESAW_TRACE="$c/sparse.jsonl" SEESAW_RESULTS_DIR="$a" \
 SEESAW_TRACE="$c/dense.jsonl" SEESAW_RESULTS_DIR="$b" \
     ./target/release/run_experiment --nodes 64 --dim 16 --steps 40 --analyses rdf,vacf \
     --quiet-noise --step dense --no-baseline --quiet
-diff "$c/sparse.jsonl" "$c/dense.jsonl"
+tdiff "$c/sparse.jsonl" "$c/dense.jsonl"
 test -s "$c/sparse.jsonl"
 
 echo "==> full-Theta smoke: 4392-node machine_sweep --theta, audited streaming, T1 vs T4"
@@ -84,10 +155,10 @@ SEESAW_RESULTS_DIR="$a" POLIMER_THREADS=1 \
     ./target/release/machine_sweep --theta --quick --quiet --audit >/dev/null
 SEESAW_RESULTS_DIR="$b" POLIMER_THREADS=4 \
     ./target/release/machine_sweep --theta --quick --quiet --audit >/dev/null
-diff "$a/machine_sweep_theta.json" "$b/machine_sweep_theta.json"
-diff "$a/audit_machine_sweep_theta.json" "$b/audit_machine_sweep_theta.json"
-diff "$a/health_machine_sweep_theta.json" "$b/health_machine_sweep_theta.json"
-diff "$a/metrics_machine_sweep_theta.json" "$b/metrics_machine_sweep_theta.json"
+adiff "$a/machine_sweep_theta.json" "$b/machine_sweep_theta.json"
+adiff "$a/audit_machine_sweep_theta.json" "$b/audit_machine_sweep_theta.json"
+adiff "$a/health_machine_sweep_theta.json" "$b/health_machine_sweep_theta.json"
+adiff "$a/metrics_machine_sweep_theta.json" "$b/metrics_machine_sweep_theta.json"
 
 echo "==> trace audit: invariant battery over the serialized trace"
 ./target/release/audit_trace --quiet "$c/t1.jsonl"
@@ -104,20 +175,31 @@ mkdir -p "$c/batch" "$c/stream"
 ./target/release/audit_trace --stream --quiet --json "$c/stream" \
     "$c/m1.jsonl" "$c/fleet1.jsonl" "$c/t1.jsonl"
 for stem in m1 fleet1 t1; do
-    diff "$c/batch/audit_$stem.json" "$c/stream/audit_$stem.json"
+    adiff "$c/batch/audit_$stem.json" "$c/stream/audit_$stem.json"
 done
-diff "$c/stream/audit_m1.json" "$a/audit_machine_sweep.json"
-diff "$c/stream/health_m1.json" "$a/health_machine_sweep.json"
-diff "$c/stream/metrics_m1.json" "$a/metrics_machine_sweep.json"
-diff "$c/stream/audit_fleet1.json" "$a/audit_fleet_sweep.json"
-diff "$c/stream/health_fleet1.json" "$a/health_fleet_sweep.json"
-diff "$c/stream/metrics_fleet1.json" "$a/metrics_fleet_sweep.json"
-diff "$c/stream/audit_t1.json" "$a/audit_run_experiment.json"
-diff "$c/stream/health_t1.json" "$a/health_run_experiment.json"
-diff "$c/stream/metrics_t1.json" "$a/metrics_run_experiment.json"
-diff "$a/audit_fleet_sweep.json" results/audit_fleet_sweep.json
-diff "$a/health_fleet_sweep.json" results/health_fleet_sweep.json
-diff "$a/metrics_fleet_sweep.json" results/metrics_fleet_sweep.json
+adiff "$c/stream/audit_m1.json" "$a/audit_machine_sweep.json"
+adiff "$c/stream/health_m1.json" "$a/health_machine_sweep.json"
+adiff "$c/stream/metrics_m1.json" "$a/metrics_machine_sweep.json"
+adiff "$c/stream/audit_fleet1.json" "$a/audit_fleet_sweep.json"
+adiff "$c/stream/health_fleet1.json" "$a/health_fleet_sweep.json"
+adiff "$c/stream/metrics_fleet1.json" "$a/metrics_fleet_sweep.json"
+adiff "$c/stream/audit_t1.json" "$a/audit_run_experiment.json"
+adiff "$c/stream/health_t1.json" "$a/health_run_experiment.json"
+adiff "$c/stream/metrics_t1.json" "$a/metrics_run_experiment.json"
+adiff "$a/audit_fleet_sweep.json" results/audit_fleet_sweep.json
+adiff "$a/health_fleet_sweep.json" results/health_fleet_sweep.json
+adiff "$a/metrics_fleet_sweep.json" results/metrics_fleet_sweep.json
+
+# Wall-clock readings are inherently nondeterministic, so profile_*.json
+# is asserted present and well-formed but never byte-compared.
+echo "==> wall-clock stage profiler: profile_*.json written (existence only, never byte-diffed)"
+SEESAW_RESULTS_DIR="$a" ./target/release/machine_sweep --quick --quiet --profile >/dev/null
+SEESAW_RESULTS_DIR="$a" ./target/release/fleet_sweep --quick --quiet --profile >/dev/null
+test -s "$a/profile_machine_sweep.json"
+test -s "$a/profile_fleet_sweep.json"
+grep -q '"schema_version":1' "$a/profile_machine_sweep.json"
+grep -q '"sched.governor_epoch"' "$a/profile_machine_sweep.json"
+grep -q '"schema_version":1' "$a/profile_fleet_sweep.json"
 
 # The bench itself exits nonzero when a kernel promise breaks: an
 # absolute ns/pair ceiling, the T1 dispatch-overhead speedup floor, or a
@@ -138,4 +220,4 @@ test -s "$c/BENCH_scale.json"
 echo "==> perf-regression gate: bench_gate vs committed baselines"
 ./target/release/bench_gate --fresh "$c" --quiet
 
-echo "OK: build + tests green, clippy + fmt clean, sweeps/traces thread-count invariant, audits clean (batch ≡ stream ≡ live), bench gate passed"
+echo "OK: build + tests green, clippy + fmt clean, sweeps/traces thread-count invariant (gated by trace_diff, self-tested), audits clean (batch ≡ stream ≡ live), profiler artifacts written, bench gate passed"
